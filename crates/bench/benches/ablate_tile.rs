@@ -1,0 +1,54 @@
+//! Ablation for the Section III bound on the resident-tile size: "the
+//! total number of rows of B that can be addressed is at most
+//! M x VectorLength / N ... pre-loading fewer rows is possible, as long
+//! as their number is a multiple of M". Sweeps `L` for the proposed
+//! kernel (the paper's evaluation pins L = 16).
+
+use indexmac::experiment::{run_gemm, Algorithm};
+use indexmac::sparse::NmPattern;
+use indexmac::table::Table;
+use indexmac_bench::{banner, Profile};
+use indexmac_cnn::resnet50;
+
+fn main() {
+    let base_cfg = Profile::from_env().config();
+    banner("Ablation: resident B-tile rows L (paper uses L=16)", &base_cfg);
+    let model = resnet50();
+    let layer = model.layers.iter().find(|l| l.name == "layer2.1.conv2").expect("layer exists");
+
+    for pattern in [NmPattern::P1_4, NmPattern::P2_4] {
+        println!("\n{pattern} structured sparsity on {}", layer.name);
+        let mut table =
+            Table::new(vec!["L", "cycles", "vs L=16", "B preload loads", "total mem accesses"]);
+        let mut l16 = 0u64;
+        let mut rows: Vec<(usize, u64, u64, u64)> = Vec::new();
+        for tile_rows in [4usize, 8, 12, 16, 20] {
+            let cfg = indexmac::ExperimentConfig { tile_rows, ..base_cfg };
+            match run_gemm(layer.gemm(), pattern, Algorithm::IndexMac, &cfg) {
+                Ok(r) => {
+                    if tile_rows == 16 {
+                        l16 = r.report.cycles;
+                    }
+                    rows.push((
+                        tile_rows,
+                        r.report.cycles,
+                        r.report.mem.vector_loads,
+                        r.report.mem.total_accesses(),
+                    ));
+                }
+                Err(e) => println!("L={tile_rows}: rejected ({e})"),
+            }
+        }
+        for (tile_rows, cycles, vloads, total) in rows {
+            table.row(vec![
+                tile_rows.to_string(),
+                cycles.to_string(),
+                format!("{:+.1}%", (cycles as f64 / l16 as f64 - 1.0) * 100.0),
+                vloads.to_string(),
+                total.to_string(),
+            ]);
+        }
+        print!("{}", table.render());
+    }
+    println!("\nexpected: larger L amortises metadata over more of K; L=16 fills v16..v31");
+}

@@ -1,0 +1,47 @@
+//! Extension ablation: sensitivity of the speedup to the hardware
+//! vector length. The paper's machine is fixed at VLEN = 512 bits;
+//! this sweep re-derives Fig. 5-style totals at 256/512/1024 bits to
+//! show the mechanism is not an artefact of one VLEN (wider vectors
+//! amortise per-row overheads over more columns per tile).
+
+use indexmac::sparse::NmPattern;
+use indexmac::table::{fmt_pct, fmt_speedup, Table};
+use indexmac_bench::{banner, CachedCompare, Profile};
+use indexmac_cnn::resnet50;
+
+fn main() {
+    let base_cfg = Profile::from_env().config();
+    banner("Ablation: hardware vector length (Table I uses 512-bit)", &base_cfg);
+    let model = resnet50();
+
+    for pattern in [NmPattern::P1_4, NmPattern::P2_4] {
+        println!("\n{pattern} structured sparsity, ResNet50 totals");
+        let mut table =
+            Table::new(vec!["VLEN", "vl (e32)", "total speedup", "normalized mem accesses"]);
+        for vlen in [256usize, 512, 1024] {
+            let cfg = indexmac::ExperimentConfig {
+                sim: base_cfg.sim.with_vlen(vlen),
+                ..base_cfg
+            };
+            let mut cache = CachedCompare::new(cfg);
+            let mut base_cycles = 0u64;
+            let mut prop_cycles = 0u64;
+            let mut base_mem = 0u64;
+            let mut prop_mem = 0u64;
+            for layer in &model.layers {
+                let cmp = cache.compare(layer.gemm(), pattern);
+                base_cycles += cmp.baseline.report.cycles;
+                prop_cycles += cmp.proposed.report.cycles;
+                base_mem += cmp.baseline.report.mem.total_accesses();
+                prop_mem += cmp.proposed.report.mem.total_accesses();
+            }
+            table.row(vec![
+                format!("{vlen}b"),
+                (vlen / 32).to_string(),
+                fmt_speedup(base_cycles as f64 / prop_cycles as f64),
+                fmt_pct(prop_mem as f64 / base_mem as f64),
+            ]);
+        }
+        print!("{}", table.render());
+    }
+}

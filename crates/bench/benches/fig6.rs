@@ -1,0 +1,46 @@
+//! Reproduces **Fig. 6** — normalized total memory accesses of the
+//! proposed kernel relative to Row-Wise-SpMM for the three CNNs, under
+//! 1:4 and 2:4 structured sparsity. The paper reports average reductions
+//! of 48 % (1:4) and 65 % (2:4), i.e. normalized accesses of ~0.52 and
+//! ~0.35.
+
+use indexmac::sparse::NmPattern;
+use indexmac::table::{fmt_pct, Table};
+use indexmac_bench::{banner, CachedCompare, Profile};
+use indexmac_cnn::CnnModel;
+
+fn main() {
+    let cfg = Profile::from_env().config();
+    banner("Fig. 6: normalized total memory accesses (Row-Wise-SpMM = 100%)", &cfg);
+
+    for (panel, pattern) in [("(a)", NmPattern::P1_4), ("(b)", NmPattern::P2_4)] {
+        let mut table = Table::new(vec!["CNN", "normalized accesses", "reduction"]);
+        let mut sum = 0.0;
+        let models = CnnModel::paper_models();
+        for model in &models {
+            let mut cache = CachedCompare::new(cfg);
+            let mut base: u64 = 0;
+            let mut prop: u64 = 0;
+            for layer in &model.layers {
+                let cmp = cache.compare(layer.gemm(), pattern);
+                base += cmp.baseline.report.mem.total_accesses();
+                prop += cmp.proposed.report.mem.total_accesses();
+            }
+            let norm = prop as f64 / base as f64;
+            sum += norm;
+            table.row(vec![
+                model.name.to_string(),
+                fmt_pct(norm),
+                fmt_pct(1.0 - norm),
+            ]);
+        }
+        println!("\nFig. 6{panel} — {pattern} structured sparsity");
+        print!("{}", table.render());
+        println!(
+            "average normalized accesses {}  (paper: ~{} => {} reduction)",
+            fmt_pct(sum / models.len() as f64),
+            if pattern == NmPattern::P1_4 { "52%" } else { "35%" },
+            if pattern == NmPattern::P1_4 { "48%" } else { "65%" },
+        );
+    }
+}

@@ -1,0 +1,83 @@
+//! Criterion micro-benchmarks of the simulation substrate itself:
+//! host-side throughput of the cache model, the functional executor,
+//! kernel generation and a small end-to-end kernel comparison. These
+//! guard against performance regressions of the simulator (which bound
+//! how large a `full`-profile run can be).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use indexmac::experiment::{run_gemm, Algorithm, ExperimentConfig};
+use indexmac::kernels::GemmDims;
+use indexmac::sparse::NmPattern;
+use indexmac_cnn::GemmCaps;
+use indexmac_kernels::{indexmac as imac_kernel, rowwise, GemmLayout, KernelParams};
+use indexmac_mem::{AccessKind, Cache, CacheConfig};
+use indexmac_sparse::{prune, DenseMatrix};
+use indexmac_vpu::SimConfig;
+use std::hint::black_box;
+
+fn bench_cache(c: &mut Criterion) {
+    c.bench_function("cache/64KiB-4way_sequential_sweep", |b| {
+        let mut cache = Cache::new(CacheConfig::table_i_l1d());
+        b.iter(|| {
+            let mut hits = 0u64;
+            for i in 0..4096u64 {
+                if cache.access(black_box(i * 64), AccessKind::Read).hit {
+                    hits += 1;
+                }
+            }
+            hits
+        })
+    });
+}
+
+fn bench_kernel_generation(c: &mut Criterion) {
+    let cfg = SimConfig::table_i();
+    let a = prune::random_structured(32, 256, NmPattern::P1_4, 1);
+    let layout = GemmLayout::plan(&a, 128, &cfg, 16).unwrap();
+    let params = KernelParams::default();
+    c.bench_function("kernelgen/indexmac_32x256x128", |b| {
+        b.iter(|| imac_kernel::build(black_box(&layout), &params).unwrap().len())
+    });
+    c.bench_function("kernelgen/rowwise_32x256x128", |b| {
+        b.iter(|| rowwise::build(black_box(&layout), &params).unwrap().len())
+    });
+}
+
+fn bench_simulator_throughput(c: &mut Criterion) {
+    let cfg = SimConfig::table_i();
+    let a = prune::random_structured(16, 128, NmPattern::P2_4, 2);
+    let bm = DenseMatrix::random(128, 32, 3);
+    let layout = GemmLayout::plan(&a, 32, &cfg, 16).unwrap();
+    let program = imac_kernel::build(&layout, &KernelParams::default()).unwrap();
+    c.bench_function("simulate/indexmac_16x128x32_timed", |b| {
+        b.iter(|| {
+            let run =
+                indexmac_kernels::verify::run_kernel(&program, &a, &bm, &layout, &cfg).unwrap();
+            black_box(run.report.cycles)
+        })
+    });
+}
+
+fn bench_end_to_end_compare(c: &mut Criterion) {
+    let cfg = ExperimentConfig {
+        caps: GemmCaps::smoke(),
+        verify: false,
+        ..ExperimentConfig::paper()
+    };
+    let dims = GemmDims { rows: 16, inner: 128, cols: 32 };
+    c.bench_function("endtoend/compare_16x128x32_1of4", |b| {
+        b.iter(|| {
+            let base = run_gemm(dims, NmPattern::P1_4, Algorithm::RowWiseSpmm, &cfg).unwrap();
+            let prop = run_gemm(dims, NmPattern::P1_4, Algorithm::IndexMac, &cfg).unwrap();
+            black_box(prop.report.speedup_over(&base.report))
+        })
+    });
+}
+
+criterion_group! {
+    name = micro;
+    config = Criterion::default().sample_size(10);
+    targets = bench_cache, bench_kernel_generation, bench_simulator_throughput,
+              bench_end_to_end_compare
+}
+criterion_main!(micro);

@@ -1,0 +1,16 @@
+//! Reproduces **Table I** — the simulated processor configuration —
+//! from the live `SimConfig`, so the printed table is guaranteed to be
+//! what every other experiment actually simulates.
+
+use indexmac_bench::{banner, Profile};
+use indexmac_vpu::SimConfig;
+
+fn main() {
+    let cfg = Profile::from_env().config();
+    banner("Table I: simulated processor configuration", &cfg);
+    println!("{}", SimConfig::table_i());
+    println!();
+    println!("(paper values: RV64GC 8-way OoO, 60-entry ROB, L1I/L1D 64KB 4-way,");
+    println!(" 512-bit 16-lane vector engine with 16 load + 16 store queues into a");
+    println!(" shared 512KB 8-way 8-bank L2 with 8-cycle hits, DDR4-2400 memory)");
+}

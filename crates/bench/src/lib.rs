@@ -1,0 +1,137 @@
+//! Shared utilities for the figure/table reproduction harnesses.
+//!
+//! Each `cargo bench` target in this crate regenerates one table or
+//! figure of the paper (see DESIGN.md's experiment index) and prints the
+//! same rows/series the paper reports. The `INDEXMAC_PROFILE`
+//! environment variable selects the simulation scale:
+//!
+//! * `smoke` — tiny GEMM caps, seconds per figure (CI);
+//! * `default` — the documented evaluation caps;
+//! * `full` — uncapped layer sizes (hours; the gem5-equivalent run).
+
+#![warn(missing_docs)]
+
+use indexmac::experiment::{compare_gemm, ExperimentConfig, GemmComparison};
+use indexmac::kernels::GemmDims;
+use indexmac::sparse::NmPattern;
+use indexmac_cnn::GemmCaps;
+use std::collections::HashMap;
+
+/// Simulation scale selected via `INDEXMAC_PROFILE`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Profile {
+    /// Tiny caps for CI smoke runs.
+    Smoke,
+    /// The documented evaluation caps (default).
+    Default,
+    /// Uncapped, full-size layers.
+    Full,
+}
+
+impl Profile {
+    /// Reads `INDEXMAC_PROFILE` (unset or unknown values mean `Default`).
+    pub fn from_env() -> Self {
+        match std::env::var("INDEXMAC_PROFILE").as_deref() {
+            Ok("smoke") => Profile::Smoke,
+            Ok("full") => Profile::Full,
+            _ => Profile::Default,
+        }
+    }
+
+    /// The GEMM caps this profile simulates under.
+    pub fn caps(self) -> GemmCaps {
+        match self {
+            Profile::Smoke => GemmCaps::smoke(),
+            Profile::Default => GemmCaps::default_eval(),
+            Profile::Full => GemmCaps::unbounded(),
+        }
+    }
+
+    /// An [`ExperimentConfig`] carrying these caps.
+    pub fn config(self) -> ExperimentConfig {
+        ExperimentConfig { caps: self.caps(), ..ExperimentConfig::paper() }
+    }
+}
+
+/// Memoising wrapper around [`compare_gemm`]: CNN layers that cap to the
+/// same GEMM shape share one simulation (capping erases what
+/// distinguished them, so re-running would reproduce identical numbers).
+pub struct CachedCompare {
+    cfg: ExperimentConfig,
+    cache: HashMap<(usize, usize, usize, NmPattern), GemmComparison>,
+}
+
+impl CachedCompare {
+    /// Creates an empty cache over `cfg`.
+    pub fn new(cfg: ExperimentConfig) -> Self {
+        Self { cfg, cache: HashMap::new() }
+    }
+
+    /// The configuration used for every comparison.
+    pub fn config(&self) -> &ExperimentConfig {
+        &self.cfg
+    }
+
+    /// Runs (or reuses) the baseline-vs-proposed comparison for `dims`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation itself fails — a bench harness has no
+    /// useful recovery, and failing loudly is what we want there.
+    pub fn compare(&mut self, dims: GemmDims, pattern: NmPattern) -> GemmComparison {
+        let capped = self.cfg.caps.apply(dims);
+        let key = (capped.rows, capped.inner, capped.cols, pattern);
+        if let Some(hit) = self.cache.get(&key) {
+            return hit.clone();
+        }
+        let result = compare_gemm(dims, pattern, &self.cfg)
+            .unwrap_or_else(|e| panic!("comparison failed for {dims:?} {pattern}: {e}"));
+        self.cache.insert(key, result.clone());
+        result
+    }
+
+    /// Number of distinct simulations performed.
+    pub fn unique_runs(&self) -> usize {
+        self.cache.len()
+    }
+}
+
+/// Prints the standard harness banner: what figure this regenerates and
+/// under which caps.
+pub fn banner(what: &str, cfg: &ExperimentConfig) {
+    println!("==========================================================================");
+    println!("IndexMAC reproduction — {what}");
+    println!(
+        "simulation scale: {} | L={} | unroll x{} | seed {:#x}",
+        cfg.caps, cfg.tile_rows, cfg.params.unroll, cfg.seed
+    );
+    println!("==========================================================================");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profile_parsing_defaults() {
+        // Unset or garbage -> Default (cannot portably set env in tests
+        // running in parallel, so only the default path is asserted).
+        assert_eq!(Profile::from_env(), Profile::Default);
+        assert_eq!(Profile::Smoke.caps(), GemmCaps::smoke());
+        assert_eq!(Profile::Full.caps(), GemmCaps::unbounded());
+    }
+
+    #[test]
+    fn cache_dedupes_equal_capped_shapes() {
+        let mut c = CachedCompare::new(Profile::Smoke.config());
+        let a = GemmDims { rows: 1000, inner: 1000, cols: 1000 };
+        let b = GemmDims { rows: 2000, inner: 3000, cols: 4000 }; // same after caps
+        let ra = c.compare(a, NmPattern::P1_4);
+        let rb = c.compare(b, NmPattern::P1_4);
+        assert_eq!(c.unique_runs(), 1);
+        assert_eq!(ra.baseline.report.cycles, rb.baseline.report.cycles);
+        // Different pattern -> new simulation.
+        c.compare(a, NmPattern::P2_4);
+        assert_eq!(c.unique_runs(), 2);
+    }
+}

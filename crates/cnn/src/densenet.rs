@@ -1,0 +1,111 @@
+//! DenseNet121 layer table (Huang et al., CVPR 2017): growth rate 32,
+//! block configuration (6, 12, 24, 16), bottleneck factor 4, transition
+//! compression 0.5.
+
+use crate::layer::ConvLayer;
+use crate::model::CnnModel;
+
+const GROWTH: usize = 32;
+const BLOCKS: [usize; 4] = [6, 12, 24, 16];
+
+/// Builds the 120 convolution layers of DenseNet121 for 224x224 inputs.
+pub fn densenet121() -> CnnModel {
+    let mut layers = Vec::new();
+    layers.push(ConvLayer::square("features.conv0", 3, 64, 7, 2, 3, 224, 224));
+    // 3x3/2 max-pool follows the stem.
+    let mut ch = 64;
+    let mut h = 56;
+    let mut w = 56;
+    for (bi, &num_layers) in BLOCKS.iter().enumerate() {
+        for li in 0..num_layers {
+            // Bottleneck: 1x1 to 4*growth, then 3x3 to growth.
+            layers.push(ConvLayer::square(
+                format!("denseblock{}.denselayer{}.conv1", bi + 1, li + 1),
+                ch,
+                4 * GROWTH,
+                1,
+                1,
+                0,
+                h,
+                w,
+            ));
+            layers.push(ConvLayer::square(
+                format!("denseblock{}.denselayer{}.conv2", bi + 1, li + 1),
+                4 * GROWTH,
+                GROWTH,
+                3,
+                1,
+                1,
+                h,
+                w,
+            ));
+            ch += GROWTH; // dense connectivity: concatenate the new features
+        }
+        if bi + 1 < BLOCKS.len() {
+            // Transition: 1x1 halving channels, then 2x2 avg-pool.
+            layers.push(ConvLayer::square(
+                format!("transition{}.conv", bi + 1),
+                ch,
+                ch / 2,
+                1,
+                1,
+                0,
+                h,
+                w,
+            ));
+            ch /= 2;
+            h /= 2;
+            w /= 2;
+        }
+    }
+    CnnModel::new("DenseNet121", layers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layer_count_is_120() {
+        // 1 stem + 58 dense layers x 2 + 3 transitions.
+        assert_eq!(densenet121().layers.len(), 120);
+    }
+
+    #[test]
+    fn total_macs_in_published_range() {
+        // Published DenseNet121: ~2.8-2.9 GMACs.
+        let macs = densenet121().total_macs();
+        assert!(
+            (2.5e9..3.2e9).contains(&(macs as f64)),
+            "DenseNet121 conv MACs {macs} outside published ~2.9G"
+        );
+    }
+
+    #[test]
+    fn channel_growth_and_transitions() {
+        let m = densenet121();
+        // Block 1 ends at 64 + 6*32 = 256, transition halves to 128.
+        let t1 = m.layers.iter().find(|l| l.name == "transition1.conv").unwrap();
+        assert_eq!(t1.in_channels, 256);
+        assert_eq!(t1.out_channels, 128);
+        // Final dense layer input: 512 + 15*32 = 992.
+        let last = m.layers.iter().rev().find(|l| l.name.contains("conv1")).unwrap();
+        assert_eq!(last.in_channels, 992);
+    }
+
+    #[test]
+    fn bottlenecks_have_fixed_width() {
+        let m = densenet121();
+        for l in m.layers.iter().filter(|l| l.name.contains("conv2")) {
+            assert_eq!(l.in_channels, 128);
+            assert_eq!(l.out_channels, 32);
+            assert_eq!(l.kernel_h, 3);
+        }
+    }
+
+    #[test]
+    fn final_resolution_is_7x7() {
+        let m = densenet121();
+        assert_eq!(m.layers.last().unwrap().in_h, 7);
+    }
+}

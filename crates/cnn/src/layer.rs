@@ -1,0 +1,169 @@
+//! Convolution layers and their GEMM (im2col) mapping.
+
+use indexmac_kernels::GemmDims;
+
+/// One convolution layer of a CNN.
+///
+/// Non-square kernels and padding are supported (InceptionV3 uses 1x7
+/// and 7x1 factorised convolutions); strides in these networks are
+/// square.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConvLayer {
+    /// Human-readable layer name (e.g. `layer2.0.conv2`).
+    pub name: String,
+    /// Input channels.
+    pub in_channels: usize,
+    /// Output channels (filters).
+    pub out_channels: usize,
+    /// Kernel height.
+    pub kernel_h: usize,
+    /// Kernel width.
+    pub kernel_w: usize,
+    /// Stride (both dimensions).
+    pub stride: usize,
+    /// Padding rows (top and bottom each).
+    pub pad_h: usize,
+    /// Padding columns (left and right each).
+    pub pad_w: usize,
+    /// Input feature-map height.
+    pub in_h: usize,
+    /// Input feature-map width.
+    pub in_w: usize,
+}
+
+impl ConvLayer {
+    /// Builds a square-kernel layer.
+    #[allow(clippy::too_many_arguments)]
+    pub fn square(
+        name: impl Into<String>,
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+        in_h: usize,
+        in_w: usize,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            in_channels,
+            out_channels,
+            kernel_h: kernel,
+            kernel_w: kernel,
+            stride,
+            pad_h: pad,
+            pad_w: pad,
+            in_h,
+            in_w,
+        }
+    }
+
+    /// Output feature-map height.
+    pub fn out_h(&self) -> usize {
+        (self.in_h + 2 * self.pad_h - self.kernel_h) / self.stride + 1
+    }
+
+    /// Output feature-map width.
+    pub fn out_w(&self) -> usize {
+        (self.in_w + 2 * self.pad_w - self.kernel_w) / self.stride + 1
+    }
+
+    /// The im2col GEMM shape: `A` is `out_channels x (in_channels*Kh*Kw)`
+    /// (the weights, structured-sparse after pruning), `B` is
+    /// `(in_channels*Kh*Kw) x (out_h*out_w)` (the unrolled features).
+    pub fn gemm(&self) -> GemmDims {
+        GemmDims {
+            rows: self.out_channels,
+            inner: self.in_channels * self.kernel_h * self.kernel_w,
+            cols: self.out_h() * self.out_w(),
+        }
+    }
+
+    /// Dense multiply-accumulate count of this layer.
+    pub fn macs(&self) -> u64 {
+        self.gemm().dense_macs()
+    }
+
+    /// Whether this is a pointwise (1x1) convolution.
+    pub fn is_pointwise(&self) -> bool {
+        self.kernel_h == 1 && self.kernel_w == 1
+    }
+}
+
+impl std::fmt::Display for ConvLayer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let g = self.gemm();
+        write!(
+            f,
+            "{}: {}x{}x{}x{} s{} on {}x{} -> GEMM {}x{}x{}",
+            self.name,
+            self.out_channels,
+            self.in_channels,
+            self.kernel_h,
+            self.kernel_w,
+            self.stride,
+            self.in_h,
+            self.in_w,
+            g.rows,
+            g.inner,
+            g.cols
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resnet_conv1_dimensions() {
+        // The canonical first layer: 7x7/2 pad 3 on 224x224 -> 112x112.
+        let l = ConvLayer::square("conv1", 3, 64, 7, 2, 3, 224, 224);
+        assert_eq!((l.out_h(), l.out_w()), (112, 112));
+        let g = l.gemm();
+        assert_eq!(g.rows, 64);
+        assert_eq!(g.inner, 147);
+        assert_eq!(g.cols, 12544);
+        assert_eq!(l.macs(), 64 * 147 * 12544);
+    }
+
+    #[test]
+    fn pointwise_detection() {
+        let l = ConvLayer::square("pw", 64, 256, 1, 1, 0, 56, 56);
+        assert!(l.is_pointwise());
+        assert_eq!(l.gemm().inner, 64);
+        assert_eq!((l.out_h(), l.out_w()), (56, 56));
+    }
+
+    #[test]
+    fn asymmetric_kernel() {
+        // Inception 1x7 conv with (0,3) padding keeps the map square.
+        let l = ConvLayer {
+            name: "c7".into(),
+            in_channels: 128,
+            out_channels: 128,
+            kernel_h: 1,
+            kernel_w: 7,
+            stride: 1,
+            pad_h: 0,
+            pad_w: 3,
+            in_h: 17,
+            in_w: 17,
+        };
+        assert_eq!((l.out_h(), l.out_w()), (17, 17));
+        assert_eq!(l.gemm().inner, 128 * 7);
+    }
+
+    #[test]
+    fn stride_without_padding() {
+        // Inception stem 3x3/2 without padding: 299 -> 149.
+        let l = ConvLayer::square("s", 3, 32, 3, 2, 0, 299, 299);
+        assert_eq!((l.out_h(), l.out_w()), (149, 149));
+    }
+
+    #[test]
+    fn display_contains_gemm() {
+        let l = ConvLayer::square("x", 3, 8, 3, 1, 1, 8, 8);
+        assert!(l.to_string().contains("GEMM 8x27x64"));
+    }
+}

@@ -1,0 +1,40 @@
+//! CNN workload definitions for the IndexMAC evaluation.
+//!
+//! The paper evaluates three ImageNet CNNs — ResNet50, DenseNet121 and
+//! InceptionV3 — whose convolutions are mapped to sparse x dense matrix
+//! multiplications `A x B` ("the convolutions of each layer of the
+//! examined CNNs are mapped to sparse-dense matrix multiplications"):
+//! `A` holds the structured-sparse weights (one row per output channel,
+//! `Cin*Kh*Kw` columns) and `B` the im2col-unrolled input features
+//! (`Cin*Kh*Kw` rows, `Hout*Wout` columns).
+//!
+//! The architectures are generated programmatically from their published
+//! block structures, giving the standard layer counts (53 / 120 / 94
+//! convolutions respectively) and MAC totals.
+//!
+//! # Example
+//!
+//! ```
+//! use indexmac_cnn::{resnet50, CnnModel};
+//!
+//! let model = resnet50();
+//! assert_eq!(model.layers.len(), 53);
+//! let conv1 = &model.layers[0];
+//! assert_eq!(conv1.gemm().rows, 64); // output channels
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod densenet;
+pub mod inception;
+pub mod layer;
+pub mod model;
+pub mod resnet;
+pub mod scaling;
+
+pub use densenet::densenet121;
+pub use inception::inception_v3;
+pub use layer::ConvLayer;
+pub use model::CnnModel;
+pub use resnet::resnet50;
+pub use scaling::GemmCaps;

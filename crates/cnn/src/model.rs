@@ -1,0 +1,88 @@
+//! CNN model container and summaries.
+
+use crate::layer::ConvLayer;
+
+/// A CNN as a flat list of convolution layers (the only layers the
+/// paper's evaluation executes as matrix multiplications).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CnnModel {
+    /// Model name ("ResNet50" etc.).
+    pub name: &'static str,
+    /// Convolutions in network order.
+    pub layers: Vec<ConvLayer>,
+}
+
+impl CnnModel {
+    /// Wraps a layer list.
+    pub fn new(name: &'static str, layers: Vec<ConvLayer>) -> Self {
+        Self { name, layers }
+    }
+
+    /// Total dense multiply-accumulate count.
+    pub fn total_macs(&self) -> u64 {
+        self.layers.iter().map(ConvLayer::macs).sum()
+    }
+
+    /// The `count` layers with the largest MAC counts, heaviest first —
+    /// used to pick representative layers for capped simulations.
+    pub fn heaviest_layers(&self, count: usize) -> Vec<&ConvLayer> {
+        let mut sorted: Vec<&ConvLayer> = self.layers.iter().collect();
+        sorted.sort_by_key(|l| std::cmp::Reverse(l.macs()));
+        sorted.truncate(count);
+        sorted
+    }
+
+    /// All three evaluation models of the paper.
+    pub fn paper_models() -> Vec<CnnModel> {
+        vec![crate::resnet50(), crate::densenet121(), crate::inception_v3()]
+    }
+}
+
+impl std::fmt::Display for CnnModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{}: {} conv layers, {:.2} GMACs",
+            self.name,
+            self.layers.len(),
+            self.total_macs() as f64 / 1e9
+        )?;
+        for l in &self.layers {
+            writeln!(f, "  {l}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_models_present() {
+        let models = CnnModel::paper_models();
+        assert_eq!(models.len(), 3);
+        let names: Vec<&str> = models.iter().map(|m| m.name).collect();
+        assert_eq!(names, vec!["ResNet50", "DenseNet121", "InceptionV3"]);
+    }
+
+    #[test]
+    fn heaviest_layers_sorted() {
+        let m = crate::resnet50();
+        let top = m.heaviest_layers(5);
+        assert_eq!(top.len(), 5);
+        for w in top.windows(2) {
+            assert!(w[0].macs() >= w[1].macs());
+        }
+        assert!(top[0].macs() >= m.total_macs() / m.layers.len() as u64);
+    }
+
+    #[test]
+    fn display_lists_layers() {
+        let m = crate::resnet50();
+        let s = m.to_string();
+        assert!(s.contains("ResNet50"));
+        assert!(s.contains("conv1"));
+        assert!(s.contains("GMACs"));
+    }
+}

@@ -1,0 +1,128 @@
+//! ResNet50 layer table, generated from the published block structure
+//! (He et al., CVPR 2016; torchvision v1.5-style bottleneck with the
+//! stride on the 3x3 convolution).
+
+use crate::layer::ConvLayer;
+use crate::model::CnnModel;
+
+/// Builds the 53 convolution layers of ResNet50 for 224x224 inputs.
+pub fn resnet50() -> CnnModel {
+    let mut layers = Vec::new();
+    // Stem: conv1 7x7/2, then 3x3/2 max-pool (pooling adds no conv).
+    layers.push(ConvLayer::square("conv1", 3, 64, 7, 2, 3, 224, 224));
+
+    // (stage, blocks, mid channels, out channels)
+    let stages =
+        [("layer1", 3, 64, 256), ("layer2", 4, 128, 512), ("layer3", 6, 256, 1024), ("layer4", 3, 512, 2048)];
+
+    let mut in_ch = 64; // after the stem + max-pool
+    let mut h = 56; // 112 / 2 from max-pool
+    let mut w = 56;
+    for (si, (name, blocks, mid, out)) in stages.into_iter().enumerate() {
+        for blk in 0..blocks {
+            let stride = if si > 0 && blk == 0 { 2 } else { 1 };
+            // conv1 1x1 (reduce)
+            layers.push(ConvLayer::square(
+                format!("{name}.{blk}.conv1"),
+                in_ch,
+                mid,
+                1,
+                1,
+                0,
+                h,
+                w,
+            ));
+            // conv2 3x3 (stride lives here, torchvision ResNet-50 v1.5)
+            layers.push(ConvLayer::square(
+                format!("{name}.{blk}.conv2"),
+                mid,
+                mid,
+                3,
+                stride,
+                1,
+                h,
+                w,
+            ));
+            let (oh, ow) = (h.div_ceil(stride), w.div_ceil(stride));
+            // conv3 1x1 (expand)
+            layers.push(ConvLayer::square(
+                format!("{name}.{blk}.conv3"),
+                mid,
+                out,
+                1,
+                1,
+                0,
+                oh,
+                ow,
+            ));
+            if blk == 0 {
+                // Projection shortcut.
+                layers.push(ConvLayer::square(
+                    format!("{name}.{blk}.downsample"),
+                    in_ch,
+                    out,
+                    1,
+                    stride,
+                    0,
+                    h,
+                    w,
+                ));
+            }
+            in_ch = out;
+            h = oh;
+            w = ow;
+        }
+    }
+    CnnModel::new("ResNet50", layers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layer_count_is_53() {
+        assert_eq!(resnet50().layers.len(), 53);
+    }
+
+    #[test]
+    fn total_macs_in_published_range() {
+        // torchvision ResNet50: ~4.09 GMACs of convolution.
+        let macs = resnet50().total_macs();
+        assert!(
+            (3.7e9..4.4e9).contains(&(macs as f64)),
+            "ResNet50 conv MACs {macs} outside published ~4.1G"
+        );
+    }
+
+    #[test]
+    fn spatial_dims_shrink_through_stages() {
+        let m = resnet50();
+        let first = &m.layers[1]; // layer1.0.conv1
+        assert_eq!(first.in_h, 56);
+        let last = m.layers.last().unwrap();
+        assert_eq!(last.in_h, 7);
+        // Fig. 4 observation: later-layer B matrices are smaller.
+        assert!(last.gemm().cols < first.gemm().cols);
+        assert_eq!(last.gemm().cols, 49);
+    }
+
+    #[test]
+    fn channel_progression() {
+        let m = resnet50();
+        // Final block expands to 2048 channels.
+        assert_eq!(m.layers.last().unwrap().out_channels, 2048);
+        // Downsample convs present exactly once per stage.
+        let downs = m.layers.iter().filter(|l| l.name.contains("downsample")).count();
+        assert_eq!(downs, 4);
+    }
+
+    #[test]
+    fn strided_blocks_halve_maps() {
+        let m = resnet50();
+        let l2c2 = m.layers.iter().find(|l| l.name == "layer2.0.conv2").unwrap();
+        assert_eq!(l2c2.stride, 2);
+        assert_eq!(l2c2.in_h, 56);
+        assert_eq!(l2c2.out_h(), 28);
+    }
+}

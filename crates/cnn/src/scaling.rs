@@ -1,0 +1,125 @@
+//! Capping layer GEMMs to simulator-friendly sizes.
+//!
+//! Full-size CNN layers are simulable but slow (the paper ran gem5 for
+//! this reason). Since both kernels' per-(row, k-tile, column-tile) work
+//! repeats identically across a layer, capping the GEMM dimensions
+//! preserves the speedup and traffic *ratios* while bounding runtime.
+//! Every experiment records the caps used (see EXPERIMENTS.md).
+
+use indexmac_kernels::GemmDims;
+
+/// Upper bounds applied to a layer GEMM before simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GemmCaps {
+    /// Maximum rows of A/C simulated (output channels).
+    pub max_rows: usize,
+    /// Maximum inner dimension simulated (`Cin*Kh*Kw`).
+    pub max_inner: usize,
+    /// Maximum columns of B/C simulated (output pixels).
+    pub max_cols: usize,
+}
+
+impl GemmCaps {
+    /// The default evaluation caps: big enough that per-tile behaviour
+    /// is exercised *and* that early-network B matrices (512 x 512 x 4 B
+    /// = 1 MB) overflow the 512 KB L2 while late-network ones (196 / 49
+    /// columns) fit — the residency contrast behind the paper's
+    /// declining per-layer speedups (Fig. 4) — yet small enough for
+    /// second-scale layer simulations.
+    pub fn default_eval() -> Self {
+        Self { max_rows: 64, max_inner: 512, max_cols: 512 }
+    }
+
+    /// A fast profile for CI-style smoke tests.
+    pub fn smoke() -> Self {
+        Self { max_rows: 16, max_inner: 128, max_cols: 32 }
+    }
+
+    /// No capping: simulate layers at full size.
+    pub fn unbounded() -> Self {
+        Self { max_rows: usize::MAX, max_inner: usize::MAX, max_cols: usize::MAX }
+    }
+
+    /// Applies the caps to a GEMM shape.
+    pub fn apply(&self, g: GemmDims) -> GemmDims {
+        GemmDims {
+            rows: g.rows.min(self.max_rows),
+            inner: g.inner.min(self.max_inner),
+            cols: g.cols.min(self.max_cols),
+        }
+    }
+
+    /// Whether `g` would be altered by these caps.
+    pub fn clips(&self, g: GemmDims) -> bool {
+        g.rows > self.max_rows || g.inner > self.max_inner || g.cols > self.max_cols
+    }
+
+    /// The fraction of the dense MAC volume retained after capping
+    /// (1.0 = uncapped), recorded alongside results.
+    pub fn retained_fraction(&self, g: GemmDims) -> f64 {
+        self.apply(g).dense_macs() as f64 / g.dense_macs() as f64
+    }
+}
+
+impl std::fmt::Display for GemmCaps {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if *self == Self::unbounded() {
+            write!(f, "uncapped")
+        } else {
+            write!(f, "caps(rows<={}, inner<={}, cols<={})", self.max_rows, self.max_inner, self.max_cols)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn apply_clips_each_dimension() {
+        let caps = GemmCaps { max_rows: 10, max_inner: 20, max_cols: 30 };
+        let g = GemmDims { rows: 100, inner: 15, cols: 300 };
+        let c = caps.apply(g);
+        assert_eq!(c, GemmDims { rows: 10, inner: 15, cols: 30 });
+        assert!(caps.clips(g));
+        assert!(!caps.clips(c));
+    }
+
+    #[test]
+    fn unbounded_is_identity() {
+        let caps = GemmCaps::unbounded();
+        let g = GemmDims { rows: 2048, inner: 4608, cols: 12544 };
+        assert_eq!(caps.apply(g), g);
+        assert_eq!(caps.retained_fraction(g), 1.0);
+        assert_eq!(caps.to_string(), "uncapped");
+    }
+
+    #[test]
+    fn retained_fraction() {
+        let caps = GemmCaps { max_rows: 5, max_inner: 10, max_cols: 10 };
+        let g = GemmDims { rows: 10, inner: 10, cols: 10 };
+        assert_eq!(caps.retained_fraction(g), 0.5);
+    }
+
+    #[test]
+    fn eval_caps_clip_resnet_conv1() {
+        let g = GemmDims { rows: 64, inner: 147, cols: 12544 };
+        let caps = GemmCaps::default_eval();
+        let c = caps.apply(g);
+        assert_eq!(c.cols, 512);
+        assert_eq!(c.rows, 64);
+        assert_eq!(c.inner, 147);
+    }
+
+    #[test]
+    fn eval_caps_preserve_l2_residency_contrast() {
+        // Early layers: capped B is 512*512*4 = 1 MiB > 512 KiB L2.
+        let caps = GemmCaps::default_eval();
+        let early = caps.apply(GemmDims { rows: 64, inner: 1152, cols: 3136 });
+        assert!(early.inner * early.cols * 4 > 512 * 1024);
+        // Late layers: 49-column maps stay uncapped and fit easily.
+        let late = caps.apply(GemmDims { rows: 2048, inner: 512, cols: 49 });
+        assert_eq!(late.cols, 49);
+        assert!(late.inner * late.cols * 4 < 512 * 1024);
+    }
+}

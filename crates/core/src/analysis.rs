@@ -1,0 +1,201 @@
+//! Bottleneck analysis: attribute a run's cycles to the machine
+//! resources that bound it.
+//!
+//! The paper argues qualitatively that Row-Wise-SpMM is bound by its
+//! per-nonzero vector loads and cross-domain moves, and that `vindexmac`
+//! shifts the kernel toward engine throughput. This module turns the
+//! [`RunReport`] counters into that attribution quantitatively.
+
+use indexmac_isa::InstrClass;
+use indexmac_vpu::{RunReport, SimConfig};
+use std::fmt;
+
+/// The resource that dominates a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BoundKind {
+    /// The vector engine is occupied most of the time: compute-bound.
+    EngineThroughput,
+    /// Cross-domain (`vmv.x.s`) round trips dominate.
+    CrossDomainSync,
+    /// Memory latency/bandwidth dominates (loads gate the engine).
+    Memory,
+    /// The scalar front-end (issue/ROB/queue stalls) dominates.
+    ScalarFrontend,
+}
+
+impl fmt::Display for BoundKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BoundKind::EngineThroughput => write!(f, "engine-throughput-bound"),
+            BoundKind::CrossDomainSync => write!(f, "sync-bound"),
+            BoundKind::Memory => write!(f, "memory-bound"),
+            BoundKind::ScalarFrontend => write!(f, "frontend-bound"),
+        }
+    }
+}
+
+/// Relative pressure each resource puts on a run. The four shares are
+/// normalised to sum to 1; they rank what the kernel leans on hardest
+/// (raw per-resource cycle demands overlap heavily in a decoupled
+/// machine, so an exact partition of wall-clock cycles does not exist).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bottleneck {
+    /// Vector-engine occupancy pressure.
+    pub engine_share: f64,
+    /// Vector-to-scalar round-trip pressure
+    /// (`v2s_syncs * (1 + v2s_latency)`).
+    pub sync_share: f64,
+    /// Vector-memory latency pressure
+    /// (`vector loads * hit/miss-weighted latency`).
+    pub memory_share: f64,
+    /// Scalar front-end pressure (vector-queue + ROB stall cycles).
+    pub frontend_share: f64,
+    /// Absolute cycle-equivalent demands behind the shares, in the same
+    /// order: engine, sync, memory, frontend. These are comparable
+    /// *across runs* (e.g. baseline vs proposed on the same operands),
+    /// where the normalised shares are only comparable within one run.
+    pub raw: [f64; 4],
+    /// The dominant resource.
+    pub bound: BoundKind,
+}
+
+/// Attributes the cycles of `report` on a machine configured as `cfg`.
+pub fn analyze(report: &RunReport, cfg: &SimConfig) -> Bottleneck {
+    let engine_raw = report.engine_busy_cycles as f64;
+    let sync_raw = (report.v2s_syncs * (1 + cfg.v2s_latency)) as f64;
+    // Effective per-load latency: weight L2 hits and misses.
+    let l2_hit = report.l2_hit_rate;
+    let eff_load_latency = cfg.hierarchy.l2_latency as f64 * l2_hit
+        + (cfg.hierarchy.l2_latency + cfg.hierarchy.dram.latency) as f64 * (1.0 - l2_hit);
+    let memory_raw = report.mem.vector_loads as f64 * eff_load_latency;
+    let frontend_raw = (report.vq_stall_cycles + report.rob_stall_cycles) as f64;
+
+    let total = (engine_raw + sync_raw + memory_raw + frontend_raw).max(1.0);
+    let engine_share = engine_raw / total;
+    let sync_share = sync_raw / total;
+    let memory_share = memory_raw / total;
+    let frontend_share = frontend_raw / total;
+
+    let shares = [
+        (BoundKind::EngineThroughput, engine_share),
+        (BoundKind::CrossDomainSync, sync_share),
+        (BoundKind::Memory, memory_share),
+        (BoundKind::ScalarFrontend, frontend_share),
+    ];
+    let bound = shares
+        .iter()
+        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("shares are finite"))
+        .expect("non-empty")
+        .0;
+
+    Bottleneck {
+        engine_share,
+        sync_share,
+        memory_share,
+        frontend_share,
+        raw: [engine_raw, sync_raw, memory_raw, frontend_raw],
+        bound,
+    }
+}
+
+/// Instruction-mix summary used alongside the bottleneck attribution.
+pub fn mix_summary(report: &RunReport) -> String {
+    let c = report.counts;
+    let total = c.total().max(1);
+    let pct = |n: u64| 100.0 * n as f64 / total as f64;
+    format!(
+        "loads {:.0}% | MAC/indexmac {:.0}% | slides {:.0}% | moves {:.0}% | scalar {:.0}%",
+        pct(c.get(InstrClass::VLoad) + c.get(InstrClass::ScalarLoad)),
+        pct(c.get(InstrClass::VMac) + c.get(InstrClass::VIndexMac)),
+        pct(c.get(InstrClass::VSlide)),
+        pct(c.get(InstrClass::VMvToScalar) + c.get(InstrClass::VMvFromScalar)),
+        pct(c.get(InstrClass::ScalarAlu) + c.get(InstrClass::ControlFlow)),
+    )
+}
+
+impl fmt::Display for Bottleneck {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} (engine {:.0}%, sync {:.0}%, memory {:.0}%, frontend {:.0}%)",
+            self.bound,
+            self.engine_share * 100.0,
+            self.sync_share * 100.0,
+            self.memory_share * 100.0,
+            self.frontend_share * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::{run_gemm, Algorithm, ExperimentConfig};
+    use crate::kernels::GemmDims;
+    use crate::sparse::NmPattern;
+
+    fn reports() -> (RunReport, RunReport, SimConfig) {
+        // A representative shape: enough rows that tile preloads are
+        // amortised, as in every real layer (tiny-row corner cases are
+        // legitimate but not what attribution is for).
+        let cfg = ExperimentConfig { verify: false, ..ExperimentConfig::paper() };
+        let dims = GemmDims { rows: 64, inner: 128, cols: 64 };
+        let base = run_gemm(dims, NmPattern::P1_4, Algorithm::RowWiseSpmm, &cfg).unwrap();
+        let prop = run_gemm(dims, NmPattern::P1_4, Algorithm::IndexMac, &cfg).unwrap();
+        (base.report, prop.report, cfg.sim)
+    }
+
+    #[test]
+    fn shares_are_fractions() {
+        let (base, prop, sim) = reports();
+        for r in [base, prop] {
+            let b = analyze(&r, &sim);
+            for share in [b.engine_share, b.sync_share, b.memory_share, b.frontend_share] {
+                assert!((0.0..=1.0).contains(&share), "share {share}");
+            }
+        }
+    }
+
+    #[test]
+    fn proposed_cuts_absolute_memory_and_sync_pressure() {
+        let (base, prop, sim) = reports();
+        let ab = analyze(&base, &sim);
+        let ap = analyze(&prop, &sim);
+        // Absolute memory pressure drops by roughly the eliminated
+        // per-nonzero loads; sync pressure halves (one move per nonzero
+        // instead of two).
+        assert!(
+            ap.raw[2] < 0.7 * ab.raw[2],
+            "memory pressure must drop: {} -> {}",
+            ab.raw[2],
+            ap.raw[2]
+        );
+        assert!((ap.raw[1] - ab.raw[1] / 2.0).abs() < 0.05 * ab.raw[1]);
+        // Relative engine utilisation rises: the kernel moves toward
+        // compute-bound, as the paper argues.
+        assert!(
+            ap.engine_share > ab.engine_share,
+            "engine share must rise: {} -> {}",
+            ab.engine_share,
+            ap.engine_share
+        );
+    }
+
+    #[test]
+    fn display_and_mix() {
+        let (base, _, sim) = reports();
+        let b = analyze(&base, &sim);
+        let s = b.to_string();
+        assert!(s.contains("engine"));
+        assert!(s.contains('%'));
+        let m = mix_summary(&base);
+        assert!(m.contains("MAC"));
+    }
+
+    #[test]
+    fn zero_cycle_report_does_not_divide_by_zero() {
+        let (mut r, _, sim) = reports();
+        r.cycles = 0;
+        let _ = analyze(&r, &sim);
+    }
+}

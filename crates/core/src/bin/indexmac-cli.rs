@@ -1,0 +1,274 @@
+//! Command-line front-end for the IndexMAC reproduction.
+//!
+//! ```text
+//! indexmac-cli config
+//! indexmac-cli gemm --rows 64 --inner 256 --cols 128 --pattern 2:4
+//! indexmac-cli gemm --rows 64 --inner 256 --cols 128 --algorithm indexmac
+//! indexmac-cli layer --model resnet50 --name layer2.0.conv2 --pattern 1:4
+//! indexmac-cli list --model inceptionv3
+//! ```
+
+use indexmac::analysis::analyze;
+use indexmac::experiment::{compare_gemm, run_gemm, Algorithm, ExperimentConfig};
+use indexmac::kernels::{GemmDims, KernelParams};
+use indexmac::sparse::NmPattern;
+use indexmac::vpu::SimConfig;
+use indexmac_cnn::{densenet121, inception_v3, resnet50, CnnModel};
+use std::process::ExitCode;
+
+/// Parsed command line.
+#[derive(Debug, PartialEq)]
+enum Command {
+    /// Print the Table I machine configuration.
+    Config,
+    /// Run/compare kernels on an explicit GEMM shape.
+    Gemm { dims: GemmDims, pattern: NmPattern, algorithm: Option<Algorithm>, unroll: usize, tile_rows: usize },
+    /// Run the comparison on a named CNN layer.
+    Layer { model: String, name: String, pattern: NmPattern },
+    /// List the conv layers of a model.
+    List { model: String },
+}
+
+fn parse_pattern(s: &str) -> Result<NmPattern, String> {
+    let (n, m) = s.split_once(':').ok_or_else(|| format!("pattern `{s}` is not N:M"))?;
+    let n: usize = n.parse().map_err(|_| format!("bad N in `{s}`"))?;
+    let m: usize = m.parse().map_err(|_| format!("bad M in `{s}`"))?;
+    NmPattern::new(n, m).map_err(|e| e.to_string())
+}
+
+fn parse_algorithm(s: &str) -> Result<Algorithm, String> {
+    match s {
+        "dense" => Ok(Algorithm::Dense),
+        "rowwise" => Ok(Algorithm::RowWiseSpmm),
+        "indexmac" => Ok(Algorithm::IndexMac),
+        "scalar" => Ok(Algorithm::ScalarIndexed),
+        other => Err(format!("unknown algorithm `{other}` (dense|rowwise|indexmac|scalar)")),
+    }
+}
+
+fn model_by_name(name: &str) -> Result<CnnModel, String> {
+    match name.to_ascii_lowercase().as_str() {
+        "resnet50" => Ok(resnet50()),
+        "densenet121" => Ok(densenet121()),
+        "inceptionv3" | "inception_v3" => Ok(inception_v3()),
+        other => Err(format!("unknown model `{other}` (resnet50|densenet121|inceptionv3)")),
+    }
+}
+
+/// Parses the argument vector (without the program name).
+fn parse(args: &[String]) -> Result<Command, String> {
+    let mut it = args.iter();
+    let cmd = it.next().ok_or(USAGE.to_string())?;
+    let mut opts = std::collections::HashMap::new();
+    let rest: Vec<&String> = it.collect();
+    let mut i = 0;
+    while i < rest.len() {
+        let key = rest[i].strip_prefix("--").ok_or(format!("expected --option, got `{}`", rest[i]))?;
+        let value = rest.get(i + 1).ok_or(format!("--{key} needs a value"))?;
+        opts.insert(key.to_string(), value.to_string());
+        i += 2;
+    }
+    let get = |k: &str| opts.get(k).cloned();
+    let get_usize = |k: &str, default: usize| -> Result<usize, String> {
+        match opts.get(k) {
+            Some(v) => v.parse().map_err(|_| format!("--{k} must be an integer")),
+            None => Ok(default),
+        }
+    };
+    match cmd.as_str() {
+        "config" => Ok(Command::Config),
+        "gemm" => {
+            let rows = get_usize("rows", 0)?;
+            let inner = get_usize("inner", 0)?;
+            let cols = get_usize("cols", 0)?;
+            if rows == 0 || inner == 0 || cols == 0 {
+                return Err("gemm requires --rows, --inner and --cols".to_string());
+            }
+            Ok(Command::Gemm {
+                dims: GemmDims { rows, inner, cols },
+                pattern: match get("pattern") {
+                    Some(p) => parse_pattern(&p)?,
+                    None => NmPattern::P2_4,
+                },
+                algorithm: match get("algorithm") {
+                    Some(a) => Some(parse_algorithm(&a)?),
+                    None => None,
+                },
+                unroll: get_usize("unroll", 4)?,
+                tile_rows: get_usize("tile-rows", 16)?,
+            })
+        }
+        "layer" => Ok(Command::Layer {
+            model: get("model").ok_or("layer requires --model")?,
+            name: get("name").ok_or("layer requires --name")?,
+            pattern: match get("pattern") {
+                Some(p) => parse_pattern(&p)?,
+                None => NmPattern::P2_4,
+            },
+        }),
+        "list" => Ok(Command::List { model: get("model").ok_or("list requires --model")? }),
+        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    }
+}
+
+const USAGE: &str = "usage:
+  indexmac-cli config
+  indexmac-cli gemm --rows R --inner K --cols N [--pattern N:M] [--algorithm dense|rowwise|indexmac|scalar] [--unroll U] [--tile-rows L]
+  indexmac-cli layer --model M --name NAME [--pattern N:M]
+  indexmac-cli list --model M";
+
+fn print_comparison(dims: GemmDims, pattern: NmPattern, cfg: &ExperimentConfig) -> Result<(), String> {
+    let cmp = compare_gemm(dims, pattern, cfg).map_err(|e| e.to_string())?;
+    println!("Row-Wise-SpMM : {}", cmp.baseline.report);
+    println!("Proposed      : {}", cmp.proposed.report);
+    println!();
+    println!("speedup                 : {:.2}x", cmp.speedup());
+    println!("normalized mem accesses : {:.1}%", cmp.mem_ratio() * 100.0);
+    println!(
+        "baseline bottleneck     : {}",
+        analyze(&cmp.baseline.report, &cfg.sim)
+    );
+    println!(
+        "proposed bottleneck     : {}",
+        analyze(&cmp.proposed.report, &cfg.sim)
+    );
+    Ok(())
+}
+
+fn run(cmd: Command) -> Result<(), String> {
+    match cmd {
+        Command::Config => {
+            println!("{}", SimConfig::table_i());
+            Ok(())
+        }
+        Command::Gemm { dims, pattern, algorithm, unroll, tile_rows } => {
+            let cfg = ExperimentConfig {
+                params: KernelParams { unroll, ..Default::default() },
+                tile_rows,
+                ..ExperimentConfig::paper()
+            };
+            println!(
+                "GEMM {}x{}x{}, A pruned to {pattern} (simulated {:?})\n",
+                dims.rows, dims.inner, dims.cols, cfg.caps.apply(dims)
+            );
+            match algorithm {
+                Some(alg) => {
+                    let r = run_gemm(dims, pattern, alg, &cfg).map_err(|e| e.to_string())?;
+                    println!("{alg}:\n{}", r.report);
+                    println!("bottleneck: {}", analyze(&r.report, &cfg.sim));
+                    Ok(())
+                }
+                None => print_comparison(dims, pattern, &cfg),
+            }
+        }
+        Command::Layer { model, name, pattern } => {
+            let m = model_by_name(&model)?;
+            let layer = m
+                .layers
+                .iter()
+                .find(|l| l.name == name)
+                .ok_or(format!("no layer `{name}` in {} (try `list --model {model}`)", m.name))?;
+            let cfg = ExperimentConfig::paper();
+            println!("{layer}  ({pattern})\n");
+            print_comparison(layer.gemm(), pattern, &cfg)
+        }
+        Command::List { model } => {
+            let m = model_by_name(&model)?;
+            println!("{m}");
+            Ok(())
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match parse(&args).and_then(run) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parse_config_and_list() {
+        assert_eq!(parse(&argv("config")).unwrap(), Command::Config);
+        assert_eq!(
+            parse(&argv("list --model resnet50")).unwrap(),
+            Command::List { model: "resnet50".into() }
+        );
+    }
+
+    #[test]
+    fn parse_gemm_defaults_and_overrides() {
+        let c = parse(&argv("gemm --rows 8 --inner 32 --cols 16")).unwrap();
+        assert_eq!(
+            c,
+            Command::Gemm {
+                dims: GemmDims { rows: 8, inner: 32, cols: 16 },
+                pattern: NmPattern::P2_4,
+                algorithm: None,
+                unroll: 4,
+                tile_rows: 16,
+            }
+        );
+        let c = parse(&argv(
+            "gemm --rows 8 --inner 32 --cols 16 --pattern 1:4 --algorithm indexmac --unroll 2 --tile-rows 8",
+        ))
+        .unwrap();
+        match c {
+            Command::Gemm { pattern, algorithm, unroll, tile_rows, .. } => {
+                assert_eq!(pattern, NmPattern::P1_4);
+                assert_eq!(algorithm, Some(Algorithm::IndexMac));
+                assert_eq!(unroll, 2);
+                assert_eq!(tile_rows, 8);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(parse(&argv("gemm --rows 8")).unwrap_err().contains("requires"));
+        assert!(parse(&argv("gemm --rows x --inner 1 --cols 1")).unwrap_err().contains("integer"));
+        assert!(parse(&argv("frob")).unwrap_err().contains("unknown command"));
+        assert!(parse(&argv("gemm --rows")).unwrap_err().contains("needs a value"));
+        assert!(parse_pattern("5").is_err());
+        assert!(parse_pattern("9:4").is_err());
+        assert!(parse_algorithm("gpu").is_err());
+        assert!(model_by_name("vgg").is_err());
+    }
+
+    #[test]
+    fn run_config_and_small_gemm() {
+        run(Command::Config).unwrap();
+        run(Command::Gemm {
+            dims: GemmDims { rows: 4, inner: 16, cols: 8 },
+            pattern: NmPattern::P1_4,
+            algorithm: Some(Algorithm::IndexMac),
+            unroll: 2,
+            tile_rows: 16,
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn run_layer_lookup_failure() {
+        let err = run(Command::Layer {
+            model: "resnet50".into(),
+            name: "nope".into(),
+            pattern: NmPattern::P1_4,
+        })
+        .unwrap_err();
+        assert!(err.contains("no layer"));
+    }
+}

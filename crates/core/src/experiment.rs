@@ -1,0 +1,376 @@
+//! Experiment drivers: the building blocks of the paper's Figures 4-6.
+
+use indexmac_cnn::{CnnModel, ConvLayer, GemmCaps};
+use indexmac_kernels::{
+    dense, indexmac, rowwise, scalar_idx, verify, GemmDims, GemmLayout, KernelParams,
+};
+use indexmac_sparse::{prune, DenseMatrix, NmPattern, StructuredSparseMatrix};
+use indexmac_vpu::{RunReport, SimConfig};
+use std::error::Error;
+use std::fmt;
+
+/// Which kernel to simulate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// Paper Algorithm 1: dense row-wise baseline.
+    Dense,
+    /// Paper Algorithm 2: "Row-Wise-SpMM" (the evaluated baseline).
+    RowWiseSpmm,
+    /// Paper Algorithm 3: the proposed `vindexmac` kernel.
+    IndexMac,
+    /// Extension: `vindexmac` with scalar-loaded metadata (ablation).
+    ScalarIndexed,
+}
+
+impl fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Algorithm::Dense => write!(f, "Dense"),
+            Algorithm::RowWiseSpmm => write!(f, "Row-Wise-SpMM"),
+            Algorithm::IndexMac => write!(f, "Proposed (vindexmac)"),
+            Algorithm::ScalarIndexed => write!(f, "Scalar-indexed vindexmac"),
+        }
+    }
+}
+
+/// Shared configuration of one experimental campaign.
+#[derive(Debug, Clone, Copy)]
+pub struct ExperimentConfig {
+    /// Processor model (Table I by default).
+    pub sim: SimConfig,
+    /// GEMM size caps (see EXPERIMENTS.md for why capping is sound).
+    pub caps: GemmCaps,
+    /// B-tile rows kept resident (`L`; the paper uses 16).
+    pub tile_rows: usize,
+    /// Kernel tunables (unroll x4, B-stationary by default).
+    pub params: KernelParams,
+    /// Seed for operand generation.
+    pub seed: u64,
+    /// Whether to verify every simulated product against the reference
+    /// (cheap insurance; on by default).
+    pub verify: bool,
+}
+
+impl ExperimentConfig {
+    /// The paper's evaluation configuration with the default caps.
+    pub fn paper() -> Self {
+        Self {
+            sim: SimConfig::table_i(),
+            caps: GemmCaps::default_eval(),
+            tile_rows: 16,
+            params: KernelParams::default(),
+            seed: 0xD47E_2024,
+            verify: true,
+        }
+    }
+
+    /// Small caps for unit tests and doc examples.
+    pub fn fast() -> Self {
+        Self { caps: GemmCaps::smoke(), ..Self::paper() }
+    }
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// Result of simulating one kernel on one (possibly capped) GEMM.
+#[derive(Debug, Clone)]
+pub struct LayerResult {
+    /// The kernel simulated.
+    pub algorithm: Algorithm,
+    /// Sparsity pattern of A.
+    pub pattern: NmPattern,
+    /// The simulated (capped) GEMM shape.
+    pub gemm: GemmDims,
+    /// The uncapped shape this stands for.
+    pub full_gemm: GemmDims,
+    /// Timing and traffic measurements.
+    pub report: RunReport,
+}
+
+/// Experiment-level errors.
+#[derive(Debug)]
+pub enum ExperimentError {
+    /// Kernel construction failed.
+    Kernel(indexmac_kernels::KernelError),
+    /// Simulation or verification failed.
+    Verify(verify::VerifyError),
+}
+
+impl fmt::Display for ExperimentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExperimentError::Kernel(e) => write!(f, "kernel construction failed: {e}"),
+            ExperimentError::Verify(e) => write!(f, "kernel execution failed: {e}"),
+        }
+    }
+}
+
+impl Error for ExperimentError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ExperimentError::Kernel(e) => Some(e),
+            ExperimentError::Verify(e) => Some(e),
+        }
+    }
+}
+
+impl From<indexmac_kernels::KernelError> for ExperimentError {
+    fn from(e: indexmac_kernels::KernelError) -> Self {
+        ExperimentError::Kernel(e)
+    }
+}
+
+impl From<verify::VerifyError> for ExperimentError {
+    fn from(e: verify::VerifyError) -> Self {
+        ExperimentError::Verify(e)
+    }
+}
+
+/// Generates the seeded operands for a GEMM shape.
+fn operands(
+    dims: GemmDims,
+    pattern: NmPattern,
+    seed: u64,
+) -> (StructuredSparseMatrix, DenseMatrix) {
+    let a = prune::random_structured(dims.rows, dims.inner, pattern, seed);
+    let b = DenseMatrix::random(dims.inner, dims.cols, seed.wrapping_add(1));
+    (a, b)
+}
+
+/// Simulates `algorithm` on a GEMM of shape `dims` (caps applied).
+///
+/// # Errors
+///
+/// Returns [`ExperimentError`] on kernel-construction or simulation
+/// failures (both indicate configuration bugs, not data conditions).
+pub fn run_gemm(
+    dims: GemmDims,
+    pattern: NmPattern,
+    algorithm: Algorithm,
+    cfg: &ExperimentConfig,
+) -> Result<LayerResult, ExperimentError> {
+    let capped = cfg.caps.apply(dims);
+    let (a, b) = operands(capped, pattern, cfg.seed);
+    let layout = GemmLayout::plan(&a, capped.cols, &cfg.sim, cfg.tile_rows)?;
+    let program = match algorithm {
+        Algorithm::Dense => dense::build(&layout, &cfg.params)?,
+        Algorithm::RowWiseSpmm => rowwise::build(&layout, &cfg.params)?,
+        Algorithm::IndexMac => indexmac::build(&layout, &cfg.params)?,
+        Algorithm::ScalarIndexed => scalar_idx::build(&layout, &cfg.params)?,
+    };
+    let run = if cfg.verify && algorithm != Algorithm::Dense {
+        verify::run_and_check(&program, &a, &b, &layout, &cfg.sim)?
+    } else {
+        verify::run_kernel(&program, &a, &b, &layout, &cfg.sim)?
+    };
+    Ok(LayerResult { algorithm, pattern, gemm: capped, full_gemm: dims, report: run.report })
+}
+
+/// Baseline-vs-proposed comparison on one GEMM shape.
+#[derive(Debug, Clone)]
+pub struct GemmComparison {
+    /// `Row-Wise-SpMM` measurements.
+    pub baseline: LayerResult,
+    /// `Proposed` (vindexmac) measurements.
+    pub proposed: LayerResult,
+}
+
+impl GemmComparison {
+    /// Fig. 4/5 metric: baseline cycles / proposed cycles.
+    pub fn speedup(&self) -> f64 {
+        self.proposed.report.speedup_over(&self.baseline.report)
+    }
+
+    /// Fig. 6 metric: proposed memory accesses / baseline's.
+    pub fn mem_ratio(&self) -> f64 {
+        self.proposed.report.normalized_mem_accesses(&self.baseline.report)
+    }
+}
+
+/// Runs both kernels on the same operands (paper Fig. 4 per-layer bar).
+///
+/// # Errors
+///
+/// See [`run_gemm`].
+pub fn compare_gemm(
+    dims: GemmDims,
+    pattern: NmPattern,
+    cfg: &ExperimentConfig,
+) -> Result<GemmComparison, ExperimentError> {
+    Ok(GemmComparison {
+        baseline: run_gemm(dims, pattern, Algorithm::RowWiseSpmm, cfg)?,
+        proposed: run_gemm(dims, pattern, Algorithm::IndexMac, cfg)?,
+    })
+}
+
+/// Per-CNN-layer comparison (adds the layer name).
+#[derive(Debug, Clone)]
+pub struct LayerComparison {
+    /// The layer's name in the network.
+    pub name: String,
+    /// The two-kernel comparison on its (capped) GEMM.
+    pub comparison: GemmComparison,
+}
+
+/// Runs both kernels on a CNN layer's im2col GEMM.
+///
+/// # Errors
+///
+/// See [`run_gemm`].
+pub fn compare_layer(
+    layer: &ConvLayer,
+    pattern: NmPattern,
+    cfg: &ExperimentConfig,
+) -> Result<LayerComparison, ExperimentError> {
+    Ok(LayerComparison {
+        name: layer.name.clone(),
+        comparison: compare_gemm(layer.gemm(), pattern, cfg)?,
+    })
+}
+
+/// Whole-network comparison: every conv layer of a model.
+#[derive(Debug, Clone)]
+pub struct ModelComparison {
+    /// Model name.
+    pub model: &'static str,
+    /// Sparsity pattern of the weights.
+    pub pattern: NmPattern,
+    /// Per-layer results, in network order.
+    pub layers: Vec<LayerComparison>,
+}
+
+impl ModelComparison {
+    /// Total-network speedup (paper Fig. 5): summed baseline cycles over
+    /// summed proposed cycles.
+    pub fn total_speedup(&self) -> f64 {
+        let base: u64 = self.layers.iter().map(|l| l.comparison.baseline.report.cycles).sum();
+        let prop: u64 = self.layers.iter().map(|l| l.comparison.proposed.report.cycles).sum();
+        base as f64 / prop as f64
+    }
+
+    /// Total normalized memory accesses (paper Fig. 6).
+    pub fn total_mem_ratio(&self) -> f64 {
+        let base: u64 = self
+            .layers
+            .iter()
+            .map(|l| l.comparison.baseline.report.mem.total_accesses())
+            .sum();
+        let prop: u64 = self
+            .layers
+            .iter()
+            .map(|l| l.comparison.proposed.report.mem.total_accesses())
+            .sum();
+        prop as f64 / base as f64
+    }
+
+    /// Range of per-layer speedups `(min, max)`.
+    pub fn speedup_range(&self) -> (f64, f64) {
+        let mut min = f64::INFINITY;
+        let mut max = 0.0_f64;
+        for l in &self.layers {
+            let s = l.comparison.speedup();
+            min = min.min(s);
+            max = max.max(s);
+        }
+        (min, max)
+    }
+}
+
+/// Runs the full per-layer comparison for one CNN (paper Fig. 4 for
+/// ResNet50; summed for Fig. 5/6).
+///
+/// # Errors
+///
+/// See [`run_gemm`]. Fails on the first failing layer.
+pub fn compare_model(
+    model: &CnnModel,
+    pattern: NmPattern,
+    cfg: &ExperimentConfig,
+) -> Result<ModelComparison, ExperimentError> {
+    let mut layers = Vec::with_capacity(model.layers.len());
+    for layer in &model.layers {
+        layers.push(compare_layer(layer, pattern, cfg)?);
+    }
+    Ok(ModelComparison { model: model.name, pattern, layers })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> ExperimentConfig {
+        ExperimentConfig::fast()
+    }
+
+    #[test]
+    fn run_gemm_all_algorithms() {
+        let dims = GemmDims { rows: 8, inner: 64, cols: 32 };
+        for alg in [
+            Algorithm::Dense,
+            Algorithm::RowWiseSpmm,
+            Algorithm::IndexMac,
+            Algorithm::ScalarIndexed,
+        ] {
+            let r = run_gemm(dims, NmPattern::P1_4, alg, &cfg()).unwrap();
+            assert!(r.report.cycles > 0, "{alg}");
+            assert_eq!(r.gemm.rows, 8);
+        }
+    }
+
+    #[test]
+    fn caps_are_applied_and_recorded() {
+        let dims = GemmDims { rows: 100, inner: 1000, cols: 1000 };
+        let r = run_gemm(dims, NmPattern::P1_4, Algorithm::IndexMac, &cfg()).unwrap();
+        assert_eq!(r.full_gemm, dims);
+        assert_eq!(r.gemm.rows, 16);
+        assert_eq!(r.gemm.inner, 128);
+        assert_eq!(r.gemm.cols, 32);
+    }
+
+    #[test]
+    fn comparison_shows_speedup_and_traffic_cut() {
+        let dims = GemmDims { rows: 16, inner: 128, cols: 32 };
+        let c = compare_gemm(dims, NmPattern::P1_4, &cfg()).unwrap();
+        assert!(c.speedup() > 1.2, "speedup {}", c.speedup());
+        assert!(c.mem_ratio() < 0.8, "mem ratio {}", c.mem_ratio());
+    }
+
+    #[test]
+    fn sparse_beats_dense_by_mac_reduction() {
+        let dims = GemmDims { rows: 16, inner: 128, cols: 32 };
+        let dense_r = run_gemm(dims, NmPattern::P1_4, Algorithm::Dense, &cfg()).unwrap();
+        let sparse_r = run_gemm(dims, NmPattern::P1_4, Algorithm::IndexMac, &cfg()).unwrap();
+        // 1:4 structured sparsity skips 3/4 of the MACs; expect a clear win.
+        assert!(
+            sparse_r.report.cycles * 2 < dense_r.report.cycles,
+            "sparse {} vs dense {}",
+            sparse_r.report.cycles,
+            dense_r.report.cycles
+        );
+    }
+
+    #[test]
+    fn model_comparison_on_a_few_layers() {
+        let model = indexmac_cnn::resnet50();
+        let tiny = CnnModel::new("ResNet50-head", model.layers[..3].to_vec());
+        let c = compare_model(&tiny, NmPattern::P2_4, &cfg()).unwrap();
+        assert_eq!(c.layers.len(), 3);
+        assert!(c.total_speedup() > 1.0);
+        assert!(c.total_mem_ratio() < 1.0);
+        let (lo, hi) = c.speedup_range();
+        assert!(lo <= hi);
+    }
+
+    #[test]
+    fn results_are_deterministic() {
+        let dims = GemmDims { rows: 8, inner: 64, cols: 32 };
+        let a = run_gemm(dims, NmPattern::P2_4, Algorithm::IndexMac, &cfg()).unwrap();
+        let b = run_gemm(dims, NmPattern::P2_4, Algorithm::IndexMac, &cfg()).unwrap();
+        assert_eq!(a.report.cycles, b.report.cycles);
+        assert_eq!(a.report.mem.total_accesses(), b.report.mem.total_accesses());
+    }
+}

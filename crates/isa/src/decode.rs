@@ -1,0 +1,316 @@
+//! Decoding 32-bit machine words back to [`Instruction`] values.
+//!
+//! Inverse of [`crate::encode()`]; used by the round-trip tests and by the
+//! `custom_kernel` example to show what a toolchain would emit.
+
+use crate::encode::{opcode, vcat, vfunct6};
+use crate::instr::{FReg, Instruction};
+use crate::reg::{VReg, XReg};
+use crate::vtype::Sew;
+use std::error::Error;
+use std::fmt;
+
+/// Errors from [`decode`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The major opcode is not part of the modelled subset.
+    UnknownOpcode {
+        /// The full instruction word.
+        word: u32,
+        /// The 7-bit major opcode.
+        opcode: u32,
+    },
+    /// The opcode is known but the function fields are not supported.
+    UnsupportedFunction {
+        /// The full instruction word.
+        word: u32,
+        /// Short description of the unsupported field combination.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::UnknownOpcode { word, opcode } => {
+                write!(f, "unknown major opcode {opcode:#04x} in word {word:#010x}")
+            }
+            DecodeError::UnsupportedFunction { word, what } => {
+                write!(f, "unsupported {what} in word {word:#010x}")
+            }
+        }
+    }
+}
+
+impl Error for DecodeError {}
+
+fn xr(word: u32, lo: u32) -> XReg {
+    XReg::new(((word >> lo) & 0x1F) as u8)
+}
+
+fn vr(word: u32, lo: u32) -> VReg {
+    VReg::new(((word >> lo) & 0x1F) as u8)
+}
+
+fn i_imm(word: u32) -> i32 {
+    (word as i32) >> 20
+}
+
+fn s_imm(word: u32) -> i32 {
+    let hi = (word as i32) >> 25; // sign-extended imm[11:5]
+    let lo = ((word >> 7) & 0x1F) as i32;
+    (hi << 5) | lo
+}
+
+fn b_offset_slots(word: u32) -> i32 {
+    let imm12 = ((word >> 31) & 1) as i32;
+    let imm11 = ((word >> 7) & 1) as i32;
+    let imm10_5 = ((word >> 25) & 0x3F) as i32;
+    let imm4_1 = ((word >> 8) & 0xF) as i32;
+    let bytes = (imm12 << 12 | imm11 << 11 | imm10_5 << 5 | imm4_1 << 1) - (imm12 << 13);
+    bytes / 4
+}
+
+fn j_offset_slots(word: u32) -> i32 {
+    let imm20 = ((word >> 31) & 1) as i32;
+    let imm19_12 = ((word >> 12) & 0xFF) as i32;
+    let imm11 = ((word >> 20) & 1) as i32;
+    let imm10_1 = ((word >> 21) & 0x3FF) as i32;
+    let bytes = (imm20 << 20 | imm19_12 << 12 | imm11 << 11 | imm10_1 << 1) - (imm20 << 21);
+    bytes / 4
+}
+
+/// Decodes a 32-bit machine word.
+///
+/// Canonical pseudo-forms are recognised: `addi x0, x0, 0` decodes to
+/// [`Instruction::Nop`] and `addi rd, rs, 0` (with `rd != x0`, `rs != x0`)
+/// to [`Instruction::Mv`].
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] for opcodes or function fields outside the
+/// modelled subset.
+pub fn decode(word: u32) -> Result<Instruction, DecodeError> {
+    let op = word & 0x7F;
+    let f3 = (word >> 12) & 0x7;
+    match op {
+        opcode::OP_IMM => {
+            let rd = xr(word, 7);
+            let rs1 = xr(word, 15);
+            match f3 {
+                0b000 => {
+                    let imm = i_imm(word);
+                    if imm == 0 && rd.is_zero() && rs1.is_zero() {
+                        Ok(Instruction::Nop)
+                    } else if imm == 0 && !rd.is_zero() && !rs1.is_zero() {
+                        Ok(Instruction::Mv { rd, rs: rs1 })
+                    } else if rs1.is_zero() {
+                        Ok(Instruction::Li { rd, imm: imm as i64 })
+                    } else {
+                        Ok(Instruction::Addi { rd, rs1, imm })
+                    }
+                }
+                0b001 => Ok(Instruction::Slli { rd, rs1, shamt: ((word >> 20) & 0x3F) as u8 }),
+                0b101 => Ok(Instruction::Srli { rd, rs1, shamt: ((word >> 20) & 0x3F) as u8 }),
+                _ => Err(DecodeError::UnsupportedFunction { word, what: "OP-IMM funct3" }),
+            }
+        }
+        opcode::OP => {
+            let rd = xr(word, 7);
+            let rs1 = xr(word, 15);
+            let rs2 = xr(word, 20);
+            let f7 = word >> 25;
+            match (f7, f3) {
+                (0, 0b000) => Ok(Instruction::Add { rd, rs1, rs2 }),
+                (0b0100000, 0b000) => Ok(Instruction::Sub { rd, rs1, rs2 }),
+                (0b0000001, 0b000) => Ok(Instruction::Mul { rd, rs1, rs2 }),
+                _ => Err(DecodeError::UnsupportedFunction { word, what: "OP funct7/funct3" }),
+            }
+        }
+        opcode::LOAD => {
+            let rd = xr(word, 7);
+            let rs1 = xr(word, 15);
+            let imm = i_imm(word);
+            match f3 {
+                0b010 => Ok(Instruction::Lw { rd, rs1, imm }),
+                0b110 => Ok(Instruction::Lwu { rd, rs1, imm }),
+                0b011 => Ok(Instruction::Ld { rd, rs1, imm }),
+                _ => Err(DecodeError::UnsupportedFunction { word, what: "LOAD width" }),
+            }
+        }
+        opcode::STORE => {
+            let rs1 = xr(word, 15);
+            let rs2 = xr(word, 20);
+            let imm = s_imm(word);
+            match f3 {
+                0b010 => Ok(Instruction::Sw { rs2, rs1, imm }),
+                0b011 => Ok(Instruction::Sd { rs2, rs1, imm }),
+                _ => Err(DecodeError::UnsupportedFunction { word, what: "STORE width" }),
+            }
+        }
+        opcode::BRANCH => {
+            let rs1 = xr(word, 15);
+            let rs2 = xr(word, 20);
+            let offset = b_offset_slots(word);
+            match f3 {
+                0b000 => Ok(Instruction::Beq { rs1, rs2, offset }),
+                0b001 => Ok(Instruction::Bne { rs1, rs2, offset }),
+                0b100 => Ok(Instruction::Blt { rs1, rs2, offset }),
+                0b101 => Ok(Instruction::Bge { rs1, rs2, offset }),
+                _ => Err(DecodeError::UnsupportedFunction { word, what: "BRANCH funct3" }),
+            }
+        }
+        opcode::JAL => Ok(Instruction::Jal { rd: xr(word, 7), offset: j_offset_slots(word) }),
+        opcode::SYSTEM => {
+            if word == 0x0010_0073 {
+                Ok(Instruction::Halt)
+            } else {
+                Err(DecodeError::UnsupportedFunction { word, what: "SYSTEM function" })
+            }
+        }
+        opcode::LOAD_FP => match f3 {
+            0b010 => Ok(Instruction::Flw { fd: FReg::new(((word >> 7) & 0x1F) as u8), rs1: xr(word, 15), imm: i_imm(word) }),
+            0b110 => {
+                // Unit-stride vector load: require mop=00, lumop=0, nf=0.
+                if (word >> 26) & 0x3F != 0 || (word >> 20) & 0x1F != 0 {
+                    return Err(DecodeError::UnsupportedFunction { word, what: "vector load mode" });
+                }
+                Ok(Instruction::Vle32 { vd: vr(word, 7), rs1: xr(word, 15) })
+            }
+            _ => Err(DecodeError::UnsupportedFunction { word, what: "LOAD-FP width" }),
+        },
+        opcode::STORE_FP => match f3 {
+            0b110 => Ok(Instruction::Vse32 { vs3: vr(word, 7), rs1: xr(word, 15) }),
+            _ => Err(DecodeError::UnsupportedFunction { word, what: "STORE-FP width" }),
+        },
+        opcode::OP_V => decode_opv(word, f3),
+        _ => Err(DecodeError::UnknownOpcode { word, opcode: op }),
+    }
+}
+
+fn decode_opv(word: u32, f3: u32) -> Result<Instruction, DecodeError> {
+    if f3 == vcat::OPCFG {
+        if word >> 31 != 0 {
+            return Err(DecodeError::UnsupportedFunction { word, what: "vsetvl form" });
+        }
+        let vtype = (word >> 20) & 0x7FF;
+        let sew = Sew::from_encoding((vtype >> 3) & 0x7)
+            .ok_or(DecodeError::UnsupportedFunction { word, what: "vsew" })?;
+        return Ok(Instruction::Vsetvli { rd: xr(word, 7), rs1: xr(word, 15), sew });
+    }
+    let funct6 = word >> 26;
+    let vd = vr(word, 7);
+    let vs2 = vr(word, 20);
+    let mid = (word >> 15) & 0x1F;
+    match (funct6, f3) {
+        (vfunct6::VADD, vcat::OPIVV) => {
+            Ok(Instruction::VaddVv { vd, vs2, vs1: VReg::new(mid as u8) })
+        }
+        (vfunct6::VADD, vcat::OPIVX) => {
+            Ok(Instruction::VaddVx { vd, vs2, rs1: XReg::new(mid as u8) })
+        }
+        (vfunct6::VADD, vcat::OPIVI) => {
+            // Sign-extend the 5-bit immediate.
+            let imm = ((mid as i32) << 27 >> 27) as i8;
+            Ok(Instruction::VaddVi { vd, vs2, imm })
+        }
+        (vfunct6::VADD, vcat::OPFVV) => {
+            Ok(Instruction::VfaddVv { vd, vs2, vs1: VReg::new(mid as u8) })
+        }
+        (vfunct6::VMUL, vcat::OPMVV) => {
+            Ok(Instruction::VmulVv { vd, vs2, vs1: VReg::new(mid as u8) })
+        }
+        (vfunct6::VMUL, vcat::OPMVX) => {
+            Ok(Instruction::VmulVx { vd, vs2, rs1: XReg::new(mid as u8) })
+        }
+        (vfunct6::VMACC, vcat::OPMVX) => {
+            Ok(Instruction::VmaccVx { vd, rs1: XReg::new(mid as u8), vs2 })
+        }
+        (vfunct6::VFMUL, vcat::OPFVV) => {
+            Ok(Instruction::VfmulVv { vd, vs2, vs1: VReg::new(mid as u8) })
+        }
+        (vfunct6::VFMACC, vcat::OPFVF) => {
+            Ok(Instruction::VfmaccVf { vd, fs1: FReg::new(mid as u8), vs2 })
+        }
+        (vfunct6::VFMACC, vcat::OPFVV) => {
+            Ok(Instruction::VfmaccVv { vd, vs1: VReg::new(mid as u8), vs2 })
+        }
+        (vfunct6::VMV_V, vcat::OPIVV) => Ok(Instruction::VmvVv { vd, vs1: VReg::new(mid as u8) }),
+        (vfunct6::VMV_V, vcat::OPIVX) => Ok(Instruction::VmvVx { vd, rs1: XReg::new(mid as u8) }),
+        (vfunct6::VMV_S, vcat::OPMVV) => {
+            Ok(Instruction::VmvXs { rd: XReg::new(vd.index()), vs2 })
+        }
+        (vfunct6::VMV_S, vcat::OPMVX) => Ok(Instruction::VmvSx { vd, rs1: XReg::new(mid as u8) }),
+        (vfunct6::VMV_S, vcat::OPFVV) => {
+            Ok(Instruction::VfmvFs { fd: FReg::new(vd.index()), vs2 })
+        }
+        (vfunct6::VSLIDEDOWN, vcat::OPMVX) => {
+            Ok(Instruction::Vslide1downVx { vd, vs2, rs1: XReg::new(mid as u8) })
+        }
+        (vfunct6::VSLIDEDOWN, vcat::OPIVI) => {
+            Ok(Instruction::VslidedownVi { vd, vs2, imm: mid as u8 })
+        }
+        (vfunct6::VINDEXMAC, vcat::OPMVX) => {
+            Ok(Instruction::VindexmacVx { vd, vs2, rs: XReg::new(mid as u8) })
+        }
+        _ => Err(DecodeError::UnsupportedFunction { word, what: "OP-V funct6/category" }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::encode;
+
+    #[test]
+    fn decode_known_words() {
+        assert_eq!(decode(0x0000_0013).unwrap(), Instruction::Nop);
+        assert_eq!(decode(0x0010_0073).unwrap(), Instruction::Halt);
+        assert_eq!(
+            decode(0x0050_0293).unwrap(),
+            Instruction::Li { rd: XReg::T0, imm: 5 }
+        );
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(matches!(decode(0xFFFF_FFFF), Err(DecodeError::UnknownOpcode { .. })));
+        assert!(matches!(decode(0x0000_0073), Err(DecodeError::UnsupportedFunction { .. })));
+    }
+
+    #[test]
+    fn vindexmac_roundtrip() {
+        let i = Instruction::VindexmacVx { vd: VReg::new(7), vs2: VReg::new(9), rs: XReg::T4 };
+        let w = encode(&i).unwrap();
+        assert_eq!(decode(w).unwrap(), i);
+    }
+
+    #[test]
+    fn negative_branch_roundtrip() {
+        for off in [-100, -2, -1, 1, 2, 100] {
+            let i = Instruction::Bne { rs1: XReg::T0, rs2: XReg::T1, offset: off };
+            let w = encode(&i).unwrap();
+            assert_eq!(decode(w).unwrap(), i, "offset {off}");
+        }
+    }
+
+    #[test]
+    fn negative_store_offset_roundtrip() {
+        let i = Instruction::Sw { rs2: XReg::A0, rs1: XReg::SP, imm: -64 };
+        assert_eq!(decode(encode(&i).unwrap()).unwrap(), i);
+    }
+
+    #[test]
+    fn vaddvi_sign_extension() {
+        let i = Instruction::VaddVi { vd: VReg::V1, vs2: VReg::V2, imm: -5 };
+        assert_eq!(decode(encode(&i).unwrap()).unwrap(), i);
+    }
+
+    #[test]
+    fn jal_roundtrip() {
+        for off in [-1000, -1, 1, 1000] {
+            let i = Instruction::Jal { rd: XReg::RA, offset: off };
+            assert_eq!(decode(encode(&i).unwrap()).unwrap(), i);
+        }
+    }
+}

@@ -1,0 +1,430 @@
+//! Binary (machine-code) encoding of the modelled instruction subset.
+//!
+//! Scalar instructions follow the RV64IM base encodings; vector
+//! instructions follow the RVV 1.0 layout (major opcode OP-V = `0x57`,
+//! `funct6 | vm | vs2 | vs1/rs1/imm | funct3 | vd`). The custom
+//! `vindexmac.vx` occupies `funct6 = 0b011011` under OPMVX — a slot with
+//! no `.vx` form in RVV 1.0 (the OPMVV encodings in that neighbourhood
+//! are mask-register operations, which have no scalar-operand variants) —
+//! mirroring how the paper added the instruction to the RISC-V GNU
+//! toolchain without perturbing existing encodings.
+//!
+//! The functional simulator executes [`Instruction`] values directly;
+//! encoding exists to demonstrate toolchain-level integration and is
+//! exercised by round-trip tests against [`crate::decode()`].
+
+use crate::instr::Instruction;
+use crate::reg::{VReg, XReg};
+use std::error::Error;
+use std::fmt;
+
+/// Major opcodes used by the subset.
+pub mod opcode {
+    /// LOAD (scalar integer loads).
+    pub const LOAD: u32 = 0x03;
+    /// LOAD-FP (scalar `flw` and vector unit-stride loads).
+    pub const LOAD_FP: u32 = 0x07;
+    /// OP-IMM.
+    pub const OP_IMM: u32 = 0x13;
+    /// STORE.
+    pub const STORE: u32 = 0x23;
+    /// STORE-FP (vector unit-stride stores).
+    pub const STORE_FP: u32 = 0x27;
+    /// OP (register-register integer).
+    pub const OP: u32 = 0x33;
+    /// BRANCH.
+    pub const BRANCH: u32 = 0x63;
+    /// JAL.
+    pub const JAL: u32 = 0x6F;
+    /// SYSTEM (`ebreak`).
+    pub const SYSTEM: u32 = 0x73;
+    /// OP-V (all vector arithmetic/config).
+    pub const OP_V: u32 = 0x57;
+}
+
+/// `funct3` values for OP-V instruction categories.
+pub mod vcat {
+    /// Vector-vector integer.
+    pub const OPIVV: u32 = 0b000;
+    /// Vector-vector float.
+    pub const OPFVV: u32 = 0b001;
+    /// Vector-vector integer (multiply class).
+    pub const OPMVV: u32 = 0b010;
+    /// Vector-immediate integer.
+    pub const OPIVI: u32 = 0b011;
+    /// Vector-scalar integer.
+    pub const OPIVX: u32 = 0b100;
+    /// Vector-scalar float.
+    pub const OPFVF: u32 = 0b101;
+    /// Vector-scalar integer (multiply class) — also `vindexmac.vx`.
+    pub const OPMVX: u32 = 0b110;
+    /// Configuration (`vsetvli`).
+    pub const OPCFG: u32 = 0b111;
+}
+
+/// `funct6` assignments (RVV 1.0 where standard, custom where noted).
+pub mod vfunct6 {
+    /// `vadd`.
+    pub const VADD: u32 = 0b000000;
+    /// `vfadd` (OPFVV/OPFVF space).
+    pub const VFADD: u32 = 0b000000;
+    /// `vslidedown` / `vslide1down`.
+    pub const VSLIDEDOWN: u32 = 0b001111;
+    /// `vmv.x.s` / `vmv.s.x` / `vfmv.f.s` unary-move space.
+    pub const VMV_S: u32 = 0b010000;
+    /// `vmv.v.*` (vmerge/vmv with vm=1).
+    pub const VMV_V: u32 = 0b010111;
+    /// **Custom**: `vindexmac.vx` (OPMVX space, unused by RVV 1.0).
+    pub const VINDEXMAC: u32 = 0b011011;
+    /// `vfmul` (OPFVV/OPFVF space).
+    pub const VFMUL: u32 = 0b100100;
+    /// `vmul` (OPMVV/OPMVX space).
+    pub const VMUL: u32 = 0b100101;
+    /// `vfmacc` (OPFVV/OPFVF space).
+    pub const VFMACC: u32 = 0b101100;
+    /// `vmacc` (OPMVV/OPMVX space).
+    pub const VMACC: u32 = 0b101101;
+}
+
+/// Errors from [`encode`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EncodeError {
+    /// Pseudo-instructions with no single machine encoding (`li` with a
+    /// constant wider than 12 bits).
+    Pseudo {
+        /// Assembly form of the instruction.
+        asm: String,
+    },
+    /// An immediate does not fit its encoding field.
+    ImmediateRange {
+        /// Assembly form of the instruction.
+        asm: String,
+        /// Number of bits available.
+        bits: u32,
+    },
+}
+
+impl fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EncodeError::Pseudo { asm } => {
+                write!(f, "pseudo-instruction `{asm}` has no single machine encoding")
+            }
+            EncodeError::ImmediateRange { asm, bits } => {
+                write!(f, "immediate of `{asm}` does not fit in {bits} bits")
+            }
+        }
+    }
+}
+
+impl Error for EncodeError {}
+
+fn fits_signed(v: i64, bits: u32) -> bool {
+    let min = -(1_i64 << (bits - 1));
+    let max = (1_i64 << (bits - 1)) - 1;
+    (min..=max).contains(&v)
+}
+
+fn r_type(f7: u32, rs2: XReg, rs1: XReg, f3: u32, rd: XReg, op: u32) -> u32 {
+    (f7 << 25)
+        | ((rs2.index() as u32) << 20)
+        | ((rs1.index() as u32) << 15)
+        | (f3 << 12)
+        | ((rd.index() as u32) << 7)
+        | op
+}
+
+fn i_type(imm: i32, rs1: XReg, f3: u32, rd: XReg, op: u32) -> u32 {
+    (((imm as u32) & 0xFFF) << 20)
+        | ((rs1.index() as u32) << 15)
+        | (f3 << 12)
+        | ((rd.index() as u32) << 7)
+        | op
+}
+
+fn s_type(imm: i32, rs2: XReg, rs1: XReg, f3: u32, op: u32) -> u32 {
+    let imm = imm as u32;
+    (((imm >> 5) & 0x7F) << 25)
+        | ((rs2.index() as u32) << 20)
+        | ((rs1.index() as u32) << 15)
+        | (f3 << 12)
+        | ((imm & 0x1F) << 7)
+        | op
+}
+
+fn b_type(byte_off: i32, rs2: XReg, rs1: XReg, f3: u32, op: u32) -> u32 {
+    let imm = byte_off as u32;
+    (((imm >> 12) & 1) << 31)
+        | (((imm >> 5) & 0x3F) << 25)
+        | ((rs2.index() as u32) << 20)
+        | ((rs1.index() as u32) << 15)
+        | (f3 << 12)
+        | (((imm >> 1) & 0xF) << 8)
+        | (((imm >> 11) & 1) << 7)
+        | op
+}
+
+fn j_type(byte_off: i32, rd: XReg, op: u32) -> u32 {
+    let imm = byte_off as u32;
+    (((imm >> 20) & 1) << 31)
+        | (((imm >> 1) & 0x3FF) << 21)
+        | (((imm >> 11) & 1) << 20)
+        | (((imm >> 12) & 0xFF) << 12)
+        | ((rd.index() as u32) << 7)
+        | op
+}
+
+/// OP-V arithmetic layout (vm is always 1: the kernels are unmasked).
+fn v_arith(funct6: u32, vs2: u32, mid: u32, f3: u32, vd: u32) -> u32 {
+    (funct6 << 26) | (1 << 25) | (vs2 << 20) | (mid << 15) | (f3 << 12) | (vd << 7) | opcode::OP_V
+}
+
+fn vx(funct6: u32, vs2: VReg, rs1: XReg, f3: u32, vd: VReg) -> u32 {
+    v_arith(funct6, vs2.index() as u32, rs1.index() as u32, f3, vd.index() as u32)
+}
+
+fn vv(funct6: u32, vs2: VReg, vs1: VReg, f3: u32, vd: VReg) -> u32 {
+    v_arith(funct6, vs2.index() as u32, vs1.index() as u32, f3, vd.index() as u32)
+}
+
+/// Encodes one instruction to its 32-bit machine word.
+///
+/// # Errors
+///
+/// Returns [`EncodeError::Pseudo`] for `li`/`mv`-style pseudo forms whose
+/// constant does not fit a single `addi`, and
+/// [`EncodeError::ImmediateRange`] when an offset exceeds its field.
+pub fn encode(instr: &Instruction) -> Result<u32, EncodeError> {
+    use Instruction::*;
+    let asm = || instr.to_string();
+    Ok(match *instr {
+        Li { rd, imm } => {
+            if fits_signed(imm, 12) {
+                i_type(imm as i32, XReg::ZERO, 0b000, rd, opcode::OP_IMM)
+            } else {
+                return Err(EncodeError::Pseudo { asm: asm() });
+            }
+        }
+        Mv { rd, rs } => i_type(0, rs, 0b000, rd, opcode::OP_IMM),
+        Addi { rd, rs1, imm } => {
+            if !fits_signed(imm as i64, 12) {
+                return Err(EncodeError::ImmediateRange { asm: asm(), bits: 12 });
+            }
+            i_type(imm, rs1, 0b000, rd, opcode::OP_IMM)
+        }
+        Add { rd, rs1, rs2 } => r_type(0, rs2, rs1, 0b000, rd, opcode::OP),
+        Sub { rd, rs1, rs2 } => r_type(0b0100000, rs2, rs1, 0b000, rd, opcode::OP),
+        Mul { rd, rs1, rs2 } => r_type(0b0000001, rs2, rs1, 0b000, rd, opcode::OP),
+        Slli { rd, rs1, shamt } => i_type(shamt as i32, rs1, 0b001, rd, opcode::OP_IMM),
+        Srli { rd, rs1, shamt } => i_type(shamt as i32, rs1, 0b101, rd, opcode::OP_IMM),
+        Lw { rd, rs1, imm } => i_type(imm, rs1, 0b010, rd, opcode::LOAD),
+        Lwu { rd, rs1, imm } => i_type(imm, rs1, 0b110, rd, opcode::LOAD),
+        Ld { rd, rs1, imm } => i_type(imm, rs1, 0b011, rd, opcode::LOAD),
+        Sw { rs2, rs1, imm } => s_type(imm, rs2, rs1, 0b010, opcode::STORE),
+        Sd { rs2, rs1, imm } => s_type(imm, rs2, rs1, 0b011, opcode::STORE),
+        Beq { rs1, rs2, offset } => branch(0b000, rs1, rs2, offset, asm())?,
+        Bne { rs1, rs2, offset } => branch(0b001, rs1, rs2, offset, asm())?,
+        Blt { rs1, rs2, offset } => branch(0b100, rs1, rs2, offset, asm())?,
+        Bge { rs1, rs2, offset } => branch(0b101, rs1, rs2, offset, asm())?,
+        Jal { rd, offset } => {
+            let bytes = (offset as i64) * 4;
+            if !fits_signed(bytes, 21) {
+                return Err(EncodeError::ImmediateRange { asm: asm(), bits: 21 });
+            }
+            j_type(bytes as i32, rd, opcode::JAL)
+        }
+        Nop => i_type(0, XReg::ZERO, 0b000, XReg::ZERO, opcode::OP_IMM),
+        Halt => 0x0010_0073, // ebreak
+        Flw { fd, rs1, imm } => {
+            // flw: LOAD-FP with width=010 and an F destination.
+            (((imm as u32) & 0xFFF) << 20)
+                | ((rs1.index() as u32) << 15)
+                | (0b010 << 12)
+                | ((fd.index() as u32) << 7)
+                | opcode::LOAD_FP
+        }
+        Vsetvli { rd, rs1, sew } => {
+            // bit31=0 | zimm[10:0]=vtype | rs1 | 111 | rd | OP-V
+            let vtype = sew.encoding() << 3; // vlmul=000 (m1), vta=vma=0
+            (vtype << 20)
+                | ((rs1.index() as u32) << 15)
+                | (vcat::OPCFG << 12)
+                | ((rd.index() as u32) << 7)
+                | opcode::OP_V
+        }
+        Vle32 { vd, rs1 } => {
+            // nf=0 mew=0 mop=00 vm=1 lumop=00000 | rs1 | width=110 | vd
+            (1 << 25)
+                | ((rs1.index() as u32) << 15)
+                | (0b110 << 12)
+                | ((vd.index() as u32) << 7)
+                | opcode::LOAD_FP
+        }
+        Vse32 { vs3, rs1 } => {
+            (1 << 25)
+                | ((rs1.index() as u32) << 15)
+                | (0b110 << 12)
+                | ((vs3.index() as u32) << 7)
+                | opcode::STORE_FP
+        }
+        VaddVv { vd, vs2, vs1 } => vv(vfunct6::VADD, vs2, vs1, vcat::OPIVV, vd),
+        VaddVx { vd, vs2, rs1 } => vx(vfunct6::VADD, vs2, rs1, vcat::OPIVX, vd),
+        VaddVi { vd, vs2, imm } => {
+            if !fits_signed(imm as i64, 5) {
+                return Err(EncodeError::ImmediateRange { asm: asm(), bits: 5 });
+            }
+            v_arith(
+                vfunct6::VADD,
+                vs2.index() as u32,
+                (imm as u32) & 0x1F,
+                vcat::OPIVI,
+                vd.index() as u32,
+            )
+        }
+        VmulVv { vd, vs2, vs1 } => vv(vfunct6::VMUL, vs2, vs1, vcat::OPMVV, vd),
+        VmulVx { vd, vs2, rs1 } => vx(vfunct6::VMUL, vs2, rs1, vcat::OPMVX, vd),
+        VmaccVx { vd, rs1, vs2 } => vx(vfunct6::VMACC, vs2, rs1, vcat::OPMVX, vd),
+        VfaddVv { vd, vs2, vs1 } => vv(vfunct6::VFADD, vs2, vs1, vcat::OPFVV, vd),
+        VfmulVv { vd, vs2, vs1 } => vv(vfunct6::VFMUL, vs2, vs1, vcat::OPFVV, vd),
+        VfmaccVf { vd, fs1, vs2 } => v_arith(
+            vfunct6::VFMACC,
+            vs2.index() as u32,
+            fs1.index() as u32,
+            vcat::OPFVF,
+            vd.index() as u32,
+        ),
+        VfmaccVv { vd, vs1, vs2 } => vv(vfunct6::VFMACC, vs2, vs1, vcat::OPFVV, vd),
+        VmvVv { vd, vs1 } => vv(vfunct6::VMV_V, VReg::V0, vs1, vcat::OPIVV, vd),
+        VmvVx { vd, rs1 } => vx(vfunct6::VMV_V, VReg::V0, rs1, vcat::OPIVX, vd),
+        VmvXs { rd, vs2 } => v_arith(
+            vfunct6::VMV_S,
+            vs2.index() as u32,
+            0,
+            vcat::OPMVV,
+            rd.index() as u32,
+        ),
+        VmvSx { vd, rs1 } => vx(vfunct6::VMV_S, VReg::V0, rs1, vcat::OPMVX, vd),
+        VfmvFs { fd, vs2 } => v_arith(
+            vfunct6::VMV_S,
+            vs2.index() as u32,
+            0,
+            vcat::OPFVV,
+            fd.index() as u32,
+        ),
+        Vslide1downVx { vd, vs2, rs1 } => vx(vfunct6::VSLIDEDOWN, vs2, rs1, vcat::OPMVX, vd),
+        VslidedownVi { vd, vs2, imm } => v_arith(
+            vfunct6::VSLIDEDOWN,
+            vs2.index() as u32,
+            (imm as u32) & 0x1F,
+            vcat::OPIVI,
+            vd.index() as u32,
+        ),
+        VindexmacVx { vd, vs2, rs } => vx(vfunct6::VINDEXMAC, vs2, rs, vcat::OPMVX, vd),
+    })
+}
+
+fn branch(f3: u32, rs1: XReg, rs2: XReg, offset: i32, asm: String) -> Result<u32, EncodeError> {
+    let bytes = (offset as i64) * 4;
+    if !fits_signed(bytes, 13) {
+        return Err(EncodeError::ImmediateRange { asm, bits: 13 });
+    }
+    Ok(b_type(bytes as i32, rs2, rs1, f3, opcode::BRANCH))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::FReg;
+    use crate::vtype::Sew;
+
+    #[test]
+    fn known_scalar_encodings() {
+        // addi t0, zero, 5  ->  0x00500293
+        let w = encode(&Instruction::Addi { rd: XReg::T0, rs1: XReg::ZERO, imm: 5 }).unwrap();
+        assert_eq!(w, 0x0050_0293);
+        // add a0, a1, a2 -> 0x00C58533
+        let w = encode(&Instruction::Add { rd: XReg::A0, rs1: XReg::A1, rs2: XReg::A2 }).unwrap();
+        assert_eq!(w, 0x00C5_8533);
+        // ebreak
+        assert_eq!(encode(&Instruction::Halt).unwrap(), 0x0010_0073);
+        // nop == addi x0,x0,0
+        assert_eq!(encode(&Instruction::Nop).unwrap(), 0x0000_0013);
+    }
+
+    #[test]
+    #[allow(clippy::unusual_byte_groupings)] // grouped by encoding field
+    fn known_vector_encodings() {
+        // vadd.vv v1, v2, v3: 000000 1 00010 00011 000 00001 1010111
+        let w = encode(&Instruction::VaddVv { vd: VReg::V1, vs2: VReg::V2, vs1: VReg::V3 })
+            .unwrap();
+        assert_eq!(w, 0b000000_1_00010_00011_000_00001_1010111);
+        // vle32.v v4, (a0): width 110, vm=1
+        let w = encode(&Instruction::Vle32 { vd: VReg::V4, rs1: XReg::A0 }).unwrap();
+        assert_eq!(w & 0x7F, opcode::LOAD_FP);
+        assert_eq!((w >> 12) & 0x7, 0b110);
+        assert_eq!((w >> 7) & 0x1F, 4);
+    }
+
+    #[test]
+    fn vindexmac_encoding_shape() {
+        let w = encode(&Instruction::VindexmacVx { vd: VReg::V2, vs2: VReg::V5, rs: XReg::T1 })
+            .unwrap();
+        assert_eq!(w & 0x7F, opcode::OP_V);
+        assert_eq!((w >> 12) & 0x7, vcat::OPMVX);
+        assert_eq!(w >> 26, vfunct6::VINDEXMAC);
+        assert_eq!((w >> 20) & 0x1F, 5); // vs2
+        assert_eq!((w >> 15) & 0x1F, XReg::T1.index() as u32); // rs
+        assert_eq!((w >> 7) & 0x1F, 2); // vd
+        // Distinct from vmacc.vx with the same registers.
+        let m = encode(&Instruction::VmaccVx { vd: VReg::V2, rs1: XReg::T1, vs2: VReg::V5 })
+            .unwrap();
+        assert_ne!(w, m);
+    }
+
+    #[test]
+    fn pseudo_and_range_errors() {
+        assert!(matches!(
+            encode(&Instruction::Li { rd: XReg::T0, imm: 1 << 40 }),
+            Err(EncodeError::Pseudo { .. })
+        ));
+        assert!(matches!(
+            encode(&Instruction::Addi { rd: XReg::T0, rs1: XReg::T0, imm: 5000 }),
+            Err(EncodeError::ImmediateRange { bits: 12, .. })
+        ));
+        assert!(matches!(
+            encode(&Instruction::VaddVi { vd: VReg::V1, vs2: VReg::V1, imm: 17 }),
+            Err(EncodeError::ImmediateRange { bits: 5, .. })
+        ));
+        assert!(matches!(
+            encode(&Instruction::Beq { rs1: XReg::T0, rs2: XReg::T0, offset: 4096 }),
+            Err(EncodeError::ImmediateRange { bits: 13, .. })
+        ));
+    }
+
+    #[test]
+    fn branch_offset_bytes() {
+        // bne t0, zero, -2 slots = -8 bytes.
+        let w = encode(&Instruction::Bne { rs1: XReg::T0, rs2: XReg::ZERO, offset: -2 })
+            .unwrap();
+        assert_eq!(w & 0x7F, opcode::BRANCH);
+        // Sign bit (imm[12]) must be set for negative offsets.
+        assert_eq!(w >> 31, 1);
+    }
+
+    #[test]
+    fn vsetvli_vtype_field() {
+        let w = encode(&Instruction::Vsetvli { rd: XReg::T0, rs1: XReg::A0, sew: Sew::E32 })
+            .unwrap();
+        assert_eq!(w >> 31, 0);
+        assert_eq!((w >> 20) & 0x7FF, 0b010_000); // vsew=010, vlmul=000
+    }
+
+    #[test]
+    fn fp_move_encodings_differ_by_category() {
+        let x = encode(&Instruction::VmvXs { rd: XReg::T0, vs2: VReg::V3 }).unwrap();
+        let f = encode(&Instruction::VfmvFs { fd: FReg::new(5), vs2: VReg::V3 }).unwrap();
+        assert_eq!((x >> 12) & 7, vcat::OPMVV);
+        assert_eq!((f >> 12) & 7, vcat::OPFVV);
+        assert_eq!(x >> 26, f >> 26);
+    }
+}

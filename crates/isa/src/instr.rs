@@ -1,0 +1,514 @@
+//! The instruction subset executed by the simulated machine.
+//!
+//! Scalar RV64 instructions cover address arithmetic, loads/stores and
+//! loop control; the vector subset covers the RVV 1.0 operations the
+//! paper's kernels need (unit-stride loads/stores, scalar-vector MACs,
+//! slides and cross-domain moves) plus the custom `vindexmac.vx`.
+
+use crate::reg::{VReg, XReg};
+use crate::vtype::Sew;
+use std::fmt;
+
+/// A floating-point scalar register `f0`–`f31`.
+///
+/// Only the handful of instructions that shuttle values between the
+/// vector file and `vfmacc.vf` use it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FReg(u8);
+
+impl FReg {
+    /// `f0`.
+    pub const F0: FReg = FReg(0);
+    /// `f1`.
+    pub const F1: FReg = FReg(1);
+    /// `f2`.
+    pub const F2: FReg = FReg(2);
+    /// `f3`.
+    pub const F3: FReg = FReg(3);
+
+    /// Creates a register from its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 32`.
+    pub fn new(index: u8) -> Self {
+        assert!(index < 32, "fp register index {index} out of range");
+        FReg(index)
+    }
+
+    /// The register index, `0..32`.
+    pub fn index(self) -> u8 {
+        self.0
+    }
+}
+
+impl fmt::Display for FReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+/// Micro-architectural class of an instruction, used by the timing model
+/// to pick latencies and routing (scalar pipe vs vector engine vs memory).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InstrClass {
+    /// Scalar integer ALU operation.
+    ScalarAlu,
+    /// Scalar load (L1D path).
+    ScalarLoad,
+    /// Scalar store (L1D path).
+    ScalarStore,
+    /// Branch or jump.
+    ControlFlow,
+    /// `vsetvli` — vector configuration.
+    VConfig,
+    /// Vector unit-stride load (vector engine -> L2 path).
+    VLoad,
+    /// Vector unit-stride store (vector engine -> L2 path).
+    VStore,
+    /// Vector integer/float arithmetic (non-MAC).
+    VArith,
+    /// Vector multiply-accumulate (longer latency chain on `vd`).
+    VMac,
+    /// Vector slide/permutation.
+    VSlide,
+    /// Vector -> scalar move (`vmv.x.s`, `vfmv.f.s`): couples the engine
+    /// clock back into the scalar core.
+    VMvToScalar,
+    /// Scalar -> vector move or broadcast (`vmv.s.x`, `vmv.v.x`).
+    VMvFromScalar,
+    /// The custom `vindexmac.vx` instruction.
+    VIndexMac,
+    /// Simulation control (`ebreak`).
+    System,
+}
+
+impl InstrClass {
+    /// Whether instructions of this class are executed by the decoupled
+    /// vector engine (as opposed to the scalar pipeline).
+    pub fn is_vector(self) -> bool {
+        matches!(
+            self,
+            InstrClass::VConfig
+                | InstrClass::VLoad
+                | InstrClass::VStore
+                | InstrClass::VArith
+                | InstrClass::VMac
+                | InstrClass::VSlide
+                | InstrClass::VMvToScalar
+                | InstrClass::VMvFromScalar
+                | InstrClass::VIndexMac
+        )
+    }
+
+    /// Whether this class accesses memory.
+    pub fn is_memory(self) -> bool {
+        matches!(
+            self,
+            InstrClass::ScalarLoad | InstrClass::ScalarStore | InstrClass::VLoad | InstrClass::VStore
+        )
+    }
+}
+
+/// One instruction of the modelled ISA.
+///
+/// Branch offsets are in *instruction slots* relative to the branch
+/// itself (the machine encoding multiplies by 4); the [`crate::program::ProgramBuilder`]
+/// resolves labels to these offsets.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[allow(missing_docs)] // operand fields are described by each variant's doc
+pub enum Instruction {
+    // ---- scalar integer ----
+    /// Load-immediate pseudo-instruction (`li rd, imm`).
+    Li { rd: XReg, imm: i64 },
+    /// `mv rd, rs` (canonically `addi rd, rs, 0`).
+    Mv { rd: XReg, rs: XReg },
+    /// `addi rd, rs1, imm`.
+    Addi { rd: XReg, rs1: XReg, imm: i32 },
+    /// `add rd, rs1, rs2`.
+    Add { rd: XReg, rs1: XReg, rs2: XReg },
+    /// `sub rd, rs1, rs2`.
+    Sub { rd: XReg, rs1: XReg, rs2: XReg },
+    /// `mul rd, rs1, rs2`.
+    Mul { rd: XReg, rs1: XReg, rs2: XReg },
+    /// `slli rd, rs1, shamt`.
+    Slli { rd: XReg, rs1: XReg, shamt: u8 },
+    /// `srli rd, rs1, shamt`.
+    Srli { rd: XReg, rs1: XReg, shamt: u8 },
+    /// `lw rd, imm(rs1)` — sign-extending 32-bit load.
+    Lw { rd: XReg, rs1: XReg, imm: i32 },
+    /// `lwu rd, imm(rs1)` — zero-extending 32-bit load.
+    Lwu { rd: XReg, rs1: XReg, imm: i32 },
+    /// `ld rd, imm(rs1)`.
+    Ld { rd: XReg, rs1: XReg, imm: i32 },
+    /// `sw rs2, imm(rs1)`.
+    Sw { rs2: XReg, rs1: XReg, imm: i32 },
+    /// `sd rs2, imm(rs1)`.
+    Sd { rs2: XReg, rs1: XReg, imm: i32 },
+    /// `beq rs1, rs2, offset`.
+    Beq { rs1: XReg, rs2: XReg, offset: i32 },
+    /// `bne rs1, rs2, offset`.
+    Bne { rs1: XReg, rs2: XReg, offset: i32 },
+    /// `blt rs1, rs2, offset` (signed).
+    Blt { rs1: XReg, rs2: XReg, offset: i32 },
+    /// `bge rs1, rs2, offset` (signed).
+    Bge { rs1: XReg, rs2: XReg, offset: i32 },
+    /// `jal rd, offset`.
+    Jal { rd: XReg, offset: i32 },
+    /// `nop`.
+    Nop,
+    /// `ebreak` — stops the simulation.
+    Halt,
+
+    // ---- scalar floating point (minimal) ----
+    /// `flw fd, imm(rs1)`.
+    Flw { fd: FReg, rs1: XReg, imm: i32 },
+
+    // ---- vector configuration ----
+    /// `vsetvli rd, rs1, <sew>,m1` — requests `avl` from `rs1` (or VLMAX
+    /// when `rs1` is `x0` and `rd` is not), grants `vl` into `rd`.
+    Vsetvli { rd: XReg, rs1: XReg, sew: Sew },
+
+    // ---- vector memory ----
+    /// `vle32.v vd, (rs1)` — unit-stride 32-bit load of `vl` elements.
+    Vle32 { vd: VReg, rs1: XReg },
+    /// `vse32.v vs3, (rs1)` — unit-stride 32-bit store of `vl` elements.
+    Vse32 { vs3: VReg, rs1: XReg },
+
+    // ---- vector integer arithmetic ----
+    /// `vadd.vv vd, vs2, vs1`.
+    VaddVv { vd: VReg, vs2: VReg, vs1: VReg },
+    /// `vadd.vx vd, vs2, rs1`.
+    VaddVx { vd: VReg, vs2: VReg, rs1: XReg },
+    /// `vadd.vi vd, vs2, imm` (5-bit signed immediate).
+    VaddVi { vd: VReg, vs2: VReg, imm: i8 },
+    /// `vmul.vv vd, vs2, vs1`.
+    VmulVv { vd: VReg, vs2: VReg, vs1: VReg },
+    /// `vmul.vx vd, vs2, rs1`.
+    VmulVx { vd: VReg, vs2: VReg, rs1: XReg },
+    /// `vmacc.vx vd, rs1, vs2` — integer `vd[i] += rs1 * vs2[i]`.
+    VmaccVx { vd: VReg, rs1: XReg, vs2: VReg },
+
+    // ---- vector floating-point arithmetic ----
+    /// `vfadd.vv vd, vs2, vs1`.
+    VfaddVv { vd: VReg, vs2: VReg, vs1: VReg },
+    /// `vfmul.vv vd, vs2, vs1`.
+    VfmulVv { vd: VReg, vs2: VReg, vs1: VReg },
+    /// `vfmacc.vf vd, fs1, vs2` — float `vd[i] += fs1 * vs2[i]`, the
+    /// scalar-vector MAC of Algorithm 1/2 (paper line `C[i,:] += s0*B`).
+    VfmaccVf { vd: VReg, fs1: FReg, vs2: VReg },
+    /// `vfmacc.vv vd, vs1, vs2` — float `vd[i] += vs1[i] * vs2[i]`.
+    VfmaccVv { vd: VReg, vs1: VReg, vs2: VReg },
+
+    // ---- vector moves / permutation ----
+    /// `vmv.v.v vd, vs1` — whole-register copy of the active elements.
+    VmvVv { vd: VReg, vs1: VReg },
+    /// `vmv.v.x vd, rs1` — broadcast scalar.
+    VmvVx { vd: VReg, rs1: XReg },
+    /// `vmv.x.s rd, vs2` — element 0 to scalar (sign-extended).
+    VmvXs { rd: XReg, vs2: VReg },
+    /// `vmv.s.x vd, rs1` — scalar to element 0.
+    VmvSx { vd: VReg, rs1: XReg },
+    /// `vfmv.f.s fd, vs2` — element 0 to fp scalar.
+    VfmvFs { fd: FReg, vs2: VReg },
+    /// `vslide1down.vx vd, vs2, rs1` — shift elements down one position,
+    /// inserting `rs1` at the top; the paper's "vector slide to the right".
+    Vslide1downVx { vd: VReg, vs2: VReg, rs1: XReg },
+    /// `vslidedown.vi vd, vs2, imm` — shift down by an immediate count.
+    VslidedownVi { vd: VReg, vs2: VReg, imm: u8 },
+
+    // ---- custom ----
+    /// `vindexmac.vx vd, vs2, rs` — the paper's contribution:
+    /// `vd[i] += vs2[0] * vrf[rs[4:0]][i]` (float semantics, SEW=32).
+    ///
+    /// The 5 LSBs of scalar register `rs` select a vector register whose
+    /// contents are multiplied by the *first element* of `vs2` and
+    /// accumulated into `vd`. This is the indirect VRF read that replaces
+    /// the per-nonzero vector load of Algorithm 2.
+    VindexmacVx { vd: VReg, vs2: VReg, rs: XReg },
+}
+
+impl Instruction {
+    /// Micro-architectural class (see [`InstrClass`]).
+    pub fn class(&self) -> InstrClass {
+        use Instruction::*;
+        match self {
+            Li { .. } | Mv { .. } | Addi { .. } | Add { .. } | Sub { .. } | Mul { .. }
+            | Slli { .. } | Srli { .. } | Nop => InstrClass::ScalarAlu,
+            Lw { .. } | Lwu { .. } | Ld { .. } | Flw { .. } => InstrClass::ScalarLoad,
+            Sw { .. } | Sd { .. } => InstrClass::ScalarStore,
+            Beq { .. } | Bne { .. } | Blt { .. } | Bge { .. } | Jal { .. } => {
+                InstrClass::ControlFlow
+            }
+            Halt => InstrClass::System,
+            Vsetvli { .. } => InstrClass::VConfig,
+            Vle32 { .. } => InstrClass::VLoad,
+            Vse32 { .. } => InstrClass::VStore,
+            VaddVv { .. } | VaddVx { .. } | VaddVi { .. } | VmulVv { .. } | VmulVx { .. }
+            | VfaddVv { .. } | VfmulVv { .. } => InstrClass::VArith,
+            VmaccVx { .. } | VfmaccVf { .. } | VfmaccVv { .. } => InstrClass::VMac,
+            VmvVv { .. } => InstrClass::VArith,
+            VmvVx { .. } | VmvSx { .. } => InstrClass::VMvFromScalar,
+            VmvXs { .. } | VfmvFs { .. } => InstrClass::VMvToScalar,
+            Vslide1downVx { .. } | VslidedownVi { .. } => InstrClass::VSlide,
+            VindexmacVx { .. } => InstrClass::VIndexMac,
+        }
+    }
+
+    /// Whether the instruction is dispatched to the vector engine.
+    pub fn is_vector(&self) -> bool {
+        self.class().is_vector()
+    }
+
+    /// Scalar integer source registers (up to two).
+    pub fn x_srcs(&self) -> [Option<XReg>; 2] {
+        use Instruction::*;
+        match *self {
+            Mv { rs, .. } => [Some(rs), None],
+            Addi { rs1, .. } | Slli { rs1, .. } | Srli { rs1, .. } => [Some(rs1), None],
+            Add { rs1, rs2, .. } | Sub { rs1, rs2, .. } | Mul { rs1, rs2, .. } => {
+                [Some(rs1), Some(rs2)]
+            }
+            Lw { rs1, .. } | Lwu { rs1, .. } | Ld { rs1, .. } | Flw { rs1, .. } => {
+                [Some(rs1), None]
+            }
+            Sw { rs2, rs1, .. } | Sd { rs2, rs1, .. } => [Some(rs1), Some(rs2)],
+            Beq { rs1, rs2, .. } | Bne { rs1, rs2, .. } | Blt { rs1, rs2, .. }
+            | Bge { rs1, rs2, .. } => [Some(rs1), Some(rs2)],
+            Vsetvli { rs1, .. } => [Some(rs1), None],
+            Vle32 { rs1, .. } | Vse32 { rs1, .. } => [Some(rs1), None],
+            VaddVx { rs1, .. } | VmulVx { rs1, .. } | VmaccVx { rs1, .. } | VmvVx { rs1, .. }
+            | VmvSx { rs1, .. } | Vslide1downVx { rs1, .. } => [Some(rs1), None],
+            VindexmacVx { rs, .. } => [Some(rs), None],
+            _ => [None, None],
+        }
+    }
+
+    /// Scalar integer destination register, if any.
+    pub fn x_dst(&self) -> Option<XReg> {
+        use Instruction::*;
+        match *self {
+            Li { rd, .. } | Mv { rd, .. } | Addi { rd, .. } | Add { rd, .. } | Sub { rd, .. }
+            | Mul { rd, .. } | Slli { rd, .. } | Srli { rd, .. } | Lw { rd, .. }
+            | Lwu { rd, .. } | Ld { rd, .. } | Jal { rd, .. } | Vsetvli { rd, .. }
+            | VmvXs { rd, .. } => {
+                if rd.is_zero() {
+                    None
+                } else {
+                    Some(rd)
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// Floating-point source register, if any.
+    pub fn f_src(&self) -> Option<FReg> {
+        match *self {
+            Instruction::VfmaccVf { fs1, .. } => Some(fs1),
+            _ => None,
+        }
+    }
+
+    /// Floating-point destination register, if any.
+    pub fn f_dst(&self) -> Option<FReg> {
+        match *self {
+            Instruction::Flw { fd, .. } | Instruction::VfmvFs { fd, .. } => Some(fd),
+            _ => None,
+        }
+    }
+
+    /// Statically-known vector source registers (up to three; MAC-style
+    /// instructions read their destination too). The *indirect* source of
+    /// `vindexmac.vx` is dynamic and reported by the functional executor.
+    pub fn v_srcs(&self) -> [Option<VReg>; 3] {
+        use Instruction::*;
+        match *self {
+            Vse32 { vs3, .. } => [Some(vs3), None, None],
+            VaddVv { vs2, vs1, .. } | VmulVv { vs2, vs1, .. } | VfaddVv { vs2, vs1, .. }
+            | VfmulVv { vs2, vs1, .. } => [Some(vs2), Some(vs1), None],
+            VaddVx { vs2, .. } | VaddVi { vs2, .. } | VmulVx { vs2, .. } => [Some(vs2), None, None],
+            VmaccVx { vd, vs2, .. } => [Some(vs2), Some(vd), None],
+            VfmaccVf { vd, vs2, .. } => [Some(vs2), Some(vd), None],
+            VfmaccVv { vd, vs1, vs2 } => [Some(vs2), Some(vs1), Some(vd)],
+            VmvVv { vs1, .. } => [Some(vs1), None, None],
+            VmvXs { vs2, .. } | VfmvFs { vs2, .. } => [Some(vs2), None, None],
+            Vslide1downVx { vs2, .. } | VslidedownVi { vs2, .. } => [Some(vs2), None, None],
+            // vindexmac reads vs2[0] and accumulates into vd.
+            VindexmacVx { vd, vs2, .. } => [Some(vs2), Some(vd), None],
+            _ => [None, None, None],
+        }
+    }
+
+    /// Vector destination register, if any.
+    pub fn v_dst(&self) -> Option<VReg> {
+        use Instruction::*;
+        match *self {
+            Vle32 { vd, .. } | VaddVv { vd, .. } | VaddVx { vd, .. } | VaddVi { vd, .. }
+            | VmulVv { vd, .. } | VmulVx { vd, .. } | VmaccVx { vd, .. } | VfaddVv { vd, .. }
+            | VfmulVv { vd, .. } | VfmaccVf { vd, .. } | VfmaccVv { vd, .. } | VmvVv { vd, .. }
+            | VmvVx { vd, .. } | VmvSx { vd, .. } | Vslide1downVx { vd, .. }
+            | VslidedownVi { vd, .. } | VindexmacVx { vd, .. } => Some(vd),
+            _ => None,
+        }
+    }
+
+    /// Branch offset in instruction slots, if this is a branch/jump.
+    pub fn branch_offset(&self) -> Option<i32> {
+        use Instruction::*;
+        match *self {
+            Beq { offset, .. } | Bne { offset, .. } | Blt { offset, .. } | Bge { offset, .. }
+            | Jal { offset, .. } => Some(offset),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use Instruction::*;
+        match *self {
+            Li { rd, imm } => write!(f, "li {rd}, {imm}"),
+            Mv { rd, rs } => write!(f, "mv {rd}, {rs}"),
+            Addi { rd, rs1, imm } => write!(f, "addi {rd}, {rs1}, {imm}"),
+            Add { rd, rs1, rs2 } => write!(f, "add {rd}, {rs1}, {rs2}"),
+            Sub { rd, rs1, rs2 } => write!(f, "sub {rd}, {rs1}, {rs2}"),
+            Mul { rd, rs1, rs2 } => write!(f, "mul {rd}, {rs1}, {rs2}"),
+            Slli { rd, rs1, shamt } => write!(f, "slli {rd}, {rs1}, {shamt}"),
+            Srli { rd, rs1, shamt } => write!(f, "srli {rd}, {rs1}, {shamt}"),
+            Lw { rd, rs1, imm } => write!(f, "lw {rd}, {imm}({rs1})"),
+            Lwu { rd, rs1, imm } => write!(f, "lwu {rd}, {imm}({rs1})"),
+            Ld { rd, rs1, imm } => write!(f, "ld {rd}, {imm}({rs1})"),
+            Sw { rs2, rs1, imm } => write!(f, "sw {rs2}, {imm}({rs1})"),
+            Sd { rs2, rs1, imm } => write!(f, "sd {rs2}, {imm}({rs1})"),
+            Beq { rs1, rs2, offset } => write!(f, "beq {rs1}, {rs2}, {offset}"),
+            Bne { rs1, rs2, offset } => write!(f, "bne {rs1}, {rs2}, {offset}"),
+            Blt { rs1, rs2, offset } => write!(f, "blt {rs1}, {rs2}, {offset}"),
+            Bge { rs1, rs2, offset } => write!(f, "bge {rs1}, {rs2}, {offset}"),
+            Jal { rd, offset } => write!(f, "jal {rd}, {offset}"),
+            Nop => write!(f, "nop"),
+            Halt => write!(f, "ebreak"),
+            Flw { fd, rs1, imm } => write!(f, "flw {fd}, {imm}({rs1})"),
+            Vsetvli { rd, rs1, sew } => write!(f, "vsetvli {rd}, {rs1}, {sew},m1"),
+            Vle32 { vd, rs1 } => write!(f, "vle32.v {vd}, ({rs1})"),
+            Vse32 { vs3, rs1 } => write!(f, "vse32.v {vs3}, ({rs1})"),
+            VaddVv { vd, vs2, vs1 } => write!(f, "vadd.vv {vd}, {vs2}, {vs1}"),
+            VaddVx { vd, vs2, rs1 } => write!(f, "vadd.vx {vd}, {vs2}, {rs1}"),
+            VaddVi { vd, vs2, imm } => write!(f, "vadd.vi {vd}, {vs2}, {imm}"),
+            VmulVv { vd, vs2, vs1 } => write!(f, "vmul.vv {vd}, {vs2}, {vs1}"),
+            VmulVx { vd, vs2, rs1 } => write!(f, "vmul.vx {vd}, {vs2}, {rs1}"),
+            VmaccVx { vd, rs1, vs2 } => write!(f, "vmacc.vx {vd}, {rs1}, {vs2}"),
+            VfaddVv { vd, vs2, vs1 } => write!(f, "vfadd.vv {vd}, {vs2}, {vs1}"),
+            VfmulVv { vd, vs2, vs1 } => write!(f, "vfmul.vv {vd}, {vs2}, {vs1}"),
+            VfmaccVf { vd, fs1, vs2 } => write!(f, "vfmacc.vf {vd}, {fs1}, {vs2}"),
+            VfmaccVv { vd, vs1, vs2 } => write!(f, "vfmacc.vv {vd}, {vs1}, {vs2}"),
+            VmvVv { vd, vs1 } => write!(f, "vmv.v.v {vd}, {vs1}"),
+            VmvVx { vd, rs1 } => write!(f, "vmv.v.x {vd}, {rs1}"),
+            VmvXs { rd, vs2 } => write!(f, "vmv.x.s {rd}, {vs2}"),
+            VmvSx { vd, rs1 } => write!(f, "vmv.s.x {vd}, {rs1}"),
+            VfmvFs { fd, vs2 } => write!(f, "vfmv.f.s {fd}, {vs2}"),
+            Vslide1downVx { vd, vs2, rs1 } => write!(f, "vslide1down.vx {vd}, {vs2}, {rs1}"),
+            VslidedownVi { vd, vs2, imm } => write!(f, "vslidedown.vi {vd}, {vs2}, {imm}"),
+            VindexmacVx { vd, vs2, rs } => write!(f, "vindexmac.vx {vd}, {vs2}, {rs}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_routing() {
+        assert_eq!(Instruction::Nop.class(), InstrClass::ScalarAlu);
+        assert_eq!(
+            Instruction::Lw { rd: XReg::T0, rs1: XReg::A0, imm: 0 }.class(),
+            InstrClass::ScalarLoad
+        );
+        assert_eq!(
+            Instruction::Vle32 { vd: VReg::V1, rs1: XReg::A0 }.class(),
+            InstrClass::VLoad
+        );
+        assert_eq!(
+            Instruction::VindexmacVx { vd: VReg::V1, vs2: VReg::V2, rs: XReg::T0 }.class(),
+            InstrClass::VIndexMac
+        );
+        assert!(InstrClass::VIndexMac.is_vector());
+        assert!(!InstrClass::ScalarAlu.is_vector());
+        assert!(InstrClass::VLoad.is_memory());
+        assert!(!InstrClass::VMac.is_memory());
+    }
+
+    #[test]
+    fn x_dst_suppresses_zero_register() {
+        let i = Instruction::Addi { rd: XReg::ZERO, rs1: XReg::T0, imm: 1 };
+        assert_eq!(i.x_dst(), None);
+        let i = Instruction::Addi { rd: XReg::T1, rs1: XReg::T0, imm: 1 };
+        assert_eq!(i.x_dst(), Some(XReg::T1));
+    }
+
+    #[test]
+    fn mac_reads_destination() {
+        let i = Instruction::VfmaccVf { vd: VReg::V3, fs1: FReg::F0, vs2: VReg::V4 };
+        let srcs = i.v_srcs();
+        assert!(srcs.contains(&Some(VReg::V3)));
+        assert!(srcs.contains(&Some(VReg::V4)));
+        assert_eq!(i.v_dst(), Some(VReg::V3));
+        assert_eq!(i.f_src(), Some(FReg::F0));
+    }
+
+    #[test]
+    fn vindexmac_static_uses() {
+        let i = Instruction::VindexmacVx { vd: VReg::V2, vs2: VReg::V5, rs: XReg::T2 };
+        assert_eq!(i.x_srcs(), [Some(XReg::T2), None]);
+        assert_eq!(i.v_dst(), Some(VReg::V2));
+        let srcs = i.v_srcs();
+        assert!(srcs.contains(&Some(VReg::V5)));
+        assert!(srcs.contains(&Some(VReg::V2)));
+    }
+
+    #[test]
+    fn branch_offsets() {
+        let b = Instruction::Bne { rs1: XReg::T0, rs2: XReg::ZERO, offset: -4 };
+        assert_eq!(b.branch_offset(), Some(-4));
+        assert_eq!(Instruction::Nop.branch_offset(), None);
+    }
+
+    #[test]
+    fn display_smoke() {
+        let cases: Vec<(Instruction, &str)> = vec![
+            (Instruction::Li { rd: XReg::T0, imm: -7 }, "li t0, -7"),
+            (
+                Instruction::Vle32 { vd: VReg::V8, rs1: XReg::A1 },
+                "vle32.v v8, (a1)",
+            ),
+            (
+                Instruction::VindexmacVx { vd: VReg::V1, vs2: VReg::V4, rs: XReg::T3 },
+                "vindexmac.vx v1, v4, t3",
+            ),
+            (
+                Instruction::Vslide1downVx { vd: VReg::V4, vs2: VReg::V4, rs1: XReg::ZERO },
+                "vslide1down.vx v4, v4, zero",
+            ),
+            (
+                Instruction::Vsetvli { rd: XReg::T0, rs1: XReg::A0, sew: Sew::E32 },
+                "vsetvli t0, a0, e32,m1",
+            ),
+        ];
+        for (i, want) in cases {
+            assert_eq!(i.to_string(), want);
+        }
+    }
+
+    #[test]
+    fn freg_display() {
+        assert_eq!(FReg::F0.to_string(), "f0");
+        assert_eq!(FReg::new(31).to_string(), "f31");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn freg_rejects_32() {
+        let _ = FReg::new(32);
+    }
+}

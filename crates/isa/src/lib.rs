@@ -1,0 +1,49 @@
+//! RISC-V instruction-set model for the IndexMAC reproduction.
+//!
+//! This crate defines the subset of RV64 + the RVV vector extension that
+//! the simulated decoupled vector processor executes, including the
+//! paper's custom [`vindexmac.vx`](Instruction::VindexmacVx) instruction:
+//!
+//! ```text
+//! vindexmac.vx vd, vs2, rs     # vd[i] += vs2[0] * vrf[rs[4:0]][i]
+//! ```
+//!
+//! Contents:
+//!
+//! * [`reg`] — scalar ([`XReg`]) and vector ([`VReg`]) register newtypes.
+//! * [`vtype`] — `vtype` CSR modelling ([`Sew`], [`VType`], `vl` rules).
+//! * [`instr`] — the [`Instruction`] enum with assembly-syntax `Display`.
+//! * [`mod@encode`] / [`mod@decode`] — 32-bit RISC-V machine-code round-trip,
+//!   including a concrete OP-V encoding for `vindexmac.vx`.
+//! * [`program`] — [`Program`] container and the [`ProgramBuilder`]
+//!   mini-assembler (labels, loop helpers) used by the kernel generators.
+//!
+//! # Example
+//!
+//! ```
+//! use indexmac_isa::{Instruction, ProgramBuilder, VReg, XReg};
+//!
+//! let mut b = ProgramBuilder::new();
+//! b.li(XReg::T0, 0x1000);
+//! b.push(Instruction::Vle32 { vd: VReg::V1, rs1: XReg::T0 });
+//! b.push(Instruction::VindexmacVx { vd: VReg::V2, vs2: VReg::V1, rs: XReg::T0 });
+//! let prog = b.build();
+//! assert_eq!(prog.len(), 3);
+//! assert!(prog.to_string().contains("vindexmac.vx"));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod decode;
+pub mod encode;
+pub mod instr;
+pub mod program;
+pub mod reg;
+pub mod vtype;
+
+pub use decode::{decode, DecodeError};
+pub use encode::encode;
+pub use instr::{InstrClass, Instruction};
+pub use program::{Label, Program, ProgramBuilder};
+pub use reg::{VReg, XReg};
+pub use vtype::{Sew, VType};

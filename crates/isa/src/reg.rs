@@ -1,0 +1,194 @@
+//! Scalar and vector register newtypes.
+
+use std::fmt;
+
+/// A scalar (integer) register `x0`–`x31`.
+///
+/// `x0` is hard-wired to zero, as in RISC-V. ABI aliases are provided as
+/// associated constants for readable generated code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct XReg(u8);
+
+impl XReg {
+    /// Hard-wired zero register (`x0`).
+    pub const ZERO: XReg = XReg(0);
+    /// Return address (`x1`).
+    pub const RA: XReg = XReg(1);
+    /// Stack pointer (`x2`).
+    pub const SP: XReg = XReg(2);
+    /// Temporaries `t0`–`t6` (`x5`–`x7`, `x28`–`x31`).
+    pub const T0: XReg = XReg(5);
+    /// `t1`.
+    pub const T1: XReg = XReg(6);
+    /// `t2`.
+    pub const T2: XReg = XReg(7);
+    /// `t3`.
+    pub const T3: XReg = XReg(28);
+    /// `t4`.
+    pub const T4: XReg = XReg(29);
+    /// `t5`.
+    pub const T5: XReg = XReg(30);
+    /// `t6`.
+    pub const T6: XReg = XReg(31);
+    /// Argument/saved registers `a0`–`a7` (`x10`–`x17`).
+    pub const A0: XReg = XReg(10);
+    /// `a1`.
+    pub const A1: XReg = XReg(11);
+    /// `a2`.
+    pub const A2: XReg = XReg(12);
+    /// `a3`.
+    pub const A3: XReg = XReg(13);
+    /// `a4`.
+    pub const A4: XReg = XReg(14);
+    /// `a5`.
+    pub const A5: XReg = XReg(15);
+    /// `a6`.
+    pub const A6: XReg = XReg(16);
+    /// `a7`.
+    pub const A7: XReg = XReg(17);
+    /// Saved registers `s2`-`s11` (`x18`-`x27`) — used by kernel builders
+    /// as long-lived pointers.
+    pub const S2: XReg = XReg(18);
+    /// `s3`.
+    pub const S3: XReg = XReg(19);
+    /// `s4`.
+    pub const S4: XReg = XReg(20);
+    /// `s5`.
+    pub const S5: XReg = XReg(21);
+    /// `s6`.
+    pub const S6: XReg = XReg(22);
+    /// `s7`.
+    pub const S7: XReg = XReg(23);
+    /// `s8`.
+    pub const S8: XReg = XReg(24);
+    /// `s9`.
+    pub const S9: XReg = XReg(25);
+    /// `s10`.
+    pub const S10: XReg = XReg(26);
+    /// `s11`.
+    pub const S11: XReg = XReg(27);
+
+    /// Creates a register from its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 32`.
+    pub fn new(index: u8) -> Self {
+        assert!(index < 32, "scalar register index {index} out of range");
+        XReg(index)
+    }
+
+    /// The register index, `0..32`.
+    pub fn index(self) -> u8 {
+        self.0
+    }
+
+    /// Whether this is the hard-wired zero register.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for XReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // ABI names make the generated assembly far easier to read.
+        const NAMES: [&str; 32] = [
+            "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0", "a1", "a2", "a3",
+            "a4", "a5", "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11",
+            "t3", "t4", "t5", "t6",
+        ];
+        f.write_str(NAMES[self.0 as usize])
+    }
+}
+
+/// A vector register `v0`–`v31`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VReg(u8);
+
+impl VReg {
+    /// `v0` (also the mask register in full RVV; unmasked ops only here).
+    pub const V0: VReg = VReg(0);
+    /// `v1`.
+    pub const V1: VReg = VReg(1);
+    /// `v2`.
+    pub const V2: VReg = VReg(2);
+    /// `v3`.
+    pub const V3: VReg = VReg(3);
+    /// `v4`.
+    pub const V4: VReg = VReg(4);
+    /// `v5`.
+    pub const V5: VReg = VReg(5);
+    /// `v6`.
+    pub const V6: VReg = VReg(6);
+    /// `v7`.
+    pub const V7: VReg = VReg(7);
+    /// `v8`.
+    pub const V8: VReg = VReg(8);
+    /// `v16` — first register of the pre-loaded B tile in the paper's
+    /// Algorithm 3 layout used by the kernel generators.
+    pub const V16: VReg = VReg(16);
+
+    /// Creates a register from its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 32`.
+    pub fn new(index: u8) -> Self {
+        assert!(index < 32, "vector register index {index} out of range");
+        VReg(index)
+    }
+
+    /// The register index, `0..32`.
+    pub fn index(self) -> u8 {
+        self.0
+    }
+}
+
+impl fmt::Display for VReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xreg_abi_names() {
+        assert_eq!(XReg::ZERO.to_string(), "zero");
+        assert_eq!(XReg::T0.to_string(), "t0");
+        assert_eq!(XReg::T3.to_string(), "t3");
+        assert_eq!(XReg::A0.to_string(), "a0");
+        assert_eq!(XReg::S2.to_string(), "s2");
+        assert_eq!(XReg::new(31).to_string(), "t6");
+    }
+
+    #[test]
+    fn xreg_index_roundtrip() {
+        for i in 0..32 {
+            assert_eq!(XReg::new(i).index(), i);
+        }
+        assert!(XReg::ZERO.is_zero());
+        assert!(!XReg::T0.is_zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn xreg_rejects_32() {
+        let _ = XReg::new(32);
+    }
+
+    #[test]
+    fn vreg_display_and_index() {
+        assert_eq!(VReg::new(0).to_string(), "v0");
+        assert_eq!(VReg::new(31).to_string(), "v31");
+        assert_eq!(VReg::V16.index(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn vreg_rejects_32() {
+        let _ = VReg::new(32);
+    }
+}

@@ -1,0 +1,136 @@
+//! Modelling of the RVV `vtype` CSR: element width and the `vl` rules of
+//! `vsetvli`.
+//!
+//! The simulated machine fixes LMUL = 1 (the paper's kernels never group
+//! registers), so `vtype` reduces to the selected element width (SEW).
+
+use std::fmt;
+
+/// Selected element width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Sew {
+    /// 8-bit elements.
+    E8,
+    /// 16-bit elements.
+    E16,
+    /// 32-bit elements — the paper's configuration (Table I).
+    #[default]
+    E32,
+    /// 64-bit elements.
+    E64,
+}
+
+impl Sew {
+    /// Element width in bits.
+    pub fn bits(self) -> usize {
+        match self {
+            Sew::E8 => 8,
+            Sew::E16 => 16,
+            Sew::E32 => 32,
+            Sew::E64 => 64,
+        }
+    }
+
+    /// Element width in bytes.
+    pub fn bytes(self) -> usize {
+        self.bits() / 8
+    }
+
+    /// The `vsew[2:0]` encoding used in the `vtype` CSR.
+    pub fn encoding(self) -> u32 {
+        match self {
+            Sew::E8 => 0b000,
+            Sew::E16 => 0b001,
+            Sew::E32 => 0b010,
+            Sew::E64 => 0b011,
+        }
+    }
+
+    /// Decodes a `vsew` field.
+    pub fn from_encoding(bits: u32) -> Option<Self> {
+        match bits {
+            0b000 => Some(Sew::E8),
+            0b001 => Some(Sew::E16),
+            0b010 => Some(Sew::E32),
+            0b011 => Some(Sew::E64),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Sew {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.bits())
+    }
+}
+
+/// The dynamic vector-type state: SEW (LMUL fixed at 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct VType {
+    /// Selected element width.
+    pub sew: Sew,
+}
+
+impl VType {
+    /// Maximum vector length (elements per register) for a hardware
+    /// `vlen` in bits: `VLMAX = vlen / SEW`.
+    pub fn vlmax(self, vlen_bits: usize) -> usize {
+        vlen_bits / self.sew.bits()
+    }
+
+    /// The `vl` that `vsetvli` grants for an application vector length
+    /// `avl`: `min(avl, VLMAX)` (the standard "all of it or VLMAX" rule).
+    pub fn grant_vl(self, avl: usize, vlen_bits: usize) -> usize {
+        avl.min(self.vlmax(vlen_bits))
+    }
+}
+
+impl fmt::Display for VType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{},m1", self.sew)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sew_widths() {
+        assert_eq!(Sew::E8.bits(), 8);
+        assert_eq!(Sew::E32.bytes(), 4);
+        assert_eq!(Sew::E64.bits(), 64);
+    }
+
+    #[test]
+    fn sew_encoding_roundtrip() {
+        for sew in [Sew::E8, Sew::E16, Sew::E32, Sew::E64] {
+            assert_eq!(Sew::from_encoding(sew.encoding()), Some(sew));
+        }
+        assert_eq!(Sew::from_encoding(0b111), None);
+    }
+
+    #[test]
+    fn vlmax_matches_table_i() {
+        // 512-bit VLEN with 32-bit elements -> 16 elements (Table I).
+        let vt = VType { sew: Sew::E32 };
+        assert_eq!(vt.vlmax(512), 16);
+        assert_eq!(vt.vlmax(256), 8);
+        assert_eq!(VType { sew: Sew::E64 }.vlmax(512), 8);
+    }
+
+    #[test]
+    fn grant_vl_rule() {
+        let vt = VType { sew: Sew::E32 };
+        assert_eq!(vt.grant_vl(100, 512), 16);
+        assert_eq!(vt.grant_vl(7, 512), 7);
+        assert_eq!(vt.grant_vl(0, 512), 0);
+        assert_eq!(vt.grant_vl(16, 512), 16);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Sew::E32.to_string(), "e32");
+        assert_eq!(VType::default().to_string(), "e32,m1");
+    }
+}

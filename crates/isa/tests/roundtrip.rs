@@ -1,0 +1,138 @@
+//! Property tests: encode/decode round-trip over the whole subset.
+
+use indexmac_isa::instr::FReg;
+use indexmac_isa::{decode, encode, Instruction, Sew, VReg, XReg};
+use proptest::prelude::*;
+
+fn xreg() -> impl Strategy<Value = XReg> {
+    (0u8..32).prop_map(XReg::new)
+}
+
+fn xreg_nonzero() -> impl Strategy<Value = XReg> {
+    (1u8..32).prop_map(XReg::new)
+}
+
+fn vreg() -> impl Strategy<Value = VReg> {
+    (0u8..32).prop_map(VReg::new)
+}
+
+fn freg() -> impl Strategy<Value = FReg> {
+    (0u8..32).prop_map(FReg::new)
+}
+
+fn imm12() -> impl Strategy<Value = i32> {
+    -2048i32..2048
+}
+
+/// Strategy over instructions with a canonical single-word encoding
+/// (pseudo-forms like wide `li`, `mv` and `nop` aliases are exercised in
+/// dedicated tests instead).
+fn encodable() -> impl Strategy<Value = Instruction> {
+    prop_oneof![
+        (xreg_nonzero(), xreg_nonzero(), (-2047i32..2048).prop_filter("non-mv", |i| *i != 0))
+            .prop_map(|(rd, rs1, imm)| Instruction::Addi { rd, rs1, imm }),
+        (xreg(), xreg(), xreg()).prop_map(|(rd, rs1, rs2)| Instruction::Add { rd, rs1, rs2 }),
+        (xreg(), xreg(), xreg()).prop_map(|(rd, rs1, rs2)| Instruction::Sub { rd, rs1, rs2 }),
+        (xreg(), xreg(), xreg()).prop_map(|(rd, rs1, rs2)| Instruction::Mul { rd, rs1, rs2 }),
+        (xreg(), xreg(), 0u8..64).prop_map(|(rd, rs1, shamt)| Instruction::Slli { rd, rs1, shamt }),
+        (xreg(), xreg(), 0u8..64).prop_map(|(rd, rs1, shamt)| Instruction::Srli { rd, rs1, shamt }),
+        (xreg(), xreg(), imm12()).prop_map(|(rd, rs1, imm)| Instruction::Lw { rd, rs1, imm }),
+        (xreg(), xreg(), imm12()).prop_map(|(rd, rs1, imm)| Instruction::Lwu { rd, rs1, imm }),
+        (xreg(), xreg(), imm12()).prop_map(|(rd, rs1, imm)| Instruction::Ld { rd, rs1, imm }),
+        (xreg(), xreg(), imm12()).prop_map(|(rs2, rs1, imm)| Instruction::Sw { rs2, rs1, imm }),
+        (xreg(), xreg(), imm12()).prop_map(|(rs2, rs1, imm)| Instruction::Sd { rs2, rs1, imm }),
+        (xreg(), xreg(), -1024i32..1024).prop_map(|(rs1, rs2, offset)| Instruction::Beq {
+            rs1,
+            rs2,
+            offset
+        }),
+        (xreg(), xreg(), -1024i32..1024).prop_map(|(rs1, rs2, offset)| Instruction::Bne {
+            rs1,
+            rs2,
+            offset
+        }),
+        (xreg(), xreg(), -1024i32..1024).prop_map(|(rs1, rs2, offset)| Instruction::Blt {
+            rs1,
+            rs2,
+            offset
+        }),
+        (xreg(), xreg(), -1024i32..1024).prop_map(|(rs1, rs2, offset)| Instruction::Bge {
+            rs1,
+            rs2,
+            offset
+        }),
+        (xreg(), -10000i32..10000).prop_map(|(rd, offset)| Instruction::Jal { rd, offset }),
+        Just(Instruction::Halt),
+        (freg(), xreg(), imm12()).prop_map(|(fd, rs1, imm)| Instruction::Flw { fd, rs1, imm }),
+        (xreg(), xreg(), prop_oneof![Just(Sew::E8), Just(Sew::E16), Just(Sew::E32), Just(Sew::E64)])
+            .prop_map(|(rd, rs1, sew)| Instruction::Vsetvli { rd, rs1, sew }),
+        (vreg(), xreg()).prop_map(|(vd, rs1)| Instruction::Vle32 { vd, rs1 }),
+        (vreg(), xreg()).prop_map(|(vs3, rs1)| Instruction::Vse32 { vs3, rs1 }),
+        (vreg(), vreg(), vreg()).prop_map(|(vd, vs2, vs1)| Instruction::VaddVv { vd, vs2, vs1 }),
+        (vreg(), vreg(), xreg()).prop_map(|(vd, vs2, rs1)| Instruction::VaddVx { vd, vs2, rs1 }),
+        (vreg(), vreg(), -16i8..16).prop_map(|(vd, vs2, imm)| Instruction::VaddVi { vd, vs2, imm }),
+        (vreg(), vreg(), vreg()).prop_map(|(vd, vs2, vs1)| Instruction::VmulVv { vd, vs2, vs1 }),
+        (vreg(), vreg(), xreg()).prop_map(|(vd, vs2, rs1)| Instruction::VmulVx { vd, vs2, rs1 }),
+        (vreg(), xreg(), vreg()).prop_map(|(vd, rs1, vs2)| Instruction::VmaccVx { vd, rs1, vs2 }),
+        (vreg(), vreg(), vreg()).prop_map(|(vd, vs2, vs1)| Instruction::VfaddVv { vd, vs2, vs1 }),
+        (vreg(), vreg(), vreg()).prop_map(|(vd, vs2, vs1)| Instruction::VfmulVv { vd, vs2, vs1 }),
+        (vreg(), freg(), vreg()).prop_map(|(vd, fs1, vs2)| Instruction::VfmaccVf { vd, fs1, vs2 }),
+        (vreg(), vreg(), vreg()).prop_map(|(vd, vs1, vs2)| Instruction::VfmaccVv { vd, vs1, vs2 }),
+        (vreg(), vreg()).prop_map(|(vd, vs1)| Instruction::VmvVv { vd, vs1 }),
+        (vreg(), xreg()).prop_map(|(vd, rs1)| Instruction::VmvVx { vd, rs1 }),
+        (xreg(), vreg()).prop_map(|(rd, vs2)| Instruction::VmvXs { rd, vs2 }),
+        (vreg(), xreg()).prop_map(|(vd, rs1)| Instruction::VmvSx { vd, rs1 }),
+        (freg(), vreg()).prop_map(|(fd, vs2)| Instruction::VfmvFs { fd, vs2 }),
+        (vreg(), vreg(), xreg())
+            .prop_map(|(vd, vs2, rs1)| Instruction::Vslide1downVx { vd, vs2, rs1 }),
+        (vreg(), vreg(), 0u8..32)
+            .prop_map(|(vd, vs2, imm)| Instruction::VslidedownVi { vd, vs2, imm }),
+        (vreg(), vreg(), xreg()).prop_map(|(vd, vs2, rs)| Instruction::VindexmacVx {
+            vd,
+            vs2,
+            rs
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Strong round-trip: re-encoding the decode of an encoding is stable.
+    #[test]
+    fn encode_decode_reencode_fixpoint(i in encodable()) {
+        let w = encode(&i).expect("strategy only yields encodable instructions");
+        let d = decode(w).expect("own encodings must decode");
+        let w2 = encode(&d).expect("decoded instruction must re-encode");
+        prop_assert_eq!(w, w2, "instr {} decoded to {}", i, d);
+    }
+
+    /// For non-aliased instructions the round trip is exact.
+    #[test]
+    fn exact_roundtrip_for_vector_ops(
+        vd in vreg(), vs2 in vreg(), rs in xreg(),
+    ) {
+        for i in [
+            Instruction::VindexmacVx { vd, vs2, rs },
+            Instruction::Vslide1downVx { vd, vs2, rs1: rs },
+            Instruction::VmaccVx { vd, rs1: rs, vs2 },
+            Instruction::Vle32 { vd, rs1: rs },
+            Instruction::Vse32 { vs3: vd, rs1: rs },
+        ] {
+            let w = encode(&i).unwrap();
+            prop_assert_eq!(decode(w).unwrap(), i);
+        }
+    }
+
+    /// Decode never panics on arbitrary words.
+    #[test]
+    fn decode_total(word in any::<u32>()) {
+        let _ = decode(word);
+    }
+
+    /// Display never produces an empty string.
+    #[test]
+    fn display_nonempty(i in encodable()) {
+        prop_assert!(!i.to_string().is_empty());
+    }
+}

@@ -1,0 +1,136 @@
+//! **Algorithm 1** — dense row-wise vectorized matrix multiplication.
+//!
+//! The formulation the paper starts from: every element of a row of A is
+//! broadcast against the matching row of B (paper lines 5–8):
+//!
+//! ```text
+//! vfmv.f.s   f, v_a          # s0 = A[i,e]                 (line 6)
+//! vle32.v    v_b, (addr)     # load row e of B             (line 5)
+//! vfmacc.vf  v_c, f, v_b     # C[i,:] += s0 * B[e,:]       (line 7)
+//! vslide1down v_a            # A[i,:] >>= 1                (line 8)
+//! ```
+//!
+//! Because the B row is shared by all unrolled output rows, it is loaded
+//! once per inner step (unlike the sparse baseline, where each row of A
+//! selects a different row of B). This kernel exists as the dense
+//! reference point: it executes `M/N` times more MACs than the sparse
+//! kernels on an N:M-pruned matrix.
+
+use crate::emit::{
+    bslice_vreg, c_addr_xreg, c_vreg, emit_loop_step, emit_prologue, emit_vload_abs, value_freg,
+    values_vreg, ADDR_SCRATCH, CTR_COLTILES, CTR_KTILES, CTR_NNZ, CTR_ROWS, MAX_UNROLL,
+};
+use crate::error::KernelError;
+use crate::layout::GemmLayout;
+use crate::KernelParams;
+use indexmac_isa::{Instruction, Program, ProgramBuilder, XReg};
+
+/// Builds the dense row-wise kernel for `layout` (A treated as dense).
+///
+/// # Errors
+///
+/// Returns [`KernelError::BadUnroll`] when `params.unroll` is outside
+/// `1..=4`.
+pub fn build(layout: &GemmLayout, params: &KernelParams) -> Result<Program, KernelError> {
+    if params.unroll == 0 || params.unroll > MAX_UNROLL {
+        return Err(KernelError::BadUnroll { unroll: params.unroll, max: MAX_UNROLL });
+    }
+    let unroll = params.unroll;
+    let vl = layout.vl;
+    let k_chunks = layout.dims.inner.div_ceil(vl);
+    let mut b = ProgramBuilder::new();
+    emit_prologue(&mut b, vl, layout.row_stride_bytes);
+
+    let groups: Vec<(usize, usize)> = (0..layout.dims.rows.div_ceil(unroll))
+        .map(|g| {
+            let row0 = g * unroll;
+            (row0, unroll.min(layout.dims.rows - row0))
+        })
+        .collect();
+
+    b.li(CTR_KTILES, k_chunks as i64);
+    for kc in 0..k_chunks {
+        let chunk_len = vl.min(layout.dims.inner - kc * vl);
+        b.li(CTR_COLTILES, layout.num_coltiles as i64);
+        for ct in 0..layout.num_coltiles {
+            b.li(CTR_ROWS, groups.len() as i64);
+            for &(row0, u_eff) in &groups {
+                // Load the A segments and C slices for the group.
+                for r in 0..u_eff {
+                    let row = row0 + r;
+                    b.li(c_addr_xreg(r), layout.c_addr(row, ct * vl) as i64);
+                    emit_vload_abs(&mut b, values_vreg(r), layout.a_dense_addr(row, kc * vl));
+                    b.push(Instruction::Vle32 { vd: c_vreg(r), rs1: c_addr_xreg(r) });
+                }
+                b.li(CTR_NNZ, chunk_len as i64);
+                for e in 0..chunk_len {
+                    // One shared B-row slice per inner step.
+                    b.li(ADDR_SCRATCH, layout.b_addr(kc * vl + e, ct * vl) as i64);
+                    b.push(Instruction::Vle32 { vd: bslice_vreg(0), rs1: ADDR_SCRATCH });
+                    for r in 0..u_eff {
+                        b.push(Instruction::VfmvFs { fd: value_freg(r), vs2: values_vreg(r) });
+                    }
+                    for r in 0..u_eff {
+                        b.push(Instruction::VfmaccVf {
+                            vd: c_vreg(r),
+                            fs1: value_freg(r),
+                            vs2: bslice_vreg(0),
+                        });
+                    }
+                    for r in 0..u_eff {
+                        b.push(Instruction::Vslide1downVx {
+                            vd: values_vreg(r),
+                            vs2: values_vreg(r),
+                            rs1: XReg::ZERO,
+                        });
+                    }
+                    emit_loop_step(&mut b, CTR_NNZ);
+                }
+                for r in 0..u_eff {
+                    b.push(Instruction::Vse32 { vs3: c_vreg(r), rs1: c_addr_xreg(r) });
+                }
+                emit_loop_step(&mut b, CTR_ROWS);
+            }
+            emit_loop_step(&mut b, CTR_COLTILES);
+        }
+        emit_loop_step(&mut b, CTR_KTILES);
+    }
+    b.halt();
+    Ok(b.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use indexmac_sparse::{prune, NmPattern};
+    use indexmac_vpu::SimConfig;
+
+    #[test]
+    fn builds_and_counts_macs() {
+        let a = prune::random_structured(5, 24, NmPattern::P1_4, 2);
+        let l = GemmLayout::plan(&a, 20, &SimConfig::table_i(), 16).unwrap();
+        let p = build(&l, &KernelParams::default()).unwrap();
+        let macs = p.count(|i| matches!(i, Instruction::VfmaccVf { .. }));
+        // One MAC per (row, inner element, coltile): 5 * 24 * 2.
+        assert_eq!(macs, 5 * 24 * 2);
+    }
+
+    #[test]
+    fn shared_b_row_loaded_once_per_step() {
+        let a = prune::random_structured(4, 16, NmPattern::P2_4, 2);
+        let l = GemmLayout::plan(&a, 16, &SimConfig::table_i(), 16).unwrap();
+        let p = build(&l, &KernelParams::default()).unwrap();
+        let b_loads = p.count(
+            |i| matches!(i, Instruction::Vle32 { vd, .. } if vd.index() == 12),
+        );
+        // inner * coltiles, independent of the unroll factor.
+        assert_eq!(b_loads, 16);
+    }
+
+    #[test]
+    fn rejects_bad_unroll() {
+        let a = prune::random_structured(2, 8, NmPattern::P1_4, 2);
+        let l = GemmLayout::plan(&a, 8, &SimConfig::table_i(), 16).unwrap();
+        assert!(build(&l, &KernelParams { unroll: 0, ..Default::default() }).is_err());
+    }
+}

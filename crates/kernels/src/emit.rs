@@ -1,0 +1,173 @@
+//! Shared emission conventions for the kernel builders.
+//!
+//! # Register allocation (unroll factor `u <= 4`)
+//!
+//! | registers        | role                                            |
+//! |------------------|-------------------------------------------------|
+//! | `v0..v3`         | C-row accumulators (one per unrolled row)       |
+//! | `v4..v7`         | `values` walk registers                         |
+//! | `v8..v11`        | `col_idx` walk registers                        |
+//! | `v12..v15`       | B-row slices (Algorithm 2) / scratch            |
+//! | `v(32-L)..v31`   | resident B tile (Algorithm 3)                   |
+//! | `a1..a4`         | per-row C addresses                             |
+//! | `t0..t3`         | per-row moved index / load address              |
+//! | `t4, t5, t6, s6` | loop counters (nonzeros, row groups, col tiles, |
+//! |                  | k tiles)                                        |
+//! | `a0`             | transient load-address scratch                  |
+//! | `s9`             | B/C row stride in bytes                         |
+//! | `s5`             | Algorithm 2 adjusted B base per column tile     |
+//! | `f0..f3`         | per-row value scalars (`vfmacc.vf` operand)     |
+//!
+//! Absolute addresses are materialised with `li` (one scalar ALU
+//! instruction), standing in for the single pointer-bump `add` of real
+//! unrolled code — the dynamic instruction count is identical.
+//!
+//! Loop control is emitted *per dynamic iteration* (`addi` + `bne` whose
+//! taken target is the next instruction), so generated straight-line
+//! programs execute the same dynamic stream — including taken-branch
+//! redirects — as the equivalent looping code, and loop unrolling
+//! amortises a real cost exactly as in the paper.
+
+use indexmac_isa::instr::FReg;
+use indexmac_isa::{Instruction, ProgramBuilder, Sew, VReg, XReg};
+
+/// Maximum supported unroll factor (the paper evaluates x4).
+pub const MAX_UNROLL: usize = 4;
+
+/// C accumulator register of unrolled row `r`.
+pub fn c_vreg(r: usize) -> VReg {
+    debug_assert!(r < MAX_UNROLL);
+    VReg::new(r as u8)
+}
+
+/// `values` walk register of unrolled row `r`.
+pub fn values_vreg(r: usize) -> VReg {
+    debug_assert!(r < MAX_UNROLL);
+    VReg::new(4 + r as u8)
+}
+
+/// `col_idx` walk register of unrolled row `r`.
+pub fn colidx_vreg(r: usize) -> VReg {
+    debug_assert!(r < MAX_UNROLL);
+    VReg::new(8 + r as u8)
+}
+
+/// B-slice register of unrolled row `r` (Algorithm 2 / dense baseline).
+pub fn bslice_vreg(r: usize) -> VReg {
+    debug_assert!(r < MAX_UNROLL);
+    VReg::new(12 + r as u8)
+}
+
+/// Scratch scalar register of unrolled row `r` (moved index/address).
+pub fn scratch_xreg(r: usize) -> XReg {
+    [XReg::T0, XReg::T1, XReg::T2, XReg::T3][r]
+}
+
+/// C-address register of unrolled row `r`.
+pub fn c_addr_xreg(r: usize) -> XReg {
+    [XReg::A1, XReg::A2, XReg::A3, XReg::A4][r]
+}
+
+/// Per-row FP scalar for `vfmacc.vf`.
+pub fn value_freg(r: usize) -> FReg {
+    FReg::new(r as u8)
+}
+
+/// Loop-counter register for the innermost (non-zero) loop.
+pub const CTR_NNZ: XReg = XReg::T4;
+/// Loop-counter register for the row-group loop.
+pub const CTR_ROWS: XReg = XReg::T5;
+/// Loop-counter register for the column-tile loop.
+pub const CTR_COLTILES: XReg = XReg::T6;
+/// Loop-counter register for the k-tile loop.
+pub const CTR_KTILES: XReg = XReg::S6;
+/// Transient address scratch.
+pub const ADDR_SCRATCH: XReg = XReg::A0;
+/// B/C row stride in bytes.
+pub const ROW_STRIDE: XReg = XReg::S9;
+/// Algorithm 2: B base adjusted for the current column tile.
+pub const B_COLTILE_BASE: XReg = XReg::S5;
+
+/// Emits the one-time prologue: row-stride constant and `vsetvli` to the
+/// full hardware vector length.
+pub fn emit_prologue(b: &mut ProgramBuilder, vl: usize, row_stride_bytes: u64) {
+    b.comment("prologue: vl = VLMAX, row stride constant");
+    b.li(ADDR_SCRATCH, vl as i64);
+    b.push(Instruction::Vsetvli { rd: XReg::ZERO, rs1: ADDR_SCRATCH, sew: Sew::E32 });
+    b.li(ROW_STRIDE, row_stride_bytes as i64);
+}
+
+/// Emits one dynamic iteration of loop control: decrement `counter` and
+/// branch (taken) to the next instruction while it is non-zero. The
+/// final iteration's branch falls through, exactly like rolled code.
+pub fn emit_loop_step(b: &mut ProgramBuilder, counter: XReg) {
+    b.addi(counter, counter, -1);
+    let next = b.new_label();
+    b.bne(counter, XReg::ZERO, next);
+    b.bind(next);
+}
+
+/// Emits a `vle32` from an absolute address via the scratch register.
+pub fn emit_vload_abs(b: &mut ProgramBuilder, vd: VReg, addr: u64) {
+    b.li(ADDR_SCRATCH, addr as i64);
+    b.push(Instruction::Vle32 { vd, rs1: ADDR_SCRATCH });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use indexmac_isa::Program;
+
+    #[test]
+    fn register_banks_do_not_collide() {
+        for r in 0..MAX_UNROLL {
+            let regs =
+                [c_vreg(r).index(), values_vreg(r).index(), colidx_vreg(r).index(), bslice_vreg(r).index()];
+            for (i, a) in regs.iter().enumerate() {
+                for bix in regs.iter().skip(i + 1) {
+                    assert_ne!(a, bix);
+                }
+            }
+            assert!(regs.iter().all(|x| *x < 16), "banks must stay below the tile base");
+        }
+    }
+
+    #[test]
+    fn scratch_and_addr_regs_distinct_from_counters() {
+        let counters = [CTR_NNZ, CTR_ROWS, CTR_COLTILES, CTR_KTILES, ADDR_SCRATCH, ROW_STRIDE];
+        for r in 0..MAX_UNROLL {
+            assert!(!counters.contains(&scratch_xreg(r)));
+            assert!(!counters.contains(&c_addr_xreg(r)));
+        }
+    }
+
+    fn run_to_end(p: &Program) -> indexmac_vpu::Simulator {
+        let mut sim = indexmac_vpu::Simulator::new(indexmac_vpu::SimConfig::table_i());
+        sim.run(p).unwrap();
+        sim
+    }
+
+    #[test]
+    fn loop_step_executes_like_a_loop() {
+        // Three iterations' worth of loop-control pairs behave like a
+        // counted loop: counter ends at zero, branches taken except last.
+        let mut b = ProgramBuilder::new();
+        b.li(CTR_NNZ, 3);
+        for _ in 0..3 {
+            emit_loop_step(&mut b, CTR_NNZ);
+        }
+        b.halt();
+        let sim = run_to_end(&b.build());
+        assert_eq!(sim.state().x(CTR_NNZ), 0);
+    }
+
+    #[test]
+    fn prologue_sets_vl() {
+        let mut b = ProgramBuilder::new();
+        emit_prologue(&mut b, 16, 256);
+        b.halt();
+        let sim = run_to_end(&b.build());
+        assert_eq!(sim.state().vl(), 16);
+        assert_eq!(sim.state().x(ROW_STRIDE), 256);
+    }
+}

@@ -1,0 +1,76 @@
+//! Error type for kernel planning and generation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from layout planning or kernel building.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KernelError {
+    /// The B-tile row count `L` is invalid for the pattern/machine.
+    BadTileRows {
+        /// Requested tile rows.
+        tile_rows: usize,
+        /// Why it was rejected.
+        reason: &'static str,
+    },
+    /// The fixed-shape slot count per tile exceeds the vector length, so
+    /// the slide-based walk cannot keep all slots in one register.
+    TooManySlotsPerTile {
+        /// Slots per (row, k-tile): `N * L / M`.
+        slots: usize,
+        /// Hardware vector length in elements.
+        vl: usize,
+    },
+    /// Unroll factor incompatible with the register budget.
+    BadUnroll {
+        /// Requested unroll.
+        unroll: usize,
+        /// Maximum supported for this kernel/layout.
+        max: usize,
+    },
+    /// A and B dimensions do not agree.
+    DimensionMismatch {
+        /// `A.cols()`.
+        a_cols: usize,
+        /// `B.rows()`.
+        b_rows: usize,
+    },
+}
+
+impl fmt::Display for KernelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KernelError::BadTileRows { tile_rows, reason } => {
+                write!(f, "invalid B-tile rows L={tile_rows}: {reason}")
+            }
+            KernelError::TooManySlotsPerTile { slots, vl } => {
+                write!(f, "{slots} metadata slots per tile exceed the vector length {vl}")
+            }
+            KernelError::BadUnroll { unroll, max } => {
+                write!(f, "unroll factor {unroll} exceeds the register budget (max {max})")
+            }
+            KernelError::DimensionMismatch { a_cols, b_rows } => {
+                write!(f, "A has {a_cols} columns but B has {b_rows} rows")
+            }
+        }
+    }
+}
+
+impl Error for KernelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_all_variants() {
+        for e in [
+            KernelError::BadTileRows { tile_rows: 3, reason: "not a multiple of M" },
+            KernelError::TooManySlotsPerTile { slots: 32, vl: 16 },
+            KernelError::BadUnroll { unroll: 8, max: 4 },
+            KernelError::DimensionMismatch { a_cols: 8, b_rows: 9 },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! **Algorithm 3** — the proposed kernel: B-tile resident in the vector
+//! register file plus `vindexmac.vx`.
+//!
+//! Per k-tile and column tile, `L` rows of B are pre-loaded into
+//! `v(32-L)..v31` (paper lines 2–4). Per non-zero slot the inner loop is
+//! then just (paper lines 10–13):
+//!
+//! ```text
+//! vmv.x.s      t, v_colidx            # index to scalar reg   (line 10)
+//! vindexmac.vx v_c, v_values, t       #                       (line 11)
+//! vslide1down  v_values               #                       (line 12)
+//! vslide1down  v_colidx               #                       (line 13)
+//! ```
+//!
+//! Compared with Algorithm 2 this removes the per-nonzero vector load
+//! *and* one of the two cross-domain moves — the `vindexmac` instruction
+//! reads the value directly from `v_values[0]` and the B row directly
+//! from the register file. The kernel is B-stationary by construction
+//! (that is what makes the tile pinnable at all).
+
+use crate::emit::{
+    c_addr_xreg, c_vreg, colidx_vreg, emit_loop_step, emit_prologue, emit_vload_abs,
+    scratch_xreg, values_vreg, ADDR_SCRATCH, CTR_COLTILES, CTR_KTILES, CTR_NNZ, CTR_ROWS,
+    MAX_UNROLL, ROW_STRIDE,
+};
+use crate::error::KernelError;
+use crate::layout::GemmLayout;
+use crate::KernelParams;
+use indexmac_isa::{Instruction, Program, ProgramBuilder, VReg, XReg};
+
+/// Builds the proposed vindexmac kernel for `layout`.
+///
+/// `params.dataflow` is ignored: Algorithm 3 is inherently B-stationary.
+///
+/// # Errors
+///
+/// Returns [`KernelError::BadUnroll`] when `params.unroll` is outside
+/// `1..=4`.
+pub fn build(layout: &GemmLayout, params: &KernelParams) -> Result<Program, KernelError> {
+    if params.unroll == 0 || params.unroll > MAX_UNROLL {
+        return Err(KernelError::BadUnroll { unroll: params.unroll, max: MAX_UNROLL });
+    }
+    let unroll = params.unroll;
+    let mut b = ProgramBuilder::new();
+    emit_prologue(&mut b, layout.vl, layout.row_stride_bytes);
+
+    let groups: Vec<(usize, usize)> = (0..layout.dims.rows.div_ceil(unroll))
+        .map(|g| {
+            let row0 = g * unroll;
+            (row0, unroll.min(layout.dims.rows - row0))
+        })
+        .collect();
+
+    b.li(CTR_KTILES, layout.num_ktiles as i64);
+    for kt in 0..layout.num_ktiles {
+        b.li(CTR_COLTILES, layout.num_coltiles as i64);
+        for ct in 0..layout.num_coltiles {
+            emit_tile_preload(&mut b, layout, kt, ct);
+            b.li(CTR_ROWS, groups.len() as i64);
+            for &(row0, u_eff) in &groups {
+                // Per-row metadata + C loads (paper lines 6–8).
+                for r in 0..u_eff {
+                    let row = row0 + r;
+                    b.li(c_addr_xreg(r), layout.c_addr(row, ct * layout.vl) as i64);
+                    emit_vload_abs(&mut b, values_vreg(r), layout.values_addr(row, kt));
+                    emit_vload_abs(&mut b, colidx_vreg(r), layout.colidx_vregs_addr(row, kt));
+                    b.push(Instruction::Vle32 { vd: c_vreg(r), rs1: c_addr_xreg(r) });
+                }
+                // Inner loop over the fixed N*L/M slots (lines 9–14).
+                b.li(CTR_NNZ, layout.slots_per_tile as i64);
+                for _q in 0..layout.slots_per_tile {
+                    for r in 0..u_eff {
+                        b.push(Instruction::VmvXs { rd: scratch_xreg(r), vs2: colidx_vreg(r) });
+                    }
+                    for r in 0..u_eff {
+                        b.push(Instruction::VindexmacVx {
+                            vd: c_vreg(r),
+                            vs2: values_vreg(r),
+                            rs: scratch_xreg(r),
+                        });
+                    }
+                    for r in 0..u_eff {
+                        b.push(Instruction::Vslide1downVx {
+                            vd: values_vreg(r),
+                            vs2: values_vreg(r),
+                            rs1: XReg::ZERO,
+                        });
+                        b.push(Instruction::Vslide1downVx {
+                            vd: colidx_vreg(r),
+                            vs2: colidx_vreg(r),
+                            rs1: XReg::ZERO,
+                        });
+                    }
+                    emit_loop_step(&mut b, CTR_NNZ);
+                }
+                // Store the updated C slices (line 15).
+                for r in 0..u_eff {
+                    b.push(Instruction::Vse32 { vs3: c_vreg(r), rs1: c_addr_xreg(r) });
+                }
+                emit_loop_step(&mut b, CTR_ROWS);
+            }
+            emit_loop_step(&mut b, CTR_COLTILES);
+        }
+        emit_loop_step(&mut b, CTR_KTILES);
+    }
+    b.halt();
+    Ok(b.build())
+}
+
+/// Pre-loads the `L x VL` tile `B[kt*L .., ct*VL ..]` into the top of
+/// the vector register file (paper Algorithm 3 lines 2–4).
+fn emit_tile_preload(b: &mut ProgramBuilder, layout: &GemmLayout, kt: usize, ct: usize) {
+    b.comment(format!(
+        "preload B tile kt={kt} ct={ct} into v{}..v31",
+        layout.tile_vreg_base
+    ));
+    b.li(ADDR_SCRATCH, layout.b_addr(kt * layout.tile_rows, ct * layout.vl) as i64);
+    for l in 0..layout.tile_rows {
+        b.push(Instruction::Vle32 {
+            vd: VReg::new(layout.tile_vreg_base + l as u8),
+            rs1: ADDR_SCRATCH,
+        });
+        if l + 1 < layout.tile_rows {
+            b.add(ADDR_SCRATCH, ADDR_SCRATCH, ROW_STRIDE);
+        }
+    }
+}
+
+/// Static count of `vindexmac.vx` instructions in a program.
+pub fn count_indexmacs(program: &Program) -> usize {
+    program.count(|i| matches!(i, Instruction::VindexmacVx { .. }))
+}
+
+/// Static count of B-tile preload loads (`vle32` into the tile range).
+pub fn count_preloads(program: &Program, layout: &GemmLayout) -> usize {
+    program.count(|i| {
+        matches!(i, Instruction::Vle32 { vd, .. } if vd.index() >= layout.tile_vreg_base)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rowwise;
+    use indexmac_sparse::{prune, NmPattern};
+    use indexmac_vpu::SimConfig;
+
+    fn layout(pattern: NmPattern) -> GemmLayout {
+        let a = prune::random_structured(6, 32, pattern, 11);
+        GemmLayout::plan(&a, 20, &SimConfig::table_i(), 16).unwrap()
+    }
+
+    #[test]
+    fn instruction_counts_match_structure() {
+        let l = layout(NmPattern::P1_4);
+        let p = build(&l, &KernelParams::default()).unwrap();
+        // One vindexmac per (row, slot, ktile, coltile).
+        let expected =
+            l.dims.rows * l.slots_per_tile * l.num_ktiles * l.num_coltiles;
+        assert_eq!(count_indexmacs(&p), expected);
+        // L preloads per (ktile, coltile).
+        assert_eq!(count_preloads(&p, &l), l.tile_rows * l.num_ktiles * l.num_coltiles);
+    }
+
+    #[test]
+    fn no_per_nonzero_b_loads() {
+        let l = layout(NmPattern::P2_4);
+        let p = build(&l, &KernelParams::default()).unwrap();
+        // The only vector loads are tile preloads, metadata and C rows —
+        // none through the per-row scratch registers.
+        assert_eq!(rowwise::count_b_loads(&p), 0);
+    }
+
+    #[test]
+    fn fewer_static_instructions_than_rowwise_inner() {
+        // The paper: 3 instructions (lines 8-10 of Alg2) become 2
+        // (lines 10-11 of Alg3). Compare per-nonzero op counts.
+        let l = layout(NmPattern::P1_4);
+        let p3 = build(&l, &KernelParams::default()).unwrap();
+        let p2 = rowwise::build(&l, &KernelParams::default()).unwrap();
+        let nnz_ops = l.dims.rows * l.slots_per_tile * l.num_ktiles * l.num_coltiles;
+        // Alg2 per nonzero: vmv.x.s + vle32 + vfmv.f.s + vfmacc + 2 slides = 6
+        // Alg3 per nonzero: vmv.x.s + vindexmac + 2 slides = 4
+        let vec_ops = |p: &Program| {
+            p.count(|i| i.is_vector() && !matches!(i, Instruction::Vsetvli { .. }))
+        };
+        let diff = vec_ops(&p2) as i64 - vec_ops(&p3) as i64;
+        // Alg3 adds preloads; Alg2 has 2 extra ops per nonzero plus the
+        // per-group address adjust.
+        let preloads = (l.tile_rows * l.num_ktiles * l.num_coltiles) as i64;
+        let adjusts = (l.dims.rows * l.num_ktiles * l.num_coltiles) as i64;
+        assert_eq!(diff, 2 * nnz_ops as i64 + adjusts - preloads);
+    }
+
+    #[test]
+    fn rejects_bad_unroll() {
+        let l = layout(NmPattern::P1_4);
+        assert!(matches!(
+            build(&l, &KernelParams { unroll: 9, ..Default::default() }),
+            Err(KernelError::BadUnroll { .. })
+        ));
+    }
+
+    #[test]
+    fn smaller_tile_rows_supported() {
+        let a = prune::random_structured(4, 32, NmPattern::P1_4, 3);
+        let l = GemmLayout::plan(&a, 16, &SimConfig::table_i(), 8).unwrap();
+        assert_eq!(l.tile_vreg_base, 24);
+        let p = build(&l, &KernelParams::default()).unwrap();
+        assert!(count_preloads(&p, &l) > 0);
+    }
+}

@@ -1,0 +1,438 @@
+//! Memory-layout planning and operand pre-processing.
+//!
+//! The planner assigns simulated-memory regions to the operand arrays
+//! and materialises the two *derived index arrays* that the paper's
+//! offline format conversion produces from `col_idx`:
+//!
+//! * for Algorithm 2, each slot stores the **byte offset of the selected
+//!   B row** (`global_row * b_row_stride`), so the kernel only adds the
+//!   tile-adjusted base (`vadd.vx`, paper Algorithm 2 line 5) and the
+//!   per-nonzero `vmv.x.s` yields a complete load address;
+//! * for Algorithm 3, each slot stores the **vector-register number**
+//!   holding that B row within the pre-loaded tile
+//!   (`tile_vreg_base + local_row`), so the per-nonzero `vmv.x.s`
+//!   yields exactly the `rs` operand of `vindexmac.vx`.
+//!
+//! B and C rows are padded to a whole number of vector lengths so every
+//! column tile is full-width; both kernels see identical padding.
+
+use crate::error::KernelError;
+use indexmac_mem::MainMemory;
+use indexmac_sparse::{DenseMatrix, NmPattern, StructuredSparseMatrix};
+use indexmac_vpu::SimConfig;
+
+/// The logical GEMM shape `C[rows x cols] = A[rows x inner] * B[inner x cols]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GemmDims {
+    /// Rows of A and C.
+    pub rows: usize,
+    /// Columns of A / rows of B (`K`).
+    pub inner: usize,
+    /// Columns of B and C.
+    pub cols: usize,
+}
+
+impl GemmDims {
+    /// Multiply-accumulate count of the dense product.
+    pub fn dense_macs(&self) -> u64 {
+        self.rows as u64 * self.inner as u64 * self.cols as u64
+    }
+}
+
+/// First simulated address handed out to operand arrays.
+const REGION_BASE: u64 = 0x0010_0000;
+/// Region alignment (one simulated page).
+const REGION_ALIGN: u64 = 0x1000;
+
+/// A planned operand placement for one sparse x dense product.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GemmLayout {
+    /// Logical GEMM shape.
+    pub dims: GemmDims,
+    /// The N:M pattern of A.
+    pub pattern: NmPattern,
+    /// B-tile rows kept resident per k-step (`L`, multiple of `M`).
+    pub tile_rows: usize,
+    /// Hardware vector length in elements.
+    pub vl: usize,
+    /// `ceil(inner / L)` — number of k-tiles.
+    pub num_ktiles: usize,
+    /// Metadata slots per (row, k-tile): `N * L / M`.
+    pub slots_per_tile: usize,
+    /// `ceil(cols / VL)` — number of column tiles.
+    pub num_coltiles: usize,
+    /// First vector register of the resident B tile (`32 - L`).
+    pub tile_vreg_base: u8,
+    /// Base address of the `values` array.
+    pub values_base: u64,
+    /// Base address of the Algorithm 2 index array (B-row byte offsets).
+    pub colidx_offsets_base: u64,
+    /// Base address of the Algorithm 3 index array (VRF register numbers).
+    pub colidx_vregs_base: u64,
+    /// Base address of the dense A array (Algorithm 1 baseline).
+    pub a_dense_base: u64,
+    /// Base address of B (row-major, padded row stride).
+    pub b_base: u64,
+    /// Base address of C (row-major, padded row stride).
+    pub c_base: u64,
+    /// Padded B/C row stride in bytes (`ceil(cols/VL)*VL*4`).
+    pub row_stride_bytes: u64,
+    /// Padded A (dense) row stride in bytes (`ceil(inner/VL)*VL*4`).
+    pub a_row_stride_bytes: u64,
+}
+
+impl GemmLayout {
+    /// Plans a layout for `a * B` where B has `b_cols` columns.
+    ///
+    /// `tile_rows` is the paper's `L` (the evaluation uses `L = 16`).
+    ///
+    /// # Errors
+    ///
+    /// * [`KernelError::BadTileRows`] if `L` is not a positive multiple
+    ///   of `M`, exceeds the paper's bound `M * VL / N`, or leaves fewer
+    ///   than 12 architectural registers for accumulators and metadata;
+    /// * [`KernelError::TooManySlotsPerTile`] if `N * L / M > VL` (the
+    ///   slide walk could not keep a tile's metadata in one register).
+    pub fn plan(
+        a: &StructuredSparseMatrix,
+        b_cols: usize,
+        cfg: &SimConfig,
+        tile_rows: usize,
+    ) -> Result<Self, KernelError> {
+        let pattern = a.pattern();
+        let vl = cfg.vlmax_e32();
+        let (rows, inner) = a.shape();
+
+        if tile_rows == 0 || !tile_rows.is_multiple_of(pattern.m()) {
+            return Err(KernelError::BadTileRows {
+                tile_rows,
+                reason: "must be a positive multiple of the block size M",
+            });
+        }
+        if tile_rows > pattern.max_preload_rows(vl) {
+            return Err(KernelError::BadTileRows {
+                tile_rows,
+                reason: "exceeds the addressable bound M*VL/N (paper Section III)",
+            });
+        }
+        if tile_rows > 20 {
+            // v0..v11 are reserved for accumulators/metadata/scratch.
+            return Err(KernelError::BadTileRows {
+                tile_rows,
+                reason: "leaves too few vector registers for accumulators",
+            });
+        }
+        let slots_per_tile = pattern.n() * tile_rows / pattern.m();
+        if slots_per_tile > vl {
+            return Err(KernelError::TooManySlotsPerTile { slots: slots_per_tile, vl });
+        }
+
+        let num_ktiles = inner.div_ceil(tile_rows);
+        let num_coltiles = b_cols.div_ceil(vl);
+        let row_stride_bytes = (num_coltiles * vl * 4) as u64;
+        let a_row_stride_bytes = (inner.div_ceil(vl) * vl * 4) as u64;
+
+        // Bump allocator over the simulated address space.
+        let mut cursor = REGION_BASE;
+        let mut alloc = |bytes: u64| {
+            let base = cursor;
+            cursor = (cursor + bytes + REGION_ALIGN - 1) & !(REGION_ALIGN - 1);
+            base
+        };
+        let meta_words = (rows * num_ktiles * slots_per_tile) as u64;
+        let values_base = alloc(meta_words * 4);
+        let colidx_offsets_base = alloc(meta_words * 4);
+        let colidx_vregs_base = alloc(meta_words * 4);
+        let a_dense_base = alloc(rows as u64 * a_row_stride_bytes);
+        let b_base = alloc(inner as u64 * row_stride_bytes);
+        let c_base = alloc(rows as u64 * row_stride_bytes);
+
+        Ok(Self {
+            dims: GemmDims { rows, inner, cols: b_cols },
+            pattern,
+            tile_rows,
+            vl,
+            num_ktiles,
+            slots_per_tile,
+            num_coltiles,
+            tile_vreg_base: (32 - tile_rows) as u8,
+            values_base,
+            colidx_offsets_base,
+            colidx_vregs_base,
+            a_dense_base,
+            b_base,
+            c_base,
+            row_stride_bytes,
+            a_row_stride_bytes,
+        })
+    }
+
+    /// Address of the `values` slots for `(row, ktile)`.
+    pub fn values_addr(&self, row: usize, ktile: usize) -> u64 {
+        self.values_base + ((row * self.num_ktiles + ktile) * self.slots_per_tile * 4) as u64
+    }
+
+    /// Address of the Algorithm 2 index slots for `(row, ktile)`.
+    pub fn colidx_offsets_addr(&self, row: usize, ktile: usize) -> u64 {
+        self.colidx_offsets_base
+            + ((row * self.num_ktiles + ktile) * self.slots_per_tile * 4) as u64
+    }
+
+    /// Address of the Algorithm 3 index slots for `(row, ktile)`.
+    pub fn colidx_vregs_addr(&self, row: usize, ktile: usize) -> u64 {
+        self.colidx_vregs_base
+            + ((row * self.num_ktiles + ktile) * self.slots_per_tile * 4) as u64
+    }
+
+    /// Address of element `(k, col)` of B.
+    pub fn b_addr(&self, k: usize, col: usize) -> u64 {
+        self.b_base + k as u64 * self.row_stride_bytes + (col * 4) as u64
+    }
+
+    /// Address of element `(row, col)` of C.
+    pub fn c_addr(&self, row: usize, col: usize) -> u64 {
+        self.c_base + row as u64 * self.row_stride_bytes + (col * 4) as u64
+    }
+
+    /// Address of element `(row, k)` of the dense copy of A.
+    pub fn a_dense_addr(&self, row: usize, k: usize) -> u64 {
+        self.a_dense_base + row as u64 * self.a_row_stride_bytes + (k * 4) as u64
+    }
+
+    /// Stride in bytes between `(row, ktile)` and `(row+1, ktile)`
+    /// metadata slots.
+    pub fn meta_row_stride_bytes(&self) -> u64 {
+        (self.num_ktiles * self.slots_per_tile * 4) as u64
+    }
+
+    /// Stride in bytes between `(row, ktile)` and `(row, ktile+1)`
+    /// metadata slots.
+    pub fn meta_ktile_stride_bytes(&self) -> u64 {
+        (self.slots_per_tile * 4) as u64
+    }
+
+    /// Writes every operand array into simulated memory: `values`, both
+    /// derived index arrays, a dense copy of A, B, and a zeroed C.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a`/`b` do not match the planned shape (planner misuse).
+    pub fn write_operands(
+        &self,
+        a: &StructuredSparseMatrix,
+        b: &DenseMatrix,
+        mem: &mut MainMemory,
+    ) {
+        assert_eq!(a.shape(), (self.dims.rows, self.dims.inner), "A shape changed");
+        assert_eq!(b.shape(), (self.dims.inner, self.dims.cols), "B shape changed");
+        let m = self.pattern.m();
+        let n = self.pattern.n();
+        let blocks_per_tile = self.tile_rows / m;
+        let real_blocks = a.blocks_per_row();
+
+        for row in 0..self.dims.rows {
+            for kt in 0..self.num_ktiles {
+                let mut values = vec![0.0_f32; self.slots_per_tile];
+                let mut offsets = vec![0_u32; self.slots_per_tile];
+                let mut vregs = vec![0_u32; self.slots_per_tile];
+                for bl in 0..blocks_per_tile {
+                    let global_block = kt * blocks_per_tile + bl;
+                    for s in 0..n {
+                        let slot = bl * n + s;
+                        let (value, in_block) = if global_block < real_blocks {
+                            let blk = a.block(row, global_block);
+                            (blk.values[s], blk.indices[s] as usize)
+                        } else {
+                            (0.0, 0) // k-tile padding beyond A's last block
+                        };
+                        let local_row = bl * m + in_block;
+                        let global_row = global_block * m + in_block;
+                        values[slot] = value;
+                        offsets[slot] = (global_row as u64 * self.row_stride_bytes) as u32;
+                        vregs[slot] = self.tile_vreg_base as u32 + local_row as u32;
+                    }
+                }
+                mem.write_f32_slice(self.values_addr(row, kt), &values);
+                mem.write_u32_slice(self.colidx_offsets_addr(row, kt), &offsets);
+                mem.write_u32_slice(self.colidx_vregs_addr(row, kt), &vregs);
+            }
+        }
+
+        // Dense copy of A (Algorithm 1 baseline), padded row stride.
+        let a_dense = a.to_dense();
+        for row in 0..self.dims.rows {
+            mem.write_f32_slice(self.a_dense_addr(row, 0), a_dense.row(row));
+        }
+
+        // B, padded row stride (padding bytes left zero).
+        for k in 0..self.dims.inner {
+            mem.write_f32_slice(self.b_addr(k, 0), b.row(k));
+        }
+
+        // C zeroed (paper Algorithm 3 reloads/updates C per tile).
+        let zero_row = vec![0.0_f32; (self.row_stride_bytes / 4) as usize];
+        for row in 0..self.dims.rows {
+            mem.write_f32_slice(self.c_base + row as u64 * self.row_stride_bytes, &zero_row);
+        }
+    }
+
+    /// Reads the (unpadded) result matrix C back from simulated memory.
+    pub fn read_c(&self, mem: &MainMemory) -> DenseMatrix {
+        DenseMatrix::from_fn(self.dims.rows, self.dims.cols, |r, c| {
+            mem.read_f32(self.c_addr(r, c))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use indexmac_sparse::prune;
+
+    fn cfg() -> SimConfig {
+        SimConfig::table_i()
+    }
+
+    fn layout(rows: usize, inner: usize, cols: usize, pattern: NmPattern) -> GemmLayout {
+        let a = prune::random_structured(rows, inner, pattern, 7);
+        GemmLayout::plan(&a, cols, &cfg(), 16).unwrap()
+    }
+
+    #[test]
+    fn plan_geometry() {
+        let l = layout(8, 64, 40, NmPattern::P1_4);
+        assert_eq!(l.num_ktiles, 4);
+        assert_eq!(l.slots_per_tile, 4); // 1 * 16/4
+        assert_eq!(l.num_coltiles, 3); // ceil(40/16)
+        assert_eq!(l.row_stride_bytes, 3 * 16 * 4);
+        assert_eq!(l.tile_vreg_base, 16);
+        let l = layout(8, 64, 40, NmPattern::P2_4);
+        assert_eq!(l.slots_per_tile, 8); // 2 * 16/4
+    }
+
+    #[test]
+    fn plan_validates_tile_rows() {
+        let a = prune::random_structured(4, 32, NmPattern::P2_4, 1);
+        assert!(matches!(
+            GemmLayout::plan(&a, 8, &cfg(), 3),
+            Err(KernelError::BadTileRows { .. })
+        ));
+        assert!(matches!(
+            GemmLayout::plan(&a, 8, &cfg(), 0),
+            Err(KernelError::BadTileRows { .. })
+        ));
+        // 2:4 bound: M*VL/N = 4*16/2 = 32, but register budget caps at 20.
+        assert!(matches!(
+            GemmLayout::plan(&a, 8, &cfg(), 24),
+            Err(KernelError::BadTileRows { .. })
+        ));
+        assert!(GemmLayout::plan(&a, 8, &cfg(), 8).is_ok());
+    }
+
+    #[test]
+    fn plan_rejects_beyond_preload_bound() {
+        // 1:16 pattern: M*VL/N = 16*16/1 = 256 ok; but 16:16 -> bound 16.
+        let p = NmPattern::new(16, 16).unwrap();
+        let a = prune::random_structured(2, 32, p, 1);
+        // L=16 gives slots 16*16/16 = 16 <= VL, bound = 16 ok.
+        assert!(GemmLayout::plan(&a, 8, &cfg(), 16).is_ok());
+        // 8:8 -> L=16 exceeds bound M*VL/N = 8*16/8 = 16? equal, ok; slots = 16.
+        let p = NmPattern::new(8, 8).unwrap();
+        let a = prune::random_structured(2, 32, p, 1);
+        assert!(GemmLayout::plan(&a, 16, &cfg(), 16).is_ok());
+    }
+
+    #[test]
+    fn regions_do_not_overlap() {
+        let l = layout(16, 128, 100, NmPattern::P2_4);
+        let meta = (16 * l.num_ktiles * l.slots_per_tile * 4) as u64;
+        assert!(l.values_base + meta <= l.colidx_offsets_base);
+        assert!(l.colidx_offsets_base + meta <= l.colidx_vregs_base);
+        assert!(l.colidx_vregs_base + meta <= l.a_dense_base);
+        assert!(l.a_dense_base + 16 * l.a_row_stride_bytes <= l.b_base);
+        assert!(l.b_base + 128 * l.row_stride_bytes <= l.c_base);
+    }
+
+    #[test]
+    fn derived_indices_match_format() {
+        let a = prune::random_structured(3, 32, NmPattern::P1_4, 9);
+        let b = DenseMatrix::random(32, 16, 10);
+        let l = GemmLayout::plan(&a, 16, &cfg(), 16).unwrap();
+        let mut mem = MainMemory::new();
+        l.write_operands(&a, &b, &mut mem);
+
+        for row in 0..3 {
+            for kt in 0..l.num_ktiles {
+                for slot in 0..l.slots_per_tile {
+                    let v = mem.read_f32(l.values_addr(row, kt) + slot as u64 * 4);
+                    let off = mem.read_u32(l.colidx_offsets_addr(row, kt) + slot as u64 * 4);
+                    let vreg = mem.read_u32(l.colidx_vregs_addr(row, kt) + slot as u64 * 4);
+                    // Offsets address a valid row of B.
+                    assert_eq!(off as u64 % l.row_stride_bytes, 0);
+                    let g = off as u64 / l.row_stride_bytes;
+                    assert!((g as usize) < l.num_ktiles * l.tile_rows);
+                    // Vreg within the resident tile.
+                    assert!((16..32).contains(&vreg));
+                    // Non-padding slots match the structured matrix.
+                    if v != 0.0 {
+                        let block = g as usize / 4;
+                        let in_block = g as usize % 4;
+                        let blk = a.block(row, block);
+                        assert!(blk
+                            .values
+                            .iter()
+                            .zip(blk.indices.iter())
+                            .any(|(bv, bi)| *bv == v && *bi as usize == in_block));
+                        // Local row consistent between the two encodings.
+                        assert_eq!(
+                            vreg as u64 - 16,
+                            g % l.tile_rows as u64,
+                            "vreg and offset must denote the same tile row"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn write_and_read_back_c() {
+        let a = prune::random_structured(4, 16, NmPattern::P1_4, 3);
+        let b = DenseMatrix::random(16, 10, 4);
+        let l = GemmLayout::plan(&a, 10, &cfg(), 16).unwrap();
+        let mut mem = MainMemory::new();
+        l.write_operands(&a, &b, &mut mem);
+        // C starts zeroed.
+        assert!(l.read_c(&mem).as_slice().iter().all(|v| *v == 0.0));
+        // B round-trips.
+        for k in 0..16 {
+            assert_eq!(mem.read_f32_slice(l.b_addr(k, 0), 10), b.row(k));
+        }
+        // Dense A copy round-trips.
+        let ad = a.to_dense();
+        for r in 0..4 {
+            assert_eq!(mem.read_f32_slice(l.a_dense_addr(r, 0), 16), ad.row(r));
+        }
+    }
+
+    #[test]
+    fn ragged_inner_dimension_pads_cleanly() {
+        // inner=20 with L=16 -> 2 k-tiles, second mostly padding.
+        let a = prune::random_structured(2, 20, NmPattern::P1_4, 5);
+        let b = DenseMatrix::random(20, 8, 6);
+        let l = GemmLayout::plan(&a, 8, &cfg(), 16).unwrap();
+        assert_eq!(l.num_ktiles, 2);
+        let mut mem = MainMemory::new();
+        l.write_operands(&a, &b, &mut mem);
+        // Padding slots in the second tile have zero values.
+        let vals = mem.read_f32_slice(l.values_addr(0, 1), l.slots_per_tile);
+        let real_blocks_in_tile2 = 5usize.saturating_sub(4); // blocks 4.. of 5
+        assert!(vals[real_blocks_in_tile2..].iter().all(|v| *v == 0.0));
+    }
+
+    #[test]
+    fn dense_mac_count() {
+        let d = GemmDims { rows: 3, inner: 4, cols: 5 };
+        assert_eq!(d.dense_macs(), 60);
+    }
+}

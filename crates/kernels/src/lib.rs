@@ -1,0 +1,72 @@
+//! Kernel generators for the IndexMAC reproduction: the paper's three
+//! matrix-multiplication algorithms compiled to instruction streams for
+//! the simulated decoupled vector processor.
+//!
+//! * [`dense`] — **Algorithm 1**: dense row-wise vectorized matmul.
+//! * [`rowwise`] — **Algorithm 2** ("Row-Wise-SpMM"): row-wise sparse x
+//!   dense using the structured `values`/`col_idx` format; per non-zero
+//!   it loads the selected B row from memory. Supports A-, B- and
+//!   C-stationary dataflows (Section IV-A of the paper).
+//! * [`indexmac`] — **Algorithm 3** ("Proposed"): pre-loads an `L x VL`
+//!   tile of B into the vector register file and replaces the per-nonzero
+//!   vector load + value move + MAC with one index move + `vindexmac.vx`.
+//! * [`scalar_idx`] — an extension variant that fetches per-nonzero
+//!   metadata with scalar loads instead of `vmv.x.s` + slides (ablation).
+//!
+//! All kernels share one [`layout::GemmLayout`]: a planned placement of
+//! the operand arrays in simulated memory, including the two
+//! pre-processed index arrays (byte offsets for Algorithm 2, VRF register
+//! numbers for Algorithm 3) that the paper's format conversion produces
+//! offline.
+//!
+//! # Example
+//!
+//! ```
+//! use indexmac_kernels::{GemmLayout, KernelParams, rowwise, indexmac, verify};
+//! use indexmac_sparse::{prune, DenseMatrix, NmPattern};
+//! use indexmac_vpu::SimConfig;
+//!
+//! let cfg = SimConfig::table_i();
+//! let a = prune::random_structured(8, 32, NmPattern::P1_4, 1);
+//! let b = DenseMatrix::random(32, 16, 2);
+//! let layout = GemmLayout::plan(&a, b.cols(), &cfg, 16)?;
+//! let params = KernelParams::default();
+//!
+//! let baseline = verify::run_kernel(&rowwise::build(&layout, &params)?, &a, &b, &layout, &cfg)?;
+//! let proposed = verify::run_kernel(&indexmac::build(&layout, &params)?, &a, &b, &layout, &cfg)?;
+//! assert!(proposed.report.mem.total_accesses() < baseline.report.mem.total_accesses());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod dataflow;
+pub mod dense;
+pub mod emit;
+pub mod error;
+pub mod indexmac;
+pub mod layout;
+pub mod rowwise;
+pub mod scalar_idx;
+pub mod verify;
+
+pub use dataflow::Dataflow;
+pub use error::KernelError;
+pub use layout::{GemmDims, GemmLayout};
+
+/// Tunables shared by every kernel builder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelParams {
+    /// Output rows produced per inner iteration (the paper applies x4
+    /// loop unrolling to both kernels).
+    pub unroll: usize,
+    /// Loop order / operand residency (Algorithm 2 only; Algorithm 3 is
+    /// B-stationary by construction).
+    pub dataflow: Dataflow,
+}
+
+impl Default for KernelParams {
+    fn default() -> Self {
+        Self { unroll: 4, dataflow: Dataflow::BStationary }
+    }
+}

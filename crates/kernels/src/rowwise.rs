@@ -1,0 +1,287 @@
+//! **Algorithm 2** — "Row-Wise-SpMM": row-wise vector sparse x dense
+//! matrix multiplication on the structured `values`/`col_idx` format.
+//!
+//! Per non-zero slot the kernel executes (paper lines 7–12):
+//!
+//! ```text
+//! vmv.x.s   t, v_colidx      # row address of B (pre-adjusted, line 5/7)
+//! vle32.v   v_b, (t)         # load the selected B row slice   (line 8)
+//! vfmv.f.s  f, v_values      # value to a scalar register      (line 9)
+//! vfmacc.vf v_c, f, v_b      # scalar-vector mul-acc           (line 10)
+//! vslide1down v_values       #                                 (line 11)
+//! vslide1down v_colidx       #                                 (line 12)
+//! ```
+//!
+//! This is the state-of-the-art baseline the paper speeds up: note the
+//! per-nonzero **vector load from memory** and the *two* cross-domain
+//! moves. Supports the three dataflows of Section IV-A.
+
+use crate::dataflow::Dataflow;
+use crate::emit::{
+    bslice_vreg, c_addr_xreg, c_vreg, colidx_vreg, emit_loop_step, emit_prologue, emit_vload_abs,
+    scratch_xreg, value_freg, values_vreg, B_COLTILE_BASE, CTR_COLTILES, CTR_KTILES, CTR_NNZ,
+    CTR_ROWS, MAX_UNROLL,
+};
+use crate::error::KernelError;
+use crate::layout::GemmLayout;
+use crate::KernelParams;
+use indexmac_isa::{Instruction, Program, ProgramBuilder, XReg};
+
+/// Builds the Row-Wise-SpMM program for `layout`.
+///
+/// # Errors
+///
+/// Returns [`KernelError::BadUnroll`] when `params.unroll` is outside
+/// `1..=4`.
+pub fn build(layout: &GemmLayout, params: &KernelParams) -> Result<Program, KernelError> {
+    if params.unroll == 0 || params.unroll > MAX_UNROLL {
+        return Err(KernelError::BadUnroll { unroll: params.unroll, max: MAX_UNROLL });
+    }
+    let mut b = ProgramBuilder::new();
+    emit_prologue(&mut b, layout.vl, layout.row_stride_bytes);
+    match params.dataflow {
+        Dataflow::BStationary => emit_b_stationary(&mut b, layout, params.unroll),
+        Dataflow::AStationary => emit_a_stationary(&mut b, layout, params.unroll),
+        Dataflow::CStationary => emit_c_stationary(&mut b, layout, params.unroll),
+    }
+    b.halt();
+    Ok(b.build())
+}
+
+fn row_groups(rows: usize, unroll: usize) -> Vec<(usize, usize)> {
+    (0..rows.div_ceil(unroll))
+        .map(|g| {
+            let row0 = g * unroll;
+            (row0, unroll.min(rows - row0))
+        })
+        .collect()
+}
+
+/// Loads the per-row metadata (`values`, address-adjusted `col_idx`) and
+/// optionally the C row slices for one unrolled row group.
+fn emit_group_loads(
+    b: &mut ProgramBuilder,
+    layout: &GemmLayout,
+    row0: usize,
+    u_eff: usize,
+    kt: usize,
+    ct: usize,
+    setup_c: bool,
+) {
+    for r in 0..u_eff {
+        let row = row0 + r;
+        if setup_c {
+            b.li(c_addr_xreg(r), layout.c_addr(row, ct * layout.vl) as i64);
+        }
+        emit_vload_abs(b, values_vreg(r), layout.values_addr(row, kt));
+        emit_vload_abs(b, colidx_vreg(r), layout.colidx_offsets_addr(row, kt));
+        // Paper Algorithm 2 line 5: col_idx += B address (tile-adjusted).
+        b.push(Instruction::VaddVx {
+            vd: colidx_vreg(r),
+            vs2: colidx_vreg(r),
+            rs1: B_COLTILE_BASE,
+        });
+        if setup_c {
+            b.push(Instruction::Vle32 { vd: c_vreg(r), rs1: c_addr_xreg(r) });
+        }
+    }
+}
+
+/// The per-nonzero inner loop (paper lines 7–12) for one row group.
+fn emit_inner_loop(b: &mut ProgramBuilder, layout: &GemmLayout, u_eff: usize) {
+    b.li(CTR_NNZ, layout.slots_per_tile as i64);
+    for _q in 0..layout.slots_per_tile {
+        for r in 0..u_eff {
+            b.push(Instruction::VmvXs { rd: scratch_xreg(r), vs2: colidx_vreg(r) });
+        }
+        for r in 0..u_eff {
+            b.push(Instruction::Vle32 { vd: bslice_vreg(r), rs1: scratch_xreg(r) });
+        }
+        for r in 0..u_eff {
+            b.push(Instruction::VfmvFs { fd: value_freg(r), vs2: values_vreg(r) });
+        }
+        for r in 0..u_eff {
+            b.push(Instruction::VfmaccVf {
+                vd: c_vreg(r),
+                fs1: value_freg(r),
+                vs2: bslice_vreg(r),
+            });
+        }
+        for r in 0..u_eff {
+            b.push(Instruction::Vslide1downVx {
+                vd: values_vreg(r),
+                vs2: values_vreg(r),
+                rs1: XReg::ZERO,
+            });
+            b.push(Instruction::Vslide1downVx {
+                vd: colidx_vreg(r),
+                vs2: colidx_vreg(r),
+                rs1: XReg::ZERO,
+            });
+        }
+        emit_loop_step(b, CTR_NNZ);
+    }
+}
+
+fn emit_group_stores(b: &mut ProgramBuilder, u_eff: usize) {
+    for r in 0..u_eff {
+        b.push(Instruction::Vse32 { vs3: c_vreg(r), rs1: c_addr_xreg(r) });
+    }
+}
+
+fn emit_coltile_base(b: &mut ProgramBuilder, layout: &GemmLayout, ct: usize) {
+    b.li(B_COLTILE_BASE, (layout.b_base + (ct * layout.vl * 4) as u64) as i64);
+}
+
+fn emit_b_stationary(b: &mut ProgramBuilder, layout: &GemmLayout, unroll: usize) {
+    let groups = row_groups(layout.dims.rows, unroll);
+    b.li(CTR_KTILES, layout.num_ktiles as i64);
+    for kt in 0..layout.num_ktiles {
+        b.li(CTR_COLTILES, layout.num_coltiles as i64);
+        for ct in 0..layout.num_coltiles {
+            emit_coltile_base(b, layout, ct);
+            b.li(CTR_ROWS, groups.len() as i64);
+            for &(row0, u_eff) in &groups {
+                emit_group_loads(b, layout, row0, u_eff, kt, ct, true);
+                emit_inner_loop(b, layout, u_eff);
+                emit_group_stores(b, u_eff);
+                emit_loop_step(b, CTR_ROWS);
+            }
+            emit_loop_step(b, CTR_COLTILES);
+        }
+        emit_loop_step(b, CTR_KTILES);
+    }
+}
+
+fn emit_a_stationary(b: &mut ProgramBuilder, layout: &GemmLayout, unroll: usize) {
+    let groups = row_groups(layout.dims.rows, unroll);
+    b.li(CTR_ROWS, groups.len() as i64);
+    for &(row0, u_eff) in &groups {
+        b.li(CTR_KTILES, layout.num_ktiles as i64);
+        for kt in 0..layout.num_ktiles {
+            b.li(CTR_COLTILES, layout.num_coltiles as i64);
+            for ct in 0..layout.num_coltiles {
+                emit_coltile_base(b, layout, ct);
+                emit_group_loads(b, layout, row0, u_eff, kt, ct, true);
+                emit_inner_loop(b, layout, u_eff);
+                emit_group_stores(b, u_eff);
+                emit_loop_step(b, CTR_COLTILES);
+            }
+            emit_loop_step(b, CTR_KTILES);
+        }
+        emit_loop_step(b, CTR_ROWS);
+    }
+}
+
+fn emit_c_stationary(b: &mut ProgramBuilder, layout: &GemmLayout, unroll: usize) {
+    let groups = row_groups(layout.dims.rows, unroll);
+    b.li(CTR_ROWS, groups.len() as i64);
+    for &(row0, u_eff) in &groups {
+        b.li(CTR_COLTILES, layout.num_coltiles as i64);
+        for ct in 0..layout.num_coltiles {
+            // C row slices stay resident across the whole k dimension.
+            for r in 0..u_eff {
+                b.li(c_addr_xreg(r), layout.c_addr(row0 + r, ct * layout.vl) as i64);
+                b.push(Instruction::Vle32 { vd: c_vreg(r), rs1: c_addr_xreg(r) });
+            }
+            b.li(CTR_KTILES, layout.num_ktiles as i64);
+            for kt in 0..layout.num_ktiles {
+                emit_coltile_base(b, layout, ct);
+                emit_group_loads(b, layout, row0, u_eff, kt, ct, false);
+                emit_inner_loop(b, layout, u_eff);
+                emit_loop_step(b, CTR_KTILES);
+            }
+            emit_group_stores(b, u_eff);
+            emit_loop_step(b, CTR_COLTILES);
+        }
+        emit_loop_step(b, CTR_ROWS);
+    }
+}
+
+/// Static count of per-nonzero B-row vector loads in the built program —
+/// used by tests to confirm the baseline's traffic profile.
+pub fn count_b_loads(program: &Program) -> usize {
+    program.count(|i| {
+        matches!(i, Instruction::Vle32 { rs1, .. }
+            if [XReg::T0, XReg::T1, XReg::T2, XReg::T3].contains(rs1))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use indexmac_sparse::{prune, NmPattern};
+    use indexmac_vpu::SimConfig;
+
+    fn small_layout(pattern: NmPattern) -> GemmLayout {
+        let a = prune::random_structured(6, 32, pattern, 11);
+        GemmLayout::plan(&a, 20, &SimConfig::table_i(), 16).unwrap()
+    }
+
+    #[test]
+    fn builds_all_dataflows() {
+        let layout = small_layout(NmPattern::P1_4);
+        for df in Dataflow::ALL {
+            let p = build(&layout, &KernelParams { unroll: 4, dataflow: df }).unwrap();
+            assert!(p.len() > 50, "{df} kernel suspiciously small");
+            assert_eq!(p.fetch(p.len() - 1), Some(&Instruction::Halt));
+        }
+    }
+
+    #[test]
+    fn rejects_bad_unroll() {
+        let layout = small_layout(NmPattern::P1_4);
+        assert!(matches!(
+            build(&layout, &KernelParams { unroll: 0, dataflow: Dataflow::BStationary }),
+            Err(KernelError::BadUnroll { .. })
+        ));
+        assert!(matches!(
+            build(&layout, &KernelParams { unroll: 5, dataflow: Dataflow::BStationary }),
+            Err(KernelError::BadUnroll { .. })
+        ));
+    }
+
+    #[test]
+    fn per_nonzero_loads_present() {
+        let layout = small_layout(NmPattern::P2_4);
+        let p = build(&layout, &KernelParams::default()).unwrap();
+        // One B load per (group-row, slot, ktile, coltile).
+        let groups: usize = 2; // 6 rows / 4 -> groups of 4 and 2
+        let _ = groups;
+        let expected: usize = layout.num_ktiles
+            * layout.num_coltiles
+            * layout.slots_per_tile
+            * layout.dims.rows;
+        assert_eq!(count_b_loads(&p), expected);
+    }
+
+    #[test]
+    fn c_stationary_has_fewer_stores() {
+        let layout = small_layout(NmPattern::P1_4);
+        let b_st = build(&layout, &KernelParams { unroll: 4, dataflow: Dataflow::BStationary })
+            .unwrap();
+        let c_st = build(&layout, &KernelParams { unroll: 4, dataflow: Dataflow::CStationary })
+            .unwrap();
+        let stores = |p: &Program| p.count(|i| matches!(i, Instruction::Vse32 { .. }));
+        assert!(stores(&c_st) < stores(&b_st));
+        // B-stationary stores once per (row, ktile, coltile); C-stationary
+        // once per (row, coltile).
+        assert_eq!(stores(&c_st) * layout.num_ktiles, stores(&b_st));
+    }
+
+    #[test]
+    fn unroll_reduces_loop_control() {
+        let layout = small_layout(NmPattern::P1_4);
+        let u1 = build(&layout, &KernelParams { unroll: 1, dataflow: Dataflow::BStationary })
+            .unwrap();
+        let u4 = build(&layout, &KernelParams { unroll: 4, dataflow: Dataflow::BStationary })
+            .unwrap();
+        let branches = |p: &Program| p.count(|i| matches!(i, Instruction::Bne { .. }));
+        assert!(
+            branches(&u4) < branches(&u1),
+            "x4 unrolling must amortise loop control ({} vs {})",
+            branches(&u4),
+            branches(&u1)
+        );
+    }
+}

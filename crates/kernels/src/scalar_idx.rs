@@ -1,0 +1,145 @@
+//! Extension ablation: a `vindexmac` kernel whose per-nonzero metadata
+//! comes from **scalar loads** instead of `vmv.x.s` + `vslide1down`.
+//!
+//! The paper's Algorithm 3 walks `values`/`col_idx` inside the vector
+//! register file, paying one vector-to-scalar synchronisation per
+//! non-zero. An alternative micro-architecture-friendly formulation
+//! fetches the index with an `lw` (L1-resident metadata) and injects the
+//! value via `vmv.s.x`, avoiding the engine-to-core round trip entirely:
+//!
+//! ```text
+//! lw        t, idx_off(base)     # vreg number from L1
+//! lw        a, val_off(base)     # value bits from L1
+//! vmv.s.x   v_val, a             # value into element 0
+//! vindexmac.vx v_c, v_val, t
+//! ```
+//!
+//! The `ablate_scalar_idx` bench quantifies how much of the remaining
+//! Algorithm 3 time is cross-domain synchronisation.
+
+use crate::emit::{
+    c_addr_xreg, c_vreg, emit_loop_step, emit_prologue, scratch_xreg, values_vreg, ADDR_SCRATCH,
+    CTR_COLTILES, CTR_KTILES, CTR_NNZ, CTR_ROWS, MAX_UNROLL, ROW_STRIDE,
+};
+use crate::error::KernelError;
+use crate::layout::GemmLayout;
+use crate::KernelParams;
+use indexmac_isa::{Instruction, Program, ProgramBuilder, VReg, XReg};
+
+/// Scalar registers holding loaded value bits, one per unrolled row.
+fn value_xreg(r: usize) -> XReg {
+    [XReg::A5, XReg::A6, XReg::A7, XReg::S7][r]
+}
+
+/// Builds the scalar-indexed vindexmac kernel.
+///
+/// # Errors
+///
+/// Returns [`KernelError::BadUnroll`] when `params.unroll` is outside
+/// `1..=4`.
+pub fn build(layout: &GemmLayout, params: &KernelParams) -> Result<Program, KernelError> {
+    if params.unroll == 0 || params.unroll > MAX_UNROLL {
+        return Err(KernelError::BadUnroll { unroll: params.unroll, max: MAX_UNROLL });
+    }
+    let unroll = params.unroll;
+    let mut b = ProgramBuilder::new();
+    emit_prologue(&mut b, layout.vl, layout.row_stride_bytes);
+
+    let groups: Vec<(usize, usize)> = (0..layout.dims.rows.div_ceil(unroll))
+        .map(|g| {
+            let row0 = g * unroll;
+            (row0, unroll.min(layout.dims.rows - row0))
+        })
+        .collect();
+
+    b.li(CTR_KTILES, layout.num_ktiles as i64);
+    for kt in 0..layout.num_ktiles {
+        b.li(CTR_COLTILES, layout.num_coltiles as i64);
+        for ct in 0..layout.num_coltiles {
+            // Tile preload identical to Algorithm 3.
+            b.li(ADDR_SCRATCH, layout.b_addr(kt * layout.tile_rows, ct * layout.vl) as i64);
+            for l in 0..layout.tile_rows {
+                b.push(Instruction::Vle32 {
+                    vd: VReg::new(layout.tile_vreg_base + l as u8),
+                    rs1: ADDR_SCRATCH,
+                });
+                if l + 1 < layout.tile_rows {
+                    b.add(ADDR_SCRATCH, ADDR_SCRATCH, ROW_STRIDE);
+                }
+            }
+            b.li(CTR_ROWS, groups.len() as i64);
+            for &(row0, u_eff) in &groups {
+                for r in 0..u_eff {
+                    let row = row0 + r;
+                    b.li(c_addr_xreg(r), layout.c_addr(row, ct * layout.vl) as i64);
+                    b.push(Instruction::Vle32 { vd: c_vreg(r), rs1: c_addr_xreg(r) });
+                }
+                b.li(CTR_NNZ, layout.slots_per_tile as i64);
+                for q in 0..layout.slots_per_tile {
+                    // Scalar fetch of index and value bits (L1 path).
+                    for r in 0..u_eff {
+                        let row = row0 + r;
+                        b.li(
+                            ADDR_SCRATCH,
+                            (layout.colidx_vregs_addr(row, kt) + (q * 4) as u64) as i64,
+                        );
+                        b.push(Instruction::Lw {
+                            rd: scratch_xreg(r),
+                            rs1: ADDR_SCRATCH,
+                            imm: 0,
+                        });
+                        b.li(
+                            ADDR_SCRATCH,
+                            (layout.values_addr(row, kt) + (q * 4) as u64) as i64,
+                        );
+                        b.push(Instruction::Lw { rd: value_xreg(r), rs1: ADDR_SCRATCH, imm: 0 });
+                    }
+                    for r in 0..u_eff {
+                        b.push(Instruction::VmvSx { vd: values_vreg(r), rs1: value_xreg(r) });
+                    }
+                    for r in 0..u_eff {
+                        b.push(Instruction::VindexmacVx {
+                            vd: c_vreg(r),
+                            vs2: values_vreg(r),
+                            rs: scratch_xreg(r),
+                        });
+                    }
+                    emit_loop_step(&mut b, CTR_NNZ);
+                }
+                for r in 0..u_eff {
+                    b.push(Instruction::Vse32 { vs3: c_vreg(r), rs1: c_addr_xreg(r) });
+                }
+                emit_loop_step(&mut b, CTR_ROWS);
+            }
+            emit_loop_step(&mut b, CTR_COLTILES);
+        }
+        emit_loop_step(&mut b, CTR_KTILES);
+    }
+    b.halt();
+    Ok(b.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use indexmac_sparse::{prune, NmPattern};
+    use indexmac_vpu::SimConfig;
+
+    #[test]
+    fn no_cross_domain_moves() {
+        let a = prune::random_structured(4, 32, NmPattern::P1_4, 8);
+        let l = GemmLayout::plan(&a, 16, &SimConfig::table_i(), 16).unwrap();
+        let p = build(&l, &KernelParams::default()).unwrap();
+        assert_eq!(p.count(|i| matches!(i, Instruction::VmvXs { .. })), 0);
+        assert_eq!(p.count(|i| matches!(i, Instruction::Vslide1downVx { .. })), 0);
+        assert!(p.count(|i| matches!(i, Instruction::Lw { .. })) > 0);
+        assert!(p.count(|i| matches!(i, Instruction::VindexmacVx { .. })) > 0);
+    }
+
+    #[test]
+    fn rejects_bad_unroll() {
+        let a = prune::random_structured(2, 16, NmPattern::P1_4, 8);
+        let l = GemmLayout::plan(&a, 8, &SimConfig::table_i(), 16).unwrap();
+        assert!(build(&l, &KernelParams { unroll: 7, ..Default::default() }).is_err());
+    }
+}

@@ -1,0 +1,285 @@
+//! Running kernels on the simulator and checking results against the
+//! reference product.
+
+use crate::layout::GemmLayout;
+use indexmac_isa::Program;
+use indexmac_sparse::{DenseMatrix, StructuredSparseMatrix};
+use indexmac_vpu::{RunReport, SimConfig, SimError, Simulator};
+use std::error::Error;
+use std::fmt;
+
+/// Default tolerance for comparing simulated and reference products.
+/// The kernels and reference accumulate in the same order, but the
+/// dense baseline sums padding zeros, so exact equality is not demanded.
+pub const DEFAULT_TOLERANCE: f32 = 1e-4;
+
+/// Result of one simulated kernel execution.
+#[derive(Debug, Clone)]
+pub struct KernelRun {
+    /// The computed product, read back from simulated memory.
+    pub c: DenseMatrix,
+    /// Timing/traffic measurements.
+    pub report: RunReport,
+    /// Static program length in instructions.
+    pub static_instructions: usize,
+}
+
+/// Verification errors.
+#[derive(Debug)]
+pub enum VerifyError {
+    /// The simulator faulted.
+    Sim(SimError),
+    /// The computed product diverged from the reference.
+    Mismatch {
+        /// Largest absolute element difference.
+        max_abs_diff: f32,
+        /// Tolerance that was exceeded.
+        tolerance: f32,
+    },
+    /// Operand shapes disagree with the layout.
+    ShapeMismatch,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::Sim(e) => write!(f, "simulation failed: {e}"),
+            VerifyError::Mismatch { max_abs_diff, tolerance } => write!(
+                f,
+                "kernel result differs from reference by {max_abs_diff} (tolerance {tolerance})"
+            ),
+            VerifyError::ShapeMismatch => write!(f, "operand shapes disagree with the layout"),
+        }
+    }
+}
+
+impl Error for VerifyError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            VerifyError::Sim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SimError> for VerifyError {
+    fn from(e: SimError) -> Self {
+        VerifyError::Sim(e)
+    }
+}
+
+/// Places the operands, runs `program` with full timing, and returns the
+/// product and measurements.
+///
+/// # Errors
+///
+/// Returns [`VerifyError::ShapeMismatch`] on inconsistent operands and
+/// [`VerifyError::Sim`] on simulator faults.
+pub fn run_kernel(
+    program: &Program,
+    a: &StructuredSparseMatrix,
+    b: &DenseMatrix,
+    layout: &GemmLayout,
+    cfg: &SimConfig,
+) -> Result<KernelRun, VerifyError> {
+    if a.shape() != (layout.dims.rows, layout.dims.inner)
+        || b.shape() != (layout.dims.inner, layout.dims.cols)
+    {
+        return Err(VerifyError::ShapeMismatch);
+    }
+    let mut sim = Simulator::new(*cfg);
+    layout.write_operands(a, b, sim.memory_mut());
+    let report = sim.run(program)?;
+    Ok(KernelRun {
+        c: layout.read_c(sim.memory()),
+        report,
+        static_instructions: program.len(),
+    })
+}
+
+/// Checks a kernel run against the structured-sparse reference product.
+///
+/// # Errors
+///
+/// Returns [`VerifyError::Mismatch`] when any element differs by more
+/// than `tolerance`.
+pub fn check_against_reference(
+    run: &KernelRun,
+    a: &StructuredSparseMatrix,
+    b: &DenseMatrix,
+    tolerance: f32,
+) -> Result<(), VerifyError> {
+    let reference = a.spmm_reference(b).map_err(|_| VerifyError::ShapeMismatch)?;
+    let max_abs_diff = run.c.max_abs_diff(&reference);
+    if max_abs_diff > tolerance {
+        return Err(VerifyError::Mismatch { max_abs_diff, tolerance });
+    }
+    Ok(())
+}
+
+/// Convenience: run and verify in one call.
+///
+/// # Errors
+///
+/// Any of the [`VerifyError`] conditions.
+pub fn run_and_check(
+    program: &Program,
+    a: &StructuredSparseMatrix,
+    b: &DenseMatrix,
+    layout: &GemmLayout,
+    cfg: &SimConfig,
+) -> Result<KernelRun, VerifyError> {
+    let run = run_kernel(program, a, b, layout, cfg)?;
+    check_against_reference(&run, a, b, DEFAULT_TOLERANCE)?;
+    Ok(run)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{dense, indexmac, rowwise, scalar_idx, Dataflow, KernelParams};
+    use indexmac_sparse::{prune, NmPattern};
+
+    fn cfg() -> SimConfig {
+        SimConfig::table_i()
+    }
+
+    fn fixture(
+        rows: usize,
+        inner: usize,
+        cols: usize,
+        pattern: NmPattern,
+        seed: u64,
+    ) -> (StructuredSparseMatrix, DenseMatrix, GemmLayout) {
+        let a = prune::random_structured(rows, inner, pattern, seed);
+        let b = DenseMatrix::random(inner, cols, seed + 1);
+        let layout = GemmLayout::plan(&a, cols, &cfg(), 16).unwrap();
+        (a, b, layout)
+    }
+
+    #[test]
+    fn rowwise_computes_reference_product() {
+        for pattern in [NmPattern::P1_4, NmPattern::P2_4, NmPattern::P1_2] {
+            let (a, b, layout) = fixture(6, 32, 20, pattern, 42);
+            let p = rowwise::build(&layout, &KernelParams::default()).unwrap();
+            run_and_check(&p, &a, &b, &layout, &cfg())
+                .unwrap_or_else(|e| panic!("pattern {pattern}: {e}"));
+        }
+    }
+
+    #[test]
+    fn rowwise_all_dataflows_agree() {
+        let (a, b, layout) = fixture(7, 48, 18, NmPattern::P2_4, 5);
+        for df in Dataflow::ALL {
+            let p = rowwise::build(&layout, &KernelParams { unroll: 4, dataflow: df }).unwrap();
+            run_and_check(&p, &a, &b, &layout, &cfg())
+                .unwrap_or_else(|e| panic!("{df}: {e}"));
+        }
+    }
+
+    #[test]
+    fn indexmac_computes_reference_product() {
+        for pattern in [NmPattern::P1_4, NmPattern::P2_4, NmPattern::P1_2] {
+            let (a, b, layout) = fixture(6, 32, 20, pattern, 43);
+            let p = indexmac::build(&layout, &KernelParams::default()).unwrap();
+            run_and_check(&p, &a, &b, &layout, &cfg())
+                .unwrap_or_else(|e| panic!("pattern {pattern}: {e}"));
+        }
+    }
+
+    #[test]
+    fn indexmac_all_unrolls_agree() {
+        let (a, b, layout) = fixture(5, 32, 33, NmPattern::P1_4, 44);
+        for unroll in [1, 2, 3, 4] {
+            let p = indexmac::build(&layout, &KernelParams { unroll, ..Default::default() })
+                .unwrap();
+            run_and_check(&p, &a, &b, &layout, &cfg())
+                .unwrap_or_else(|e| panic!("unroll {unroll}: {e}"));
+        }
+    }
+
+    #[test]
+    fn dense_computes_reference_product() {
+        let (a, b, layout) = fixture(4, 24, 20, NmPattern::P2_4, 45);
+        let p = dense::build(&layout, &KernelParams::default()).unwrap();
+        let run = run_kernel(&p, &a, &b, &layout, &cfg()).unwrap();
+        let reference = a.to_dense().matmul(&b).unwrap();
+        assert!(
+            run.c.approx_eq(&reference, DEFAULT_TOLERANCE),
+            "max diff {}",
+            run.c.max_abs_diff(&reference)
+        );
+    }
+
+    #[test]
+    fn scalar_idx_computes_reference_product() {
+        let (a, b, layout) = fixture(6, 32, 20, NmPattern::P2_4, 46);
+        let p = scalar_idx::build(&layout, &KernelParams::default()).unwrap();
+        run_and_check(&p, &a, &b, &layout, &cfg()).unwrap();
+    }
+
+    #[test]
+    fn proposed_beats_baseline_on_cycles_and_traffic() {
+        let (a, b, layout) = fixture(16, 64, 64, NmPattern::P1_4, 47);
+        let base = run_and_check(
+            &rowwise::build(&layout, &KernelParams::default()).unwrap(),
+            &a,
+            &b,
+            &layout,
+            &cfg(),
+        )
+        .unwrap();
+        let prop = run_and_check(
+            &indexmac::build(&layout, &KernelParams::default()).unwrap(),
+            &a,
+            &b,
+            &layout,
+            &cfg(),
+        )
+        .unwrap();
+        assert!(
+            prop.report.cycles < base.report.cycles,
+            "proposed {} cycles vs baseline {}",
+            prop.report.cycles,
+            base.report.cycles
+        );
+        assert!(prop.report.mem.total_accesses() < base.report.mem.total_accesses());
+    }
+
+    #[test]
+    fn ragged_shapes_still_verify() {
+        // Deliberately awkward dims: rows % unroll != 0, inner % L != 0,
+        // cols % VL != 0.
+        let (a, b, layout) = fixture(5, 19, 21, NmPattern::P1_4, 48);
+        for p in [
+            rowwise::build(&layout, &KernelParams::default()).unwrap(),
+            indexmac::build(&layout, &KernelParams::default()).unwrap(),
+        ] {
+            run_and_check(&p, &a, &b, &layout, &cfg()).unwrap();
+        }
+    }
+
+    #[test]
+    fn mismatch_detected() {
+        let (a, b, layout) = fixture(3, 16, 8, NmPattern::P1_4, 49);
+        let p = indexmac::build(&layout, &KernelParams::default()).unwrap();
+        let mut run = run_kernel(&p, &a, &b, &layout, &cfg()).unwrap();
+        run.c.set(0, 0, run.c.get(0, 0) + 1.0);
+        assert!(matches!(
+            check_against_reference(&run, &a, &b, DEFAULT_TOLERANCE),
+            Err(VerifyError::Mismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn shape_mismatch_detected() {
+        let (a, b, layout) = fixture(3, 16, 8, NmPattern::P1_4, 50);
+        let wrong_b = DenseMatrix::random(16, 9, 1);
+        let p = indexmac::build(&layout, &KernelParams::default()).unwrap();
+        assert!(matches!(
+            run_kernel(&p, &a, &wrong_b, &layout, &cfg()),
+            Err(VerifyError::ShapeMismatch)
+        ));
+        let _ = b;
+    }
+}

@@ -1,0 +1,127 @@
+//! Golden tests: the generated assembly of small kernels is pinned, so
+//! any unintended change to the emission logic (instruction selection,
+//! ordering, loop structure) is caught immediately.
+
+use indexmac_kernels::{indexmac, rowwise, GemmLayout, KernelParams};
+use indexmac_sparse::{DenseMatrix, NmPattern, StructuredSparseMatrix};
+use indexmac_vpu::SimConfig;
+
+/// A 1x8 1:4 matrix with nonzeros at columns 1 and 6 — one k-tile, one
+/// column tile, two slots.
+fn tiny_layout() -> GemmLayout {
+    let dense = DenseMatrix::try_new(
+        1,
+        8,
+        vec![0.0, 2.0, 0.0, 0.0, 0.0, 0.0, -3.0, 0.0],
+    )
+    .unwrap();
+    let a = StructuredSparseMatrix::from_dense(&dense, NmPattern::P1_4).unwrap();
+    GemmLayout::plan(&a, 4, &SimConfig::table_i(), 8).unwrap()
+}
+
+#[test]
+fn indexmac_kernel_listing_is_stable() {
+    let layout = tiny_layout();
+    let p = indexmac::build(&layout, &KernelParams { unroll: 1, ..Default::default() }).unwrap();
+    let listing: Vec<String> =
+        p.instructions().iter().map(|i| i.to_string()).collect();
+    // Prologue, one tile preload (L=8), one row group, two slots, store.
+    let expected = vec![
+        // prologue
+        "li a0, 16",
+        "vsetvli zero, a0, e32,m1",
+        "li s9, 64",
+        // k-tile / col-tile counters
+        "li s6, 1",
+        "li t6, 1",
+        // preload 8 rows of B into v24..v31
+        "li a0, 1064960",
+        "vle32.v v24, (a0)",
+        "add a0, a0, s9",
+        "vle32.v v25, (a0)",
+        "add a0, a0, s9",
+        "vle32.v v26, (a0)",
+        "add a0, a0, s9",
+        "vle32.v v27, (a0)",
+        "add a0, a0, s9",
+        "vle32.v v28, (a0)",
+        "add a0, a0, s9",
+        "vle32.v v29, (a0)",
+        "add a0, a0, s9",
+        "vle32.v v30, (a0)",
+        "add a0, a0, s9",
+        "vle32.v v31, (a0)",
+        // row loop (1 group)
+        "li t5, 1",
+        // C address + metadata/C loads
+        "li a1, 1069056",
+        "li a0, 1048576",
+        "vle32.v v4, (a0)",
+        "li a0, 1056768",
+        "vle32.v v8, (a0)",
+        "vle32.v v0, (a1)",
+        // inner loop, slot 0
+        "li t4, 2",
+        "vmv.x.s t0, v8",
+        "vindexmac.vx v0, v4, t0",
+        "vslide1down.vx v4, v4, zero",
+        "vslide1down.vx v8, v8, zero",
+        "addi t4, t4, -1",
+        "bne t4, zero, 1",
+        // slot 1
+        "vmv.x.s t0, v8",
+        "vindexmac.vx v0, v4, t0",
+        "vslide1down.vx v4, v4, zero",
+        "vslide1down.vx v8, v8, zero",
+        "addi t4, t4, -1",
+        "bne t4, zero, 1",
+        // store + loop epilogues
+        "vse32.v v0, (a1)",
+        "addi t5, t5, -1",
+        "bne t5, zero, 1",
+        "addi t6, t6, -1",
+        "bne t6, zero, 1",
+        "addi s6, s6, -1",
+        "bne s6, zero, 1",
+        "ebreak",
+    ];
+    assert_eq!(
+        listing, expected,
+        "generated listing changed:\n{}",
+        listing.join("\n")
+    );
+}
+
+#[test]
+fn rowwise_inner_loop_shape_is_stable() {
+    let layout = tiny_layout();
+    let p = rowwise::build(&layout, &KernelParams { unroll: 1, ..Default::default() }).unwrap();
+    let listing: Vec<String> = p.instructions().iter().map(|i| i.to_string()).collect();
+    // The six-instruction inner sequence of Algorithm 2, slot 0: move
+    // address, load B slice, move value, MAC, two slides.
+    let idx = listing
+        .iter()
+        .position(|l| l == "vmv.x.s t0, v8")
+        .expect("inner loop present");
+    assert_eq!(
+        &listing[idx..idx + 6],
+        &[
+            "vmv.x.s t0, v8".to_string(),
+            "vle32.v v12, (t0)".to_string(),
+            "vfmv.f.s f0, v4".to_string(),
+            "vfmacc.vf v0, f0, v12".to_string(),
+            "vslide1down.vx v4, v4, zero".to_string(),
+            "vslide1down.vx v8, v8, zero".to_string(),
+        ]
+    );
+    // And the per-row address adjust of line 5 precedes it.
+    assert!(listing[..idx].iter().any(|l| l.starts_with("vadd.vx v8, v8, s5")));
+}
+
+#[test]
+fn comments_describe_tile_preloads() {
+    let layout = tiny_layout();
+    let p = indexmac::build(&layout, &KernelParams::default()).unwrap();
+    let text = p.to_string();
+    assert!(text.contains("preload B tile kt=0 ct=0"));
+}

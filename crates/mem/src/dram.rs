@@ -1,0 +1,114 @@
+//! DDR4-style main-memory timing: fixed access latency plus a
+//! line-granular bandwidth gate.
+//!
+//! The paper's Table I specifies "DDR4-2400" without further detail, so
+//! the model keeps the two first-order effects that matter for the
+//! relative comparison: a fixed access latency (row activation + CAS +
+//! controller, expressed in core cycles) and a maximum line rate derived
+//! from the channel bandwidth (DDR4-2400 x64 = 19.2 GB/s; at a 2 GHz
+//! core clock a 64-byte line every ~6.7 cycles).
+
+/// DRAM timing parameters, in core clock cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DramConfig {
+    /// Latency of an isolated access (request to first data), cycles.
+    pub latency: u64,
+    /// Minimum spacing between consecutive line transfers (bandwidth
+    /// gate), cycles per 64-byte line.
+    pub cycles_per_line: u64,
+}
+
+impl DramConfig {
+    /// DDR4-2400 at a 2 GHz core: ~45 ns loaded latency -> 90 cycles;
+    /// 19.2 GB/s -> 64 B every 6.67 cycles, rounded to 7.
+    pub fn ddr4_2400() -> Self {
+        Self { latency: 90, cycles_per_line: 7 }
+    }
+}
+
+/// Bandwidth-limited DRAM channel.
+///
+/// `access(now)` returns the completion time of a line transfer that is
+/// *requested* at cycle `now`; back-to-back requests are serialised at
+/// `cycles_per_line` spacing to model channel occupancy.
+#[derive(Debug, Clone)]
+pub struct DramModel {
+    cfg: DramConfig,
+    /// Earliest cycle at which the channel can start another transfer.
+    next_free: u64,
+    /// Total line transfers served.
+    lines_served: u64,
+    /// Total cycles requests spent queued behind the bandwidth gate.
+    queue_cycles: u64,
+}
+
+impl DramModel {
+    /// Creates a channel with the given timing.
+    pub fn new(cfg: DramConfig) -> Self {
+        Self { cfg, next_free: 0, lines_served: 0, queue_cycles: 0 }
+    }
+
+    /// The configured timing parameters.
+    pub fn config(&self) -> DramConfig {
+        self.cfg
+    }
+
+    /// Serves one 64-byte line requested at cycle `now`; returns the
+    /// cycle at which the data is available.
+    pub fn access(&mut self, now: u64) -> u64 {
+        let start = now.max(self.next_free);
+        self.queue_cycles += start - now;
+        self.next_free = start + self.cfg.cycles_per_line;
+        self.lines_served += 1;
+        start + self.cfg.latency
+    }
+
+    /// Number of line transfers served so far.
+    pub fn lines_served(&self) -> u64 {
+        self.lines_served
+    }
+
+    /// Cycles requests spent waiting for channel bandwidth.
+    pub fn queue_cycles(&self) -> u64 {
+        self.queue_cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn isolated_access_pays_latency_only() {
+        let mut d = DramModel::new(DramConfig { latency: 100, cycles_per_line: 10 });
+        assert_eq!(d.access(50), 150);
+        assert_eq!(d.queue_cycles(), 0);
+    }
+
+    #[test]
+    fn back_to_back_requests_serialise() {
+        let mut d = DramModel::new(DramConfig { latency: 100, cycles_per_line: 10 });
+        assert_eq!(d.access(0), 100);
+        // Second request at the same cycle queues behind the first line.
+        assert_eq!(d.access(0), 110);
+        assert_eq!(d.access(0), 120);
+        assert_eq!(d.lines_served(), 3);
+        assert_eq!(d.queue_cycles(), 10 + 20);
+    }
+
+    #[test]
+    fn spaced_requests_do_not_queue() {
+        let mut d = DramModel::new(DramConfig { latency: 100, cycles_per_line: 10 });
+        assert_eq!(d.access(0), 100);
+        assert_eq!(d.access(10), 110);
+        assert_eq!(d.access(25), 125);
+        assert_eq!(d.queue_cycles(), 0);
+    }
+
+    #[test]
+    fn ddr4_preset_plausible() {
+        let c = DramConfig::ddr4_2400();
+        assert!(c.latency >= 50 && c.latency <= 200);
+        assert!(c.cycles_per_line >= 4 && c.cycles_per_line <= 16);
+    }
+}

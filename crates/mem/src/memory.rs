@@ -1,0 +1,228 @@
+//! Sparse, page-based main-memory backing store (functional state).
+
+use std::collections::HashMap;
+
+const PAGE_SHIFT: u32 = 12;
+const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
+const PAGE_MASK: u64 = (PAGE_SIZE as u64) - 1;
+
+/// Byte-addressable simulated memory, allocated lazily in 4 KiB pages.
+///
+/// Unwritten bytes read as zero, like freshly-mapped anonymous memory.
+/// All multi-byte accessors are little-endian (RISC-V's byte order).
+///
+/// # Example
+///
+/// ```
+/// use indexmac_mem::MainMemory;
+///
+/// let mut m = MainMemory::new();
+/// m.write_u32(0x2000, 0xDEADBEEF);
+/// assert_eq!(m.read_u32(0x2000), 0xDEADBEEF);
+/// assert_eq!(m.read_u32(0x9999_0000), 0); // untouched memory is zero
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct MainMemory {
+    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+}
+
+impl MainMemory {
+    /// Creates an empty memory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of 4 KiB pages that have been touched by writes.
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Resident footprint in bytes.
+    pub fn resident_bytes(&self) -> usize {
+        self.pages.len() * PAGE_SIZE
+    }
+
+    /// Reads one byte.
+    pub fn read_u8(&self, addr: u64) -> u8 {
+        match self.pages.get(&(addr >> PAGE_SHIFT)) {
+            Some(p) => p[(addr & PAGE_MASK) as usize],
+            None => 0,
+        }
+    }
+
+    /// Writes one byte.
+    pub fn write_u8(&mut self, addr: u64, value: u8) {
+        let page = self
+            .pages
+            .entry(addr >> PAGE_SHIFT)
+            .or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
+        page[(addr & PAGE_MASK) as usize] = value;
+    }
+
+    /// Reads `N` bytes starting at `addr` (little-endian callers below).
+    fn read_bytes<const N: usize>(&self, addr: u64) -> [u8; N] {
+        let mut out = [0u8; N];
+        // Fast path: whole access inside one page.
+        let off = (addr & PAGE_MASK) as usize;
+        if off + N <= PAGE_SIZE {
+            if let Some(p) = self.pages.get(&(addr >> PAGE_SHIFT)) {
+                out.copy_from_slice(&p[off..off + N]);
+            }
+            return out;
+        }
+        for (i, b) in out.iter_mut().enumerate() {
+            *b = self.read_u8(addr + i as u64);
+        }
+        out
+    }
+
+    fn write_bytes(&mut self, addr: u64, bytes: &[u8]) {
+        let off = (addr & PAGE_MASK) as usize;
+        if off + bytes.len() <= PAGE_SIZE {
+            let page = self
+                .pages
+                .entry(addr >> PAGE_SHIFT)
+                .or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
+            page[off..off + bytes.len()].copy_from_slice(bytes);
+            return;
+        }
+        for (i, b) in bytes.iter().enumerate() {
+            self.write_u8(addr + i as u64, *b);
+        }
+    }
+
+    /// Reads a little-endian `u16`.
+    pub fn read_u16(&self, addr: u64) -> u16 {
+        u16::from_le_bytes(self.read_bytes(addr))
+    }
+
+    /// Writes a little-endian `u16`.
+    pub fn write_u16(&mut self, addr: u64, value: u16) {
+        self.write_bytes(addr, &value.to_le_bytes());
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn read_u32(&self, addr: u64) -> u32 {
+        u32::from_le_bytes(self.read_bytes(addr))
+    }
+
+    /// Writes a little-endian `u32`.
+    pub fn write_u32(&mut self, addr: u64, value: u32) {
+        self.write_bytes(addr, &value.to_le_bytes());
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn read_u64(&self, addr: u64) -> u64 {
+        u64::from_le_bytes(self.read_bytes(addr))
+    }
+
+    /// Writes a little-endian `u64`.
+    pub fn write_u64(&mut self, addr: u64, value: u64) {
+        self.write_bytes(addr, &value.to_le_bytes());
+    }
+
+    /// Reads an `f32` (IEEE-754 bits at `addr`).
+    pub fn read_f32(&self, addr: u64) -> f32 {
+        f32::from_bits(self.read_u32(addr))
+    }
+
+    /// Writes an `f32`.
+    pub fn write_f32(&mut self, addr: u64, value: f32) {
+        self.write_u32(addr, value.to_bits());
+    }
+
+    /// Bulk-writes a slice of `f32` values at consecutive addresses.
+    pub fn write_f32_slice(&mut self, addr: u64, values: &[f32]) {
+        for (i, v) in values.iter().enumerate() {
+            self.write_f32(addr + (i * 4) as u64, *v);
+        }
+    }
+
+    /// Bulk-reads `count` `f32` values from consecutive addresses.
+    pub fn read_f32_slice(&self, addr: u64, count: usize) -> Vec<f32> {
+        (0..count).map(|i| self.read_f32(addr + (i * 4) as u64)).collect()
+    }
+
+    /// Bulk-writes a slice of `u32` values at consecutive addresses.
+    pub fn write_u32_slice(&mut self, addr: u64, values: &[u32]) {
+        for (i, v) in values.iter().enumerate() {
+            self.write_u32(addr + (i * 4) as u64, *v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_on_untouched() {
+        let m = MainMemory::new();
+        assert_eq!(m.read_u8(0), 0);
+        assert_eq!(m.read_u64(0xFFFF_FFFF_FFF0), 0);
+        assert_eq!(m.resident_pages(), 0);
+    }
+
+    #[test]
+    fn byte_roundtrip() {
+        let mut m = MainMemory::new();
+        m.write_u8(5, 0xAB);
+        assert_eq!(m.read_u8(5), 0xAB);
+        assert_eq!(m.read_u8(6), 0);
+        assert_eq!(m.resident_pages(), 1);
+    }
+
+    #[test]
+    fn word_roundtrips_little_endian() {
+        let mut m = MainMemory::new();
+        m.write_u32(0x100, 0x0403_0201);
+        assert_eq!(m.read_u8(0x100), 0x01);
+        assert_eq!(m.read_u8(0x103), 0x04);
+        assert_eq!(m.read_u16(0x100), 0x0201);
+        m.write_u64(0x200, 0x1122_3344_5566_7788);
+        assert_eq!(m.read_u64(0x200), 0x1122_3344_5566_7788);
+        assert_eq!(m.read_u32(0x204), 0x1122_3344);
+    }
+
+    #[test]
+    fn cross_page_access() {
+        let mut m = MainMemory::new();
+        let addr = (1 << PAGE_SHIFT) - 2; // straddles the page boundary
+        m.write_u32(addr, 0xCAFEBABE);
+        assert_eq!(m.read_u32(addr), 0xCAFEBABE);
+        assert_eq!(m.resident_pages(), 2);
+    }
+
+    #[test]
+    fn f32_roundtrip_including_specials() {
+        let mut m = MainMemory::new();
+        for (i, v) in [0.0f32, -0.0, 1.5, -3.25e10, f32::INFINITY, f32::MIN_POSITIVE]
+            .iter()
+            .enumerate()
+        {
+            let a = 0x3000 + (i * 4) as u64;
+            m.write_f32(a, *v);
+            assert_eq!(m.read_f32(a).to_bits(), v.to_bits());
+        }
+        m.write_f32(0x4000, f32::NAN);
+        assert!(m.read_f32(0x4000).is_nan());
+    }
+
+    #[test]
+    fn slice_helpers() {
+        let mut m = MainMemory::new();
+        let vals = [1.0f32, 2.0, 3.0, 4.5];
+        m.write_f32_slice(0x8000, &vals);
+        assert_eq!(m.read_f32_slice(0x8000, 4), vals);
+        m.write_u32_slice(0x9000, &[7, 8, 9]);
+        assert_eq!(m.read_u32(0x9008), 9);
+    }
+
+    #[test]
+    fn overwrite() {
+        let mut m = MainMemory::new();
+        m.write_u32(0x10, 1);
+        m.write_u32(0x10, 2);
+        assert_eq!(m.read_u32(0x10), 2);
+    }
+}

@@ -1,0 +1,113 @@
+//! Property tests of the cache and DRAM models.
+
+use indexmac_mem::{AccessKind, Cache, CacheConfig, DramConfig, DramModel};
+use proptest::prelude::*;
+
+fn small_cache_cfg() -> impl Strategy<Value = CacheConfig> {
+    // sets in {1,2,4,8,16}, ways 1..4, line 32/64.
+    (0u32..5, 1usize..5, prop_oneof![Just(32usize), Just(64)]).prop_map(|(s, ways, line)| {
+        let sets = 1usize << s;
+        CacheConfig { size_bytes: sets * ways * line, ways, line_bytes: line }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Counters are consistent and occupancy never exceeds capacity.
+    #[test]
+    fn counters_and_occupancy(
+        cfg in small_cache_cfg(),
+        addrs in prop::collection::vec(0u64..0x4000, 1..300),
+        writes in prop::collection::vec(any::<bool>(), 300),
+    ) {
+        let mut c = Cache::new(cfg);
+        let capacity = cfg.sets() * cfg.ways;
+        for (i, addr) in addrs.iter().enumerate() {
+            let kind = if writes[i % writes.len()] { AccessKind::Write } else { AccessKind::Read };
+            c.access(*addr, kind);
+            prop_assert!(c.valid_lines() <= capacity);
+        }
+        let s = c.stats();
+        prop_assert_eq!(s.accesses(), addrs.len() as u64);
+        prop_assert!(s.evictions >= s.writebacks);
+        prop_assert!(s.hit_rate() >= 0.0 && s.hit_rate() <= 1.0);
+    }
+
+    /// A working set that fits the cache hits 100% after one warm pass.
+    #[test]
+    fn resident_working_set_always_hits(
+        cfg in small_cache_cfg(),
+        seed in 0u64..1000,
+    ) {
+        let mut c = Cache::new(cfg);
+        let lines = (cfg.sets() * cfg.ways).min(64);
+        let base = (seed % 16) * 0x1000;
+        let addrs: Vec<u64> =
+            (0..lines as u64).map(|i| base + i * cfg.line_bytes as u64).collect();
+        for a in &addrs {
+            c.access(*a, AccessKind::Read);
+        }
+        let warm = c.stats();
+        for a in &addrs {
+            prop_assert!(c.access(*a, AccessKind::Read).hit, "warm miss at {a:#x}");
+        }
+        prop_assert_eq!(c.stats().hits, warm.hits + addrs.len() as u64);
+    }
+
+    /// Accesses within one line after the first never miss.
+    #[test]
+    fn same_line_locality(
+        cfg in small_cache_cfg(),
+        base in 0u64..0x10000,
+        offsets in prop::collection::vec(0u64..32, 1..20),
+    ) {
+        let mut c = Cache::new(cfg);
+        let line = base & !(cfg.line_bytes as u64 - 1);
+        c.access(line, AccessKind::Read);
+        for off in offsets {
+            prop_assert!(c.access(line + off % cfg.line_bytes as u64, AccessKind::Read).hit);
+        }
+    }
+
+    /// Probe never changes behaviour.
+    #[test]
+    fn probe_is_pure(
+        cfg in small_cache_cfg(),
+        addrs in prop::collection::vec(0u64..0x4000, 1..100),
+    ) {
+        let mut with_probe = Cache::new(cfg);
+        let mut without = Cache::new(cfg);
+        for a in &addrs {
+            let _ = with_probe.probe(*a);
+            let _ = with_probe.probe(a ^ 0xFFF);
+            let r1 = with_probe.access(*a, AccessKind::Read);
+            let r2 = without.access(*a, AccessKind::Read);
+            prop_assert_eq!(r1, r2);
+        }
+        prop_assert_eq!(with_probe.stats(), without.stats());
+    }
+
+    /// DRAM completions are monotone in request order and respect the
+    /// bandwidth gate.
+    #[test]
+    fn dram_monotone_and_bandwidth_limited(
+        times in prop::collection::vec(0u64..10_000, 2..100),
+        latency in 10u64..200,
+        gap in 1u64..20,
+    ) {
+        let mut sorted = times.clone();
+        sorted.sort_unstable();
+        let mut d = DramModel::new(DramConfig { latency, cycles_per_line: gap });
+        let mut prev = 0u64;
+        for (i, t) in sorted.iter().enumerate() {
+            let done = d.access(*t);
+            prop_assert!(done >= t + latency);
+            if i > 0 {
+                prop_assert!(done >= prev + gap, "bandwidth gate violated");
+            }
+            prev = done;
+        }
+        prop_assert_eq!(d.lines_served(), sorted.len() as u64);
+    }
+}

@@ -1,0 +1,171 @@
+//! Compressed Sparse Row (CSR) format for *unstructured* sparsity.
+//!
+//! The paper contrasts structured sparsity against unstructured formats
+//! (Fig. 1(a)): CSR needs a full column index per non-zero and gives no
+//! bound on where indices point, which is precisely why B-rows cannot be
+//! pinned in the vector register file for unstructured matrices. This
+//! module exists for that comparison (storage and indexing cost), and for
+//! tests that quantify the difference.
+
+use crate::error::SparseError;
+use crate::matrix::DenseMatrix;
+
+/// A CSR matrix with `f32` values and `u32` column indices.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    /// `rows + 1` prefix offsets into `values` / `col_idx`.
+    row_ptr: Vec<u32>,
+    col_idx: Vec<u32>,
+    values: Vec<f32>,
+}
+
+impl CsrMatrix {
+    /// Converts a dense matrix, keeping every non-zero element.
+    pub fn from_dense(dense: &DenseMatrix) -> Self {
+        let (rows, cols) = dense.shape();
+        let mut row_ptr = Vec::with_capacity(rows + 1);
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        row_ptr.push(0);
+        for r in 0..rows {
+            for c in 0..cols {
+                let v = dense.get(r, c);
+                if v != 0.0 {
+                    col_idx.push(c as u32);
+                    values.push(v);
+                }
+            }
+            row_ptr.push(values.len() as u32);
+        }
+        Self { rows, cols, row_ptr, col_idx, values }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The `(column, value)` pairs of row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of bounds.
+    pub fn row(&self, r: usize) -> impl Iterator<Item = (usize, f32)> + '_ {
+        assert!(r < self.rows, "row {r} out of bounds");
+        let lo = self.row_ptr[r] as usize;
+        let hi = self.row_ptr[r + 1] as usize;
+        self.col_idx[lo..hi]
+            .iter()
+            .zip(self.values[lo..hi].iter())
+            .map(|(c, v)| (*c as usize, *v))
+    }
+
+    /// Expands back to dense form.
+    pub fn to_dense(&self) -> DenseMatrix {
+        let mut out = DenseMatrix::zeros(self.rows, self.cols);
+        for r in 0..self.rows {
+            for (c, v) in self.row(r) {
+                out.set(r, c, v);
+            }
+        }
+        out
+    }
+
+    /// Storage footprint in bytes: 4-byte values + 4-byte column indices +
+    /// 4-byte row pointers. Compare with
+    /// [`crate::StructuredSparseMatrix::storage_bytes`], where indices cost
+    /// only `log2(M)` bits.
+    pub fn storage_bytes(&self) -> usize {
+        self.values.len() * 4 + self.col_idx.len() * 4 + self.row_ptr.len() * 4
+    }
+
+    /// Reference CSR x dense product (Gustavson row-wise order).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::DimensionMismatch`] when
+    /// `self.cols() != rhs.rows()`.
+    pub fn spmm_reference(&self, rhs: &DenseMatrix) -> Result<DenseMatrix, SparseError> {
+        if self.cols != rhs.rows() {
+            return Err(SparseError::DimensionMismatch {
+                left: (self.rows, self.cols),
+                right: rhs.shape(),
+            });
+        }
+        let mut out = DenseMatrix::zeros(self.rows, rhs.cols());
+        for r in 0..self.rows {
+            for (k, v) in self.row(r) {
+                for j in 0..rhs.cols() {
+                    let acc = out.get(r, j) + v * rhs.get(k, j);
+                    out.set(r, j, acc);
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    fn sparse_dense(rows: usize, cols: usize, seed: u64) -> DenseMatrix {
+        DenseMatrix::try_new(rows, cols, gen::sparse_uniform_vec(rows * cols, 0.8, seed)).unwrap()
+    }
+
+    #[test]
+    fn roundtrip() {
+        let d = sparse_dense(9, 13, 1);
+        let csr = CsrMatrix::from_dense(&d);
+        assert!(csr.to_dense().approx_eq(&d, 0.0));
+        assert_eq!(csr.nnz(), d.as_slice().iter().filter(|v| **v != 0.0).count());
+    }
+
+    #[test]
+    fn empty_rows_are_fine() {
+        let d = DenseMatrix::zeros(4, 4);
+        let csr = CsrMatrix::from_dense(&d);
+        assert_eq!(csr.nnz(), 0);
+        assert_eq!(csr.row(2).count(), 0);
+        assert!(csr.to_dense().approx_eq(&d, 0.0));
+    }
+
+    #[test]
+    fn spmm_matches_dense() {
+        let d = sparse_dense(7, 11, 2);
+        let b = DenseMatrix::random(11, 6, 3);
+        let csr = CsrMatrix::from_dense(&d);
+        let got = csr.spmm_reference(&b).unwrap();
+        let want = d.matmul(&b).unwrap();
+        assert!(got.approx_eq(&want, 1e-4));
+    }
+
+    #[test]
+    fn spmm_rejects_mismatch() {
+        let csr = CsrMatrix::from_dense(&DenseMatrix::zeros(3, 5));
+        assert!(csr.spmm_reference(&DenseMatrix::zeros(4, 2)).is_err());
+    }
+
+    #[test]
+    fn csr_storage_exceeds_structured_for_same_data() {
+        use crate::{prune, NmPattern};
+        let s = prune::random_structured(16, 64, NmPattern::P1_4, 7);
+        let d = s.to_dense();
+        let csr = CsrMatrix::from_dense(&d);
+        // CSR: 4B col index per nnz. Structured: 2 bits per slot.
+        assert!(csr.storage_bytes() > s.storage_bytes());
+    }
+}

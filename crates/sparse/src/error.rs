@@ -1,0 +1,114 @@
+//! Error type shared by the sparse-format APIs.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while constructing or converting sparse formats.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SparseError {
+    /// An `N:M` pattern with `N == 0`, `M == 0` or `N > M` was requested.
+    InvalidPattern {
+        /// Requested maximum non-zeros per block.
+        n: usize,
+        /// Requested block size.
+        m: usize,
+    },
+    /// A matrix dimension was zero.
+    EmptyDimension {
+        /// Number of rows requested.
+        rows: usize,
+        /// Number of columns requested.
+        cols: usize,
+    },
+    /// The flat data buffer does not match `rows * cols`.
+    DataLengthMismatch {
+        /// Expected element count.
+        expected: usize,
+        /// Provided element count.
+        actual: usize,
+    },
+    /// Matrix dimensions are incompatible for the requested operation.
+    DimensionMismatch {
+        /// Left operand shape.
+        left: (usize, usize),
+        /// Right operand shape.
+        right: (usize, usize),
+    },
+    /// A dense matrix violates the N:M template it was claimed to obey.
+    PatternViolation {
+        /// Row of the offending block.
+        row: usize,
+        /// First column of the offending block.
+        block_start: usize,
+        /// Number of non-zeros found in the block.
+        found: usize,
+        /// Maximum non-zeros allowed by the pattern.
+        allowed: usize,
+    },
+    /// An in-block column index was out of range for the block size.
+    IndexOutOfBlock {
+        /// The offending index.
+        index: usize,
+        /// The block size `M`.
+        block: usize,
+    },
+}
+
+impl fmt::Display for SparseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            SparseError::InvalidPattern { n, m } => {
+                write!(f, "invalid N:M pattern {n}:{m} (need 0 < n <= m)")
+            }
+            SparseError::EmptyDimension { rows, cols } => {
+                write!(f, "matrix dimensions must be non-zero, got {rows}x{cols}")
+            }
+            SparseError::DataLengthMismatch { expected, actual } => {
+                write!(f, "data length {actual} does not match rows*cols = {expected}")
+            }
+            SparseError::DimensionMismatch { left, right } => write!(
+                f,
+                "incompatible dimensions {}x{} vs {}x{}",
+                left.0, left.1, right.0, right.1
+            ),
+            SparseError::PatternViolation { row, block_start, found, allowed } => write!(
+                f,
+                "row {row} block starting at column {block_start} has {found} non-zeros, \
+                 pattern allows {allowed}"
+            ),
+            SparseError::IndexOutOfBlock { index, block } => {
+                write!(f, "in-block index {index} out of range for block size {block}")
+            }
+        }
+    }
+}
+
+impl Error for SparseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase_ish() {
+        let variants = [
+            SparseError::InvalidPattern { n: 3, m: 2 },
+            SparseError::EmptyDimension { rows: 0, cols: 4 },
+            SparseError::DataLengthMismatch { expected: 12, actual: 10 },
+            SparseError::DimensionMismatch { left: (2, 3), right: (4, 5) },
+            SparseError::PatternViolation { row: 1, block_start: 4, found: 3, allowed: 2 },
+            SparseError::IndexOutOfBlock { index: 9, block: 4 },
+        ];
+        for v in variants {
+            let s = v.to_string();
+            assert!(!s.is_empty());
+            assert!(!s.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SparseError>();
+    }
+}

@@ -1,0 +1,120 @@
+//! Seeded random data generators.
+//!
+//! All randomness in the repository flows through these helpers so that
+//! every experiment is reproducible from a single `u64` seed.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// A vector of `len` uniform samples in `[-1, 1)`.
+pub fn uniform_vec(len: usize, seed: u64) -> Vec<f32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..len).map(|_| rng.random_range(-1.0_f32..1.0)).collect()
+}
+
+/// A vector of `len` uniform samples in `[lo, hi)`.
+///
+/// # Panics
+///
+/// Panics if `lo >= hi`.
+pub fn uniform_vec_in(len: usize, lo: f32, hi: f32, seed: u64) -> Vec<f32> {
+    assert!(lo < hi, "empty range [{lo}, {hi})");
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..len).map(|_| rng.random_range(lo..hi)).collect()
+}
+
+/// A vector where each element is zero with probability `p_zero` and a
+/// non-zero uniform sample in `[-1, 1)` otherwise.
+///
+/// Non-zero draws are re-sampled away from exact zero so the resulting
+/// sparsity is exactly driven by `p_zero`.
+///
+/// # Panics
+///
+/// Panics if `p_zero` is outside `[0, 1]`.
+pub fn sparse_uniform_vec(len: usize, p_zero: f64, seed: u64) -> Vec<f32> {
+    assert!((0.0..=1.0).contains(&p_zero), "p_zero must be a probability");
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..len)
+        .map(|_| {
+            if rng.random_range(0.0..1.0) < p_zero {
+                0.0
+            } else {
+                loop {
+                    let v: f32 = rng.random_range(-1.0..1.0);
+                    if v != 0.0 {
+                        break v;
+                    }
+                }
+            }
+        })
+        .collect()
+}
+
+/// `count` distinct indices drawn from `0..bound`, sorted ascending.
+///
+/// # Panics
+///
+/// Panics if `count > bound`.
+pub fn distinct_indices(count: usize, bound: usize, rng: &mut StdRng) -> Vec<usize> {
+    assert!(count <= bound, "cannot draw {count} distinct values from 0..{bound}");
+    // Partial Fisher-Yates over a scratch identity permutation.
+    let mut pool: Vec<usize> = (0..bound).collect();
+    for i in 0..count {
+        let j = rng.random_range(i..bound);
+        pool.swap(i, j);
+    }
+    let mut picked: Vec<usize> = pool[..count].to_vec();
+    picked.sort_unstable();
+    picked
+}
+
+/// Creates a seeded RNG; single place to choose the generator family.
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_vec_deterministic_and_in_range() {
+        let a = uniform_vec(1000, 7);
+        let b = uniform_vec(1000, 7);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|v| (-1.0..1.0).contains(v)));
+    }
+
+    #[test]
+    fn sparse_vec_hits_target_sparsity() {
+        let v = sparse_uniform_vec(10_000, 0.75, 3);
+        let zeros = v.iter().filter(|x| **x == 0.0).count();
+        let frac = zeros as f64 / v.len() as f64;
+        assert!((frac - 0.75).abs() < 0.03, "got sparsity {frac}");
+    }
+
+    #[test]
+    fn sparse_vec_extremes() {
+        assert!(sparse_uniform_vec(100, 1.0, 1).iter().all(|v| *v == 0.0));
+        assert!(sparse_uniform_vec(100, 0.0, 1).iter().all(|v| *v != 0.0));
+    }
+
+    #[test]
+    fn distinct_indices_are_distinct_and_sorted() {
+        let mut r = rng(11);
+        for _ in 0..50 {
+            let v = distinct_indices(3, 8, &mut r);
+            assert_eq!(v.len(), 3);
+            assert!(v.windows(2).all(|w| w[0] < w[1]));
+            assert!(v.iter().all(|i| *i < 8));
+        }
+    }
+
+    #[test]
+    fn distinct_indices_full_range() {
+        let mut r = rng(13);
+        let v = distinct_indices(4, 4, &mut r);
+        assert_eq!(v, vec![0, 1, 2, 3]);
+    }
+}

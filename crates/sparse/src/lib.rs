@@ -1,0 +1,49 @@
+//! Dense matrices, N:M structured-sparsity formats and pruning utilities.
+//!
+//! This crate provides the data substrate of the IndexMAC reproduction:
+//!
+//! * [`DenseMatrix`] — a row-major `f32` matrix with a reference matmul,
+//!   used both as the dense operand `B` and as the golden model every
+//!   simulated kernel is checked against.
+//! * [`NmPattern`] — an `N:M` structured-sparsity template (at most `N`
+//!   non-zero elements in every aligned block of `M` consecutive elements
+//!   of a row), e.g. the 1:4 and 2:4 patterns evaluated in the paper.
+//! * [`StructuredSparseMatrix`] — the block-compressed `values` /
+//!   `col_idx` representation of Fig. 1(b) of the paper: every block
+//!   stores exactly `N` (value, in-block-index) slots, zero-padded, so
+//!   the hardware format has a fixed shape.
+//! * [`prune`] — magnitude-based pruning of a dense matrix onto an `N:M`
+//!   template (the software stand-in for the paper's TensorFlow pruning).
+//! * [`CsrMatrix`] — a conventional CSR format used for comparisons with
+//!   unstructured sparsity.
+//!
+//! # Example
+//!
+//! ```
+//! use indexmac_sparse::{DenseMatrix, NmPattern, prune};
+//!
+//! let dense = DenseMatrix::random(8, 16, 42);
+//! let pattern = NmPattern::new(2, 4).unwrap();
+//! let sparse = prune::magnitude_prune(&dense, pattern);
+//! assert!(sparse.obeys_pattern());
+//! let back = sparse.to_dense();
+//! assert_eq!(back.rows(), 8);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod csr;
+pub mod error;
+pub mod gen;
+pub mod matrix;
+pub mod pattern;
+pub mod prune;
+pub mod stats;
+pub mod structured;
+
+pub use csr::CsrMatrix;
+pub use error::SparseError;
+pub use matrix::DenseMatrix;
+pub use pattern::NmPattern;
+pub use stats::SparsityStats;
+pub use structured::{Block, StructuredSparseMatrix};

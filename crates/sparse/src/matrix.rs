@@ -1,0 +1,343 @@
+//! Row-major dense `f32` matrix used as the golden model and the dense
+//! operand `B` of the sparse x dense product.
+
+use crate::error::SparseError;
+use crate::gen;
+
+/// A row-major dense matrix of `f32` elements.
+///
+/// This is deliberately a small, concrete type rather than a generic
+/// n-dimensional array: the simulator operates on 32-bit elements
+/// (Table I of the paper) and everything in the evaluation is 2-D.
+///
+/// # Example
+///
+/// ```
+/// use indexmac_sparse::DenseMatrix;
+///
+/// let a = DenseMatrix::from_fn(2, 3, |r, c| (r * 3 + c) as f32);
+/// assert_eq!(a.get(1, 2), 5.0);
+/// assert_eq!(a.row(1), &[3.0, 4.0, 5.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl DenseMatrix {
+    /// Creates a matrix of zeros.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero; use [`DenseMatrix::try_new`]
+    /// for a fallible constructor.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self::try_new(rows, cols, vec![0.0; rows * cols]).expect("non-zero dimensions required")
+    }
+
+    /// Creates a matrix from a flat row-major buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::EmptyDimension`] if a dimension is zero and
+    /// [`SparseError::DataLengthMismatch`] if `data.len() != rows * cols`.
+    pub fn try_new(rows: usize, cols: usize, data: Vec<f32>) -> Result<Self, SparseError> {
+        if rows == 0 || cols == 0 {
+            return Err(SparseError::EmptyDimension { rows, cols });
+        }
+        if data.len() != rows * cols {
+            return Err(SparseError::DataLengthMismatch {
+                expected: rows * cols,
+                actual: data.len(),
+            });
+        }
+        Ok(Self { rows, cols, data })
+    }
+
+    /// Creates a matrix whose element `(r, c)` is `f(r, c)`.
+    pub fn from_fn<F: FnMut(usize, usize) -> f32>(rows: usize, cols: usize, mut f: F) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Self::try_new(rows, cols, data).expect("non-zero dimensions required")
+    }
+
+    /// Creates a matrix with seeded uniform random elements in `[-1, 1)`.
+    ///
+    /// Deterministic for a given `(rows, cols, seed)` triple, which keeps
+    /// every experiment in the repository reproducible.
+    pub fn random(rows: usize, cols: usize, seed: u64) -> Self {
+        let data = gen::uniform_vec(rows * cols, seed);
+        Self::try_new(rows, cols, data).expect("non-zero dimensions required")
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Shape as `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Element at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` or `c` is out of bounds.
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        self.data[r * self.cols + c]
+    }
+
+    /// Sets the element at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` or `c` is out of bounds.
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Borrow of row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of bounds.
+    pub fn row(&self, r: usize) -> &[f32] {
+        assert!(r < self.rows, "row {r} out of bounds");
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Flat row-major view of all elements.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Consumes the matrix and returns the flat row-major buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Self {
+        Self::from_fn(self.cols, self.rows, |r, c| self.get(c, r))
+    }
+
+    /// Number of elements equal to exactly `0.0`.
+    pub fn zero_count(&self) -> usize {
+        self.data.iter().filter(|v| **v == 0.0).count()
+    }
+
+    /// Fraction of elements equal to exactly `0.0`, in `[0, 1]`.
+    pub fn sparsity(&self) -> f64 {
+        self.zero_count() as f64 / self.data.len() as f64
+    }
+
+    /// Reference (triple-loop, `f32` accumulation) matrix product
+    /// `self * rhs`, in the same row-wise order as the simulated kernels
+    /// so floating-point rounding matches bit-for-bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::DimensionMismatch`] when
+    /// `self.cols() != rhs.rows()`.
+    pub fn matmul(&self, rhs: &DenseMatrix) -> Result<DenseMatrix, SparseError> {
+        if self.cols != rhs.rows {
+            return Err(SparseError::DimensionMismatch {
+                left: self.shape(),
+                right: rhs.shape(),
+            });
+        }
+        let mut out = DenseMatrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.get(i, k);
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..rhs.cols {
+                    let v = out.get(i, j) + a * rhs.get(k, j);
+                    out.set(i, j, v);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Maximum absolute element-wise difference from `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn max_abs_diff(&self, other: &DenseMatrix) -> f32 {
+        assert_eq!(self.shape(), other.shape(), "shape mismatch in max_abs_diff");
+        self.data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0_f32, f32::max)
+    }
+
+    /// Whether every element differs from `other` by at most `tol`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn approx_eq(&self, other: &DenseMatrix, tol: f32) -> bool {
+        self.max_abs_diff(other) <= tol
+    }
+
+    /// Returns a copy padded with zero rows/columns up to
+    /// `(new_rows, new_cols)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a new dimension is smaller than the current one.
+    pub fn zero_pad(&self, new_rows: usize, new_cols: usize) -> Self {
+        assert!(
+            new_rows >= self.rows && new_cols >= self.cols,
+            "zero_pad cannot shrink a matrix"
+        );
+        Self::from_fn(new_rows, new_cols, |r, c| {
+            if r < self.rows && c < self.cols {
+                self.get(r, c)
+            } else {
+                0.0
+            }
+        })
+    }
+}
+
+impl std::fmt::Display for DenseMatrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "DenseMatrix {}x{}", self.rows, self.cols)?;
+        let show_rows = self.rows.min(8);
+        let show_cols = self.cols.min(8);
+        for r in 0..show_rows {
+            write!(f, "  [")?;
+            for c in 0..show_cols {
+                if c > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{:8.4}", self.get(r, c))?;
+            }
+            if show_cols < self.cols {
+                write!(f, ", ...")?;
+            }
+            writeln!(f, "]")?;
+        }
+        if show_rows < self.rows {
+            writeln!(f, "  ...")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_shape() {
+        let m = DenseMatrix::zeros(3, 5);
+        assert_eq!(m.shape(), (3, 5));
+        assert_eq!(m.zero_count(), 15);
+        assert_eq!(m.sparsity(), 1.0);
+    }
+
+    #[test]
+    fn try_new_rejects_bad_inputs() {
+        assert!(matches!(
+            DenseMatrix::try_new(0, 3, vec![]),
+            Err(SparseError::EmptyDimension { .. })
+        ));
+        assert!(matches!(
+            DenseMatrix::try_new(2, 2, vec![1.0; 3]),
+            Err(SparseError::DataLengthMismatch { expected: 4, actual: 3 })
+        ));
+    }
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut m = DenseMatrix::zeros(4, 4);
+        m.set(2, 3, 7.5);
+        assert_eq!(m.get(2, 3), 7.5);
+        assert_eq!(m.get(3, 2), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn get_out_of_bounds_panics() {
+        let m = DenseMatrix::zeros(2, 2);
+        let _ = m.get(2, 0);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = DenseMatrix::random(5, 9, 1);
+        assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = DenseMatrix::random(4, 4, 2);
+        let eye = DenseMatrix::from_fn(4, 4, |r, c| if r == c { 1.0 } else { 0.0 });
+        let prod = a.matmul(&eye).unwrap();
+        assert!(prod.approx_eq(&a, 1e-6));
+    }
+
+    #[test]
+    fn matmul_known_values() {
+        let a = DenseMatrix::try_new(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        let b = DenseMatrix::try_new(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.as_slice(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_dimension_mismatch() {
+        let a = DenseMatrix::zeros(2, 3);
+        let b = DenseMatrix::zeros(4, 2);
+        assert!(matches!(a.matmul(&b), Err(SparseError::DimensionMismatch { .. })));
+    }
+
+    #[test]
+    fn random_is_deterministic() {
+        assert_eq!(DenseMatrix::random(6, 6, 99), DenseMatrix::random(6, 6, 99));
+        assert_ne!(DenseMatrix::random(6, 6, 99), DenseMatrix::random(6, 6, 100));
+    }
+
+    #[test]
+    fn zero_pad_preserves_content() {
+        let m = DenseMatrix::random(3, 3, 5);
+        let p = m.zero_pad(5, 7);
+        assert_eq!(p.shape(), (5, 7));
+        for r in 0..3 {
+            for c in 0..3 {
+                assert_eq!(p.get(r, c), m.get(r, c));
+            }
+        }
+        assert_eq!(p.get(4, 6), 0.0);
+    }
+
+    #[test]
+    fn display_truncates_large() {
+        let m = DenseMatrix::zeros(20, 20);
+        let s = m.to_string();
+        assert!(s.contains("..."));
+        assert!(s.contains("20x20"));
+    }
+}

@@ -1,0 +1,189 @@
+//! Pruning dense matrices onto N:M structured-sparsity templates.
+//!
+//! The paper prunes its CNNs with TensorFlow (magnitude pruning plus
+//! fine-tuning on ImageNet). Kernel execution time depends only on the
+//! *structure* — the N:M template — never on the trained values, so this
+//! module reproduces the structural part: per-block top-N magnitude
+//! selection, plus a generator of random pattern-conformant matrices.
+
+use crate::gen;
+use crate::matrix::DenseMatrix;
+use crate::pattern::NmPattern;
+use crate::structured::StructuredSparseMatrix;
+
+/// Prunes `dense` to the `pattern` by keeping, in every aligned block of
+/// `M` elements, the `N` entries of largest magnitude (ties broken toward
+/// the lower column, matching common framework behaviour).
+///
+/// The result always satisfies the template, so conversion cannot fail.
+///
+/// # Example
+///
+/// ```
+/// use indexmac_sparse::{DenseMatrix, NmPattern, prune};
+///
+/// let d = DenseMatrix::try_new(1, 4, vec![0.1, -0.9, 0.5, 0.2])?;
+/// let s = prune::magnitude_prune(&d, NmPattern::new(2, 4)?);
+/// // Keeps -0.9 and 0.5, zeros the rest.
+/// assert_eq!(s.to_dense().as_slice(), &[0.0, -0.9, 0.5, 0.0]);
+/// # Ok::<(), indexmac_sparse::SparseError>(())
+/// ```
+pub fn magnitude_prune(dense: &DenseMatrix, pattern: NmPattern) -> StructuredSparseMatrix {
+    let pruned = magnitude_prune_dense(dense, pattern);
+    StructuredSparseMatrix::from_dense(&pruned, pattern)
+        .expect("magnitude pruning always satisfies the pattern")
+}
+
+/// Same as [`magnitude_prune`] but returns the pruned matrix in dense form.
+pub fn magnitude_prune_dense(dense: &DenseMatrix, pattern: NmPattern) -> DenseMatrix {
+    let (rows, cols) = dense.shape();
+    let m = pattern.m();
+    let n = pattern.n();
+    let mut out = DenseMatrix::zeros(rows, cols);
+    for r in 0..rows {
+        let mut block_start = 0;
+        while block_start < cols {
+            let block_end = (block_start + m).min(cols);
+            // Rank in-block offsets by |value| descending, column ascending.
+            let mut order: Vec<usize> = (block_start..block_end).collect();
+            order.sort_by(|&a, &b| {
+                dense
+                    .get(r, b)
+                    .abs()
+                    .partial_cmp(&dense.get(r, a).abs())
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.cmp(&b))
+            });
+            for &c in order.iter().take(n) {
+                let v = dense.get(r, c);
+                if v != 0.0 {
+                    out.set(r, c, v);
+                }
+            }
+            block_start = block_end;
+        }
+    }
+    out
+}
+
+/// Generates a random structured-sparse matrix where every full block has
+/// *exactly* `N` non-zeros at random distinct positions — the worst case
+/// for the fixed-shape kernels, and the shape the paper's pruned CNN
+/// weights take after fine-tuning.
+///
+/// Deterministic for a given `(rows, cols, pattern, seed)`.
+pub fn random_structured(
+    rows: usize,
+    cols: usize,
+    pattern: NmPattern,
+    seed: u64,
+) -> StructuredSparseMatrix {
+    let mut rng = gen::rng(seed);
+    let m = pattern.m();
+    let n = pattern.n();
+    let mut dense = DenseMatrix::zeros(rows, cols);
+    for r in 0..rows {
+        let mut block_start = 0;
+        while block_start < cols {
+            let width = (cols - block_start).min(m);
+            let take = n.min(width);
+            let offsets = gen::distinct_indices(take, width, &mut rng);
+            for off in offsets {
+                let v = loop {
+                    let v: f32 = rand::RngExt::random_range(&mut rng, -1.0..1.0);
+                    if v != 0.0 {
+                        break v;
+                    }
+                };
+                dense.set(r, block_start + off, v);
+            }
+            block_start += m;
+        }
+    }
+    StructuredSparseMatrix::from_dense(&dense, pattern)
+        .expect("construction satisfies the pattern by design")
+}
+
+/// Fraction of kept weights after pruning `dense` to `pattern`
+/// (`kept / original non-zeros`); a cheap proxy for the "information
+/// retained" trade-off discussed in the paper's introduction.
+pub fn retention(dense: &DenseMatrix, pattern: NmPattern) -> f64 {
+    let orig = dense.as_slice().iter().filter(|v| **v != 0.0).count();
+    if orig == 0 {
+        return 1.0;
+    }
+    let kept = magnitude_prune(dense, pattern).nnz();
+    kept as f64 / orig as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prune_keeps_largest_magnitudes() {
+        let d = DenseMatrix::try_new(1, 8, vec![0.1, 0.9, -0.5, 0.2, 0.0, -0.3, 0.25, 0.0])
+            .unwrap();
+        let s = magnitude_prune(&d, NmPattern::P1_4);
+        assert_eq!(s.to_dense().as_slice(), &[0.0, 0.9, 0.0, 0.0, 0.0, -0.3, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn prune_idempotent_on_conformant_input() {
+        let s0 = random_structured(6, 16, NmPattern::P2_4, 8);
+        let d = s0.to_dense();
+        let s1 = magnitude_prune(&d, NmPattern::P2_4);
+        assert!(s1.to_dense().approx_eq(&d, 0.0));
+    }
+
+    #[test]
+    fn prune_result_always_conformant() {
+        for seed in 0..5 {
+            let d = DenseMatrix::random(7, 19, seed);
+            let s = magnitude_prune(&d, NmPattern::P1_4);
+            assert!(s.obeys_pattern());
+            // Each 4-block keeps at most 1 nnz; 19 cols -> 5 blocks.
+            assert!(s.nnz() <= 7 * 5);
+        }
+    }
+
+    #[test]
+    fn prune_tie_break_prefers_lower_column() {
+        let d = DenseMatrix::try_new(1, 4, vec![0.5, 0.5, 0.5, 0.5]).unwrap();
+        let s = magnitude_prune(&d, NmPattern::P1_4);
+        assert_eq!(s.to_dense().as_slice(), &[0.5, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn random_structured_full_blocks() {
+        let s = random_structured(10, 32, NmPattern::P2_4, 3);
+        // 32 cols -> 8 blocks per row, each with exactly 2 nnz.
+        assert_eq!(s.nnz(), 10 * 8 * 2);
+        assert!(s.obeys_pattern());
+    }
+
+    #[test]
+    fn random_structured_ragged_tail() {
+        // 10 cols with M=4: blocks [0,4), [4,8), [8,10) — tail width 2.
+        let s = random_structured(4, 10, NmPattern::P2_4, 5);
+        assert!(s.obeys_pattern());
+        assert_eq!(s.nnz(), 4 * (2 + 2 + 2));
+    }
+
+    #[test]
+    fn random_structured_deterministic() {
+        let a = random_structured(5, 12, NmPattern::P1_4, 42);
+        let b = random_structured(5, 12, NmPattern::P1_4, 42);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn retention_bounds() {
+        let d = DenseMatrix::random(8, 32, 9);
+        let r14 = retention(&d, NmPattern::P1_4);
+        let r24 = retention(&d, NmPattern::P2_4);
+        assert!(r14 > 0.0 && r14 <= 0.26);
+        assert!(r24 > r14 && r24 <= 0.51);
+        assert_eq!(retention(&DenseMatrix::zeros(2, 2), NmPattern::P1_2), 1.0);
+    }
+}

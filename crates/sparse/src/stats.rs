@@ -1,0 +1,140 @@
+//! Sparsity statistics helpers used by reports and experiments.
+
+use crate::matrix::DenseMatrix;
+use crate::pattern::NmPattern;
+use crate::structured::StructuredSparseMatrix;
+
+/// Summary statistics of a matrix's sparsity structure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SparsityStats {
+    /// Total elements of the logical dense matrix.
+    pub elements: usize,
+    /// Elements equal to exactly zero.
+    pub zeros: usize,
+    /// Stored non-zero values.
+    pub nnz: usize,
+    /// Fraction of zeros, `zeros / elements`.
+    pub sparsity: f64,
+    /// Slots in the fixed-shape format (structured matrices only; equals
+    /// `nnz` for dense input).
+    pub slots: usize,
+    /// Fraction of format slots that are padding, `1 - nnz / slots`.
+    pub padding_fraction: f64,
+}
+
+impl SparsityStats {
+    /// Statistics of a dense matrix.
+    pub fn of_dense(m: &DenseMatrix) -> Self {
+        let elements = m.rows() * m.cols();
+        let zeros = m.zero_count();
+        let nnz = elements - zeros;
+        Self {
+            elements,
+            zeros,
+            nnz,
+            sparsity: zeros as f64 / elements as f64,
+            slots: nnz,
+            padding_fraction: 0.0,
+        }
+    }
+
+    /// Statistics of a structured-sparse matrix.
+    pub fn of_structured(m: &StructuredSparseMatrix) -> Self {
+        let elements = m.rows() * m.cols();
+        let nnz = m.nnz();
+        let zeros = elements - nnz;
+        let slots = m.total_slots();
+        Self {
+            elements,
+            zeros,
+            nnz,
+            sparsity: zeros as f64 / elements as f64,
+            slots,
+            padding_fraction: if slots == 0 { 0.0 } else { 1.0 - nnz as f64 / slots as f64 },
+        }
+    }
+}
+
+impl std::fmt::Display for SparsityStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} elements, {} nnz ({:.1}% sparse), {} slots ({:.1}% padding)",
+            self.elements,
+            self.nnz,
+            self.sparsity * 100.0,
+            self.slots,
+            self.padding_fraction * 100.0
+        )
+    }
+}
+
+/// Effective MACs per output element for a structured matrix: the number
+/// of multiply-accumulates the fixed-shape kernels execute per column of
+/// the product, `slots_per_row` summed over rows.
+pub fn macs_per_output_column(m: &StructuredSparseMatrix) -> usize {
+    m.rows() * m.slots_per_row()
+}
+
+/// The dense-equivalent MAC count for the same product shape.
+pub fn dense_macs_per_output_column(rows: usize, inner: usize) -> usize {
+    rows * inner
+}
+
+/// MAC reduction factor of `pattern` relative to dense execution
+/// (`M / N`), the paper's headline motivation for structured pruning.
+pub fn mac_reduction(pattern: NmPattern) -> f64 {
+    pattern.m() as f64 / pattern.n() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prune;
+
+    #[test]
+    fn dense_stats() {
+        let mut d = DenseMatrix::zeros(4, 4);
+        d.set(0, 0, 1.0);
+        d.set(1, 1, 2.0);
+        let s = SparsityStats::of_dense(&d);
+        assert_eq!(s.elements, 16);
+        assert_eq!(s.nnz, 2);
+        assert_eq!(s.sparsity, 14.0 / 16.0);
+        assert_eq!(s.padding_fraction, 0.0);
+    }
+
+    #[test]
+    fn structured_stats_count_padding() {
+        // Full 2:4 blocks: no padding.
+        let full = prune::random_structured(4, 16, NmPattern::P2_4, 1);
+        let s = SparsityStats::of_structured(&full);
+        assert_eq!(s.padding_fraction, 0.0);
+        assert_eq!(s.slots, 4 * 8);
+
+        // A matrix with an empty block: padding shows up.
+        let d = DenseMatrix::try_new(1, 8, vec![1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0])
+            .unwrap();
+        let sp = StructuredSparseMatrix::from_dense(&d, NmPattern::P2_4).unwrap();
+        let s = SparsityStats::of_structured(&sp);
+        assert_eq!(s.nnz, 1);
+        assert_eq!(s.slots, 4);
+        assert_eq!(s.padding_fraction, 0.75);
+    }
+
+    #[test]
+    fn mac_accounting() {
+        assert_eq!(mac_reduction(NmPattern::P1_4), 4.0);
+        assert_eq!(mac_reduction(NmPattern::P2_4), 2.0);
+        let m = prune::random_structured(8, 32, NmPattern::P1_4, 2);
+        assert_eq!(macs_per_output_column(&m), 8 * 8);
+        assert_eq!(dense_macs_per_output_column(8, 32), 256);
+    }
+
+    #[test]
+    fn display_contains_percentages() {
+        let d = DenseMatrix::zeros(2, 2);
+        let s = SparsityStats::of_dense(&d);
+        assert!(s.to_string().contains('%'));
+    }
+}

@@ -1,0 +1,489 @@
+//! Block-compressed `values` / `col_idx` representation of an N:M
+//! structured-sparse matrix (paper Fig. 1(b)).
+//!
+//! The format has a *fixed shape*: every `M`-element block of a row owns
+//! exactly `N` slots, each holding a value and an in-block column index.
+//! Blocks with fewer than `N` non-zeros are padded with `(0.0, 0)` slots.
+//! The fixed shape is what lets the hardware kernels of the paper load the
+//! per-row metadata with plain unit-stride vector loads and walk it with
+//! `vslide1down` without any per-row control flow.
+
+use crate::error::SparseError;
+use crate::matrix::DenseMatrix;
+use crate::pattern::NmPattern;
+
+/// One slot of the block-compressed format: a value plus the column index
+/// of that value *within its block* (`0..M`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Slot {
+    /// Row of the owning matrix.
+    pub row: usize,
+    /// Block index within the row.
+    pub block: usize,
+    /// Slot position within the block (`0..N`).
+    pub slot: usize,
+    /// Column index within the block (`0..M`).
+    pub in_block_idx: usize,
+    /// Global column index (`block * M + in_block_idx`).
+    pub col: usize,
+    /// Element value (0.0 for padding slots).
+    pub value: f32,
+}
+
+impl Slot {
+    /// Whether this slot is format padding rather than a stored non-zero.
+    pub fn is_padding(&self) -> bool {
+        self.value == 0.0
+    }
+}
+
+/// A borrowed view of one block: `N` values and their in-block indices.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Block<'a> {
+    /// Values of the block's slots (length `N`).
+    pub values: &'a [f32],
+    /// In-block column indices of the slots (length `N`).
+    pub indices: &'a [u8],
+}
+
+/// An N:M structured-sparse matrix in block-compressed form.
+///
+/// # Example
+///
+/// ```
+/// use indexmac_sparse::{DenseMatrix, NmPattern, StructuredSparseMatrix};
+///
+/// // 1:4 pattern: at most one non-zero per 4 consecutive elements.
+/// let dense = DenseMatrix::try_new(
+///     1,
+///     8,
+///     vec![0.0, 3.0, 0.0, 0.0, 0.0, 0.0, 0.0, -2.0],
+/// )?;
+/// let s = StructuredSparseMatrix::from_dense(&dense, NmPattern::P1_4)?;
+/// assert_eq!(s.nnz(), 2);
+/// assert!(s.to_dense().approx_eq(&dense, 0.0));
+/// # Ok::<(), indexmac_sparse::SparseError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct StructuredSparseMatrix {
+    rows: usize,
+    cols: usize,
+    pattern: NmPattern,
+    /// `rows * blocks_per_row * N` values, row-major then block-major.
+    values: Vec<f32>,
+    /// Matching in-block indices, each in `[0, M)`.
+    indices: Vec<u8>,
+}
+
+impl StructuredSparseMatrix {
+    /// Converts a dense matrix that already obeys the N:M template.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::PatternViolation`] if any block of `dense`
+    /// holds more than `N` non-zeros (use
+    /// [`crate::prune::magnitude_prune`] to force conformance first), and
+    /// [`SparseError::InvalidPattern`] never (the pattern is pre-validated).
+    pub fn from_dense(dense: &DenseMatrix, pattern: NmPattern) -> Result<Self, SparseError> {
+        let (rows, cols) = dense.shape();
+        let blocks = pattern.blocks_for(cols);
+        let n = pattern.n();
+        let m = pattern.m();
+        let mut values = vec![0.0_f32; rows * blocks * n];
+        let mut indices = vec![0_u8; rows * blocks * n];
+        for r in 0..rows {
+            for b in 0..blocks {
+                let base = (r * blocks + b) * n;
+                let mut filled = 0;
+                for off in 0..m {
+                    let c = b * m + off;
+                    if c >= cols {
+                        break;
+                    }
+                    let v = dense.get(r, c);
+                    if v != 0.0 {
+                        if filled == n {
+                            return Err(SparseError::PatternViolation {
+                                row: r,
+                                block_start: b * m,
+                                found: filled + 1,
+                                allowed: n,
+                            });
+                        }
+                        values[base + filled] = v;
+                        indices[base + filled] = off as u8;
+                        filled += 1;
+                    }
+                }
+            }
+        }
+        Ok(Self { rows, cols, pattern, values, indices })
+    }
+
+    /// Builds the format directly from per-slot arrays.
+    ///
+    /// `values` and `indices` must have length
+    /// `rows * pattern.blocks_for(cols) * pattern.n()`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::DataLengthMismatch`] on wrong lengths and
+    /// [`SparseError::IndexOutOfBlock`] if any index is `>= M` or refers
+    /// to a column beyond `cols`.
+    pub fn from_parts(
+        rows: usize,
+        cols: usize,
+        pattern: NmPattern,
+        values: Vec<f32>,
+        indices: Vec<u8>,
+    ) -> Result<Self, SparseError> {
+        if rows == 0 || cols == 0 {
+            return Err(SparseError::EmptyDimension { rows, cols });
+        }
+        let expected = rows * pattern.slots_for(cols);
+        if values.len() != expected {
+            return Err(SparseError::DataLengthMismatch { expected, actual: values.len() });
+        }
+        if indices.len() != expected {
+            return Err(SparseError::DataLengthMismatch { expected, actual: indices.len() });
+        }
+        let blocks = pattern.blocks_for(cols);
+        for r in 0..rows {
+            for b in 0..blocks {
+                for s in 0..pattern.n() {
+                    let i = (r * blocks + b) * pattern.n() + s;
+                    let off = indices[i] as usize;
+                    if off >= pattern.m() {
+                        return Err(SparseError::IndexOutOfBlock {
+                            index: off,
+                            block: pattern.m(),
+                        });
+                    }
+                    let col = b * pattern.m() + off;
+                    if values[i] != 0.0 && col >= cols {
+                        return Err(SparseError::IndexOutOfBlock {
+                            index: col,
+                            block: cols,
+                        });
+                    }
+                }
+            }
+        }
+        Ok(Self { rows, cols, pattern, values, indices })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of (logical, dense) columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Shape as `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// The N:M template of this matrix.
+    pub fn pattern(&self) -> NmPattern {
+        self.pattern
+    }
+
+    /// Blocks per row (`ceil(cols / M)`).
+    pub fn blocks_per_row(&self) -> usize {
+        self.pattern.blocks_for(self.cols)
+    }
+
+    /// Value slots per row (`blocks_per_row * N`).
+    pub fn slots_per_row(&self) -> usize {
+        self.pattern.slots_for(self.cols)
+    }
+
+    /// All value slots, row-major (including padding zeros).
+    pub fn values(&self) -> &[f32] {
+        &self.values
+    }
+
+    /// All in-block indices, row-major, aligned with [`Self::values`].
+    pub fn indices(&self) -> &[u8] {
+        &self.indices
+    }
+
+    /// The value slots of row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of bounds.
+    pub fn row_values(&self, r: usize) -> &[f32] {
+        assert!(r < self.rows, "row {r} out of bounds");
+        let spr = self.slots_per_row();
+        &self.values[r * spr..(r + 1) * spr]
+    }
+
+    /// The in-block indices of row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of bounds.
+    pub fn row_indices(&self, r: usize) -> &[u8] {
+        assert!(r < self.rows, "row {r} out of bounds");
+        let spr = self.slots_per_row();
+        &self.indices[r * spr..(r + 1) * spr]
+    }
+
+    /// A view of block `b` of row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` or `b` is out of bounds.
+    pub fn block(&self, r: usize, b: usize) -> Block<'_> {
+        assert!(b < self.blocks_per_row(), "block {b} out of bounds");
+        let n = self.pattern.n();
+        let base = (r * self.blocks_per_row() + b) * n;
+        Block { values: &self.values[base..base + n], indices: &self.indices[base..base + n] }
+    }
+
+    /// Iterates over every slot of row `r` (including padding slots), in
+    /// block order — exactly the order the hardware kernels walk.
+    pub fn row_slots(&self, r: usize) -> impl Iterator<Item = Slot> + '_ {
+        let n = self.pattern.n();
+        let m = self.pattern.m();
+        let blocks = self.blocks_per_row();
+        let vals = self.row_values(r);
+        let idxs = self.row_indices(r);
+        (0..blocks).flat_map(move |b| {
+            (0..n).map(move |s| {
+                let i = b * n + s;
+                let in_block_idx = idxs[i] as usize;
+                Slot {
+                    row: r,
+                    block: b,
+                    slot: s,
+                    in_block_idx,
+                    col: b * m + in_block_idx,
+                    value: vals[i],
+                }
+            })
+        })
+    }
+
+    /// Number of stored non-zero values (padding slots excluded).
+    pub fn nnz(&self) -> usize {
+        self.values.iter().filter(|v| **v != 0.0).count()
+    }
+
+    /// Total slots in the format (`rows * blocks * N`), i.e. the MAC count
+    /// the fixed-shape hardware kernels execute regardless of padding.
+    pub fn total_slots(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Expands back to a dense matrix.
+    pub fn to_dense(&self) -> DenseMatrix {
+        let mut out = DenseMatrix::zeros(self.rows, self.cols);
+        for r in 0..self.rows {
+            for slot in self.row_slots(r) {
+                if slot.value != 0.0 {
+                    // Padding slots may alias column 0 of their block; only
+                    // real values are written back.
+                    out.set(r, slot.col, slot.value);
+                }
+            }
+        }
+        out
+    }
+
+    /// Checks the structural invariants: indices in `[0, M)`, real values
+    /// referring to in-bounds columns, and at most one real value per
+    /// (row, column).
+    pub fn obeys_pattern(&self) -> bool {
+        for r in 0..self.rows {
+            let mut seen = vec![false; self.cols];
+            for slot in self.row_slots(r) {
+                if slot.in_block_idx >= self.pattern.m() {
+                    return false;
+                }
+                if slot.value != 0.0 {
+                    if slot.col >= self.cols {
+                        return false;
+                    }
+                    if seen[slot.col] {
+                        return false;
+                    }
+                    seen[slot.col] = true;
+                }
+            }
+        }
+        true
+    }
+
+    /// Storage footprint in bytes of the compressed representation,
+    /// assuming 32-bit values and `ceil(log2(M))`-bit indices packed into
+    /// bytes — the metric behind the paper's Fig. 1 storage comparison.
+    pub fn storage_bytes(&self) -> usize {
+        let value_bytes = self.values.len() * 4;
+        let bits_per_idx = usize::BITS as usize - (self.pattern.m() - 1).leading_zeros() as usize;
+        let bits_per_idx = bits_per_idx.max(1);
+        let index_bytes = (self.indices.len() * bits_per_idx).div_ceil(8);
+        value_bytes + index_bytes
+    }
+
+    /// Reference sparse x dense product against a dense `rhs`, walking
+    /// slots in hardware order (block-major, fixed N per block) so the
+    /// floating-point rounding matches the simulated kernels exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::DimensionMismatch`] when
+    /// `self.cols() != rhs.rows()`.
+    pub fn spmm_reference(&self, rhs: &DenseMatrix) -> Result<DenseMatrix, SparseError> {
+        if self.cols != rhs.rows() {
+            return Err(SparseError::DimensionMismatch {
+                left: self.shape(),
+                right: rhs.shape(),
+            });
+        }
+        let mut out = DenseMatrix::zeros(self.rows, rhs.cols());
+        for r in 0..self.rows {
+            for slot in self.row_slots(r) {
+                // Padding slots multiply by 0.0 — harmless but kept to
+                // mirror the fixed-shape kernel arithmetic order.
+                if slot.col >= rhs.rows() {
+                    continue;
+                }
+                for j in 0..rhs.cols() {
+                    let v = out.get(r, j) + slot.value * rhs.get(slot.col, j);
+                    out.set(r, j, v);
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+impl std::fmt::Display for StructuredSparseMatrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "StructuredSparseMatrix {}x{} pattern {} ({} nnz / {} slots)",
+            self.rows,
+            self.cols,
+            self.pattern,
+            self.nnz(),
+            self.total_slots()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prune;
+
+    fn sample_dense() -> DenseMatrix {
+        // 2 rows x 8 cols, 2:4-conformant.
+        DenseMatrix::try_new(
+            2,
+            8,
+            vec![
+                1.0, 0.0, 2.0, 0.0, 0.0, 0.0, 3.0, 0.0, //
+                0.0, 0.0, 0.0, 0.0, 4.0, 5.0, 0.0, 0.0,
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn from_dense_roundtrip() {
+        let d = sample_dense();
+        let s = StructuredSparseMatrix::from_dense(&d, NmPattern::P2_4).unwrap();
+        assert_eq!(s.nnz(), 5);
+        assert_eq!(s.total_slots(), 2 * 2 * 2);
+        assert!(s.obeys_pattern());
+        assert!(s.to_dense().approx_eq(&d, 0.0));
+    }
+
+    #[test]
+    fn from_dense_rejects_violations() {
+        let d = DenseMatrix::try_new(1, 4, vec![1.0, 2.0, 3.0, 0.0]).unwrap();
+        let err = StructuredSparseMatrix::from_dense(&d, NmPattern::P2_4).unwrap_err();
+        assert!(matches!(err, SparseError::PatternViolation { found: 3, allowed: 2, .. }));
+    }
+
+    #[test]
+    fn blocks_and_slots_views() {
+        let d = sample_dense();
+        let s = StructuredSparseMatrix::from_dense(&d, NmPattern::P2_4).unwrap();
+        let b0 = s.block(0, 0);
+        assert_eq!(b0.values, &[1.0, 2.0]);
+        assert_eq!(b0.indices, &[0, 2]);
+        let b1 = s.block(0, 1);
+        assert_eq!(b1.values, &[3.0, 0.0]); // one nnz + one padding slot
+        let slots: Vec<Slot> = s.row_slots(1).collect();
+        assert_eq!(slots.len(), 4);
+        assert_eq!(slots[2].col, 4);
+        assert_eq!(slots[2].value, 4.0);
+        assert!(slots[0].is_padding());
+    }
+
+    #[test]
+    fn ragged_last_block_is_padded() {
+        // 6 columns with M=4 -> 2 blocks, second covers cols 4..6 only.
+        let d = DenseMatrix::try_new(1, 6, vec![0.0, 7.0, 0.0, 0.0, 0.0, 9.0]).unwrap();
+        let s = StructuredSparseMatrix::from_dense(&d, NmPattern::P1_4).unwrap();
+        assert_eq!(s.blocks_per_row(), 2);
+        assert_eq!(s.nnz(), 2);
+        assert!(s.to_dense().approx_eq(&d, 0.0));
+    }
+
+    #[test]
+    fn from_parts_validation() {
+        let p = NmPattern::P1_4;
+        // 1 row x 8 cols -> 2 slots.
+        assert!(StructuredSparseMatrix::from_parts(1, 8, p, vec![1.0], vec![0]).is_err());
+        let err =
+            StructuredSparseMatrix::from_parts(1, 8, p, vec![1.0, 1.0], vec![0, 4]).unwrap_err();
+        assert!(matches!(err, SparseError::IndexOutOfBlock { index: 4, block: 4 }));
+        // Real value pointing past the logical column count.
+        let err =
+            StructuredSparseMatrix::from_parts(1, 6, p, vec![1.0, 1.0], vec![0, 3]).unwrap_err();
+        assert!(matches!(err, SparseError::IndexOutOfBlock { .. }));
+        assert!(StructuredSparseMatrix::from_parts(1, 8, p, vec![1.0, 1.0], vec![0, 3]).is_ok());
+    }
+
+    #[test]
+    fn spmm_reference_matches_dense_matmul() {
+        let d = DenseMatrix::random(6, 12, 3);
+        let s = prune::magnitude_prune(&d, NmPattern::P2_4);
+        let b = DenseMatrix::random(12, 10, 4);
+        let via_sparse = s.spmm_reference(&b).unwrap();
+        let via_dense = s.to_dense().matmul(&b).unwrap();
+        assert!(via_sparse.approx_eq(&via_dense, 1e-4));
+    }
+
+    #[test]
+    fn spmm_dimension_check() {
+        let d = sample_dense();
+        let s = StructuredSparseMatrix::from_dense(&d, NmPattern::P2_4).unwrap();
+        let b = DenseMatrix::zeros(9, 3);
+        assert!(s.spmm_reference(&b).is_err());
+    }
+
+    #[test]
+    fn storage_accounting() {
+        let d = sample_dense();
+        let s = StructuredSparseMatrix::from_dense(&d, NmPattern::P2_4).unwrap();
+        // 8 slots * 4 bytes + 8 indices * 2 bits = 32 + 2 bytes.
+        assert_eq!(s.storage_bytes(), 34);
+    }
+
+    #[test]
+    fn display_mentions_pattern() {
+        let d = sample_dense();
+        let s = StructuredSparseMatrix::from_dense(&d, NmPattern::P2_4).unwrap();
+        assert!(s.to_string().contains("2:4"));
+    }
+}

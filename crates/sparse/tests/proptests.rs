@@ -1,0 +1,107 @@
+//! Property-based tests for the sparse-format invariants.
+
+use indexmac_sparse::{prune, CsrMatrix, DenseMatrix, NmPattern, StructuredSparseMatrix};
+use proptest::prelude::*;
+
+fn pattern_strategy() -> impl Strategy<Value = NmPattern> {
+    prop_oneof![
+        Just(NmPattern::P1_2),
+        Just(NmPattern::P1_4),
+        Just(NmPattern::P2_4),
+        (1usize..=4, 4usize..=8).prop_map(|(n, m)| NmPattern::new(n, m).unwrap()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn structured_roundtrip_preserves_dense(
+        rows in 1usize..12,
+        cols in 1usize..40,
+        pattern in pattern_strategy(),
+        seed in 0u64..1000,
+    ) {
+        let s = prune::random_structured(rows, cols, pattern, seed);
+        let d = s.to_dense();
+        let s2 = StructuredSparseMatrix::from_dense(&d, pattern).unwrap();
+        prop_assert!(s2.to_dense().approx_eq(&d, 0.0));
+        prop_assert!(s2.obeys_pattern());
+    }
+
+    #[test]
+    fn pruning_always_conforms(
+        rows in 1usize..10,
+        cols in 1usize..48,
+        pattern in pattern_strategy(),
+        seed in 0u64..1000,
+    ) {
+        let d = DenseMatrix::random(rows, cols, seed);
+        let s = prune::magnitude_prune(&d, pattern);
+        prop_assert!(s.obeys_pattern());
+        // Every kept value exists at the same position in the original.
+        let pd = s.to_dense();
+        for r in 0..rows {
+            for c in 0..cols {
+                let v = pd.get(r, c);
+                if v != 0.0 {
+                    prop_assert_eq!(v, d.get(r, c));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pruning_never_exceeds_density(
+        rows in 1usize..8,
+        cols in 1usize..64,
+        pattern in pattern_strategy(),
+        seed in 0u64..1000,
+    ) {
+        let d = DenseMatrix::random(rows, cols, seed);
+        let s = prune::magnitude_prune(&d, pattern);
+        let max_nnz = rows * pattern.blocks_for(cols) * pattern.n();
+        prop_assert!(s.nnz() <= max_nnz);
+    }
+
+    #[test]
+    fn structured_spmm_matches_dense_matmul(
+        rows in 1usize..8,
+        inner in 1usize..24,
+        cols in 1usize..12,
+        pattern in pattern_strategy(),
+        seed in 0u64..500,
+    ) {
+        let a = prune::random_structured(rows, inner, pattern, seed);
+        let b = DenseMatrix::random(inner, cols, seed.wrapping_add(1));
+        let got = a.spmm_reference(&b).unwrap();
+        let want = a.to_dense().matmul(&b).unwrap();
+        prop_assert!(got.approx_eq(&want, 1e-3),
+            "max diff {}", got.max_abs_diff(&want));
+    }
+
+    #[test]
+    fn csr_roundtrip(
+        rows in 1usize..10,
+        cols in 1usize..20,
+        seed in 0u64..500,
+    ) {
+        let d = DenseMatrix::random(rows, cols, seed);
+        let pruned = prune::magnitude_prune_dense(&d, NmPattern::P1_4);
+        let csr = CsrMatrix::from_dense(&pruned);
+        prop_assert!(csr.to_dense().approx_eq(&pruned, 0.0));
+    }
+
+    #[test]
+    fn transpose_preserves_matmul(
+        n in 1usize..8,
+        seed in 0u64..200,
+    ) {
+        // (A * B)^T == B^T * A^T
+        let a = DenseMatrix::random(n, n, seed);
+        let b = DenseMatrix::random(n, n, seed.wrapping_add(7));
+        let left = a.matmul(&b).unwrap().transpose();
+        let right = b.transpose().matmul(&a.transpose()).unwrap();
+        prop_assert!(left.approx_eq(&right, 1e-3));
+    }
+}

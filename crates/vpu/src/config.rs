@@ -1,0 +1,192 @@
+//! Simulated-processor configuration (paper Table I plus the
+//! micro-architectural latencies the table leaves implicit).
+
+use indexmac_mem::HierarchyConfig;
+
+/// Full configuration of the simulated decoupled vector processor.
+///
+/// [`SimConfig::table_i`] reproduces the paper's Table I; individual
+/// fields can be overridden for ablations (e.g. the VLEN sweep bench).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimConfig {
+    // ---- vector engine (Table I: "512-bit vector engine with 16-lane
+    // configuration (32-bit elements x 16 execution lanes)") ----
+    /// Hardware vector register length in bits.
+    pub vlen_bits: usize,
+    /// Number of execution lanes (32-bit each).
+    pub lanes: usize,
+    /// Depth of the scalar->vector instruction queue (decoupling depth).
+    pub vq_depth: usize,
+    /// Vector load-queue entries into L2 (Table I: 16).
+    pub vlq_entries: usize,
+    /// Vector store-queue entries into L2 (Table I: 16).
+    pub vsq_entries: usize,
+    /// Vector instructions the scalar core can hand over per cycle.
+    pub vdispatch_per_cycle: u32,
+
+    // ---- scalar core (Table I: 8-way OoO, 60-entry ROB) ----
+    /// Scalar issue width.
+    pub issue_width: u32,
+    /// Reorder-buffer entries.
+    pub rob_entries: usize,
+    /// Redirect penalty of a taken branch, cycles.
+    pub branch_taken_penalty: u64,
+
+    // ---- operation latencies (cycles) ----
+    /// Simple integer ALU latency.
+    pub alu_latency: u64,
+    /// Integer multiply latency.
+    pub mul_latency: u64,
+    /// Vector arithmetic (non-MAC) latency.
+    pub varith_latency: u64,
+    /// Vector MAC latency (`vfmacc`, `vmacc`, `vindexmac`).
+    pub vmac_latency: u64,
+    /// Vector slide/permute latency.
+    pub vslide_latency: u64,
+    /// Vector-to-scalar transfer latency (`vmv.x.s` result to the scalar
+    /// core — the cross-domain synchronisation both kernels pay).
+    pub v2s_latency: u64,
+
+    // ---- memory system ----
+    /// Cache/DRAM hierarchy parameters.
+    pub hierarchy: HierarchyConfig,
+}
+
+impl SimConfig {
+    /// The configuration of the paper's Table I.
+    pub fn table_i() -> Self {
+        Self {
+            vlen_bits: 512,
+            lanes: 16,
+            vq_depth: 16,
+            vlq_entries: 16,
+            vsq_entries: 16,
+            vdispatch_per_cycle: 1,
+            issue_width: 8,
+            rob_entries: 60,
+            branch_taken_penalty: 2,
+            alu_latency: 1,
+            mul_latency: 3,
+            varith_latency: 2,
+            vmac_latency: 4,
+            vslide_latency: 2,
+            v2s_latency: 3,
+            hierarchy: HierarchyConfig::table_i(),
+        }
+    }
+
+    /// Maximum `vl` for 32-bit elements (`VLEN / 32`); 16 for Table I.
+    pub fn vlmax_e32(&self) -> usize {
+        self.vlen_bits / 32
+    }
+
+    /// Cycles the engine occupies issuing one `vl`-element operation
+    /// across the lanes (`ceil(vl / lanes)`, minimum 1).
+    pub fn occupancy(&self, vl: usize) -> u64 {
+        (vl.max(1)).div_ceil(self.lanes) as u64
+    }
+
+    /// Copy with a different VLEN (used by the VLEN-sweep ablation).
+    pub fn with_vlen(mut self, vlen_bits: usize) -> Self {
+        assert!(vlen_bits.is_multiple_of(32) && vlen_bits >= 32, "VLEN must be a multiple of 32");
+        self.vlen_bits = vlen_bits;
+        self
+    }
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self::table_i()
+    }
+}
+
+impl std::fmt::Display for SimConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Simulated processor configuration (paper Table I)")?;
+        writeln!(
+            f,
+            "  Scalar core   : RV64GC, {}-way-issue out-of-order, {}-entry ROB",
+            self.issue_width, self.rob_entries
+        )?;
+        writeln!(
+            f,
+            "  L1D cache     : {}-cycle hit, {}-way, {}KB",
+            self.hierarchy.l1_latency,
+            self.hierarchy.l1d.ways,
+            self.hierarchy.l1d.size_bytes / 1024
+        )?;
+        writeln!(
+            f,
+            "  Vector engine : {}-bit, {} lanes (32-bit elements), vl_max={}",
+            self.vlen_bits,
+            self.lanes,
+            self.vlmax_e32()
+        )?;
+        writeln!(
+            f,
+            "  Vector memory : {} load queues + {} store queues directly into L2",
+            self.vlq_entries, self.vsq_entries
+        )?;
+        writeln!(
+            f,
+            "  L2 cache      : {}-way, {}-bank, {}-cycle hit, {}KB shared",
+            self.hierarchy.l2.ways,
+            self.hierarchy.l2_banks,
+            self.hierarchy.l2_latency,
+            self.hierarchy.l2.size_bytes / 1024
+        )?;
+        write!(
+            f,
+            "  Main memory   : DDR4-2400 ({}-cycle latency, {} cycles/line)",
+            self.hierarchy.dram.latency, self.hierarchy.dram.cycles_per_line
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_i_matches_paper() {
+        let c = SimConfig::table_i();
+        assert_eq!(c.vlen_bits, 512);
+        assert_eq!(c.lanes, 16);
+        assert_eq!(c.vlmax_e32(), 16);
+        assert_eq!(c.issue_width, 8);
+        assert_eq!(c.rob_entries, 60);
+        assert_eq!(c.vlq_entries, 16);
+        assert_eq!(c.vsq_entries, 16);
+        assert_eq!(c.hierarchy.l1_latency, 2);
+        assert_eq!(c.hierarchy.l2_latency, 8);
+        assert_eq!(c.hierarchy.l2_banks, 8);
+        assert_eq!(c.hierarchy.l1d.size_bytes, 64 * 1024);
+        assert_eq!(c.hierarchy.l2.size_bytes, 512 * 1024);
+    }
+
+    #[test]
+    fn occupancy_rule() {
+        let c = SimConfig::table_i();
+        assert_eq!(c.occupancy(16), 1);
+        assert_eq!(c.occupancy(1), 1);
+        assert_eq!(c.occupancy(0), 1);
+        assert_eq!(c.occupancy(17), 2);
+        let wide = c.with_vlen(1024);
+        assert_eq!(wide.vlmax_e32(), 32);
+        assert_eq!(wide.occupancy(32), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 32")]
+    fn with_vlen_validates() {
+        let _ = SimConfig::table_i().with_vlen(100);
+    }
+
+    #[test]
+    fn display_mentions_key_parameters() {
+        let s = SimConfig::table_i().to_string();
+        assert!(s.contains("8-way-issue"));
+        assert!(s.contains("512-bit"));
+        assert!(s.contains("DDR4-2400"));
+    }
+}

@@ -1,0 +1,676 @@
+//! Functional (architecturally exact) execution of one instruction.
+//!
+//! The executor mutates [`ArchState`] and [`MainMemory`] and returns an
+//! [`ExecEvent`] describing what happened — memory addresses touched,
+//! the dynamically-selected indirect register of `vindexmac`, branch
+//! outcome — which is exactly the information the timing model needs.
+
+// Lockstep `for i in 0..vl` lane loops mirror the hardware semantics and
+// keep source/destination aliasing explicit; iterator forms obscure that.
+#![allow(clippy::needless_range_loop)]
+
+use crate::state::ArchState;
+use indexmac_isa::{Instruction, Sew, VReg, VType};
+use indexmac_mem::MainMemory;
+use std::error::Error;
+use std::fmt;
+
+/// Largest supported `vlmax` (bounds the stack scratch buffers).
+pub const MAX_VLMAX: usize = 128;
+
+/// A memory operation performed by an instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemOp {
+    /// Starting byte address.
+    pub addr: u64,
+    /// Access footprint in bytes.
+    pub bytes: u64,
+    /// Whether the access writes.
+    pub write: bool,
+    /// Whether it uses the vector (direct-to-L2) port.
+    pub vector: bool,
+}
+
+/// Dynamic outcome of executing one instruction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExecEvent {
+    /// Slot of the executed instruction.
+    pub pc: usize,
+    /// The instruction itself.
+    pub instr: Instruction,
+    /// Memory operation, if any.
+    pub mem: Option<MemOp>,
+    /// The VRF register selected through `rs` by `vindexmac.vx` — the
+    /// indirect read that has no static encoding.
+    pub indirect_vreg: Option<VReg>,
+    /// Whether a branch was taken.
+    pub branch_taken: bool,
+    /// Active `vl` when the instruction executed.
+    pub vl: usize,
+}
+
+/// Functional-execution errors (all indicate kernel/program bugs, not
+/// data-dependent conditions).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// A vector memory access was not element-aligned.
+    Unaligned {
+        /// Slot of the faulting instruction.
+        pc: usize,
+        /// The faulting address.
+        addr: u64,
+    },
+    /// `vsetvli` requested an element width other than 32 bits.
+    UnsupportedSew {
+        /// Slot of the faulting instruction.
+        pc: usize,
+    },
+    /// A branch target or fall-through left the program.
+    PcOutOfRange {
+        /// The out-of-range target.
+        target: i64,
+    },
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::Unaligned { pc, addr } => {
+                write!(f, "unaligned vector access at pc {pc}: address {addr:#x}")
+            }
+            ExecError::UnsupportedSew { pc } => {
+                write!(f, "unsupported SEW at pc {pc} (model executes e32 only)")
+            }
+            ExecError::PcOutOfRange { target } => write!(f, "control transfer to slot {target}"),
+        }
+    }
+}
+
+impl Error for ExecError {}
+
+#[inline]
+fn f(bits: u32) -> f32 {
+    f32::from_bits(bits)
+}
+
+/// Executes one instruction, advancing `state.pc`.
+///
+/// # Errors
+///
+/// See [`ExecError`].
+pub fn step(
+    state: &mut ArchState,
+    mem: &mut MainMemory,
+    instr: &Instruction,
+) -> Result<ExecEvent, ExecError> {
+    use Instruction::*;
+    let pc = state.pc;
+    let vl = state.vl();
+    let mut ev = ExecEvent {
+        pc,
+        instr: *instr,
+        mem: None,
+        indirect_vreg: None,
+        branch_taken: false,
+        vl,
+    };
+    let mut next_pc = pc as i64 + 1;
+
+    match *instr {
+        Li { rd, imm } => state.set_x(rd, imm as u64),
+        Mv { rd, rs } => {
+            let v = state.x(rs);
+            state.set_x(rd, v);
+        }
+        Addi { rd, rs1, imm } => {
+            let v = state.x(rs1).wrapping_add(imm as i64 as u64);
+            state.set_x(rd, v);
+        }
+        Add { rd, rs1, rs2 } => {
+            let v = state.x(rs1).wrapping_add(state.x(rs2));
+            state.set_x(rd, v);
+        }
+        Sub { rd, rs1, rs2 } => {
+            let v = state.x(rs1).wrapping_sub(state.x(rs2));
+            state.set_x(rd, v);
+        }
+        Mul { rd, rs1, rs2 } => {
+            let v = state.x(rs1).wrapping_mul(state.x(rs2));
+            state.set_x(rd, v);
+        }
+        Slli { rd, rs1, shamt } => {
+            let v = state.x(rs1) << (shamt & 63);
+            state.set_x(rd, v);
+        }
+        Srli { rd, rs1, shamt } => {
+            let v = state.x(rs1) >> (shamt & 63);
+            state.set_x(rd, v);
+        }
+        Lw { rd, rs1, imm } => {
+            let addr = state.x(rs1).wrapping_add(imm as i64 as u64);
+            let v = mem.read_u32(addr) as i32 as i64 as u64;
+            state.set_x(rd, v);
+            ev.mem = Some(MemOp { addr, bytes: 4, write: false, vector: false });
+        }
+        Lwu { rd, rs1, imm } => {
+            let addr = state.x(rs1).wrapping_add(imm as i64 as u64);
+            let v = mem.read_u32(addr) as u64;
+            state.set_x(rd, v);
+            ev.mem = Some(MemOp { addr, bytes: 4, write: false, vector: false });
+        }
+        Ld { rd, rs1, imm } => {
+            let addr = state.x(rs1).wrapping_add(imm as i64 as u64);
+            let v = mem.read_u64(addr);
+            state.set_x(rd, v);
+            ev.mem = Some(MemOp { addr, bytes: 8, write: false, vector: false });
+        }
+        Sw { rs2, rs1, imm } => {
+            let addr = state.x(rs1).wrapping_add(imm as i64 as u64);
+            mem.write_u32(addr, state.x(rs2) as u32);
+            ev.mem = Some(MemOp { addr, bytes: 4, write: true, vector: false });
+        }
+        Sd { rs2, rs1, imm } => {
+            let addr = state.x(rs1).wrapping_add(imm as i64 as u64);
+            mem.write_u64(addr, state.x(rs2));
+            ev.mem = Some(MemOp { addr, bytes: 8, write: true, vector: false });
+        }
+        Beq { rs1, rs2, offset } => {
+            if state.x(rs1) == state.x(rs2) {
+                ev.branch_taken = true;
+                next_pc = pc as i64 + offset as i64;
+            }
+        }
+        Bne { rs1, rs2, offset } => {
+            if state.x(rs1) != state.x(rs2) {
+                ev.branch_taken = true;
+                next_pc = pc as i64 + offset as i64;
+            }
+        }
+        Blt { rs1, rs2, offset } => {
+            if (state.x(rs1) as i64) < (state.x(rs2) as i64) {
+                ev.branch_taken = true;
+                next_pc = pc as i64 + offset as i64;
+            }
+        }
+        Bge { rs1, rs2, offset } => {
+            if (state.x(rs1) as i64) >= (state.x(rs2) as i64) {
+                ev.branch_taken = true;
+                next_pc = pc as i64 + offset as i64;
+            }
+        }
+        Jal { rd, offset } => {
+            // Link value is the next slot (the model's PC unit is slots).
+            state.set_x(rd, (pc + 1) as u64);
+            ev.branch_taken = true;
+            next_pc = pc as i64 + offset as i64;
+        }
+        Nop => {}
+        Halt => {
+            state.halted = true;
+        }
+        Flw { fd, rs1, imm } => {
+            let addr = state.x(rs1).wrapping_add(imm as i64 as u64);
+            state.set_f_bits(fd, mem.read_u32(addr));
+            ev.mem = Some(MemOp { addr, bytes: 4, write: false, vector: false });
+        }
+        Vsetvli { rd, rs1, sew } => {
+            if sew != Sew::E32 {
+                return Err(ExecError::UnsupportedSew { pc });
+            }
+            state.set_vtype(VType { sew });
+            let avl = if rs1.is_zero() {
+                if rd.is_zero() {
+                    state.vl()
+                } else {
+                    state.vlmax()
+                }
+            } else {
+                state.x(rs1) as usize
+            };
+            let vl = avl.min(state.vlmax());
+            state.set_vl(vl);
+            state.set_x(rd, vl as u64);
+            ev.vl = vl;
+        }
+        Vle32 { vd, rs1 } => {
+            let addr = state.x(rs1);
+            if !addr.is_multiple_of(4) {
+                return Err(ExecError::Unaligned { pc, addr });
+            }
+            for i in 0..vl {
+                let w = mem.read_u32(addr + (i * 4) as u64);
+                state.v_mut(vd)[i] = w;
+            }
+            ev.mem = Some(MemOp { addr, bytes: (vl * 4) as u64, write: false, vector: true });
+        }
+        Vse32 { vs3, rs1 } => {
+            let addr = state.x(rs1);
+            if !addr.is_multiple_of(4) {
+                return Err(ExecError::Unaligned { pc, addr });
+            }
+            for i in 0..vl {
+                mem.write_u32(addr + (i * 4) as u64, state.v(vs3)[i]);
+            }
+            ev.mem = Some(MemOp { addr, bytes: (vl * 4) as u64, write: true, vector: true });
+        }
+        VaddVv { vd, vs2, vs1 } => {
+            let mut a = [0u32; MAX_VLMAX];
+            let mut b = [0u32; MAX_VLMAX];
+            a[..vl].copy_from_slice(&state.v(vs2)[..vl]);
+            b[..vl].copy_from_slice(&state.v(vs1)[..vl]);
+            for i in 0..vl {
+                state.v_mut(vd)[i] = a[i].wrapping_add(b[i]);
+            }
+        }
+        VaddVx { vd, vs2, rs1 } => {
+            let s = state.x(rs1) as u32;
+            let mut a = [0u32; MAX_VLMAX];
+            a[..vl].copy_from_slice(&state.v(vs2)[..vl]);
+            for i in 0..vl {
+                state.v_mut(vd)[i] = a[i].wrapping_add(s);
+            }
+        }
+        VaddVi { vd, vs2, imm } => {
+            let s = imm as i32 as u32;
+            let mut a = [0u32; MAX_VLMAX];
+            a[..vl].copy_from_slice(&state.v(vs2)[..vl]);
+            for i in 0..vl {
+                state.v_mut(vd)[i] = a[i].wrapping_add(s);
+            }
+        }
+        VmulVv { vd, vs2, vs1 } => {
+            let mut a = [0u32; MAX_VLMAX];
+            let mut b = [0u32; MAX_VLMAX];
+            a[..vl].copy_from_slice(&state.v(vs2)[..vl]);
+            b[..vl].copy_from_slice(&state.v(vs1)[..vl]);
+            for i in 0..vl {
+                state.v_mut(vd)[i] = a[i].wrapping_mul(b[i]);
+            }
+        }
+        VmulVx { vd, vs2, rs1 } => {
+            let s = state.x(rs1) as u32;
+            let mut a = [0u32; MAX_VLMAX];
+            a[..vl].copy_from_slice(&state.v(vs2)[..vl]);
+            for i in 0..vl {
+                state.v_mut(vd)[i] = a[i].wrapping_mul(s);
+            }
+        }
+        VmaccVx { vd, rs1, vs2 } => {
+            let s = state.x(rs1) as u32;
+            let mut a = [0u32; MAX_VLMAX];
+            a[..vl].copy_from_slice(&state.v(vs2)[..vl]);
+            for i in 0..vl {
+                let d = state.v(vd)[i];
+                state.v_mut(vd)[i] = d.wrapping_add(s.wrapping_mul(a[i]));
+            }
+        }
+        VfaddVv { vd, vs2, vs1 } => {
+            let mut a = [0u32; MAX_VLMAX];
+            let mut b = [0u32; MAX_VLMAX];
+            a[..vl].copy_from_slice(&state.v(vs2)[..vl]);
+            b[..vl].copy_from_slice(&state.v(vs1)[..vl]);
+            for i in 0..vl {
+                state.v_mut(vd)[i] = (f(a[i]) + f(b[i])).to_bits();
+            }
+        }
+        VfmulVv { vd, vs2, vs1 } => {
+            let mut a = [0u32; MAX_VLMAX];
+            let mut b = [0u32; MAX_VLMAX];
+            a[..vl].copy_from_slice(&state.v(vs2)[..vl]);
+            b[..vl].copy_from_slice(&state.v(vs1)[..vl]);
+            for i in 0..vl {
+                state.v_mut(vd)[i] = (f(a[i]) * f(b[i])).to_bits();
+            }
+        }
+        VfmaccVf { vd, fs1, vs2 } => {
+            let s = state.f32(fs1);
+            let mut a = [0u32; MAX_VLMAX];
+            a[..vl].copy_from_slice(&state.v(vs2)[..vl]);
+            for i in 0..vl {
+                let d = f(state.v(vd)[i]);
+                state.v_mut(vd)[i] = (d + s * f(a[i])).to_bits();
+            }
+        }
+        VfmaccVv { vd, vs1, vs2 } => {
+            let mut a = [0u32; MAX_VLMAX];
+            let mut b = [0u32; MAX_VLMAX];
+            a[..vl].copy_from_slice(&state.v(vs2)[..vl]);
+            b[..vl].copy_from_slice(&state.v(vs1)[..vl]);
+            for i in 0..vl {
+                let d = f(state.v(vd)[i]);
+                state.v_mut(vd)[i] = (d + f(b[i]) * f(a[i])).to_bits();
+            }
+        }
+        VmvVv { vd, vs1 } => {
+            let mut a = [0u32; MAX_VLMAX];
+            a[..vl].copy_from_slice(&state.v(vs1)[..vl]);
+            state.v_mut(vd)[..vl].copy_from_slice(&a[..vl]);
+        }
+        VmvVx { vd, rs1 } => {
+            let s = state.x(rs1) as u32;
+            for i in 0..vl {
+                state.v_mut(vd)[i] = s;
+            }
+        }
+        VmvXs { rd, vs2 } => {
+            let v = state.v(vs2)[0] as i32 as i64 as u64;
+            state.set_x(rd, v);
+        }
+        VmvSx { vd, rs1 } => {
+            let s = state.x(rs1) as u32;
+            state.v_mut(vd)[0] = s;
+        }
+        VfmvFs { fd, vs2 } => {
+            let bits = state.v(vs2)[0];
+            state.set_f_bits(fd, bits);
+        }
+        Vslide1downVx { vd, vs2, rs1 } => {
+            let s = state.x(rs1) as u32;
+            let mut a = [0u32; MAX_VLMAX];
+            a[..vl].copy_from_slice(&state.v(vs2)[..vl]);
+            let dst = state.v_mut(vd);
+            if vl > 0 {
+                dst[..vl - 1].copy_from_slice(&a[1..vl]);
+                dst[vl - 1] = s;
+            }
+        }
+        VslidedownVi { vd, vs2, imm } => {
+            let off = imm as usize;
+            let vlmax = state.vlmax();
+            let mut a = [0u32; MAX_VLMAX];
+            a[..vlmax].copy_from_slice(&state.v(vs2)[..vlmax]);
+            let dst = state.v_mut(vd);
+            for i in 0..vl {
+                dst[i] = if i + off < vlmax { a[i + off] } else { 0 };
+            }
+        }
+        VindexmacVx { vd, vs2, rs } => {
+            // The architectural definition of the paper:
+            //   vd[i] += vs2[0] * vrf[rs[4:0]][i]
+            let src = VReg::new((state.x(rs) & 0x1F) as u8);
+            let multiplier = f(state.v(vs2)[0]);
+            let mut a = [0u32; MAX_VLMAX];
+            a[..vl].copy_from_slice(&state.v(src)[..vl]);
+            for i in 0..vl {
+                let d = f(state.v(vd)[i]);
+                state.v_mut(vd)[i] = (d + multiplier * f(a[i])).to_bits();
+            }
+            ev.indirect_vreg = Some(src);
+        }
+    }
+
+    if next_pc < 0 {
+        return Err(ExecError::PcOutOfRange { target: next_pc });
+    }
+    state.pc = next_pc as usize;
+    Ok(ev)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use indexmac_isa::instr::FReg;
+    use indexmac_isa::XReg;
+
+    fn setup() -> (ArchState, MainMemory) {
+        (ArchState::new(512), MainMemory::new())
+    }
+
+    fn run1(s: &mut ArchState, m: &mut MainMemory, i: Instruction) -> ExecEvent {
+        step(s, m, &i).expect("instruction must execute")
+    }
+
+    #[test]
+    fn scalar_arith() {
+        let (mut s, mut m) = setup();
+        run1(&mut s, &mut m, Instruction::Li { rd: XReg::T0, imm: -3 });
+        run1(&mut s, &mut m, Instruction::Addi { rd: XReg::T1, rs1: XReg::T0, imm: 5 });
+        assert_eq!(s.x(XReg::T1), 2);
+        run1(&mut s, &mut m, Instruction::Slli { rd: XReg::T2, rs1: XReg::T1, shamt: 4 });
+        assert_eq!(s.x(XReg::T2), 32);
+        run1(&mut s, &mut m, Instruction::Mul { rd: XReg::T3, rs1: XReg::T2, rs2: XReg::T2 });
+        assert_eq!(s.x(XReg::T3), 1024);
+        run1(&mut s, &mut m, Instruction::Sub { rd: XReg::T4, rs1: XReg::T0, rs2: XReg::T1 });
+        assert_eq!(s.x(XReg::T4) as i64, -5);
+        assert_eq!(s.pc, 5);
+    }
+
+    #[test]
+    fn loads_sign_extension() {
+        let (mut s, mut m) = setup();
+        m.write_u32(0x100, 0xFFFF_FFFE); // -2 as i32
+        s.set_x(XReg::A0, 0x100);
+        let ev = run1(&mut s, &mut m, Instruction::Lw { rd: XReg::T0, rs1: XReg::A0, imm: 0 });
+        assert_eq!(s.x(XReg::T0) as i64, -2);
+        assert_eq!(ev.mem, Some(MemOp { addr: 0x100, bytes: 4, write: false, vector: false }));
+        run1(&mut s, &mut m, Instruction::Lwu { rd: XReg::T1, rs1: XReg::A0, imm: 0 });
+        assert_eq!(s.x(XReg::T1), 0xFFFF_FFFE);
+    }
+
+    #[test]
+    fn store_then_load() {
+        let (mut s, mut m) = setup();
+        s.set_x(XReg::T0, 0xABCD);
+        s.set_x(XReg::A0, 0x200);
+        run1(&mut s, &mut m, Instruction::Sd { rs2: XReg::T0, rs1: XReg::A0, imm: 8 });
+        run1(&mut s, &mut m, Instruction::Ld { rd: XReg::T1, rs1: XReg::A0, imm: 8 });
+        assert_eq!(s.x(XReg::T1), 0xABCD);
+    }
+
+    #[test]
+    fn branches() {
+        let (mut s, mut m) = setup();
+        s.set_x(XReg::T0, 1);
+        s.pc = 10;
+        let ev =
+            run1(&mut s, &mut m, Instruction::Bne { rs1: XReg::T0, rs2: XReg::ZERO, offset: -5 });
+        assert!(ev.branch_taken);
+        assert_eq!(s.pc, 5);
+        let ev =
+            run1(&mut s, &mut m, Instruction::Beq { rs1: XReg::T0, rs2: XReg::ZERO, offset: -5 });
+        assert!(!ev.branch_taken);
+        assert_eq!(s.pc, 6);
+        let ev = run1(&mut s, &mut m, Instruction::Jal { rd: XReg::RA, offset: 3 });
+        assert!(ev.branch_taken);
+        assert_eq!(s.pc, 9);
+        assert_eq!(s.x(XReg::RA), 7);
+    }
+
+    #[test]
+    fn pc_underflow_detected() {
+        let (mut s, mut m) = setup();
+        s.set_x(XReg::T0, 1);
+        s.pc = 0;
+        let r = step(
+            &mut s,
+            &mut m,
+            &Instruction::Bne { rs1: XReg::T0, rs2: XReg::ZERO, offset: -5 },
+        );
+        assert!(matches!(r, Err(ExecError::PcOutOfRange { target: -5 })));
+    }
+
+    #[test]
+    fn vsetvli_rules() {
+        let (mut s, mut m) = setup();
+        s.set_x(XReg::A0, 100);
+        run1(&mut s, &mut m, Instruction::Vsetvli { rd: XReg::T0, rs1: XReg::A0, sew: Sew::E32 });
+        assert_eq!(s.vl(), 16);
+        assert_eq!(s.x(XReg::T0), 16);
+        s.set_x(XReg::A0, 7);
+        run1(&mut s, &mut m, Instruction::Vsetvli { rd: XReg::T0, rs1: XReg::A0, sew: Sew::E32 });
+        assert_eq!(s.vl(), 7);
+        // rs1=x0, rd!=x0 -> VLMAX.
+        run1(&mut s, &mut m, Instruction::Vsetvli { rd: XReg::T0, rs1: XReg::ZERO, sew: Sew::E32 });
+        assert_eq!(s.vl(), 16);
+        let r = step(
+            &mut s,
+            &mut m,
+            &Instruction::Vsetvli { rd: XReg::T0, rs1: XReg::ZERO, sew: Sew::E64 },
+        );
+        assert!(matches!(r, Err(ExecError::UnsupportedSew { .. })));
+    }
+
+    #[test]
+    fn vector_load_store_roundtrip() {
+        let (mut s, mut m) = setup();
+        let data: Vec<f32> = (0..16).map(|i| i as f32 * 1.5).collect();
+        m.write_f32_slice(0x1000, &data);
+        s.set_x(XReg::A0, 0x1000);
+        s.set_x(XReg::A1, 0x2000);
+        let ev = run1(&mut s, &mut m, Instruction::Vle32 { vd: VReg::V1, rs1: XReg::A0 });
+        assert_eq!(ev.mem.unwrap().bytes, 64);
+        assert!(ev.mem.unwrap().vector);
+        run1(&mut s, &mut m, Instruction::Vse32 { vs3: VReg::V1, rs1: XReg::A1 });
+        assert_eq!(m.read_f32_slice(0x2000, 16), data);
+    }
+
+    #[test]
+    fn vector_load_respects_vl() {
+        let (mut s, mut m) = setup();
+        m.write_f32_slice(0x1000, &[9.0; 16]);
+        s.set_v_f32(VReg::V1, &[1.0; 16]);
+        s.set_vl(4);
+        s.set_x(XReg::A0, 0x1000);
+        run1(&mut s, &mut m, Instruction::Vle32 { vd: VReg::V1, rs1: XReg::A0 });
+        // Tail is undisturbed.
+        assert_eq!(s.v_f32(VReg::V1, 3), 9.0);
+        assert_eq!(s.v_f32(VReg::V1, 4), 1.0);
+    }
+
+    #[test]
+    fn unaligned_vector_access_faults() {
+        let (mut s, mut m) = setup();
+        s.set_x(XReg::A0, 0x1001);
+        let r = step(&mut s, &mut m, &Instruction::Vle32 { vd: VReg::V1, rs1: XReg::A0 });
+        assert!(matches!(r, Err(ExecError::Unaligned { addr: 0x1001, .. })));
+    }
+
+    #[test]
+    fn integer_vector_ops() {
+        let (mut s, mut m) = setup();
+        for i in 0..16 {
+            s.v_mut(VReg::V1)[i] = i as u32;
+            s.v_mut(VReg::V2)[i] = 10;
+        }
+        run1(&mut s, &mut m, Instruction::VaddVv { vd: VReg::V3, vs2: VReg::V1, vs1: VReg::V2 });
+        assert_eq!(s.v(VReg::V3)[5], 15);
+        s.set_x(XReg::T0, 3);
+        run1(&mut s, &mut m, Instruction::VmulVx { vd: VReg::V4, vs2: VReg::V1, rs1: XReg::T0 });
+        assert_eq!(s.v(VReg::V4)[7], 21);
+        run1(&mut s, &mut m, Instruction::VmaccVx { vd: VReg::V4, rs1: XReg::T0, vs2: VReg::V2 });
+        assert_eq!(s.v(VReg::V4)[7], 21 + 30);
+        run1(&mut s, &mut m, Instruction::VaddVi { vd: VReg::V5, vs2: VReg::V1, imm: -1 });
+        assert_eq!(s.v(VReg::V5)[0], u32::MAX);
+    }
+
+    #[test]
+    fn float_mac() {
+        let (mut s, mut m) = setup();
+        s.set_v_f32(VReg::V1, &[2.0; 16]);
+        s.set_v_f32(VReg::V2, &[0.5; 16]);
+        s.set_f_bits(FReg::F0, 3.0f32.to_bits());
+        run1(&mut s, &mut m, Instruction::VfmaccVf { vd: VReg::V2, fs1: FReg::F0, vs2: VReg::V1 });
+        assert_eq!(s.v_f32(VReg::V2, 0), 0.5 + 3.0 * 2.0);
+        run1(&mut s, &mut m, Instruction::VfmaccVv { vd: VReg::V2, vs1: VReg::V1, vs2: VReg::V1 });
+        assert_eq!(s.v_f32(VReg::V2, 0), 6.5 + 4.0);
+    }
+
+    #[test]
+    fn slides() {
+        let (mut s, mut m) = setup();
+        let vals: Vec<f32> = (0..16).map(|i| i as f32).collect();
+        s.set_v_f32(VReg::V1, &vals);
+        s.set_x(XReg::T0, 99f32.to_bits() as u64);
+        run1(
+            &mut s,
+            &mut m,
+            Instruction::Vslide1downVx { vd: VReg::V1, vs2: VReg::V1, rs1: XReg::T0 },
+        );
+        assert_eq!(s.v_f32(VReg::V1, 0), 1.0);
+        assert_eq!(s.v_f32(VReg::V1, 14), 15.0);
+        assert_eq!(s.v_f32(VReg::V1, 15), 99.0);
+
+        s.set_v_f32(VReg::V2, &vals);
+        run1(
+            &mut s,
+            &mut m,
+            Instruction::VslidedownVi { vd: VReg::V3, vs2: VReg::V2, imm: 4 },
+        );
+        assert_eq!(s.v_f32(VReg::V3, 0), 4.0);
+        assert_eq!(s.v_f32(VReg::V3, 11), 15.0);
+        assert_eq!(s.v(VReg::V3)[12], 0); // beyond vlmax reads as zero
+    }
+
+    #[test]
+    fn cross_domain_moves() {
+        let (mut s, mut m) = setup();
+        s.v_mut(VReg::V1)[0] = 0xFFFF_FFF0; // negative as i32
+        run1(&mut s, &mut m, Instruction::VmvXs { rd: XReg::T0, vs2: VReg::V1 });
+        assert_eq!(s.x(XReg::T0) as i64, -16);
+        s.set_x(XReg::T1, 0x42);
+        run1(&mut s, &mut m, Instruction::VmvSx { vd: VReg::V2, rs1: XReg::T1 });
+        assert_eq!(s.v(VReg::V2)[0], 0x42);
+        run1(&mut s, &mut m, Instruction::VfmvFs { fd: FReg::F1, vs2: VReg::V1 });
+        assert_eq!(s.f_bits(FReg::F1), 0xFFFF_FFF0);
+        run1(&mut s, &mut m, Instruction::VmvVx { vd: VReg::V3, rs1: XReg::T1 });
+        assert_eq!(s.v(VReg::V3)[15], 0x42);
+    }
+
+    #[test]
+    fn vindexmac_semantics() {
+        let (mut s, mut m) = setup();
+        // v20 holds a B row; v4 holds `values` with value 2.5 at elem 0;
+        // v1 is the accumulator.
+        s.set_v_f32(VReg::new(20), &[1.0, 2.0, 3.0, 4.0]);
+        s.set_v_f32(VReg::V4, &[2.5, 0.0, 0.0, 0.0]);
+        s.set_v_f32(VReg::V1, &[10.0, 10.0, 10.0, 10.0]);
+        s.set_vl(4);
+        s.set_x(XReg::T0, 20); // selects v20
+        let ev = run1(
+            &mut s,
+            &mut m,
+            Instruction::VindexmacVx { vd: VReg::V1, vs2: VReg::V4, rs: XReg::T0 },
+        );
+        assert_eq!(ev.indirect_vreg, Some(VReg::new(20)));
+        assert_eq!(s.v_as_f32(VReg::V1), vec![12.5, 15.0, 17.5, 20.0]);
+        assert_eq!(ev.mem, None, "vindexmac must not touch memory");
+    }
+
+    #[test]
+    fn vindexmac_uses_only_5_lsbs() {
+        let (mut s, mut m) = setup();
+        s.set_v_f32(VReg::new(3), &[1.0; 16]);
+        s.set_v_f32(VReg::V4, &[1.0; 16]);
+        s.set_x(XReg::T0, 32 + 3); // 5 LSBs = 3
+        run1(
+            &mut s,
+            &mut m,
+            Instruction::VindexmacVx { vd: VReg::V1, vs2: VReg::V4, rs: XReg::T0 },
+        );
+        assert_eq!(s.v_f32(VReg::V1, 0), 1.0);
+    }
+
+    #[test]
+    fn halt_sets_flag() {
+        let (mut s, mut m) = setup();
+        run1(&mut s, &mut m, Instruction::Halt);
+        assert!(s.halted);
+    }
+
+    #[test]
+    fn vindexmac_aliasing_vd_equals_source() {
+        // vd == vrf[rs]: operands must be read before writing.
+        let (mut s, mut m) = setup();
+        s.set_v_f32(VReg::V1, &[1.0, 2.0]);
+        s.set_v_f32(VReg::V4, &[3.0]);
+        s.set_vl(2);
+        s.set_x(XReg::T0, 1); // indirect source is v1 == vd
+        run1(
+            &mut s,
+            &mut m,
+            Instruction::VindexmacVx { vd: VReg::V1, vs2: VReg::V4, rs: XReg::T0 },
+        );
+        // vd[i] = vd[i] + 3*vd_old[i] = 4*old.
+        assert_eq!(s.v_as_f32(VReg::V1), vec![4.0, 8.0]);
+    }
+}

@@ -1,0 +1,378 @@
+//! The simulator front-end: functional execution + timing in one pass.
+
+use crate::config::SimConfig;
+use crate::exec::{step, ExecError};
+use crate::report::RunReport;
+use crate::state::ArchState;
+use crate::timing::TimingModel;
+use indexmac_isa::Program;
+use indexmac_mem::MainMemory;
+use std::error::Error;
+use std::fmt;
+
+/// Default cap on dynamic instructions (runaway-program guard).
+pub const DEFAULT_MAX_INSTRUCTIONS: u64 = 2_000_000_000;
+
+/// Simulation errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A functional-execution fault (alignment, SEW, control flow).
+    Exec(ExecError),
+    /// The program ran past the end without `ebreak`.
+    FellOffEnd {
+        /// The out-of-range fetch slot.
+        pc: usize,
+    },
+    /// The dynamic instruction limit was reached.
+    InstructionLimit {
+        /// The limit that was hit.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Exec(e) => write!(f, "execution fault: {e}"),
+            SimError::FellOffEnd { pc } => {
+                write!(f, "program fell off the end at slot {pc} (missing ebreak)")
+            }
+            SimError::InstructionLimit { limit } => {
+                write!(f, "dynamic instruction limit of {limit} reached")
+            }
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimError::Exec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ExecError> for SimError {
+    fn from(e: ExecError) -> Self {
+        SimError::Exec(e)
+    }
+}
+
+/// The decoupled vector-processor simulator.
+///
+/// Owns the architectural state, the simulated main memory and the
+/// timing model. A typical experiment:
+///
+/// 1. build a [`Program`] (usually via `indexmac-kernels`);
+/// 2. place operand data in [`Simulator::memory_mut`];
+/// 3. [`Simulator::run`];
+/// 4. read results back from memory and measurements from [`RunReport`].
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    cfg: SimConfig,
+    state: ArchState,
+    mem: MainMemory,
+    max_instructions: u64,
+}
+
+impl Simulator {
+    /// Creates a simulator with zeroed state and empty memory.
+    pub fn new(cfg: SimConfig) -> Self {
+        Self {
+            cfg,
+            state: ArchState::new(cfg.vlen_bits),
+            mem: MainMemory::new(),
+            max_instructions: DEFAULT_MAX_INSTRUCTIONS,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Architectural state (registers, vl, pc).
+    pub fn state(&self) -> &ArchState {
+        &self.state
+    }
+
+    /// Mutable architectural state (useful for test setup).
+    pub fn state_mut(&mut self) -> &mut ArchState {
+        &mut self.state
+    }
+
+    /// Simulated main memory.
+    pub fn memory(&self) -> &MainMemory {
+        &self.mem
+    }
+
+    /// Mutable simulated main memory (for placing operands).
+    pub fn memory_mut(&mut self) -> &mut MainMemory {
+        &mut self.mem
+    }
+
+    /// Overrides the dynamic-instruction guard.
+    pub fn set_max_instructions(&mut self, limit: u64) {
+        self.max_instructions = limit;
+    }
+
+    /// Resets architectural state (memory and config retained).
+    pub fn reset_state(&mut self) {
+        self.state = ArchState::new(self.cfg.vlen_bits);
+    }
+
+    /// Runs `program` from slot 0 until `ebreak`, with timing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] on execution faults, a missing `ebreak`, or
+    /// the instruction limit.
+    pub fn run(&mut self, program: &Program) -> Result<RunReport, SimError> {
+        let mut timing = TimingModel::new(self.cfg);
+        let instructions = self.run_with(program, |ev| {
+            timing.observe(ev);
+        })?;
+        Ok(make_report(&timing, instructions))
+    }
+
+    /// Runs `program` with timing, recording the first `trace_cap`
+    /// dynamic instructions as a pipeline trace.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Simulator::run`].
+    pub fn run_traced(
+        &mut self,
+        program: &Program,
+        trace_cap: usize,
+    ) -> Result<(RunReport, crate::trace::Trace), SimError> {
+        let mut timing = TimingModel::new(self.cfg);
+        let mut trace = crate::trace::Trace::new(trace_cap);
+        let instructions = self.run_with(program, |ev| {
+            let t = timing.observe(ev);
+            trace.record(ev.pc, ev.instr, t);
+        })?;
+        Ok((make_report(&timing, instructions), trace))
+    }
+
+    /// Runs `program` functionally only (no timing) — used where only
+    /// the architectural result matters (fast verification).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Simulator::run`].
+    pub fn run_functional(&mut self, program: &Program) -> Result<u64, SimError> {
+        self.run_with(program, |_| {})
+    }
+
+    /// Core fetch/execute loop; `observer` sees every dynamic event.
+    fn run_with<F: FnMut(&crate::exec::ExecEvent)>(
+        &mut self,
+        program: &Program,
+        mut observer: F,
+    ) -> Result<u64, SimError> {
+        self.state.pc = 0;
+        self.state.halted = false;
+        let mut instret: u64 = 0;
+        while !self.state.halted {
+            let pc = self.state.pc;
+            let instr = *program.fetch(pc).ok_or(SimError::FellOffEnd { pc })?;
+            let ev = step(&mut self.state, &mut self.mem, &instr)?;
+            observer(&ev);
+            instret += 1;
+            if instret >= self.max_instructions {
+                return Err(SimError::InstructionLimit { limit: self.max_instructions });
+            }
+        }
+        Ok(instret)
+    }
+}
+
+/// Collects a [`RunReport`] from a drained timing model.
+fn make_report(timing: &TimingModel, instructions: u64) -> RunReport {
+    let hier = timing.hierarchy();
+    RunReport {
+        cycles: timing.total_cycles(),
+        instructions,
+        counts: timing.counts(),
+        mem: timing.mem_stats(),
+        l1d_hit_rate: hier.l1d().stats().hit_rate(),
+        l2_hit_rate: hier.l2().stats().hit_rate(),
+        engine_busy_cycles: timing.engine_busy_cycles(),
+        vq_stall_cycles: timing.vq_stall_cycles(),
+        rob_stall_cycles: timing.rob_stall_cycles(),
+        v2s_syncs: timing.v2s_syncs(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use indexmac_isa::{Instruction, ProgramBuilder, Sew, VReg, XReg};
+
+    fn sim() -> Simulator {
+        Simulator::new(SimConfig::table_i())
+    }
+
+    #[test]
+    fn run_trivial_program() {
+        let mut b = ProgramBuilder::new();
+        b.li(XReg::T0, 5).addi(XReg::T0, XReg::T0, 2).halt();
+        let mut s = sim();
+        let r = s.run(&b.build()).unwrap();
+        assert_eq!(s.state().x(XReg::T0), 7);
+        assert_eq!(r.instructions, 3);
+        assert!(r.cycles >= 1);
+    }
+
+    #[test]
+    fn missing_halt_detected() {
+        let mut b = ProgramBuilder::new();
+        b.li(XReg::T0, 5);
+        let mut s = sim();
+        assert!(matches!(s.run(&b.build()), Err(SimError::FellOffEnd { pc: 1 })));
+    }
+
+    #[test]
+    fn instruction_limit_detected() {
+        // Infinite loop: beq zero, zero, self.
+        let mut b = ProgramBuilder::new();
+        let top = b.bind_label();
+        b.beq(XReg::ZERO, XReg::ZERO, top);
+        b.halt();
+        let mut s = sim();
+        s.set_max_instructions(1000);
+        assert!(matches!(
+            s.run(&b.build()),
+            Err(SimError::InstructionLimit { limit: 1000 })
+        ));
+    }
+
+    #[test]
+    fn real_loop_executes() {
+        // t0 = 10; do { t0 -= 1 } while t0 != 0; t1 = 99.
+        let mut b = ProgramBuilder::new();
+        b.li(XReg::T0, 10);
+        let top = b.bind_label();
+        b.addi(XReg::T0, XReg::T0, -1);
+        b.bne(XReg::T0, XReg::ZERO, top);
+        b.li(XReg::T1, 99);
+        b.halt();
+        let mut s = sim();
+        let r = s.run(&b.build()).unwrap();
+        assert_eq!(s.state().x(XReg::T0), 0);
+        assert_eq!(s.state().x(XReg::T1), 99);
+        // 1 + 10*2 + 1 + 1 dynamic instructions.
+        assert_eq!(r.instructions, 23);
+        // Taken branches pay redirect: at least ~2 cycles per iteration.
+        assert!(r.cycles >= 20);
+    }
+
+    #[test]
+    fn vector_roundtrip_with_timing() {
+        let mut s = sim();
+        let data: Vec<f32> = (0..16).map(|i| i as f32 + 0.5).collect();
+        s.memory_mut().write_f32_slice(0x1000, &data);
+        let mut b = ProgramBuilder::new();
+        b.li(XReg::A0, 16);
+        b.push(Instruction::Vsetvli { rd: XReg::T0, rs1: XReg::A0, sew: Sew::E32 });
+        b.li(XReg::A1, 0x1000);
+        b.li(XReg::A2, 0x2000);
+        b.push(Instruction::Vle32 { vd: VReg::V1, rs1: XReg::A1 });
+        b.push(Instruction::Vse32 { vs3: VReg::V1, rs1: XReg::A2 });
+        b.halt();
+        let r = s.run(&b.build()).unwrap();
+        assert_eq!(s.memory().read_f32_slice(0x2000, 16), data);
+        assert_eq!(r.mem.vector_loads, 1);
+        assert_eq!(r.mem.vector_stores, 1);
+        assert!(r.cycles > 8, "must include L2/DRAM time, got {}", r.cycles);
+    }
+
+    #[test]
+    fn functional_mode_matches_timed_architecturally() {
+        let mut b = ProgramBuilder::new();
+        b.li(XReg::T0, 3);
+        let top = b.bind_label();
+        b.addi(XReg::T1, XReg::T1, 7);
+        b.addi(XReg::T0, XReg::T0, -1);
+        b.bne(XReg::T0, XReg::ZERO, top);
+        b.halt();
+        let p = b.build();
+
+        let mut a = sim();
+        a.run(&p).unwrap();
+        let mut f = sim();
+        f.run_functional(&p).unwrap();
+        assert_eq!(a.state().x(XReg::T1), f.state().x(XReg::T1));
+        assert_eq!(a.state().x(XReg::T1), 21);
+    }
+
+    #[test]
+    fn run_traced_records_pipeline_timings() {
+        let mut b = ProgramBuilder::new();
+        b.li(XReg::A0, 0x1000);
+        b.push(Instruction::Vle32 { vd: VReg::V1, rs1: XReg::A0 });
+        b.push(Instruction::VmvXs { rd: XReg::T0, vs2: VReg::V1 });
+        b.addi(XReg::T1, XReg::T0, 1);
+        b.halt();
+        let mut s = sim();
+        let (report, trace) = s.run_traced(&b.build(), 16).unwrap();
+        assert_eq!(trace.observed(), report.instructions);
+        assert!(!trace.truncated());
+        let entries = trace.entries();
+        // Program order and monotone issue cycles.
+        for w in entries.windows(2) {
+            assert!(w[0].timing.issue_at <= w[1].timing.issue_at);
+        }
+        // The vector load's completion includes memory latency.
+        let vload = &entries[1];
+        assert!(vload.latency() > 8, "cold vector load latency {}", vload.latency());
+        // The dependent addi waits for the cross-domain move.
+        let addi = &entries[3];
+        let vmv = &entries[2];
+        assert!(addi.timing.issue_at >= vmv.timing.completion);
+        // Capacity truncation path.
+        let mut s2 = sim();
+        let (_, small) = s2.run_traced(&{
+            let mut b = ProgramBuilder::new();
+            b.li(XReg::T0, 1).li(XReg::T1, 2).halt();
+            b.build()
+        }, 1).unwrap();
+        assert!(small.truncated());
+        assert_eq!(small.entries().len(), 1);
+    }
+
+    #[test]
+    fn reset_state_clears_registers_not_memory() {
+        let mut s = sim();
+        s.memory_mut().write_u32(0x10, 77);
+        s.state_mut().set_x(XReg::T0, 5);
+        s.reset_state();
+        assert_eq!(s.state().x(XReg::T0), 0);
+        assert_eq!(s.memory().read_u32(0x10), 77);
+    }
+
+    #[test]
+    fn vindexmac_full_pipeline() {
+        // Pre-load a "B row" into v20 from memory, then accumulate it
+        // into v1 via the custom instruction, then store.
+        let mut s = sim();
+        s.memory_mut().write_f32_slice(0x1000, &[2.0; 16]); // B row
+        s.memory_mut().write_f32_slice(0x2000, &[3.0; 16]); // values (3.0 at [0])
+        let mut b = ProgramBuilder::new();
+        b.li(XReg::A0, 0x1000);
+        b.li(XReg::A1, 0x2000);
+        b.li(XReg::A2, 0x3000);
+        b.push(Instruction::Vle32 { vd: VReg::new(20), rs1: XReg::A0 });
+        b.push(Instruction::Vle32 { vd: VReg::V2, rs1: XReg::A1 });
+        b.li(XReg::T1, 20); // index of the tile register
+        b.push(Instruction::VindexmacVx { vd: VReg::V1, vs2: VReg::V2, rs: XReg::T1 });
+        b.push(Instruction::Vse32 { vs3: VReg::V1, rs1: XReg::A2 });
+        b.halt();
+        let r = s.run(&b.build()).unwrap();
+        assert_eq!(s.memory().read_f32_slice(0x3000, 16), vec![6.0; 16]);
+        assert_eq!(r.counts.get(indexmac_isa::InstrClass::VIndexMac), 1);
+        assert_eq!(r.mem.vector_loads, 2, "vindexmac itself must not load");
+    }
+}

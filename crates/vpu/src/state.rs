@@ -1,0 +1,194 @@
+//! Architectural state of the simulated machine.
+
+use indexmac_isa::instr::FReg;
+use indexmac_isa::{Sew, VReg, VType, XReg};
+
+/// Scalar register files, the vector register file and the vector CSRs.
+///
+/// Vector registers are stored as raw 32-bit lanes; instructions
+/// reinterpret lanes as `u32` or `f32` as needed (this is exactly what
+/// the hardware does — the VRF is bit-typed).
+#[derive(Debug, Clone)]
+pub struct ArchState {
+    x: [u64; 32],
+    f: [u32; 32],
+    /// 32 vector registers x `vlmax` 32-bit lanes, register-major.
+    vrf: Vec<u32>,
+    vlmax: usize,
+    vl: usize,
+    vtype: VType,
+    /// Program counter in instruction slots.
+    pub pc: usize,
+    /// Set by `ebreak`.
+    pub halted: bool,
+}
+
+impl ArchState {
+    /// Creates a zeroed state for a machine with `vlen_bits` of VLEN.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vlen_bits` is not a positive multiple of 32.
+    pub fn new(vlen_bits: usize) -> Self {
+        assert!(vlen_bits >= 32 && vlen_bits.is_multiple_of(32), "VLEN must be a multiple of 32");
+        let vlmax = vlen_bits / 32;
+        Self {
+            x: [0; 32],
+            f: [0; 32],
+            vrf: vec![0; 32 * vlmax],
+            vlmax,
+            vl: vlmax,
+            vtype: VType { sew: Sew::E32 },
+            pc: 0,
+            halted: false,
+        }
+    }
+
+    /// Maximum elements per vector register at SEW=32.
+    pub fn vlmax(&self) -> usize {
+        self.vlmax
+    }
+
+    /// Current active vector length.
+    pub fn vl(&self) -> usize {
+        self.vl
+    }
+
+    /// Sets the active vector length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vl > vlmax` (a `vsetvli` bug in the caller).
+    pub fn set_vl(&mut self, vl: usize) {
+        assert!(vl <= self.vlmax, "vl {vl} exceeds vlmax {}", self.vlmax);
+        self.vl = vl;
+    }
+
+    /// Current vtype.
+    pub fn vtype(&self) -> VType {
+        self.vtype
+    }
+
+    /// Sets vtype.
+    pub fn set_vtype(&mut self, vt: VType) {
+        self.vtype = vt;
+    }
+
+    /// Reads a scalar register (`x0` always reads zero).
+    pub fn x(&self, r: XReg) -> u64 {
+        self.x[r.index() as usize]
+    }
+
+    /// Writes a scalar register (writes to `x0` are discarded).
+    pub fn set_x(&mut self, r: XReg, v: u64) {
+        if !r.is_zero() {
+            self.x[r.index() as usize] = v;
+        }
+    }
+
+    /// Reads an FP register as raw bits.
+    pub fn f_bits(&self, r: FReg) -> u32 {
+        self.f[r.index() as usize]
+    }
+
+    /// Reads an FP register as `f32`.
+    pub fn f32(&self, r: FReg) -> f32 {
+        f32::from_bits(self.f_bits(r))
+    }
+
+    /// Writes an FP register from raw bits.
+    pub fn set_f_bits(&mut self, r: FReg, bits: u32) {
+        self.f[r.index() as usize] = bits;
+    }
+
+    /// Borrow of a whole vector register (all `vlmax` lanes).
+    pub fn v(&self, r: VReg) -> &[u32] {
+        let i = r.index() as usize;
+        &self.vrf[i * self.vlmax..(i + 1) * self.vlmax]
+    }
+
+    /// Mutable borrow of a whole vector register.
+    pub fn v_mut(&mut self, r: VReg) -> &mut [u32] {
+        let i = r.index() as usize;
+        &mut self.vrf[i * self.vlmax..(i + 1) * self.vlmax]
+    }
+
+    /// Lane `i` of register `r` as `f32`.
+    pub fn v_f32(&self, r: VReg, i: usize) -> f32 {
+        f32::from_bits(self.v(r)[i])
+    }
+
+    /// The first `vl` lanes of `r` as `f32` values (convenience for
+    /// tests and result extraction).
+    pub fn v_as_f32(&self, r: VReg) -> Vec<f32> {
+        self.v(r)[..self.vl].iter().map(|b| f32::from_bits(*b)).collect()
+    }
+
+    /// Writes `f32` values into the first lanes of `r` (test helper).
+    ///
+    /// # Panics
+    ///
+    /// Panics if more values than `vlmax` are supplied.
+    pub fn set_v_f32(&mut self, r: VReg, values: &[f32]) {
+        assert!(values.len() <= self.vlmax, "too many lanes");
+        for (i, v) in values.iter().enumerate() {
+            self.v_mut(r)[i] = v.to_bits();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn x0_is_hardwired_zero() {
+        let mut s = ArchState::new(512);
+        s.set_x(XReg::ZERO, 123);
+        assert_eq!(s.x(XReg::ZERO), 0);
+        s.set_x(XReg::T0, 7);
+        assert_eq!(s.x(XReg::T0), 7);
+    }
+
+    #[test]
+    fn vrf_layout() {
+        let mut s = ArchState::new(512);
+        assert_eq!(s.vlmax(), 16);
+        assert_eq!(s.v(VReg::V1).len(), 16);
+        s.v_mut(VReg::V2)[3] = 0xAA;
+        assert_eq!(s.v(VReg::V2)[3], 0xAA);
+        assert_eq!(s.v(VReg::V1)[3], 0); // no aliasing between registers
+        assert_eq!(s.v(VReg::V3)[3], 0);
+    }
+
+    #[test]
+    fn f32_lane_views() {
+        let mut s = ArchState::new(256);
+        assert_eq!(s.vlmax(), 8);
+        s.set_v_f32(VReg::V4, &[1.5, -2.0]);
+        assert_eq!(s.v_f32(VReg::V4, 0), 1.5);
+        assert_eq!(s.v_f32(VReg::V4, 1), -2.0);
+        s.set_vl(2);
+        assert_eq!(s.v_as_f32(VReg::V4), vec![1.5, -2.0]);
+    }
+
+    #[test]
+    fn fp_registers_are_bit_exact() {
+        let mut s = ArchState::new(512);
+        s.set_f_bits(FReg::F1, f32::NAN.to_bits());
+        assert!(s.f32(FReg::F1).is_nan());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds vlmax")]
+    fn set_vl_validates() {
+        let mut s = ArchState::new(512);
+        s.set_vl(17);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 32")]
+    fn vlen_validated() {
+        let _ = ArchState::new(100);
+    }
+}

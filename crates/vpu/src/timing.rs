@@ -1,0 +1,662 @@
+//! Cycle-approximate timing model of the decoupled vector processor.
+//!
+//! The model consumes the dynamic instruction stream one [`ExecEvent`] at
+//! a time (O(1) state per instruction, no global event queue) and tracks:
+//!
+//! * the scalar core: in-order issue at `issue_width` per cycle, a
+//!   reorder-buffer window that gates issue when full (in-order retire),
+//!   a register scoreboard, taken-branch redirect penalty;
+//! * the vector engine: a bounded decoupling queue fed by the scalar
+//!   core (vector instructions wait for their *scalar* operands at
+//!   dispatch), in-order execution with per-`VReg` ready times, lane
+//!   occupancy `ceil(vl/lanes)`, and non-blocking loads/stores through
+//!   bounded load/store queues attached directly to L2;
+//! * cross-domain synchronisation: `vmv.x.s`/`vfmv.f.s` produce their
+//!   scalar result only after the engine reaches them, which is the
+//!   coupling cost the paper's two kernels pay per non-zero.
+//!
+//! The collected counters feed [`crate::RunReport`].
+
+use crate::config::SimConfig;
+use crate::exec::ExecEvent;
+use indexmac_isa::{InstrClass, Instruction};
+use indexmac_mem::{MemStats, MemoryHierarchy};
+use std::collections::VecDeque;
+
+/// Number of [`InstrClass`] variants (for the count table).
+const N_CLASSES: usize = 14;
+
+fn class_index(c: InstrClass) -> usize {
+    match c {
+        InstrClass::ScalarAlu => 0,
+        InstrClass::ScalarLoad => 1,
+        InstrClass::ScalarStore => 2,
+        InstrClass::ControlFlow => 3,
+        InstrClass::VConfig => 4,
+        InstrClass::VLoad => 5,
+        InstrClass::VStore => 6,
+        InstrClass::VArith => 7,
+        InstrClass::VMac => 8,
+        InstrClass::VSlide => 9,
+        InstrClass::VMvToScalar => 10,
+        InstrClass::VMvFromScalar => 11,
+        InstrClass::VIndexMac => 12,
+        InstrClass::System => 13,
+    }
+}
+
+/// Per-class dynamic instruction counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClassCounts([u64; N_CLASSES]);
+
+impl ClassCounts {
+    /// Count of one class.
+    pub fn get(&self, c: InstrClass) -> u64 {
+        self.0[class_index(c)]
+    }
+
+    fn bump(&mut self, c: InstrClass) {
+        self.0[class_index(c)] += 1;
+    }
+
+    /// Total dynamic instructions.
+    pub fn total(&self) -> u64 {
+        self.0.iter().sum()
+    }
+
+    /// Total vector-engine instructions.
+    pub fn vector_total(&self) -> u64 {
+        self.get(InstrClass::VLoad)
+            + self.get(InstrClass::VStore)
+            + self.get(InstrClass::VArith)
+            + self.get(InstrClass::VMac)
+            + self.get(InstrClass::VSlide)
+            + self.get(InstrClass::VMvToScalar)
+            + self.get(InstrClass::VMvFromScalar)
+            + self.get(InstrClass::VIndexMac)
+    }
+}
+
+/// Per-instruction timing record returned by [`TimingModel::observe`],
+/// consumed by the pipeline tracer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InstrTiming {
+    /// Cycle the scalar core issued (or dispatched) the instruction.
+    pub issue_at: u64,
+    /// Cycle execution began (engine start for vector instructions;
+    /// equals `issue_at` on the scalar side).
+    pub start: u64,
+    /// Cycle the result became architecturally available.
+    pub completion: u64,
+}
+
+/// The timing model state.
+#[derive(Debug, Clone)]
+pub struct TimingModel {
+    cfg: SimConfig,
+    hier: MemoryHierarchy,
+
+    // Scalar core.
+    x_ready: [u64; 32],
+    f_ready: [u64; 32],
+    issue_cycle: u64,
+    issued_in_cycle: u32,
+    vdispatched_in_cycle: u32,
+    rob: VecDeque<u64>,
+
+    // Vector engine.
+    engine_free: u64,
+    v_ready: [u64; 32],
+    vq_starts: VecDeque<u64>,
+    lq: VecDeque<u64>,
+    sq: VecDeque<u64>,
+
+    // Counters.
+    counts: ClassCounts,
+    engine_busy: u64,
+    vq_stall_cycles: u64,
+    rob_stall_cycles: u64,
+    v2s_syncs: u64,
+    last_completion: u64,
+}
+
+impl TimingModel {
+    /// Builds a fresh model for `cfg` (cold caches, empty queues).
+    pub fn new(cfg: SimConfig) -> Self {
+        Self {
+            cfg,
+            hier: MemoryHierarchy::new(cfg.hierarchy),
+            x_ready: [0; 32],
+            f_ready: [0; 32],
+            issue_cycle: 0,
+            issued_in_cycle: 0,
+            vdispatched_in_cycle: 0,
+            rob: VecDeque::with_capacity(cfg.rob_entries),
+            engine_free: 0,
+            v_ready: [0; 32],
+            vq_starts: VecDeque::with_capacity(cfg.vq_depth),
+            lq: VecDeque::with_capacity(cfg.vlq_entries),
+            sq: VecDeque::with_capacity(cfg.vsq_entries),
+            counts: ClassCounts::default(),
+            engine_busy: 0,
+            vq_stall_cycles: 0,
+            rob_stall_cycles: 0,
+            v2s_syncs: 0,
+            last_completion: 0,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Memory-traffic counters collected so far.
+    pub fn mem_stats(&self) -> MemStats {
+        self.hier.stats()
+    }
+
+    /// The memory hierarchy (cache hit/miss counters etc.).
+    pub fn hierarchy(&self) -> &MemoryHierarchy {
+        &self.hier
+    }
+
+    /// Per-class dynamic instruction counts.
+    pub fn counts(&self) -> ClassCounts {
+        self.counts
+    }
+
+    /// Cycles the vector engine spent occupied.
+    pub fn engine_busy_cycles(&self) -> u64 {
+        self.engine_busy
+    }
+
+    /// Cycles the scalar core stalled on a full vector queue.
+    pub fn vq_stall_cycles(&self) -> u64 {
+        self.vq_stall_cycles
+    }
+
+    /// Cycles the scalar core stalled on a full ROB.
+    pub fn rob_stall_cycles(&self) -> u64 {
+        self.rob_stall_cycles
+    }
+
+    /// Number of vector-to-scalar synchronisations observed.
+    pub fn v2s_syncs(&self) -> u64 {
+        self.v2s_syncs
+    }
+
+    /// Total cycles: every component drained.
+    pub fn total_cycles(&self) -> u64 {
+        self.issue_cycle.max(self.engine_free).max(self.last_completion)
+    }
+
+    fn note_completion(&mut self, c: u64) {
+        if c > self.last_completion {
+            self.last_completion = c;
+        }
+    }
+
+    /// Accounts one dynamic instruction, returning its timing record.
+    pub fn observe(&mut self, ev: &ExecEvent) -> InstrTiming {
+        let class = ev.instr.class();
+        self.counts.bump(class);
+
+        // ---- scalar-side operand readiness ----
+        let mut ready = 0u64;
+        for src in ev.instr.x_srcs().into_iter().flatten() {
+            ready = ready.max(self.x_ready[src.index() as usize]);
+        }
+        if let Some(fsrc) = ev.instr.f_src() {
+            ready = ready.max(self.f_ready[fsrc.index() as usize]);
+        }
+
+        // ---- ROB window (in-order retire) ----
+        let mut issue_at = ready.max(self.issue_cycle);
+        while self.rob.len() >= self.cfg.rob_entries {
+            let oldest = self.rob.pop_front().expect("rob non-empty");
+            if oldest > issue_at {
+                self.rob_stall_cycles += oldest - issue_at;
+                issue_at = oldest;
+            }
+        }
+
+        // ---- issue-slot accounting ----
+        if issue_at > self.issue_cycle {
+            self.issue_cycle = issue_at;
+            self.issued_in_cycle = 0;
+            self.vdispatched_in_cycle = 0;
+        }
+        if self.issued_in_cycle >= self.cfg.issue_width
+            || (class.is_vector() && self.vdispatched_in_cycle >= self.cfg.vdispatch_per_cycle)
+        {
+            self.issue_cycle += 1;
+            self.issued_in_cycle = 0;
+            self.vdispatched_in_cycle = 0;
+        }
+        let issue_at = self.issue_cycle;
+        self.issued_in_cycle += 1;
+        if class.is_vector() {
+            self.vdispatched_in_cycle += 1;
+        }
+
+        // ---- execute by class ----
+        // `rob_completion` is when the instruction retires from the
+        // scalar core's ROB (vector instructions retire early in the
+        // decoupled design); `result_at` is when the *result* is
+        // architecturally available, which is what the trace reports.
+        let (start, rob_completion, result_at) = if class.is_vector() {
+            self.run_vector(ev, class, issue_at)
+        } else {
+            let c = self.run_scalar(ev, class, issue_at);
+            (issue_at, c, c)
+        };
+
+        self.rob.push_back(rob_completion);
+        self.note_completion(rob_completion);
+        InstrTiming { issue_at, start, completion: result_at }
+    }
+
+    fn run_scalar(&mut self, ev: &ExecEvent, class: InstrClass, issue_at: u64) -> u64 {
+        let completion = match class {
+            InstrClass::ScalarAlu => {
+                let lat = if matches!(ev.instr, Instruction::Mul { .. }) {
+                    self.cfg.mul_latency
+                } else {
+                    self.cfg.alu_latency
+                };
+                issue_at + lat
+            }
+            InstrClass::ScalarLoad => {
+                let m = ev.mem.expect("scalar load carries a memory op");
+                let lat = self.hier.scalar_read(m.addr, m.bytes, issue_at);
+                issue_at + lat
+            }
+            InstrClass::ScalarStore => {
+                let m = ev.mem.expect("scalar store carries a memory op");
+                let _drain = self.hier.scalar_write(m.addr, m.bytes, issue_at);
+                // Stores commit from the store buffer off the critical path.
+                issue_at + 1
+            }
+            InstrClass::ControlFlow => {
+                if ev.branch_taken {
+                    // Redirect: later instructions fetch after the penalty.
+                    self.issue_cycle = issue_at + self.cfg.branch_taken_penalty;
+                    self.issued_in_cycle = 0;
+                    self.vdispatched_in_cycle = 0;
+                }
+                issue_at + 1
+            }
+            InstrClass::System => issue_at + 1,
+            _ => unreachable!("non-scalar class routed to run_scalar"),
+        };
+        if let Some(rd) = ev.instr.x_dst() {
+            self.x_ready[rd.index() as usize] = completion;
+        }
+        if let Some(fd) = ev.instr.f_dst() {
+            self.f_ready[fd.index() as usize] = completion;
+        }
+        completion
+    }
+
+    fn run_vector(&mut self, ev: &ExecEvent, class: InstrClass, issue_at: u64) -> (u64, u64, u64) {
+        // vsetvli is resolved scalar-side in decoupled designs (the
+        // granted vl returns immediately; the engine is re-configured in
+        // program order by construction).
+        if class == InstrClass::VConfig {
+            let completion = issue_at + 1;
+            if let Some(rd) = ev.instr.x_dst() {
+                self.x_ready[rd.index() as usize] = completion;
+            }
+            return (issue_at, completion, completion);
+        }
+
+        // ---- dispatch into the bounded decoupling queue ----
+        let mut dispatch = issue_at;
+        while let Some(&s) = self.vq_starts.front() {
+            if s <= dispatch {
+                self.vq_starts.pop_front();
+            } else {
+                break;
+            }
+        }
+        if self.vq_starts.len() >= self.cfg.vq_depth {
+            let s = self.vq_starts.pop_front().expect("vq non-empty");
+            self.vq_stall_cycles += s.saturating_sub(dispatch);
+            dispatch = dispatch.max(s);
+            // The scalar core was blocked handing the instruction over.
+            if dispatch > self.issue_cycle {
+                self.issue_cycle = dispatch;
+                self.issued_in_cycle = 0;
+                self.vdispatched_in_cycle = 0;
+            }
+        }
+
+        // ---- in-order engine start: operands + structural ----
+        let mut start = self.engine_free.max(dispatch);
+        for src in ev.instr.v_srcs().into_iter().flatten() {
+            start = start.max(self.v_ready[src.index() as usize]);
+        }
+        if let Some(ind) = ev.indirect_vreg {
+            // The indirect VRF read of vindexmac.
+            start = start.max(self.v_ready[ind.index() as usize]);
+        }
+
+        let occ = self.cfg.occupancy(ev.vl);
+        let completion = match class {
+            InstrClass::VLoad => {
+                // Load-queue entry (16 outstanding, Table I).
+                while let Some(&c) = self.lq.front() {
+                    if c <= start {
+                        self.lq.pop_front();
+                    } else {
+                        break;
+                    }
+                }
+                if self.lq.len() >= self.cfg.vlq_entries {
+                    let c = self.lq.pop_front().expect("lq non-empty");
+                    start = start.max(c);
+                }
+                let m = ev.mem.expect("vector load carries a memory op");
+                let lat = self.hier.vector_read(m.addr, m.bytes, start);
+                let data_at = start + lat;
+                self.lq.push_back(data_at);
+                if let Some(vd) = ev.instr.v_dst() {
+                    self.v_ready[vd.index() as usize] = data_at;
+                }
+                self.engine_free = start + occ;
+                self.engine_busy += occ;
+                self.note_completion(data_at);
+                // Decoupled: retires from the scalar ROB at dispatch.
+                (dispatch + 1, data_at)
+            }
+            InstrClass::VStore => {
+                while let Some(&c) = self.sq.front() {
+                    if c <= start {
+                        self.sq.pop_front();
+                    } else {
+                        break;
+                    }
+                }
+                if self.sq.len() >= self.cfg.vsq_entries {
+                    let c = self.sq.pop_front().expect("sq non-empty");
+                    start = start.max(c);
+                }
+                let m = ev.mem.expect("vector store carries a memory op");
+                let lat = self.hier.vector_write(m.addr, m.bytes, start);
+                self.sq.push_back(start + lat);
+                self.engine_free = start + occ;
+                self.engine_busy += occ;
+                self.note_completion(start + lat);
+                (dispatch + 1, start + lat)
+            }
+            InstrClass::VMvToScalar => {
+                self.engine_free = start + 1;
+                self.engine_busy += 1;
+                self.v2s_syncs += 1;
+                let scalar_at = start + 1 + self.cfg.v2s_latency;
+                if let Some(rd) = ev.instr.x_dst() {
+                    self.x_ready[rd.index() as usize] = scalar_at;
+                }
+                if let Some(fd) = ev.instr.f_dst() {
+                    self.f_ready[fd.index() as usize] = scalar_at;
+                }
+                (scalar_at, scalar_at)
+            }
+            InstrClass::VArith | InstrClass::VSlide | InstrClass::VMvFromScalar
+            | InstrClass::VMac | InstrClass::VIndexMac => {
+                let lat = match class {
+                    InstrClass::VMac | InstrClass::VIndexMac => self.cfg.vmac_latency,
+                    InstrClass::VSlide => self.cfg.vslide_latency,
+                    _ => self.cfg.varith_latency,
+                };
+                self.engine_free = start + occ;
+                self.engine_busy += occ;
+                if let Some(vd) = ev.instr.v_dst() {
+                    self.v_ready[vd.index() as usize] = start + lat.max(occ);
+                }
+                self.note_completion(start + lat.max(occ));
+                (dispatch + 1, start + lat.max(occ))
+            }
+            _ => unreachable!("non-engine class routed to run_vector"),
+        };
+        self.vq_starts.push_back(start);
+        (start, completion.0, completion.1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::MemOp;
+    use indexmac_isa::{VReg, XReg};
+
+    fn cfg() -> SimConfig {
+        SimConfig::table_i()
+    }
+
+    fn alu_ev(rd: XReg, rs1: XReg) -> ExecEvent {
+        ExecEvent {
+            pc: 0,
+            instr: Instruction::Addi { rd, rs1, imm: 1 },
+            mem: None,
+            indirect_vreg: None,
+            branch_taken: false,
+            vl: 16,
+        }
+    }
+
+    #[test]
+    fn independent_alu_ops_pack_into_issue_width() {
+        let mut t = TimingModel::new(cfg());
+        // 8 independent ops with distinct dest regs fit in one cycle.
+        for i in 1..=8 {
+            t.observe(&alu_ev(XReg::new(i), XReg::ZERO));
+        }
+        assert_eq!(t.total_cycles(), 1); // all issued at cycle 0, done at 1
+        // A 9th op spills to the next cycle.
+        t.observe(&alu_ev(XReg::new(9), XReg::ZERO));
+        assert_eq!(t.total_cycles(), 2);
+    }
+
+    #[test]
+    fn dependent_chain_serialises() {
+        let mut t = TimingModel::new(cfg());
+        for _ in 0..10 {
+            t.observe(&alu_ev(XReg::T0, XReg::T0));
+        }
+        // Each op waits for the previous one's 1-cycle latency.
+        assert!(t.total_cycles() >= 10);
+    }
+
+    #[test]
+    fn scalar_load_latency_propagates_to_consumer() {
+        let mut t = TimingModel::new(cfg());
+        let ld = ExecEvent {
+            pc: 0,
+            instr: Instruction::Lw { rd: XReg::T0, rs1: XReg::A0, imm: 0 },
+            mem: Some(MemOp { addr: 0x1000, bytes: 4, write: false, vector: false }),
+            indirect_vreg: None,
+            branch_taken: false,
+            vl: 16,
+        };
+        t.observe(&ld);
+        let cold = t.total_cycles();
+        assert!(cold > 10, "cold load must reach DRAM (got {cold})");
+        // A dependent consumer issues only after the load returns.
+        t.observe(&alu_ev(XReg::T1, XReg::T0));
+        assert_eq!(t.total_cycles(), cold + 1);
+    }
+
+    #[test]
+    fn taken_branch_pays_redirect() {
+        let mut t = TimingModel::new(cfg());
+        let br = ExecEvent {
+            pc: 0,
+            instr: Instruction::Bne { rs1: XReg::ZERO, rs2: XReg::T0, offset: -1 },
+            mem: None,
+            indirect_vreg: None,
+            branch_taken: true,
+            vl: 16,
+        };
+        t.observe(&br);
+        t.observe(&alu_ev(XReg::T1, XReg::ZERO));
+        // Next instruction issues only after the redirect penalty.
+        assert!(t.total_cycles() > cfg().branch_taken_penalty);
+    }
+
+    fn vload_ev(vd: VReg, addr: u64) -> ExecEvent {
+        ExecEvent {
+            pc: 0,
+            instr: Instruction::Vle32 { vd, rs1: XReg::A0 },
+            mem: Some(MemOp { addr, bytes: 64, write: false, vector: true }),
+            indirect_vreg: None,
+            branch_taken: false,
+            vl: 16,
+        }
+    }
+
+    fn vmac_ev(vd: VReg, vs2: VReg) -> ExecEvent {
+        ExecEvent {
+            pc: 0,
+            instr: Instruction::VfmaccVf {
+                vd,
+                fs1: indexmac_isa::instr::FReg::F0,
+                vs2,
+            },
+            mem: None,
+            indirect_vreg: None,
+            branch_taken: false,
+            vl: 16,
+        }
+    }
+
+    #[test]
+    fn vector_load_data_gates_dependent_mac() {
+        let mut t = TimingModel::new(cfg());
+        t.observe(&vload_ev(VReg::V1, 0x0));
+        t.observe(&vmac_ev(VReg::V2, VReg::V1));
+        let with_dep = t.total_cycles();
+
+        let mut t2 = TimingModel::new(cfg());
+        t2.observe(&vload_ev(VReg::V1, 0x0));
+        t2.observe(&vmac_ev(VReg::V2, VReg::V3)); // independent
+        let without_dep = t2.total_cycles();
+        assert!(
+            with_dep >= without_dep,
+            "dependent MAC cannot finish before independent one ({with_dep} vs {without_dep})"
+        );
+    }
+
+    #[test]
+    fn indexmac_waits_for_indirect_source() {
+        let mut t = TimingModel::new(cfg());
+        // Load into v20, then vindexmac reading v20 indirectly.
+        t.observe(&vload_ev(VReg::new(20), 0x0));
+        let loaded_at = t.total_cycles();
+        let imac = ExecEvent {
+            pc: 1,
+            instr: Instruction::VindexmacVx { vd: VReg::V1, vs2: VReg::V2, rs: XReg::T0 },
+            mem: None,
+            indirect_vreg: Some(VReg::new(20)),
+            branch_taken: false,
+            vl: 16,
+        };
+        t.observe(&imac);
+        assert!(t.total_cycles() >= loaded_at, "vindexmac must wait for the loaded tile");
+        assert_eq!(t.counts().get(InstrClass::VIndexMac), 1);
+    }
+
+    #[test]
+    fn v2s_move_couples_clocks() {
+        let mut t = TimingModel::new(cfg());
+        let mv = ExecEvent {
+            pc: 0,
+            instr: Instruction::VmvXs { rd: XReg::T0, vs2: VReg::V1 },
+            mem: None,
+            indirect_vreg: None,
+            branch_taken: false,
+            vl: 16,
+        };
+        t.observe(&mv);
+        let sync = t.total_cycles();
+        assert!(sync >= cfg().v2s_latency);
+        // A scalar consumer of t0 waits for the transfer.
+        t.observe(&alu_ev(XReg::T1, XReg::T0));
+        assert!(t.total_cycles() > sync);
+        assert_eq!(t.v2s_syncs(), 1);
+    }
+
+    #[test]
+    fn load_queue_caps_outstanding_loads() {
+        let mut t = TimingModel::new(cfg());
+        // Far more loads than queue entries, all to distinct cold lines.
+        for i in 0..64 {
+            t.observe(&vload_ev(VReg::new((i % 8) as u8), (i as u64) * 4096));
+        }
+        // With 16 entries and ~90-cycle DRAM, 64 cold loads cannot all
+        // overlap: total must exceed a single miss by a lot.
+        assert!(t.total_cycles() > 200, "got {}", t.total_cycles());
+    }
+
+    #[test]
+    fn engine_in_order_even_when_independent() {
+        let mut t = TimingModel::new(cfg());
+        t.observe(&vmac_ev(VReg::V1, VReg::V2));
+        let one = t.engine_busy_cycles();
+        t.observe(&vmac_ev(VReg::V3, VReg::V4));
+        assert_eq!(t.engine_busy_cycles(), one * 2);
+    }
+
+    #[test]
+    fn eliminating_the_load_is_faster() {
+        // Micro-version of the paper's claim: (load+mac) vs indexmac.
+        let mut with_load = TimingModel::new(cfg());
+        let mut without = TimingModel::new(cfg());
+        // Warm the line so the comparison is an L2-hit comparison.
+        with_load.observe(&vload_ev(VReg::V8, 0x100000));
+        without.observe(&vload_ev(VReg::V8, 0x100000));
+        let w0 = with_load.total_cycles();
+        let n0 = without.total_cycles();
+        assert_eq!(w0, n0);
+        for i in 0..32 {
+            with_load.observe(&vload_ev(VReg::V5, 0x100000));
+            with_load.observe(&vmac_ev(VReg::new((i % 4) as u8), VReg::V5));
+
+            let imac = ExecEvent {
+                pc: 0,
+                instr: Instruction::VindexmacVx {
+                    vd: VReg::new((i % 4) as u8),
+                    vs2: VReg::V6,
+                    rs: XReg::T0,
+                },
+                mem: None,
+                indirect_vreg: Some(VReg::V8),
+                branch_taken: false,
+                vl: 16,
+            };
+            without.observe(&imac);
+        }
+        assert!(
+            with_load.total_cycles() > without.total_cycles(),
+            "load+mac {} should exceed indexmac {}",
+            with_load.total_cycles(),
+            without.total_cycles()
+        );
+        assert!(with_load.mem_stats().vector_loads > without.mem_stats().vector_loads);
+    }
+
+    #[test]
+    fn class_counts_accumulate() {
+        let mut t = TimingModel::new(cfg());
+        t.observe(&alu_ev(XReg::T0, XReg::ZERO));
+        t.observe(&vload_ev(VReg::V1, 0));
+        t.observe(&vmac_ev(VReg::V2, VReg::V1));
+        let c = t.counts();
+        assert_eq!(c.total(), 3);
+        assert_eq!(c.vector_total(), 2);
+        assert_eq!(c.get(InstrClass::ScalarAlu), 1);
+        assert_eq!(c.get(InstrClass::VLoad), 1);
+        assert_eq!(c.get(InstrClass::VMac), 1);
+    }
+}

@@ -1,0 +1,124 @@
+//! Property tests of the simulator: timing-model invariants and
+//! functional/timed equivalence over randomly generated straight-line
+//! programs.
+
+use indexmac_isa::{Instruction, Program, ProgramBuilder, Sew, VReg, XReg};
+use indexmac_vpu::{SimConfig, Simulator};
+use proptest::prelude::*;
+
+/// Random *valid* straight-line instructions: memory accesses use
+/// 4-byte-aligned addresses in a small positive window, and `vsetvli`
+/// keeps SEW = 32 (the modelled width).
+fn instr_strategy() -> impl Strategy<Value = Instruction> {
+    let xreg = (0u8..32).prop_map(XReg::new);
+    let xreg2 = (0u8..32).prop_map(XReg::new);
+    let xreg3 = (0u8..32).prop_map(XReg::new);
+    let vreg = (0u8..32).prop_map(VReg::new);
+    let vreg2 = (0u8..32).prop_map(VReg::new);
+    prop_oneof![
+        (xreg.clone(), -1000i64..1000).prop_map(|(rd, imm)| Instruction::Li { rd, imm }),
+        (xreg.clone(), xreg2.clone(), -100i32..100)
+            .prop_map(|(rd, rs1, imm)| Instruction::Addi { rd, rs1, imm }),
+        (xreg.clone(), xreg2.clone(), xreg3.clone())
+            .prop_map(|(rd, rs1, rs2)| Instruction::Add { rd, rs1, rs2 }),
+        (xreg.clone(), xreg2.clone(), xreg3.clone())
+            .prop_map(|(rd, rs1, rs2)| Instruction::Mul { rd, rs1, rs2 }),
+        // Aligned scalar store/load pair region: 0x8000 + k*8.
+        (xreg.clone(), 0i64..64)
+            .prop_map(|(rd, k)| Instruction::Li { rd, imm: 0x8000 + k * 8 }),
+        (xreg.clone(), vreg.clone()).prop_map(|(rd, vs2)| Instruction::VmvXs { rd, vs2 }),
+        (vreg.clone(), xreg.clone()).prop_map(|(vd, rs1)| Instruction::VmvVx { vd, rs1 }),
+        (vreg.clone(), vreg2.clone(), xreg.clone())
+            .prop_map(|(vd, vs2, rs1)| Instruction::VaddVx { vd, vs2, rs1 }),
+        (vreg.clone(), vreg2.clone())
+            .prop_map(|(vd, vs1)| Instruction::VmvVv { vd, vs1 }),
+        (vreg.clone(), vreg2.clone(), xreg.clone())
+            .prop_map(|(vd, vs2, rs1)| Instruction::Vslide1downVx { vd, vs2, rs1 }),
+        (vreg, vreg2, xreg).prop_map(|(vd, vs2, rs)| Instruction::VindexmacVx { vd, vs2, rs }),
+        (xreg2).prop_map(|rd| Instruction::Vsetvli { rd, rs1: XReg::ZERO, sew: Sew::E32 }),
+        Just(Instruction::Nop),
+    ]
+}
+
+fn program_from(instrs: &[Instruction]) -> Program {
+    let mut b = ProgramBuilder::new();
+    for i in instrs {
+        b.push(*i);
+    }
+    b.halt();
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Random valid programs execute without faulting, and cycles are
+    /// bounded below by the issue-width limit.
+    #[test]
+    fn random_programs_run_and_respect_issue_width(
+        instrs in prop::collection::vec(instr_strategy(), 1..200),
+    ) {
+        let p = program_from(&instrs);
+        let mut sim = Simulator::new(SimConfig::table_i());
+        let report = sim.run(&p).expect("generated programs are valid");
+        prop_assert_eq!(report.instructions, instrs.len() as u64 + 1);
+        let floor = report.instructions.div_ceil(SimConfig::table_i().issue_width as u64);
+        prop_assert!(
+            report.cycles >= floor,
+            "{} cycles below issue floor {}",
+            report.cycles,
+            floor
+        );
+    }
+
+    /// Appending instructions never makes a program finish earlier.
+    #[test]
+    fn timing_is_monotone_in_program_length(
+        instrs in prop::collection::vec(instr_strategy(), 2..120),
+        cut in 1usize..2,
+    ) {
+        let shorter = program_from(&instrs[..instrs.len() - cut.min(instrs.len() - 1)]);
+        let longer = program_from(&instrs);
+        let mut s1 = Simulator::new(SimConfig::table_i());
+        let mut s2 = Simulator::new(SimConfig::table_i());
+        let r1 = s1.run(&shorter).unwrap();
+        let r2 = s2.run(&longer).unwrap();
+        prop_assert!(r2.cycles >= r1.cycles, "longer {} < shorter {}", r2.cycles, r1.cycles);
+    }
+
+    /// Timed and functional execution agree on all architectural state.
+    #[test]
+    fn timed_and_functional_states_agree(
+        instrs in prop::collection::vec(instr_strategy(), 1..150),
+    ) {
+        let p = program_from(&instrs);
+        let mut timed = Simulator::new(SimConfig::table_i());
+        let mut func = Simulator::new(SimConfig::table_i());
+        timed.run(&p).unwrap();
+        func.run_functional(&p).unwrap();
+        for i in 0..32 {
+            let r = XReg::new(i);
+            prop_assert_eq!(timed.state().x(r), func.state().x(r), "x{} differs", i);
+            let v = VReg::new(i);
+            prop_assert_eq!(timed.state().v(v), func.state().v(v), "v{} differs", i);
+        }
+        prop_assert_eq!(timed.state().vl(), func.state().vl());
+    }
+
+    /// A slower memory system never speeds a program up.
+    #[test]
+    fn slower_dram_never_helps(
+        instrs in prop::collection::vec(instr_strategy(), 1..100),
+    ) {
+        let p = program_from(&instrs);
+        let fast_cfg = SimConfig::table_i();
+        let mut slow_cfg = SimConfig::table_i();
+        slow_cfg.hierarchy.dram.latency *= 4;
+        slow_cfg.hierarchy.l2_latency *= 2;
+        let mut fast = Simulator::new(fast_cfg);
+        let mut slow = Simulator::new(slow_cfg);
+        let rf = fast.run(&p).unwrap();
+        let rs = slow.run(&p).unwrap();
+        prop_assert!(rs.cycles >= rf.cycles, "slow {} < fast {}", rs.cycles, rf.cycles);
+    }
+}

@@ -1,0 +1,64 @@
+//! Simulate one CNN layer the way the paper's evaluation does: map the
+//! convolution to an im2col GEMM, prune the weights to an N:M template,
+//! and compare Row-Wise-SpMM against the vindexmac kernel.
+//!
+//! ```text
+//! cargo run --release --example cnn_layer [layer-name]
+//! # e.g. cargo run --release --example cnn_layer layer4.0.conv2
+//! ```
+
+use indexmac::experiment::{compare_layer, ExperimentConfig};
+use indexmac::sparse::NmPattern;
+use indexmac::table::{fmt_speedup, Table};
+use indexmac_cnn::resnet50;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let wanted = std::env::args().nth(1).unwrap_or_else(|| "layer2.0.conv2".to_string());
+    let model = resnet50();
+    let layer = model
+        .layers
+        .iter()
+        .find(|l| l.name == wanted)
+        .ok_or_else(|| format!("no ResNet50 layer named `{wanted}`; try e.g. layer2.0.conv2"))?;
+
+    let cfg = ExperimentConfig::paper();
+    println!("{layer}");
+    let g = layer.gemm();
+    let capped = cfg.caps.apply(g);
+    if cfg.caps.clips(g) {
+        println!(
+            "simulating capped GEMM {}x{}x{} ({:.2}% of the full MAC volume; ratios are preserved)",
+            capped.rows,
+            capped.inner,
+            capped.cols,
+            cfg.caps.retained_fraction(g) * 100.0
+        );
+    }
+    println!();
+
+    let mut table = Table::new(vec![
+        "sparsity",
+        "baseline cycles",
+        "proposed cycles",
+        "speedup",
+        "mem accesses (base->prop)",
+    ]);
+    for pattern in [NmPattern::P1_4, NmPattern::P2_4, NmPattern::P1_2] {
+        let r = compare_layer(layer, pattern, &cfg)?;
+        let c = &r.comparison;
+        table.row(vec![
+            pattern.to_string(),
+            c.baseline.report.cycles.to_string(),
+            c.proposed.report.cycles.to_string(),
+            fmt_speedup(c.speedup()),
+            format!(
+                "{} -> {}",
+                c.baseline.report.mem.total_accesses(),
+                c.proposed.report.mem.total_accesses()
+            ),
+        ]);
+    }
+    print!("{}", table.render());
+    println!("\n(each row verified against the reference sparse x dense product)");
+    Ok(())
+}

@@ -1,0 +1,15 @@
+//! Umbrella crate for the IndexMAC reproduction workspace.
+//!
+//! Re-exports the individual crates so that the repository-level examples
+//! and integration tests can reach everything through one dependency.
+//! Library users should depend on [`indexmac`] (the core crate) directly.
+
+#![warn(missing_docs)]
+
+pub use indexmac as core;
+pub use indexmac_cnn as cnn;
+pub use indexmac_isa as isa;
+pub use indexmac_kernels as kernels;
+pub use indexmac_mem as mem;
+pub use indexmac_sparse as sparse;
+pub use indexmac_vpu as vpu;

@@ -1,0 +1,78 @@
+//! Integration of the CNN tables with the experiment pipeline: the
+//! evaluation path of the paper end-to-end at smoke scale.
+
+use indexmac::experiment::{compare_layer, compare_model, ExperimentConfig};
+use indexmac::sparse::NmPattern;
+use indexmac_cnn::{densenet121, inception_v3, resnet50, CnnModel, GemmCaps};
+
+fn smoke_cfg() -> ExperimentConfig {
+    ExperimentConfig { caps: GemmCaps::smoke(), ..ExperimentConfig::paper() }
+}
+
+#[test]
+fn model_tables_have_paper_layer_counts() {
+    assert_eq!(resnet50().layers.len(), 53);
+    assert_eq!(densenet121().layers.len(), 120);
+    assert_eq!(inception_v3().layers.len(), 94);
+}
+
+#[test]
+fn every_resnet_layer_simulates_and_wins() {
+    // Head, middle and tail layers of ResNet50 through the whole
+    // pipeline, verified against the reference product.
+    let model = resnet50();
+    for idx in [0, 1, 20, 40, 52] {
+        let r = compare_layer(&model.layers[idx], NmPattern::P1_4, &smoke_cfg())
+            .unwrap_or_else(|e| panic!("layer {idx}: {e}"));
+        assert!(
+            r.comparison.speedup() > 1.0,
+            "layer {} speedup {}",
+            r.name,
+            r.comparison.speedup()
+        );
+    }
+}
+
+#[test]
+fn odd_inception_layers_simulate() {
+    // Factorised 1x7 / 7x1 convolutions produce unusual inner dims.
+    let model = inception_v3();
+    for name in ["Mixed_6b.branch7x7_2", "Mixed_6b.branch7x7_3", "Mixed_7b.branch3x3_2a"] {
+        let layer = model.layers.iter().find(|l| l.name == name).unwrap();
+        let r = compare_layer(layer, NmPattern::P2_4, &smoke_cfg())
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(r.comparison.speedup() > 1.0);
+    }
+}
+
+#[test]
+fn model_comparison_aggregates() {
+    // A truncated DenseNet through compare_model.
+    let full = densenet121();
+    let model = CnnModel::new("DenseNet121-head", full.layers[..6].to_vec());
+    let c = compare_model(&model, NmPattern::P2_4, &smoke_cfg()).unwrap();
+    assert_eq!(c.layers.len(), 6);
+    assert!(c.total_speedup() > 1.0);
+    assert!(c.total_mem_ratio() < 0.6);
+    let (lo, hi) = c.speedup_range();
+    assert!(lo > 1.0 && hi < 3.0, "range {lo}-{hi}");
+}
+
+#[test]
+fn capping_preserves_the_speedup_within_tolerance() {
+    // The soundness claim behind EXPERIMENTS.md: capped and
+    // larger-capped simulations of the same layer agree on the ratio.
+    let model = resnet50();
+    let layer = &model.layers[10];
+    let small = compare_layer(layer, NmPattern::P1_4, &smoke_cfg()).unwrap();
+    let bigger_cfg = ExperimentConfig {
+        caps: GemmCaps { max_rows: 32, max_inner: 256, max_cols: 64 },
+        ..ExperimentConfig::paper()
+    };
+    let bigger = compare_layer(layer, NmPattern::P1_4, &bigger_cfg).unwrap();
+    let (s1, s2) = (small.comparison.speedup(), bigger.comparison.speedup());
+    assert!(
+        (s1 - s2).abs() / s2 < 0.25,
+        "speedup unstable under capping: {s1} vs {s2}"
+    );
+}

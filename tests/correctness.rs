@@ -1,0 +1,109 @@
+//! Cross-crate integration: every kernel, on the full simulator, must
+//! produce the reference sparse x dense product, across patterns,
+//! dataflows, unroll factors and deliberately awkward shapes.
+
+use indexmac_kernels::{
+    dense, indexmac, rowwise, scalar_idx, verify, Dataflow, GemmLayout, KernelParams,
+};
+use indexmac_sparse::{prune, DenseMatrix, NmPattern};
+use indexmac_vpu::SimConfig;
+
+fn check_all_kernels(rows: usize, inner: usize, cols: usize, pattern: NmPattern, seed: u64) {
+    let cfg = SimConfig::table_i();
+    let a = prune::random_structured(rows, inner, pattern, seed);
+    let b = DenseMatrix::random(inner, cols, seed + 1);
+    let layout = GemmLayout::plan(&a, cols, &cfg, 16).unwrap();
+    let params = KernelParams::default();
+
+    for (name, program) in [
+        ("rowwise", rowwise::build(&layout, &params).unwrap()),
+        ("indexmac", indexmac::build(&layout, &params).unwrap()),
+        ("scalar_idx", scalar_idx::build(&layout, &params).unwrap()),
+    ] {
+        verify::run_and_check(&program, &a, &b, &layout, &cfg).unwrap_or_else(|e| {
+            panic!("{name} failed on {rows}x{inner}x{cols} {pattern} seed {seed}: {e}")
+        });
+    }
+
+    // The dense baseline computes the same product (A expanded).
+    let p1 = dense::build(&layout, &params).unwrap();
+    let run = verify::run_kernel(&p1, &a, &b, &layout, &cfg).unwrap();
+    let reference = a.to_dense().matmul(&b).unwrap();
+    assert!(
+        run.c.approx_eq(&reference, 1e-3),
+        "dense kernel diverged on {rows}x{inner}x{cols} {pattern}: {}",
+        run.c.max_abs_diff(&reference)
+    );
+}
+
+#[test]
+fn paper_patterns_on_square_shapes() {
+    for pattern in [NmPattern::P1_2, NmPattern::P1_4, NmPattern::P2_4] {
+        check_all_kernels(8, 32, 32, pattern, 100);
+    }
+}
+
+#[test]
+fn awkward_shapes() {
+    // rows not divisible by unroll; inner not by L; cols not by VL.
+    check_all_kernels(5, 17, 3, NmPattern::P1_4, 200);
+    check_all_kernels(9, 50, 31, NmPattern::P2_4, 201);
+    check_all_kernels(1, 16, 1, NmPattern::P1_4, 202);
+    check_all_kernels(3, 100, 65, NmPattern::P1_2, 203);
+}
+
+#[test]
+fn wide_patterns() {
+    check_all_kernels(6, 64, 20, NmPattern::new(1, 8).unwrap(), 300);
+    check_all_kernels(6, 64, 20, NmPattern::new(2, 8).unwrap(), 301);
+    check_all_kernels(4, 32, 20, NmPattern::new(4, 4).unwrap(), 302); // fully dense blocks
+}
+
+#[test]
+fn every_dataflow_and_unroll_is_correct() {
+    let cfg = SimConfig::table_i();
+    let a = prune::random_structured(7, 48, NmPattern::P2_4, 400);
+    let b = DenseMatrix::random(48, 22, 401);
+    let layout = GemmLayout::plan(&a, 22, &cfg, 16).unwrap();
+    for dataflow in Dataflow::ALL {
+        for unroll in [1, 2, 3, 4] {
+            let params = KernelParams { unroll, dataflow };
+            let p = rowwise::build(&layout, &params).unwrap();
+            verify::run_and_check(&p, &a, &b, &layout, &cfg)
+                .unwrap_or_else(|e| panic!("rowwise {dataflow} u{unroll}: {e}"));
+            let p = indexmac::build(&layout, &params).unwrap();
+            verify::run_and_check(&p, &a, &b, &layout, &cfg)
+                .unwrap_or_else(|e| panic!("indexmac u{unroll}: {e}"));
+        }
+    }
+}
+
+#[test]
+fn tile_rows_variants_are_correct() {
+    let cfg = SimConfig::table_i();
+    let a = prune::random_structured(5, 40, NmPattern::P1_4, 500);
+    let b = DenseMatrix::random(40, 18, 501);
+    for tile_rows in [4, 8, 12, 16, 20] {
+        let layout = GemmLayout::plan(&a, 18, &cfg, tile_rows).unwrap();
+        let p = indexmac::build(&layout, &KernelParams::default()).unwrap();
+        verify::run_and_check(&p, &a, &b, &layout, &cfg)
+            .unwrap_or_else(|e| panic!("L={tile_rows}: {e}"));
+    }
+}
+
+#[test]
+fn non_table_i_vlens_are_correct() {
+    for vlen in [256usize, 1024] {
+        let cfg = SimConfig::table_i().with_vlen(vlen);
+        let a = prune::random_structured(5, 32, NmPattern::P2_4, 600);
+        let b = DenseMatrix::random(32, 40, 601);
+        let layout = GemmLayout::plan(&a, 40, &cfg, 16).unwrap();
+        for p in [
+            rowwise::build(&layout, &KernelParams::default()).unwrap(),
+            indexmac::build(&layout, &KernelParams::default()).unwrap(),
+        ] {
+            verify::run_and_check(&p, &a, &b, &layout, &cfg)
+                .unwrap_or_else(|e| panic!("vlen {vlen}: {e}"));
+        }
+    }
+}

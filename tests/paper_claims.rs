@@ -1,0 +1,182 @@
+//! Integration tests asserting the paper's quantitative claims hold in
+//! this reproduction (with tolerances appropriate to a re-implemented
+//! timing model — see EXPERIMENTS.md for the measured values).
+
+use indexmac::experiment::{compare_gemm, run_gemm, Algorithm, ExperimentConfig};
+use indexmac::kernels::{Dataflow, GemmDims, KernelParams};
+use indexmac::sparse::NmPattern;
+use indexmac_cnn::GemmCaps;
+
+/// A representative mid-network layer shape at evaluation scale.
+const DIMS: GemmDims = GemmDims { rows: 64, inner: 512, cols: 128 };
+
+fn cfg() -> ExperimentConfig {
+    ExperimentConfig {
+        caps: GemmCaps { max_rows: 64, max_inner: 512, max_cols: 128 },
+        ..ExperimentConfig::paper()
+    }
+}
+
+#[test]
+fn speedups_fall_in_the_papers_bands() {
+    // Paper Fig. 4: 1.60x-2.15x (1:4) and 1.63x-1.99x (2:4); allow a
+    // modest margin for the re-implemented substrate.
+    let c14 = compare_gemm(DIMS, NmPattern::P1_4, &cfg()).unwrap();
+    assert!(
+        (1.5..=2.4).contains(&c14.speedup()),
+        "1:4 speedup {} outside the paper's band",
+        c14.speedup()
+    );
+    let c24 = compare_gemm(DIMS, NmPattern::P2_4, &cfg()).unwrap();
+    assert!(
+        (1.5..=2.2).contains(&c24.speedup()),
+        "2:4 speedup {} outside the paper's band",
+        c24.speedup()
+    );
+}
+
+#[test]
+fn sparser_template_speeds_up_more() {
+    // Paper Section IV-B: 2:4 speedup is slightly lower than 1:4
+    // because A-side work doubles while the B-side optimisation target
+    // stays the same.
+    let c14 = compare_gemm(DIMS, NmPattern::P1_4, &cfg()).unwrap();
+    let c24 = compare_gemm(DIMS, NmPattern::P2_4, &cfg()).unwrap();
+    assert!(
+        c14.speedup() > c24.speedup(),
+        "1:4 ({}) must outpace 2:4 ({})",
+        c14.speedup(),
+        c24.speedup()
+    );
+}
+
+#[test]
+fn memory_access_reductions_match_fig6() {
+    // Paper Fig. 6: ~52% normalized accesses for 1:4, ~35% for 2:4.
+    let c14 = compare_gemm(DIMS, NmPattern::P1_4, &cfg()).unwrap();
+    assert!(
+        (0.45..=0.60).contains(&c14.mem_ratio()),
+        "1:4 normalized accesses {} (paper ~0.52)",
+        c14.mem_ratio()
+    );
+    let c24 = compare_gemm(DIMS, NmPattern::P2_4, &cfg()).unwrap();
+    assert!(
+        (0.30..=0.42).contains(&c24.mem_ratio()),
+        "2:4 normalized accesses {} (paper ~0.35)",
+        c24.mem_ratio()
+    );
+}
+
+#[test]
+fn proposed_eliminates_per_nonzero_vector_loads() {
+    let c = compare_gemm(DIMS, NmPattern::P1_4, &cfg()).unwrap();
+    // Baseline loads one B slice per nonzero; proposed only preloads
+    // tiles, so its vector-load count must be several times smaller.
+    assert!(
+        c.proposed.report.mem.vector_loads * 2 < c.baseline.report.mem.vector_loads,
+        "proposed {} vs baseline {} vector loads",
+        c.proposed.report.mem.vector_loads,
+        c.baseline.report.mem.vector_loads
+    );
+    // And it halves the cross-domain synchronisations (one move per
+    // nonzero instead of two).
+    assert_eq!(c.proposed.report.v2s_syncs * 2, c.baseline.report.v2s_syncs);
+}
+
+/// A shape whose B matrix (512 x 512 x 4 B = 1 MiB) overflows the 512 KiB
+/// L2 — the full-size-layer regime the paper's dataflow claim is about.
+/// (At small B sizes the dataflows tie, because B stays L2-resident no
+/// matter the loop order.)
+const BIG_B_DIMS: GemmDims = GemmDims { rows: 64, inner: 512, cols: 512 };
+
+fn big_b_cfg(dataflow: Dataflow) -> ExperimentConfig {
+    ExperimentConfig {
+        caps: GemmCaps { max_rows: 64, max_inner: 512, max_cols: 512 },
+        params: KernelParams { unroll: 4, dataflow },
+        ..ExperimentConfig::paper()
+    }
+}
+
+#[test]
+fn b_stationary_is_the_best_rowwise_dataflow() {
+    // Paper Section IV-A.
+    let mut cycles = Vec::new();
+    for dataflow in Dataflow::ALL {
+        let c = big_b_cfg(dataflow);
+        let r = run_gemm(BIG_B_DIMS, NmPattern::P1_4, Algorithm::RowWiseSpmm, &c).unwrap();
+        cycles.push((dataflow, r.report.cycles));
+    }
+    let best = cycles.iter().min_by_key(|(_, c)| *c).unwrap();
+    assert_eq!(best.0, Dataflow::BStationary, "cycles: {cycles:?}");
+}
+
+#[test]
+fn c_stationary_cuts_stores_not_time() {
+    let b_st = run_gemm(
+        BIG_B_DIMS,
+        NmPattern::P1_4,
+        Algorithm::RowWiseSpmm,
+        &big_b_cfg(Dataflow::BStationary),
+    )
+    .unwrap();
+    let c_st = run_gemm(
+        BIG_B_DIMS,
+        NmPattern::P1_4,
+        Algorithm::RowWiseSpmm,
+        &big_b_cfg(Dataflow::CStationary),
+    )
+    .unwrap();
+    // "its total number of memory stores would decrease significantly"
+    assert!(c_st.report.mem.vector_stores * 4 < b_st.report.mem.vector_stores);
+    // "...does not improve the total execution time"
+    assert!(c_st.report.cycles as f64 >= 0.95 * b_st.report.cycles as f64);
+}
+
+#[test]
+fn unrolling_benefits_both_kernels() {
+    // Paper Section IV-A: "Both approaches benefit equally from loop
+    // unrolling." Require >=20% gain for each and gains within 2x of
+    // each other.
+    let gain = |alg: Algorithm| {
+        let u1 = ExperimentConfig {
+            params: KernelParams { unroll: 1, ..Default::default() },
+            ..cfg()
+        };
+        let u4 = cfg();
+        let r1 = run_gemm(DIMS, NmPattern::P1_4, alg, &u1).unwrap();
+        let r4 = run_gemm(DIMS, NmPattern::P1_4, alg, &u4).unwrap();
+        r1.report.cycles as f64 / r4.report.cycles as f64
+    };
+    let g_base = gain(Algorithm::RowWiseSpmm);
+    let g_prop = gain(Algorithm::IndexMac);
+    assert!(g_base > 1.2, "baseline unroll gain {g_base}");
+    assert!(g_prop > 1.2, "proposed unroll gain {g_prop}");
+    assert!(
+        (0.5..=2.0).contains(&(g_base / g_prop)),
+        "gains diverge: baseline {g_base} vs proposed {g_prop}"
+    );
+}
+
+#[test]
+fn structured_sparsity_beats_dense_execution() {
+    // The motivation for pruning at all: 1:4 sparse execution must be
+    // far faster than the dense kernel on the same shape.
+    let dense = run_gemm(DIMS, NmPattern::P1_4, Algorithm::Dense, &cfg()).unwrap();
+    let sparse = run_gemm(DIMS, NmPattern::P1_4, Algorithm::IndexMac, &cfg()).unwrap();
+    assert!(sparse.report.cycles * 2 < dense.report.cycles);
+}
+
+#[test]
+fn tile_preload_bound_enforced() {
+    // Paper Section III: at most M*VL/N rows of B are addressable. For
+    // an 8:8 pattern that bound is 16, so L=20 must be rejected even
+    // though the register budget would allow it.
+    let cfg_l20 = ExperimentConfig { tile_rows: 20, ..cfg() };
+    let r = run_gemm(
+        GemmDims { rows: 8, inner: 40, cols: 16 },
+        NmPattern::new(8, 8).unwrap(),
+        Algorithm::IndexMac,
+        &cfg_l20,
+    );
+    assert!(r.is_err(), "L beyond M*VL/N must be rejected");
+}
