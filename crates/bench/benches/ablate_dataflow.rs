@@ -6,51 +6,59 @@
 //! total execution time".
 //!
 //! Runs Row-Wise-SpMM under all three dataflows on representative
-//! ResNet50 layers.
+//! ResNet50 layers, fanned out as one parallel sweep over the
+//! (pattern × layer × dataflow) grid.
 
-use indexmac::experiment::{run_gemm, Algorithm};
-use indexmac::kernels::{Dataflow, KernelParams};
 use indexmac::sparse::NmPattern;
+use indexmac::sweep::{run_cells, SweepCell};
 use indexmac::table::Table;
 use indexmac_bench::{banner, Profile};
 use indexmac_cnn::resnet50;
+use indexmac_kernels::Dataflow;
 
 fn main() {
     let base_cfg = Profile::from_env().config();
     banner("Ablation: Row-Wise-SpMM dataflow comparison (Section IV-A)", &base_cfg);
     let model = resnet50();
     let picks = ["layer1.0.conv2", "layer2.1.conv2", "layer4.2.conv3"];
+    let layers: Vec<_> = picks
+        .iter()
+        .map(|name| model.layers.iter().find(|l| l.name == *name).expect("layer exists"))
+        .collect();
 
     for pattern in [NmPattern::P1_4, NmPattern::P2_4] {
         println!("\n{pattern} structured sparsity");
+        // One sweep cell per (layer, dataflow), every cell pinned to the
+        // campaign seed so operands match across dataflows.
+        let cells: Vec<SweepCell> = layers
+            .iter()
+            .flat_map(|layer| {
+                Dataflow::ALL.into_iter().map(|dataflow| SweepCell {
+                    dims: layer.gemm(),
+                    pattern,
+                    dataflow,
+                    seed: base_cfg.seed,
+                })
+            })
+            .collect();
+        let results = run_cells(cells, &base_cfg).expect("simulation succeeds");
+
         let mut table =
             Table::new(vec!["layer", "dataflow", "cycles", "vs B-stationary", "stores"]);
-        for name in picks {
-            let layer = model.layers.iter().find(|l| l.name == name).expect("layer exists");
-            let results: Vec<_> = Dataflow::ALL
-                .into_iter()
-                .map(|df| {
-                    let cfg = indexmac::ExperimentConfig {
-                        params: KernelParams { unroll: 4, dataflow: df },
-                        ..base_cfg
-                    };
-                    let r = run_gemm(layer.gemm(), pattern, Algorithm::RowWiseSpmm, &cfg)
-                        .expect("simulation succeeds");
-                    (df, r)
-                })
-                .collect();
-            let b_cycles = results
+        for (layer, per_layer) in layers.iter().zip(results.chunks(Dataflow::ALL.len())) {
+            let b_cycles = per_layer
                 .iter()
-                .find(|(df, _)| *df == Dataflow::BStationary)
-                .map(|(_, r)| r.report.cycles)
+                .find(|c| c.cell.dataflow == Dataflow::BStationary)
+                .map(|c| c.comparison.baseline.report.cycles)
                 .expect("B-stationary present");
-            for (df, r) in results {
+            for cell in per_layer {
+                let report = &cell.comparison.baseline.report;
                 table.row(vec![
-                    name.to_string(),
-                    df.to_string(),
-                    r.report.cycles.to_string(),
-                    format!("{:+.1}%", (r.report.cycles as f64 / b_cycles as f64 - 1.0) * 100.0),
-                    r.report.mem.vector_stores.to_string(),
+                    layer.name.clone(),
+                    cell.cell.dataflow.to_string(),
+                    report.cycles.to_string(),
+                    format!("{:+.1}%", (report.cycles as f64 / b_cycles as f64 - 1.0) * 100.0),
+                    report.mem.vector_stores.to_string(),
                 ]);
             }
         }

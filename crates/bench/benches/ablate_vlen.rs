@@ -24,6 +24,7 @@ fn main() {
                 ..base_cfg
             };
             let mut cache = CachedCompare::new(cfg);
+            cache.warm(model.layers.iter().map(|l| (l.gemm(), pattern)));
             let mut base_cycles = 0u64;
             let mut prop_cycles = 0u64;
             let mut base_mem = 0u64;

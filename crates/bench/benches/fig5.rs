@@ -22,6 +22,7 @@ fn main() {
         let models = CnnModel::paper_models();
         for model in &models {
             let mut cache = CachedCompare::new(cfg);
+            cache.warm(model.layers.iter().map(|l| (l.gemm(), pattern)));
             let mut base_cycles: u64 = 0;
             let mut prop_cycles: u64 = 0;
             let mut lo = f64::INFINITY;

@@ -19,6 +19,7 @@ fn main() {
         let models = CnnModel::paper_models();
         for model in &models {
             let mut cache = CachedCompare::new(cfg);
+            cache.warm(model.layers.iter().map(|l| (l.gemm(), pattern)));
             let mut base: u64 = 0;
             let mut prop: u64 = 0;
             for layer in &model.layers {

@@ -8,12 +8,18 @@
 //! * `smoke` — tiny GEMM caps, seconds per figure (CI);
 //! * `default` — the documented evaluation caps;
 //! * `full` — uncapped layer sizes (hours; the gem5-equivalent run).
+//!
+//! Figure harnesses batch their simulations through the parallel sweep
+//! runner (`indexmac::sweep`) by calling [`CachedCompare::warm`] with
+//! the full layer list up front; the printed numbers are identical to
+//! the old serial loops, just produced on every core.
 
 #![warn(missing_docs)]
 
 use indexmac::experiment::{compare_gemm, ExperimentConfig, GemmComparison};
 use indexmac::kernels::GemmDims;
 use indexmac::sparse::NmPattern;
+use indexmac::sweep::{run_cells, SweepCell};
 use indexmac_cnn::GemmCaps;
 use std::collections::HashMap;
 
@@ -31,10 +37,21 @@ pub enum Profile {
 impl Profile {
     /// Reads `INDEXMAC_PROFILE` (unset or unknown values mean `Default`).
     pub fn from_env() -> Self {
-        match std::env::var("INDEXMAC_PROFILE").as_deref() {
-            Ok("smoke") => Profile::Smoke,
-            Ok("full") => Profile::Full,
-            _ => Profile::Default,
+        Self::from_env_value(std::env::var("INDEXMAC_PROFILE").ok().as_deref())
+    }
+
+    /// Pure counterpart of [`Profile::from_env`]: maps the raw
+    /// environment value to a profile. `smoke`, `default` and `full`
+    /// select their profile (case-sensitively, like the real env var);
+    /// `None` (unset) and any unknown value fall back to `Default`, so
+    /// a typo degrades to the documented evaluation scale instead of
+    /// aborting a long harness run.
+    pub fn from_env_value(value: Option<&str>) -> Self {
+        match value {
+            Some("smoke") => Profile::Smoke,
+            Some("full") => Profile::Full,
+            Some("default") | None => Profile::Default,
+            Some(_) => Profile::Default,
         }
     }
 
@@ -53,12 +70,16 @@ impl Profile {
     }
 }
 
+type CacheKey = (usize, usize, usize, NmPattern);
+
 /// Memoising wrapper around [`compare_gemm`]: CNN layers that cap to the
 /// same GEMM shape share one simulation (capping erases what
 /// distinguished them, so re-running would reproduce identical numbers).
+/// [`CachedCompare::warm`] fills the cache in parallel via the sweep
+/// runner.
 pub struct CachedCompare {
     cfg: ExperimentConfig,
-    cache: HashMap<(usize, usize, usize, NmPattern), GemmComparison>,
+    cache: HashMap<CacheKey, GemmComparison>,
 }
 
 impl CachedCompare {
@@ -79,8 +100,7 @@ impl CachedCompare {
     /// Panics if the simulation itself fails — a bench harness has no
     /// useful recovery, and failing loudly is what we want there.
     pub fn compare(&mut self, dims: GemmDims, pattern: NmPattern) -> GemmComparison {
-        let capped = self.cfg.caps.apply(dims);
-        let key = (capped.rows, capped.inner, capped.cols, pattern);
+        let key = self.key(dims, pattern);
         if let Some(hit) = self.cache.get(&key) {
             return hit.clone();
         }
@@ -88,6 +108,50 @@ impl CachedCompare {
             .unwrap_or_else(|e| panic!("comparison failed for {dims:?} {pattern}: {e}"));
         self.cache.insert(key, result.clone());
         result
+    }
+
+    /// Pre-populates the cache by fanning every *distinct capped*
+    /// `(dims, pattern)` request out through the parallel sweep runner
+    /// ([`indexmac::sweep::run_cells`]). Subsequent [`Self::compare`]
+    /// calls are cache hits, so a figure harness becomes: `warm` the
+    /// whole layer list in parallel, then print rows serially.
+    ///
+    /// Every warmed cell pins the campaign seed and dataflow, so the
+    /// numbers are bit-identical to what a serial `compare` loop would
+    /// have produced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any simulation fails, like [`Self::compare`].
+    pub fn warm(&mut self, requests: impl IntoIterator<Item = (GemmDims, NmPattern)>) {
+        let mut todo: Vec<(CacheKey, SweepCell)> = Vec::new();
+        for (dims, pattern) in requests {
+            let key = self.key(dims, pattern);
+            if self.cache.contains_key(&key) || todo.iter().any(|(k, _)| *k == key) {
+                continue;
+            }
+            let cell = SweepCell {
+                dims,
+                pattern,
+                dataflow: self.cfg.params.dataflow,
+                seed: self.cfg.seed,
+            };
+            todo.push((key, cell));
+        }
+        if todo.is_empty() {
+            return;
+        }
+        let (keys, cells): (Vec<CacheKey>, Vec<SweepCell>) = todo.into_iter().unzip();
+        let results = run_cells(cells, &self.cfg)
+            .unwrap_or_else(|e| panic!("sweep warm-up failed: {e}"));
+        for (key, result) in keys.into_iter().zip(results) {
+            self.cache.insert(key, result.comparison);
+        }
+    }
+
+    fn key(&self, dims: GemmDims, pattern: NmPattern) -> CacheKey {
+        let capped = self.cfg.caps.apply(dims);
+        (capped.rows, capped.inner, capped.cols, pattern)
     }
 
     /// Number of distinct simulations performed.
@@ -122,6 +186,37 @@ mod tests {
     }
 
     #[test]
+    fn profile_env_values_select_their_profile() {
+        assert_eq!(Profile::from_env_value(Some("smoke")), Profile::Smoke);
+        assert_eq!(Profile::from_env_value(Some("default")), Profile::Default);
+        assert_eq!(Profile::from_env_value(Some("full")), Profile::Full);
+    }
+
+    #[test]
+    fn profile_unset_env_falls_back_to_default() {
+        assert_eq!(Profile::from_env_value(None), Profile::Default);
+    }
+
+    #[test]
+    fn profile_unknown_env_values_degrade_to_default() {
+        for bad in ["", "Smoke", "FULL", "smokey", "tiny", " smoke", "smoke ", "1"] {
+            assert_eq!(Profile::from_env_value(Some(bad)), Profile::Default, "value {bad:?}");
+        }
+    }
+
+    #[test]
+    fn profile_caps_mapping_is_exhaustive() {
+        assert_eq!(Profile::Default.caps(), GemmCaps::default_eval());
+        assert_eq!(Profile::Smoke.config().caps, GemmCaps::smoke());
+        // config() must keep everything but the caps at paper defaults.
+        let cfg = Profile::Full.config();
+        let paper = ExperimentConfig::paper();
+        assert_eq!(cfg.seed, paper.seed);
+        assert_eq!(cfg.tile_rows, paper.tile_rows);
+        assert_eq!(cfg.params, paper.params);
+    }
+
+    #[test]
     fn cache_dedupes_equal_capped_shapes() {
         let mut c = CachedCompare::new(Profile::Smoke.config());
         let a = GemmDims { rows: 1000, inner: 1000, cols: 1000 };
@@ -133,5 +228,36 @@ mod tests {
         // Different pattern -> new simulation.
         c.compare(a, NmPattern::P2_4);
         assert_eq!(c.unique_runs(), 2);
+    }
+
+    #[test]
+    fn warm_matches_serial_compare_exactly() {
+        let dims = [
+            GemmDims { rows: 4, inner: 32, cols: 16 },
+            GemmDims { rows: 8, inner: 64, cols: 32 },
+        ];
+        let mut serial = CachedCompare::new(Profile::Smoke.config());
+        let mut warmed = CachedCompare::new(Profile::Smoke.config());
+        warmed.warm(dims.iter().map(|d| (*d, NmPattern::P1_4)));
+        assert_eq!(warmed.unique_runs(), 2, "warm must fill the cache");
+        for d in dims {
+            let a = serial.compare(d, NmPattern::P1_4);
+            let b = warmed.compare(d, NmPattern::P1_4);
+            assert_eq!(a.baseline.report, b.baseline.report);
+            assert_eq!(a.proposed.report, b.proposed.report);
+        }
+        // The warmed cache served everything without new simulations.
+        assert_eq!(warmed.unique_runs(), 2);
+    }
+
+    #[test]
+    fn warm_dedupes_capped_duplicates_and_tolerates_repeats() {
+        let mut c = CachedCompare::new(Profile::Smoke.config());
+        let a = GemmDims { rows: 1000, inner: 1000, cols: 1000 };
+        let b = GemmDims { rows: 2000, inner: 3000, cols: 4000 }; // same after caps
+        c.warm([(a, NmPattern::P1_4), (b, NmPattern::P1_4), (a, NmPattern::P1_4)]);
+        assert_eq!(c.unique_runs(), 1);
+        c.warm([(a, NmPattern::P1_4)]); // already cached: no-op
+        assert_eq!(c.unique_runs(), 1);
     }
 }

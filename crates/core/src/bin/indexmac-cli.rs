@@ -6,12 +6,16 @@
 //! indexmac-cli gemm --rows 64 --inner 256 --cols 128 --algorithm indexmac
 //! indexmac-cli layer --model resnet50 --name layer2.0.conv2 --pattern 1:4
 //! indexmac-cli list --model inceptionv3
+//! indexmac-cli sweep --dims 16x128x32,32x256x64 --patterns 1:4,2:4 \
+//!     --dataflows all --threads 8 --format json
 //! ```
 
 use indexmac::analysis::analyze;
 use indexmac::experiment::{compare_gemm, run_gemm, Algorithm, ExperimentConfig};
-use indexmac::kernels::{GemmDims, KernelParams};
+use indexmac::kernels::{Dataflow, GemmDims, KernelParams};
 use indexmac::sparse::NmPattern;
+use indexmac::sweep::{run_grid, SweepGrid};
+use indexmac::table::{fmt_pct, fmt_speedup, Table};
 use indexmac::vpu::SimConfig;
 use indexmac_cnn::{densenet121, inception_v3, resnet50, CnnModel};
 use std::process::ExitCode;
@@ -27,6 +31,60 @@ enum Command {
     Layer { model: String, name: String, pattern: NmPattern },
     /// List the conv layers of a model.
     List { model: String },
+    /// Fan comparisons over a (pattern x dims x dataflow) grid in parallel.
+    Sweep {
+        dims: Vec<GemmDims>,
+        patterns: Vec<NmPattern>,
+        dataflows: Vec<Dataflow>,
+        seed: Option<u64>,
+        threads: Option<usize>,
+        format: OutputFormat,
+    },
+}
+
+/// How `sweep` renders its results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum OutputFormat {
+    Table,
+    Json,
+    JsonPretty,
+}
+
+fn parse_format(s: &str) -> Result<OutputFormat, String> {
+    match s {
+        "table" => Ok(OutputFormat::Table),
+        "json" => Ok(OutputFormat::Json),
+        "json-pretty" => Ok(OutputFormat::JsonPretty),
+        other => Err(format!("unknown format `{other}` (table|json|json-pretty)")),
+    }
+}
+
+fn parse_dims(s: &str) -> Result<GemmDims, String> {
+    let parts: Vec<&str> = s.split('x').collect();
+    let err = || format!("dims `{s}` are not RxKxN");
+    if parts.len() != 3 {
+        return Err(err());
+    }
+    let parse = |p: &str| p.parse::<usize>().ok().filter(|v| *v > 0).ok_or_else(err);
+    Ok(GemmDims { rows: parse(parts[0])?, inner: parse(parts[1])?, cols: parse(parts[2])? })
+}
+
+fn parse_dataflows(s: &str) -> Result<Vec<Dataflow>, String> {
+    if s == "all" {
+        return Ok(Dataflow::ALL.to_vec());
+    }
+    s.split(',')
+        .map(|f| match f {
+            "a" => Ok(Dataflow::AStationary),
+            "b" => Ok(Dataflow::BStationary),
+            "c" => Ok(Dataflow::CStationary),
+            other => Err(format!("unknown dataflow `{other}` (a|b|c|all)")),
+        })
+        .collect()
+}
+
+fn parse_list<T>(s: &str, item: impl Fn(&str) -> Result<T, String>) -> Result<Vec<T>, String> {
+    s.split(',').map(|part| item(part)).collect()
 }
 
 fn parse_pattern(s: &str) -> Result<NmPattern, String> {
@@ -107,6 +165,40 @@ fn parse(args: &[String]) -> Result<Command, String> {
             },
         }),
         "list" => Ok(Command::List { model: get("model").ok_or("list requires --model")? }),
+        "sweep" => {
+            let dims_spec = get("dims").ok_or("sweep requires --dims RxKxN[,RxKxN...]")?;
+            let dims = parse_list(&dims_spec, parse_dims)?;
+            let patterns = match get("patterns") {
+                Some(p) => parse_list(&p, parse_pattern)?,
+                None => vec![NmPattern::P1_4, NmPattern::P2_4],
+            };
+            let dataflows = match get("dataflows") {
+                Some(f) => parse_dataflows(&f)?,
+                None => vec![Dataflow::BStationary],
+            };
+            let seed = match get("seed") {
+                Some(s) => {
+                    Some(s.parse().map_err(|_| "--seed must be an integer".to_string())?)
+                }
+                None => None,
+            };
+            let threads = match get("threads") {
+                Some(t) => {
+                    let t: usize =
+                        t.parse().map_err(|_| "--threads must be an integer".to_string())?;
+                    if t == 0 {
+                        return Err("--threads must be positive".to_string());
+                    }
+                    Some(t)
+                }
+                None => None,
+            };
+            let format = match get("format") {
+                Some(f) => parse_format(&f)?,
+                None => OutputFormat::Table,
+            };
+            Ok(Command::Sweep { dims, patterns, dataflows, seed, threads, format })
+        }
         other => Err(format!("unknown command `{other}`\n{USAGE}")),
     }
 }
@@ -115,7 +207,8 @@ const USAGE: &str = "usage:
   indexmac-cli config
   indexmac-cli gemm --rows R --inner K --cols N [--pattern N:M] [--algorithm dense|rowwise|indexmac|scalar] [--unroll U] [--tile-rows L]
   indexmac-cli layer --model M --name NAME [--pattern N:M]
-  indexmac-cli list --model M";
+  indexmac-cli list --model M
+  indexmac-cli sweep --dims RxKxN[,RxKxN...] [--patterns N:M[,N:M...]] [--dataflows a|b|c|all] [--seed S] [--threads T] [--format table|json|json-pretty]";
 
 fn print_comparison(dims: GemmDims, pattern: NmPattern, cfg: &ExperimentConfig) -> Result<(), String> {
     let cmp = compare_gemm(dims, pattern, cfg).map_err(|e| e.to_string())?;
@@ -175,6 +268,61 @@ fn run(cmd: Command) -> Result<(), String> {
         Command::List { model } => {
             let m = model_by_name(&model)?;
             println!("{m}");
+            Ok(())
+        }
+        Command::Sweep { dims, patterns, dataflows, seed, threads, format } => {
+            let cfg = ExperimentConfig::paper();
+            let mut grid = SweepGrid::new(patterns, dims).with_dataflows(dataflows);
+            if let Some(seed) = seed {
+                grid = grid.with_base_seed(seed);
+            }
+            let result = match threads {
+                Some(n) => rayon::ThreadPoolBuilder::new()
+                    .num_threads(n)
+                    .build()
+                    .map_err(|e| e.to_string())?
+                    .install(|| run_grid(&grid, &cfg)),
+                None => run_grid(&grid, &cfg),
+            }
+            .map_err(|e| e.to_string())?;
+            match format {
+                OutputFormat::Json => println!("{}", result.to_json()),
+                OutputFormat::JsonPretty => println!("{}", result.to_json_pretty()),
+                OutputFormat::Table => {
+                    let mut table = Table::new(vec![
+                        "GEMM (RxKxN)",
+                        "pattern",
+                        "dataflow",
+                        "seed",
+                        "speedup",
+                        "normalized mem accesses",
+                    ]);
+                    for cell in &result.cells {
+                        let d = cell.cell.dims;
+                        table.row(vec![
+                            format!("{}x{}x{}", d.rows, d.inner, d.cols),
+                            cell.cell.pattern.to_string(),
+                            cell.cell.dataflow.to_string(),
+                            format!("{:#x}", cell.cell.seed),
+                            fmt_speedup(cell.speedup()),
+                            fmt_pct(cell.mem_ratio()),
+                        ]);
+                    }
+                    print!("{}", table.render());
+                    if let (Some((lo, hi)), Some(geo)) =
+                        (result.speedup_range(), result.geomean_speedup())
+                    {
+                        println!(
+                            "{} cells on {} threads | speedup range {}-{} | geomean {}",
+                            result.cells.len(),
+                            result.threads,
+                            fmt_speedup(lo),
+                            fmt_speedup(hi),
+                            fmt_speedup(geo),
+                        );
+                    }
+                }
+            }
             Ok(())
         }
     }
@@ -246,6 +394,66 @@ mod tests {
         assert!(parse_pattern("9:4").is_err());
         assert!(parse_algorithm("gpu").is_err());
         assert!(model_by_name("vgg").is_err());
+    }
+
+    #[test]
+    fn parse_sweep_defaults_and_overrides() {
+        let c = parse(&argv("sweep --dims 8x32x16")).unwrap();
+        assert_eq!(
+            c,
+            Command::Sweep {
+                dims: vec![GemmDims { rows: 8, inner: 32, cols: 16 }],
+                patterns: vec![NmPattern::P1_4, NmPattern::P2_4],
+                dataflows: vec![Dataflow::BStationary],
+                seed: None,
+                threads: None,
+                format: OutputFormat::Table,
+            }
+        );
+        let c = parse(&argv(
+            "sweep --dims 8x32x16,16x64x32 --patterns 1:4 --dataflows all --seed 7 --threads 2 --format json",
+        ))
+        .unwrap();
+        assert_eq!(
+            c,
+            Command::Sweep {
+                dims: vec![
+                    GemmDims { rows: 8, inner: 32, cols: 16 },
+                    GemmDims { rows: 16, inner: 64, cols: 32 },
+                ],
+                patterns: vec![NmPattern::P1_4],
+                dataflows: Dataflow::ALL.to_vec(),
+                seed: Some(7),
+                threads: Some(2),
+                format: OutputFormat::Json,
+            }
+        );
+    }
+
+    #[test]
+    fn parse_sweep_errors() {
+        assert!(parse(&argv("sweep")).unwrap_err().contains("requires --dims"));
+        assert!(parse(&argv("sweep --dims 8x32")).unwrap_err().contains("RxKxN"));
+        assert!(parse(&argv("sweep --dims 0x32x16")).unwrap_err().contains("RxKxN"));
+        assert!(parse(&argv("sweep --dims 8x32x16 --dataflows d")).unwrap_err().contains("dataflow"));
+        assert!(parse(&argv("sweep --dims 8x32x16 --format csv")).unwrap_err().contains("format"));
+        assert!(parse(&argv("sweep --dims 8x32x16 --threads 0")).unwrap_err().contains("positive"));
+        assert!(parse(&argv("sweep --dims 8x32x16 --seed x")).unwrap_err().contains("integer"));
+    }
+
+    #[test]
+    fn run_small_sweep_all_formats() {
+        for format in [OutputFormat::Table, OutputFormat::Json, OutputFormat::JsonPretty] {
+            run(Command::Sweep {
+                dims: vec![GemmDims { rows: 4, inner: 16, cols: 8 }],
+                patterns: vec![NmPattern::P1_4],
+                dataflows: vec![Dataflow::BStationary],
+                seed: Some(3),
+                threads: Some(2),
+                format,
+            })
+            .unwrap();
+        }
     }
 
     #[test]

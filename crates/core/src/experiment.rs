@@ -77,7 +77,7 @@ impl Default for ExperimentConfig {
 }
 
 /// Result of simulating one kernel on one (possibly capped) GEMM.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LayerResult {
     /// The kernel simulated.
     pub algorithm: Algorithm,
@@ -171,7 +171,7 @@ pub fn run_gemm(
 }
 
 /// Baseline-vs-proposed comparison on one GEMM shape.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GemmComparison {
     /// `Row-Wise-SpMM` measurements.
     pub baseline: LayerResult,

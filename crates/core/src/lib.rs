@@ -12,6 +12,8 @@
 //!
 //! * [`experiment`] — run one (layer, sparsity, algorithm) simulation,
 //!   or a whole CNN comparison (Fig. 4/5/6 building blocks);
+//! * [`sweep`] — fan comparisons out over (pattern × dims × dataflow)
+//!   grids on a rayon thread pool, with deterministic per-cell seeds;
 //! * [`table`] — plain-text table rendering used by the bench harnesses.
 //!
 //! # Quickstart
@@ -33,6 +35,7 @@
 
 pub mod analysis;
 pub mod experiment;
+pub mod sweep;
 pub mod table;
 
 pub use analysis::{analyze, Bottleneck, BoundKind};
@@ -40,6 +43,7 @@ pub use experiment::{
     compare_gemm, compare_layer, compare_model, run_gemm, Algorithm, ExperimentConfig,
     GemmComparison, LayerResult, ModelComparison,
 };
+pub use sweep::{run_grid, SweepCell, SweepGrid, SweepResult};
 
 pub use indexmac_cnn as cnn;
 pub use indexmac_isa as isa;

@@ -1,0 +1,472 @@
+//! Parallel experiment sweeps: fan [`compare_gemm`]-style comparisons
+//! out over a (pattern × dims × dataflow) grid on a rayon thread pool.
+//!
+//! Every figure of the paper is a loop of independent simulations, and
+//! the follow-up evaluations (arXiv:2501.10189, arXiv:2305.05559) are
+//! sweep-heavy in exactly the same way. This module is the batching
+//! substrate for all of them:
+//!
+//! * a [`SweepGrid`] names the cartesian product to cover and derives a
+//!   **deterministic per-cell seed** from its `base_seed`, so a sweep's
+//!   operands do not depend on scheduling, thread count or cell order;
+//! * [`run_cells`] / [`run_grid`] execute cells in parallel (with
+//!   [`run_grid_serial`] as the reference implementation — same seeds
+//!   in, same reports out);
+//! * [`SweepResult`] serializes to JSON through the workspace's `serde`
+//!   shim for downstream tooling.
+//!
+//! ```
+//! use indexmac::experiment::ExperimentConfig;
+//! use indexmac::kernels::GemmDims;
+//! use indexmac::sparse::NmPattern;
+//! use indexmac::sweep::{run_grid, SweepGrid};
+//!
+//! let grid = SweepGrid::new(
+//!     vec![NmPattern::P1_4, NmPattern::P2_4],
+//!     vec![GemmDims { rows: 8, inner: 64, cols: 32 }],
+//! );
+//! let result = run_grid(&grid, &ExperimentConfig::fast())?;
+//! assert_eq!(result.cells.len(), 2);
+//! assert!(result.cells.iter().all(|c| c.speedup() > 1.0));
+//! # Ok::<(), indexmac::experiment::ExperimentError>(())
+//! ```
+
+use crate::experiment::{compare_gemm, ExperimentConfig, ExperimentError, GemmComparison};
+use indexmac_kernels::{Dataflow, GemmDims};
+use indexmac_sparse::NmPattern;
+use rayon::prelude::*;
+use serde::{Serialize, Value};
+
+/// One point of a sweep: a fully specified comparison run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepCell {
+    /// Uncapped GEMM shape (the configured caps still apply).
+    pub dims: GemmDims,
+    /// Structured-sparsity pattern of A.
+    pub pattern: NmPattern,
+    /// Loop order of the Row-Wise-SpMM baseline.
+    pub dataflow: Dataflow,
+    /// Seed for operand generation in this cell.
+    pub seed: u64,
+}
+
+/// A cartesian (pattern × dims × dataflow) product with deterministic
+/// per-cell seeds.
+#[derive(Debug, Clone)]
+pub struct SweepGrid {
+    /// Sparsity patterns to sweep.
+    pub patterns: Vec<NmPattern>,
+    /// GEMM shapes to sweep.
+    pub dims: Vec<GemmDims>,
+    /// Baseline dataflows to sweep (defaults to B-stationary only,
+    /// the paper's choice).
+    pub dataflows: Vec<Dataflow>,
+    /// Root seed every per-cell seed derives from.
+    pub base_seed: u64,
+}
+
+/// SplitMix64 finalizer: decorrelates structured coordinate values into
+/// independent-looking seeds.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl SweepGrid {
+    /// A grid over `patterns` × `dims` with the default B-stationary
+    /// dataflow and the paper's default seed.
+    pub fn new(patterns: Vec<NmPattern>, dims: Vec<GemmDims>) -> Self {
+        Self {
+            patterns,
+            dims,
+            dataflows: vec![Dataflow::BStationary],
+            base_seed: ExperimentConfig::paper().seed,
+        }
+    }
+
+    /// Replaces the dataflow axis (e.g. [`Dataflow::ALL`] for the
+    /// Section IV-A ablation).
+    #[must_use]
+    pub fn with_dataflows(mut self, dataflows: Vec<Dataflow>) -> Self {
+        self.dataflows = dataflows;
+        self
+    }
+
+    /// Replaces the root seed.
+    #[must_use]
+    pub fn with_base_seed(mut self, base_seed: u64) -> Self {
+        self.base_seed = base_seed;
+        self
+    }
+
+    /// Number of cells in the product.
+    pub fn len(&self) -> usize {
+        self.patterns.len() * self.dims.len() * self.dataflows.len()
+    }
+
+    /// Whether any axis is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Materialises the product in deterministic order
+    /// (pattern-major, then dims, then dataflow), deriving each cell's
+    /// seed from `base_seed` and the cell's coordinates — independent
+    /// of scheduling and stable under re-runs.
+    pub fn cells(&self) -> Vec<SweepCell> {
+        let mut cells = Vec::with_capacity(self.len());
+        for (pi, &pattern) in self.patterns.iter().enumerate() {
+            for (di, &dims) in self.dims.iter().enumerate() {
+                for (fi, &dataflow) in self.dataflows.iter().enumerate() {
+                    let coord = ((pi as u64) << 42) | ((di as u64) << 21) | fi as u64;
+                    cells.push(SweepCell {
+                        dims,
+                        pattern,
+                        dataflow,
+                        seed: mix(self.base_seed ^ mix(coord)),
+                    });
+                }
+            }
+        }
+        cells
+    }
+}
+
+/// Result of one sweep cell: the cell's coordinates plus the full
+/// baseline/proposed comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellResult {
+    /// The cell that produced this result.
+    pub cell: SweepCell,
+    /// The GEMM shape actually simulated (after caps).
+    pub capped: GemmDims,
+    /// Full measurements of both kernels.
+    pub comparison: GemmComparison,
+}
+
+impl CellResult {
+    /// Baseline cycles / proposed cycles (Fig. 4/5 metric).
+    pub fn speedup(&self) -> f64 {
+        self.comparison.speedup()
+    }
+
+    /// Proposed memory accesses / baseline's (Fig. 6 metric).
+    pub fn mem_ratio(&self) -> f64 {
+        self.comparison.mem_ratio()
+    }
+}
+
+impl Serialize for SweepCell {
+    fn to_value(&self) -> Value {
+        Value::object([
+            ("rows", self.dims.rows.to_value()),
+            ("inner", self.dims.inner.to_value()),
+            ("cols", self.dims.cols.to_value()),
+            ("pattern", self.pattern.to_string().to_value()),
+            ("dataflow", self.dataflow.to_string().to_value()),
+            ("seed", self.seed.to_value()),
+        ])
+    }
+}
+
+impl Serialize for CellResult {
+    fn to_value(&self) -> Value {
+        let base = &self.comparison.baseline.report;
+        let prop = &self.comparison.proposed.report;
+        Value::object([
+            ("cell", self.cell.to_value()),
+            (
+                "capped",
+                Value::object([
+                    ("rows", self.capped.rows.to_value()),
+                    ("inner", self.capped.inner.to_value()),
+                    ("cols", self.capped.cols.to_value()),
+                ]),
+            ),
+            ("baseline_cycles", base.cycles.to_value()),
+            ("proposed_cycles", prop.cycles.to_value()),
+            ("baseline_mem_accesses", base.mem.total_accesses().to_value()),
+            ("proposed_mem_accesses", prop.mem.total_accesses().to_value()),
+            ("speedup", self.speedup().to_value()),
+            ("mem_ratio", self.mem_ratio().to_value()),
+        ])
+    }
+}
+
+/// A completed sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepResult {
+    /// Root seed the per-cell seeds derived from.
+    pub base_seed: u64,
+    /// Thread count the parallel runner observed (1 for the serial
+    /// reference runner).
+    pub threads: usize,
+    /// Per-cell results, in [`SweepGrid::cells`] order.
+    pub cells: Vec<CellResult>,
+}
+
+impl SweepResult {
+    /// `(min, max)` speedup across cells, or `None` for empty sweeps.
+    pub fn speedup_range(&self) -> Option<(f64, f64)> {
+        let mut it = self.cells.iter().map(CellResult::speedup);
+        let first = it.next()?;
+        Some(it.fold((first, first), |(lo, hi), s| (lo.min(s), hi.max(s))))
+    }
+
+    /// Geometric-mean speedup across cells (the usual cross-shape
+    /// summary), or `None` for empty sweeps.
+    pub fn geomean_speedup(&self) -> Option<f64> {
+        if self.cells.is_empty() {
+            return None;
+        }
+        let log_sum: f64 = self.cells.iter().map(|c| c.speedup().ln()).sum();
+        Some((log_sum / self.cells.len() as f64).exp())
+    }
+
+    /// Compact JSON rendering.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("shim serialization is total")
+    }
+
+    /// Pretty-printed JSON rendering.
+    pub fn to_json_pretty(&self) -> String {
+        serde_json::to_string_pretty(self).expect("shim serialization is total")
+    }
+}
+
+impl Serialize for SweepResult {
+    fn to_value(&self) -> Value {
+        Value::object([
+            ("base_seed", self.base_seed.to_value()),
+            ("threads", self.threads.to_value()),
+            ("geomean_speedup", self.geomean_speedup().to_value()),
+            ("cells", self.cells.to_value()),
+        ])
+    }
+}
+
+/// Runs one cell: [`compare_gemm`] with the cell's seed and dataflow
+/// overriding the campaign configuration.
+///
+/// # Errors
+///
+/// See [`compare_gemm`].
+pub fn run_cell(cell: SweepCell, cfg: &ExperimentConfig) -> Result<CellResult, ExperimentError> {
+    let cell_cfg = ExperimentConfig {
+        seed: cell.seed,
+        params: indexmac_kernels::KernelParams { dataflow: cell.dataflow, ..cfg.params },
+        ..*cfg
+    };
+    let comparison = compare_gemm(cell.dims, cell.pattern, &cell_cfg)?;
+    Ok(CellResult { cell, capped: cfg.caps.apply(cell.dims), comparison })
+}
+
+/// Runs `cells` in parallel on the current rayon thread pool,
+/// preserving input order. Wrap the call in
+/// `rayon::ThreadPoolBuilder::new().num_threads(n).build()?.install(..)`
+/// to bound the parallelism.
+///
+/// # Errors
+///
+/// Fails with the first cell error in input order (every cell is still
+/// executed — the grid is fanned out before errors are collected).
+pub fn run_cells(
+    cells: Vec<SweepCell>,
+    cfg: &ExperimentConfig,
+) -> Result<Vec<CellResult>, ExperimentError> {
+    cells
+        .into_par_iter()
+        .map(|cell| run_cell(cell, cfg))
+        .collect::<Vec<_>>()
+        .into_iter()
+        .collect()
+}
+
+/// Runs the whole grid in parallel.
+///
+/// # Errors
+///
+/// See [`run_cells`].
+pub fn run_grid(grid: &SweepGrid, cfg: &ExperimentConfig) -> Result<SweepResult, ExperimentError> {
+    let cells = run_cells(grid.cells(), cfg)?;
+    Ok(SweepResult {
+        base_seed: grid.base_seed,
+        threads: rayon::current_num_threads(),
+        cells,
+    })
+}
+
+/// Serial reference implementation of [`run_grid`]: a plain
+/// [`compare_gemm`] loop. Same seeds ⇒ same reports; the unit tests
+/// assert the two runners agree cell-for-cell.
+///
+/// # Errors
+///
+/// See [`run_cells`].
+pub fn run_grid_serial(
+    grid: &SweepGrid,
+    cfg: &ExperimentConfig,
+) -> Result<SweepResult, ExperimentError> {
+    let mut cells = Vec::with_capacity(grid.len());
+    for cell in grid.cells() {
+        cells.push(run_cell(cell, cfg)?);
+    }
+    Ok(SweepResult { base_seed: grid.base_seed, threads: 1, cells })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::Mutex;
+
+    fn small_grid() -> SweepGrid {
+        SweepGrid::new(
+            vec![NmPattern::P1_4, NmPattern::P2_4],
+            vec![
+                GemmDims { rows: 4, inner: 32, cols: 16 },
+                GemmDims { rows: 8, inner: 64, cols: 32 },
+            ],
+        )
+    }
+
+    fn fast_cfg() -> ExperimentConfig {
+        ExperimentConfig::fast()
+    }
+
+    #[test]
+    fn grid_product_order_and_seeds_are_deterministic() {
+        let grid = small_grid().with_dataflows(Dataflow::ALL.to_vec());
+        let cells = grid.cells();
+        assert_eq!(cells.len(), 2 * 2 * 3);
+        assert_eq!(cells, grid.cells(), "cells() must be reproducible");
+        let seeds: HashSet<u64> = cells.iter().map(|c| c.seed).collect();
+        assert_eq!(seeds.len(), cells.len(), "per-cell seeds must be distinct");
+        // Pattern-major order: the first dataflow-count × dims-count
+        // cells all use the first pattern.
+        assert!(cells[..6].iter().all(|c| c.pattern == NmPattern::P1_4));
+    }
+
+    #[test]
+    fn different_base_seeds_give_different_cell_seeds() {
+        let a = small_grid().with_base_seed(1).cells();
+        let b = small_grid().with_base_seed(2).cells();
+        assert!(a.iter().zip(&b).all(|(x, y)| x.seed != y.seed));
+    }
+
+    #[test]
+    fn parallel_equals_serial_reference() {
+        let grid = small_grid();
+        let cfg = fast_cfg();
+        let par = run_grid(&grid, &cfg).unwrap();
+        let ser = run_grid_serial(&grid, &cfg).unwrap();
+        assert_eq!(par.cells, ser.cells, "parallel runner must match the serial loop");
+    }
+
+    #[test]
+    fn parallel_equals_manual_compare_gemm_loop() {
+        // The acceptance criterion verbatim: same seeds ⇒ the same
+        // reports as a hand-written serial compare_gemm loop.
+        let grid = small_grid();
+        let cfg = fast_cfg();
+        let par = run_grid(&grid, &cfg).unwrap();
+        for (result, cell) in par.cells.iter().zip(grid.cells()) {
+            let cell_cfg = ExperimentConfig { seed: cell.seed, ..cfg };
+            let manual = compare_gemm(cell.dims, cell.pattern, &cell_cfg).unwrap();
+            assert_eq!(result.comparison.baseline.report, manual.baseline.report);
+            assert_eq!(result.comparison.proposed.report, manual.proposed.report);
+        }
+    }
+
+    #[test]
+    fn results_are_identical_across_thread_pool_sizes() {
+        let grid = small_grid();
+        let cfg = fast_cfg();
+        let mut runs = Vec::new();
+        for threads in [1usize, 2, 4] {
+            let pool = rayon::ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
+            let result = pool.install(|| run_grid(&grid, &cfg)).unwrap();
+            assert_eq!(result.threads, threads);
+            runs.push(result.cells);
+        }
+        assert_eq!(runs[0], runs[1]);
+        assert_eq!(runs[1], runs[2]);
+    }
+
+    #[test]
+    fn sweep_actually_runs_on_multiple_threads() {
+        let grid = SweepGrid::new(
+            vec![NmPattern::P1_4],
+            (1..=8).map(|r| GemmDims { rows: r, inner: 32, cols: 16 }).collect(),
+        );
+        let cfg = fast_cfg();
+        let seen = Mutex::new(HashSet::new());
+        let pool = rayon::ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let results: Vec<_> = pool.install(|| {
+            grid.cells()
+                .into_par_iter()
+                .map(|cell| {
+                    seen.lock().unwrap().insert(std::thread::current().id());
+                    run_cell(cell, &cfg).unwrap()
+                })
+                .collect()
+        });
+        assert_eq!(results.len(), 8);
+        assert!(
+            seen.into_inner().unwrap().len() > 1,
+            "grid cells should spread across worker threads"
+        );
+    }
+
+    #[test]
+    fn dataflow_axis_reaches_the_baseline_kernel() {
+        // A- vs B-stationary must change the baseline measurements
+        // (same operands, different loop order).
+        let dims = GemmDims { rows: 8, inner: 64, cols: 32 };
+        let grid = SweepGrid::new(vec![NmPattern::P1_4], vec![dims])
+            .with_dataflows(vec![Dataflow::AStationary, Dataflow::BStationary]);
+        let result = run_grid(&grid, &fast_cfg()).unwrap();
+        let by_flow: Vec<u64> =
+            result.cells.iter().map(|c| c.comparison.baseline.report.cycles).collect();
+        assert_eq!(by_flow.len(), 2);
+        // Seeds differ per cell, so compare against a same-seed rerun
+        // rather than across cells: pin the seed and flip only dataflow.
+        let mut cells = grid.cells();
+        for c in &mut cells {
+            c.seed = 7;
+        }
+        let pinned = run_cells(cells, &fast_cfg()).unwrap();
+        assert_ne!(
+            pinned[0].comparison.baseline.report.cycles,
+            pinned[1].comparison.baseline.report.cycles,
+            "dataflow override must reach the baseline kernel"
+        );
+    }
+
+    #[test]
+    fn json_round_through_shim_contains_cells() {
+        let grid = SweepGrid::new(
+            vec![NmPattern::P1_4],
+            vec![GemmDims { rows: 4, inner: 32, cols: 16 }],
+        );
+        let result = run_grid(&grid, &fast_cfg()).unwrap();
+        let json = result.to_json();
+        assert!(json.contains("\"cells\""));
+        assert!(json.contains("\"speedup\""));
+        assert!(json.contains("\"pattern\":\"1:4\""), "json was: {json}");
+        let pretty = result.to_json_pretty();
+        assert!(pretty.contains("\n  \"cells\""));
+    }
+
+    #[test]
+    fn empty_grid_is_empty_not_an_error() {
+        let grid = SweepGrid::new(vec![], vec![GemmDims { rows: 4, inner: 32, cols: 16 }]);
+        assert!(grid.is_empty());
+        let result = run_grid(&grid, &fast_cfg()).unwrap();
+        assert!(result.cells.is_empty());
+        assert_eq!(result.speedup_range(), None);
+        assert_eq!(result.geomean_speedup(), None);
+    }
+}

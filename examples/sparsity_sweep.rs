@@ -6,9 +6,10 @@
 //! cargo run --release --example sparsity_sweep
 //! ```
 
-use indexmac::experiment::{compare_gemm, run_gemm, Algorithm, ExperimentConfig};
-use indexmac::kernels::GemmDims;
+use indexmac::experiment::{run_gemm, Algorithm, ExperimentConfig};
+use indexmac::kernels::{Dataflow, GemmDims};
 use indexmac::sparse::NmPattern;
+use indexmac::sweep::{run_cells, SweepCell};
 use indexmac::table::{fmt_pct, fmt_speedup, Table};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -23,6 +24,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let dense = run_gemm(dims, NmPattern::P1_4, Algorithm::Dense, &cfg)?;
     println!("dense row-wise baseline (Algorithm 1): {} cycles\n", dense.report.cycles);
 
+    // Fan the whole template family out in parallel; pin every cell to
+    // the campaign seed so the rows match a serial compare_gemm loop.
+    let patterns = [(1usize, 2usize), (1, 4), (2, 4), (1, 8), (2, 8), (4, 8)]
+        .into_iter()
+        .map(|(n, m)| NmPattern::new(n, m))
+        .collect::<Result<Vec<_>, _>>()?;
+    let cells = patterns
+        .iter()
+        .map(|&pattern| SweepCell {
+            dims,
+            pattern,
+            dataflow: Dataflow::BStationary,
+            seed: cfg.seed,
+        })
+        .collect();
+    let result = run_cells(cells, &cfg)?;
+
     let mut table = Table::new(vec![
         "N:M",
         "density",
@@ -30,14 +48,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "normalized mem accesses",
         "cycles vs dense",
     ]);
-    for (n, m) in [(1usize, 2usize), (1, 4), (2, 4), (1, 8), (2, 8), (4, 8)] {
-        let pattern = NmPattern::new(n, m)?;
-        let cmp = compare_gemm(dims, pattern, &cfg)?;
+    for cell in &result {
+        let cmp = &cell.comparison;
         table.row(vec![
-            pattern.to_string(),
-            fmt_pct(pattern.density()),
-            fmt_speedup(cmp.speedup()),
-            fmt_pct(cmp.mem_ratio()),
+            cell.cell.pattern.to_string(),
+            fmt_pct(cell.cell.pattern.density()),
+            fmt_speedup(cell.speedup()),
+            fmt_pct(cell.mem_ratio()),
             fmt_speedup(dense.report.cycles as f64 / cmp.proposed.report.cycles as f64),
         ]);
     }

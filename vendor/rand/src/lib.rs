@@ -1,0 +1,172 @@
+//! Offline shim of the small part of the `rand` API this workspace uses.
+//!
+//! The build environment has no crates.io access, so this path crate
+//! stands in for the real `rand`. It provides a seedable, deterministic
+//! generator (`rngs::StdRng`) plus `SeedableRng` / `RngExt` with
+//! `random_range` over the primitive ranges the workspace samples.
+//!
+//! The generator is xoshiro256++ seeded through SplitMix64 — the same
+//! construction the real `rand` documents for reproducible streams. It
+//! is **not** cryptographically secure and is only meant for seeded
+//! experiment data.
+
+#![warn(missing_docs)]
+
+use std::ops::Range;
+
+/// Constructors taking a seed; mirrors `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a single `u64` seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Core entropy source; mirrors the `rand::RngCore` surface we need.
+pub trait RngCore {
+    /// The next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Types that can be drawn uniformly from a half-open range.
+pub trait SampleUniform: Sized + PartialOrd + Copy {
+    /// A uniform sample in `[lo, hi)`.
+    fn sample_uniform<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty => $wide:ty),* $(,)?) => {$(
+        impl SampleUniform for $t {
+            fn sample_uniform<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                let span = (hi as $wide).wrapping_sub(lo as $wide) as u64;
+                debug_assert!(span > 0, "empty range");
+                // Multiply-shift bounded sampling (Lemire); the bias for
+                // the tiny spans used in tests/experiments is negligible
+                // and determinism is all that matters here.
+                let hi128 = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                ((lo as $wide).wrapping_add(hi128 as $wide)) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(
+    u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+    i8 => i64, i16 => i64, i32 => i64, i64 => i64, isize => i64,
+);
+
+impl SampleUniform for f32 {
+    fn sample_uniform<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        // 24 mantissa bits -> uniform in [0, 1).
+        let unit = (rng.next_u64() >> 40) as f32 / (1u64 << 24) as f32;
+        lo + (hi - lo) * unit
+    }
+}
+
+impl SampleUniform for f64 {
+    fn sample_uniform<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        // 53 mantissa bits -> uniform in [0, 1).
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        lo + (hi - lo) * unit
+    }
+}
+
+/// Convenience sampling methods; mirrors the `rand::Rng` extension
+/// trait (named `RngExt` to match this workspace's imports).
+pub trait RngExt: RngCore {
+    /// A uniform sample from the half-open range `lo..hi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn random_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        assert!(range.start < range.end, "cannot sample an empty range");
+        T::sample_uniform(self, range.start, range.end)
+    }
+
+    /// A uniformly distributed `bool`.
+    fn random_bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
+
+impl<R: RngCore + ?Sized> RngExt for R {}
+
+/// Concrete generators; mirrors `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256++ generator seeded via SplitMix64.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, as recommended by the xoshiro authors.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            Self { s: [next(), next(), next(), next()] }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0]
+                .wrapping_add(s[3])
+                .rotate_left(23)
+                .wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.random_range(0u64..1_000_000), b.random_range(0u64..1_000_000));
+        }
+    }
+
+    #[test]
+    fn ranges_are_respected() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let f = r.random_range(-1.0_f32..1.0);
+            assert!((-1.0..1.0).contains(&f));
+            let u = r.random_range(3usize..17);
+            assert!((3..17).contains(&u));
+            let i = r.random_range(-100i32..100);
+            assert!((-100..100).contains(&i));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let va: Vec<u64> = (0..8).map(|_| a.random_range(0u64..u64::MAX - 1)).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.random_range(0u64..u64::MAX - 1)).collect();
+        assert_ne!(va, vb);
+    }
+}

@@ -1,0 +1,293 @@
+//! Offline shim of the part of the `rayon` API this workspace uses.
+//!
+//! The build environment has no crates.io access, so this path crate
+//! stands in for the real `rayon`. Parallelism is real: terminal
+//! operations split the work into one contiguous chunk per thread and
+//! run the chunks on `std::thread::scope` threads, preserving input
+//! order in the output. What is *not* reproduced is rayon's
+//! work-stealing scheduler — chunks are static, which is fine for the
+//! uniform-cost grids this workspace fans out.
+
+#![warn(missing_docs)]
+
+use std::cell::Cell;
+
+thread_local! {
+    static INSTALLED_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+fn default_num_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Threads terminal operations will use: the innermost installed pool
+/// size, or the machine's available parallelism.
+pub fn current_num_threads() -> usize {
+    INSTALLED_THREADS.with(|c| c.get()).unwrap_or_else(default_num_threads)
+}
+
+/// Error from [`ThreadPoolBuilder::build`]; the shim never fails.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool construction failed")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// A builder with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Caps the pool at `n` threads (0 means the default).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = if n == 0 { None } else { Some(n) };
+        self
+    }
+
+    /// Builds the pool. Never fails in the shim.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool { num_threads: self.num_threads.unwrap_or_else(default_num_threads) })
+    }
+}
+
+/// A scoped thread-count override mirroring `rayon::ThreadPool`.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `op` with this pool's thread count governing any parallel
+    /// iterators it executes.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        let prev = INSTALLED_THREADS.with(|c| c.replace(Some(self.num_threads)));
+        let result = op();
+        INSTALLED_THREADS.with(|c| c.set(prev));
+        result
+    }
+
+    /// The pool's thread count.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+pub mod iter {
+    //! Parallel iterator traits and adaptors.
+
+    use super::current_num_threads;
+
+    /// Types convertible into a parallel iterator by value.
+    pub trait IntoParallelIterator {
+        /// Element type.
+        type Item: Send;
+        /// Iterator type.
+        type Iter: ParallelIterator<Item = Self::Item>;
+        /// Converts into a parallel iterator.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    /// Types whose references iterate in parallel (`.par_iter()`).
+    pub trait IntoParallelRefIterator<'a> {
+        /// Element type (a reference).
+        type Item: Send + 'a;
+        /// Iterator type.
+        type Iter: ParallelIterator<Item = Self::Item>;
+        /// Parallel iterator over references.
+        fn par_iter(&'a self) -> Self::Iter;
+    }
+
+    impl<T: Send> IntoParallelIterator for Vec<T> {
+        type Item = T;
+        type Iter = ParVec<T>;
+        fn into_par_iter(self) -> ParVec<T> {
+            ParVec(self)
+        }
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+        type Item = &'a T;
+        type Iter = ParVec<&'a T>;
+        fn par_iter(&'a self) -> ParVec<&'a T> {
+            ParVec(self.iter().collect())
+        }
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+        type Item = &'a T;
+        type Iter = ParVec<&'a T>;
+        fn par_iter(&'a self) -> ParVec<&'a T> {
+            self.as_slice().par_iter()
+        }
+    }
+
+    impl IntoParallelIterator for std::ops::Range<usize> {
+        type Item = usize;
+        type Iter = ParVec<usize>;
+        fn into_par_iter(self) -> ParVec<usize> {
+            ParVec(self.collect())
+        }
+    }
+
+    /// A parallel pipeline ending in a terminal operation.
+    pub trait ParallelIterator: Sized {
+        /// Element type.
+        type Item: Send;
+
+        /// Materialises the pipeline, running stages in parallel.
+        fn drive(self) -> Vec<Self::Item>;
+
+        /// Maps each element through `f` in parallel.
+        fn map<R, F>(self, f: F) -> ParMap<Self, F>
+        where
+            R: Send,
+            F: Fn(Self::Item) -> R + Sync,
+        {
+            ParMap { base: self, f }
+        }
+
+        /// Collects into any `FromIterator` collection, preserving the
+        /// input order.
+        fn collect<C>(self) -> C
+        where
+            C: FromIterator<Self::Item>,
+        {
+            self.drive().into_iter().collect()
+        }
+
+        /// Runs `f` on every element in parallel.
+        fn for_each<F>(self, f: F)
+        where
+            F: Fn(Self::Item) + Sync,
+        {
+            let _ = self.map(f).drive();
+        }
+
+        /// Parallel sum.
+        fn sum<S>(self) -> S
+        where
+            S: std::iter::Sum<Self::Item>,
+        {
+            self.drive().into_iter().sum()
+        }
+    }
+
+    /// Parallel iterator over an owned vector.
+    pub struct ParVec<T>(Vec<T>);
+
+    impl<T: Send> ParallelIterator for ParVec<T> {
+        type Item = T;
+        fn drive(self) -> Vec<T> {
+            self.0
+        }
+    }
+
+    /// See [`ParallelIterator::map`].
+    pub struct ParMap<I, F> {
+        base: I,
+        f: F,
+    }
+
+    impl<I, R, F> ParallelIterator for ParMap<I, F>
+    where
+        I: ParallelIterator,
+        R: Send,
+        F: Fn(I::Item) -> R + Sync,
+    {
+        type Item = R;
+        fn drive(self) -> Vec<R> {
+            parallel_map(self.base.drive(), &self.f)
+        }
+    }
+
+    /// Order-preserving parallel map: one contiguous chunk per thread.
+    fn parallel_map<T: Send, R: Send, F: Fn(T) -> R + Sync>(items: Vec<T>, f: &F) -> Vec<R> {
+        let threads = current_num_threads().max(1);
+        if threads == 1 || items.len() <= 1 {
+            return items.into_iter().map(f).collect();
+        }
+        let chunk_len = items.len().div_ceil(threads);
+        let mut chunks: Vec<Vec<T>> = Vec::new();
+        let mut rest = items;
+        while rest.len() > chunk_len {
+            let tail = rest.split_off(chunk_len);
+            chunks.push(rest);
+            rest = tail;
+        }
+        chunks.push(rest);
+
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<R>>()))
+                .collect();
+            let mut out = Vec::new();
+            for h in handles {
+                out.extend(h.join().expect("parallel worker panicked"));
+            }
+            out
+        })
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface mirroring `rayon::prelude::*`.
+    pub use crate::iter::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
+
+pub use iter::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use std::collections::HashSet;
+    use std::sync::Mutex;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<u64> = (0..1000).collect();
+        let doubled: Vec<u64> = v.into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn work_actually_spreads_across_threads() {
+        let ids = Mutex::new(HashSet::new());
+        let pool = crate::ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        pool.install(|| {
+            (0..64usize).into_par_iter().for_each(|_| {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+                ids.lock().unwrap().insert(std::thread::current().id());
+            });
+        });
+        assert!(ids.into_inner().unwrap().len() > 1, "expected multiple worker threads");
+    }
+
+    #[test]
+    fn install_scopes_thread_count() {
+        let pool = crate::ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let inside = pool.install(crate::current_num_threads);
+        assert_eq!(inside, 2);
+        assert_ne!(crate::current_num_threads(), 0);
+    }
+
+    #[test]
+    fn par_iter_by_reference() {
+        let v = vec![1u32, 2, 3, 4];
+        let sum: u32 = v.par_iter().map(|x| *x).sum();
+        assert_eq!(sum, 10);
+        assert_eq!(v.len(), 4);
+    }
+}

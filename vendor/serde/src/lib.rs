@@ -1,0 +1,164 @@
+//! Offline shim of the part of the `serde` API this workspace uses.
+//!
+//! The build environment has no crates.io access, so this path crate
+//! stands in for the real `serde`. Instead of the visitor-based
+//! `Serializer` machinery (and the `serde_derive` proc macro, which
+//! cannot be built offline without `syn`/`quote`), serialization goes
+//! through one self-describing [`Value`] tree: types implement
+//! [`Serialize`] by hand via [`Serialize::to_value`], and the
+//! `serde_json` shim renders that tree. Field order is preserved.
+
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+
+/// A self-describing serialized value (the shim's data model).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer.
+    Int(i64),
+    /// An unsigned integer.
+    UInt(u64),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Array(Vec<Value>),
+    /// An ordered map of field name to value.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Builds an object from `(name, value)` pairs, preserving order.
+    pub fn object(fields: impl IntoIterator<Item = (&'static str, Value)>) -> Value {
+        Value::Object(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+}
+
+/// Types that can serialize themselves into a [`Value`] tree.
+///
+/// This replaces `#[derive(Serialize)]`: implement [`Serialize::to_value`]
+/// listing the fields explicitly (see the `sweep` module of the core
+/// crate for examples).
+pub trait Serialize {
+    /// The value tree representing `self`.
+    fn to_value(&self) -> Value;
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+macro_rules! impl_serialize_int {
+    ($($t:ty => $variant:ident as $as:ty),* $(,)?) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::$variant(*self as $as)
+            }
+        }
+    )*};
+}
+
+impl_serialize_int!(
+    u8 => UInt as u64, u16 => UInt as u64, u32 => UInt as u64,
+    u64 => UInt as u64, usize => UInt as u64,
+    i8 => Int as i64, i16 => Int as i64, i32 => Int as i64,
+    i64 => Int as i64, isize => Int as i64,
+);
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self as f64)
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(self.iter().map(|(k, v)| (k.clone(), v.to_value())).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_map_to_expected_variants() {
+        assert_eq!(7u32.to_value(), Value::UInt(7));
+        assert_eq!((-3i64).to_value(), Value::Int(-3));
+        assert_eq!(1.5f64.to_value(), Value::Float(1.5));
+        assert_eq!(true.to_value(), Value::Bool(true));
+        assert_eq!("hi".to_value(), Value::Str("hi".into()));
+        assert_eq!(None::<u8>.to_value(), Value::Null);
+    }
+
+    #[test]
+    fn object_builder_preserves_field_order() {
+        let v = Value::object([("z", Value::Int(1)), ("a", Value::Int(2))]);
+        match v {
+            Value::Object(fields) => {
+                assert_eq!(fields[0].0, "z");
+                assert_eq!(fields[1].0, "a");
+            }
+            other => panic!("expected object, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! Offline shim of the part of the `serde_json` API this workspace
+//! uses: rendering the `serde` shim's [`Value`] tree to JSON text via
+//! [`to_string`] / [`to_string_pretty`] / [`to_value`].
+
+#![warn(missing_docs)]
+
+pub use serde::Value;
+use serde::Serialize;
+use std::fmt::Write as _;
+
+/// Serialization error. The shim's rendering is total, so this is
+/// never produced; it exists so call sites match the real API.
+#[derive(Debug)]
+pub struct Error(String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "JSON serialization failed: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Converts any [`Serialize`] type into its [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Value {
+    value.to_value()
+}
+
+/// Renders `value` as compact JSON.
+///
+/// # Errors
+///
+/// Never fails in the shim; the `Result` mirrors the real API.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    render(&value.to_value(), None, 0, &mut out);
+    Ok(out)
+}
+
+/// Renders `value` as two-space-indented JSON.
+///
+/// # Errors
+///
+/// Never fails in the shim; the `Result` mirrors the real API.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    render(&value.to_value(), Some(2), 0, &mut out);
+    Ok(out)
+}
+
+fn render(v: &Value, indent: Option<usize>, depth: usize, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => {
+            let _ = write!(out, "{i}");
+        }
+        Value::UInt(u) => {
+            let _ = write!(out, "{u}");
+        }
+        Value::Float(f) => render_float(*f, out),
+        Value::Str(s) => render_string(s, out),
+        Value::Array(items) => render_seq(out, indent, depth, ('[', ']'), items.len(), |out, i| {
+            render(&items[i], indent, depth + 1, out)
+        }),
+        Value::Object(fields) => {
+            render_seq(out, indent, depth, ('{', '}'), fields.len(), |out, i| {
+                render_string(&fields[i].0, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                render(&fields[i].1, indent, depth + 1, out);
+            })
+        }
+    }
+}
+
+fn render_seq(
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    brackets: (char, char),
+    len: usize,
+    mut item: impl FnMut(&mut String, usize),
+) {
+    out.push(brackets.0);
+    if len == 0 {
+        out.push(brackets.1);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(w) = indent {
+            out.push('\n');
+            out.extend(std::iter::repeat(' ').take(w * (depth + 1)));
+        }
+        item(out, i);
+    }
+    if let Some(w) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat(' ').take(w * depth));
+    }
+    out.push(brackets.1);
+}
+
+fn render_float(f: f64, out: &mut String) {
+    if f.is_finite() {
+        if f == f.trunc() && f.abs() < 1e15 {
+            // Keep integral floats readable ("2.0" not "2").
+            let _ = write!(out, "{f:.1}");
+        } else {
+            let _ = write!(out, "{f}");
+        }
+    } else {
+        // JSON has no Inf/NaN; real serde_json errors here, the shim
+        // degrades to null.
+        out.push_str("null");
+    }
+}
+
+fn render_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_rendering() {
+        let v = Value::object([
+            ("name", Value::Str("fig4".into())),
+            ("speedup", Value::Float(1.75)),
+            ("cells", Value::Array(vec![Value::UInt(1), Value::UInt(2)])),
+            ("note", Value::Null),
+        ]);
+        assert_eq!(
+            to_string(&v).unwrap(),
+            r#"{"name":"fig4","speedup":1.75,"cells":[1,2],"note":null}"#
+        );
+    }
+
+    #[test]
+    fn pretty_rendering_indents() {
+        let v = Value::object([("a", Value::Array(vec![Value::Int(1)]))]);
+        assert_eq!(to_string_pretty(&v).unwrap(), "{\n  \"a\": [\n    1\n  ]\n}");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(to_string(&"a\"b\\c\nd").unwrap(), r#""a\"b\\c\nd""#);
+    }
+
+    #[test]
+    fn integral_floats_keep_a_decimal_point() {
+        assert_eq!(to_string(&2.0f64).unwrap(), "2.0");
+    }
+}
