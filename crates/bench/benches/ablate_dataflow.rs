@@ -26,7 +26,7 @@ fn main() {
         .map(|name| model.layers.iter().find(|l| l.name == *name).expect("layer exists"))
         .collect();
 
-    for pattern in [NmPattern::P1_4, NmPattern::P2_4] {
+    for pattern in NmPattern::EVALUATED {
         println!("\n{pattern} structured sparsity");
         // One sweep cell per (layer, dataflow), every cell pinned to the
         // campaign seed so operands match across dataflows.

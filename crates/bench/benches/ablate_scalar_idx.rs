@@ -16,7 +16,7 @@ fn main() {
     let model = resnet50();
     let layer = model.layers.iter().find(|l| l.name == "layer2.1.conv2").expect("layer exists");
 
-    for pattern in [NmPattern::P1_4, NmPattern::P2_4] {
+    for pattern in NmPattern::EVALUATED {
         println!("\n{pattern} structured sparsity on {}", layer.name);
         let mut table = Table::new(vec![
             "kernel",

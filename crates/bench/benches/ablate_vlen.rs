@@ -14,7 +14,7 @@ fn main() {
     banner("Ablation: hardware vector length (Table I uses 512-bit)", &base_cfg);
     let model = resnet50();
 
-    for pattern in [NmPattern::P1_4, NmPattern::P2_4] {
+    for pattern in NmPattern::EVALUATED {
         println!("\n{pattern} structured sparsity, ResNet50 totals");
         let mut table =
             Table::new(vec!["VLEN", "vl (e32)", "total speedup", "normalized mem accesses"]);

@@ -23,7 +23,7 @@ fn main() {
         "structured bytes",
         "structured/CSR",
     ]);
-    for pattern in [NmPattern::P1_2, NmPattern::P1_4, NmPattern::P2_4] {
+    for pattern in NmPattern::ALL {
         let s = prune::random_structured(rows, cols, pattern, cfg.seed);
         let csr = CsrMatrix::from_dense(&s.to_dense());
         let dense_bytes = rows * cols * 4;

@@ -14,7 +14,7 @@ fn main() {
     banner("Fig. 4: per-layer speedup on ResNet50 (normalised to Row-Wise-SpMM)", &cfg);
     let model = resnet50();
 
-    for (panel, pattern) in [("(a)", NmPattern::P1_4), ("(b)", NmPattern::P2_4)] {
+    for (panel, pattern) in ["(a)", "(b)"].into_iter().zip(NmPattern::EVALUATED) {
         let mut cache = CachedCompare::new(cfg);
         // Fan the whole layer list through the parallel sweep runner;
         // the serial loop below then prints from cache hits only.

@@ -12,7 +12,7 @@ fn main() {
     let cfg = Profile::from_env().config();
     banner("Fig. 5: total execution-time speedup per CNN (normalised to Row-Wise-SpMM)", &cfg);
 
-    for (panel, pattern) in [("(a)", NmPattern::P1_4), ("(b)", NmPattern::P2_4)] {
+    for (panel, pattern) in ["(a)", "(b)"].into_iter().zip(NmPattern::EVALUATED) {
         // The per-layer range column also checks the paper's remark that
         // the other two CNNs show "similar behavior" to ResNet50's
         // per-layer profile (their Fig. 4 equivalents are omitted there

@@ -13,7 +13,7 @@ fn main() {
     let cfg = Profile::from_env().config();
     banner("Fig. 6: normalized total memory accesses (Row-Wise-SpMM = 100%)", &cfg);
 
-    for (panel, pattern) in [("(a)", NmPattern::P1_4), ("(b)", NmPattern::P2_4)] {
+    for (panel, pattern) in ["(a)", "(b)"].into_iter().zip(NmPattern::EVALUATED) {
         let mut table = Table::new(vec!["CNN", "normalized accesses", "reduction"]);
         let mut sum = 0.0;
         let models = CnnModel::paper_models();

@@ -15,7 +15,7 @@ use indexmac::experiment::{compare_gemm, run_gemm, Algorithm, ExperimentConfig};
 use indexmac::kernels::{Dataflow, GemmDims, KernelParams};
 use indexmac::sparse::NmPattern;
 use indexmac::sweep::{run_grid, SweepGrid};
-use indexmac::table::{fmt_pct, fmt_speedup, Table};
+use indexmac::table::{fmt_pair, fmt_pct, fmt_speedup, Table};
 use indexmac::vpu::SimConfig;
 use indexmac_cnn::{densenet121, inception_v3, resnet50, CnnModel};
 use std::process::ExitCode;
@@ -26,7 +26,14 @@ enum Command {
     /// Print the Table I machine configuration.
     Config,
     /// Run/compare kernels on an explicit GEMM shape.
-    Gemm { dims: GemmDims, pattern: NmPattern, algorithm: Option<Algorithm>, unroll: usize, tile_rows: usize },
+    Gemm {
+        dims: GemmDims,
+        pattern: NmPattern,
+        algorithm: Option<Algorithm>,
+        unroll: usize,
+        tile_rows: usize,
+        lmul: usize,
+    },
     /// Run the comparison on a named CNN layer.
     Layer { model: String, name: String, pattern: NmPattern },
     /// List the conv layers of a model.
@@ -39,6 +46,12 @@ enum Command {
         seed: Option<u64>,
         threads: Option<usize>,
         format: OutputFormat,
+        /// The proposed side of every comparison (default: indexmac).
+        algorithm: Algorithm,
+        /// The baseline side of every comparison (default: rowwise).
+        baseline: Algorithm,
+        /// Register grouping for indexmac2 cells.
+        lmul: usize,
     },
 }
 
@@ -99,8 +112,20 @@ fn parse_algorithm(s: &str) -> Result<Algorithm, String> {
         "dense" => Ok(Algorithm::Dense),
         "rowwise" => Ok(Algorithm::RowWiseSpmm),
         "indexmac" => Ok(Algorithm::IndexMac),
+        "indexmac2" => Ok(Algorithm::IndexMac2),
         "scalar" => Ok(Algorithm::ScalarIndexed),
-        other => Err(format!("unknown algorithm `{other}` (dense|rowwise|indexmac|scalar)")),
+        other => {
+            Err(format!("unknown algorithm `{other}` (dense|rowwise|indexmac|indexmac2|scalar)"))
+        }
+    }
+}
+
+fn parse_lmul(s: &str) -> Result<usize, String> {
+    match s {
+        "1" => Ok(1),
+        "2" => Ok(2),
+        "4" => Ok(4),
+        other => Err(format!("unknown lmul `{other}` (1|2|4)")),
     }
 }
 
@@ -154,6 +179,19 @@ fn parse(args: &[String]) -> Result<Command, String> {
                 },
                 unroll: get_usize("unroll", 4)?,
                 tile_rows: get_usize("tile-rows", 16)?,
+                lmul: {
+                    let lmul = match get("lmul") {
+                        Some(l) => parse_lmul(&l)?,
+                        None => 1,
+                    };
+                    // Only the second-generation kernel understands
+                    // grouping; accepting the flag elsewhere would
+                    // silently benchmark nothing.
+                    if lmul > 1 && get("algorithm").as_deref() != Some("indexmac2") {
+                        return Err("--lmul requires --algorithm indexmac2".to_string());
+                    }
+                    lmul
+                },
             })
         }
         "layer" => Ok(Command::Layer {
@@ -170,7 +208,7 @@ fn parse(args: &[String]) -> Result<Command, String> {
             let dims = parse_list(&dims_spec, parse_dims)?;
             let patterns = match get("patterns") {
                 Some(p) => parse_list(&p, parse_pattern)?,
-                None => vec![NmPattern::P1_4, NmPattern::P2_4],
+                None => NmPattern::EVALUATED.to_vec(),
             };
             let dataflows = match get("dataflows") {
                 Some(f) => parse_dataflows(&f)?,
@@ -197,7 +235,38 @@ fn parse(args: &[String]) -> Result<Command, String> {
                 Some(f) => parse_format(&f)?,
                 None => OutputFormat::Table,
             };
-            Ok(Command::Sweep { dims, patterns, dataflows, seed, threads, format })
+            let algorithm = match get("algorithm") {
+                Some(a) => parse_algorithm(&a)?,
+                None => Algorithm::IndexMac,
+            };
+            let baseline = match get("baseline") {
+                Some(a) => parse_algorithm(&a)?,
+                // Comparing the two vindexmac generations is the whole
+                // point of `--algorithm indexmac2`; default the baseline
+                // to the first generation there, Row-Wise-SpMM otherwise.
+                None if algorithm == Algorithm::IndexMac2 => Algorithm::IndexMac,
+                None => Algorithm::RowWiseSpmm,
+            };
+            let lmul = match get("lmul") {
+                Some(l) => parse_lmul(&l)?,
+                None => 1,
+            };
+            if lmul > 1 && algorithm != Algorithm::IndexMac2 && baseline != Algorithm::IndexMac2 {
+                return Err(
+                    "--lmul requires indexmac2 as --algorithm or --baseline".to_string()
+                );
+            }
+            Ok(Command::Sweep {
+                dims,
+                patterns,
+                dataflows,
+                seed,
+                threads,
+                format,
+                algorithm,
+                baseline,
+                lmul,
+            })
         }
         other => Err(format!("unknown command `{other}`\n{USAGE}")),
     }
@@ -205,15 +274,15 @@ fn parse(args: &[String]) -> Result<Command, String> {
 
 const USAGE: &str = "usage:
   indexmac-cli config
-  indexmac-cli gemm --rows R --inner K --cols N [--pattern N:M] [--algorithm dense|rowwise|indexmac|scalar] [--unroll U] [--tile-rows L]
+  indexmac-cli gemm --rows R --inner K --cols N [--pattern N:M] [--algorithm dense|rowwise|indexmac|indexmac2|scalar] [--unroll U] [--tile-rows L] [--lmul 1|2|4]
   indexmac-cli layer --model M --name NAME [--pattern N:M]
   indexmac-cli list --model M
-  indexmac-cli sweep --dims RxKxN[,RxKxN...] [--patterns N:M[,N:M...]] [--dataflows a|b|c|all] [--seed S] [--threads T] [--format table|json|json-pretty]";
+  indexmac-cli sweep --dims RxKxN[,RxKxN...] [--patterns N:M[,N:M...]] [--dataflows a|b|c|all] [--algorithm A] [--baseline A] [--lmul 1|2|4] [--seed S] [--threads T] [--format table|json|json-pretty]";
 
 fn print_comparison(dims: GemmDims, pattern: NmPattern, cfg: &ExperimentConfig) -> Result<(), String> {
     let cmp = compare_gemm(dims, pattern, cfg).map_err(|e| e.to_string())?;
-    println!("Row-Wise-SpMM : {}", cmp.baseline.report);
-    println!("Proposed      : {}", cmp.proposed.report);
+    println!("{:<13} : {}", cfg.baseline.to_string(), cmp.baseline.report);
+    println!("{:<13} : {}", cfg.proposed.to_string(), cmp.proposed.report);
     println!();
     println!("speedup                 : {:.2}x", cmp.speedup());
     println!("normalized mem accesses : {:.1}%", cmp.mem_ratio() * 100.0);
@@ -234,10 +303,11 @@ fn run(cmd: Command) -> Result<(), String> {
             println!("{}", SimConfig::table_i());
             Ok(())
         }
-        Command::Gemm { dims, pattern, algorithm, unroll, tile_rows } => {
+        Command::Gemm { dims, pattern, algorithm, unroll, tile_rows, lmul } => {
             let cfg = ExperimentConfig {
                 params: KernelParams { unroll, ..Default::default() },
                 tile_rows,
+                lmul,
                 ..ExperimentConfig::paper()
             };
             println!(
@@ -270,8 +340,23 @@ fn run(cmd: Command) -> Result<(), String> {
             println!("{m}");
             Ok(())
         }
-        Command::Sweep { dims, patterns, dataflows, seed, threads, format } => {
-            let cfg = ExperimentConfig::paper();
+        Command::Sweep {
+            dims,
+            patterns,
+            dataflows,
+            seed,
+            threads,
+            format,
+            algorithm,
+            baseline,
+            lmul,
+        } => {
+            let cfg = ExperimentConfig {
+                baseline,
+                proposed: algorithm,
+                lmul,
+                ..ExperimentConfig::paper()
+            };
             let mut grid = SweepGrid::new(patterns, dims).with_dataflows(dataflows);
             if let Some(seed) = seed {
                 grid = grid.with_base_seed(seed);
@@ -289,21 +374,37 @@ fn run(cmd: Command) -> Result<(), String> {
                 OutputFormat::Json => println!("{}", result.to_json()),
                 OutputFormat::JsonPretty => println!("{}", result.to_json_pretty()),
                 OutputFormat::Table => {
+                    println!(
+                        "baseline: {} | proposed: {}{}",
+                        cfg.baseline,
+                        cfg.proposed,
+                        if cfg.proposed == Algorithm::IndexMac2 {
+                            format!(" (lmul {})", cfg.lmul)
+                        } else {
+                            String::new()
+                        }
+                    );
                     let mut table = Table::new(vec![
                         "GEMM (RxKxN)",
                         "pattern",
                         "dataflow",
                         "seed",
+                        "cycles (base -> prop)",
+                        "instret (base -> prop)",
                         "speedup",
                         "normalized mem accesses",
                     ]);
                     for cell in &result.cells {
                         let d = cell.cell.dims;
+                        let base = &cell.comparison.baseline.report;
+                        let prop = &cell.comparison.proposed.report;
                         table.row(vec![
                             format!("{}x{}x{}", d.rows, d.inner, d.cols),
                             cell.cell.pattern.to_string(),
                             cell.cell.dataflow.to_string(),
                             format!("{:#x}", cell.cell.seed),
+                            fmt_pair(base.cycles, prop.cycles),
+                            fmt_pair(base.instructions, prop.instructions),
                             fmt_speedup(cell.speedup()),
                             fmt_pct(cell.mem_ratio()),
                         ]);
@@ -367,18 +468,20 @@ mod tests {
                 algorithm: None,
                 unroll: 4,
                 tile_rows: 16,
+                lmul: 1,
             }
         );
         let c = parse(&argv(
-            "gemm --rows 8 --inner 32 --cols 16 --pattern 1:4 --algorithm indexmac --unroll 2 --tile-rows 8",
+            "gemm --rows 8 --inner 32 --cols 16 --pattern 1:4 --algorithm indexmac2 --unroll 2 --tile-rows 8 --lmul 2",
         ))
         .unwrap();
         match c {
-            Command::Gemm { pattern, algorithm, unroll, tile_rows, .. } => {
+            Command::Gemm { pattern, algorithm, unroll, tile_rows, lmul, .. } => {
                 assert_eq!(pattern, NmPattern::P1_4);
-                assert_eq!(algorithm, Some(Algorithm::IndexMac));
+                assert_eq!(algorithm, Some(Algorithm::IndexMac2));
                 assert_eq!(unroll, 2);
                 assert_eq!(tile_rows, 8);
+                assert_eq!(lmul, 2);
             }
             other => panic!("wrong parse: {other:?}"),
         }
@@ -403,11 +506,14 @@ mod tests {
             c,
             Command::Sweep {
                 dims: vec![GemmDims { rows: 8, inner: 32, cols: 16 }],
-                patterns: vec![NmPattern::P1_4, NmPattern::P2_4],
+                patterns: NmPattern::EVALUATED.to_vec(),
                 dataflows: vec![Dataflow::BStationary],
                 seed: None,
                 threads: None,
                 format: OutputFormat::Table,
+                algorithm: Algorithm::IndexMac,
+                baseline: Algorithm::RowWiseSpmm,
+                lmul: 1,
             }
         );
         let c = parse(&argv(
@@ -426,8 +532,51 @@ mod tests {
                 seed: Some(7),
                 threads: Some(2),
                 format: OutputFormat::Json,
+                algorithm: Algorithm::IndexMac,
+                baseline: Algorithm::RowWiseSpmm,
+                lmul: 1,
             }
         );
+    }
+
+    #[test]
+    fn parse_sweep_second_generation_flags() {
+        // `--algorithm indexmac2` defaults the baseline to the first
+        // generation, so the sweep reports vvi-vs-vx out of the box.
+        let c = parse(&argv("sweep --dims 8x32x16 --algorithm indexmac2 --lmul 2")).unwrap();
+        match c {
+            Command::Sweep { algorithm, baseline, lmul, .. } => {
+                assert_eq!(algorithm, Algorithm::IndexMac2);
+                assert_eq!(baseline, Algorithm::IndexMac);
+                assert_eq!(lmul, 2);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        // An explicit baseline wins.
+        let c = parse(&argv(
+            "sweep --dims 8x32x16 --algorithm indexmac2 --baseline rowwise",
+        ))
+        .unwrap();
+        match c {
+            Command::Sweep { algorithm, baseline, .. } => {
+                assert_eq!(algorithm, Algorithm::IndexMac2);
+                assert_eq!(baseline, Algorithm::RowWiseSpmm);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        assert!(parse(&argv("sweep --dims 8x32x16 --lmul 3")).unwrap_err().contains("lmul"));
+        assert!(parse(&argv("sweep --dims 8x32x16 --algorithm gpu")).unwrap_err().contains("algorithm"));
+        // Grouping without a second-generation side is rejected, not
+        // silently ignored.
+        assert!(parse(&argv("sweep --dims 8x32x16 --lmul 2"))
+            .unwrap_err()
+            .contains("indexmac2"));
+        assert!(parse(&argv("gemm --rows 8 --inner 32 --cols 16 --lmul 2"))
+            .unwrap_err()
+            .contains("indexmac2"));
+        assert!(parse(&argv("gemm --rows 8 --inner 32 --cols 16 --algorithm indexmac --lmul 2"))
+            .unwrap_err()
+            .contains("indexmac2"));
     }
 
     #[test]
@@ -451,9 +600,28 @@ mod tests {
                 seed: Some(3),
                 threads: Some(2),
                 format,
+                algorithm: Algorithm::IndexMac,
+                baseline: Algorithm::RowWiseSpmm,
+                lmul: 1,
             })
             .unwrap();
         }
+    }
+
+    #[test]
+    fn run_second_generation_sweep() {
+        run(Command::Sweep {
+            dims: vec![GemmDims { rows: 4, inner: 16, cols: 8 }],
+            patterns: NmPattern::EVALUATED.to_vec(),
+            dataflows: vec![Dataflow::BStationary],
+            seed: Some(3),
+            threads: Some(2),
+            format: OutputFormat::Table,
+            algorithm: Algorithm::IndexMac2,
+            baseline: Algorithm::IndexMac,
+            lmul: 2,
+        })
+        .unwrap();
     }
 
     #[test]
@@ -465,6 +633,16 @@ mod tests {
             algorithm: Some(Algorithm::IndexMac),
             unroll: 2,
             tile_rows: 16,
+            lmul: 1,
+        })
+        .unwrap();
+        run(Command::Gemm {
+            dims: GemmDims { rows: 4, inner: 16, cols: 8 },
+            pattern: NmPattern::P1_4,
+            algorithm: Some(Algorithm::IndexMac2),
+            unroll: 4,
+            tile_rows: 16,
+            lmul: 4,
         })
         .unwrap();
     }

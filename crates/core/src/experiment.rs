@@ -2,7 +2,7 @@
 
 use indexmac_cnn::{CnnModel, ConvLayer, GemmCaps};
 use indexmac_kernels::{
-    dense, indexmac, rowwise, scalar_idx, verify, GemmDims, GemmLayout, KernelParams,
+    dense, indexmac, indexmac2, rowwise, scalar_idx, verify, GemmDims, GemmLayout, KernelParams,
 };
 use indexmac_sparse::{prune, DenseMatrix, NmPattern, StructuredSparseMatrix};
 use indexmac_vpu::{RunReport, SimConfig};
@@ -18,8 +18,23 @@ pub enum Algorithm {
     RowWiseSpmm,
     /// Paper Algorithm 3: the proposed `vindexmac` kernel.
     IndexMac,
+    /// The second-generation `vindexmac.vvi` kernel (arXiv 2501.10189):
+    /// index consumed in the vector register file, optional register
+    /// grouping via [`ExperimentConfig::lmul`].
+    IndexMac2,
     /// Extension: `vindexmac` with scalar-loaded metadata (ablation).
     ScalarIndexed,
+}
+
+impl Algorithm {
+    /// Every simulatable kernel, for exhaustive sweeps and tests.
+    pub const ALL: [Algorithm; 5] = [
+        Algorithm::Dense,
+        Algorithm::RowWiseSpmm,
+        Algorithm::IndexMac,
+        Algorithm::IndexMac2,
+        Algorithm::ScalarIndexed,
+    ];
 }
 
 impl fmt::Display for Algorithm {
@@ -28,6 +43,7 @@ impl fmt::Display for Algorithm {
             Algorithm::Dense => write!(f, "Dense"),
             Algorithm::RowWiseSpmm => write!(f, "Row-Wise-SpMM"),
             Algorithm::IndexMac => write!(f, "Proposed (vindexmac)"),
+            Algorithm::IndexMac2 => write!(f, "Proposed-2 (vindexmac.vvi)"),
             Algorithm::ScalarIndexed => write!(f, "Scalar-indexed vindexmac"),
         }
     }
@@ -40,15 +56,30 @@ pub struct ExperimentConfig {
     pub sim: SimConfig,
     /// GEMM size caps (see EXPERIMENTS.md for why capping is sound).
     pub caps: GemmCaps,
-    /// B-tile rows kept resident (`L`; the paper uses 16).
+    /// B-tile rows kept resident (`L`; the paper uses 16). For
+    /// [`Algorithm::IndexMac2`] with `lmul > 1` the value is re-fitted
+    /// to the grouped register budget via
+    /// [`GemmLayout::fit_tile_rows`].
     pub tile_rows: usize,
-    /// Kernel tunables (unroll x4, B-stationary by default).
+    /// Register grouping for [`Algorithm::IndexMac2`] (`1`, `2` or
+    /// `4`; every other kernel always runs ungrouped).
+    pub lmul: usize,
+    /// Kernel tunables (unroll x4, B-stationary by default). The unroll
+    /// factor is clamped to the grouped register budget for
+    /// [`Algorithm::IndexMac2`].
     pub params: KernelParams,
     /// Seed for operand generation.
     pub seed: u64,
     /// Whether to verify every simulated product against the reference
     /// (cheap insurance; on by default).
     pub verify: bool,
+    /// The kernel measured as the comparison baseline
+    /// ([`Algorithm::RowWiseSpmm`] by default, as in the paper).
+    pub baseline: Algorithm,
+    /// The kernel measured as the proposed side
+    /// ([`Algorithm::IndexMac`] by default; set
+    /// [`Algorithm::IndexMac2`] to reproduce the follow-up numbers).
+    pub proposed: Algorithm,
 }
 
 impl ExperimentConfig {
@@ -58,15 +89,29 @@ impl ExperimentConfig {
             sim: SimConfig::table_i(),
             caps: GemmCaps::default_eval(),
             tile_rows: 16,
+            lmul: 1,
             params: KernelParams::default(),
             seed: 0xD47E_2024,
             verify: true,
+            baseline: Algorithm::RowWiseSpmm,
+            proposed: Algorithm::IndexMac,
         }
     }
 
     /// Small caps for unit tests and doc examples.
     pub fn fast() -> Self {
         Self { caps: GemmCaps::smoke(), ..Self::paper() }
+    }
+
+    /// Paper config comparing the second-generation kernel against
+    /// Algorithm 3 under `lmul` register grouping.
+    pub fn second_generation(lmul: usize) -> Self {
+        Self {
+            lmul,
+            baseline: Algorithm::IndexMac,
+            proposed: Algorithm::IndexMac2,
+            ..Self::paper()
+        }
     }
 }
 
@@ -155,13 +200,31 @@ pub fn run_gemm(
 ) -> Result<LayerResult, ExperimentError> {
     let capped = cfg.caps.apply(dims);
     let (a, b) = operands(capped, pattern, cfg.seed);
-    let layout = GemmLayout::plan(&a, capped.cols, &cfg.sim, cfg.tile_rows)?;
-    let program = match algorithm {
-        Algorithm::Dense => dense::build(&layout, &cfg.params)?,
-        Algorithm::RowWiseSpmm => rowwise::build(&layout, &cfg.params)?,
-        Algorithm::IndexMac => indexmac::build(&layout, &cfg.params)?,
-        Algorithm::ScalarIndexed => scalar_idx::build(&layout, &cfg.params)?,
-    };
+    let program;
+    let layout;
+    if algorithm == Algorithm::IndexMac2 {
+        // The grouped layout shrinks L (the tile must fit lmul× more
+        // registers) and may cap the unroll factor.
+        let tile_rows = GemmLayout::fit_tile_rows(cfg.tile_rows, cfg.lmul, pattern);
+        layout = GemmLayout::plan_grouped(&a, capped.cols, &cfg.sim, tile_rows, cfg.lmul)?;
+        // Clamp a too-large unroll to the grouped register budget, but
+        // let zero flow through so it is rejected like every other
+        // kernel's BadUnroll.
+        let params = KernelParams {
+            unroll: cfg.params.unroll.min(indexmac2::max_unroll(&layout)),
+            ..cfg.params
+        };
+        program = indexmac2::build(&layout, &params)?;
+    } else {
+        layout = GemmLayout::plan(&a, capped.cols, &cfg.sim, cfg.tile_rows)?;
+        program = match algorithm {
+            Algorithm::Dense => dense::build(&layout, &cfg.params)?,
+            Algorithm::RowWiseSpmm => rowwise::build(&layout, &cfg.params)?,
+            Algorithm::IndexMac => indexmac::build(&layout, &cfg.params)?,
+            Algorithm::IndexMac2 => unreachable!("grouped arm handles IndexMac2"),
+            Algorithm::ScalarIndexed => scalar_idx::build(&layout, &cfg.params)?,
+        };
+    }
     let run = if cfg.verify && algorithm != Algorithm::Dense {
         verify::run_and_check(&program, &a, &b, &layout, &cfg.sim)?
     } else {
@@ -170,12 +233,15 @@ pub fn run_gemm(
     Ok(LayerResult { algorithm, pattern, gemm: capped, full_gemm: dims, report: run.report })
 }
 
-/// Baseline-vs-proposed comparison on one GEMM shape.
+/// Baseline-vs-proposed comparison on one GEMM shape. Which kernels the
+/// two sides run comes from [`ExperimentConfig::baseline`] /
+/// [`ExperimentConfig::proposed`] (Row-Wise-SpMM vs `vindexmac.vx` by
+/// default, as in the paper).
 #[derive(Debug, Clone, PartialEq)]
 pub struct GemmComparison {
-    /// `Row-Wise-SpMM` measurements.
+    /// Baseline-kernel measurements.
     pub baseline: LayerResult,
-    /// `Proposed` (vindexmac) measurements.
+    /// Proposed-kernel measurements.
     pub proposed: LayerResult,
 }
 
@@ -202,8 +268,8 @@ pub fn compare_gemm(
     cfg: &ExperimentConfig,
 ) -> Result<GemmComparison, ExperimentError> {
     Ok(GemmComparison {
-        baseline: run_gemm(dims, pattern, Algorithm::RowWiseSpmm, cfg)?,
-        proposed: run_gemm(dims, pattern, Algorithm::IndexMac, cfg)?,
+        baseline: run_gemm(dims, pattern, cfg.baseline, cfg)?,
+        proposed: run_gemm(dims, pattern, cfg.proposed, cfg)?,
     })
 }
 
@@ -309,15 +375,48 @@ mod tests {
     #[test]
     fn run_gemm_all_algorithms() {
         let dims = GemmDims { rows: 8, inner: 64, cols: 32 };
-        for alg in [
-            Algorithm::Dense,
-            Algorithm::RowWiseSpmm,
-            Algorithm::IndexMac,
-            Algorithm::ScalarIndexed,
-        ] {
+        for alg in Algorithm::ALL {
             let r = run_gemm(dims, NmPattern::P1_4, alg, &cfg()).unwrap();
             assert!(r.report.cycles > 0, "{alg}");
             assert_eq!(r.gemm.rows, 8);
+        }
+    }
+
+    #[test]
+    fn indexmac2_beats_indexmac_on_cycles_and_instructions() {
+        let dims = GemmDims { rows: 16, inner: 128, cols: 32 };
+        let v1 = run_gemm(dims, NmPattern::P2_4, Algorithm::IndexMac, &cfg()).unwrap();
+        let v2 = run_gemm(dims, NmPattern::P2_4, Algorithm::IndexMac2, &cfg()).unwrap();
+        assert!(
+            v2.report.cycles < v1.report.cycles,
+            "vvi {} vs vx {}",
+            v2.report.cycles,
+            v1.report.cycles
+        );
+        assert!(v2.report.instructions < v1.report.instructions);
+    }
+
+    #[test]
+    fn second_generation_config_compares_the_two_indexmacs() {
+        let dims = GemmDims { rows: 16, inner: 128, cols: 32 };
+        let cfg = ExperimentConfig { caps: indexmac_cnn::GemmCaps::smoke(), ..ExperimentConfig::second_generation(1) };
+        let c = compare_gemm(dims, NmPattern::P1_4, &cfg).unwrap();
+        assert_eq!(c.baseline.algorithm, Algorithm::IndexMac);
+        assert_eq!(c.proposed.algorithm, Algorithm::IndexMac2);
+        assert!(c.speedup() > 1.0, "speedup {}", c.speedup());
+    }
+
+    #[test]
+    fn grouped_indexmac2_runs_and_verifies() {
+        let dims = GemmDims { rows: 16, inner: 64, cols: 64 };
+        for lmul in [2, 4] {
+            let cfg = ExperimentConfig {
+                lmul,
+                caps: indexmac_cnn::GemmCaps::smoke(),
+                ..ExperimentConfig::paper()
+            };
+            let r = run_gemm(dims, NmPattern::P1_4, Algorithm::IndexMac2, &cfg).unwrap();
+            assert!(r.report.cycles > 0, "lmul {lmul}");
         }
     }
 

@@ -22,7 +22,7 @@
 //! use indexmac::sweep::{run_grid, SweepGrid};
 //!
 //! let grid = SweepGrid::new(
-//!     vec![NmPattern::P1_4, NmPattern::P2_4],
+//!     NmPattern::EVALUATED.to_vec(),
 //!     vec![GemmDims { rows: 8, inner: 64, cols: 32 }],
 //! );
 //! let result = run_grid(&grid, &ExperimentConfig::fast())?;
@@ -187,6 +187,8 @@ impl Serialize for CellResult {
             ),
             ("baseline_cycles", base.cycles.to_value()),
             ("proposed_cycles", prop.cycles.to_value()),
+            ("baseline_instructions", base.instructions.to_value()),
+            ("proposed_instructions", prop.instructions.to_value()),
             ("baseline_mem_accesses", base.mem.total_accesses().to_value()),
             ("proposed_mem_accesses", prop.mem.total_accesses().to_value()),
             ("speedup", self.speedup().to_value()),
@@ -324,7 +326,7 @@ mod tests {
 
     fn small_grid() -> SweepGrid {
         SweepGrid::new(
-            vec![NmPattern::P1_4, NmPattern::P2_4],
+            NmPattern::EVALUATED.to_vec(),
             vec![
                 GemmDims { rows: 4, inner: 32, cols: 16 },
                 GemmDims { rows: 8, inner: 64, cols: 32 },
@@ -443,6 +445,48 @@ mod tests {
             pinned[1].comparison.baseline.report.cycles,
             "dataflow override must reach the baseline kernel"
         );
+    }
+
+    #[test]
+    fn indexmac2_sweep_beats_indexmac_on_cycles_and_instret() {
+        // Acceptance shape of the second-generation comparison: sweep
+        // the evaluated patterns with IndexMac as baseline and the vvi
+        // kernel proposed; every cell must win on both dynamic metrics.
+        use crate::experiment::Algorithm;
+        let grid = SweepGrid::new(
+            NmPattern::EVALUATED.to_vec(),
+            vec![GemmDims { rows: 16, inner: 128, cols: 32 }],
+        );
+        let cfg = ExperimentConfig {
+            baseline: Algorithm::IndexMac,
+            proposed: Algorithm::IndexMac2,
+            ..fast_cfg()
+        };
+        let result = run_grid(&grid, &cfg).unwrap();
+        assert_eq!(result.cells.len(), 2);
+        for cell in &result.cells {
+            let base = &cell.comparison.baseline.report;
+            let prop = &cell.comparison.proposed.report;
+            assert_eq!(cell.comparison.baseline.algorithm, Algorithm::IndexMac);
+            assert_eq!(cell.comparison.proposed.algorithm, Algorithm::IndexMac2);
+            assert!(
+                prop.cycles < base.cycles,
+                "{}: vvi {} cycles vs vx {}",
+                cell.cell.pattern,
+                prop.cycles,
+                base.cycles
+            );
+            assert!(
+                prop.instructions < base.instructions,
+                "{}: vvi {} instret vs vx {}",
+                cell.cell.pattern,
+                prop.instructions,
+                base.instructions
+            );
+        }
+        let json = result.to_json();
+        assert!(json.contains("\"baseline_instructions\""));
+        assert!(json.contains("\"proposed_instructions\""));
     }
 
     #[test]

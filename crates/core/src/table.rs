@@ -90,6 +90,13 @@ pub fn fmt_pct(x: f64) -> String {
     format!("{:.1}%", x * 100.0)
 }
 
+/// Formats a baseline/proposed counter pair as the sweep table prints
+/// it (`1520 -> 980`), so cycle and instruction columns read as a
+/// before/after at a glance.
+pub fn fmt_pair(baseline: u64, proposed: u64) -> String {
+    format!("{baseline} -> {proposed}")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -119,6 +126,7 @@ mod tests {
     fn formatters() {
         assert_eq!(fmt_speedup(1.9512), "1.95x");
         assert_eq!(fmt_pct(0.523), "52.3%");
+        assert_eq!(fmt_pair(1520, 980), "1520 -> 980");
         assert!(Table::new(vec!["x"]).is_empty());
     }
 }

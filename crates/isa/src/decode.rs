@@ -6,7 +6,7 @@
 use crate::encode::{opcode, vcat, vfunct6};
 use crate::instr::{FReg, Instruction};
 use crate::reg::{VReg, XReg};
-use crate::vtype::Sew;
+use crate::vtype::{Lmul, Sew};
 use std::error::Error;
 use std::fmt;
 
@@ -196,12 +196,21 @@ fn decode_opv(word: u32, f3: u32) -> Result<Instruction, DecodeError> {
         let vtype = (word >> 20) & 0x7FF;
         let sew = Sew::from_encoding((vtype >> 3) & 0x7)
             .ok_or(DecodeError::UnsupportedFunction { word, what: "vsew" })?;
-        return Ok(Instruction::Vsetvli { rd: xr(word, 7), rs1: xr(word, 15), sew });
+        let lmul = Lmul::from_encoding(vtype & 0x7)
+            .ok_or(DecodeError::UnsupportedFunction { word, what: "vlmul" })?;
+        return Ok(Instruction::Vsetvli { rd: xr(word, 7), rs1: xr(word, 15), sew, lmul });
     }
     let funct6 = word >> 26;
     let vd = vr(word, 7);
     let vs2 = vr(word, 20);
     let mid = (word >> 15) & 0x1F;
+    // The custom vindexmac.vvi block occupies funct6 = 0b11xxxx under
+    // OPMVV, with slot[3:0] in funct6[3:0] and slot[4] in the vm bit.
+    if f3 == vcat::OPMVV && funct6 & 0b110000 == vfunct6::VINDEXMAC_VVI_BASE {
+        let vm = (word >> 25) & 1;
+        let slot = ((vm << 4) | (funct6 & 0xF)) as u8;
+        return Ok(Instruction::VindexmacVvi { vd, vs2, vs1: VReg::new(mid as u8), slot });
+    }
     match (funct6, f3) {
         (vfunct6::VADD, vcat::OPIVV) => {
             Ok(Instruction::VaddVv { vd, vs2, vs1: VReg::new(mid as u8) })
@@ -283,6 +292,38 @@ mod tests {
         let i = Instruction::VindexmacVx { vd: VReg::new(7), vs2: VReg::new(9), rs: XReg::T4 };
         let w = encode(&i).unwrap();
         assert_eq!(decode(w).unwrap(), i);
+    }
+
+    #[test]
+    fn vindexmac_vvi_roundtrip_all_slots() {
+        for slot in 0..32u8 {
+            let i = Instruction::VindexmacVvi {
+                vd: VReg::new(3),
+                vs2: VReg::new(6),
+                vs1: VReg::new(11),
+                slot,
+            };
+            let w = encode(&i).unwrap();
+            assert_eq!(decode(w).unwrap(), i, "slot {slot}");
+        }
+    }
+
+    #[test]
+    fn vsetvli_lmul_roundtrip() {
+        for lmul in Lmul::ALL {
+            let i = Instruction::Vsetvli { rd: XReg::T0, rs1: XReg::A0, sew: Sew::E32, lmul };
+            assert_eq!(decode(encode(&i).unwrap()).unwrap(), i, "{lmul}");
+        }
+    }
+
+    #[test]
+    fn vvi_block_does_not_shadow_existing_opmvv_encodings() {
+        // vmul.vv and vmv.x.s live under OPMVV with funct6 outside the
+        // 0b11xxxx block; they must still decode to themselves.
+        let m = Instruction::VmulVv { vd: VReg::V1, vs2: VReg::V2, vs1: VReg::V3 };
+        assert_eq!(decode(encode(&m).unwrap()).unwrap(), m);
+        let x = Instruction::VmvXs { rd: XReg::T0, vs2: VReg::V3 };
+        assert_eq!(decode(encode(&x).unwrap()).unwrap(), x);
     }
 
     #[test]

@@ -76,6 +76,12 @@ pub mod vfunct6 {
     pub const VMV_V: u32 = 0b010111;
     /// **Custom**: `vindexmac.vx` (OPMVX space, unused by RVV 1.0).
     pub const VINDEXMAC: u32 = 0b011011;
+    /// **Custom**: base of the 16-entry `vindexmac.vvi` block (OPMVV
+    /// space; `funct6[3:0]` carry `slot[3:0]` and the `vm` bit carries
+    /// `slot[4]` — the instruction is always unmasked, so the bit is
+    /// free). The modelled subset uses none of the RVV 1.0 widening
+    /// encodings that live at `0b11xxxx` under OPMVV.
+    pub const VINDEXMAC_VVI_BASE: u32 = 0b110000;
     /// `vfmul` (OPFVV/OPFVF space).
     pub const VFMUL: u32 = 0b100100;
     /// `vmul` (OPMVV/OPMVX space).
@@ -243,9 +249,9 @@ pub fn encode(instr: &Instruction) -> Result<u32, EncodeError> {
                 | ((fd.index() as u32) << 7)
                 | opcode::LOAD_FP
         }
-        Vsetvli { rd, rs1, sew } => {
+        Vsetvli { rd, rs1, sew, lmul } => {
             // bit31=0 | zimm[10:0]=vtype | rs1 | 111 | rd | OP-V
-            let vtype = sew.encoding() << 3; // vlmul=000 (m1), vta=vma=0
+            let vtype = (sew.encoding() << 3) | lmul.encoding(); // vta=vma=0
             (vtype << 20)
                 | ((rs1.index() as u32) << 15)
                 | (vcat::OPCFG << 12)
@@ -320,6 +326,20 @@ pub fn encode(instr: &Instruction) -> Result<u32, EncodeError> {
             vd.index() as u32,
         ),
         VindexmacVx { vd, vs2, rs } => vx(vfunct6::VINDEXMAC, vs2, rs, vcat::OPMVX, vd),
+        VindexmacVvi { vd, vs2, vs1, slot } => {
+            if slot >= 32 {
+                return Err(EncodeError::ImmediateRange { asm: asm(), bits: 5 });
+            }
+            let funct6 = vfunct6::VINDEXMAC_VVI_BASE | (slot as u32 & 0xF);
+            let vm = (slot as u32 >> 4) & 1;
+            (funct6 << 26)
+                | (vm << 25)
+                | ((vs2.index() as u32) << 20)
+                | ((vs1.index() as u32) << 15)
+                | (vcat::OPMVV << 12)
+                | ((vd.index() as u32) << 7)
+                | opcode::OP_V
+        }
     })
 }
 
@@ -335,7 +355,7 @@ fn branch(f3: u32, rs1: XReg, rs2: XReg, offset: i32, asm: String) -> Result<u32
 mod tests {
     use super::*;
     use crate::instr::FReg;
-    use crate::vtype::Sew;
+    use crate::vtype::{Lmul, Sew};
 
     #[test]
     fn known_scalar_encodings() {
@@ -413,10 +433,54 @@ mod tests {
 
     #[test]
     fn vsetvli_vtype_field() {
-        let w = encode(&Instruction::Vsetvli { rd: XReg::T0, rs1: XReg::A0, sew: Sew::E32 })
-            .unwrap();
+        let w = encode(&Instruction::Vsetvli {
+            rd: XReg::T0,
+            rs1: XReg::A0,
+            sew: Sew::E32,
+            lmul: Lmul::M1,
+        })
+        .unwrap();
         assert_eq!(w >> 31, 0);
         assert_eq!((w >> 20) & 0x7FF, 0b010_000); // vsew=010, vlmul=000
+        let w = encode(&Instruction::Vsetvli {
+            rd: XReg::T0,
+            rs1: XReg::A0,
+            sew: Sew::E32,
+            lmul: Lmul::M2,
+        })
+        .unwrap();
+        assert_eq!((w >> 20) & 0x7FF, 0b010_001); // vsew=010, vlmul=001
+    }
+
+    #[test]
+    fn vindexmac_vvi_encoding_shape() {
+        for slot in [0u8, 3, 15, 16, 31] {
+            let w = encode(&Instruction::VindexmacVvi {
+                vd: VReg::V2,
+                vs2: VReg::V5,
+                vs1: VReg::new(9),
+                slot,
+            })
+            .unwrap();
+            assert_eq!(w & 0x7F, opcode::OP_V, "slot {slot}");
+            assert_eq!((w >> 12) & 0x7, vcat::OPMVV, "slot {slot}");
+            assert_eq!((w >> 26) & 0b110000, vfunct6::VINDEXMAC_VVI_BASE, "slot {slot}");
+            assert_eq!((w >> 26) & 0xF, (slot as u32) & 0xF, "slot {slot}");
+            assert_eq!((w >> 25) & 1, (slot as u32) >> 4, "slot {slot}");
+            assert_eq!((w >> 20) & 0x1F, 5); // vs2
+            assert_eq!((w >> 15) & 0x1F, 9); // vs1
+            assert_eq!((w >> 7) & 0x1F, 2); // vd
+        }
+        // Slot beyond the 5-bit field cannot be encoded.
+        assert!(matches!(
+            encode(&Instruction::VindexmacVvi {
+                vd: VReg::V2,
+                vs2: VReg::V5,
+                vs1: VReg::new(9),
+                slot: 32,
+            }),
+            Err(EncodeError::ImmediateRange { bits: 5, .. })
+        ));
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! slides and cross-domain moves) plus the custom `vindexmac.vx`.
 
 use crate::reg::{VReg, XReg};
-use crate::vtype::Sew;
+use crate::vtype::{Lmul, Sew};
 use std::fmt;
 
 /// A floating-point scalar register `f0`–`f31`.
@@ -165,9 +165,11 @@ pub enum Instruction {
     Flw { fd: FReg, rs1: XReg, imm: i32 },
 
     // ---- vector configuration ----
-    /// `vsetvli rd, rs1, <sew>,m1` — requests `avl` from `rs1` (or VLMAX
-    /// when `rs1` is `x0` and `rd` is not), grants `vl` into `rd`.
-    Vsetvli { rd: XReg, rs1: XReg, sew: Sew },
+    /// `vsetvli rd, rs1, <sew>,<lmul>` — requests `avl` from `rs1` (or
+    /// VLMAX when `rs1` is `x0` and `rd` is not), grants `vl` into `rd`.
+    /// With `lmul > 1` subsequent grouped operations span `lmul`
+    /// consecutive registers per operand.
+    Vsetvli { rd: XReg, rs1: XReg, sew: Sew, lmul: Lmul },
 
     // ---- vector memory ----
     /// `vle32.v vd, (rs1)` — unit-stride 32-bit load of `vl` elements.
@@ -226,6 +228,18 @@ pub enum Instruction {
     /// accumulated into `vd`. This is the indirect VRF read that replaces
     /// the per-nonzero vector load of Algorithm 2.
     VindexmacVx { vd: VReg, vs2: VReg, rs: XReg },
+    /// `vindexmac.vvi vd, vs2, vs1, slot` — the second-generation
+    /// indexed MAC (after arXiv 2501.10189):
+    /// `vd[i] += vs2[slot] * vrf[vs1[slot][4:0]][i]` (float, SEW=32).
+    ///
+    /// Both the value and the column index are consumed *in place* from
+    /// element `slot` of the metadata registers `vs2` (values) and `vs1`
+    /// (register indices), so the steady-state inner loop needs neither
+    /// the `vmv.x.s` cross-domain move nor the two `vslide1down`s of
+    /// Algorithm 3. Under register grouping, `vd` and the indirectly
+    /// selected source span the whole group while `vs2`/`vs1` stay
+    /// single registers.
+    VindexmacVvi { vd: VReg, vs2: VReg, vs1: VReg, slot: u8 },
 }
 
 impl Instruction {
@@ -251,7 +265,7 @@ impl Instruction {
             VmvVx { .. } | VmvSx { .. } => InstrClass::VMvFromScalar,
             VmvXs { .. } | VfmvFs { .. } => InstrClass::VMvToScalar,
             Vslide1downVx { .. } | VslidedownVi { .. } => InstrClass::VSlide,
-            VindexmacVx { .. } => InstrClass::VIndexMac,
+            VindexmacVx { .. } | VindexmacVvi { .. } => InstrClass::VIndexMac,
         }
     }
 
@@ -336,6 +350,8 @@ impl Instruction {
             Vslide1downVx { vs2, .. } | VslidedownVi { vs2, .. } => [Some(vs2), None, None],
             // vindexmac reads vs2[0] and accumulates into vd.
             VindexmacVx { vd, vs2, .. } => [Some(vs2), Some(vd), None],
+            // vindexmac.vvi reads both metadata registers in place.
+            VindexmacVvi { vd, vs2, vs1, .. } => [Some(vs2), Some(vs1), Some(vd)],
             _ => [None, None, None],
         }
     }
@@ -348,7 +364,9 @@ impl Instruction {
             | VmulVv { vd, .. } | VmulVx { vd, .. } | VmaccVx { vd, .. } | VfaddVv { vd, .. }
             | VfmulVv { vd, .. } | VfmaccVf { vd, .. } | VfmaccVv { vd, .. } | VmvVv { vd, .. }
             | VmvVx { vd, .. } | VmvSx { vd, .. } | Vslide1downVx { vd, .. }
-            | VslidedownVi { vd, .. } | VindexmacVx { vd, .. } => Some(vd),
+            | VslidedownVi { vd, .. } | VindexmacVx { vd, .. } | VindexmacVvi { vd, .. } => {
+                Some(vd)
+            }
             _ => None,
         }
     }
@@ -389,7 +407,7 @@ impl fmt::Display for Instruction {
             Nop => write!(f, "nop"),
             Halt => write!(f, "ebreak"),
             Flw { fd, rs1, imm } => write!(f, "flw {fd}, {imm}({rs1})"),
-            Vsetvli { rd, rs1, sew } => write!(f, "vsetvli {rd}, {rs1}, {sew},m1"),
+            Vsetvli { rd, rs1, sew, lmul } => write!(f, "vsetvli {rd}, {rs1}, {sew},{lmul}"),
             Vle32 { vd, rs1 } => write!(f, "vle32.v {vd}, ({rs1})"),
             Vse32 { vs3, rs1 } => write!(f, "vse32.v {vs3}, ({rs1})"),
             VaddVv { vd, vs2, vs1 } => write!(f, "vadd.vv {vd}, {vs2}, {vs1}"),
@@ -410,6 +428,9 @@ impl fmt::Display for Instruction {
             Vslide1downVx { vd, vs2, rs1 } => write!(f, "vslide1down.vx {vd}, {vs2}, {rs1}"),
             VslidedownVi { vd, vs2, imm } => write!(f, "vslidedown.vi {vd}, {vs2}, {imm}"),
             VindexmacVx { vd, vs2, rs } => write!(f, "vindexmac.vx {vd}, {vs2}, {rs}"),
+            VindexmacVvi { vd, vs2, vs1, slot } => {
+                write!(f, "vindexmac.vvi {vd}, {vs2}, {vs1}, {slot}")
+            }
         }
     }
 }
@@ -468,6 +489,20 @@ mod tests {
     }
 
     #[test]
+    fn vindexmac_vvi_static_uses() {
+        let i = Instruction::VindexmacVvi { vd: VReg::V2, vs2: VReg::V5, vs1: VReg::new(9), slot: 3 };
+        // No scalar operand at all: the index never leaves the VRF.
+        assert_eq!(i.x_srcs(), [None, None]);
+        assert_eq!(i.x_dst(), None);
+        assert_eq!(i.v_dst(), Some(VReg::V2));
+        assert_eq!(i.class(), InstrClass::VIndexMac);
+        let srcs = i.v_srcs();
+        assert!(srcs.contains(&Some(VReg::V5)));
+        assert!(srcs.contains(&Some(VReg::new(9))));
+        assert!(srcs.contains(&Some(VReg::V2)));
+    }
+
+    #[test]
     fn branch_offsets() {
         let b = Instruction::Bne { rs1: XReg::T0, rs2: XReg::ZERO, offset: -4 };
         assert_eq!(b.branch_offset(), Some(-4));
@@ -491,8 +526,16 @@ mod tests {
                 "vslide1down.vx v4, v4, zero",
             ),
             (
-                Instruction::Vsetvli { rd: XReg::T0, rs1: XReg::A0, sew: Sew::E32 },
+                Instruction::Vsetvli { rd: XReg::T0, rs1: XReg::A0, sew: Sew::E32, lmul: Lmul::M1 },
                 "vsetvli t0, a0, e32,m1",
+            ),
+            (
+                Instruction::Vsetvli { rd: XReg::T0, rs1: XReg::A0, sew: Sew::E32, lmul: Lmul::M4 },
+                "vsetvli t0, a0, e32,m4",
+            ),
+            (
+                Instruction::VindexmacVvi { vd: VReg::V1, vs2: VReg::V4, vs1: VReg::V8, slot: 5 },
+                "vindexmac.vvi v1, v4, v8, 5",
             ),
         ];
         for (i, want) in cases {

@@ -2,10 +2,14 @@
 //!
 //! This crate defines the subset of RV64 + the RVV vector extension that
 //! the simulated decoupled vector processor executes, including the
-//! paper's custom [`vindexmac.vx`](Instruction::VindexmacVx) instruction:
+//! paper's custom [`vindexmac.vx`](Instruction::VindexmacVx) instruction
+//! and its second-generation successor
+//! [`vindexmac.vvi`](Instruction::VindexmacVvi) (after arXiv 2501.10189),
+//! whose index operand never leaves the vector register file:
 //!
 //! ```text
-//! vindexmac.vx vd, vs2, rs     # vd[i] += vs2[0] * vrf[rs[4:0]][i]
+//! vindexmac.vx  vd, vs2, rs         # vd[i] += vs2[0]    * vrf[rs[4:0]][i]
+//! vindexmac.vvi vd, vs2, vs1, slot  # vd[i] += vs2[slot] * vrf[vs1[slot][4:0]][i]
 //! ```
 //!
 //! Contents:
@@ -46,4 +50,4 @@ pub use encode::encode;
 pub use instr::{InstrClass, Instruction};
 pub use program::{Label, Program, ProgramBuilder};
 pub use reg::{VReg, XReg};
-pub use vtype::{Sew, VType};
+pub use vtype::{Lmul, Sew, VType};

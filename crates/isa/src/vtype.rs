@@ -1,10 +1,75 @@
-//! Modelling of the RVV `vtype` CSR: element width and the `vl` rules of
-//! `vsetvli`.
+//! Modelling of the RVV `vtype` CSR: element width, register grouping
+//! and the `vl` rules of `vsetvli`.
 //!
-//! The simulated machine fixes LMUL = 1 (the paper's kernels never group
-//! registers), so `vtype` reduces to the selected element width (SEW).
+//! The paper's kernels fix LMUL = 1; the second-generation
+//! `vindexmac.vvi` kernels (after arXiv 2501.10189) additionally use
+//! register grouping `m2`/`m4` to keep wider B tiles resident, so
+//! `vtype` models both SEW and LMUL.
 
 use std::fmt;
+
+/// Vector register grouping (LMUL). Only the integral groupings the
+/// second-generation kernels use are modelled; fractional LMUL and `m8`
+/// are outside the subset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub enum Lmul {
+    /// No grouping — one architectural register per operand.
+    #[default]
+    M1,
+    /// Groups of two registers (`v0v1`, `v2v3`, ...).
+    M2,
+    /// Groups of four registers (`v0..v3`, `v4..v7`, ...).
+    M4,
+}
+
+impl Lmul {
+    /// All modelled groupings, in ascending group size.
+    pub const ALL: [Lmul; 3] = [Lmul::M1, Lmul::M2, Lmul::M4];
+
+    /// Number of architectural registers per group.
+    pub fn factor(self) -> usize {
+        match self {
+            Lmul::M1 => 1,
+            Lmul::M2 => 2,
+            Lmul::M4 => 4,
+        }
+    }
+
+    /// Creates a grouping from its register factor.
+    pub fn from_factor(factor: usize) -> Option<Self> {
+        match factor {
+            1 => Some(Lmul::M1),
+            2 => Some(Lmul::M2),
+            4 => Some(Lmul::M4),
+            _ => None,
+        }
+    }
+
+    /// The `vlmul[2:0]` encoding used in the `vtype` CSR.
+    pub fn encoding(self) -> u32 {
+        match self {
+            Lmul::M1 => 0b000,
+            Lmul::M2 => 0b001,
+            Lmul::M4 => 0b010,
+        }
+    }
+
+    /// Decodes a `vlmul` field.
+    pub fn from_encoding(bits: u32) -> Option<Self> {
+        match bits {
+            0b000 => Some(Lmul::M1),
+            0b001 => Some(Lmul::M2),
+            0b010 => Some(Lmul::M4),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Lmul {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.factor())
+    }
+}
 
 /// Selected element width.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -64,18 +129,20 @@ impl fmt::Display for Sew {
     }
 }
 
-/// The dynamic vector-type state: SEW (LMUL fixed at 1).
+/// The dynamic vector-type state: SEW and LMUL.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct VType {
     /// Selected element width.
     pub sew: Sew,
+    /// Selected register grouping.
+    pub lmul: Lmul,
 }
 
 impl VType {
-    /// Maximum vector length (elements per register) for a hardware
-    /// `vlen` in bits: `VLMAX = vlen / SEW`.
+    /// Maximum vector length (elements per register *group*) for a
+    /// hardware `vlen` in bits: `VLMAX = LMUL * vlen / SEW`.
     pub fn vlmax(self, vlen_bits: usize) -> usize {
-        vlen_bits / self.sew.bits()
+        self.lmul.factor() * vlen_bits / self.sew.bits()
     }
 
     /// The `vl` that `vsetvli` grants for an application vector length
@@ -87,7 +154,7 @@ impl VType {
 
 impl fmt::Display for VType {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{},m1", self.sew)
+        write!(f, "{},{}", self.sew, self.lmul)
     }
 }
 
@@ -113,15 +180,24 @@ mod tests {
     #[test]
     fn vlmax_matches_table_i() {
         // 512-bit VLEN with 32-bit elements -> 16 elements (Table I).
-        let vt = VType { sew: Sew::E32 };
+        let vt = VType { sew: Sew::E32, lmul: Lmul::M1 };
         assert_eq!(vt.vlmax(512), 16);
         assert_eq!(vt.vlmax(256), 8);
-        assert_eq!(VType { sew: Sew::E64 }.vlmax(512), 8);
+        assert_eq!(VType { sew: Sew::E64, lmul: Lmul::M1 }.vlmax(512), 8);
+    }
+
+    #[test]
+    fn vlmax_scales_with_grouping() {
+        let m2 = VType { sew: Sew::E32, lmul: Lmul::M2 };
+        let m4 = VType { sew: Sew::E32, lmul: Lmul::M4 };
+        assert_eq!(m2.vlmax(512), 32);
+        assert_eq!(m4.vlmax(512), 64);
+        assert_eq!(m4.grant_vl(100, 512), 64);
     }
 
     #[test]
     fn grant_vl_rule() {
-        let vt = VType { sew: Sew::E32 };
+        let vt = VType { sew: Sew::E32, lmul: Lmul::M1 };
         assert_eq!(vt.grant_vl(100, 512), 16);
         assert_eq!(vt.grant_vl(7, 512), 7);
         assert_eq!(vt.grant_vl(0, 512), 0);
@@ -129,8 +205,25 @@ mod tests {
     }
 
     #[test]
+    fn lmul_factor_roundtrip() {
+        for lmul in Lmul::ALL {
+            assert_eq!(Lmul::from_factor(lmul.factor()), Some(lmul));
+            assert_eq!(Lmul::from_encoding(lmul.encoding()), Some(lmul));
+        }
+        assert_eq!(Lmul::from_factor(3), None);
+        assert_eq!(Lmul::from_factor(8), None);
+        assert_eq!(Lmul::from_encoding(0b011), None);
+        assert_eq!(Lmul::from_encoding(0b111), None);
+    }
+
+    #[test]
     fn display_forms() {
         assert_eq!(Sew::E32.to_string(), "e32");
+        assert_eq!(Lmul::M2.to_string(), "m2");
         assert_eq!(VType::default().to_string(), "e32,m1");
+        assert_eq!(
+            VType { sew: Sew::E32, lmul: Lmul::M4 }.to_string(),
+            "e32,m4"
+        );
     }
 }

@@ -1,7 +1,7 @@
 //! Property tests: encode/decode round-trip over the whole subset.
 
 use indexmac_isa::instr::FReg;
-use indexmac_isa::{decode, encode, Instruction, Sew, VReg, XReg};
+use indexmac_isa::{decode, encode, Instruction, Lmul, Sew, VReg, XReg};
 use proptest::prelude::*;
 
 fn xreg() -> impl Strategy<Value = XReg> {
@@ -64,8 +64,13 @@ fn encodable() -> impl Strategy<Value = Instruction> {
         (xreg(), -10000i32..10000).prop_map(|(rd, offset)| Instruction::Jal { rd, offset }),
         Just(Instruction::Halt),
         (freg(), xreg(), imm12()).prop_map(|(fd, rs1, imm)| Instruction::Flw { fd, rs1, imm }),
-        (xreg(), xreg(), prop_oneof![Just(Sew::E8), Just(Sew::E16), Just(Sew::E32), Just(Sew::E64)])
-            .prop_map(|(rd, rs1, sew)| Instruction::Vsetvli { rd, rs1, sew }),
+        (
+            xreg(),
+            xreg(),
+            prop_oneof![Just(Sew::E8), Just(Sew::E16), Just(Sew::E32), Just(Sew::E64)],
+            prop_oneof![Just(Lmul::M1), Just(Lmul::M2), Just(Lmul::M4)],
+        )
+            .prop_map(|(rd, rs1, sew, lmul)| Instruction::Vsetvli { rd, rs1, sew, lmul }),
         (vreg(), xreg()).prop_map(|(vd, rs1)| Instruction::Vle32 { vd, rs1 }),
         (vreg(), xreg()).prop_map(|(vs3, rs1)| Instruction::Vse32 { vs3, rs1 }),
         (vreg(), vreg(), vreg()).prop_map(|(vd, vs2, vs1)| Instruction::VaddVv { vd, vs2, vs1 }),
@@ -91,6 +96,9 @@ fn encodable() -> impl Strategy<Value = Instruction> {
             vd,
             vs2,
             rs
+        }),
+        (vreg(), vreg(), vreg(), 0u8..32).prop_map(|(vd, vs2, vs1, slot)| {
+            Instruction::VindexmacVvi { vd, vs2, vs1, slot }
         }),
     ]
 }

@@ -28,8 +28,10 @@
 //! redirects — as the equivalent looping code, and loop unrolling
 //! amortises a real cost exactly as in the paper.
 
+use crate::error::KernelError;
+use crate::layout::GemmLayout;
 use indexmac_isa::instr::FReg;
-use indexmac_isa::{Instruction, ProgramBuilder, Sew, VReg, XReg};
+use indexmac_isa::{Instruction, Lmul, ProgramBuilder, Sew, VReg, XReg};
 
 /// Maximum supported unroll factor (the paper evaluates x4).
 pub const MAX_UNROLL: usize = 4;
@@ -88,13 +90,33 @@ pub const ROW_STRIDE: XReg = XReg::S9;
 /// Algorithm 2: B base adjusted for the current column tile.
 pub const B_COLTILE_BASE: XReg = XReg::S5;
 
+/// Emits a `vsetvli` requesting `avl` elements at SEW=32 under `lmul`
+/// register grouping (via the scratch register).
+pub fn emit_vsetvli(b: &mut ProgramBuilder, avl: usize, lmul: Lmul) {
+    b.li(ADDR_SCRATCH, avl as i64);
+    b.push(Instruction::Vsetvli { rd: XReg::ZERO, rs1: ADDR_SCRATCH, sew: Sew::E32, lmul });
+}
+
 /// Emits the one-time prologue: row-stride constant and `vsetvli` to the
 /// full hardware vector length.
 pub fn emit_prologue(b: &mut ProgramBuilder, vl: usize, row_stride_bytes: u64) {
     b.comment("prologue: vl = VLMAX, row stride constant");
-    b.li(ADDR_SCRATCH, vl as i64);
-    b.push(Instruction::Vsetvli { rd: XReg::ZERO, rs1: ADDR_SCRATCH, sew: Sew::E32 });
+    emit_vsetvli(b, vl, Lmul::M1);
     b.li(ROW_STRIDE, row_stride_bytes as i64);
+}
+
+/// Rejects layouts planned with register grouping: only the
+/// second-generation [`crate::indexmac2`] kernel understands
+/// `LMUL > 1` column tiles; every other builder addresses `VL`-wide
+/// tiles and would compute wrong addresses.
+pub fn require_ungrouped(layout: &GemmLayout) -> Result<(), KernelError> {
+    if layout.lmul != 1 {
+        return Err(KernelError::BadGrouping {
+            lmul: layout.lmul,
+            reason: "this kernel supports only LMUL=1 layouts (use indexmac2 for grouping)",
+        });
+    }
+    Ok(())
 }
 
 /// Emits one dynamic iteration of loop control: decrement `counter` and

@@ -35,6 +35,13 @@ pub enum KernelError {
         /// `B.rows()`.
         b_rows: usize,
     },
+    /// Invalid register grouping (LMUL) for the layout or kernel.
+    BadGrouping {
+        /// Requested grouping factor.
+        lmul: usize,
+        /// Why it was rejected.
+        reason: &'static str,
+    },
 }
 
 impl fmt::Display for KernelError {
@@ -51,6 +58,9 @@ impl fmt::Display for KernelError {
             }
             KernelError::DimensionMismatch { a_cols, b_rows } => {
                 write!(f, "A has {a_cols} columns but B has {b_rows} rows")
+            }
+            KernelError::BadGrouping { lmul, reason } => {
+                write!(f, "invalid register grouping LMUL={lmul}: {reason}")
             }
         }
     }
@@ -69,6 +79,7 @@ mod tests {
             KernelError::TooManySlotsPerTile { slots: 32, vl: 16 },
             KernelError::BadUnroll { unroll: 8, max: 4 },
             KernelError::DimensionMismatch { a_cols: 8, b_rows: 9 },
+            KernelError::BadGrouping { lmul: 3, reason: "not a power of two" },
         ] {
             assert!(!e.to_string().is_empty());
         }

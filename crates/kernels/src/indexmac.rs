@@ -19,6 +19,7 @@
 //! (that is what makes the tile pinnable at all).
 
 use crate::emit::{
+    require_ungrouped,
     c_addr_xreg, c_vreg, colidx_vreg, emit_loop_step, emit_prologue, emit_vload_abs,
     scratch_xreg, values_vreg, ADDR_SCRATCH, CTR_COLTILES, CTR_KTILES, CTR_NNZ, CTR_ROWS,
     MAX_UNROLL, ROW_STRIDE,
@@ -37,6 +38,7 @@ use indexmac_isa::{Instruction, Program, ProgramBuilder, VReg, XReg};
 /// Returns [`KernelError::BadUnroll`] when `params.unroll` is outside
 /// `1..=4`.
 pub fn build(layout: &GemmLayout, params: &KernelParams) -> Result<Program, KernelError> {
+    require_ungrouped(layout)?;
     if params.unroll == 0 || params.unroll > MAX_UNROLL {
         return Err(KernelError::BadUnroll { unroll: params.unroll, max: MAX_UNROLL });
     }

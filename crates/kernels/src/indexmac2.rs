@@ -1,0 +1,297 @@
+//! The **second-generation** proposed kernel: `vindexmac.vvi` with the
+//! column index consumed directly from the vector register file (after
+//! *Optimizing Structured-Sparse Matrix Multiplication in RISC-V Vector
+//! Processors*, arXiv 2501.10189).
+//!
+//! Algorithm 3 still pays, per non-zero, one cross-domain move plus two
+//! slides to walk the metadata to element 0:
+//!
+//! ```text
+//! vmv.x.s      t, v_colidx            # engine -> scalar core -> engine
+//! vindexmac.vx v_c, v_values, t
+//! vslide1down  v_values
+//! vslide1down  v_colidx
+//! ```
+//!
+//! `vindexmac.vvi` reads element `slot` of both metadata registers *in
+//! place*, so the steady-state inner loop collapses to a single
+//! instruction per non-zero with no scalar-core involvement at all:
+//!
+//! ```text
+//! vindexmac.vvi v_c, v_values, v_colidx, slot
+//! ```
+//!
+//! Because the scalar core no longer sits on the critical path, the
+//! engine streams MACs back to back, and the freed scratch registers
+//! allow **register grouping**: with `LMUL = lmul`, column tiles are
+//! `lmul * VL` elements wide, each resident B row occupies a group of
+//! `lmul` registers, and the per-(row, k-tile) metadata reload is paid
+//! `lmul`× less often. The `ablate_grouping` bench quantifies the
+//! effect.
+//!
+//! # Register allocation (unroll `u`, grouping `g`)
+//!
+//! | registers                  | role                               |
+//! |----------------------------|------------------------------------|
+//! | `v0, v{g}, .., v{(u-1)g}`  | C accumulator groups               |
+//! | `v{ug} .. v{ug+u-1}`       | `values` metadata (single regs)    |
+//! | `v{ug+u} .. v{ug+2u-1}`    | `col_idx` metadata (single regs)   |
+//! | `v{32-Lg} .. v31`          | resident B tile (`L` groups)       |
+//!
+//! For `g = 1`, `u = 4` this is exactly the Algorithm 3 bank layout
+//! (`v0..v3` C, `v4..v7` values, `v8..v11` col_idx, `v16..v31` tile).
+
+use crate::emit::{c_addr_xreg, emit_loop_step, emit_vsetvli, emit_vload_abs, ADDR_SCRATCH,
+    CTR_COLTILES, CTR_KTILES, CTR_NNZ, CTR_ROWS, MAX_UNROLL, ROW_STRIDE,
+};
+use crate::error::KernelError;
+use crate::layout::GemmLayout;
+use crate::KernelParams;
+use indexmac_isa::{Instruction, Lmul, Program, ProgramBuilder, VReg};
+
+/// C accumulator group base of unrolled row `r` under grouping `lmul`.
+pub fn c_group_vreg(r: usize, lmul: usize) -> VReg {
+    debug_assert!(r < MAX_UNROLL);
+    VReg::new((r * lmul) as u8)
+}
+
+/// `values` metadata register of unrolled row `r`.
+pub fn values_vreg2(r: usize, unroll: usize, lmul: usize) -> VReg {
+    debug_assert!(r < unroll);
+    VReg::new((unroll * lmul + r) as u8)
+}
+
+/// `col_idx` metadata register of unrolled row `r`.
+pub fn colidx_vreg2(r: usize, unroll: usize, lmul: usize) -> VReg {
+    debug_assert!(r < unroll);
+    VReg::new((unroll * lmul + unroll + r) as u8)
+}
+
+/// Largest unroll factor whose accumulator groups and metadata
+/// registers fit below the resident tile for this layout.
+pub fn max_unroll(layout: &GemmLayout) -> usize {
+    let base = layout.tile_vreg_base as usize;
+    (base / (layout.lmul + 2)).min(MAX_UNROLL)
+}
+
+/// Builds the second-generation `vindexmac.vvi` kernel for `layout`.
+///
+/// `params.dataflow` is ignored: like Algorithm 3, the kernel is
+/// inherently B-stationary (that is what makes the tile pinnable).
+/// Layouts planned with [`GemmLayout::plan_grouped`] and `lmul > 1`
+/// produce the register-grouped variant.
+///
+/// # Errors
+///
+/// Returns [`KernelError::BadUnroll`] when `params.unroll` is zero or
+/// its accumulator groups and metadata registers would collide with the
+/// resident B tile (see [`max_unroll`]).
+pub fn build(layout: &GemmLayout, params: &KernelParams) -> Result<Program, KernelError> {
+    let lmul = layout.lmul;
+    let unroll = params.unroll;
+    if unroll == 0 || unroll > max_unroll(layout) {
+        return Err(KernelError::BadUnroll { unroll, max: max_unroll(layout) });
+    }
+    let grouping = Lmul::from_factor(lmul).expect("layout planning validated lmul");
+    let width = layout.coltile_width();
+
+    let mut b = ProgramBuilder::new();
+    b.comment("prologue: grouped vl, row stride constant");
+    emit_vsetvli(&mut b, width, grouping);
+    b.li(ROW_STRIDE, layout.row_stride_bytes as i64);
+
+    let groups: Vec<(usize, usize)> = (0..layout.dims.rows.div_ceil(unroll))
+        .map(|g| {
+            let row0 = g * unroll;
+            (row0, unroll.min(layout.dims.rows - row0))
+        })
+        .collect();
+
+    b.li(CTR_KTILES, layout.num_ktiles as i64);
+    for kt in 0..layout.num_ktiles {
+        b.li(CTR_COLTILES, layout.num_coltiles as i64);
+        for ct in 0..layout.num_coltiles {
+            emit_tile_preload(&mut b, layout, kt, ct);
+            b.li(CTR_ROWS, groups.len() as i64);
+            for &(row0, u_eff) in &groups {
+                // Metadata rows are one register wide: drop to m1 for
+                // their loads when the data side is grouped.
+                if lmul > 1 {
+                    emit_vsetvli(&mut b, layout.vl, Lmul::M1);
+                }
+                for r in 0..u_eff {
+                    let row = row0 + r;
+                    b.li(c_addr_xreg(r), layout.c_addr(row, ct * width) as i64);
+                    emit_vload_abs(&mut b, values_vreg2(r, unroll, lmul), layout.values_addr(row, kt));
+                    emit_vload_abs(
+                        &mut b,
+                        colidx_vreg2(r, unroll, lmul),
+                        layout.colidx_vregs_addr(row, kt),
+                    );
+                }
+                if lmul > 1 {
+                    emit_vsetvli(&mut b, width, grouping);
+                }
+                for r in 0..u_eff {
+                    b.push(Instruction::Vle32 { vd: c_group_vreg(r, lmul), rs1: c_addr_xreg(r) });
+                }
+                // Steady state: ONE instruction per non-zero slot — no
+                // vmv.x.s, no slides (paper follow-up's key claim).
+                b.li(CTR_NNZ, layout.slots_per_tile as i64);
+                for q in 0..layout.slots_per_tile {
+                    for r in 0..u_eff {
+                        b.push(Instruction::VindexmacVvi {
+                            vd: c_group_vreg(r, lmul),
+                            vs2: values_vreg2(r, unroll, lmul),
+                            vs1: colidx_vreg2(r, unroll, lmul),
+                            slot: q as u8,
+                        });
+                    }
+                    emit_loop_step(&mut b, CTR_NNZ);
+                }
+                for r in 0..u_eff {
+                    b.push(Instruction::Vse32 { vs3: c_group_vreg(r, lmul), rs1: c_addr_xreg(r) });
+                }
+                emit_loop_step(&mut b, CTR_ROWS);
+            }
+            emit_loop_step(&mut b, CTR_COLTILES);
+        }
+        emit_loop_step(&mut b, CTR_KTILES);
+    }
+    b.halt();
+    Ok(b.build())
+}
+
+/// Pre-loads the `L x (lmul*VL)` tile `B[kt*L .., ct*lmul*VL ..]` into
+/// the top of the vector register file, one grouped load per row.
+fn emit_tile_preload(b: &mut ProgramBuilder, layout: &GemmLayout, kt: usize, ct: usize) {
+    b.comment(format!(
+        "preload B tile kt={kt} ct={ct} into v{}..v31 (m{})",
+        layout.tile_vreg_base, layout.lmul
+    ));
+    b.li(
+        ADDR_SCRATCH,
+        layout.b_addr(kt * layout.tile_rows, ct * layout.coltile_width()) as i64,
+    );
+    for l in 0..layout.tile_rows {
+        b.push(Instruction::Vle32 {
+            vd: VReg::new(layout.tile_vreg_base + (l * layout.lmul) as u8),
+            rs1: ADDR_SCRATCH,
+        });
+        if l + 1 < layout.tile_rows {
+            b.add(ADDR_SCRATCH, ADDR_SCRATCH, ROW_STRIDE);
+        }
+    }
+}
+
+/// Static count of `vindexmac.vvi` instructions in a program.
+pub fn count_indexmacs(program: &Program) -> usize {
+    program.count(|i| matches!(i, Instruction::VindexmacVvi { .. }))
+}
+
+/// Static count of cross-domain moves and slides — the overhead the
+/// second-generation instruction eliminates (zero in the steady state).
+pub fn count_walk_overhead(program: &Program) -> usize {
+    program.count(|i| {
+        matches!(
+            i,
+            Instruction::VmvXs { .. } | Instruction::Vslide1downVx { .. } | Instruction::VfmvFs { .. }
+        )
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::indexmac;
+    use indexmac_sparse::{prune, NmPattern};
+    use indexmac_vpu::SimConfig;
+
+    fn layout(pattern: NmPattern) -> GemmLayout {
+        let a = prune::random_structured(6, 32, pattern, 11);
+        GemmLayout::plan(&a, 20, &SimConfig::table_i(), 16).unwrap()
+    }
+
+    #[test]
+    fn instruction_counts_match_structure() {
+        let l = layout(NmPattern::P1_4);
+        let p = build(&l, &KernelParams::default()).unwrap();
+        let expected = l.dims.rows * l.slots_per_tile * l.num_ktiles * l.num_coltiles;
+        assert_eq!(count_indexmacs(&p), expected);
+    }
+
+    #[test]
+    fn steady_state_has_no_walk_overhead() {
+        let l = layout(NmPattern::P2_4);
+        let p = build(&l, &KernelParams::default()).unwrap();
+        assert_eq!(count_walk_overhead(&p), 0, "no vmv.x.s / slides anywhere");
+        assert_eq!(crate::rowwise::count_b_loads(&p), 0, "no per-nonzero B loads");
+    }
+
+    #[test]
+    fn three_fewer_vector_ops_per_nonzero_than_algorithm_3() {
+        let l = layout(NmPattern::P1_4);
+        let p2 = build(&l, &KernelParams::default()).unwrap();
+        let p1 = indexmac::build(&l, &KernelParams::default()).unwrap();
+        let nnz_ops = l.dims.rows * l.slots_per_tile * l.num_ktiles * l.num_coltiles;
+        let vec_ops = |p: &Program| {
+            p.count(|i| i.is_vector() && !matches!(i, Instruction::Vsetvli { .. }))
+        };
+        // Alg3 per nonzero: vmv.x.s + vindexmac.vx + 2 slides = 4.
+        // vvi per nonzero: 1. Everything else is identical at lmul=1.
+        assert_eq!(vec_ops(&p1) - vec_ops(&p2), 3 * nnz_ops);
+    }
+
+    #[test]
+    fn lmul1_register_map_matches_algorithm_3_banks() {
+        use crate::emit::{c_vreg, colidx_vreg, values_vreg};
+        for r in 0..4 {
+            assert_eq!(c_group_vreg(r, 1), c_vreg(r));
+            assert_eq!(values_vreg2(r, 4, 1), values_vreg(r));
+            assert_eq!(colidx_vreg2(r, 4, 1), colidx_vreg(r));
+        }
+    }
+
+    #[test]
+    fn grouped_build_uses_grouped_vsetvli_and_fewer_coltiles() {
+        let a = prune::random_structured(4, 32, NmPattern::P1_4, 3);
+        let cfg = SimConfig::table_i();
+        let m1 = GemmLayout::plan_grouped(&a, 64, &cfg, 8, 1).unwrap();
+        let m2 = GemmLayout::plan_grouped(&a, 64, &cfg, 8, 2).unwrap();
+        assert_eq!(m1.num_coltiles, 4);
+        assert_eq!(m2.num_coltiles, 2);
+        let p = build(&m2, &KernelParams { unroll: 4, ..Default::default() }).unwrap();
+        let text = p.to_string();
+        assert!(text.contains("e32,m2"), "grouped vsetvli emitted");
+        assert!(text.contains("vindexmac.vvi"));
+        // Fewer column tiles -> fewer total instructions than ungrouped.
+        let p1 = build(&m1, &KernelParams { unroll: 4, ..Default::default() }).unwrap();
+        assert!(p.len() < p1.len(), "{} vs {}", p.len(), p1.len());
+    }
+
+    #[test]
+    fn unroll_budget_shrinks_with_grouping() {
+        let a = prune::random_structured(4, 32, NmPattern::P1_4, 3);
+        let cfg = SimConfig::table_i();
+        let m4 = GemmLayout::plan_grouped(&a, 64, &cfg, 4, 4).unwrap();
+        assert_eq!(max_unroll(&m4), 2); // 16 regs of tile, (4+2)*u <= 16
+        assert!(build(&m4, &KernelParams { unroll: 2, ..Default::default() }).is_ok());
+        assert!(matches!(
+            build(&m4, &KernelParams { unroll: 3, ..Default::default() }),
+            Err(KernelError::BadUnroll { max: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_unroll() {
+        let l = layout(NmPattern::P1_4);
+        assert!(matches!(
+            build(&l, &KernelParams { unroll: 0, ..Default::default() }),
+            Err(KernelError::BadUnroll { .. })
+        ));
+        assert!(matches!(
+            build(&l, &KernelParams { unroll: 9, ..Default::default() }),
+            Err(KernelError::BadUnroll { .. })
+        ));
+    }
+}

@@ -39,6 +39,12 @@ impl GemmDims {
     }
 }
 
+/// Architectural registers available to the resident B tile: `v0..v11`
+/// are reserved for accumulators/metadata/scratch (see the bank table
+/// in `emit.rs`), and the planner keeps the same headroom under
+/// grouping, where the tile occupies `tile_rows * lmul` registers.
+const TILE_REG_BUDGET: usize = 20;
+
 /// First simulated address handed out to operand arrays.
 const REGION_BASE: u64 = 0x0010_0000;
 /// Region alignment (one simulated page).
@@ -53,8 +59,14 @@ pub struct GemmLayout {
     pub pattern: NmPattern,
     /// B-tile rows kept resident per k-step (`L`, multiple of `M`).
     pub tile_rows: usize,
-    /// Hardware vector length in elements.
+    /// Hardware vector length in elements (per single register).
     pub vl: usize,
+    /// Register grouping factor (`LMUL ∈ {1, 2, 4}`). With `lmul > 1`
+    /// every B row segment, C accumulator and column tile is
+    /// `lmul * vl` elements wide, held in groups of `lmul` consecutive
+    /// vector registers; only the second-generation `indexmac2` kernel
+    /// consumes such layouts.
+    pub lmul: usize,
     /// `ceil(inner / L)` — number of k-tiles.
     pub num_ktiles: usize,
     /// Metadata slots per (row, k-tile): `N * L / M`.
@@ -99,10 +111,37 @@ impl GemmLayout {
         cfg: &SimConfig,
         tile_rows: usize,
     ) -> Result<Self, KernelError> {
+        Self::plan_grouped(a, b_cols, cfg, tile_rows, 1)
+    }
+
+    /// Plans a layout with register grouping: column tiles (and thus B
+    /// row segments and C accumulators) are `lmul * VL` elements wide,
+    /// and each resident B row occupies a group of `lmul` consecutive
+    /// vector registers. `lmul = 1` is exactly [`GemmLayout::plan`].
+    ///
+    /// # Errors
+    ///
+    /// The [`GemmLayout::plan`] conditions, evaluated against the
+    /// grouped register budget (`tile_rows * lmul` architectural
+    /// registers), plus [`KernelError::BadGrouping`] for `lmul`
+    /// outside `{1, 2, 4}`.
+    pub fn plan_grouped(
+        a: &StructuredSparseMatrix,
+        b_cols: usize,
+        cfg: &SimConfig,
+        tile_rows: usize,
+        lmul: usize,
+    ) -> Result<Self, KernelError> {
         let pattern = a.pattern();
         let vl = cfg.vlmax_e32();
         let (rows, inner) = a.shape();
 
+        if !matches!(lmul, 1 | 2 | 4) {
+            return Err(KernelError::BadGrouping {
+                lmul,
+                reason: "register grouping must be 1, 2 or 4",
+            });
+        }
         if tile_rows == 0 || !tile_rows.is_multiple_of(pattern.m()) {
             return Err(KernelError::BadTileRows {
                 tile_rows,
@@ -115,8 +154,7 @@ impl GemmLayout {
                 reason: "exceeds the addressable bound M*VL/N (paper Section III)",
             });
         }
-        if tile_rows > 20 {
-            // v0..v11 are reserved for accumulators/metadata/scratch.
+        if tile_rows * lmul > TILE_REG_BUDGET {
             return Err(KernelError::BadTileRows {
                 tile_rows,
                 reason: "leaves too few vector registers for accumulators",
@@ -127,9 +165,10 @@ impl GemmLayout {
             return Err(KernelError::TooManySlotsPerTile { slots: slots_per_tile, vl });
         }
 
+        let coltile_width = vl * lmul;
         let num_ktiles = inner.div_ceil(tile_rows);
-        let num_coltiles = b_cols.div_ceil(vl);
-        let row_stride_bytes = (num_coltiles * vl * 4) as u64;
+        let num_coltiles = b_cols.div_ceil(coltile_width);
+        let row_stride_bytes = (num_coltiles * coltile_width * 4) as u64;
         let a_row_stride_bytes = (inner.div_ceil(vl) * vl * 4) as u64;
 
         // Bump allocator over the simulated address space.
@@ -152,10 +191,11 @@ impl GemmLayout {
             pattern,
             tile_rows,
             vl,
+            lmul,
             num_ktiles,
             slots_per_tile,
             num_coltiles,
-            tile_vreg_base: (32 - tile_rows) as u8,
+            tile_vreg_base: (32 - tile_rows * lmul) as u8,
             values_base,
             colidx_offsets_base,
             colidx_vregs_base,
@@ -165,6 +205,23 @@ impl GemmLayout {
             row_stride_bytes,
             a_row_stride_bytes,
         })
+    }
+
+    /// Column-tile width in elements (`VL * LMUL`).
+    pub fn coltile_width(&self) -> usize {
+        self.vl * self.lmul
+    }
+
+    /// The largest tile-row count `L` that fits the register budget
+    /// under `lmul` grouping while staying a multiple of the pattern's
+    /// block size `M`: grouped experiments shrink the requested `L`
+    /// rather than erroring out (e.g. `L=16` becomes 8 under `m2` and 4
+    /// under `m4`).
+    pub fn fit_tile_rows(requested: usize, lmul: usize, pattern: NmPattern) -> usize {
+        let m = pattern.m();
+        let cap = (TILE_REG_BUDGET / lmul.max(1)).max(m);
+        let fitted = requested.min(cap) / m * m;
+        fitted.max(m)
     }
 
     /// Address of the `values` slots for `(row, ktile)`.
@@ -249,7 +306,10 @@ impl GemmLayout {
                         let global_row = global_block * m + in_block;
                         values[slot] = value;
                         offsets[slot] = (global_row as u64 * self.row_stride_bytes) as u32;
-                        vregs[slot] = self.tile_vreg_base as u32 + local_row as u32;
+                        // Under grouping each resident B row is a group
+                        // of `lmul` registers; the index names its base.
+                        vregs[slot] =
+                            self.tile_vreg_base as u32 + (local_row * self.lmul) as u32;
                     }
                 }
                 mem.write_f32_slice(self.values_addr(row, kt), &values);
@@ -340,6 +400,75 @@ mod tests {
         let p = NmPattern::new(8, 8).unwrap();
         let a = prune::random_structured(2, 32, p, 1);
         assert!(GemmLayout::plan(&a, 16, &cfg(), 16).is_ok());
+    }
+
+    #[test]
+    fn grouped_plan_geometry() {
+        let a = prune::random_structured(8, 64, NmPattern::P1_4, 7);
+        let l = GemmLayout::plan_grouped(&a, 40, &cfg(), 8, 2).unwrap();
+        assert_eq!(l.lmul, 2);
+        assert_eq!(l.coltile_width(), 32);
+        assert_eq!(l.num_coltiles, 2); // ceil(40 / 32)
+        assert_eq!(l.row_stride_bytes, 2 * 32 * 4);
+        assert_eq!(l.tile_vreg_base, 16); // 32 - 8*2
+        // lmul = 1 keeps plan() semantics exactly.
+        let m1 = GemmLayout::plan_grouped(&a, 40, &cfg(), 16, 1).unwrap();
+        assert_eq!(m1, GemmLayout::plan(&a, 40, &cfg(), 16).unwrap());
+    }
+
+    #[test]
+    fn grouped_plan_validates() {
+        let a = prune::random_structured(4, 32, NmPattern::P2_4, 1);
+        assert!(matches!(
+            GemmLayout::plan_grouped(&a, 8, &cfg(), 16, 3),
+            Err(KernelError::BadGrouping { lmul: 3, .. })
+        ));
+        // 16 rows * m2 = 32 architectural registers: over budget.
+        assert!(matches!(
+            GemmLayout::plan_grouped(&a, 8, &cfg(), 16, 2),
+            Err(KernelError::BadTileRows { .. })
+        ));
+        assert!(GemmLayout::plan_grouped(&a, 8, &cfg(), 8, 2).is_ok());
+        assert!(GemmLayout::plan_grouped(&a, 8, &cfg(), 4, 4).is_ok());
+    }
+
+    #[test]
+    fn grouped_vreg_metadata_names_group_bases() {
+        let a = prune::random_structured(3, 16, NmPattern::P1_4, 9);
+        let b = DenseMatrix::random(16, 16, 10);
+        let l = GemmLayout::plan_grouped(&a, 16, &cfg(), 8, 2).unwrap();
+        let mut mem = MainMemory::new();
+        l.write_operands(&a, &b, &mut mem);
+        for row in 0..3 {
+            for kt in 0..l.num_ktiles {
+                for slot in 0..l.slots_per_tile {
+                    let vreg = mem.read_u32(l.colidx_vregs_addr(row, kt) + slot as u64 * 4);
+                    assert!(vreg >= l.tile_vreg_base as u32);
+                    assert!(vreg < 32);
+                    // Group bases are lmul-aligned within the tile.
+                    assert_eq!((vreg - l.tile_vreg_base as u32) % 2, 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fit_tile_rows_shrinks_with_grouping() {
+        assert_eq!(GemmLayout::fit_tile_rows(16, 1, NmPattern::P1_4), 16);
+        assert_eq!(GemmLayout::fit_tile_rows(16, 2, NmPattern::P1_4), 8);
+        assert_eq!(GemmLayout::fit_tile_rows(16, 4, NmPattern::P1_4), 4);
+        assert_eq!(GemmLayout::fit_tile_rows(16, 2, NmPattern::P1_2), 10);
+        // Never below one block.
+        assert_eq!(GemmLayout::fit_tile_rows(2, 4, NmPattern::P1_4), 4);
+        // Fitted values always plan cleanly at their grouping.
+        for lmul in [1usize, 2, 4] {
+            let fitted = GemmLayout::fit_tile_rows(16, lmul, NmPattern::P2_4);
+            let a = prune::random_structured(4, 32, NmPattern::P2_4, 1);
+            assert!(
+                GemmLayout::plan_grouped(&a, 8, &cfg(), fitted, lmul).is_ok(),
+                "lmul {lmul} fitted {fitted}"
+            );
+        }
     }
 
     #[test]

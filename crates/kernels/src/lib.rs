@@ -10,6 +10,11 @@
 //! * [`indexmac`] — **Algorithm 3** ("Proposed"): pre-loads an `L x VL`
 //!   tile of B into the vector register file and replaces the per-nonzero
 //!   vector load + value move + MAC with one index move + `vindexmac.vx`.
+//! * [`indexmac2`] — the **second-generation** kernel (after arXiv
+//!   2501.10189): `vindexmac.vvi` consumes the column index directly
+//!   from the vector register file, collapsing the per-nonzero inner
+//!   loop to a single instruction and enabling register-grouped
+//!   (`LMUL ∈ {1,2,4}`) B tiles.
 //! * [`scalar_idx`] — an extension variant that fetches per-nonzero
 //!   metadata with scalar loads instead of `vmv.x.s` + slides (ablation).
 //!
@@ -45,6 +50,7 @@ pub mod dense;
 pub mod emit;
 pub mod error;
 pub mod indexmac;
+pub mod indexmac2;
 pub mod layout;
 pub mod rowwise;
 pub mod scalar_idx;

@@ -18,6 +18,7 @@
 
 use crate::dataflow::Dataflow;
 use crate::emit::{
+    require_ungrouped,
     bslice_vreg, c_addr_xreg, c_vreg, colidx_vreg, emit_loop_step, emit_prologue, emit_vload_abs,
     scratch_xreg, value_freg, values_vreg, B_COLTILE_BASE, CTR_COLTILES, CTR_KTILES, CTR_NNZ,
     CTR_ROWS, MAX_UNROLL,
@@ -34,6 +35,7 @@ use indexmac_isa::{Instruction, Program, ProgramBuilder, XReg};
 /// Returns [`KernelError::BadUnroll`] when `params.unroll` is outside
 /// `1..=4`.
 pub fn build(layout: &GemmLayout, params: &KernelParams) -> Result<Program, KernelError> {
+    require_ungrouped(layout)?;
     if params.unroll == 0 || params.unroll > MAX_UNROLL {
         return Err(KernelError::BadUnroll { unroll: params.unroll, max: MAX_UNROLL });
     }

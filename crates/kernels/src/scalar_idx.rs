@@ -18,6 +18,7 @@
 //! Algorithm 3 time is cross-domain synchronisation.
 
 use crate::emit::{
+    require_ungrouped,
     c_addr_xreg, c_vreg, emit_loop_step, emit_prologue, scratch_xreg, values_vreg, ADDR_SCRATCH,
     CTR_COLTILES, CTR_KTILES, CTR_NNZ, CTR_ROWS, MAX_UNROLL, ROW_STRIDE,
 };
@@ -38,6 +39,7 @@ fn value_xreg(r: usize) -> XReg {
 /// Returns [`KernelError::BadUnroll`] when `params.unroll` is outside
 /// `1..=4`.
 pub fn build(layout: &GemmLayout, params: &KernelParams) -> Result<Program, KernelError> {
+    require_ungrouped(layout)?;
     if params.unroll == 0 || params.unroll > MAX_UNROLL {
         return Err(KernelError::BadUnroll { unroll: params.unroll, max: MAX_UNROLL });
     }

@@ -8,10 +8,22 @@ use indexmac_vpu::{RunReport, SimConfig, SimError, Simulator};
 use std::error::Error;
 use std::fmt;
 
-/// Default tolerance for comparing simulated and reference products.
-/// The kernels and reference accumulate in the same order, but the
-/// dense baseline sums padding zeros, so exact equality is not demanded.
-pub const DEFAULT_TOLERANCE: f32 = 1e-4;
+/// Tolerance for comparing simulated and reference products on a GEMM
+/// with inner dimension `inner`.
+///
+/// The kernels and reference accumulate the same terms, but not always
+/// in the same grouping (tiling changes the association), so rounding
+/// error grows with the length of the reduction. A flat bound (the old
+/// `1e-4`) is both needlessly slack for tiny GEMMs and — because the
+/// worst-case drift of a `k`-term float32 reduction is `O(k · eps ·
+/// |partial sums|)` — a flake waiting to happen at `k` in the
+/// thousands. This bound scales linearly with `k`, floored so tiny
+/// reductions keep a workable allowance:
+/// `max(k, 64) * 8 * f32::EPSILON` (≈ `6.1e-5` up to `k = 64`,
+/// ≈ `3.9e-3` at `k = 4096`).
+pub fn default_tolerance(inner: usize) -> f32 {
+    (inner.max(64) as f32) * 8.0 * f32::EPSILON
+}
 
 /// Result of one simulated kernel execution.
 #[derive(Debug, Clone)]
@@ -130,14 +142,14 @@ pub fn run_and_check(
     cfg: &SimConfig,
 ) -> Result<KernelRun, VerifyError> {
     let run = run_kernel(program, a, b, layout, cfg)?;
-    check_against_reference(&run, a, b, DEFAULT_TOLERANCE)?;
+    check_against_reference(&run, a, b, default_tolerance(layout.dims.inner))?;
     Ok(run)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{dense, indexmac, rowwise, scalar_idx, Dataflow, KernelParams};
+    use crate::{dense, indexmac, indexmac2, rowwise, scalar_idx, Dataflow, KernelParams};
     use indexmac_sparse::{prune, NmPattern};
 
     fn cfg() -> SimConfig {
@@ -159,7 +171,7 @@ mod tests {
 
     #[test]
     fn rowwise_computes_reference_product() {
-        for pattern in [NmPattern::P1_4, NmPattern::P2_4, NmPattern::P1_2] {
+        for pattern in NmPattern::ALL {
             let (a, b, layout) = fixture(6, 32, 20, pattern, 42);
             let p = rowwise::build(&layout, &KernelParams::default()).unwrap();
             run_and_check(&p, &a, &b, &layout, &cfg())
@@ -179,12 +191,70 @@ mod tests {
 
     #[test]
     fn indexmac_computes_reference_product() {
-        for pattern in [NmPattern::P1_4, NmPattern::P2_4, NmPattern::P1_2] {
+        for pattern in NmPattern::ALL {
             let (a, b, layout) = fixture(6, 32, 20, pattern, 43);
             let p = indexmac::build(&layout, &KernelParams::default()).unwrap();
             run_and_check(&p, &a, &b, &layout, &cfg())
                 .unwrap_or_else(|e| panic!("pattern {pattern}: {e}"));
         }
+    }
+
+    #[test]
+    fn indexmac2_computes_reference_product() {
+        for pattern in NmPattern::ALL {
+            let (a, b, layout) = fixture(6, 32, 20, pattern, 52);
+            let p = indexmac2::build(&layout, &KernelParams::default()).unwrap();
+            run_and_check(&p, &a, &b, &layout, &cfg())
+                .unwrap_or_else(|e| panic!("pattern {pattern}: {e}"));
+        }
+    }
+
+    #[test]
+    fn indexmac2_grouped_computes_reference_product() {
+        for (lmul, tile_rows, unroll) in [(2, 8, 4), (4, 4, 2)] {
+            let a = prune::random_structured(6, 32, NmPattern::P2_4, 53);
+            let b = DenseMatrix::random(32, 40, 54);
+            let layout = GemmLayout::plan_grouped(&a, 40, &cfg(), tile_rows, lmul).unwrap();
+            let p = indexmac2::build(&layout, &KernelParams { unroll, ..Default::default() })
+                .unwrap();
+            run_and_check(&p, &a, &b, &layout, &cfg())
+                .unwrap_or_else(|e| panic!("lmul {lmul}: {e}"));
+        }
+    }
+
+    #[test]
+    fn second_generation_beats_algorithm_3() {
+        let (a, b, layout) = fixture(16, 64, 64, NmPattern::P1_4, 55);
+        let v1 = run_and_check(
+            &indexmac::build(&layout, &KernelParams::default()).unwrap(),
+            &a,
+            &b,
+            &layout,
+            &cfg(),
+        )
+        .unwrap();
+        let v2 = run_and_check(
+            &indexmac2::build(&layout, &KernelParams::default()).unwrap(),
+            &a,
+            &b,
+            &layout,
+            &cfg(),
+        )
+        .unwrap();
+        assert!(
+            v2.report.cycles < v1.report.cycles,
+            "vvi {} cycles vs vx {}",
+            v2.report.cycles,
+            v1.report.cycles
+        );
+        assert!(
+            v2.report.instructions < v1.report.instructions,
+            "vvi {} instret vs vx {}",
+            v2.report.instructions,
+            v1.report.instructions
+        );
+        assert_eq!(v2.report.v2s_syncs, 0, "no cross-domain coupling left");
+        assert!(v1.report.v2s_syncs > 0);
     }
 
     #[test]
@@ -205,7 +275,7 @@ mod tests {
         let run = run_kernel(&p, &a, &b, &layout, &cfg()).unwrap();
         let reference = a.to_dense().matmul(&b).unwrap();
         assert!(
-            run.c.approx_eq(&reference, DEFAULT_TOLERANCE),
+            run.c.approx_eq(&reference, default_tolerance(24)),
             "max diff {}",
             run.c.max_abs_diff(&reference)
         );
@@ -266,9 +336,32 @@ mod tests {
         let mut run = run_kernel(&p, &a, &b, &layout, &cfg()).unwrap();
         run.c.set(0, 0, run.c.get(0, 0) + 1.0);
         assert!(matches!(
-            check_against_reference(&run, &a, &b, DEFAULT_TOLERANCE),
+            check_against_reference(&run, &a, &b, default_tolerance(16)),
             Err(VerifyError::Mismatch { .. })
         ));
+    }
+
+    #[test]
+    fn tolerance_scales_with_inner_dimension() {
+        // Tiny reductions get a *tighter* bound than the old flat 1e-4;
+        // k = 4096 gets a *looser* one (the flat bound would flake).
+        assert!(default_tolerance(16) < 1e-4);
+        assert!(default_tolerance(64) < 1e-4);
+        assert!(default_tolerance(4096) > 1e-4);
+        // Monotone in k above the floor.
+        assert!(default_tolerance(8192) > default_tolerance(4096));
+        assert_eq!(default_tolerance(1), default_tolerance(64));
+    }
+
+    #[test]
+    fn deep_reduction_verifies_under_scaled_tolerance() {
+        // Regression for the k = 4096 flake: a reduction 256 k-tiles
+        // deep must still verify, which the k-scaled bound guarantees
+        // headroom for.
+        let (a, b, layout) = fixture(2, 4096, 8, NmPattern::P1_4, 51);
+        assert_eq!(layout.num_ktiles, 256);
+        let p = indexmac::build(&layout, &KernelParams::default()).unwrap();
+        run_and_check(&p, &a, &b, &layout, &cfg()).unwrap();
     }
 
     #[test]

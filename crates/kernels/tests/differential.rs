@@ -1,0 +1,202 @@
+//! Cross-kernel differential property suite.
+//!
+//! Every kernel builder compiles the *same* mathematical product to a
+//! different instruction stream (dense broadcast, per-nonzero loads,
+//! `vindexmac.vx` + slides, scalar-indexed, `vindexmac.vvi`, grouped
+//! `vindexmac.vvi`). Over random `(pattern, dims, unroll, dataflow)`
+//! draws, all of them must:
+//!
+//! * produce a product agreeing with the host-side reference within the
+//!   `k`-scaled tolerance, and
+//! * satisfy the per-run [`RunReport`] invariants: non-zero cycles and
+//!   instructions, and a vector-MAC count exactly matching the
+//!   slot-derived expectation of the layout.
+//!
+//! The random case count honours `PROPTEST_CASES` like the rest of the
+//! workspace's property suites (CI pins it for a deterministic budget).
+
+use indexmac_kernels::{
+    dense, indexmac, indexmac2, rowwise, scalar_idx, verify, Dataflow, GemmLayout, KernelParams,
+};
+use indexmac_isa::{InstrClass, Program};
+use indexmac_sparse::{prune, DenseMatrix, NmPattern, StructuredSparseMatrix};
+use indexmac_vpu::{RunReport, SimConfig};
+use proptest::prelude::*;
+
+const TILE_ROWS: usize = 16;
+
+fn cfg() -> SimConfig {
+    SimConfig::table_i()
+}
+
+fn pattern_strategy() -> impl Strategy<Value = NmPattern> {
+    prop_oneof![
+        Just(NmPattern::ALL[0]),
+        Just(NmPattern::ALL[1]),
+        Just(NmPattern::ALL[2]),
+    ]
+}
+
+fn dataflow_strategy() -> impl Strategy<Value = Dataflow> {
+    prop_oneof![
+        Just(Dataflow::AStationary),
+        Just(Dataflow::BStationary),
+        Just(Dataflow::CStationary),
+    ]
+}
+
+/// Deliberately awkward shapes: none of rows/inner/cols need divide the
+/// unroll factor, tile rows or vector length.
+fn dims_strategy() -> impl Strategy<Value = (usize, usize, usize)> {
+    (1usize..=9, 1usize..=48, 1usize..=36)
+}
+
+fn operands(
+    rows: usize,
+    inner: usize,
+    cols: usize,
+    pattern: NmPattern,
+    seed: u64,
+) -> (StructuredSparseMatrix, DenseMatrix) {
+    let a = prune::random_structured(rows, inner, pattern, seed);
+    let b = DenseMatrix::random(inner, cols, seed.wrapping_add(1));
+    (a, b)
+}
+
+/// Runs one built program and enforces the shared report invariants.
+fn run_checked(
+    name: &str,
+    program: &Program,
+    a: &StructuredSparseMatrix,
+    b: &DenseMatrix,
+    layout: &GemmLayout,
+) -> Result<RunReport, TestCaseError> {
+    let run = verify::run_kernel(program, a, b, layout, &cfg())
+        .map_err(|e| TestCaseError::fail(format!("{name}: simulation failed: {e}")))?;
+    verify::check_against_reference(&run, a, b, verify::default_tolerance(layout.dims.inner))
+        .map_err(|e| TestCaseError::fail(format!("{name}: {e}")))?;
+    prop_assert!(run.report.cycles > 0, "{}: zero cycles", name);
+    prop_assert!(run.report.instructions > 0, "{}: zero instret", name);
+    prop_assert!(
+        run.report.cycles >= run.report.instructions / cfg().issue_width as u64,
+        "{}: cycles below the issue-width floor",
+        name
+    );
+    Ok(run.report)
+}
+
+/// The fixed-format slot count every sparse kernel iterates, padding
+/// included: one vector MAC per (row, slot, k-tile, column tile).
+fn expected_sparse_macs(layout: &GemmLayout) -> u64 {
+    (layout.dims.rows * layout.slots_per_tile * layout.num_ktiles * layout.num_coltiles) as u64
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// All five kernels agree with the reference product and report
+    /// exactly the slot-derived vector-MAC counts.
+    #[test]
+    fn all_kernels_agree_with_reference(
+        dims in dims_strategy(),
+        pattern in pattern_strategy(),
+        unroll in 1usize..=4,
+        dataflow in dataflow_strategy(),
+        seed in 0u64..1000,
+    ) {
+        let (rows, inner, cols) = dims;
+        let (a, b) = operands(rows, inner, cols, pattern, seed);
+        let layout = GemmLayout::plan(&a, cols, &cfg(), TILE_ROWS).unwrap();
+        let params = KernelParams { unroll, dataflow };
+        let sparse_macs = expected_sparse_macs(&layout);
+
+        // Algorithm 1 (dense) multiplies every inner element.
+        let p = dense::build(&layout, &params).unwrap();
+        let r = run_checked("dense", &p, &a, &b, &layout)?;
+        prop_assert_eq!(
+            r.counts.get(InstrClass::VMac),
+            (rows * inner * layout.num_coltiles) as u64,
+            "dense MAC count"
+        );
+        prop_assert_eq!(r.counts.get(InstrClass::VIndexMac), 0);
+
+        // Algorithm 2 (Row-Wise-SpMM) under the drawn dataflow.
+        let p = rowwise::build(&layout, &params).unwrap();
+        let r = run_checked("rowwise", &p, &a, &b, &layout)?;
+        prop_assert_eq!(r.counts.get(InstrClass::VMac), sparse_macs, "rowwise MAC count");
+        prop_assert_eq!(r.counts.get(InstrClass::VIndexMac), 0);
+
+        // Algorithm 3 (vindexmac.vx).
+        let p = indexmac::build(&layout, &params).unwrap();
+        let r = run_checked("indexmac", &p, &a, &b, &layout)?;
+        prop_assert_eq!(r.counts.get(InstrClass::VIndexMac), sparse_macs, "vx MAC count");
+        prop_assert!(r.v2s_syncs >= sparse_macs, "vx pays a vmv.x.s per nonzero slot");
+
+        // Scalar-indexed ablation.
+        let p = scalar_idx::build(&layout, &params).unwrap();
+        let r = run_checked("scalar_idx", &p, &a, &b, &layout)?;
+        prop_assert_eq!(r.counts.get(InstrClass::VIndexMac), sparse_macs, "scalar MAC count");
+        prop_assert_eq!(r.v2s_syncs, 0, "scalar_idx avoids cross-domain moves");
+
+        // Second generation (vindexmac.vvi).
+        let p = indexmac2::build(&layout, &params).unwrap();
+        let r = run_checked("indexmac2", &p, &a, &b, &layout)?;
+        prop_assert_eq!(r.counts.get(InstrClass::VIndexMac), sparse_macs, "vvi MAC count");
+        prop_assert_eq!(r.v2s_syncs, 0, "vvi keeps the index inside the VRF");
+        prop_assert_eq!(r.counts.get(InstrClass::VSlide), 0, "vvi has no slide walk");
+    }
+
+    /// The second-generation kernel beats Algorithm 3 on dynamic
+    /// instructions on every draw, and on cycles whenever the problem
+    /// has enough non-zeros for the steady state to dominate.
+    #[test]
+    fn indexmac2_never_loses_to_indexmac(
+        dims in dims_strategy(),
+        pattern in pattern_strategy(),
+        unroll in 1usize..=4,
+        seed in 0u64..1000,
+    ) {
+        let (rows, inner, cols) = dims;
+        let (a, b) = operands(rows, inner, cols, pattern, seed);
+        let layout = GemmLayout::plan(&a, cols, &cfg(), TILE_ROWS).unwrap();
+        let params = KernelParams { unroll, ..Default::default() };
+        let r1 = run_checked("vx", &indexmac::build(&layout, &params).unwrap(), &a, &b, &layout)?;
+        let r2 = run_checked("vvi", &indexmac2::build(&layout, &params).unwrap(), &a, &b, &layout)?;
+        prop_assert!(
+            r2.instructions < r1.instructions,
+            "vvi {} instret vs vx {}",
+            r2.instructions,
+            r1.instructions
+        );
+        prop_assert!(
+            r2.cycles <= r1.cycles,
+            "vvi {} cycles vs vx {}",
+            r2.cycles,
+            r1.cycles
+        );
+    }
+
+    /// Register-grouped layouts compute the same product; the MAC-count
+    /// invariant holds against *their own* (coarser) tiling.
+    #[test]
+    fn grouped_indexmac2_agrees_with_reference(
+        dims in dims_strategy(),
+        pattern in prop_oneof![Just(NmPattern::P1_4), Just(NmPattern::P2_4)],
+        lmul in prop_oneof![Just(2usize), Just(4usize)],
+        unroll in 1usize..=4,
+        seed in 0u64..1000,
+    ) {
+        let (rows, inner, cols) = dims;
+        let (a, b) = operands(rows, inner, cols, pattern, seed);
+        let tile_rows = GemmLayout::fit_tile_rows(TILE_ROWS, lmul, pattern);
+        let layout = GemmLayout::plan_grouped(&a, cols, &cfg(), tile_rows, lmul).unwrap();
+        let params = KernelParams {
+            unroll: unroll.min(indexmac2::max_unroll(&layout)).max(1),
+            ..Default::default()
+        };
+        let p = indexmac2::build(&layout, &params).unwrap();
+        let r = run_checked(&format!("vvi-m{lmul}"), &p, &a, &b, &layout)?;
+        prop_assert_eq!(r.counts.get(InstrClass::VIndexMac), expected_sparse_macs(&layout));
+        prop_assert_eq!(r.v2s_syncs, 0);
+    }
+}

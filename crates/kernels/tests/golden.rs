@@ -1,8 +1,13 @@
 //! Golden tests: the generated assembly of small kernels is pinned, so
 //! any unintended change to the emission logic (instruction selection,
-//! ordering, loop structure) is caught immediately.
+//! ordering, loop structure) is caught immediately. Every kernel
+//! builder has its first ~40 instructions locked below; regenerate a
+//! snapshot only when an emission change is *intentional*.
 
-use indexmac_kernels::{indexmac, rowwise, GemmLayout, KernelParams};
+use indexmac_isa::Program;
+use indexmac_kernels::{
+    dense, indexmac, indexmac2, rowwise, scalar_idx, GemmLayout, KernelParams,
+};
 use indexmac_sparse::{DenseMatrix, NmPattern, StructuredSparseMatrix};
 use indexmac_vpu::SimConfig;
 
@@ -17,6 +22,33 @@ fn tiny_layout() -> GemmLayout {
     .unwrap();
     let a = StructuredSparseMatrix::from_dense(&dense, NmPattern::P1_4).unwrap();
     GemmLayout::plan(&a, 4, &SimConfig::table_i(), 8).unwrap()
+}
+
+/// The same matrix planned under m2 register grouping.
+fn tiny_grouped_layout() -> GemmLayout {
+    let dense = DenseMatrix::try_new(
+        1,
+        8,
+        vec![0.0, 2.0, 0.0, 0.0, 0.0, 0.0, -3.0, 0.0],
+    )
+    .unwrap();
+    let a = StructuredSparseMatrix::from_dense(&dense, NmPattern::P1_4).unwrap();
+    GemmLayout::plan_grouped(&a, 4, &SimConfig::table_i(), 8, 2).unwrap()
+}
+
+/// The first `n` disassembled instructions of a program.
+fn prefix(p: &Program, n: usize) -> Vec<String> {
+    p.instructions().iter().take(n).map(|i| i.to_string()).collect()
+}
+
+fn assert_prefix(name: &str, p: &Program, expected: &[&str]) {
+    let got = prefix(p, expected.len());
+    assert_eq!(
+        got,
+        expected.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+        "{name} listing prefix changed:\n{}",
+        got.join("\n")
+    );
 }
 
 #[test]
@@ -116,6 +148,272 @@ fn rowwise_inner_loop_shape_is_stable() {
     );
     // And the per-row address adjust of line 5 precedes it.
     assert!(listing[..idx].iter().any(|l| l.starts_with("vadd.vx v8, v8, s5")));
+}
+
+#[test]
+fn dense_kernel_prefix_is_stable() {
+    let p = dense::build(&tiny_layout(), &KernelParams { unroll: 1, ..Default::default() })
+        .unwrap();
+    assert_prefix(
+        "dense",
+        &p,
+        &[
+            "li a0, 16",
+            "vsetvli zero, a0, e32,m1",
+            "li s9, 64",
+            "li s6, 1",
+            "li t6, 1",
+            "li t5, 1",
+            "li a1, 1069056",
+            "li a0, 1060864",
+            "vle32.v v4, (a0)",
+            "vle32.v v0, (a1)",
+            "li t4, 8",
+            "li a0, 1064960",
+            "vle32.v v12, (a0)",
+            "vfmv.f.s f0, v4",
+            "vfmacc.vf v0, f0, v12",
+            "vslide1down.vx v4, v4, zero",
+            "addi t4, t4, -1",
+            "bne t4, zero, 1",
+            "li a0, 1065024",
+            "vle32.v v12, (a0)",
+            "vfmv.f.s f0, v4",
+            "vfmacc.vf v0, f0, v12",
+            "vslide1down.vx v4, v4, zero",
+            "addi t4, t4, -1",
+            "bne t4, zero, 1",
+            "li a0, 1065088",
+            "vle32.v v12, (a0)",
+            "vfmv.f.s f0, v4",
+            "vfmacc.vf v0, f0, v12",
+            "vslide1down.vx v4, v4, zero",
+            "addi t4, t4, -1",
+            "bne t4, zero, 1",
+            "li a0, 1065152",
+            "vle32.v v12, (a0)",
+            "vfmv.f.s f0, v4",
+            "vfmacc.vf v0, f0, v12",
+            "vslide1down.vx v4, v4, zero",
+            "addi t4, t4, -1",
+            "bne t4, zero, 1",
+            "li a0, 1065216",
+        ],
+    );
+}
+
+#[test]
+fn rowwise_kernel_prefix_is_stable() {
+    let p = rowwise::build(&tiny_layout(), &KernelParams { unroll: 1, ..Default::default() })
+        .unwrap();
+    assert_prefix(
+        "rowwise",
+        &p,
+        &[
+            "li a0, 16",
+            "vsetvli zero, a0, e32,m1",
+            "li s9, 64",
+            "li s6, 1",
+            "li t6, 1",
+            "li s5, 1064960",
+            "li t5, 1",
+            "li a1, 1069056",
+            "li a0, 1048576",
+            "vle32.v v4, (a0)",
+            "li a0, 1052672",
+            "vle32.v v8, (a0)",
+            "vadd.vx v8, v8, s5",
+            "vle32.v v0, (a1)",
+            "li t4, 2",
+            "vmv.x.s t0, v8",
+            "vle32.v v12, (t0)",
+            "vfmv.f.s f0, v4",
+            "vfmacc.vf v0, f0, v12",
+            "vslide1down.vx v4, v4, zero",
+            "vslide1down.vx v8, v8, zero",
+            "addi t4, t4, -1",
+            "bne t4, zero, 1",
+            "vmv.x.s t0, v8",
+            "vle32.v v12, (t0)",
+            "vfmv.f.s f0, v4",
+            "vfmacc.vf v0, f0, v12",
+            "vslide1down.vx v4, v4, zero",
+            "vslide1down.vx v8, v8, zero",
+            "addi t4, t4, -1",
+            "bne t4, zero, 1",
+            "vse32.v v0, (a1)",
+            "addi t5, t5, -1",
+            "bne t5, zero, 1",
+            "addi t6, t6, -1",
+            "bne t6, zero, 1",
+            "addi s6, s6, -1",
+            "bne s6, zero, 1",
+            "ebreak",
+        ],
+    );
+}
+
+#[test]
+fn scalar_idx_kernel_prefix_is_stable() {
+    let p = scalar_idx::build(&tiny_layout(), &KernelParams { unroll: 1, ..Default::default() })
+        .unwrap();
+    assert_prefix(
+        "scalar_idx",
+        &p,
+        &[
+            "li a0, 16",
+            "vsetvli zero, a0, e32,m1",
+            "li s9, 64",
+            "li s6, 1",
+            "li t6, 1",
+            "li a0, 1064960",
+            "vle32.v v24, (a0)",
+            "add a0, a0, s9",
+            "vle32.v v25, (a0)",
+            "add a0, a0, s9",
+            "vle32.v v26, (a0)",
+            "add a0, a0, s9",
+            "vle32.v v27, (a0)",
+            "add a0, a0, s9",
+            "vle32.v v28, (a0)",
+            "add a0, a0, s9",
+            "vle32.v v29, (a0)",
+            "add a0, a0, s9",
+            "vle32.v v30, (a0)",
+            "add a0, a0, s9",
+            "vle32.v v31, (a0)",
+            "li t5, 1",
+            "li a1, 1069056",
+            "vle32.v v0, (a1)",
+            "li t4, 2",
+            "li a0, 1056768",
+            "lw t0, 0(a0)",
+            "li a0, 1048576",
+            "lw a5, 0(a0)",
+            "vmv.s.x v4, a5",
+            "vindexmac.vx v0, v4, t0",
+            "addi t4, t4, -1",
+            "bne t4, zero, 1",
+            "li a0, 1056772",
+            "lw t0, 0(a0)",
+            "li a0, 1048580",
+            "lw a5, 0(a0)",
+            "vmv.s.x v4, a5",
+            "vindexmac.vx v0, v4, t0",
+            "addi t4, t4, -1",
+        ],
+    );
+}
+
+#[test]
+fn indexmac2_kernel_listing_is_stable() {
+    // The second-generation kernel at unroll 1: the whole program fits
+    // in the snapshot. Note the one-instruction steady state — no
+    // vmv.x.s, no slides, metadata read in place by slot immediate.
+    let p = indexmac2::build(&tiny_layout(), &KernelParams { unroll: 1, ..Default::default() })
+        .unwrap();
+    assert_prefix(
+        "indexmac2",
+        &p,
+        &[
+            "li a0, 16",
+            "vsetvli zero, a0, e32,m1",
+            "li s9, 64",
+            "li s6, 1",
+            "li t6, 1",
+            "li a0, 1064960",
+            "vle32.v v24, (a0)",
+            "add a0, a0, s9",
+            "vle32.v v25, (a0)",
+            "add a0, a0, s9",
+            "vle32.v v26, (a0)",
+            "add a0, a0, s9",
+            "vle32.v v27, (a0)",
+            "add a0, a0, s9",
+            "vle32.v v28, (a0)",
+            "add a0, a0, s9",
+            "vle32.v v29, (a0)",
+            "add a0, a0, s9",
+            "vle32.v v30, (a0)",
+            "add a0, a0, s9",
+            "vle32.v v31, (a0)",
+            "li t5, 1",
+            "li a1, 1069056",
+            "li a0, 1048576",
+            "vle32.v v1, (a0)",
+            "li a0, 1056768",
+            "vle32.v v2, (a0)",
+            "vle32.v v0, (a1)",
+            "li t4, 2",
+            "vindexmac.vvi v0, v1, v2, 0",
+            "addi t4, t4, -1",
+            "bne t4, zero, 1",
+            "vindexmac.vvi v0, v1, v2, 1",
+            "addi t4, t4, -1",
+            "bne t4, zero, 1",
+            "vse32.v v0, (a1)",
+            "addi t5, t5, -1",
+            "bne t5, zero, 1",
+            "addi t6, t6, -1",
+            "bne t6, zero, 1",
+        ],
+    );
+}
+
+#[test]
+fn indexmac2_grouped_kernel_prefix_is_stable() {
+    // m2 grouping: 128-byte row stride (32-element column tile), tile
+    // rows land on even registers (v16, v18, ...), metadata loads drop
+    // to m1 and the data side returns to m2 before the C load.
+    let p =
+        indexmac2::build(&tiny_grouped_layout(), &KernelParams { unroll: 1, ..Default::default() })
+            .unwrap();
+    assert_prefix(
+        "indexmac2-m2",
+        &p,
+        &[
+            "li a0, 32",
+            "vsetvli zero, a0, e32,m2",
+            "li s9, 128",
+            "li s6, 1",
+            "li t6, 1",
+            "li a0, 1064960",
+            "vle32.v v16, (a0)",
+            "add a0, a0, s9",
+            "vle32.v v18, (a0)",
+            "add a0, a0, s9",
+            "vle32.v v20, (a0)",
+            "add a0, a0, s9",
+            "vle32.v v22, (a0)",
+            "add a0, a0, s9",
+            "vle32.v v24, (a0)",
+            "add a0, a0, s9",
+            "vle32.v v26, (a0)",
+            "add a0, a0, s9",
+            "vle32.v v28, (a0)",
+            "add a0, a0, s9",
+            "vle32.v v30, (a0)",
+            "li t5, 1",
+            "li a0, 16",
+            "vsetvli zero, a0, e32,m1",
+            "li a1, 1069056",
+            "li a0, 1048576",
+            "vle32.v v2, (a0)",
+            "li a0, 1056768",
+            "vle32.v v3, (a0)",
+            "li a0, 32",
+            "vsetvli zero, a0, e32,m2",
+            "vle32.v v0, (a1)",
+            "li t4, 2",
+            "vindexmac.vvi v0, v2, v3, 0",
+            "addi t4, t4, -1",
+            "bne t4, zero, 1",
+            "vindexmac.vvi v0, v2, v3, 1",
+            "addi t4, t4, -1",
+            "bne t4, zero, 1",
+            "vse32.v v0, (a1)",
+        ],
+    );
 }
 
 #[test]

@@ -33,6 +33,16 @@ impl NmPattern {
     /// The 2:4 pattern (50 % density, block size 4) — paper Fig. 4(b).
     pub const P2_4: NmPattern = NmPattern { n: 2, m: 4 };
 
+    /// Every preset pattern, in the order the storage figure sweeps them
+    /// (1:2, 1:4, 2:4). The canonical list for exhaustive tests and
+    /// sweeps — update it when adding a preset.
+    pub const ALL: [NmPattern; 3] = [NmPattern::P1_2, NmPattern::P1_4, NmPattern::P2_4];
+
+    /// The two patterns the paper's evaluation sections sweep
+    /// (Fig. 4–6 run 1:4 and 2:4). The default axis for benches, the
+    /// CLI and the sweep runner.
+    pub const EVALUATED: [NmPattern; 2] = [NmPattern::P1_4, NmPattern::P2_4];
+
     /// Creates a pattern allowing up to `n` non-zeros per `m`-element block.
     ///
     /// # Errors
@@ -141,6 +151,39 @@ mod tests {
         assert_eq!(NmPattern::P1_4.max_preload_rows(16), 64);
         assert_eq!(NmPattern::P2_4.max_preload_rows(16), 32);
         assert_eq!(NmPattern::P1_2.max_preload_rows(16), 32);
+    }
+
+    #[test]
+    fn preset_lists_are_exhaustive_and_consistent() {
+        assert_eq!(NmPattern::ALL.len(), 3);
+        assert!(NmPattern::ALL.contains(&NmPattern::P1_2));
+        assert!(NmPattern::ALL.contains(&NmPattern::P1_4));
+        assert!(NmPattern::ALL.contains(&NmPattern::P2_4));
+        // EVALUATED is a subset of ALL.
+        assert!(NmPattern::EVALUATED.iter().all(|p| NmPattern::ALL.contains(p)));
+        // No duplicates.
+        for (i, a) in NmPattern::ALL.iter().enumerate() {
+            for b in NmPattern::ALL.iter().skip(i + 1) {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn all_presets_roundtrip_through_new_and_display() {
+        for p in NmPattern::ALL {
+            // `new` with the same (n, m) reconstructs the preset.
+            assert_eq!(NmPattern::new(p.n(), p.m()).unwrap(), p);
+            // Display renders exactly "N:M", which parses back.
+            assert_eq!(p.to_string(), format!("{}:{}", p.n(), p.m()));
+            let (n, m) = p.to_string().split_once(':').map(|(a, b)| {
+                (a.parse::<usize>().unwrap(), b.parse::<usize>().unwrap())
+            }).unwrap();
+            assert_eq!(NmPattern::new(n, m).unwrap(), p);
+            // Derived quantities stay self-consistent.
+            assert!(p.density() > 0.0 && p.density() <= 1.0);
+            assert_eq!(p.slots_for(p.m()), p.n());
+        }
     }
 
     #[test]

@@ -18,6 +18,9 @@ use std::fmt;
 /// Largest supported `vlmax` (bounds the stack scratch buffers).
 pub const MAX_VLMAX: usize = 128;
 
+/// Largest supported grouped vector length (`LMUL=4` × [`MAX_VLMAX`]).
+pub const MAX_GROUP_LANES: usize = 4 * MAX_VLMAX;
+
 /// A memory operation performed by an instruction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MemOp {
@@ -70,6 +73,33 @@ pub enum ExecError {
         /// The out-of-range target.
         target: i64,
     },
+    /// A vector instruction without register-grouping semantics executed
+    /// while `vl` exceeded the single-register VLMAX (i.e. under
+    /// `LMUL > 1`). Only the grouped subset (`vle32`/`vse32`/
+    /// `vindexmac.vvi` and the element-0 moves) may run grouped.
+    GroupingUnsupported {
+        /// Slot of the faulting instruction.
+        pc: usize,
+    },
+    /// A register-group operand would run past `v31`.
+    GroupOutOfRange {
+        /// Slot of the faulting instruction.
+        pc: usize,
+        /// First register of the group.
+        base: u8,
+        /// Registers the group needs.
+        regs: usize,
+    },
+    /// A `vindexmac.vvi` slot immediate addressed past the metadata
+    /// register's lanes.
+    SlotOutOfRange {
+        /// Slot of the faulting instruction.
+        pc: usize,
+        /// The requested element.
+        slot: u8,
+        /// Lanes per (single) vector register.
+        vlmax: usize,
+    },
 }
 
 impl fmt::Display for ExecError {
@@ -82,6 +112,15 @@ impl fmt::Display for ExecError {
                 write!(f, "unsupported SEW at pc {pc} (model executes e32 only)")
             }
             ExecError::PcOutOfRange { target } => write!(f, "control transfer to slot {target}"),
+            ExecError::GroupingUnsupported { pc } => {
+                write!(f, "instruction at pc {pc} has no register-grouping semantics (vl > VLMAX)")
+            }
+            ExecError::GroupOutOfRange { pc, base, regs } => {
+                write!(f, "register group v{base}+{regs} at pc {pc} runs past v31")
+            }
+            ExecError::SlotOutOfRange { pc, slot, vlmax } => {
+                write!(f, "vindexmac.vvi slot {slot} at pc {pc} exceeds the register lanes ({vlmax})")
+            }
         }
     }
 }
@@ -91,6 +130,35 @@ impl Error for ExecError {}
 #[inline]
 fn f(bits: u32) -> f32 {
     f32::from_bits(bits)
+}
+
+/// Registers a grouped operand spans for the active `vl`.
+fn group_regs(vl: usize, vlmax: usize) -> usize {
+    vl.div_ceil(vlmax).max(1)
+}
+
+/// Whether `instr` has defined semantics when `vl` exceeds the
+/// single-register VLMAX (register grouping): the grouped memory ops,
+/// `vindexmac.vvi`, and the element-0 moves (which touch only lane 0 of
+/// the group regardless of LMUL).
+fn group_aware(instr: &Instruction) -> bool {
+    matches!(
+        instr,
+        Instruction::Vsetvli { .. }
+            | Instruction::Vle32 { .. }
+            | Instruction::Vse32 { .. }
+            | Instruction::VindexmacVvi { .. }
+            | Instruction::VmvXs { .. }
+            | Instruction::VmvSx { .. }
+            | Instruction::VfmvFs { .. }
+    )
+}
+
+fn check_group(pc: usize, r: VReg, regs: usize) -> Result<(), ExecError> {
+    if r.index() as usize + regs > 32 {
+        return Err(ExecError::GroupOutOfRange { pc, base: r.index(), regs });
+    }
+    Ok(())
 }
 
 /// Executes one instruction, advancing `state.pc`.
@@ -115,6 +183,10 @@ pub fn step(
         vl,
     };
     let mut next_pc = pc as i64 + 1;
+
+    if vl > state.vlmax() && instr.is_vector() && !group_aware(instr) {
+        return Err(ExecError::GroupingUnsupported { pc });
+    }
 
     match *instr {
         Li { rd, imm } => state.set_x(rd, imm as u64),
@@ -213,21 +285,22 @@ pub fn step(
             state.set_f_bits(fd, mem.read_u32(addr));
             ev.mem = Some(MemOp { addr, bytes: 4, write: false, vector: false });
         }
-        Vsetvli { rd, rs1, sew } => {
+        Vsetvli { rd, rs1, sew, lmul } => {
             if sew != Sew::E32 {
                 return Err(ExecError::UnsupportedSew { pc });
             }
-            state.set_vtype(VType { sew });
+            state.set_vtype(VType { sew, lmul });
+            let vlmax = state.vlmax_grouped();
             let avl = if rs1.is_zero() {
                 if rd.is_zero() {
                     state.vl()
                 } else {
-                    state.vlmax()
+                    vlmax
                 }
             } else {
                 state.x(rs1) as usize
             };
-            let vl = avl.min(state.vlmax());
+            let vl = avl.min(vlmax);
             state.set_vl(vl);
             state.set_x(rd, vl as u64);
             ev.vl = vl;
@@ -237,9 +310,11 @@ pub fn step(
             if !addr.is_multiple_of(4) {
                 return Err(ExecError::Unaligned { pc, addr });
             }
+            let regs = group_regs(vl, state.vlmax());
+            check_group(pc, vd, regs)?;
             for i in 0..vl {
                 let w = mem.read_u32(addr + (i * 4) as u64);
-                state.v_mut(vd)[i] = w;
+                state.v_group_mut(vd, regs)[i] = w;
             }
             ev.mem = Some(MemOp { addr, bytes: (vl * 4) as u64, write: false, vector: true });
         }
@@ -248,8 +323,10 @@ pub fn step(
             if !addr.is_multiple_of(4) {
                 return Err(ExecError::Unaligned { pc, addr });
             }
+            let regs = group_regs(vl, state.vlmax());
+            check_group(pc, vs3, regs)?;
             for i in 0..vl {
-                mem.write_u32(addr + (i * 4) as u64, state.v(vs3)[i]);
+                mem.write_u32(addr + (i * 4) as u64, state.v_group(vs3, regs)[i]);
             }
             ev.mem = Some(MemOp { addr, bytes: (vl * 4) as u64, write: true, vector: true });
         }
@@ -397,6 +474,29 @@ pub fn step(
             }
             ev.indirect_vreg = Some(src);
         }
+        VindexmacVvi { vd, vs2, vs1, slot } => {
+            // Second-generation definition (after arXiv 2501.10189):
+            //   vd[i] += vs2[slot] * vrf[vs1[slot][4:0]][i]
+            // The slot element is read from the *single* metadata
+            // registers; vd and the indirect source span the whole
+            // register group when vl > VLMAX.
+            let slot = slot as usize;
+            if slot >= state.vlmax() {
+                return Err(ExecError::SlotOutOfRange { pc, slot: slot as u8, vlmax: state.vlmax() });
+            }
+            let src = VReg::new((state.v(vs1)[slot] & 0x1F) as u8);
+            let multiplier = f(state.v(vs2)[slot]);
+            let regs = group_regs(vl, state.vlmax());
+            check_group(pc, src, regs)?;
+            check_group(pc, vd, regs)?;
+            let mut a = [0u32; MAX_GROUP_LANES];
+            a[..vl].copy_from_slice(&state.v_group(src, regs)[..vl]);
+            let dst = state.v_group_mut(vd, regs);
+            for i in 0..vl {
+                dst[i] = (f(dst[i]) + multiplier * f(a[i])).to_bits();
+            }
+            ev.indirect_vreg = Some(src);
+        }
     }
 
     if next_pc < 0 {
@@ -410,7 +510,7 @@ pub fn step(
 mod tests {
     use super::*;
     use indexmac_isa::instr::FReg;
-    use indexmac_isa::XReg;
+    use indexmac_isa::{Lmul, XReg};
 
     fn setup() -> (ArchState, MainMemory) {
         (ArchState::new(512), MainMemory::new())
@@ -489,25 +589,49 @@ mod tests {
         assert!(matches!(r, Err(ExecError::PcOutOfRange { target: -5 })));
     }
 
+    fn vsetvli_m1(rd: XReg, rs1: XReg) -> Instruction {
+        Instruction::Vsetvli { rd, rs1, sew: Sew::E32, lmul: Lmul::M1 }
+    }
+
     #[test]
     fn vsetvli_rules() {
         let (mut s, mut m) = setup();
         s.set_x(XReg::A0, 100);
-        run1(&mut s, &mut m, Instruction::Vsetvli { rd: XReg::T0, rs1: XReg::A0, sew: Sew::E32 });
+        run1(&mut s, &mut m, vsetvli_m1(XReg::T0, XReg::A0));
         assert_eq!(s.vl(), 16);
         assert_eq!(s.x(XReg::T0), 16);
         s.set_x(XReg::A0, 7);
-        run1(&mut s, &mut m, Instruction::Vsetvli { rd: XReg::T0, rs1: XReg::A0, sew: Sew::E32 });
+        run1(&mut s, &mut m, vsetvli_m1(XReg::T0, XReg::A0));
         assert_eq!(s.vl(), 7);
         // rs1=x0, rd!=x0 -> VLMAX.
-        run1(&mut s, &mut m, Instruction::Vsetvli { rd: XReg::T0, rs1: XReg::ZERO, sew: Sew::E32 });
+        run1(&mut s, &mut m, vsetvli_m1(XReg::T0, XReg::ZERO));
         assert_eq!(s.vl(), 16);
         let r = step(
             &mut s,
             &mut m,
-            &Instruction::Vsetvli { rd: XReg::T0, rs1: XReg::ZERO, sew: Sew::E64 },
+            &Instruction::Vsetvli { rd: XReg::T0, rs1: XReg::ZERO, sew: Sew::E64, lmul: Lmul::M1 },
         );
         assert!(matches!(r, Err(ExecError::UnsupportedSew { .. })));
+    }
+
+    #[test]
+    fn vsetvli_grants_grouped_vl() {
+        let (mut s, mut m) = setup();
+        s.set_x(XReg::A0, 100);
+        run1(
+            &mut s,
+            &mut m,
+            Instruction::Vsetvli { rd: XReg::T0, rs1: XReg::A0, sew: Sew::E32, lmul: Lmul::M2 },
+        );
+        assert_eq!(s.vl(), 32);
+        assert_eq!(s.x(XReg::T0), 32);
+        // rs1=x0, rd!=x0 -> grouped VLMAX.
+        run1(
+            &mut s,
+            &mut m,
+            Instruction::Vsetvli { rd: XReg::T0, rs1: XReg::ZERO, sew: Sew::E32, lmul: Lmul::M4 },
+        );
+        assert_eq!(s.vl(), 64);
     }
 
     #[test]
@@ -655,6 +779,152 @@ mod tests {
         let (mut s, mut m) = setup();
         run1(&mut s, &mut m, Instruction::Halt);
         assert!(s.halted);
+    }
+
+    #[test]
+    fn vindexmac_vvi_semantics() {
+        let (mut s, mut m) = setup();
+        // v20 holds a B row; v4 holds `values`; v8 holds register
+        // indices; v1 is the accumulator. Slot 2 selects value 2.5 and
+        // register 20 — no scalar register involved anywhere.
+        s.set_v_f32(VReg::new(20), &[1.0, 2.0, 3.0, 4.0]);
+        s.set_v_f32(VReg::V4, &[0.0, 0.0, 2.5, 0.0]);
+        s.v_mut(VReg::V8)[2] = 20;
+        s.set_v_f32(VReg::V1, &[10.0, 10.0, 10.0, 10.0]);
+        s.set_vl(4);
+        let ev = run1(
+            &mut s,
+            &mut m,
+            Instruction::VindexmacVvi { vd: VReg::V1, vs2: VReg::V4, vs1: VReg::V8, slot: 2 },
+        );
+        assert_eq!(ev.indirect_vreg, Some(VReg::new(20)));
+        assert_eq!(s.v_as_f32(VReg::V1), vec![12.5, 15.0, 17.5, 20.0]);
+        assert_eq!(ev.mem, None, "vindexmac.vvi must not touch memory");
+    }
+
+    #[test]
+    fn vindexmac_vvi_uses_only_5_lsbs_of_index() {
+        let (mut s, mut m) = setup();
+        s.set_v_f32(VReg::new(3), &[1.0; 16]);
+        s.set_v_f32(VReg::V4, &[1.0; 16]);
+        s.v_mut(VReg::V8)[0] = 32 + 3; // 5 LSBs = 3
+        run1(
+            &mut s,
+            &mut m,
+            Instruction::VindexmacVvi { vd: VReg::V1, vs2: VReg::V4, vs1: VReg::V8, slot: 0 },
+        );
+        assert_eq!(s.v_f32(VReg::V1, 0), 1.0);
+    }
+
+    #[test]
+    fn vindexmac_vvi_grouped_spans_registers() {
+        let (mut s, mut m) = setup();
+        // Under m2 the B "row" is the v20v21 group (32 lanes) and the
+        // accumulator is the v0v1 group; metadata stays in single regs.
+        s.set_vtype(indexmac_isa::VType { sew: Sew::E32, lmul: Lmul::M2 });
+        s.set_vl(32);
+        s.set_v_f32(VReg::new(20), &[2.0; 16]);
+        s.set_v_f32(VReg::new(21), &[3.0; 16]);
+        s.set_v_f32(VReg::V8, &[0.5; 16]); // values
+        s.v_mut(VReg::new(12))[1] = 20; // colidx reg, slot 1 -> v20 group
+        let ev = run1(
+            &mut s,
+            &mut m,
+            Instruction::VindexmacVvi {
+                vd: VReg::V0,
+                vs2: VReg::V8,
+                vs1: VReg::new(12),
+                slot: 1,
+            },
+        );
+        assert_eq!(ev.vl, 32);
+        assert_eq!(ev.indirect_vreg, Some(VReg::new(20)));
+        assert_eq!(s.v_f32(VReg::V0, 15), 0.5 * 2.0);
+        // Lane 16 of the group lives in v1 and took v21's data.
+        assert_eq!(s.v_f32(VReg::V1, 0), 0.5 * 3.0);
+        assert_eq!(s.v_f32(VReg::V1, 15), 0.5 * 3.0);
+    }
+
+    #[test]
+    fn grouped_load_store_roundtrip() {
+        let (mut s, mut m) = setup();
+        let data: Vec<f32> = (0..32).map(|i| i as f32).collect();
+        m.write_f32_slice(0x1000, &data);
+        s.set_vtype(indexmac_isa::VType { sew: Sew::E32, lmul: Lmul::M2 });
+        s.set_vl(32);
+        s.set_x(XReg::A0, 0x1000);
+        s.set_x(XReg::A1, 0x2000);
+        let ev = run1(&mut s, &mut m, Instruction::Vle32 { vd: VReg::V2, rs1: XReg::A0 });
+        assert_eq!(ev.mem.unwrap().bytes, 128);
+        assert_eq!(s.v_f32(VReg::V3, 0), 16.0, "second register of the group");
+        run1(&mut s, &mut m, Instruction::Vse32 { vs3: VReg::V2, rs1: XReg::A1 });
+        assert_eq!(m.read_f32_slice(0x2000, 32), data);
+    }
+
+    #[test]
+    fn ungrouped_ops_fault_under_grouping() {
+        let (mut s, mut m) = setup();
+        s.set_vtype(indexmac_isa::VType { sew: Sew::E32, lmul: Lmul::M2 });
+        s.set_vl(32);
+        let r = step(
+            &mut s,
+            &mut m,
+            &Instruction::VfaddVv { vd: VReg::V0, vs2: VReg::V2, vs1: VReg::V4 },
+        );
+        assert!(matches!(r, Err(ExecError::GroupingUnsupported { .. })));
+        let r = step(
+            &mut s,
+            &mut m,
+            &Instruction::Vslide1downVx { vd: VReg::V0, vs2: VReg::V0, rs1: XReg::ZERO },
+        );
+        assert!(matches!(r, Err(ExecError::GroupingUnsupported { .. })));
+    }
+
+    #[test]
+    fn grouped_ops_reject_overflowing_groups() {
+        let (mut s, mut m) = setup();
+        s.set_vtype(indexmac_isa::VType { sew: Sew::E32, lmul: Lmul::M2 });
+        s.set_vl(32);
+        s.set_x(XReg::A0, 0x1000);
+        let r = step(&mut s, &mut m, &Instruction::Vle32 { vd: VReg::new(31), rs1: XReg::A0 });
+        assert!(matches!(r, Err(ExecError::GroupOutOfRange { base: 31, regs: 2, .. })));
+        // An indirect group read past v31 faults too.
+        s.v_mut(VReg::V8)[0] = 31;
+        s.set_v_f32(VReg::V4, &[1.0; 16]);
+        let r = step(
+            &mut s,
+            &mut m,
+            &Instruction::VindexmacVvi { vd: VReg::V0, vs2: VReg::V4, vs1: VReg::V8, slot: 0 },
+        );
+        assert!(matches!(r, Err(ExecError::GroupOutOfRange { base: 31, .. })));
+    }
+
+    #[test]
+    fn vvi_slot_out_of_range_faults() {
+        let (mut s, mut m) = setup();
+        let r = step(
+            &mut s,
+            &mut m,
+            &Instruction::VindexmacVvi { vd: VReg::V0, vs2: VReg::V4, vs1: VReg::V8, slot: 16 },
+        );
+        assert!(matches!(r, Err(ExecError::SlotOutOfRange { slot: 16, vlmax: 16, .. })));
+    }
+
+    #[test]
+    fn vindexmac_vvi_aliasing_vd_equals_source() {
+        // vd == vrf[vs1[slot]]: operands must be read before writing.
+        let (mut s, mut m) = setup();
+        s.set_v_f32(VReg::V1, &[1.0, 2.0]);
+        s.set_v_f32(VReg::V4, &[3.0]);
+        s.v_mut(VReg::V8)[0] = 1; // indirect source is v1 == vd
+        s.set_vl(2);
+        run1(
+            &mut s,
+            &mut m,
+            Instruction::VindexmacVvi { vd: VReg::V1, vs2: VReg::V4, vs1: VReg::V8, slot: 0 },
+        );
+        // vd[i] = vd[i] + 3*vd_old[i] = 4*old.
+        assert_eq!(s.v_as_f32(VReg::V1), vec![4.0, 8.0]);
     }
 
     #[test]

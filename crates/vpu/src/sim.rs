@@ -209,7 +209,7 @@ fn make_report(timing: &TimingModel, instructions: u64) -> RunReport {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use indexmac_isa::{Instruction, ProgramBuilder, Sew, VReg, XReg};
+    use indexmac_isa::{Instruction, Lmul, ProgramBuilder, Sew, VReg, XReg};
 
     fn sim() -> Simulator {
         Simulator::new(SimConfig::table_i())
@@ -276,7 +276,7 @@ mod tests {
         s.memory_mut().write_f32_slice(0x1000, &data);
         let mut b = ProgramBuilder::new();
         b.li(XReg::A0, 16);
-        b.push(Instruction::Vsetvli { rd: XReg::T0, rs1: XReg::A0, sew: Sew::E32 });
+        b.push(Instruction::Vsetvli { rd: XReg::T0, rs1: XReg::A0, sew: Sew::E32, lmul: Lmul::M1 });
         b.li(XReg::A1, 0x1000);
         b.li(XReg::A2, 0x2000);
         b.push(Instruction::Vle32 { vd: VReg::V1, rs1: XReg::A1 });

@@ -1,7 +1,7 @@
 //! Architectural state of the simulated machine.
 
 use indexmac_isa::instr::FReg;
-use indexmac_isa::{Sew, VReg, VType, XReg};
+use indexmac_isa::{Lmul, Sew, VReg, VType, XReg};
 
 /// Scalar register files, the vector register file and the vector CSRs.
 ///
@@ -38,7 +38,7 @@ impl ArchState {
             vrf: vec![0; 32 * vlmax],
             vlmax,
             vl: vlmax,
-            vtype: VType { sew: Sew::E32 },
+            vtype: VType { sew: Sew::E32, lmul: Lmul::M1 },
             pc: 0,
             halted: false,
         }
@@ -47,6 +47,12 @@ impl ArchState {
     /// Maximum elements per vector register at SEW=32.
     pub fn vlmax(&self) -> usize {
         self.vlmax
+    }
+
+    /// Maximum elements per register *group* under the current `vtype`
+    /// (`vlmax * LMUL`).
+    pub fn vlmax_grouped(&self) -> usize {
+        self.vlmax * self.vtype.lmul.factor()
     }
 
     /// Current active vector length.
@@ -58,9 +64,15 @@ impl ArchState {
     ///
     /// # Panics
     ///
-    /// Panics if `vl > vlmax` (a `vsetvli` bug in the caller).
+    /// Panics if `vl` exceeds the grouped VLMAX of the current `vtype`
+    /// (a `vsetvli` bug in the caller). Set `vtype` first when changing
+    /// the grouping.
     pub fn set_vl(&mut self, vl: usize) {
-        assert!(vl <= self.vlmax, "vl {vl} exceeds vlmax {}", self.vlmax);
+        assert!(
+            vl <= self.vlmax_grouped(),
+            "vl {vl} exceeds grouped vlmax {}",
+            self.vlmax_grouped()
+        );
         self.vl = vl;
     }
 
@@ -111,6 +123,31 @@ impl ArchState {
     pub fn v_mut(&mut self, r: VReg) -> &mut [u32] {
         let i = r.index() as usize;
         &mut self.vrf[i * self.vlmax..(i + 1) * self.vlmax]
+    }
+
+    /// Borrow of a register *group*: `regs` consecutive registers
+    /// starting at `r` (the VRF is register-major, so a group is one
+    /// contiguous slice — exactly the hardware's LMUL view).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the group runs past `v31`; grouped instructions check
+    /// their operands before calling this.
+    pub fn v_group(&self, r: VReg, regs: usize) -> &[u32] {
+        let i = r.index() as usize;
+        assert!(i + regs <= 32, "register group v{i}..v{} out of range", i + regs);
+        &self.vrf[i * self.vlmax..(i + regs) * self.vlmax]
+    }
+
+    /// Mutable borrow of a register group (see [`ArchState::v_group`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the group runs past `v31`.
+    pub fn v_group_mut(&mut self, r: VReg, regs: usize) -> &mut [u32] {
+        let i = r.index() as usize;
+        assert!(i + regs <= 32, "register group v{i}..v{} out of range", i + regs);
+        &mut self.vrf[i * self.vlmax..(i + regs) * self.vlmax]
     }
 
     /// Lane `i` of register `r` as `f32`.
@@ -180,10 +217,34 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "exceeds vlmax")]
+    #[should_panic(expected = "exceeds grouped vlmax")]
     fn set_vl_validates() {
         let mut s = ArchState::new(512);
         s.set_vl(17);
+    }
+
+    #[test]
+    fn grouped_vl_and_group_views() {
+        let mut s = ArchState::new(512);
+        s.set_vtype(VType { sew: Sew::E32, lmul: Lmul::M2 });
+        assert_eq!(s.vlmax_grouped(), 32);
+        s.set_vl(32); // legal under m2
+        s.v_mut(VReg::V4)[15] = 0xA;
+        s.v_mut(VReg::V5)[0] = 0xB;
+        // The group view of v4v5 is contiguous: lane 16 is v5[0].
+        let g = s.v_group(VReg::V4, 2);
+        assert_eq!(g.len(), 32);
+        assert_eq!(g[15], 0xA);
+        assert_eq!(g[16], 0xB);
+        s.v_group_mut(VReg::V4, 2)[31] = 0xC;
+        assert_eq!(s.v(VReg::V5)[15], 0xC);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn group_past_v31_panics() {
+        let s = ArchState::new(512);
+        let _ = s.v_group(VReg::new(31), 2);
     }
 
     #[test]

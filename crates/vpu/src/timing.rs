@@ -19,7 +19,7 @@
 
 use crate::config::SimConfig;
 use crate::exec::ExecEvent;
-use indexmac_isa::{InstrClass, Instruction};
+use indexmac_isa::{InstrClass, Instruction, VReg};
 use indexmac_mem::{MemStats, MemoryHierarchy};
 use std::collections::VecDeque;
 
@@ -197,6 +197,20 @@ impl TimingModel {
         }
     }
 
+    /// Latest ready time across a register group of `regs` registers.
+    fn ready_of(&self, r: VReg, regs: usize) -> u64 {
+        let base = r.index() as usize;
+        (base..(base + regs).min(32)).map(|i| self.v_ready[i]).max().unwrap_or(0)
+    }
+
+    /// Marks a register group of `regs` registers ready at `at`.
+    fn mark_ready(&mut self, r: VReg, regs: usize, at: u64) {
+        let base = r.index() as usize;
+        for i in base..(base + regs).min(32) {
+            self.v_ready[i] = at;
+        }
+    }
+
     /// Accounts one dynamic instruction, returning its timing record.
     pub fn observe(&mut self, ev: &ExecEvent) -> InstrTiming {
         let class = ev.instr.class();
@@ -333,13 +347,26 @@ impl TimingModel {
         }
 
         // ---- in-order engine start: operands + structural ----
+        // Under register grouping (vl > one register's lanes) operands
+        // span `emul` consecutive registers.
+        let emul = ev.vl.div_ceil(self.cfg.vlmax_e32()).max(1);
+        let dst = ev.instr.v_dst();
         let mut start = self.engine_free.max(dispatch);
         for src in ev.instr.v_srcs().into_iter().flatten() {
-            start = start.max(self.v_ready[src.index() as usize]);
+            // vindexmac.vvi reads its metadata operands element-wise:
+            // they stay single registers even when the accumulator (vd)
+            // and the indirect source span a group.
+            let regs = if matches!(ev.instr, Instruction::VindexmacVvi { .. }) && Some(src) != dst
+            {
+                1
+            } else {
+                emul
+            };
+            start = start.max(self.ready_of(src, regs));
         }
         if let Some(ind) = ev.indirect_vreg {
-            // The indirect VRF read of vindexmac.
-            start = start.max(self.v_ready[ind.index() as usize]);
+            // The indirect VRF read of vindexmac (group-wide).
+            start = start.max(self.ready_of(ind, emul));
         }
 
         let occ = self.cfg.occupancy(ev.vl);
@@ -362,7 +389,7 @@ impl TimingModel {
                 let data_at = start + lat;
                 self.lq.push_back(data_at);
                 if let Some(vd) = ev.instr.v_dst() {
-                    self.v_ready[vd.index() as usize] = data_at;
+                    self.mark_ready(vd, emul, data_at);
                 }
                 self.engine_free = start + occ;
                 self.engine_busy += occ;
@@ -413,7 +440,7 @@ impl TimingModel {
                 self.engine_free = start + occ;
                 self.engine_busy += occ;
                 if let Some(vd) = ev.instr.v_dst() {
-                    self.v_ready[vd.index() as usize] = start + lat.max(occ);
+                    self.mark_ready(vd, emul, start + lat.max(occ));
                 }
                 self.note_completion(start + lat.max(occ));
                 (dispatch + 1, start + lat.max(occ))

@@ -2,7 +2,7 @@
 //! functional/timed equivalence over randomly generated straight-line
 //! programs.
 
-use indexmac_isa::{Instruction, Program, ProgramBuilder, Sew, VReg, XReg};
+use indexmac_isa::{Instruction, Lmul, Program, ProgramBuilder, Sew, VReg, XReg};
 use indexmac_vpu::{SimConfig, Simulator};
 use proptest::prelude::*;
 
@@ -35,7 +35,12 @@ fn instr_strategy() -> impl Strategy<Value = Instruction> {
         (vreg.clone(), vreg2.clone(), xreg.clone())
             .prop_map(|(vd, vs2, rs1)| Instruction::Vslide1downVx { vd, vs2, rs1 }),
         (vreg, vreg2, xreg).prop_map(|(vd, vs2, rs)| Instruction::VindexmacVx { vd, vs2, rs }),
-        (xreg2).prop_map(|rd| Instruction::Vsetvli { rd, rs1: XReg::ZERO, sew: Sew::E32 }),
+        (xreg2).prop_map(|rd| Instruction::Vsetvli {
+            rd,
+            rs1: XReg::ZERO,
+            sew: Sew::E32,
+            lmul: Lmul::M1,
+        }),
         Just(Instruction::Nop),
     ]
 }

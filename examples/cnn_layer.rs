@@ -43,7 +43,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "speedup",
         "mem accesses (base->prop)",
     ]);
-    for pattern in [NmPattern::P1_4, NmPattern::P2_4, NmPattern::P1_2] {
+    for pattern in NmPattern::ALL {
         let r = compare_layer(layer, pattern, &cfg)?;
         let c = &r.comparison;
         table.row(vec![

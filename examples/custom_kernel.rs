@@ -8,7 +8,7 @@
 //! cargo run --release --example custom_kernel
 //! ```
 
-use indexmac::isa::{decode, encode, Instruction, ProgramBuilder, Sew, VReg, XReg};
+use indexmac::isa::{decode, encode, Instruction, Lmul, ProgramBuilder, Sew, VReg, XReg};
 use indexmac::vpu::{SimConfig, Simulator};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -23,7 +23,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // C += values[0] * B[0,:]  then (after a slide)  C += values[1] * B[1,:]
     let mut b = ProgramBuilder::new();
     b.li(XReg::A0, 16);
-    b.push(Instruction::Vsetvli { rd: XReg::T0, rs1: XReg::A0, sew: Sew::E32 });
+    b.push(Instruction::Vsetvli { rd: XReg::T0, rs1: XReg::A0, sew: Sew::E32, lmul: Lmul::M1 });
     b.li(XReg::A1, 0x1000);
     b.comment("preload two B rows into v20/v21 (the resident tile)");
     b.push(Instruction::Vle32 { vd: VReg::new(20), rs1: XReg::A1 });
