@@ -18,12 +18,21 @@ use indexmac_kernels::Dataflow;
 
 fn main() {
     let base_cfg = Profile::from_env().config();
-    banner("Ablation: Row-Wise-SpMM dataflow comparison (Section IV-A)", &base_cfg);
+    banner(
+        "Ablation: Row-Wise-SpMM dataflow comparison (Section IV-A)",
+        &base_cfg,
+    );
     let model = resnet50();
     let picks = ["layer1.0.conv2", "layer2.1.conv2", "layer4.2.conv3"];
     let layers: Vec<_> = picks
         .iter()
-        .map(|name| model.layers.iter().find(|l| l.name == *name).expect("layer exists"))
+        .map(|name| {
+            model
+                .layers
+                .iter()
+                .find(|l| l.name == *name)
+                .expect("layer exists")
+        })
         .collect();
 
     for pattern in NmPattern::EVALUATED {
@@ -43,8 +52,13 @@ fn main() {
             .collect();
         let results = run_cells(cells, &base_cfg).expect("simulation succeeds");
 
-        let mut table =
-            Table::new(vec!["layer", "dataflow", "cycles", "vs B-stationary", "stores"]);
+        let mut table = Table::new(vec![
+            "layer",
+            "dataflow",
+            "cycles",
+            "vs B-stationary",
+            "stores",
+        ]);
         for (layer, per_layer) in layers.iter().zip(results.chunks(Dataflow::ALL.len())) {
             let b_cycles = per_layer
                 .iter()
@@ -57,7 +71,10 @@ fn main() {
                     layer.name.clone(),
                     cell.cell.dataflow.to_string(),
                     report.cycles.to_string(),
-                    format!("{:+.1}%", (report.cycles as f64 / b_cycles as f64 - 1.0) * 100.0),
+                    format!(
+                        "{:+.1}%",
+                        (report.cycles as f64 / b_cycles as f64 - 1.0) * 100.0
+                    ),
                     report.mem.vector_stores.to_string(),
                 ]);
             }

@@ -18,9 +18,16 @@ use indexmac_kernels::GemmLayout;
 
 fn main() {
     let base_cfg = Profile::from_env().config();
-    banner("Ablation: vindexmac.vvi register grouping (LMUL)", &base_cfg);
+    banner(
+        "Ablation: vindexmac.vvi register grouping (LMUL)",
+        &base_cfg,
+    );
     let model = resnet50();
-    let layer = model.layers.iter().find(|l| l.name == "layer2.1.conv2").expect("layer exists");
+    let layer = model
+        .layers
+        .iter()
+        .find(|l| l.name == "layer2.1.conv2")
+        .expect("layer exists");
 
     for pattern in NmPattern::EVALUATED {
         println!("\n{pattern} structured sparsity on {}", layer.name);

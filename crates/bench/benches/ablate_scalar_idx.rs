@@ -12,9 +12,16 @@ use indexmac_cnn::resnet50;
 
 fn main() {
     let cfg = Profile::from_env().config();
-    banner("Ablation: metadata access path (vmv.x.s + slides vs scalar loads)", &cfg);
+    banner(
+        "Ablation: metadata access path (vmv.x.s + slides vs scalar loads)",
+        &cfg,
+    );
     let model = resnet50();
-    let layer = model.layers.iter().find(|l| l.name == "layer2.1.conv2").expect("layer exists");
+    let layer = model
+        .layers
+        .iter()
+        .find(|l| l.name == "layer2.1.conv2")
+        .expect("layer exists");
 
     for pattern in NmPattern::EVALUATED {
         println!("\n{pattern} structured sparsity on {}", layer.name);
@@ -25,9 +32,13 @@ fn main() {
             "v2s syncs",
             "scalar loads",
         ]);
-        let base = run_gemm(layer.gemm(), pattern, Algorithm::RowWiseSpmm, &cfg)
-            .expect("baseline runs");
-        for alg in [Algorithm::RowWiseSpmm, Algorithm::IndexMac, Algorithm::ScalarIndexed] {
+        let base =
+            run_gemm(layer.gemm(), pattern, Algorithm::RowWiseSpmm, &cfg).expect("baseline runs");
+        for alg in [
+            Algorithm::RowWiseSpmm,
+            Algorithm::IndexMac,
+            Algorithm::ScalarIndexed,
+        ] {
             let r = run_gemm(layer.gemm(), pattern, alg, &cfg).expect("kernel runs");
             table.row(vec![
                 alg.to_string(),

@@ -12,18 +12,33 @@ use indexmac_cnn::resnet50;
 
 fn main() {
     let base_cfg = Profile::from_env().config();
-    banner("Ablation: resident B-tile rows L (paper uses L=16)", &base_cfg);
+    banner(
+        "Ablation: resident B-tile rows L (paper uses L=16)",
+        &base_cfg,
+    );
     let model = resnet50();
-    let layer = model.layers.iter().find(|l| l.name == "layer2.1.conv2").expect("layer exists");
+    let layer = model
+        .layers
+        .iter()
+        .find(|l| l.name == "layer2.1.conv2")
+        .expect("layer exists");
 
     for pattern in NmPattern::EVALUATED {
         println!("\n{pattern} structured sparsity on {}", layer.name);
-        let mut table =
-            Table::new(vec!["L", "cycles", "vs L=16", "B preload loads", "total mem accesses"]);
+        let mut table = Table::new(vec![
+            "L",
+            "cycles",
+            "vs L=16",
+            "B preload loads",
+            "total mem accesses",
+        ]);
         let mut l16 = 0u64;
         let mut rows: Vec<(usize, u64, u64, u64)> = Vec::new();
         for tile_rows in [4usize, 8, 12, 16, 20] {
-            let cfg = indexmac::ExperimentConfig { tile_rows, ..base_cfg };
+            let cfg = indexmac::ExperimentConfig {
+                tile_rows,
+                ..base_cfg
+            };
             match run_gemm(layer.gemm(), pattern, Algorithm::IndexMac, &cfg) {
                 Ok(r) => {
                     if tile_rows == 16 {

@@ -12,12 +12,23 @@ use indexmac_cnn::resnet50;
 
 fn main() {
     let base_cfg = Profile::from_env().config();
-    banner("Ablation: loop-unroll factor (both kernels, paper uses x4)", &base_cfg);
+    banner(
+        "Ablation: loop-unroll factor (both kernels, paper uses x4)",
+        &base_cfg,
+    );
     let model = resnet50();
-    let layer = model.layers.iter().find(|l| l.name == "layer2.1.conv2").expect("layer exists");
+    let layer = model
+        .layers
+        .iter()
+        .find(|l| l.name == "layer2.1.conv2")
+        .expect("layer exists");
 
     for pattern in NmPattern::EVALUATED {
-        println!("\n{pattern} structured sparsity on {} (GEMM {:?})", layer.name, layer.gemm());
+        println!(
+            "\n{pattern} structured sparsity on {} (GEMM {:?})",
+            layer.name,
+            layer.gemm()
+        );
         let mut table = Table::new(vec![
             "unroll",
             "Row-Wise-SpMM cycles",
@@ -29,7 +40,10 @@ fn main() {
         let mut first: Option<(u64, u64)> = None;
         for unroll in [1usize, 2, 4] {
             let cfg = indexmac::ExperimentConfig {
-                params: KernelParams { unroll, ..Default::default() },
+                params: KernelParams {
+                    unroll,
+                    ..Default::default()
+                },
                 ..base_cfg
             };
             let base = run_gemm(layer.gemm(), pattern, Algorithm::RowWiseSpmm, &cfg)

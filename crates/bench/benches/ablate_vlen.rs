@@ -11,13 +11,20 @@ use indexmac_cnn::resnet50;
 
 fn main() {
     let base_cfg = Profile::from_env().config();
-    banner("Ablation: hardware vector length (Table I uses 512-bit)", &base_cfg);
+    banner(
+        "Ablation: hardware vector length (Table I uses 512-bit)",
+        &base_cfg,
+    );
     let model = resnet50();
 
     for pattern in NmPattern::EVALUATED {
         println!("\n{pattern} structured sparsity, ResNet50 totals");
-        let mut table =
-            Table::new(vec!["VLEN", "vl (e32)", "total speedup", "normalized mem accesses"]);
+        let mut table = Table::new(vec![
+            "VLEN",
+            "vl (e32)",
+            "total speedup",
+            "normalized mem accesses",
+        ]);
         for vlen in [256usize, 512, 1024] {
             let cfg = indexmac::ExperimentConfig {
                 sim: base_cfg.sim.with_vlen(vlen),

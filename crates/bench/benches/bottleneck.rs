@@ -15,20 +15,22 @@ fn main() {
     let cfg = Profile::from_env().config();
     banner("Analysis: per-kernel bottleneck attribution", &cfg);
     let model = resnet50();
-    let layer = model.layers.iter().find(|l| l.name == "layer2.1.conv2").expect("layer exists");
+    let layer = model
+        .layers
+        .iter()
+        .find(|l| l.name == "layer2.1.conv2")
+        .expect("layer exists");
 
     for pattern in NmPattern::EVALUATED {
         println!("\n{pattern} structured sparsity on {}", layer.name);
         let mut table = Table::new(vec![
-            "kernel",
-            "cycles",
-            "bound by",
-            "engine",
-            "sync",
-            "memory",
-            "frontend",
+            "kernel", "cycles", "bound by", "engine", "sync", "memory", "frontend",
         ]);
-        for alg in [Algorithm::Dense, Algorithm::RowWiseSpmm, Algorithm::IndexMac] {
+        for alg in [
+            Algorithm::Dense,
+            Algorithm::RowWiseSpmm,
+            Algorithm::IndexMac,
+        ] {
             let r = run_gemm(layer.gemm(), pattern, alg, &cfg).expect("kernel runs");
             let b = analyze(&r.report, &cfg.sim);
             table.row(vec![

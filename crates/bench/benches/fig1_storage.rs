@@ -11,7 +11,10 @@ use indexmac_bench::{banner, Profile};
 
 fn main() {
     let cfg = Profile::from_env().config();
-    banner("Fig. 1: storage cost of unstructured (CSR) vs structured N:M", &cfg);
+    banner(
+        "Fig. 1: storage cost of unstructured (CSR) vs structured N:M",
+        &cfg,
+    );
 
     // A weight-matrix-sized example: 512 x 1152 (a 3x3 conv on 128 ch).
     let (rows, cols) = (512, 1152);

@@ -11,7 +11,10 @@ use indexmac_cnn::resnet50;
 
 fn main() {
     let cfg = Profile::from_env().config();
-    banner("Fig. 4: per-layer speedup on ResNet50 (normalised to Row-Wise-SpMM)", &cfg);
+    banner(
+        "Fig. 4: per-layer speedup on ResNet50 (normalised to Row-Wise-SpMM)",
+        &cfg,
+    );
     let model = resnet50();
 
     for (panel, pattern) in ["(a)", "(b)"].into_iter().zip(NmPattern::EVALUATED) {
@@ -45,7 +48,11 @@ fn main() {
             fmt_speedup(lo),
             fmt_speedup(hi),
             cache.unique_runs(),
-            if pattern == NmPattern::P1_4 { "1.60x-2.15x" } else { "1.63x-1.99x" },
+            if pattern == NmPattern::P1_4 {
+                "1.60x-2.15x"
+            } else {
+                "1.63x-1.99x"
+            },
         );
     }
 }

@@ -10,7 +10,10 @@ use indexmac_cnn::CnnModel;
 
 fn main() {
     let cfg = Profile::from_env().config();
-    banner("Fig. 5: total execution-time speedup per CNN (normalised to Row-Wise-SpMM)", &cfg);
+    banner(
+        "Fig. 5: total execution-time speedup per CNN (normalised to Row-Wise-SpMM)",
+        &cfg,
+    );
 
     for (panel, pattern) in ["(a)", "(b)"].into_iter().zip(NmPattern::EVALUATED) {
         // The per-layer range column also checks the paper's remark that
@@ -49,7 +52,11 @@ fn main() {
         println!(
             "average {}  (paper: {})",
             fmt_speedup(sum / models.len() as f64),
-            if pattern == NmPattern::P1_4 { "1.95x" } else { "1.88x" }
+            if pattern == NmPattern::P1_4 {
+                "1.95x"
+            } else {
+                "1.88x"
+            }
         );
     }
 }

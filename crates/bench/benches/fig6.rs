@@ -11,7 +11,10 @@ use indexmac_cnn::CnnModel;
 
 fn main() {
     let cfg = Profile::from_env().config();
-    banner("Fig. 6: normalized total memory accesses (Row-Wise-SpMM = 100%)", &cfg);
+    banner(
+        "Fig. 6: normalized total memory accesses (Row-Wise-SpMM = 100%)",
+        &cfg,
+    );
 
     for (panel, pattern) in ["(a)", "(b)"].into_iter().zip(NmPattern::EVALUATED) {
         let mut table = Table::new(vec!["CNN", "normalized accesses", "reduction"]);
@@ -40,8 +43,16 @@ fn main() {
         println!(
             "average normalized accesses {}  (paper: ~{} => {} reduction)",
             fmt_pct(sum / models.len() as f64),
-            if pattern == NmPattern::P1_4 { "52%" } else { "35%" },
-            if pattern == NmPattern::P1_4 { "48%" } else { "65%" },
+            if pattern == NmPattern::P1_4 {
+                "52%"
+            } else {
+                "35%"
+            },
+            if pattern == NmPattern::P1_4 {
+                "48%"
+            } else {
+                "65%"
+            },
         );
     }
 }

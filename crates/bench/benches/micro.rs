@@ -36,7 +36,11 @@ fn bench_kernel_generation(c: &mut Criterion) {
     let layout = GemmLayout::plan(&a, 128, &cfg, 16).unwrap();
     let params = KernelParams::default();
     c.bench_function("kernelgen/indexmac_32x256x128", |b| {
-        b.iter(|| imac_kernel::build(black_box(&layout), &params).unwrap().len())
+        b.iter(|| {
+            imac_kernel::build(black_box(&layout), &params)
+                .unwrap()
+                .len()
+        })
     });
     c.bench_function("kernelgen/rowwise_32x256x128", |b| {
         b.iter(|| rowwise::build(black_box(&layout), &params).unwrap().len())
@@ -64,7 +68,11 @@ fn bench_end_to_end_compare(c: &mut Criterion) {
         verify: false,
         ..ExperimentConfig::paper()
     };
-    let dims = GemmDims { rows: 16, inner: 128, cols: 32 };
+    let dims = GemmDims {
+        rows: 16,
+        inner: 128,
+        cols: 32,
+    };
     c.bench_function("endtoend/compare_16x128x32_1of4", |b| {
         b.iter(|| {
             let base = run_gemm(dims, NmPattern::P1_4, Algorithm::RowWiseSpmm, &cfg).unwrap();

@@ -66,7 +66,10 @@ impl Profile {
 
     /// An [`ExperimentConfig`] carrying these caps.
     pub fn config(self) -> ExperimentConfig {
-        ExperimentConfig { caps: self.caps(), ..ExperimentConfig::paper() }
+        ExperimentConfig {
+            caps: self.caps(),
+            ..ExperimentConfig::paper()
+        }
     }
 }
 
@@ -85,7 +88,10 @@ pub struct CachedCompare {
 impl CachedCompare {
     /// Creates an empty cache over `cfg`.
     pub fn new(cfg: ExperimentConfig) -> Self {
-        Self { cfg, cache: HashMap::new() }
+        Self {
+            cfg,
+            cache: HashMap::new(),
+        }
     }
 
     /// The configuration used for every comparison.
@@ -142,8 +148,8 @@ impl CachedCompare {
             return;
         }
         let (keys, cells): (Vec<CacheKey>, Vec<SweepCell>) = todo.into_iter().unzip();
-        let results = run_cells(cells, &self.cfg)
-            .unwrap_or_else(|e| panic!("sweep warm-up failed: {e}"));
+        let results =
+            run_cells(cells, &self.cfg).unwrap_or_else(|e| panic!("sweep warm-up failed: {e}"));
         for (key, result) in keys.into_iter().zip(results) {
             self.cache.insert(key, result.comparison);
         }
@@ -199,8 +205,14 @@ mod tests {
 
     #[test]
     fn profile_unknown_env_values_degrade_to_default() {
-        for bad in ["", "Smoke", "FULL", "smokey", "tiny", " smoke", "smoke ", "1"] {
-            assert_eq!(Profile::from_env_value(Some(bad)), Profile::Default, "value {bad:?}");
+        for bad in [
+            "", "Smoke", "FULL", "smokey", "tiny", " smoke", "smoke ", "1",
+        ] {
+            assert_eq!(
+                Profile::from_env_value(Some(bad)),
+                Profile::Default,
+                "value {bad:?}"
+            );
         }
     }
 
@@ -219,8 +231,16 @@ mod tests {
     #[test]
     fn cache_dedupes_equal_capped_shapes() {
         let mut c = CachedCompare::new(Profile::Smoke.config());
-        let a = GemmDims { rows: 1000, inner: 1000, cols: 1000 };
-        let b = GemmDims { rows: 2000, inner: 3000, cols: 4000 }; // same after caps
+        let a = GemmDims {
+            rows: 1000,
+            inner: 1000,
+            cols: 1000,
+        };
+        let b = GemmDims {
+            rows: 2000,
+            inner: 3000,
+            cols: 4000,
+        }; // same after caps
         let ra = c.compare(a, NmPattern::P1_4);
         let rb = c.compare(b, NmPattern::P1_4);
         assert_eq!(c.unique_runs(), 1);
@@ -233,8 +253,16 @@ mod tests {
     #[test]
     fn warm_matches_serial_compare_exactly() {
         let dims = [
-            GemmDims { rows: 4, inner: 32, cols: 16 },
-            GemmDims { rows: 8, inner: 64, cols: 32 },
+            GemmDims {
+                rows: 4,
+                inner: 32,
+                cols: 16,
+            },
+            GemmDims {
+                rows: 8,
+                inner: 64,
+                cols: 32,
+            },
         ];
         let mut serial = CachedCompare::new(Profile::Smoke.config());
         let mut warmed = CachedCompare::new(Profile::Smoke.config());
@@ -253,9 +281,21 @@ mod tests {
     #[test]
     fn warm_dedupes_capped_duplicates_and_tolerates_repeats() {
         let mut c = CachedCompare::new(Profile::Smoke.config());
-        let a = GemmDims { rows: 1000, inner: 1000, cols: 1000 };
-        let b = GemmDims { rows: 2000, inner: 3000, cols: 4000 }; // same after caps
-        c.warm([(a, NmPattern::P1_4), (b, NmPattern::P1_4), (a, NmPattern::P1_4)]);
+        let a = GemmDims {
+            rows: 1000,
+            inner: 1000,
+            cols: 1000,
+        };
+        let b = GemmDims {
+            rows: 2000,
+            inner: 3000,
+            cols: 4000,
+        }; // same after caps
+        c.warm([
+            (a, NmPattern::P1_4),
+            (b, NmPattern::P1_4),
+            (a, NmPattern::P1_4),
+        ]);
         assert_eq!(c.unique_runs(), 1);
         c.warm([(a, NmPattern::P1_4)]); // already cached: no-op
         assert_eq!(c.unique_runs(), 1);

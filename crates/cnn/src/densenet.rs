@@ -11,7 +11,16 @@ const BLOCKS: [usize; 4] = [6, 12, 24, 16];
 /// Builds the 120 convolution layers of DenseNet121 for 224x224 inputs.
 pub fn densenet121() -> CnnModel {
     let mut layers = Vec::new();
-    layers.push(ConvLayer::square("features.conv0", 3, 64, 7, 2, 3, 224, 224));
+    layers.push(ConvLayer::square(
+        "features.conv0",
+        3,
+        64,
+        7,
+        2,
+        3,
+        224,
+        224,
+    ));
     // 3x3/2 max-pool follows the stem.
     let mut ch = 64;
     let mut h = 56;
@@ -85,11 +94,20 @@ mod tests {
     fn channel_growth_and_transitions() {
         let m = densenet121();
         // Block 1 ends at 64 + 6*32 = 256, transition halves to 128.
-        let t1 = m.layers.iter().find(|l| l.name == "transition1.conv").unwrap();
+        let t1 = m
+            .layers
+            .iter()
+            .find(|l| l.name == "transition1.conv")
+            .unwrap();
         assert_eq!(t1.in_channels, 256);
         assert_eq!(t1.out_channels, 128);
         // Final dense layer input: 512 + 15*32 = 992.
-        let last = m.layers.iter().rev().find(|l| l.name.contains("conv1")).unwrap();
+        let last = m
+            .layers
+            .iter()
+            .rev()
+            .find(|l| l.name.contains("conv1"))
+            .unwrap();
         assert_eq!(last.in_channels, 992);
     }
 

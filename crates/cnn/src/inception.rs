@@ -34,62 +34,458 @@ fn conv(
 
 fn inception_a(layers: &mut Vec<ConvLayer>, name: &str, in_ch: usize, pool: usize) -> usize {
     let hw = 35;
-    conv(layers, format!("{name}.branch1x1"), in_ch, 64, 1, 1, 1, 0, 0, hw);
-    conv(layers, format!("{name}.branch5x5_1"), in_ch, 48, 1, 1, 1, 0, 0, hw);
-    conv(layers, format!("{name}.branch5x5_2"), 48, 64, 5, 5, 1, 2, 2, hw);
-    conv(layers, format!("{name}.branch3x3dbl_1"), in_ch, 64, 1, 1, 1, 0, 0, hw);
-    conv(layers, format!("{name}.branch3x3dbl_2"), 64, 96, 3, 3, 1, 1, 1, hw);
-    conv(layers, format!("{name}.branch3x3dbl_3"), 96, 96, 3, 3, 1, 1, 1, hw);
-    conv(layers, format!("{name}.branch_pool"), in_ch, pool, 1, 1, 1, 0, 0, hw);
+    conv(
+        layers,
+        format!("{name}.branch1x1"),
+        in_ch,
+        64,
+        1,
+        1,
+        1,
+        0,
+        0,
+        hw,
+    );
+    conv(
+        layers,
+        format!("{name}.branch5x5_1"),
+        in_ch,
+        48,
+        1,
+        1,
+        1,
+        0,
+        0,
+        hw,
+    );
+    conv(
+        layers,
+        format!("{name}.branch5x5_2"),
+        48,
+        64,
+        5,
+        5,
+        1,
+        2,
+        2,
+        hw,
+    );
+    conv(
+        layers,
+        format!("{name}.branch3x3dbl_1"),
+        in_ch,
+        64,
+        1,
+        1,
+        1,
+        0,
+        0,
+        hw,
+    );
+    conv(
+        layers,
+        format!("{name}.branch3x3dbl_2"),
+        64,
+        96,
+        3,
+        3,
+        1,
+        1,
+        1,
+        hw,
+    );
+    conv(
+        layers,
+        format!("{name}.branch3x3dbl_3"),
+        96,
+        96,
+        3,
+        3,
+        1,
+        1,
+        1,
+        hw,
+    );
+    conv(
+        layers,
+        format!("{name}.branch_pool"),
+        in_ch,
+        pool,
+        1,
+        1,
+        1,
+        0,
+        0,
+        hw,
+    );
     64 + 64 + 96 + pool
 }
 
 fn inception_b(layers: &mut Vec<ConvLayer>, name: &str, in_ch: usize) -> usize {
     let hw = 35;
-    conv(layers, format!("{name}.branch3x3"), in_ch, 384, 3, 3, 2, 0, 0, hw);
-    conv(layers, format!("{name}.branch3x3dbl_1"), in_ch, 64, 1, 1, 1, 0, 0, hw);
-    conv(layers, format!("{name}.branch3x3dbl_2"), 64, 96, 3, 3, 1, 1, 1, hw);
-    conv(layers, format!("{name}.branch3x3dbl_3"), 96, 96, 3, 3, 2, 0, 0, hw);
+    conv(
+        layers,
+        format!("{name}.branch3x3"),
+        in_ch,
+        384,
+        3,
+        3,
+        2,
+        0,
+        0,
+        hw,
+    );
+    conv(
+        layers,
+        format!("{name}.branch3x3dbl_1"),
+        in_ch,
+        64,
+        1,
+        1,
+        1,
+        0,
+        0,
+        hw,
+    );
+    conv(
+        layers,
+        format!("{name}.branch3x3dbl_2"),
+        64,
+        96,
+        3,
+        3,
+        1,
+        1,
+        1,
+        hw,
+    );
+    conv(
+        layers,
+        format!("{name}.branch3x3dbl_3"),
+        96,
+        96,
+        3,
+        3,
+        2,
+        0,
+        0,
+        hw,
+    );
     384 + 96 + in_ch // max-pool branch carries the input through
 }
 
 fn inception_c(layers: &mut Vec<ConvLayer>, name: &str, in_ch: usize, c7: usize) -> usize {
     let hw = 17;
-    conv(layers, format!("{name}.branch1x1"), in_ch, 192, 1, 1, 1, 0, 0, hw);
-    conv(layers, format!("{name}.branch7x7_1"), in_ch, c7, 1, 1, 1, 0, 0, hw);
-    conv(layers, format!("{name}.branch7x7_2"), c7, c7, 1, 7, 1, 0, 3, hw);
-    conv(layers, format!("{name}.branch7x7_3"), c7, 192, 7, 1, 1, 3, 0, hw);
-    conv(layers, format!("{name}.branch7x7dbl_1"), in_ch, c7, 1, 1, 1, 0, 0, hw);
-    conv(layers, format!("{name}.branch7x7dbl_2"), c7, c7, 7, 1, 1, 3, 0, hw);
-    conv(layers, format!("{name}.branch7x7dbl_3"), c7, c7, 1, 7, 1, 0, 3, hw);
-    conv(layers, format!("{name}.branch7x7dbl_4"), c7, c7, 7, 1, 1, 3, 0, hw);
-    conv(layers, format!("{name}.branch7x7dbl_5"), c7, 192, 1, 7, 1, 0, 3, hw);
-    conv(layers, format!("{name}.branch_pool"), in_ch, 192, 1, 1, 1, 0, 0, hw);
+    conv(
+        layers,
+        format!("{name}.branch1x1"),
+        in_ch,
+        192,
+        1,
+        1,
+        1,
+        0,
+        0,
+        hw,
+    );
+    conv(
+        layers,
+        format!("{name}.branch7x7_1"),
+        in_ch,
+        c7,
+        1,
+        1,
+        1,
+        0,
+        0,
+        hw,
+    );
+    conv(
+        layers,
+        format!("{name}.branch7x7_2"),
+        c7,
+        c7,
+        1,
+        7,
+        1,
+        0,
+        3,
+        hw,
+    );
+    conv(
+        layers,
+        format!("{name}.branch7x7_3"),
+        c7,
+        192,
+        7,
+        1,
+        1,
+        3,
+        0,
+        hw,
+    );
+    conv(
+        layers,
+        format!("{name}.branch7x7dbl_1"),
+        in_ch,
+        c7,
+        1,
+        1,
+        1,
+        0,
+        0,
+        hw,
+    );
+    conv(
+        layers,
+        format!("{name}.branch7x7dbl_2"),
+        c7,
+        c7,
+        7,
+        1,
+        1,
+        3,
+        0,
+        hw,
+    );
+    conv(
+        layers,
+        format!("{name}.branch7x7dbl_3"),
+        c7,
+        c7,
+        1,
+        7,
+        1,
+        0,
+        3,
+        hw,
+    );
+    conv(
+        layers,
+        format!("{name}.branch7x7dbl_4"),
+        c7,
+        c7,
+        7,
+        1,
+        1,
+        3,
+        0,
+        hw,
+    );
+    conv(
+        layers,
+        format!("{name}.branch7x7dbl_5"),
+        c7,
+        192,
+        1,
+        7,
+        1,
+        0,
+        3,
+        hw,
+    );
+    conv(
+        layers,
+        format!("{name}.branch_pool"),
+        in_ch,
+        192,
+        1,
+        1,
+        1,
+        0,
+        0,
+        hw,
+    );
     192 * 4
 }
 
 fn inception_d(layers: &mut Vec<ConvLayer>, name: &str, in_ch: usize) -> usize {
     let hw = 17;
-    conv(layers, format!("{name}.branch3x3_1"), in_ch, 192, 1, 1, 1, 0, 0, hw);
-    conv(layers, format!("{name}.branch3x3_2"), 192, 320, 3, 3, 2, 0, 0, hw);
-    conv(layers, format!("{name}.branch7x7x3_1"), in_ch, 192, 1, 1, 1, 0, 0, hw);
-    conv(layers, format!("{name}.branch7x7x3_2"), 192, 192, 1, 7, 1, 0, 3, hw);
-    conv(layers, format!("{name}.branch7x7x3_3"), 192, 192, 7, 1, 1, 3, 0, hw);
-    conv(layers, format!("{name}.branch7x7x3_4"), 192, 192, 3, 3, 2, 0, 0, hw);
+    conv(
+        layers,
+        format!("{name}.branch3x3_1"),
+        in_ch,
+        192,
+        1,
+        1,
+        1,
+        0,
+        0,
+        hw,
+    );
+    conv(
+        layers,
+        format!("{name}.branch3x3_2"),
+        192,
+        320,
+        3,
+        3,
+        2,
+        0,
+        0,
+        hw,
+    );
+    conv(
+        layers,
+        format!("{name}.branch7x7x3_1"),
+        in_ch,
+        192,
+        1,
+        1,
+        1,
+        0,
+        0,
+        hw,
+    );
+    conv(
+        layers,
+        format!("{name}.branch7x7x3_2"),
+        192,
+        192,
+        1,
+        7,
+        1,
+        0,
+        3,
+        hw,
+    );
+    conv(
+        layers,
+        format!("{name}.branch7x7x3_3"),
+        192,
+        192,
+        7,
+        1,
+        1,
+        3,
+        0,
+        hw,
+    );
+    conv(
+        layers,
+        format!("{name}.branch7x7x3_4"),
+        192,
+        192,
+        3,
+        3,
+        2,
+        0,
+        0,
+        hw,
+    );
     320 + 192 + in_ch
 }
 
 fn inception_e(layers: &mut Vec<ConvLayer>, name: &str, in_ch: usize) -> usize {
     let hw = 8;
-    conv(layers, format!("{name}.branch1x1"), in_ch, 320, 1, 1, 1, 0, 0, hw);
-    conv(layers, format!("{name}.branch3x3_1"), in_ch, 384, 1, 1, 1, 0, 0, hw);
-    conv(layers, format!("{name}.branch3x3_2a"), 384, 384, 1, 3, 1, 0, 1, hw);
-    conv(layers, format!("{name}.branch3x3_2b"), 384, 384, 3, 1, 1, 1, 0, hw);
-    conv(layers, format!("{name}.branch3x3dbl_1"), in_ch, 448, 1, 1, 1, 0, 0, hw);
-    conv(layers, format!("{name}.branch3x3dbl_2"), 448, 384, 3, 3, 1, 1, 1, hw);
-    conv(layers, format!("{name}.branch3x3dbl_3a"), 384, 384, 1, 3, 1, 0, 1, hw);
-    conv(layers, format!("{name}.branch3x3dbl_3b"), 384, 384, 3, 1, 1, 1, 0, hw);
-    conv(layers, format!("{name}.branch_pool"), in_ch, 192, 1, 1, 1, 0, 0, hw);
+    conv(
+        layers,
+        format!("{name}.branch1x1"),
+        in_ch,
+        320,
+        1,
+        1,
+        1,
+        0,
+        0,
+        hw,
+    );
+    conv(
+        layers,
+        format!("{name}.branch3x3_1"),
+        in_ch,
+        384,
+        1,
+        1,
+        1,
+        0,
+        0,
+        hw,
+    );
+    conv(
+        layers,
+        format!("{name}.branch3x3_2a"),
+        384,
+        384,
+        1,
+        3,
+        1,
+        0,
+        1,
+        hw,
+    );
+    conv(
+        layers,
+        format!("{name}.branch3x3_2b"),
+        384,
+        384,
+        3,
+        1,
+        1,
+        1,
+        0,
+        hw,
+    );
+    conv(
+        layers,
+        format!("{name}.branch3x3dbl_1"),
+        in_ch,
+        448,
+        1,
+        1,
+        1,
+        0,
+        0,
+        hw,
+    );
+    conv(
+        layers,
+        format!("{name}.branch3x3dbl_2"),
+        448,
+        384,
+        3,
+        3,
+        1,
+        1,
+        1,
+        hw,
+    );
+    conv(
+        layers,
+        format!("{name}.branch3x3dbl_3a"),
+        384,
+        384,
+        1,
+        3,
+        1,
+        0,
+        1,
+        hw,
+    );
+    conv(
+        layers,
+        format!("{name}.branch3x3dbl_3b"),
+        384,
+        384,
+        3,
+        1,
+        1,
+        1,
+        0,
+        hw,
+    );
+    conv(
+        layers,
+        format!("{name}.branch_pool"),
+        in_ch,
+        192,
+        1,
+        1,
+        1,
+        0,
+        0,
+        hw,
+    );
     320 + 2 * 384 + 2 * 384 + 192
 }
 
@@ -97,13 +493,68 @@ fn inception_e(layers: &mut Vec<ConvLayer>, name: &str, in_ch: usize) -> usize {
 pub fn inception_v3() -> CnnModel {
     let mut layers = Vec::new();
     // Stem.
-    conv(&mut layers, "Conv2d_1a_3x3".into(), 3, 32, 3, 3, 2, 0, 0, 299); // -> 149
-    conv(&mut layers, "Conv2d_2a_3x3".into(), 32, 32, 3, 3, 1, 0, 0, 149); // -> 147
-    conv(&mut layers, "Conv2d_2b_3x3".into(), 32, 64, 3, 3, 1, 1, 1, 147); // -> 147
-    // max-pool 3x3/2 -> 73
-    conv(&mut layers, "Conv2d_3b_1x1".into(), 64, 80, 1, 1, 1, 0, 0, 73);
-    conv(&mut layers, "Conv2d_4a_3x3".into(), 80, 192, 3, 3, 1, 0, 0, 73); // -> 71
-    // max-pool 3x3/2 -> 35
+    conv(
+        &mut layers,
+        "Conv2d_1a_3x3".into(),
+        3,
+        32,
+        3,
+        3,
+        2,
+        0,
+        0,
+        299,
+    ); // -> 149
+    conv(
+        &mut layers,
+        "Conv2d_2a_3x3".into(),
+        32,
+        32,
+        3,
+        3,
+        1,
+        0,
+        0,
+        149,
+    ); // -> 147
+    conv(
+        &mut layers,
+        "Conv2d_2b_3x3".into(),
+        32,
+        64,
+        3,
+        3,
+        1,
+        1,
+        1,
+        147,
+    ); // -> 147
+       // max-pool 3x3/2 -> 73
+    conv(
+        &mut layers,
+        "Conv2d_3b_1x1".into(),
+        64,
+        80,
+        1,
+        1,
+        1,
+        0,
+        0,
+        73,
+    );
+    conv(
+        &mut layers,
+        "Conv2d_4a_3x3".into(),
+        80,
+        192,
+        3,
+        3,
+        1,
+        0,
+        0,
+        73,
+    ); // -> 71
+       // max-pool 3x3/2 -> 35
 
     let mut ch = 192;
     ch = inception_a(&mut layers, "Mixed_5b", ch, 32);
@@ -143,28 +594,56 @@ mod tests {
     fn channel_arithmetic_through_mixed_blocks() {
         let m = inception_v3();
         // Mixed_5b output 256, 5c 288 (branch inputs confirm).
-        let b5c = m.layers.iter().find(|l| l.name == "Mixed_5c.branch1x1").unwrap();
+        let b5c = m
+            .layers
+            .iter()
+            .find(|l| l.name == "Mixed_5c.branch1x1")
+            .unwrap();
         assert_eq!(b5c.in_channels, 256);
-        let b5d = m.layers.iter().find(|l| l.name == "Mixed_5d.branch1x1").unwrap();
+        let b5d = m
+            .layers
+            .iter()
+            .find(|l| l.name == "Mixed_5d.branch1x1")
+            .unwrap();
         assert_eq!(b5d.in_channels, 288);
         // Mixed_6b sees 768 after the grid reduction.
-        let b6b = m.layers.iter().find(|l| l.name == "Mixed_6b.branch1x1").unwrap();
+        let b6b = m
+            .layers
+            .iter()
+            .find(|l| l.name == "Mixed_6b.branch1x1")
+            .unwrap();
         assert_eq!(b6b.in_channels, 768);
         // Mixed_7b sees 1280 after InceptionD; Mixed_7c sees 2048.
-        let b7b = m.layers.iter().find(|l| l.name == "Mixed_7b.branch1x1").unwrap();
+        let b7b = m
+            .layers
+            .iter()
+            .find(|l| l.name == "Mixed_7b.branch1x1")
+            .unwrap();
         assert_eq!(b7b.in_channels, 1280);
-        let b7c = m.layers.iter().find(|l| l.name == "Mixed_7c.branch1x1").unwrap();
+        let b7c = m
+            .layers
+            .iter()
+            .find(|l| l.name == "Mixed_7c.branch1x1")
+            .unwrap();
         assert_eq!(b7c.in_channels, 2048);
     }
 
     #[test]
     fn factorised_convolutions_present() {
         let m = inception_v3();
-        let c17 = m.layers.iter().find(|l| l.name == "Mixed_6b.branch7x7_2").unwrap();
+        let c17 = m
+            .layers
+            .iter()
+            .find(|l| l.name == "Mixed_6b.branch7x7_2")
+            .unwrap();
         assert_eq!((c17.kernel_h, c17.kernel_w), (1, 7));
         assert_eq!(c17.out_h(), 17);
         assert_eq!(c17.out_w(), 17);
-        let c71 = m.layers.iter().find(|l| l.name == "Mixed_6b.branch7x7_3").unwrap();
+        let c71 = m
+            .layers
+            .iter()
+            .find(|l| l.name == "Mixed_6b.branch7x7_3")
+            .unwrap();
         assert_eq!((c71.kernel_h, c71.kernel_w), (7, 1));
     }
 

@@ -38,3 +38,20 @@ pub use layer::ConvLayer;
 pub use model::CnnModel;
 pub use resnet::resnet50;
 pub use scaling::GemmCaps;
+
+use indexmac_kernels::ElemType;
+
+/// Int8-quantized ResNet50: identical layer geometry, e8 datapath.
+pub fn resnet50_int8() -> CnnModel {
+    resnet50().with_precision("ResNet50-int8", ElemType::I8)
+}
+
+/// Int8-quantized DenseNet121.
+pub fn densenet121_int8() -> CnnModel {
+    densenet121().with_precision("DenseNet121-int8", ElemType::I8)
+}
+
+/// Int8-quantized InceptionV3.
+pub fn inception_v3_int8() -> CnnModel {
+    inception_v3().with_precision("InceptionV3-int8", ElemType::I8)
+}

@@ -1,6 +1,7 @@
 //! CNN model container and summaries.
 
 use crate::layer::ConvLayer;
+use indexmac_kernels::ElemType;
 
 /// A CNN as a flat list of convolution layers (the only layers the
 /// paper's evaluation executes as matrix multiplications).
@@ -10,12 +11,28 @@ pub struct CnnModel {
     pub name: &'static str,
     /// Convolutions in network order.
     pub layers: Vec<ConvLayer>,
+    /// Element precision the model's GEMMs run at: `F32` for the
+    /// paper's networks, `I8`/`I16` for the quantized preset variants.
+    pub precision: ElemType,
 }
 
 impl CnnModel {
-    /// Wraps a layer list.
+    /// Wraps a layer list at the paper's f32 precision.
     pub fn new(name: &'static str, layers: Vec<ConvLayer>) -> Self {
-        Self { name, layers }
+        Self {
+            name,
+            layers,
+            precision: ElemType::F32,
+        }
+    }
+
+    /// The same network tagged with a different element precision (the
+    /// layer shapes are precision-independent — im2col geometry only).
+    #[must_use]
+    pub fn with_precision(mut self, name: &'static str, precision: ElemType) -> Self {
+        self.name = name;
+        self.precision = precision;
+        self
     }
 
     /// Total dense multiply-accumulate count.
@@ -34,7 +51,21 @@ impl CnnModel {
 
     /// All three evaluation models of the paper.
     pub fn paper_models() -> Vec<CnnModel> {
-        vec![crate::resnet50(), crate::densenet121(), crate::inception_v3()]
+        vec![
+            crate::resnet50(),
+            crate::densenet121(),
+            crate::inception_v3(),
+        ]
+    }
+
+    /// The int8-quantized variants of the three evaluation models —
+    /// same layer geometry, e8 datapath (widening i8→i32 MACs).
+    pub fn quantized_models() -> Vec<CnnModel> {
+        vec![
+            crate::resnet50_int8(),
+            crate::densenet121_int8(),
+            crate::inception_v3_int8(),
+        ]
     }
 }
 
@@ -75,6 +106,21 @@ mod tests {
             assert!(w[0].macs() >= w[1].macs());
         }
         assert!(top[0].macs() >= m.total_macs() / m.layers.len() as u64);
+    }
+
+    #[test]
+    fn quantized_variants_share_geometry() {
+        use indexmac_kernels::ElemType;
+        let f32s = CnnModel::paper_models();
+        let int8s = CnnModel::quantized_models();
+        assert_eq!(int8s.len(), 3);
+        for (f, q) in f32s.iter().zip(&int8s) {
+            assert_eq!(f.precision, ElemType::F32);
+            assert_eq!(q.precision, ElemType::I8);
+            assert_eq!(f.layers, q.layers, "{}: geometry must not change", q.name);
+            assert!(q.name.ends_with("-int8"));
+            assert_eq!(f.total_macs(), q.total_macs());
+        }
     }
 
     #[test]

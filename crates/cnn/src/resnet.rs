@@ -12,8 +12,12 @@ pub fn resnet50() -> CnnModel {
     layers.push(ConvLayer::square("conv1", 3, 64, 7, 2, 3, 224, 224));
 
     // (stage, blocks, mid channels, out channels)
-    let stages =
-        [("layer1", 3, 64, 256), ("layer2", 4, 128, 512), ("layer3", 6, 256, 1024), ("layer4", 3, 512, 2048)];
+    let stages = [
+        ("layer1", 3, 64, 256),
+        ("layer2", 4, 128, 512),
+        ("layer3", 6, 256, 1024),
+        ("layer4", 3, 512, 2048),
+    ];
 
     let mut in_ch = 64; // after the stem + max-pool
     let mut h = 56; // 112 / 2 from max-pool
@@ -113,14 +117,22 @@ mod tests {
         // Final block expands to 2048 channels.
         assert_eq!(m.layers.last().unwrap().out_channels, 2048);
         // Downsample convs present exactly once per stage.
-        let downs = m.layers.iter().filter(|l| l.name.contains("downsample")).count();
+        let downs = m
+            .layers
+            .iter()
+            .filter(|l| l.name.contains("downsample"))
+            .count();
         assert_eq!(downs, 4);
     }
 
     #[test]
     fn strided_blocks_halve_maps() {
         let m = resnet50();
-        let l2c2 = m.layers.iter().find(|l| l.name == "layer2.0.conv2").unwrap();
+        let l2c2 = m
+            .layers
+            .iter()
+            .find(|l| l.name == "layer2.0.conv2")
+            .unwrap();
         assert_eq!(l2c2.stride, 2);
         assert_eq!(l2c2.in_h, 56);
         assert_eq!(l2c2.out_h(), 28);

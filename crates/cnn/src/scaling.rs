@@ -27,17 +27,29 @@ impl GemmCaps {
     /// declining per-layer speedups (Fig. 4) — yet small enough for
     /// second-scale layer simulations.
     pub fn default_eval() -> Self {
-        Self { max_rows: 64, max_inner: 512, max_cols: 512 }
+        Self {
+            max_rows: 64,
+            max_inner: 512,
+            max_cols: 512,
+        }
     }
 
     /// A fast profile for CI-style smoke tests.
     pub fn smoke() -> Self {
-        Self { max_rows: 16, max_inner: 128, max_cols: 32 }
+        Self {
+            max_rows: 16,
+            max_inner: 128,
+            max_cols: 32,
+        }
     }
 
     /// No capping: simulate layers at full size.
     pub fn unbounded() -> Self {
-        Self { max_rows: usize::MAX, max_inner: usize::MAX, max_cols: usize::MAX }
+        Self {
+            max_rows: usize::MAX,
+            max_inner: usize::MAX,
+            max_cols: usize::MAX,
+        }
     }
 
     /// Applies the caps to a GEMM shape.
@@ -66,7 +78,11 @@ impl std::fmt::Display for GemmCaps {
         if *self == Self::unbounded() {
             write!(f, "uncapped")
         } else {
-            write!(f, "caps(rows<={}, inner<={}, cols<={})", self.max_rows, self.max_inner, self.max_cols)
+            write!(
+                f,
+                "caps(rows<={}, inner<={}, cols<={})",
+                self.max_rows, self.max_inner, self.max_cols
+            )
         }
     }
 }
@@ -77,10 +93,25 @@ mod tests {
 
     #[test]
     fn apply_clips_each_dimension() {
-        let caps = GemmCaps { max_rows: 10, max_inner: 20, max_cols: 30 };
-        let g = GemmDims { rows: 100, inner: 15, cols: 300 };
+        let caps = GemmCaps {
+            max_rows: 10,
+            max_inner: 20,
+            max_cols: 30,
+        };
+        let g = GemmDims {
+            rows: 100,
+            inner: 15,
+            cols: 300,
+        };
         let c = caps.apply(g);
-        assert_eq!(c, GemmDims { rows: 10, inner: 15, cols: 30 });
+        assert_eq!(
+            c,
+            GemmDims {
+                rows: 10,
+                inner: 15,
+                cols: 30
+            }
+        );
         assert!(caps.clips(g));
         assert!(!caps.clips(c));
     }
@@ -88,7 +119,11 @@ mod tests {
     #[test]
     fn unbounded_is_identity() {
         let caps = GemmCaps::unbounded();
-        let g = GemmDims { rows: 2048, inner: 4608, cols: 12544 };
+        let g = GemmDims {
+            rows: 2048,
+            inner: 4608,
+            cols: 12544,
+        };
         assert_eq!(caps.apply(g), g);
         assert_eq!(caps.retained_fraction(g), 1.0);
         assert_eq!(caps.to_string(), "uncapped");
@@ -96,14 +131,26 @@ mod tests {
 
     #[test]
     fn retained_fraction() {
-        let caps = GemmCaps { max_rows: 5, max_inner: 10, max_cols: 10 };
-        let g = GemmDims { rows: 10, inner: 10, cols: 10 };
+        let caps = GemmCaps {
+            max_rows: 5,
+            max_inner: 10,
+            max_cols: 10,
+        };
+        let g = GemmDims {
+            rows: 10,
+            inner: 10,
+            cols: 10,
+        };
         assert_eq!(caps.retained_fraction(g), 0.5);
     }
 
     #[test]
     fn eval_caps_clip_resnet_conv1() {
-        let g = GemmDims { rows: 64, inner: 147, cols: 12544 };
+        let g = GemmDims {
+            rows: 64,
+            inner: 147,
+            cols: 12544,
+        };
         let caps = GemmCaps::default_eval();
         let c = caps.apply(g);
         assert_eq!(c.cols, 512);
@@ -115,10 +162,18 @@ mod tests {
     fn eval_caps_preserve_l2_residency_contrast() {
         // Early layers: capped B is 512*512*4 = 1 MiB > 512 KiB L2.
         let caps = GemmCaps::default_eval();
-        let early = caps.apply(GemmDims { rows: 64, inner: 1152, cols: 3136 });
+        let early = caps.apply(GemmDims {
+            rows: 64,
+            inner: 1152,
+            cols: 3136,
+        });
         assert!(early.inner * early.cols * 4 > 512 * 1024);
         // Late layers: 49-column maps stay uncapped and fit easily.
-        let late = caps.apply(GemmDims { rows: 2048, inner: 512, cols: 49 });
+        let late = caps.apply(GemmDims {
+            rows: 2048,
+            inner: 512,
+            cols: 49,
+        });
         assert_eq!(late.cols, 49);
         assert!(late.inner * late.cols * 4 < 512 * 1024);
     }

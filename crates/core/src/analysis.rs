@@ -138,8 +138,15 @@ mod tests {
         // A representative shape: enough rows that tile preloads are
         // amortised, as in every real layer (tiny-row corner cases are
         // legitimate but not what attribution is for).
-        let cfg = ExperimentConfig { verify: false, ..ExperimentConfig::paper() };
-        let dims = GemmDims { rows: 64, inner: 128, cols: 64 };
+        let cfg = ExperimentConfig {
+            verify: false,
+            ..ExperimentConfig::paper()
+        };
+        let dims = GemmDims {
+            rows: 64,
+            inner: 128,
+            cols: 64,
+        };
         let base = run_gemm(dims, NmPattern::P1_4, Algorithm::RowWiseSpmm, &cfg).unwrap();
         let prop = run_gemm(dims, NmPattern::P1_4, Algorithm::IndexMac, &cfg).unwrap();
         (base.report, prop.report, cfg.sim)
@@ -150,7 +157,12 @@ mod tests {
         let (base, prop, sim) = reports();
         for r in [base, prop] {
             let b = analyze(&r, &sim);
-            for share in [b.engine_share, b.sync_share, b.memory_share, b.frontend_share] {
+            for share in [
+                b.engine_share,
+                b.sync_share,
+                b.memory_share,
+                b.frontend_share,
+            ] {
                 assert!((0.0..=1.0).contains(&share), "share {share}");
             }
         }

@@ -11,13 +11,16 @@
 //! ```
 
 use indexmac::analysis::analyze;
-use indexmac::experiment::{compare_gemm, run_gemm, Algorithm, ExperimentConfig};
+use indexmac::experiment::{compare_gemm, run_gemm, Algorithm, ExperimentConfig, Precision};
 use indexmac::kernels::{Dataflow, GemmDims, KernelParams};
 use indexmac::sparse::NmPattern;
 use indexmac::sweep::{run_grid, SweepGrid};
 use indexmac::table::{fmt_pair, fmt_pct, fmt_speedup, Table};
 use indexmac::vpu::SimConfig;
-use indexmac_cnn::{densenet121, inception_v3, resnet50, CnnModel};
+use indexmac_cnn::{
+    densenet121, densenet121_int8, inception_v3, inception_v3_int8, resnet50, resnet50_int8,
+    CnnModel,
+};
 use std::process::ExitCode;
 
 /// Parsed command line.
@@ -33,9 +36,16 @@ enum Command {
         unroll: usize,
         tile_rows: usize,
         lmul: usize,
+        sew: Precision,
+        seed: Option<u64>,
     },
     /// Run the comparison on a named CNN layer.
-    Layer { model: String, name: String, pattern: NmPattern },
+    Layer {
+        model: String,
+        name: String,
+        pattern: NmPattern,
+        seed: Option<u64>,
+    },
     /// List the conv layers of a model.
     List { model: String },
     /// Fan comparisons over a (pattern x dims x dataflow) grid in parallel.
@@ -52,6 +62,8 @@ enum Command {
         baseline: Algorithm,
         /// Register grouping for indexmac2 cells.
         lmul: usize,
+        /// Element precision (SEW) of every cell.
+        sew: Precision,
     },
 }
 
@@ -79,7 +91,11 @@ fn parse_dims(s: &str) -> Result<GemmDims, String> {
         return Err(err());
     }
     let parse = |p: &str| p.parse::<usize>().ok().filter(|v| *v > 0).ok_or_else(err);
-    Ok(GemmDims { rows: parse(parts[0])?, inner: parse(parts[1])?, cols: parse(parts[2])? })
+    Ok(GemmDims {
+        rows: parse(parts[0])?,
+        inner: parse(parts[1])?,
+        cols: parse(parts[2])?,
+    })
 }
 
 fn parse_dataflows(s: &str) -> Result<Vec<Dataflow>, String> {
@@ -97,11 +113,13 @@ fn parse_dataflows(s: &str) -> Result<Vec<Dataflow>, String> {
 }
 
 fn parse_list<T>(s: &str, item: impl Fn(&str) -> Result<T, String>) -> Result<Vec<T>, String> {
-    s.split(',').map(|part| item(part)).collect()
+    s.split(',').map(item).collect()
 }
 
 fn parse_pattern(s: &str) -> Result<NmPattern, String> {
-    let (n, m) = s.split_once(':').ok_or_else(|| format!("pattern `{s}` is not N:M"))?;
+    let (n, m) = s
+        .split_once(':')
+        .ok_or_else(|| format!("pattern `{s}` is not N:M"))?;
     let n: usize = n.parse().map_err(|_| format!("bad N in `{s}`"))?;
     let m: usize = m.parse().map_err(|_| format!("bad M in `{s}`"))?;
     NmPattern::new(n, m).map_err(|e| e.to_string())
@@ -114,9 +132,9 @@ fn parse_algorithm(s: &str) -> Result<Algorithm, String> {
         "indexmac" => Ok(Algorithm::IndexMac),
         "indexmac2" => Ok(Algorithm::IndexMac2),
         "scalar" => Ok(Algorithm::ScalarIndexed),
-        other => {
-            Err(format!("unknown algorithm `{other}` (dense|rowwise|indexmac|indexmac2|scalar)"))
-        }
+        other => Err(format!(
+            "unknown algorithm `{other}` (dense|rowwise|indexmac|indexmac2|scalar)"
+        )),
     }
 }
 
@@ -129,12 +147,40 @@ fn parse_lmul(s: &str) -> Result<usize, String> {
     }
 }
 
+fn parse_sew(s: &str) -> Result<Precision, String> {
+    s.parse::<usize>()
+        .ok()
+        .and_then(Precision::from_sew_bits)
+        .ok_or_else(|| format!("unknown sew `{s}` (8|16|32)"))
+}
+
+/// The algorithms with a quantized (e8/e16) emission path.
+fn supports_int(alg: Algorithm) -> bool {
+    matches!(alg, Algorithm::IndexMac | Algorithm::IndexMac2)
+}
+
 fn model_by_name(name: &str) -> Result<CnnModel, String> {
     match name.to_ascii_lowercase().as_str() {
         "resnet50" => Ok(resnet50()),
         "densenet121" => Ok(densenet121()),
         "inceptionv3" | "inception_v3" => Ok(inception_v3()),
-        other => Err(format!("unknown model `{other}` (resnet50|densenet121|inceptionv3)")),
+        "resnet50-int8" => Ok(resnet50_int8()),
+        "densenet121-int8" => Ok(densenet121_int8()),
+        "inceptionv3-int8" | "inception_v3-int8" => Ok(inception_v3_int8()),
+        other => Err(format!(
+            "unknown model `{other}` (resnet50|densenet121|inceptionv3, each also as <model>-int8)"
+        )),
+    }
+}
+
+/// Parses the optional `--seed` flag shared by every run subcommand.
+fn parse_seed(opts: &std::collections::HashMap<String, String>) -> Result<Option<u64>, String> {
+    match opts.get("seed") {
+        Some(s) => Ok(Some(
+            s.parse()
+                .map_err(|_| "--seed must be an integer".to_string())?,
+        )),
+        None => Ok(None),
     }
 }
 
@@ -146,7 +192,9 @@ fn parse(args: &[String]) -> Result<Command, String> {
     let rest: Vec<&String> = it.collect();
     let mut i = 0;
     while i < rest.len() {
-        let key = rest[i].strip_prefix("--").ok_or(format!("expected --option, got `{}`", rest[i]))?;
+        let key = rest[i]
+            .strip_prefix("--")
+            .ok_or(format!("expected --option, got `{}`", rest[i]))?;
         let value = rest.get(i + 1).ok_or(format!("--{key} needs a value"))?;
         opts.insert(key.to_string(), value.to_string());
         i += 2;
@@ -167,16 +215,32 @@ fn parse(args: &[String]) -> Result<Command, String> {
             if rows == 0 || inner == 0 || cols == 0 {
                 return Err("gemm requires --rows, --inner and --cols".to_string());
             }
+            let algorithm = match get("algorithm") {
+                Some(a) => Some(parse_algorithm(&a)?),
+                None => None,
+            };
+            let sew = match get("sew") {
+                Some(s) => parse_sew(&s)?,
+                None => Precision::F32,
+            };
+            // The walk-based baselines move values through the FP file
+            // and have no quantized path.
+            if sew.is_int() {
+                if let Some(alg) = algorithm {
+                    if !supports_int(alg) {
+                        return Err(
+                            "--sew 8|16 requires --algorithm indexmac or indexmac2".to_string()
+                        );
+                    }
+                }
+            }
             Ok(Command::Gemm {
                 dims: GemmDims { rows, inner, cols },
                 pattern: match get("pattern") {
                     Some(p) => parse_pattern(&p)?,
                     None => NmPattern::P2_4,
                 },
-                algorithm: match get("algorithm") {
-                    Some(a) => Some(parse_algorithm(&a)?),
-                    None => None,
-                },
+                algorithm,
                 unroll: get_usize("unroll", 4)?,
                 tile_rows: get_usize("tile-rows", 16)?,
                 lmul: {
@@ -192,6 +256,8 @@ fn parse(args: &[String]) -> Result<Command, String> {
                     }
                     lmul
                 },
+                sew,
+                seed: parse_seed(&opts)?,
             })
         }
         "layer" => Ok(Command::Layer {
@@ -201,8 +267,11 @@ fn parse(args: &[String]) -> Result<Command, String> {
                 Some(p) => parse_pattern(&p)?,
                 None => NmPattern::P2_4,
             },
+            seed: parse_seed(&opts)?,
         }),
-        "list" => Ok(Command::List { model: get("model").ok_or("list requires --model")? }),
+        "list" => Ok(Command::List {
+            model: get("model").ok_or("list requires --model")?,
+        }),
         "sweep" => {
             let dims_spec = get("dims").ok_or("sweep requires --dims RxKxN[,RxKxN...]")?;
             let dims = parse_list(&dims_spec, parse_dims)?;
@@ -214,16 +283,12 @@ fn parse(args: &[String]) -> Result<Command, String> {
                 Some(f) => parse_dataflows(&f)?,
                 None => vec![Dataflow::BStationary],
             };
-            let seed = match get("seed") {
-                Some(s) => {
-                    Some(s.parse().map_err(|_| "--seed must be an integer".to_string())?)
-                }
-                None => None,
-            };
+            let seed = parse_seed(&opts)?;
             let threads = match get("threads") {
                 Some(t) => {
-                    let t: usize =
-                        t.parse().map_err(|_| "--threads must be an integer".to_string())?;
+                    let t: usize = t
+                        .parse()
+                        .map_err(|_| "--threads must be an integer".to_string())?;
                     if t == 0 {
                         return Err("--threads must be positive".to_string());
                     }
@@ -235,8 +300,15 @@ fn parse(args: &[String]) -> Result<Command, String> {
                 Some(f) => parse_format(&f)?,
                 None => OutputFormat::Table,
             };
+            let sew = match get("sew") {
+                Some(s) => parse_sew(&s)?,
+                None => Precision::F32,
+            };
             let algorithm = match get("algorithm") {
                 Some(a) => parse_algorithm(&a)?,
+                // Quantized sweeps default to the kernel pair that owns
+                // a widening path: vvi proposed, vx baseline.
+                None if sew.is_int() => Algorithm::IndexMac2,
                 None => Algorithm::IndexMac,
             };
             let baseline = match get("baseline") {
@@ -245,16 +317,20 @@ fn parse(args: &[String]) -> Result<Command, String> {
                 // point of `--algorithm indexmac2`; default the baseline
                 // to the first generation there, Row-Wise-SpMM otherwise.
                 None if algorithm == Algorithm::IndexMac2 => Algorithm::IndexMac,
+                None if sew.is_int() => Algorithm::IndexMac,
                 None => Algorithm::RowWiseSpmm,
             };
+            if sew.is_int() && (!supports_int(algorithm) || !supports_int(baseline)) {
+                return Err(
+                    "--sew 8|16 requires indexmac/indexmac2 on both comparison sides".to_string(),
+                );
+            }
             let lmul = match get("lmul") {
                 Some(l) => parse_lmul(&l)?,
                 None => 1,
             };
             if lmul > 1 && algorithm != Algorithm::IndexMac2 && baseline != Algorithm::IndexMac2 {
-                return Err(
-                    "--lmul requires indexmac2 as --algorithm or --baseline".to_string()
-                );
+                return Err("--lmul requires indexmac2 as --algorithm or --baseline".to_string());
             }
             Ok(Command::Sweep {
                 dims,
@@ -266,6 +342,7 @@ fn parse(args: &[String]) -> Result<Command, String> {
                 algorithm,
                 baseline,
                 lmul,
+                sew,
             })
         }
         other => Err(format!("unknown command `{other}`\n{USAGE}")),
@@ -274,12 +351,19 @@ fn parse(args: &[String]) -> Result<Command, String> {
 
 const USAGE: &str = "usage:
   indexmac-cli config
-  indexmac-cli gemm --rows R --inner K --cols N [--pattern N:M] [--algorithm dense|rowwise|indexmac|indexmac2|scalar] [--unroll U] [--tile-rows L] [--lmul 1|2|4]
-  indexmac-cli layer --model M --name NAME [--pattern N:M]
+  indexmac-cli gemm --rows R --inner K --cols N [--pattern N:M] [--algorithm dense|rowwise|indexmac|indexmac2|scalar] [--unroll U] [--tile-rows L] [--lmul 1|2|4] [--sew 8|16|32] [--seed S]
+  indexmac-cli layer --model M --name NAME [--pattern N:M] [--seed S]
   indexmac-cli list --model M
-  indexmac-cli sweep --dims RxKxN[,RxKxN...] [--patterns N:M[,N:M...]] [--dataflows a|b|c|all] [--algorithm A] [--baseline A] [--lmul 1|2|4] [--seed S] [--threads T] [--format table|json|json-pretty]";
+  indexmac-cli sweep --dims RxKxN[,RxKxN...] [--patterns N:M[,N:M...]] [--dataflows a|b|c|all] [--algorithm A] [--baseline A] [--lmul 1|2|4] [--sew 8|16|32] [--seed S] [--threads T] [--format table|json|json-pretty]
 
-fn print_comparison(dims: GemmDims, pattern: NmPattern, cfg: &ExperimentConfig) -> Result<(), String> {
+models: resnet50 | densenet121 | inceptionv3, each also as <model>-int8 (e8 datapath)
+--sew 8|16 runs the quantized widening datapath (indexmac/indexmac2 only, bit-exact verification)";
+
+fn print_comparison(
+    dims: GemmDims,
+    pattern: NmPattern,
+    cfg: &ExperimentConfig,
+) -> Result<(), String> {
     let cmp = compare_gemm(dims, pattern, cfg).map_err(|e| e.to_string())?;
     println!("{:<13} : {}", cfg.baseline.to_string(), cmp.baseline.report);
     println!("{:<13} : {}", cfg.proposed.to_string(), cmp.proposed.report);
@@ -303,36 +387,77 @@ fn run(cmd: Command) -> Result<(), String> {
             println!("{}", SimConfig::table_i());
             Ok(())
         }
-        Command::Gemm { dims, pattern, algorithm, unroll, tile_rows, lmul } => {
-            let cfg = ExperimentConfig {
-                params: KernelParams { unroll, ..Default::default() },
+        Command::Gemm {
+            dims,
+            pattern,
+            algorithm,
+            unroll,
+            tile_rows,
+            lmul,
+            sew,
+            seed,
+        } => {
+            // Quantized comparisons default to the two vindexmac
+            // generations (the walk-based baselines are f32-only).
+            let base = if sew.is_int() {
+                ExperimentConfig::quantized(sew)
+            } else {
+                ExperimentConfig::paper()
+            };
+            let mut cfg = ExperimentConfig {
+                params: KernelParams {
+                    unroll,
+                    ..Default::default()
+                },
                 tile_rows,
                 lmul,
-                ..ExperimentConfig::paper()
+                ..base
             };
+            if let Some(seed) = seed {
+                cfg.seed = seed;
+            }
             println!(
-                "GEMM {}x{}x{}, A pruned to {pattern} (simulated {:?})\n",
-                dims.rows, dims.inner, dims.cols, cfg.caps.apply(dims)
+                "GEMM {}x{}x{}, A pruned to {pattern}, {} elements (simulated {:?})\n",
+                dims.rows,
+                dims.inner,
+                dims.cols,
+                cfg.precision,
+                cfg.caps.apply(dims)
             );
             match algorithm {
                 Some(alg) => {
                     let r = run_gemm(dims, pattern, alg, &cfg).map_err(|e| e.to_string())?;
                     println!("{alg}:\n{}", r.report);
                     println!("bottleneck: {}", analyze(&r.report, &cfg.sim));
+                    if cfg.precision.is_int() {
+                        println!("verification: bit-exact against the i32 reference");
+                    }
                     Ok(())
                 }
                 None => print_comparison(dims, pattern, &cfg),
             }
         }
-        Command::Layer { model, name, pattern } => {
+        Command::Layer {
+            model,
+            name,
+            pattern,
+            seed,
+        } => {
             let m = model_by_name(&model)?;
-            let layer = m
-                .layers
-                .iter()
-                .find(|l| l.name == name)
-                .ok_or(format!("no layer `{name}` in {} (try `list --model {model}`)", m.name))?;
-            let cfg = ExperimentConfig::paper();
-            println!("{layer}  ({pattern})\n");
+            let layer = m.layers.iter().find(|l| l.name == name).ok_or(format!(
+                "no layer `{name}` in {} (try `list --model {model}`)",
+                m.name
+            ))?;
+            // Quantized presets run their layers on the e8 datapath.
+            let mut cfg = if m.precision.is_int() {
+                ExperimentConfig::quantized(m.precision)
+            } else {
+                ExperimentConfig::paper()
+            };
+            if let Some(seed) = seed {
+                cfg.seed = seed;
+            }
+            println!("{layer}  ({pattern}, {} elements)\n", m.precision);
             print_comparison(layer.gemm(), pattern, &cfg)
         }
         Command::List { model } => {
@@ -350,11 +475,13 @@ fn run(cmd: Command) -> Result<(), String> {
             algorithm,
             baseline,
             lmul,
+            sew,
         } => {
             let cfg = ExperimentConfig {
                 baseline,
                 proposed: algorithm,
                 lmul,
+                precision: sew,
                 ..ExperimentConfig::paper()
             };
             let mut grid = SweepGrid::new(patterns, dims).with_dataflows(dataflows);
@@ -375,14 +502,15 @@ fn run(cmd: Command) -> Result<(), String> {
                 OutputFormat::JsonPretty => println!("{}", result.to_json_pretty()),
                 OutputFormat::Table => {
                     println!(
-                        "baseline: {} | proposed: {}{}",
+                        "baseline: {} | proposed: {}{} | {} elements",
                         cfg.baseline,
                         cfg.proposed,
                         if cfg.proposed == Algorithm::IndexMac2 {
                             format!(" (lmul {})", cfg.lmul)
                         } else {
                             String::new()
-                        }
+                        },
+                        cfg.precision,
                     );
                     let mut table = Table::new(vec![
                         "GEMM (RxKxN)",
@@ -453,7 +581,9 @@ mod tests {
         assert_eq!(parse(&argv("config")).unwrap(), Command::Config);
         assert_eq!(
             parse(&argv("list --model resnet50")).unwrap(),
-            Command::List { model: "resnet50".into() }
+            Command::List {
+                model: "resnet50".into()
+            }
         );
     }
 
@@ -463,36 +593,138 @@ mod tests {
         assert_eq!(
             c,
             Command::Gemm {
-                dims: GemmDims { rows: 8, inner: 32, cols: 16 },
+                dims: GemmDims {
+                    rows: 8,
+                    inner: 32,
+                    cols: 16
+                },
                 pattern: NmPattern::P2_4,
                 algorithm: None,
                 unroll: 4,
                 tile_rows: 16,
                 lmul: 1,
+                sew: Precision::F32,
+                seed: None,
             }
         );
         let c = parse(&argv(
-            "gemm --rows 8 --inner 32 --cols 16 --pattern 1:4 --algorithm indexmac2 --unroll 2 --tile-rows 8 --lmul 2",
+            "gemm --rows 8 --inner 32 --cols 16 --pattern 1:4 --algorithm indexmac2 --unroll 2 --tile-rows 8 --lmul 2 --seed 99",
         ))
         .unwrap();
         match c {
-            Command::Gemm { pattern, algorithm, unroll, tile_rows, lmul, .. } => {
+            Command::Gemm {
+                pattern,
+                algorithm,
+                unroll,
+                tile_rows,
+                lmul,
+                seed,
+                ..
+            } => {
                 assert_eq!(pattern, NmPattern::P1_4);
                 assert_eq!(algorithm, Some(Algorithm::IndexMac2));
                 assert_eq!(unroll, 2);
                 assert_eq!(tile_rows, 8);
                 assert_eq!(lmul, 2);
+                assert_eq!(seed, Some(99));
             }
             other => panic!("wrong parse: {other:?}"),
         }
     }
 
     #[test]
+    fn parse_sew_flags() {
+        let c = parse(&argv(
+            "gemm --rows 8 --inner 32 --cols 16 --algorithm indexmac2 --sew 8",
+        ))
+        .unwrap();
+        match c {
+            Command::Gemm { sew, .. } => assert_eq!(sew, Precision::I8),
+            other => panic!("wrong parse: {other:?}"),
+        }
+        // Comparison mode accepts --sew (it pairs the vindexmac kernels).
+        let c = parse(&argv("gemm --rows 8 --inner 32 --cols 16 --sew 16")).unwrap();
+        match c {
+            Command::Gemm { sew, algorithm, .. } => {
+                assert_eq!(sew, Precision::I16);
+                assert_eq!(algorithm, None);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        // f32-only kernels reject quantized SEWs at parse time.
+        assert!(parse(&argv(
+            "gemm --rows 8 --inner 32 --cols 16 --algorithm rowwise --sew 8"
+        ))
+        .unwrap_err()
+        .contains("indexmac"));
+        assert!(parse(&argv("gemm --rows 8 --inner 32 --cols 16 --sew 64"))
+            .unwrap_err()
+            .contains("sew"));
+        // Sweep: --sew 8 defaults to the vvi-vs-vx pair.
+        let c = parse(&argv("sweep --dims 8x32x16 --sew 8")).unwrap();
+        match c {
+            Command::Sweep {
+                sew,
+                algorithm,
+                baseline,
+                ..
+            } => {
+                assert_eq!(sew, Precision::I8);
+                assert_eq!(algorithm, Algorithm::IndexMac2);
+                assert_eq!(baseline, Algorithm::IndexMac);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        assert!(
+            parse(&argv("sweep --dims 8x32x16 --sew 8 --baseline rowwise"))
+                .unwrap_err()
+                .contains("both comparison sides")
+        );
+    }
+
+    #[test]
+    fn parse_seed_on_gemm_and_layer() {
+        let c = parse(&argv("layer --model resnet50 --name conv1 --seed 123")).unwrap();
+        assert_eq!(
+            c,
+            Command::Layer {
+                model: "resnet50".into(),
+                name: "conv1".into(),
+                pattern: NmPattern::P2_4,
+                seed: Some(123),
+            }
+        );
+        assert!(parse(&argv("gemm --rows 8 --inner 32 --cols 16 --seed x"))
+            .unwrap_err()
+            .contains("integer"));
+        assert!(parse(&argv("layer --model resnet50 --name conv1 --seed x"))
+            .unwrap_err()
+            .contains("integer"));
+    }
+
+    #[test]
+    fn int8_model_presets_resolve() {
+        let m = model_by_name("resnet50-int8").unwrap();
+        assert_eq!(m.name, "ResNet50-int8");
+        assert!(m.precision.is_int());
+        assert!(model_by_name("densenet121-int8").is_ok());
+        assert!(model_by_name("inceptionv3-int8").is_ok());
+    }
+
+    #[test]
     fn parse_errors_are_reported() {
-        assert!(parse(&argv("gemm --rows 8")).unwrap_err().contains("requires"));
-        assert!(parse(&argv("gemm --rows x --inner 1 --cols 1")).unwrap_err().contains("integer"));
-        assert!(parse(&argv("frob")).unwrap_err().contains("unknown command"));
-        assert!(parse(&argv("gemm --rows")).unwrap_err().contains("needs a value"));
+        assert!(parse(&argv("gemm --rows 8"))
+            .unwrap_err()
+            .contains("requires"));
+        assert!(parse(&argv("gemm --rows x --inner 1 --cols 1"))
+            .unwrap_err()
+            .contains("integer"));
+        assert!(parse(&argv("frob"))
+            .unwrap_err()
+            .contains("unknown command"));
+        assert!(parse(&argv("gemm --rows"))
+            .unwrap_err()
+            .contains("needs a value"));
         assert!(parse_pattern("5").is_err());
         assert!(parse_pattern("9:4").is_err());
         assert!(parse_algorithm("gpu").is_err());
@@ -505,7 +737,11 @@ mod tests {
         assert_eq!(
             c,
             Command::Sweep {
-                dims: vec![GemmDims { rows: 8, inner: 32, cols: 16 }],
+                dims: vec![GemmDims {
+                    rows: 8,
+                    inner: 32,
+                    cols: 16
+                }],
                 patterns: NmPattern::EVALUATED.to_vec(),
                 dataflows: vec![Dataflow::BStationary],
                 seed: None,
@@ -514,6 +750,7 @@ mod tests {
                 algorithm: Algorithm::IndexMac,
                 baseline: Algorithm::RowWiseSpmm,
                 lmul: 1,
+                sew: Precision::F32,
             }
         );
         let c = parse(&argv(
@@ -524,8 +761,16 @@ mod tests {
             c,
             Command::Sweep {
                 dims: vec![
-                    GemmDims { rows: 8, inner: 32, cols: 16 },
-                    GemmDims { rows: 16, inner: 64, cols: 32 },
+                    GemmDims {
+                        rows: 8,
+                        inner: 32,
+                        cols: 16
+                    },
+                    GemmDims {
+                        rows: 16,
+                        inner: 64,
+                        cols: 32
+                    },
                 ],
                 patterns: vec![NmPattern::P1_4],
                 dataflows: Dataflow::ALL.to_vec(),
@@ -535,6 +780,7 @@ mod tests {
                 algorithm: Algorithm::IndexMac,
                 baseline: Algorithm::RowWiseSpmm,
                 lmul: 1,
+                sew: Precision::F32,
             }
         );
     }
@@ -545,7 +791,12 @@ mod tests {
         // generation, so the sweep reports vvi-vs-vx out of the box.
         let c = parse(&argv("sweep --dims 8x32x16 --algorithm indexmac2 --lmul 2")).unwrap();
         match c {
-            Command::Sweep { algorithm, baseline, lmul, .. } => {
+            Command::Sweep {
+                algorithm,
+                baseline,
+                lmul,
+                ..
+            } => {
                 assert_eq!(algorithm, Algorithm::IndexMac2);
                 assert_eq!(baseline, Algorithm::IndexMac);
                 assert_eq!(lmul, 2);
@@ -558,14 +809,22 @@ mod tests {
         ))
         .unwrap();
         match c {
-            Command::Sweep { algorithm, baseline, .. } => {
+            Command::Sweep {
+                algorithm,
+                baseline,
+                ..
+            } => {
                 assert_eq!(algorithm, Algorithm::IndexMac2);
                 assert_eq!(baseline, Algorithm::RowWiseSpmm);
             }
             other => panic!("wrong parse: {other:?}"),
         }
-        assert!(parse(&argv("sweep --dims 8x32x16 --lmul 3")).unwrap_err().contains("lmul"));
-        assert!(parse(&argv("sweep --dims 8x32x16 --algorithm gpu")).unwrap_err().contains("algorithm"));
+        assert!(parse(&argv("sweep --dims 8x32x16 --lmul 3"))
+            .unwrap_err()
+            .contains("lmul"));
+        assert!(parse(&argv("sweep --dims 8x32x16 --algorithm gpu"))
+            .unwrap_err()
+            .contains("algorithm"));
         // Grouping without a second-generation side is rejected, not
         // silently ignored.
         assert!(parse(&argv("sweep --dims 8x32x16 --lmul 2"))
@@ -574,27 +833,51 @@ mod tests {
         assert!(parse(&argv("gemm --rows 8 --inner 32 --cols 16 --lmul 2"))
             .unwrap_err()
             .contains("indexmac2"));
-        assert!(parse(&argv("gemm --rows 8 --inner 32 --cols 16 --algorithm indexmac --lmul 2"))
-            .unwrap_err()
-            .contains("indexmac2"));
+        assert!(parse(&argv(
+            "gemm --rows 8 --inner 32 --cols 16 --algorithm indexmac --lmul 2"
+        ))
+        .unwrap_err()
+        .contains("indexmac2"));
     }
 
     #[test]
     fn parse_sweep_errors() {
-        assert!(parse(&argv("sweep")).unwrap_err().contains("requires --dims"));
-        assert!(parse(&argv("sweep --dims 8x32")).unwrap_err().contains("RxKxN"));
-        assert!(parse(&argv("sweep --dims 0x32x16")).unwrap_err().contains("RxKxN"));
-        assert!(parse(&argv("sweep --dims 8x32x16 --dataflows d")).unwrap_err().contains("dataflow"));
-        assert!(parse(&argv("sweep --dims 8x32x16 --format csv")).unwrap_err().contains("format"));
-        assert!(parse(&argv("sweep --dims 8x32x16 --threads 0")).unwrap_err().contains("positive"));
-        assert!(parse(&argv("sweep --dims 8x32x16 --seed x")).unwrap_err().contains("integer"));
+        assert!(parse(&argv("sweep"))
+            .unwrap_err()
+            .contains("requires --dims"));
+        assert!(parse(&argv("sweep --dims 8x32"))
+            .unwrap_err()
+            .contains("RxKxN"));
+        assert!(parse(&argv("sweep --dims 0x32x16"))
+            .unwrap_err()
+            .contains("RxKxN"));
+        assert!(parse(&argv("sweep --dims 8x32x16 --dataflows d"))
+            .unwrap_err()
+            .contains("dataflow"));
+        assert!(parse(&argv("sweep --dims 8x32x16 --format csv"))
+            .unwrap_err()
+            .contains("format"));
+        assert!(parse(&argv("sweep --dims 8x32x16 --threads 0"))
+            .unwrap_err()
+            .contains("positive"));
+        assert!(parse(&argv("sweep --dims 8x32x16 --seed x"))
+            .unwrap_err()
+            .contains("integer"));
     }
 
     #[test]
     fn run_small_sweep_all_formats() {
-        for format in [OutputFormat::Table, OutputFormat::Json, OutputFormat::JsonPretty] {
+        for format in [
+            OutputFormat::Table,
+            OutputFormat::Json,
+            OutputFormat::JsonPretty,
+        ] {
             run(Command::Sweep {
-                dims: vec![GemmDims { rows: 4, inner: 16, cols: 8 }],
+                dims: vec![GemmDims {
+                    rows: 4,
+                    inner: 16,
+                    cols: 8,
+                }],
                 patterns: vec![NmPattern::P1_4],
                 dataflows: vec![Dataflow::BStationary],
                 seed: Some(3),
@@ -603,6 +886,7 @@ mod tests {
                 algorithm: Algorithm::IndexMac,
                 baseline: Algorithm::RowWiseSpmm,
                 lmul: 1,
+                sew: Precision::F32,
             })
             .unwrap();
         }
@@ -611,7 +895,11 @@ mod tests {
     #[test]
     fn run_second_generation_sweep() {
         run(Command::Sweep {
-            dims: vec![GemmDims { rows: 4, inner: 16, cols: 8 }],
+            dims: vec![GemmDims {
+                rows: 4,
+                inner: 16,
+                cols: 8,
+            }],
             patterns: NmPattern::EVALUATED.to_vec(),
             dataflows: vec![Dataflow::BStationary],
             seed: Some(3),
@@ -620,6 +908,7 @@ mod tests {
             algorithm: Algorithm::IndexMac2,
             baseline: Algorithm::IndexMac,
             lmul: 2,
+            sew: Precision::F32,
         })
         .unwrap();
     }
@@ -628,21 +917,49 @@ mod tests {
     fn run_config_and_small_gemm() {
         run(Command::Config).unwrap();
         run(Command::Gemm {
-            dims: GemmDims { rows: 4, inner: 16, cols: 8 },
+            dims: GemmDims {
+                rows: 4,
+                inner: 16,
+                cols: 8,
+            },
             pattern: NmPattern::P1_4,
             algorithm: Some(Algorithm::IndexMac),
             unroll: 2,
             tile_rows: 16,
             lmul: 1,
+            sew: Precision::F32,
+            seed: None,
         })
         .unwrap();
         run(Command::Gemm {
-            dims: GemmDims { rows: 4, inner: 16, cols: 8 },
+            dims: GemmDims {
+                rows: 4,
+                inner: 16,
+                cols: 8,
+            },
             pattern: NmPattern::P1_4,
             algorithm: Some(Algorithm::IndexMac2),
             unroll: 4,
             tile_rows: 16,
             lmul: 4,
+            sew: Precision::F32,
+            seed: None,
+        })
+        .unwrap();
+        // The acceptance path: quantized vvi run, bit-exact verification.
+        run(Command::Gemm {
+            dims: GemmDims {
+                rows: 4,
+                inner: 16,
+                cols: 8,
+            },
+            pattern: NmPattern::P1_4,
+            algorithm: Some(Algorithm::IndexMac2),
+            unroll: 4,
+            tile_rows: 16,
+            lmul: 1,
+            sew: Precision::I8,
+            seed: Some(5),
         })
         .unwrap();
     }
@@ -653,6 +970,7 @@ mod tests {
             model: "resnet50".into(),
             name: "nope".into(),
             pattern: NmPattern::P1_4,
+            seed: None,
         })
         .unwrap_err();
         assert!(err.contains("no layer"));

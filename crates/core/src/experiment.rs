@@ -4,10 +4,15 @@ use indexmac_cnn::{CnnModel, ConvLayer, GemmCaps};
 use indexmac_kernels::{
     dense, indexmac, indexmac2, rowwise, scalar_idx, verify, GemmDims, GemmLayout, KernelParams,
 };
-use indexmac_sparse::{prune, DenseMatrix, NmPattern, StructuredSparseMatrix};
+use indexmac_sparse::{prune, quant, DenseMatrix, NmPattern, StructuredSparseMatrix};
 use indexmac_vpu::{RunReport, SimConfig};
 use std::error::Error;
 use std::fmt;
+
+/// The element precision of an experiment's operands (re-exported from
+/// `indexmac-sparse`): `f32` is the paper's configuration; `i8`/`i16`
+/// run the widening-MAC quantized datapath with bit-exact verification.
+pub use indexmac_sparse::ElemType as Precision;
 
 /// Which kernel to simulate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -64,6 +69,11 @@ pub struct ExperimentConfig {
     /// Register grouping for [`Algorithm::IndexMac2`] (`1`, `2` or
     /// `4`; every other kernel always runs ungrouped).
     pub lmul: usize,
+    /// Element precision of A and B ([`Precision::F32`] by default).
+    /// The quantized precisions select SEW e8/e16 (`vl = LMUL·VLEN/SEW`),
+    /// run only the `vindexmac` kernels, and verify bit-exactly against
+    /// the i32 reference.
+    pub precision: Precision,
     /// Kernel tunables (unroll x4, B-stationary by default). The unroll
     /// factor is clamped to the grouped register budget for
     /// [`Algorithm::IndexMac2`].
@@ -90,6 +100,7 @@ impl ExperimentConfig {
             caps: GemmCaps::default_eval(),
             tile_rows: 16,
             lmul: 1,
+            precision: Precision::F32,
             params: KernelParams::default(),
             seed: 0xD47E_2024,
             verify: true,
@@ -98,9 +109,24 @@ impl ExperimentConfig {
         }
     }
 
+    /// A quantized campaign at `precision`: both comparison sides run
+    /// the `vindexmac` kernels (the walk-based baselines are f32-only),
+    /// with `vindexmac.vx` as the baseline and `vindexmac.vvi` proposed.
+    pub fn quantized(precision: Precision) -> Self {
+        Self {
+            precision,
+            baseline: Algorithm::IndexMac,
+            proposed: Algorithm::IndexMac2,
+            ..Self::paper()
+        }
+    }
+
     /// Small caps for unit tests and doc examples.
     pub fn fast() -> Self {
-        Self { caps: GemmCaps::smoke(), ..Self::paper() }
+        Self {
+            caps: GemmCaps::smoke(),
+            ..Self::paper()
+        }
     }
 
     /// Paper config comparing the second-generation kernel against
@@ -175,15 +201,23 @@ impl From<verify::VerifyError> for ExperimentError {
     }
 }
 
-/// Generates the seeded operands for a GEMM shape.
+/// Generates the seeded operands for a GEMM shape at the campaign
+/// precision: uniform f32, or full-range exact integers for i8/i16.
 fn operands(
     dims: GemmDims,
     pattern: NmPattern,
     seed: u64,
+    precision: Precision,
 ) -> (StructuredSparseMatrix, DenseMatrix) {
-    let a = prune::random_structured(dims.rows, dims.inner, pattern, seed);
-    let b = DenseMatrix::random(dims.inner, dims.cols, seed.wrapping_add(1));
-    (a, b)
+    if precision.is_int() {
+        let a = quant::random_structured_int(dims.rows, dims.inner, pattern, seed, precision);
+        let b = quant::random_dense_int(dims.inner, dims.cols, seed.wrapping_add(1), precision);
+        (a, b)
+    } else {
+        let a = prune::random_structured(dims.rows, dims.inner, pattern, seed);
+        let b = DenseMatrix::random(dims.inner, dims.cols, seed.wrapping_add(1));
+        (a, b)
+    }
 }
 
 /// Simulates `algorithm` on a GEMM of shape `dims` (caps applied).
@@ -199,14 +233,21 @@ pub fn run_gemm(
     cfg: &ExperimentConfig,
 ) -> Result<LayerResult, ExperimentError> {
     let capped = cfg.caps.apply(dims);
-    let (a, b) = operands(capped, pattern, cfg.seed);
+    let (a, b) = operands(capped, pattern, cfg.seed, cfg.precision);
     let program;
     let layout;
     if algorithm == Algorithm::IndexMac2 {
         // The grouped layout shrinks L (the tile must fit lmul× more
         // registers) and may cap the unroll factor.
         let tile_rows = GemmLayout::fit_tile_rows(cfg.tile_rows, cfg.lmul, pattern);
-        layout = GemmLayout::plan_grouped(&a, capped.cols, &cfg.sim, tile_rows, cfg.lmul)?;
+        layout = GemmLayout::plan_elem(
+            &a,
+            capped.cols,
+            &cfg.sim,
+            tile_rows,
+            cfg.lmul,
+            cfg.precision,
+        )?;
         // Clamp a too-large unroll to the grouped register budget, but
         // let zero flow through so it is rejected like every other
         // kernel's BadUnroll.
@@ -216,11 +257,18 @@ pub fn run_gemm(
         };
         program = indexmac2::build(&layout, &params)?;
     } else {
-        layout = GemmLayout::plan(&a, capped.cols, &cfg.sim, cfg.tile_rows)?;
+        layout = GemmLayout::plan_elem(&a, capped.cols, &cfg.sim, cfg.tile_rows, 1, cfg.precision)?;
+        // The widening accumulator shrinks Algorithm 3's unroll budget;
+        // clamp like the grouped second-generation arm (zero still
+        // flows through to BadUnroll). The f32 budget is unchanged.
+        let v1_params = KernelParams {
+            unroll: cfg.params.unroll.min(indexmac::max_unroll(&layout)),
+            ..cfg.params
+        };
         program = match algorithm {
             Algorithm::Dense => dense::build(&layout, &cfg.params)?,
             Algorithm::RowWiseSpmm => rowwise::build(&layout, &cfg.params)?,
-            Algorithm::IndexMac => indexmac::build(&layout, &cfg.params)?,
+            Algorithm::IndexMac => indexmac::build(&layout, &v1_params)?,
             Algorithm::IndexMac2 => unreachable!("grouped arm handles IndexMac2"),
             Algorithm::ScalarIndexed => scalar_idx::build(&layout, &cfg.params)?,
         };
@@ -230,7 +278,13 @@ pub fn run_gemm(
     } else {
         verify::run_kernel(&program, &a, &b, &layout, &cfg.sim)?
     };
-    Ok(LayerResult { algorithm, pattern, gemm: capped, full_gemm: dims, report: run.report })
+    Ok(LayerResult {
+        algorithm,
+        pattern,
+        gemm: capped,
+        full_gemm: dims,
+        report: run.report,
+    })
 }
 
 /// Baseline-vs-proposed comparison on one GEMM shape. Which kernels the
@@ -253,7 +307,9 @@ impl GemmComparison {
 
     /// Fig. 6 metric: proposed memory accesses / baseline's.
     pub fn mem_ratio(&self) -> f64 {
-        self.proposed.report.normalized_mem_accesses(&self.baseline.report)
+        self.proposed
+            .report
+            .normalized_mem_accesses(&self.baseline.report)
     }
 }
 
@@ -305,6 +361,10 @@ pub struct ModelComparison {
     pub model: &'static str,
     /// Sparsity pattern of the weights.
     pub pattern: NmPattern,
+    /// Element precision every layer actually simulated at (the model's
+    /// own precision — quantized presets run the e8/e16 datapath even
+    /// under an f32-configured campaign).
+    pub precision: Precision,
     /// Per-layer results, in network order.
     pub layers: Vec<LayerComparison>,
 }
@@ -313,8 +373,16 @@ impl ModelComparison {
     /// Total-network speedup (paper Fig. 5): summed baseline cycles over
     /// summed proposed cycles.
     pub fn total_speedup(&self) -> f64 {
-        let base: u64 = self.layers.iter().map(|l| l.comparison.baseline.report.cycles).sum();
-        let prop: u64 = self.layers.iter().map(|l| l.comparison.proposed.report.cycles).sum();
+        let base: u64 = self
+            .layers
+            .iter()
+            .map(|l| l.comparison.baseline.report.cycles)
+            .sum();
+        let prop: u64 = self
+            .layers
+            .iter()
+            .map(|l| l.comparison.proposed.report.cycles)
+            .sum();
         base as f64 / prop as f64
     }
 
@@ -346,8 +414,36 @@ impl ModelComparison {
     }
 }
 
+/// Reconciles a campaign configuration with a model's own precision:
+/// quantized presets must simulate the quantized datapath even when the
+/// caller passes an f32-default configuration, and integer precisions
+/// force the comparison onto the `vindexmac` kernel pair (the walk-based
+/// baselines have no quantized emission path).
+fn config_for_model(model: &CnnModel, cfg: &ExperimentConfig) -> ExperimentConfig {
+    if model.precision == cfg.precision {
+        return *cfg;
+    }
+    let mut out = ExperimentConfig {
+        precision: model.precision,
+        ..*cfg
+    };
+    let int_capable = |a: Algorithm| matches!(a, Algorithm::IndexMac | Algorithm::IndexMac2);
+    if model.precision.is_int()
+        && !(int_capable(out.baseline) && int_capable(out.proposed) && out.baseline != out.proposed)
+    {
+        // The configured pair cannot run (or degenerates) at an integer
+        // precision: use the standard quantized comparison, vx vs vvi.
+        out.baseline = Algorithm::IndexMac;
+        out.proposed = Algorithm::IndexMac2;
+    }
+    out
+}
+
 /// Runs the full per-layer comparison for one CNN (paper Fig. 4 for
-/// ResNet50; summed for Fig. 5/6).
+/// ResNet50; summed for Fig. 5/6). The model's own precision wins over
+/// `cfg.precision` — an int8 preset always runs the e8 datapath, with
+/// the comparison sides moved onto the `vindexmac` pair if the
+/// configured kernels have no quantized path.
 ///
 /// # Errors
 ///
@@ -357,11 +453,17 @@ pub fn compare_model(
     pattern: NmPattern,
     cfg: &ExperimentConfig,
 ) -> Result<ModelComparison, ExperimentError> {
+    let cfg = config_for_model(model, cfg);
     let mut layers = Vec::with_capacity(model.layers.len());
     for layer in &model.layers {
-        layers.push(compare_layer(layer, pattern, cfg)?);
+        layers.push(compare_layer(layer, pattern, &cfg)?);
     }
-    Ok(ModelComparison { model: model.name, pattern, layers })
+    Ok(ModelComparison {
+        model: model.name,
+        pattern,
+        precision: cfg.precision,
+        layers,
+    })
 }
 
 #[cfg(test)]
@@ -374,7 +476,11 @@ mod tests {
 
     #[test]
     fn run_gemm_all_algorithms() {
-        let dims = GemmDims { rows: 8, inner: 64, cols: 32 };
+        let dims = GemmDims {
+            rows: 8,
+            inner: 64,
+            cols: 32,
+        };
         for alg in Algorithm::ALL {
             let r = run_gemm(dims, NmPattern::P1_4, alg, &cfg()).unwrap();
             assert!(r.report.cycles > 0, "{alg}");
@@ -384,7 +490,11 @@ mod tests {
 
     #[test]
     fn indexmac2_beats_indexmac_on_cycles_and_instructions() {
-        let dims = GemmDims { rows: 16, inner: 128, cols: 32 };
+        let dims = GemmDims {
+            rows: 16,
+            inner: 128,
+            cols: 32,
+        };
         let v1 = run_gemm(dims, NmPattern::P2_4, Algorithm::IndexMac, &cfg()).unwrap();
         let v2 = run_gemm(dims, NmPattern::P2_4, Algorithm::IndexMac2, &cfg()).unwrap();
         assert!(
@@ -398,8 +508,15 @@ mod tests {
 
     #[test]
     fn second_generation_config_compares_the_two_indexmacs() {
-        let dims = GemmDims { rows: 16, inner: 128, cols: 32 };
-        let cfg = ExperimentConfig { caps: indexmac_cnn::GemmCaps::smoke(), ..ExperimentConfig::second_generation(1) };
+        let dims = GemmDims {
+            rows: 16,
+            inner: 128,
+            cols: 32,
+        };
+        let cfg = ExperimentConfig {
+            caps: indexmac_cnn::GemmCaps::smoke(),
+            ..ExperimentConfig::second_generation(1)
+        };
         let c = compare_gemm(dims, NmPattern::P1_4, &cfg).unwrap();
         assert_eq!(c.baseline.algorithm, Algorithm::IndexMac);
         assert_eq!(c.proposed.algorithm, Algorithm::IndexMac2);
@@ -408,7 +525,11 @@ mod tests {
 
     #[test]
     fn grouped_indexmac2_runs_and_verifies() {
-        let dims = GemmDims { rows: 16, inner: 64, cols: 64 };
+        let dims = GemmDims {
+            rows: 16,
+            inner: 64,
+            cols: 64,
+        };
         for lmul in [2, 4] {
             let cfg = ExperimentConfig {
                 lmul,
@@ -422,7 +543,11 @@ mod tests {
 
     #[test]
     fn caps_are_applied_and_recorded() {
-        let dims = GemmDims { rows: 100, inner: 1000, cols: 1000 };
+        let dims = GemmDims {
+            rows: 100,
+            inner: 1000,
+            cols: 1000,
+        };
         let r = run_gemm(dims, NmPattern::P1_4, Algorithm::IndexMac, &cfg()).unwrap();
         assert_eq!(r.full_gemm, dims);
         assert_eq!(r.gemm.rows, 16);
@@ -432,7 +557,11 @@ mod tests {
 
     #[test]
     fn comparison_shows_speedup_and_traffic_cut() {
-        let dims = GemmDims { rows: 16, inner: 128, cols: 32 };
+        let dims = GemmDims {
+            rows: 16,
+            inner: 128,
+            cols: 32,
+        };
         let c = compare_gemm(dims, NmPattern::P1_4, &cfg()).unwrap();
         assert!(c.speedup() > 1.2, "speedup {}", c.speedup());
         assert!(c.mem_ratio() < 0.8, "mem ratio {}", c.mem_ratio());
@@ -440,7 +569,11 @@ mod tests {
 
     #[test]
     fn sparse_beats_dense_by_mac_reduction() {
-        let dims = GemmDims { rows: 16, inner: 128, cols: 32 };
+        let dims = GemmDims {
+            rows: 16,
+            inner: 128,
+            cols: 32,
+        };
         let dense_r = run_gemm(dims, NmPattern::P1_4, Algorithm::Dense, &cfg()).unwrap();
         let sparse_r = run_gemm(dims, NmPattern::P1_4, Algorithm::IndexMac, &cfg()).unwrap();
         // 1:4 structured sparsity skips 3/4 of the MACs; expect a clear win.
@@ -465,8 +598,139 @@ mod tests {
     }
 
     #[test]
+    fn quantized_run_gemm_is_bit_exact_and_runs_both_kernels() {
+        let dims = GemmDims {
+            rows: 8,
+            inner: 64,
+            cols: 32,
+        };
+        for precision in [Precision::I8, Precision::I16] {
+            let cfg = ExperimentConfig {
+                caps: indexmac_cnn::GemmCaps::smoke(),
+                ..ExperimentConfig::quantized(precision)
+            };
+            // verify=true routes through the exact integer checker.
+            assert!(cfg.verify);
+            let c = compare_gemm(dims, NmPattern::P1_4, &cfg).unwrap();
+            assert_eq!(c.baseline.algorithm, Algorithm::IndexMac);
+            assert_eq!(c.proposed.algorithm, Algorithm::IndexMac2);
+            assert!(c.proposed.report.cycles > 0, "{precision}");
+        }
+    }
+
+    #[test]
+    fn quantized_rejects_float_only_kernels() {
+        let dims = GemmDims {
+            rows: 8,
+            inner: 64,
+            cols: 32,
+        };
+        let cfg = ExperimentConfig {
+            caps: indexmac_cnn::GemmCaps::smoke(),
+            ..ExperimentConfig::quantized(Precision::I8)
+        };
+        for alg in [
+            Algorithm::Dense,
+            Algorithm::RowWiseSpmm,
+            Algorithm::ScalarIndexed,
+        ] {
+            let err = run_gemm(dims, NmPattern::P1_4, alg, &cfg).unwrap_err();
+            assert!(matches!(err, ExperimentError::Kernel(_)), "{alg}: {err}");
+        }
+    }
+
+    #[test]
+    fn e8_beats_e32_at_the_acceptance_shape() {
+        // Acceptance criterion: at 64x256x128 / 1:4, e8 IndexMAC2
+        // reports fewer cycles and fewer dynamic vector instructions
+        // than e32 with the same algorithm, with >= 2x fewer vector
+        // instructions in steady state.
+        let dims = GemmDims {
+            rows: 64,
+            inner: 256,
+            cols: 128,
+        };
+        let e32_cfg = ExperimentConfig::paper();
+        assert!(
+            !e32_cfg.caps.clips(dims),
+            "acceptance shape must run uncapped"
+        );
+        let e32 = run_gemm(dims, NmPattern::P1_4, Algorithm::IndexMac2, &e32_cfg).unwrap();
+        let e8_cfg = ExperimentConfig::quantized(Precision::I8);
+        let e8 = run_gemm(dims, NmPattern::P1_4, Algorithm::IndexMac2, &e8_cfg).unwrap();
+        assert!(
+            e8.report.cycles < e32.report.cycles,
+            "e8 {} cycles vs e32 {}",
+            e8.report.cycles,
+            e32.report.cycles
+        );
+        assert!(
+            e8.report.counts.vector_total() * 2 <= e32.report.counts.vector_total(),
+            "e8 {} vector instructions vs e32 {}",
+            e8.report.counts.vector_total(),
+            e32.report.counts.vector_total()
+        );
+        assert!(e8.report.instructions < e32.report.instructions);
+    }
+
+    #[test]
+    fn quantized_grouped_e16_runs() {
+        // e16 supports m2 (widen 2 x lmul 2 = the m4 accumulator cap).
+        let dims = GemmDims {
+            rows: 8,
+            inner: 64,
+            cols: 64,
+        };
+        let cfg = ExperimentConfig {
+            lmul: 2,
+            caps: indexmac_cnn::GemmCaps::smoke(),
+            ..ExperimentConfig::quantized(Precision::I16)
+        };
+        let r = run_gemm(dims, NmPattern::P1_4, Algorithm::IndexMac2, &cfg).unwrap();
+        assert!(r.report.cycles > 0);
+        // e8 with grouping exceeds the accumulator cap and is rejected.
+        let bad = ExperimentConfig {
+            lmul: 2,
+            ..ExperimentConfig::quantized(Precision::I8)
+        };
+        assert!(run_gemm(dims, NmPattern::P1_4, Algorithm::IndexMac2, &bad).is_err());
+    }
+
+    #[test]
+    fn compare_model_honours_the_models_precision() {
+        // An int8 preset under a default f32 campaign must simulate the
+        // e8 datapath with the vindexmac kernel pair — not silently run
+        // f32 under an "-int8" label.
+        let full = indexmac_cnn::resnet50_int8();
+        let tiny = CnnModel::new("ResNet50-int8-head", full.layers[..2].to_vec())
+            .with_precision("ResNet50-int8-head", full.precision);
+        let c = compare_model(&tiny, NmPattern::P1_4, &cfg()).unwrap();
+        assert_eq!(c.precision, Precision::I8);
+        for l in &c.layers {
+            assert_eq!(l.comparison.baseline.algorithm, Algorithm::IndexMac);
+            assert_eq!(l.comparison.proposed.algorithm, Algorithm::IndexMac2);
+        }
+        // And an f32 model under an f32 campaign is untouched.
+        let f = compare_model(
+            &CnnModel::new("head", full.layers[..1].to_vec()),
+            NmPattern::P1_4,
+            &cfg(),
+        )
+        .unwrap();
+        assert_eq!(f.precision, Precision::F32);
+        assert_eq!(
+            f.layers[0].comparison.baseline.algorithm,
+            Algorithm::RowWiseSpmm
+        );
+    }
+
+    #[test]
     fn results_are_deterministic() {
-        let dims = GemmDims { rows: 8, inner: 64, cols: 32 };
+        let dims = GemmDims {
+            rows: 8,
+            inner: 64,
+            cols: 32,
+        };
         let a = run_gemm(dims, NmPattern::P2_4, Algorithm::IndexMac, &cfg()).unwrap();
         let b = run_gemm(dims, NmPattern::P2_4, Algorithm::IndexMac, &cfg()).unwrap();
         assert_eq!(a.report.cycles, b.report.cycles);

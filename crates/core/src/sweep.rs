@@ -189,8 +189,14 @@ impl Serialize for CellResult {
             ("proposed_cycles", prop.cycles.to_value()),
             ("baseline_instructions", base.instructions.to_value()),
             ("proposed_instructions", prop.instructions.to_value()),
-            ("baseline_mem_accesses", base.mem.total_accesses().to_value()),
-            ("proposed_mem_accesses", prop.mem.total_accesses().to_value()),
+            (
+                "baseline_mem_accesses",
+                base.mem.total_accesses().to_value(),
+            ),
+            (
+                "proposed_mem_accesses",
+                prop.mem.total_accesses().to_value(),
+            ),
             ("speedup", self.speedup().to_value()),
             ("mem_ratio", self.mem_ratio().to_value()),
         ])
@@ -205,6 +211,9 @@ pub struct SweepResult {
     /// Thread count the parallel runner observed (1 for the serial
     /// reference runner).
     pub threads: usize,
+    /// Element precision every cell ran at (from the campaign
+    /// configuration): `f32`, `i16` or `i8`.
+    pub precision: crate::experiment::Precision,
     /// Per-cell results, in [`SweepGrid::cells`] order.
     pub cells: Vec<CellResult>,
 }
@@ -243,6 +252,7 @@ impl Serialize for SweepResult {
         Value::object([
             ("base_seed", self.base_seed.to_value()),
             ("threads", self.threads.to_value()),
+            ("precision", self.precision.to_string().to_value()),
             ("geomean_speedup", self.geomean_speedup().to_value()),
             ("cells", self.cells.to_value()),
         ])
@@ -258,11 +268,18 @@ impl Serialize for SweepResult {
 pub fn run_cell(cell: SweepCell, cfg: &ExperimentConfig) -> Result<CellResult, ExperimentError> {
     let cell_cfg = ExperimentConfig {
         seed: cell.seed,
-        params: indexmac_kernels::KernelParams { dataflow: cell.dataflow, ..cfg.params },
+        params: indexmac_kernels::KernelParams {
+            dataflow: cell.dataflow,
+            ..cfg.params
+        },
         ..*cfg
     };
     let comparison = compare_gemm(cell.dims, cell.pattern, &cell_cfg)?;
-    Ok(CellResult { cell, capped: cfg.caps.apply(cell.dims), comparison })
+    Ok(CellResult {
+        cell,
+        capped: cfg.caps.apply(cell.dims),
+        comparison,
+    })
 }
 
 /// Runs `cells` in parallel on the current rayon thread pool,
@@ -296,6 +313,7 @@ pub fn run_grid(grid: &SweepGrid, cfg: &ExperimentConfig) -> Result<SweepResult,
     Ok(SweepResult {
         base_seed: grid.base_seed,
         threads: rayon::current_num_threads(),
+        precision: cfg.precision,
         cells,
     })
 }
@@ -315,7 +333,12 @@ pub fn run_grid_serial(
     for cell in grid.cells() {
         cells.push(run_cell(cell, cfg)?);
     }
-    Ok(SweepResult { base_seed: grid.base_seed, threads: 1, cells })
+    Ok(SweepResult {
+        base_seed: grid.base_seed,
+        threads: 1,
+        precision: cfg.precision,
+        cells,
+    })
 }
 
 #[cfg(test)]
@@ -328,8 +351,16 @@ mod tests {
         SweepGrid::new(
             NmPattern::EVALUATED.to_vec(),
             vec![
-                GemmDims { rows: 4, inner: 32, cols: 16 },
-                GemmDims { rows: 8, inner: 64, cols: 32 },
+                GemmDims {
+                    rows: 4,
+                    inner: 32,
+                    cols: 16,
+                },
+                GemmDims {
+                    rows: 8,
+                    inner: 64,
+                    cols: 32,
+                },
             ],
         )
     }
@@ -364,7 +395,10 @@ mod tests {
         let cfg = fast_cfg();
         let par = run_grid(&grid, &cfg).unwrap();
         let ser = run_grid_serial(&grid, &cfg).unwrap();
-        assert_eq!(par.cells, ser.cells, "parallel runner must match the serial loop");
+        assert_eq!(
+            par.cells, ser.cells,
+            "parallel runner must match the serial loop"
+        );
     }
 
     #[test]
@@ -375,7 +409,10 @@ mod tests {
         let cfg = fast_cfg();
         let par = run_grid(&grid, &cfg).unwrap();
         for (result, cell) in par.cells.iter().zip(grid.cells()) {
-            let cell_cfg = ExperimentConfig { seed: cell.seed, ..cfg };
+            let cell_cfg = ExperimentConfig {
+                seed: cell.seed,
+                ..cfg
+            };
             let manual = compare_gemm(cell.dims, cell.pattern, &cell_cfg).unwrap();
             assert_eq!(result.comparison.baseline.report, manual.baseline.report);
             assert_eq!(result.comparison.proposed.report, manual.proposed.report);
@@ -388,7 +425,10 @@ mod tests {
         let cfg = fast_cfg();
         let mut runs = Vec::new();
         for threads in [1usize, 2, 4] {
-            let pool = rayon::ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
             let result = pool.install(|| run_grid(&grid, &cfg)).unwrap();
             assert_eq!(result.threads, threads);
             runs.push(result.cells);
@@ -401,11 +441,20 @@ mod tests {
     fn sweep_actually_runs_on_multiple_threads() {
         let grid = SweepGrid::new(
             vec![NmPattern::P1_4],
-            (1..=8).map(|r| GemmDims { rows: r, inner: 32, cols: 16 }).collect(),
+            (1..=8)
+                .map(|r| GemmDims {
+                    rows: r,
+                    inner: 32,
+                    cols: 16,
+                })
+                .collect(),
         );
         let cfg = fast_cfg();
         let seen = Mutex::new(HashSet::new());
-        let pool = rayon::ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
         let results: Vec<_> = pool.install(|| {
             grid.cells()
                 .into_par_iter()
@@ -426,12 +475,19 @@ mod tests {
     fn dataflow_axis_reaches_the_baseline_kernel() {
         // A- vs B-stationary must change the baseline measurements
         // (same operands, different loop order).
-        let dims = GemmDims { rows: 8, inner: 64, cols: 32 };
+        let dims = GemmDims {
+            rows: 8,
+            inner: 64,
+            cols: 32,
+        };
         let grid = SweepGrid::new(vec![NmPattern::P1_4], vec![dims])
             .with_dataflows(vec![Dataflow::AStationary, Dataflow::BStationary]);
         let result = run_grid(&grid, &fast_cfg()).unwrap();
-        let by_flow: Vec<u64> =
-            result.cells.iter().map(|c| c.comparison.baseline.report.cycles).collect();
+        let by_flow: Vec<u64> = result
+            .cells
+            .iter()
+            .map(|c| c.comparison.baseline.report.cycles)
+            .collect();
         assert_eq!(by_flow.len(), 2);
         // Seeds differ per cell, so compare against a same-seed rerun
         // rather than across cells: pin the seed and flip only dataflow.
@@ -455,7 +511,11 @@ mod tests {
         use crate::experiment::Algorithm;
         let grid = SweepGrid::new(
             NmPattern::EVALUATED.to_vec(),
-            vec![GemmDims { rows: 16, inner: 128, cols: 32 }],
+            vec![GemmDims {
+                rows: 16,
+                inner: 128,
+                cols: 32,
+            }],
         );
         let cfg = ExperimentConfig {
             baseline: Algorithm::IndexMac,
@@ -493,20 +553,66 @@ mod tests {
     fn json_round_through_shim_contains_cells() {
         let grid = SweepGrid::new(
             vec![NmPattern::P1_4],
-            vec![GemmDims { rows: 4, inner: 32, cols: 16 }],
+            vec![GemmDims {
+                rows: 4,
+                inner: 32,
+                cols: 16,
+            }],
         );
         let result = run_grid(&grid, &fast_cfg()).unwrap();
         let json = result.to_json();
         assert!(json.contains("\"cells\""));
         assert!(json.contains("\"speedup\""));
         assert!(json.contains("\"pattern\":\"1:4\""), "json was: {json}");
+        assert!(json.contains("\"precision\":\"f32\""), "json was: {json}");
         let pretty = result.to_json_pretty();
         assert!(pretty.contains("\n  \"cells\""));
     }
 
     #[test]
+    fn quantized_sweep_records_precision_and_wins_on_both_metrics() {
+        use crate::experiment::{Algorithm, Precision};
+        let grid = SweepGrid::new(
+            NmPattern::EVALUATED.to_vec(),
+            vec![GemmDims {
+                rows: 16,
+                inner: 128,
+                cols: 32,
+            }],
+        );
+        let cfg = ExperimentConfig {
+            caps: indexmac_cnn::GemmCaps::smoke(),
+            ..ExperimentConfig::quantized(Precision::I8)
+        };
+        let result = run_grid(&grid, &cfg).unwrap();
+        assert_eq!(result.precision, Precision::I8);
+        assert!(result.to_json().contains("\"precision\":\"i8\""));
+        for cell in &result.cells {
+            assert_eq!(cell.comparison.baseline.algorithm, Algorithm::IndexMac);
+            assert_eq!(cell.comparison.proposed.algorithm, Algorithm::IndexMac2);
+            assert!(
+                cell.comparison.proposed.report.instructions
+                    < cell.comparison.baseline.report.instructions,
+                "{}: vvi must beat vx on instret at e8",
+                cell.cell.pattern
+            );
+        }
+        // The serial reference runner agrees at the quantized precision.
+        let ser = run_grid_serial(&grid, &cfg).unwrap();
+        assert_eq!(ser.cells, result.cells);
+        assert_eq!(ser.precision, Precision::I8);
+    }
+
+    #[test]
     fn empty_grid_is_empty_not_an_error() {
-        let grid = SweepGrid::new(vec![], vec![GemmDims { rows: 4, inner: 32, cols: 16 }]);
+        let grid = SweepGrid::new(
+            vec![],
+            vec![GemmDims {
+                rows: 4,
+                inner: 32,
+                cols: 16,
+            }],
+        );
         assert!(grid.is_empty());
         let result = run_grid(&grid, &fast_cfg()).unwrap();
         assert!(result.cells.is_empty());

@@ -105,14 +105,28 @@ pub fn decode(word: u32) -> Result<Instruction, DecodeError> {
                     } else if imm == 0 && !rd.is_zero() && !rs1.is_zero() {
                         Ok(Instruction::Mv { rd, rs: rs1 })
                     } else if rs1.is_zero() {
-                        Ok(Instruction::Li { rd, imm: imm as i64 })
+                        Ok(Instruction::Li {
+                            rd,
+                            imm: imm as i64,
+                        })
                     } else {
                         Ok(Instruction::Addi { rd, rs1, imm })
                     }
                 }
-                0b001 => Ok(Instruction::Slli { rd, rs1, shamt: ((word >> 20) & 0x3F) as u8 }),
-                0b101 => Ok(Instruction::Srli { rd, rs1, shamt: ((word >> 20) & 0x3F) as u8 }),
-                _ => Err(DecodeError::UnsupportedFunction { word, what: "OP-IMM funct3" }),
+                0b001 => Ok(Instruction::Slli {
+                    rd,
+                    rs1,
+                    shamt: ((word >> 20) & 0x3F) as u8,
+                }),
+                0b101 => Ok(Instruction::Srli {
+                    rd,
+                    rs1,
+                    shamt: ((word >> 20) & 0x3F) as u8,
+                }),
+                _ => Err(DecodeError::UnsupportedFunction {
+                    word,
+                    what: "OP-IMM funct3",
+                }),
             }
         }
         opcode::OP => {
@@ -124,7 +138,10 @@ pub fn decode(word: u32) -> Result<Instruction, DecodeError> {
                 (0, 0b000) => Ok(Instruction::Add { rd, rs1, rs2 }),
                 (0b0100000, 0b000) => Ok(Instruction::Sub { rd, rs1, rs2 }),
                 (0b0000001, 0b000) => Ok(Instruction::Mul { rd, rs1, rs2 }),
-                _ => Err(DecodeError::UnsupportedFunction { word, what: "OP funct7/funct3" }),
+                _ => Err(DecodeError::UnsupportedFunction {
+                    word,
+                    what: "OP funct7/funct3",
+                }),
             }
         }
         opcode::LOAD => {
@@ -135,7 +152,10 @@ pub fn decode(word: u32) -> Result<Instruction, DecodeError> {
                 0b010 => Ok(Instruction::Lw { rd, rs1, imm }),
                 0b110 => Ok(Instruction::Lwu { rd, rs1, imm }),
                 0b011 => Ok(Instruction::Ld { rd, rs1, imm }),
-                _ => Err(DecodeError::UnsupportedFunction { word, what: "LOAD width" }),
+                _ => Err(DecodeError::UnsupportedFunction {
+                    word,
+                    what: "LOAD width",
+                }),
             }
         }
         opcode::STORE => {
@@ -145,7 +165,10 @@ pub fn decode(word: u32) -> Result<Instruction, DecodeError> {
             match f3 {
                 0b010 => Ok(Instruction::Sw { rs2, rs1, imm }),
                 0b011 => Ok(Instruction::Sd { rs2, rs1, imm }),
-                _ => Err(DecodeError::UnsupportedFunction { word, what: "STORE width" }),
+                _ => Err(DecodeError::UnsupportedFunction {
+                    word,
+                    what: "STORE width",
+                }),
             }
         }
         opcode::BRANCH => {
@@ -157,31 +180,73 @@ pub fn decode(word: u32) -> Result<Instruction, DecodeError> {
                 0b001 => Ok(Instruction::Bne { rs1, rs2, offset }),
                 0b100 => Ok(Instruction::Blt { rs1, rs2, offset }),
                 0b101 => Ok(Instruction::Bge { rs1, rs2, offset }),
-                _ => Err(DecodeError::UnsupportedFunction { word, what: "BRANCH funct3" }),
+                _ => Err(DecodeError::UnsupportedFunction {
+                    word,
+                    what: "BRANCH funct3",
+                }),
             }
         }
-        opcode::JAL => Ok(Instruction::Jal { rd: xr(word, 7), offset: j_offset_slots(word) }),
+        opcode::JAL => Ok(Instruction::Jal {
+            rd: xr(word, 7),
+            offset: j_offset_slots(word),
+        }),
         opcode::SYSTEM => {
             if word == 0x0010_0073 {
                 Ok(Instruction::Halt)
             } else {
-                Err(DecodeError::UnsupportedFunction { word, what: "SYSTEM function" })
+                Err(DecodeError::UnsupportedFunction {
+                    word,
+                    what: "SYSTEM function",
+                })
             }
         }
         opcode::LOAD_FP => match f3 {
-            0b010 => Ok(Instruction::Flw { fd: FReg::new(((word >> 7) & 0x1F) as u8), rs1: xr(word, 15), imm: i_imm(word) }),
-            0b110 => {
+            0b010 => Ok(Instruction::Flw {
+                fd: FReg::new(((word >> 7) & 0x1F) as u8),
+                rs1: xr(word, 15),
+                imm: i_imm(word),
+            }),
+            0b000 | 0b101 | 0b110 => {
                 // Unit-stride vector load: require mop=00, lumop=0, nf=0.
                 if (word >> 26) & 0x3F != 0 || (word >> 20) & 0x1F != 0 {
-                    return Err(DecodeError::UnsupportedFunction { word, what: "vector load mode" });
+                    return Err(DecodeError::UnsupportedFunction {
+                        word,
+                        what: "vector load mode",
+                    });
                 }
-                Ok(Instruction::Vle32 { vd: vr(word, 7), rs1: xr(word, 15) })
+                let (vd, rs1) = (vr(word, 7), xr(word, 15));
+                Ok(match f3 {
+                    0b000 => Instruction::Vle8 { vd, rs1 },
+                    0b101 => Instruction::Vle16 { vd, rs1 },
+                    _ => Instruction::Vle32 { vd, rs1 },
+                })
             }
-            _ => Err(DecodeError::UnsupportedFunction { word, what: "LOAD-FP width" }),
+            _ => Err(DecodeError::UnsupportedFunction {
+                word,
+                what: "LOAD-FP width",
+            }),
         },
         opcode::STORE_FP => match f3 {
-            0b110 => Ok(Instruction::Vse32 { vs3: vr(word, 7), rs1: xr(word, 15) }),
-            _ => Err(DecodeError::UnsupportedFunction { word, what: "STORE-FP width" }),
+            0b000 | 0b101 | 0b110 => {
+                // Unit-stride vector store: require mop=00, sumop=0,
+                // nf=0, like the load path above.
+                if (word >> 26) & 0x3F != 0 || (word >> 20) & 0x1F != 0 {
+                    return Err(DecodeError::UnsupportedFunction {
+                        word,
+                        what: "vector store mode",
+                    });
+                }
+                let (vs3, rs1) = (vr(word, 7), xr(word, 15));
+                Ok(match f3 {
+                    0b000 => Instruction::Vse8 { vs3, rs1 },
+                    0b101 => Instruction::Vse16 { vs3, rs1 },
+                    _ => Instruction::Vse32 { vs3, rs1 },
+                })
+            }
+            _ => Err(DecodeError::UnsupportedFunction {
+                word,
+                what: "STORE-FP width",
+            }),
         },
         opcode::OP_V => decode_opv(word, f3),
         _ => Err(DecodeError::UnknownOpcode { word, opcode: op }),
@@ -191,14 +256,24 @@ pub fn decode(word: u32) -> Result<Instruction, DecodeError> {
 fn decode_opv(word: u32, f3: u32) -> Result<Instruction, DecodeError> {
     if f3 == vcat::OPCFG {
         if word >> 31 != 0 {
-            return Err(DecodeError::UnsupportedFunction { word, what: "vsetvl form" });
+            return Err(DecodeError::UnsupportedFunction {
+                word,
+                what: "vsetvl form",
+            });
         }
         let vtype = (word >> 20) & 0x7FF;
         let sew = Sew::from_encoding((vtype >> 3) & 0x7)
             .ok_or(DecodeError::UnsupportedFunction { word, what: "vsew" })?;
-        let lmul = Lmul::from_encoding(vtype & 0x7)
-            .ok_or(DecodeError::UnsupportedFunction { word, what: "vlmul" })?;
-        return Ok(Instruction::Vsetvli { rd: xr(word, 7), rs1: xr(word, 15), sew, lmul });
+        let lmul = Lmul::from_encoding(vtype & 0x7).ok_or(DecodeError::UnsupportedFunction {
+            word,
+            what: "vlmul",
+        })?;
+        return Ok(Instruction::Vsetvli {
+            rd: xr(word, 7),
+            rs1: xr(word, 15),
+            sew,
+            lmul,
+        });
     }
     let funct6 = word >> 26;
     let vd = vr(word, 7);
@@ -209,60 +284,103 @@ fn decode_opv(word: u32, f3: u32) -> Result<Instruction, DecodeError> {
     if f3 == vcat::OPMVV && funct6 & 0b110000 == vfunct6::VINDEXMAC_VVI_BASE {
         let vm = (word >> 25) & 1;
         let slot = ((vm << 4) | (funct6 & 0xF)) as u8;
-        return Ok(Instruction::VindexmacVvi { vd, vs2, vs1: VReg::new(mid as u8), slot });
+        return Ok(Instruction::VindexmacVvi {
+            vd,
+            vs2,
+            vs1: VReg::new(mid as u8),
+            slot,
+        });
     }
     match (funct6, f3) {
-        (vfunct6::VADD, vcat::OPIVV) => {
-            Ok(Instruction::VaddVv { vd, vs2, vs1: VReg::new(mid as u8) })
-        }
-        (vfunct6::VADD, vcat::OPIVX) => {
-            Ok(Instruction::VaddVx { vd, vs2, rs1: XReg::new(mid as u8) })
-        }
+        (vfunct6::VADD, vcat::OPIVV) => Ok(Instruction::VaddVv {
+            vd,
+            vs2,
+            vs1: VReg::new(mid as u8),
+        }),
+        (vfunct6::VADD, vcat::OPIVX) => Ok(Instruction::VaddVx {
+            vd,
+            vs2,
+            rs1: XReg::new(mid as u8),
+        }),
         (vfunct6::VADD, vcat::OPIVI) => {
             // Sign-extend the 5-bit immediate.
             let imm = ((mid as i32) << 27 >> 27) as i8;
             Ok(Instruction::VaddVi { vd, vs2, imm })
         }
-        (vfunct6::VADD, vcat::OPFVV) => {
-            Ok(Instruction::VfaddVv { vd, vs2, vs1: VReg::new(mid as u8) })
-        }
-        (vfunct6::VMUL, vcat::OPMVV) => {
-            Ok(Instruction::VmulVv { vd, vs2, vs1: VReg::new(mid as u8) })
-        }
-        (vfunct6::VMUL, vcat::OPMVX) => {
-            Ok(Instruction::VmulVx { vd, vs2, rs1: XReg::new(mid as u8) })
-        }
-        (vfunct6::VMACC, vcat::OPMVX) => {
-            Ok(Instruction::VmaccVx { vd, rs1: XReg::new(mid as u8), vs2 })
-        }
-        (vfunct6::VFMUL, vcat::OPFVV) => {
-            Ok(Instruction::VfmulVv { vd, vs2, vs1: VReg::new(mid as u8) })
-        }
-        (vfunct6::VFMACC, vcat::OPFVF) => {
-            Ok(Instruction::VfmaccVf { vd, fs1: FReg::new(mid as u8), vs2 })
-        }
-        (vfunct6::VFMACC, vcat::OPFVV) => {
-            Ok(Instruction::VfmaccVv { vd, vs1: VReg::new(mid as u8), vs2 })
-        }
-        (vfunct6::VMV_V, vcat::OPIVV) => Ok(Instruction::VmvVv { vd, vs1: VReg::new(mid as u8) }),
-        (vfunct6::VMV_V, vcat::OPIVX) => Ok(Instruction::VmvVx { vd, rs1: XReg::new(mid as u8) }),
-        (vfunct6::VMV_S, vcat::OPMVV) => {
-            Ok(Instruction::VmvXs { rd: XReg::new(vd.index()), vs2 })
-        }
-        (vfunct6::VMV_S, vcat::OPMVX) => Ok(Instruction::VmvSx { vd, rs1: XReg::new(mid as u8) }),
-        (vfunct6::VMV_S, vcat::OPFVV) => {
-            Ok(Instruction::VfmvFs { fd: FReg::new(vd.index()), vs2 })
-        }
-        (vfunct6::VSLIDEDOWN, vcat::OPMVX) => {
-            Ok(Instruction::Vslide1downVx { vd, vs2, rs1: XReg::new(mid as u8) })
-        }
-        (vfunct6::VSLIDEDOWN, vcat::OPIVI) => {
-            Ok(Instruction::VslidedownVi { vd, vs2, imm: mid as u8 })
-        }
-        (vfunct6::VINDEXMAC, vcat::OPMVX) => {
-            Ok(Instruction::VindexmacVx { vd, vs2, rs: XReg::new(mid as u8) })
-        }
-        _ => Err(DecodeError::UnsupportedFunction { word, what: "OP-V funct6/category" }),
+        (vfunct6::VADD, vcat::OPFVV) => Ok(Instruction::VfaddVv {
+            vd,
+            vs2,
+            vs1: VReg::new(mid as u8),
+        }),
+        (vfunct6::VMUL, vcat::OPMVV) => Ok(Instruction::VmulVv {
+            vd,
+            vs2,
+            vs1: VReg::new(mid as u8),
+        }),
+        (vfunct6::VMUL, vcat::OPMVX) => Ok(Instruction::VmulVx {
+            vd,
+            vs2,
+            rs1: XReg::new(mid as u8),
+        }),
+        (vfunct6::VMACC, vcat::OPMVX) => Ok(Instruction::VmaccVx {
+            vd,
+            rs1: XReg::new(mid as u8),
+            vs2,
+        }),
+        (vfunct6::VFMUL, vcat::OPFVV) => Ok(Instruction::VfmulVv {
+            vd,
+            vs2,
+            vs1: VReg::new(mid as u8),
+        }),
+        (vfunct6::VFMACC, vcat::OPFVF) => Ok(Instruction::VfmaccVf {
+            vd,
+            fs1: FReg::new(mid as u8),
+            vs2,
+        }),
+        (vfunct6::VFMACC, vcat::OPFVV) => Ok(Instruction::VfmaccVv {
+            vd,
+            vs1: VReg::new(mid as u8),
+            vs2,
+        }),
+        (vfunct6::VMV_V, vcat::OPIVV) => Ok(Instruction::VmvVv {
+            vd,
+            vs1: VReg::new(mid as u8),
+        }),
+        (vfunct6::VMV_V, vcat::OPIVX) => Ok(Instruction::VmvVx {
+            vd,
+            rs1: XReg::new(mid as u8),
+        }),
+        (vfunct6::VMV_S, vcat::OPMVV) => Ok(Instruction::VmvXs {
+            rd: XReg::new(vd.index()),
+            vs2,
+        }),
+        (vfunct6::VMV_S, vcat::OPMVX) => Ok(Instruction::VmvSx {
+            vd,
+            rs1: XReg::new(mid as u8),
+        }),
+        (vfunct6::VMV_S, vcat::OPFVV) => Ok(Instruction::VfmvFs {
+            fd: FReg::new(vd.index()),
+            vs2,
+        }),
+        (vfunct6::VSLIDEDOWN, vcat::OPMVX) => Ok(Instruction::Vslide1downVx {
+            vd,
+            vs2,
+            rs1: XReg::new(mid as u8),
+        }),
+        (vfunct6::VSLIDEDOWN, vcat::OPIVI) => Ok(Instruction::VslidedownVi {
+            vd,
+            vs2,
+            imm: mid as u8,
+        }),
+        (vfunct6::VINDEXMAC, vcat::OPMVX) => Ok(Instruction::VindexmacVx {
+            vd,
+            vs2,
+            rs: XReg::new(mid as u8),
+        }),
+        _ => Err(DecodeError::UnsupportedFunction {
+            word,
+            what: "OP-V funct6/category",
+        }),
     }
 }
 
@@ -277,19 +395,32 @@ mod tests {
         assert_eq!(decode(0x0010_0073).unwrap(), Instruction::Halt);
         assert_eq!(
             decode(0x0050_0293).unwrap(),
-            Instruction::Li { rd: XReg::T0, imm: 5 }
+            Instruction::Li {
+                rd: XReg::T0,
+                imm: 5
+            }
         );
     }
 
     #[test]
     fn decode_rejects_garbage() {
-        assert!(matches!(decode(0xFFFF_FFFF), Err(DecodeError::UnknownOpcode { .. })));
-        assert!(matches!(decode(0x0000_0073), Err(DecodeError::UnsupportedFunction { .. })));
+        assert!(matches!(
+            decode(0xFFFF_FFFF),
+            Err(DecodeError::UnknownOpcode { .. })
+        ));
+        assert!(matches!(
+            decode(0x0000_0073),
+            Err(DecodeError::UnsupportedFunction { .. })
+        ));
     }
 
     #[test]
     fn vindexmac_roundtrip() {
-        let i = Instruction::VindexmacVx { vd: VReg::new(7), vs2: VReg::new(9), rs: XReg::T4 };
+        let i = Instruction::VindexmacVx {
+            vd: VReg::new(7),
+            vs2: VReg::new(9),
+            rs: XReg::T4,
+        };
         let w = encode(&i).unwrap();
         assert_eq!(decode(w).unwrap(), i);
     }
@@ -309,9 +440,58 @@ mod tests {
     }
 
     #[test]
+    fn narrow_vector_memory_roundtrip() {
+        for i in [
+            Instruction::Vle8 {
+                vd: VReg::new(5),
+                rs1: XReg::A1,
+            },
+            Instruction::Vle16 {
+                vd: VReg::new(6),
+                rs1: XReg::A2,
+            },
+            Instruction::Vle32 {
+                vd: VReg::new(7),
+                rs1: XReg::A3,
+            },
+            Instruction::Vse8 {
+                vs3: VReg::new(8),
+                rs1: XReg::A1,
+            },
+            Instruction::Vse16 {
+                vs3: VReg::new(9),
+                rs1: XReg::A2,
+            },
+            Instruction::Vse32 {
+                vs3: VReg::new(10),
+                rs1: XReg::A3,
+            },
+        ] {
+            let w = encode(&i).unwrap();
+            assert_eq!(decode(w).unwrap(), i, "{i}");
+        }
+    }
+
+    #[test]
+    fn vle8_does_not_shadow_flw() {
+        // flw sits at width 010; the vector widths are 000/101/110.
+        let f = Instruction::Flw {
+            fd: crate::instr::FReg::F1,
+            rs1: XReg::A0,
+            imm: 8,
+        };
+        assert_eq!(decode(encode(&f).unwrap()).unwrap(), f);
+    }
+
+    #[test]
     fn vsetvli_lmul_roundtrip() {
         for lmul in Lmul::ALL {
-            let i = Instruction::Vsetvli { rd: XReg::T0, rs1: XReg::A0, sew: Sew::E32, lmul };
+            let i = Instruction::Vsetvli {
+                rd: XReg::T0,
+                rs1: XReg::A0,
+                sew: Sew::E32,
+                lmul,
+            };
             assert_eq!(decode(encode(&i).unwrap()).unwrap(), i, "{lmul}");
         }
     }
@@ -320,16 +500,27 @@ mod tests {
     fn vvi_block_does_not_shadow_existing_opmvv_encodings() {
         // vmul.vv and vmv.x.s live under OPMVV with funct6 outside the
         // 0b11xxxx block; they must still decode to themselves.
-        let m = Instruction::VmulVv { vd: VReg::V1, vs2: VReg::V2, vs1: VReg::V3 };
+        let m = Instruction::VmulVv {
+            vd: VReg::V1,
+            vs2: VReg::V2,
+            vs1: VReg::V3,
+        };
         assert_eq!(decode(encode(&m).unwrap()).unwrap(), m);
-        let x = Instruction::VmvXs { rd: XReg::T0, vs2: VReg::V3 };
+        let x = Instruction::VmvXs {
+            rd: XReg::T0,
+            vs2: VReg::V3,
+        };
         assert_eq!(decode(encode(&x).unwrap()).unwrap(), x);
     }
 
     #[test]
     fn negative_branch_roundtrip() {
         for off in [-100, -2, -1, 1, 2, 100] {
-            let i = Instruction::Bne { rs1: XReg::T0, rs2: XReg::T1, offset: off };
+            let i = Instruction::Bne {
+                rs1: XReg::T0,
+                rs2: XReg::T1,
+                offset: off,
+            };
             let w = encode(&i).unwrap();
             assert_eq!(decode(w).unwrap(), i, "offset {off}");
         }
@@ -337,20 +528,31 @@ mod tests {
 
     #[test]
     fn negative_store_offset_roundtrip() {
-        let i = Instruction::Sw { rs2: XReg::A0, rs1: XReg::SP, imm: -64 };
+        let i = Instruction::Sw {
+            rs2: XReg::A0,
+            rs1: XReg::SP,
+            imm: -64,
+        };
         assert_eq!(decode(encode(&i).unwrap()).unwrap(), i);
     }
 
     #[test]
     fn vaddvi_sign_extension() {
-        let i = Instruction::VaddVi { vd: VReg::V1, vs2: VReg::V2, imm: -5 };
+        let i = Instruction::VaddVi {
+            vd: VReg::V1,
+            vs2: VReg::V2,
+            imm: -5,
+        };
         assert_eq!(decode(encode(&i).unwrap()).unwrap(), i);
     }
 
     #[test]
     fn jal_roundtrip() {
         for off in [-1000, -1, 1, 1000] {
-            let i = Instruction::Jal { rd: XReg::RA, offset: off };
+            let i = Instruction::Jal {
+                rd: XReg::RA,
+                offset: off,
+            };
             assert_eq!(decode(encode(&i).unwrap()).unwrap(), i);
         }
     }

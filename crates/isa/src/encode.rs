@@ -114,7 +114,10 @@ impl fmt::Display for EncodeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             EncodeError::Pseudo { asm } => {
-                write!(f, "pseudo-instruction `{asm}` has no single machine encoding")
+                write!(
+                    f,
+                    "pseudo-instruction `{asm}` has no single machine encoding"
+                )
             }
             EncodeError::ImmediateRange { asm, bits } => {
                 write!(f, "immediate of `{asm}` does not fit in {bits} bits")
@@ -180,17 +183,34 @@ fn j_type(byte_off: i32, rd: XReg, op: u32) -> u32 {
         | op
 }
 
+/// Unit-stride vector memory layout (vm=1, mop=0, nf=0).
+fn v_unit_mem(rs1: XReg, width: u32, vreg: VReg, op: u32) -> u32 {
+    (1 << 25) | ((rs1.index() as u32) << 15) | (width << 12) | ((vreg.index() as u32) << 7) | op
+}
+
 /// OP-V arithmetic layout (vm is always 1: the kernels are unmasked).
 fn v_arith(funct6: u32, vs2: u32, mid: u32, f3: u32, vd: u32) -> u32 {
     (funct6 << 26) | (1 << 25) | (vs2 << 20) | (mid << 15) | (f3 << 12) | (vd << 7) | opcode::OP_V
 }
 
 fn vx(funct6: u32, vs2: VReg, rs1: XReg, f3: u32, vd: VReg) -> u32 {
-    v_arith(funct6, vs2.index() as u32, rs1.index() as u32, f3, vd.index() as u32)
+    v_arith(
+        funct6,
+        vs2.index() as u32,
+        rs1.index() as u32,
+        f3,
+        vd.index() as u32,
+    )
 }
 
 fn vv(funct6: u32, vs2: VReg, vs1: VReg, f3: u32, vd: VReg) -> u32 {
-    v_arith(funct6, vs2.index() as u32, vs1.index() as u32, f3, vd.index() as u32)
+    v_arith(
+        funct6,
+        vs2.index() as u32,
+        vs1.index() as u32,
+        f3,
+        vd.index() as u32,
+    )
 }
 
 /// Encodes one instruction to its 32-bit machine word.
@@ -214,7 +234,10 @@ pub fn encode(instr: &Instruction) -> Result<u32, EncodeError> {
         Mv { rd, rs } => i_type(0, rs, 0b000, rd, opcode::OP_IMM),
         Addi { rd, rs1, imm } => {
             if !fits_signed(imm as i64, 12) {
-                return Err(EncodeError::ImmediateRange { asm: asm(), bits: 12 });
+                return Err(EncodeError::ImmediateRange {
+                    asm: asm(),
+                    bits: 12,
+                });
             }
             i_type(imm, rs1, 0b000, rd, opcode::OP_IMM)
         }
@@ -235,7 +258,10 @@ pub fn encode(instr: &Instruction) -> Result<u32, EncodeError> {
         Jal { rd, offset } => {
             let bytes = (offset as i64) * 4;
             if !fits_signed(bytes, 21) {
-                return Err(EncodeError::ImmediateRange { asm: asm(), bits: 21 });
+                return Err(EncodeError::ImmediateRange {
+                    asm: asm(),
+                    bits: 21,
+                });
             }
             j_type(bytes as i32, rd, opcode::JAL)
         }
@@ -258,26 +284,22 @@ pub fn encode(instr: &Instruction) -> Result<u32, EncodeError> {
                 | ((rd.index() as u32) << 7)
                 | opcode::OP_V
         }
-        Vle32 { vd, rs1 } => {
-            // nf=0 mew=0 mop=00 vm=1 lumop=00000 | rs1 | width=110 | vd
-            (1 << 25)
-                | ((rs1.index() as u32) << 15)
-                | (0b110 << 12)
-                | ((vd.index() as u32) << 7)
-                | opcode::LOAD_FP
-        }
-        Vse32 { vs3, rs1 } => {
-            (1 << 25)
-                | ((rs1.index() as u32) << 15)
-                | (0b110 << 12)
-                | ((vs3.index() as u32) << 7)
-                | opcode::STORE_FP
-        }
+        // Unit-stride vector loads: nf=0 mew=0 mop=00 vm=1 lumop=00000 |
+        // rs1 | width (000=8, 101=16, 110=32) | vd.
+        Vle8 { vd, rs1 } => v_unit_mem(rs1, 0b000, vd, opcode::LOAD_FP),
+        Vle16 { vd, rs1 } => v_unit_mem(rs1, 0b101, vd, opcode::LOAD_FP),
+        Vle32 { vd, rs1 } => v_unit_mem(rs1, 0b110, vd, opcode::LOAD_FP),
+        Vse8 { vs3, rs1 } => v_unit_mem(rs1, 0b000, vs3, opcode::STORE_FP),
+        Vse16 { vs3, rs1 } => v_unit_mem(rs1, 0b101, vs3, opcode::STORE_FP),
+        Vse32 { vs3, rs1 } => v_unit_mem(rs1, 0b110, vs3, opcode::STORE_FP),
         VaddVv { vd, vs2, vs1 } => vv(vfunct6::VADD, vs2, vs1, vcat::OPIVV, vd),
         VaddVx { vd, vs2, rs1 } => vx(vfunct6::VADD, vs2, rs1, vcat::OPIVX, vd),
         VaddVi { vd, vs2, imm } => {
             if !fits_signed(imm as i64, 5) {
-                return Err(EncodeError::ImmediateRange { asm: asm(), bits: 5 });
+                return Err(EncodeError::ImmediateRange {
+                    asm: asm(),
+                    bits: 5,
+                });
             }
             v_arith(
                 vfunct6::VADD,
@@ -328,7 +350,10 @@ pub fn encode(instr: &Instruction) -> Result<u32, EncodeError> {
         VindexmacVx { vd, vs2, rs } => vx(vfunct6::VINDEXMAC, vs2, rs, vcat::OPMVX, vd),
         VindexmacVvi { vd, vs2, vs1, slot } => {
             if slot >= 32 {
-                return Err(EncodeError::ImmediateRange { asm: asm(), bits: 5 });
+                return Err(EncodeError::ImmediateRange {
+                    asm: asm(),
+                    bits: 5,
+                });
             }
             let funct6 = vfunct6::VINDEXMAC_VVI_BASE | (slot as u32 & 0xF);
             let vm = (slot as u32 >> 4) & 1;
@@ -360,10 +385,20 @@ mod tests {
     #[test]
     fn known_scalar_encodings() {
         // addi t0, zero, 5  ->  0x00500293
-        let w = encode(&Instruction::Addi { rd: XReg::T0, rs1: XReg::ZERO, imm: 5 }).unwrap();
+        let w = encode(&Instruction::Addi {
+            rd: XReg::T0,
+            rs1: XReg::ZERO,
+            imm: 5,
+        })
+        .unwrap();
         assert_eq!(w, 0x0050_0293);
         // add a0, a1, a2 -> 0x00C58533
-        let w = encode(&Instruction::Add { rd: XReg::A0, rs1: XReg::A1, rs2: XReg::A2 }).unwrap();
+        let w = encode(&Instruction::Add {
+            rd: XReg::A0,
+            rs1: XReg::A1,
+            rs2: XReg::A2,
+        })
+        .unwrap();
         assert_eq!(w, 0x00C5_8533);
         // ebreak
         assert_eq!(encode(&Instruction::Halt).unwrap(), 0x0010_0073);
@@ -375,11 +410,19 @@ mod tests {
     #[allow(clippy::unusual_byte_groupings)] // grouped by encoding field
     fn known_vector_encodings() {
         // vadd.vv v1, v2, v3: 000000 1 00010 00011 000 00001 1010111
-        let w = encode(&Instruction::VaddVv { vd: VReg::V1, vs2: VReg::V2, vs1: VReg::V3 })
-            .unwrap();
+        let w = encode(&Instruction::VaddVv {
+            vd: VReg::V1,
+            vs2: VReg::V2,
+            vs1: VReg::V3,
+        })
+        .unwrap();
         assert_eq!(w, 0b000000_1_00010_00011_000_00001_1010111);
         // vle32.v v4, (a0): width 110, vm=1
-        let w = encode(&Instruction::Vle32 { vd: VReg::V4, rs1: XReg::A0 }).unwrap();
+        let w = encode(&Instruction::Vle32 {
+            vd: VReg::V4,
+            rs1: XReg::A0,
+        })
+        .unwrap();
         assert_eq!(w & 0x7F, opcode::LOAD_FP);
         assert_eq!((w >> 12) & 0x7, 0b110);
         assert_eq!((w >> 7) & 0x1F, 4);
@@ -387,36 +430,59 @@ mod tests {
 
     #[test]
     fn vindexmac_encoding_shape() {
-        let w = encode(&Instruction::VindexmacVx { vd: VReg::V2, vs2: VReg::V5, rs: XReg::T1 })
-            .unwrap();
+        let w = encode(&Instruction::VindexmacVx {
+            vd: VReg::V2,
+            vs2: VReg::V5,
+            rs: XReg::T1,
+        })
+        .unwrap();
         assert_eq!(w & 0x7F, opcode::OP_V);
         assert_eq!((w >> 12) & 0x7, vcat::OPMVX);
         assert_eq!(w >> 26, vfunct6::VINDEXMAC);
         assert_eq!((w >> 20) & 0x1F, 5); // vs2
         assert_eq!((w >> 15) & 0x1F, XReg::T1.index() as u32); // rs
         assert_eq!((w >> 7) & 0x1F, 2); // vd
-        // Distinct from vmacc.vx with the same registers.
-        let m = encode(&Instruction::VmaccVx { vd: VReg::V2, rs1: XReg::T1, vs2: VReg::V5 })
-            .unwrap();
+                                        // Distinct from vmacc.vx with the same registers.
+        let m = encode(&Instruction::VmaccVx {
+            vd: VReg::V2,
+            rs1: XReg::T1,
+            vs2: VReg::V5,
+        })
+        .unwrap();
         assert_ne!(w, m);
     }
 
     #[test]
     fn pseudo_and_range_errors() {
         assert!(matches!(
-            encode(&Instruction::Li { rd: XReg::T0, imm: 1 << 40 }),
+            encode(&Instruction::Li {
+                rd: XReg::T0,
+                imm: 1 << 40
+            }),
             Err(EncodeError::Pseudo { .. })
         ));
         assert!(matches!(
-            encode(&Instruction::Addi { rd: XReg::T0, rs1: XReg::T0, imm: 5000 }),
+            encode(&Instruction::Addi {
+                rd: XReg::T0,
+                rs1: XReg::T0,
+                imm: 5000
+            }),
             Err(EncodeError::ImmediateRange { bits: 12, .. })
         ));
         assert!(matches!(
-            encode(&Instruction::VaddVi { vd: VReg::V1, vs2: VReg::V1, imm: 17 }),
+            encode(&Instruction::VaddVi {
+                vd: VReg::V1,
+                vs2: VReg::V1,
+                imm: 17
+            }),
             Err(EncodeError::ImmediateRange { bits: 5, .. })
         ));
         assert!(matches!(
-            encode(&Instruction::Beq { rs1: XReg::T0, rs2: XReg::T0, offset: 4096 }),
+            encode(&Instruction::Beq {
+                rs1: XReg::T0,
+                rs2: XReg::T0,
+                offset: 4096
+            }),
             Err(EncodeError::ImmediateRange { bits: 13, .. })
         ));
     }
@@ -424,8 +490,12 @@ mod tests {
     #[test]
     fn branch_offset_bytes() {
         // bne t0, zero, -2 slots = -8 bytes.
-        let w = encode(&Instruction::Bne { rs1: XReg::T0, rs2: XReg::ZERO, offset: -2 })
-            .unwrap();
+        let w = encode(&Instruction::Bne {
+            rs1: XReg::T0,
+            rs2: XReg::ZERO,
+            offset: -2,
+        })
+        .unwrap();
         assert_eq!(w & 0x7F, opcode::BRANCH);
         // Sign bit (imm[12]) must be set for negative offsets.
         assert_eq!(w >> 31, 1);
@@ -464,7 +534,11 @@ mod tests {
             .unwrap();
             assert_eq!(w & 0x7F, opcode::OP_V, "slot {slot}");
             assert_eq!((w >> 12) & 0x7, vcat::OPMVV, "slot {slot}");
-            assert_eq!((w >> 26) & 0b110000, vfunct6::VINDEXMAC_VVI_BASE, "slot {slot}");
+            assert_eq!(
+                (w >> 26) & 0b110000,
+                vfunct6::VINDEXMAC_VVI_BASE,
+                "slot {slot}"
+            );
             assert_eq!((w >> 26) & 0xF, (slot as u32) & 0xF, "slot {slot}");
             assert_eq!((w >> 25) & 1, (slot as u32) >> 4, "slot {slot}");
             assert_eq!((w >> 20) & 0x1F, 5); // vs2
@@ -485,8 +559,16 @@ mod tests {
 
     #[test]
     fn fp_move_encodings_differ_by_category() {
-        let x = encode(&Instruction::VmvXs { rd: XReg::T0, vs2: VReg::V3 }).unwrap();
-        let f = encode(&Instruction::VfmvFs { fd: FReg::new(5), vs2: VReg::V3 }).unwrap();
+        let x = encode(&Instruction::VmvXs {
+            rd: XReg::T0,
+            vs2: VReg::V3,
+        })
+        .unwrap();
+        let f = encode(&Instruction::VfmvFs {
+            fd: FReg::new(5),
+            vs2: VReg::V3,
+        })
+        .unwrap();
         assert_eq!((x >> 12) & 7, vcat::OPMVV);
         assert_eq!((f >> 12) & 7, vcat::OPFVV);
         assert_eq!(x >> 26, f >> 26);

@@ -105,7 +105,10 @@ impl InstrClass {
     pub fn is_memory(self) -> bool {
         matches!(
             self,
-            InstrClass::ScalarLoad | InstrClass::ScalarStore | InstrClass::VLoad | InstrClass::VStore
+            InstrClass::ScalarLoad
+                | InstrClass::ScalarStore
+                | InstrClass::VLoad
+                | InstrClass::VStore
         )
     }
 }
@@ -169,11 +172,26 @@ pub enum Instruction {
     /// VLMAX when `rs1` is `x0` and `rd` is not), grants `vl` into `rd`.
     /// With `lmul > 1` subsequent grouped operations span `lmul`
     /// consecutive registers per operand.
-    Vsetvli { rd: XReg, rs1: XReg, sew: Sew, lmul: Lmul },
+    Vsetvli {
+        rd: XReg,
+        rs1: XReg,
+        sew: Sew,
+        lmul: Lmul,
+    },
 
     // ---- vector memory ----
+    /// `vle8.v vd, (rs1)` — unit-stride 8-bit load of `vl` elements
+    /// (requires `vtype.sew = e8` in the modelled subset).
+    Vle8 { vd: VReg, rs1: XReg },
+    /// `vle16.v vd, (rs1)` — unit-stride 16-bit load of `vl` elements
+    /// (requires `vtype.sew = e16`).
+    Vle16 { vd: VReg, rs1: XReg },
     /// `vle32.v vd, (rs1)` — unit-stride 32-bit load of `vl` elements.
     Vle32 { vd: VReg, rs1: XReg },
+    /// `vse8.v vs3, (rs1)` — unit-stride 8-bit store of `vl` elements.
+    Vse8 { vs3: VReg, rs1: XReg },
+    /// `vse16.v vs3, (rs1)` — unit-stride 16-bit store of `vl` elements.
+    Vse16 { vs3: VReg, rs1: XReg },
     /// `vse32.v vs3, (rs1)` — unit-stride 32-bit store of `vl` elements.
     Vse32 { vs3: VReg, rs1: XReg },
 
@@ -239,7 +257,12 @@ pub enum Instruction {
     /// Algorithm 3. Under register grouping, `vd` and the indirectly
     /// selected source span the whole group while `vs2`/`vs1` stay
     /// single registers.
-    VindexmacVvi { vd: VReg, vs2: VReg, vs1: VReg, slot: u8 },
+    VindexmacVvi {
+        vd: VReg,
+        vs2: VReg,
+        vs1: VReg,
+        slot: u8,
+    },
 }
 
 impl Instruction {
@@ -247,8 +270,15 @@ impl Instruction {
     pub fn class(&self) -> InstrClass {
         use Instruction::*;
         match self {
-            Li { .. } | Mv { .. } | Addi { .. } | Add { .. } | Sub { .. } | Mul { .. }
-            | Slli { .. } | Srli { .. } | Nop => InstrClass::ScalarAlu,
+            Li { .. }
+            | Mv { .. }
+            | Addi { .. }
+            | Add { .. }
+            | Sub { .. }
+            | Mul { .. }
+            | Slli { .. }
+            | Srli { .. }
+            | Nop => InstrClass::ScalarAlu,
             Lw { .. } | Lwu { .. } | Ld { .. } | Flw { .. } => InstrClass::ScalarLoad,
             Sw { .. } | Sd { .. } => InstrClass::ScalarStore,
             Beq { .. } | Bne { .. } | Blt { .. } | Bge { .. } | Jal { .. } => {
@@ -256,10 +286,15 @@ impl Instruction {
             }
             Halt => InstrClass::System,
             Vsetvli { .. } => InstrClass::VConfig,
-            Vle32 { .. } => InstrClass::VLoad,
-            Vse32 { .. } => InstrClass::VStore,
-            VaddVv { .. } | VaddVx { .. } | VaddVi { .. } | VmulVv { .. } | VmulVx { .. }
-            | VfaddVv { .. } | VfmulVv { .. } => InstrClass::VArith,
+            Vle8 { .. } | Vle16 { .. } | Vle32 { .. } => InstrClass::VLoad,
+            Vse8 { .. } | Vse16 { .. } | Vse32 { .. } => InstrClass::VStore,
+            VaddVv { .. }
+            | VaddVx { .. }
+            | VaddVi { .. }
+            | VmulVv { .. }
+            | VmulVx { .. }
+            | VfaddVv { .. }
+            | VfmulVv { .. } => InstrClass::VArith,
             VmaccVx { .. } | VfmaccVf { .. } | VfmaccVv { .. } => InstrClass::VMac,
             VmvVv { .. } => InstrClass::VArith,
             VmvVx { .. } | VmvSx { .. } => InstrClass::VMvFromScalar,
@@ -287,12 +322,23 @@ impl Instruction {
                 [Some(rs1), None]
             }
             Sw { rs2, rs1, .. } | Sd { rs2, rs1, .. } => [Some(rs1), Some(rs2)],
-            Beq { rs1, rs2, .. } | Bne { rs1, rs2, .. } | Blt { rs1, rs2, .. }
+            Beq { rs1, rs2, .. }
+            | Bne { rs1, rs2, .. }
+            | Blt { rs1, rs2, .. }
             | Bge { rs1, rs2, .. } => [Some(rs1), Some(rs2)],
             Vsetvli { rs1, .. } => [Some(rs1), None],
-            Vle32 { rs1, .. } | Vse32 { rs1, .. } => [Some(rs1), None],
-            VaddVx { rs1, .. } | VmulVx { rs1, .. } | VmaccVx { rs1, .. } | VmvVx { rs1, .. }
-            | VmvSx { rs1, .. } | Vslide1downVx { rs1, .. } => [Some(rs1), None],
+            Vle8 { rs1, .. }
+            | Vle16 { rs1, .. }
+            | Vle32 { rs1, .. }
+            | Vse8 { rs1, .. }
+            | Vse16 { rs1, .. }
+            | Vse32 { rs1, .. } => [Some(rs1), None],
+            VaddVx { rs1, .. }
+            | VmulVx { rs1, .. }
+            | VmaccVx { rs1, .. }
+            | VmvVx { rs1, .. }
+            | VmvSx { rs1, .. }
+            | Vslide1downVx { rs1, .. } => [Some(rs1), None],
             VindexmacVx { rs, .. } => [Some(rs), None],
             _ => [None, None],
         }
@@ -302,9 +348,19 @@ impl Instruction {
     pub fn x_dst(&self) -> Option<XReg> {
         use Instruction::*;
         match *self {
-            Li { rd, .. } | Mv { rd, .. } | Addi { rd, .. } | Add { rd, .. } | Sub { rd, .. }
-            | Mul { rd, .. } | Slli { rd, .. } | Srli { rd, .. } | Lw { rd, .. }
-            | Lwu { rd, .. } | Ld { rd, .. } | Jal { rd, .. } | Vsetvli { rd, .. }
+            Li { rd, .. }
+            | Mv { rd, .. }
+            | Addi { rd, .. }
+            | Add { rd, .. }
+            | Sub { rd, .. }
+            | Mul { rd, .. }
+            | Slli { rd, .. }
+            | Srli { rd, .. }
+            | Lw { rd, .. }
+            | Lwu { rd, .. }
+            | Ld { rd, .. }
+            | Jal { rd, .. }
+            | Vsetvli { rd, .. }
             | VmvXs { rd, .. } => {
                 if rd.is_zero() {
                     None
@@ -338,8 +394,10 @@ impl Instruction {
     pub fn v_srcs(&self) -> [Option<VReg>; 3] {
         use Instruction::*;
         match *self {
-            Vse32 { vs3, .. } => [Some(vs3), None, None],
-            VaddVv { vs2, vs1, .. } | VmulVv { vs2, vs1, .. } | VfaddVv { vs2, vs1, .. }
+            Vse8 { vs3, .. } | Vse16 { vs3, .. } | Vse32 { vs3, .. } => [Some(vs3), None, None],
+            VaddVv { vs2, vs1, .. }
+            | VmulVv { vs2, vs1, .. }
+            | VfaddVv { vs2, vs1, .. }
             | VfmulVv { vs2, vs1, .. } => [Some(vs2), Some(vs1), None],
             VaddVx { vs2, .. } | VaddVi { vs2, .. } | VmulVx { vs2, .. } => [Some(vs2), None, None],
             VmaccVx { vd, vs2, .. } => [Some(vs2), Some(vd), None],
@@ -360,13 +418,26 @@ impl Instruction {
     pub fn v_dst(&self) -> Option<VReg> {
         use Instruction::*;
         match *self {
-            Vle32 { vd, .. } | VaddVv { vd, .. } | VaddVx { vd, .. } | VaddVi { vd, .. }
-            | VmulVv { vd, .. } | VmulVx { vd, .. } | VmaccVx { vd, .. } | VfaddVv { vd, .. }
-            | VfmulVv { vd, .. } | VfmaccVf { vd, .. } | VfmaccVv { vd, .. } | VmvVv { vd, .. }
-            | VmvVx { vd, .. } | VmvSx { vd, .. } | Vslide1downVx { vd, .. }
-            | VslidedownVi { vd, .. } | VindexmacVx { vd, .. } | VindexmacVvi { vd, .. } => {
-                Some(vd)
-            }
+            Vle8 { vd, .. }
+            | Vle16 { vd, .. }
+            | Vle32 { vd, .. }
+            | VaddVv { vd, .. }
+            | VaddVx { vd, .. }
+            | VaddVi { vd, .. }
+            | VmulVv { vd, .. }
+            | VmulVx { vd, .. }
+            | VmaccVx { vd, .. }
+            | VfaddVv { vd, .. }
+            | VfmulVv { vd, .. }
+            | VfmaccVf { vd, .. }
+            | VfmaccVv { vd, .. }
+            | VmvVv { vd, .. }
+            | VmvVx { vd, .. }
+            | VmvSx { vd, .. }
+            | Vslide1downVx { vd, .. }
+            | VslidedownVi { vd, .. }
+            | VindexmacVx { vd, .. }
+            | VindexmacVvi { vd, .. } => Some(vd),
             _ => None,
         }
     }
@@ -375,7 +446,10 @@ impl Instruction {
     pub fn branch_offset(&self) -> Option<i32> {
         use Instruction::*;
         match *self {
-            Beq { offset, .. } | Bne { offset, .. } | Blt { offset, .. } | Bge { offset, .. }
+            Beq { offset, .. }
+            | Bne { offset, .. }
+            | Blt { offset, .. }
+            | Bge { offset, .. }
             | Jal { offset, .. } => Some(offset),
             _ => None,
         }
@@ -408,7 +482,11 @@ impl fmt::Display for Instruction {
             Halt => write!(f, "ebreak"),
             Flw { fd, rs1, imm } => write!(f, "flw {fd}, {imm}({rs1})"),
             Vsetvli { rd, rs1, sew, lmul } => write!(f, "vsetvli {rd}, {rs1}, {sew},{lmul}"),
+            Vle8 { vd, rs1 } => write!(f, "vle8.v {vd}, ({rs1})"),
+            Vle16 { vd, rs1 } => write!(f, "vle16.v {vd}, ({rs1})"),
             Vle32 { vd, rs1 } => write!(f, "vle32.v {vd}, ({rs1})"),
+            Vse8 { vs3, rs1 } => write!(f, "vse8.v {vs3}, ({rs1})"),
+            Vse16 { vs3, rs1 } => write!(f, "vse16.v {vs3}, ({rs1})"),
             Vse32 { vs3, rs1 } => write!(f, "vse32.v {vs3}, ({rs1})"),
             VaddVv { vd, vs2, vs1 } => write!(f, "vadd.vv {vd}, {vs2}, {vs1}"),
             VaddVx { vd, vs2, rs1 } => write!(f, "vadd.vx {vd}, {vs2}, {rs1}"),
@@ -443,15 +521,29 @@ mod tests {
     fn class_routing() {
         assert_eq!(Instruction::Nop.class(), InstrClass::ScalarAlu);
         assert_eq!(
-            Instruction::Lw { rd: XReg::T0, rs1: XReg::A0, imm: 0 }.class(),
+            Instruction::Lw {
+                rd: XReg::T0,
+                rs1: XReg::A0,
+                imm: 0
+            }
+            .class(),
             InstrClass::ScalarLoad
         );
         assert_eq!(
-            Instruction::Vle32 { vd: VReg::V1, rs1: XReg::A0 }.class(),
+            Instruction::Vle32 {
+                vd: VReg::V1,
+                rs1: XReg::A0
+            }
+            .class(),
             InstrClass::VLoad
         );
         assert_eq!(
-            Instruction::VindexmacVx { vd: VReg::V1, vs2: VReg::V2, rs: XReg::T0 }.class(),
+            Instruction::VindexmacVx {
+                vd: VReg::V1,
+                vs2: VReg::V2,
+                rs: XReg::T0
+            }
+            .class(),
             InstrClass::VIndexMac
         );
         assert!(InstrClass::VIndexMac.is_vector());
@@ -462,15 +554,27 @@ mod tests {
 
     #[test]
     fn x_dst_suppresses_zero_register() {
-        let i = Instruction::Addi { rd: XReg::ZERO, rs1: XReg::T0, imm: 1 };
+        let i = Instruction::Addi {
+            rd: XReg::ZERO,
+            rs1: XReg::T0,
+            imm: 1,
+        };
         assert_eq!(i.x_dst(), None);
-        let i = Instruction::Addi { rd: XReg::T1, rs1: XReg::T0, imm: 1 };
+        let i = Instruction::Addi {
+            rd: XReg::T1,
+            rs1: XReg::T0,
+            imm: 1,
+        };
         assert_eq!(i.x_dst(), Some(XReg::T1));
     }
 
     #[test]
     fn mac_reads_destination() {
-        let i = Instruction::VfmaccVf { vd: VReg::V3, fs1: FReg::F0, vs2: VReg::V4 };
+        let i = Instruction::VfmaccVf {
+            vd: VReg::V3,
+            fs1: FReg::F0,
+            vs2: VReg::V4,
+        };
         let srcs = i.v_srcs();
         assert!(srcs.contains(&Some(VReg::V3)));
         assert!(srcs.contains(&Some(VReg::V4)));
@@ -480,7 +584,11 @@ mod tests {
 
     #[test]
     fn vindexmac_static_uses() {
-        let i = Instruction::VindexmacVx { vd: VReg::V2, vs2: VReg::V5, rs: XReg::T2 };
+        let i = Instruction::VindexmacVx {
+            vd: VReg::V2,
+            vs2: VReg::V5,
+            rs: XReg::T2,
+        };
         assert_eq!(i.x_srcs(), [Some(XReg::T2), None]);
         assert_eq!(i.v_dst(), Some(VReg::V2));
         let srcs = i.v_srcs();
@@ -490,7 +598,12 @@ mod tests {
 
     #[test]
     fn vindexmac_vvi_static_uses() {
-        let i = Instruction::VindexmacVvi { vd: VReg::V2, vs2: VReg::V5, vs1: VReg::new(9), slot: 3 };
+        let i = Instruction::VindexmacVvi {
+            vd: VReg::V2,
+            vs2: VReg::V5,
+            vs1: VReg::new(9),
+            slot: 3,
+        };
         // No scalar operand at all: the index never leaves the VRF.
         assert_eq!(i.x_srcs(), [None, None]);
         assert_eq!(i.x_dst(), None);
@@ -504,7 +617,11 @@ mod tests {
 
     #[test]
     fn branch_offsets() {
-        let b = Instruction::Bne { rs1: XReg::T0, rs2: XReg::ZERO, offset: -4 };
+        let b = Instruction::Bne {
+            rs1: XReg::T0,
+            rs2: XReg::ZERO,
+            offset: -4,
+        };
         assert_eq!(b.branch_offset(), Some(-4));
         assert_eq!(Instruction::Nop.branch_offset(), None);
     }
@@ -512,35 +629,98 @@ mod tests {
     #[test]
     fn display_smoke() {
         let cases: Vec<(Instruction, &str)> = vec![
-            (Instruction::Li { rd: XReg::T0, imm: -7 }, "li t0, -7"),
             (
-                Instruction::Vle32 { vd: VReg::V8, rs1: XReg::A1 },
+                Instruction::Li {
+                    rd: XReg::T0,
+                    imm: -7,
+                },
+                "li t0, -7",
+            ),
+            (
+                Instruction::Vle32 {
+                    vd: VReg::V8,
+                    rs1: XReg::A1,
+                },
                 "vle32.v v8, (a1)",
             ),
             (
-                Instruction::VindexmacVx { vd: VReg::V1, vs2: VReg::V4, rs: XReg::T3 },
+                Instruction::VindexmacVx {
+                    vd: VReg::V1,
+                    vs2: VReg::V4,
+                    rs: XReg::T3,
+                },
                 "vindexmac.vx v1, v4, t3",
             ),
             (
-                Instruction::Vslide1downVx { vd: VReg::V4, vs2: VReg::V4, rs1: XReg::ZERO },
+                Instruction::Vslide1downVx {
+                    vd: VReg::V4,
+                    vs2: VReg::V4,
+                    rs1: XReg::ZERO,
+                },
                 "vslide1down.vx v4, v4, zero",
             ),
             (
-                Instruction::Vsetvli { rd: XReg::T0, rs1: XReg::A0, sew: Sew::E32, lmul: Lmul::M1 },
+                Instruction::Vsetvli {
+                    rd: XReg::T0,
+                    rs1: XReg::A0,
+                    sew: Sew::E32,
+                    lmul: Lmul::M1,
+                },
                 "vsetvli t0, a0, e32,m1",
             ),
             (
-                Instruction::Vsetvli { rd: XReg::T0, rs1: XReg::A0, sew: Sew::E32, lmul: Lmul::M4 },
+                Instruction::Vsetvli {
+                    rd: XReg::T0,
+                    rs1: XReg::A0,
+                    sew: Sew::E32,
+                    lmul: Lmul::M4,
+                },
                 "vsetvli t0, a0, e32,m4",
             ),
             (
-                Instruction::VindexmacVvi { vd: VReg::V1, vs2: VReg::V4, vs1: VReg::V8, slot: 5 },
+                Instruction::VindexmacVvi {
+                    vd: VReg::V1,
+                    vs2: VReg::V4,
+                    vs1: VReg::V8,
+                    slot: 5,
+                },
                 "vindexmac.vvi v1, v4, v8, 5",
             ),
         ];
         for (i, want) in cases {
             assert_eq!(i.to_string(), want);
         }
+    }
+
+    #[test]
+    fn narrow_memory_ops_share_the_load_store_classes() {
+        let l8 = Instruction::Vle8 {
+            vd: VReg::V1,
+            rs1: XReg::A0,
+        };
+        let l16 = Instruction::Vle16 {
+            vd: VReg::V1,
+            rs1: XReg::A0,
+        };
+        let s8 = Instruction::Vse8 {
+            vs3: VReg::V1,
+            rs1: XReg::A0,
+        };
+        let s16 = Instruction::Vse16 {
+            vs3: VReg::V1,
+            rs1: XReg::A0,
+        };
+        assert_eq!(l8.class(), InstrClass::VLoad);
+        assert_eq!(l16.class(), InstrClass::VLoad);
+        assert_eq!(s8.class(), InstrClass::VStore);
+        assert_eq!(s16.class(), InstrClass::VStore);
+        assert_eq!(l8.v_dst(), Some(VReg::V1));
+        assert_eq!(l8.x_srcs(), [Some(XReg::A0), None]);
+        assert_eq!(s16.v_srcs(), [Some(VReg::V1), None, None]);
+        assert_eq!(l8.to_string(), "vle8.v v1, (a0)");
+        assert_eq!(l16.to_string(), "vle16.v v1, (a0)");
+        assert_eq!(s8.to_string(), "vse8.v v1, (a0)");
+        assert_eq!(s16.to_string(), "vse16.v v1, (a0)");
     }
 
     #[test]

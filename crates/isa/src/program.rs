@@ -175,19 +175,31 @@ impl ProgramBuilder {
     /// `bne rs1, rs2, label` (offset patched at build time).
     pub fn bne(&mut self, rs1: XReg, rs2: XReg, target: Label) -> &mut Self {
         self.fixups.push((self.instrs.len(), target));
-        self.push(Instruction::Bne { rs1, rs2, offset: 0 })
+        self.push(Instruction::Bne {
+            rs1,
+            rs2,
+            offset: 0,
+        })
     }
 
     /// `beq rs1, rs2, label`.
     pub fn beq(&mut self, rs1: XReg, rs2: XReg, target: Label) -> &mut Self {
         self.fixups.push((self.instrs.len(), target));
-        self.push(Instruction::Beq { rs1, rs2, offset: 0 })
+        self.push(Instruction::Beq {
+            rs1,
+            rs2,
+            offset: 0,
+        })
     }
 
     /// `blt rs1, rs2, label`.
     pub fn blt(&mut self, rs1: XReg, rs2: XReg, target: Label) -> &mut Self {
         self.fixups.push((self.instrs.len(), target));
-        self.push(Instruction::Blt { rs1, rs2, offset: 0 })
+        self.push(Instruction::Blt {
+            rs1,
+            rs2,
+            offset: 0,
+        })
     }
 
     /// `ebreak` — terminate simulation.
@@ -207,23 +219,34 @@ impl ProgramBuilder {
             assert_ne!(bound, usize::MAX, "branch references unbound label");
             let off = bound as i64 - *slot as i64;
             let patched = match self.instrs[*slot] {
-                Instruction::Beq { rs1, rs2, .. } => {
-                    Instruction::Beq { rs1, rs2, offset: off as i32 }
-                }
-                Instruction::Bne { rs1, rs2, .. } => {
-                    Instruction::Bne { rs1, rs2, offset: off as i32 }
-                }
-                Instruction::Blt { rs1, rs2, .. } => {
-                    Instruction::Blt { rs1, rs2, offset: off as i32 }
-                }
-                Instruction::Bge { rs1, rs2, .. } => {
-                    Instruction::Bge { rs1, rs2, offset: off as i32 }
-                }
+                Instruction::Beq { rs1, rs2, .. } => Instruction::Beq {
+                    rs1,
+                    rs2,
+                    offset: off as i32,
+                },
+                Instruction::Bne { rs1, rs2, .. } => Instruction::Bne {
+                    rs1,
+                    rs2,
+                    offset: off as i32,
+                },
+                Instruction::Blt { rs1, rs2, .. } => Instruction::Blt {
+                    rs1,
+                    rs2,
+                    offset: off as i32,
+                },
+                Instruction::Bge { rs1, rs2, .. } => Instruction::Bge {
+                    rs1,
+                    rs2,
+                    offset: off as i32,
+                },
                 other => unreachable!("fixup on non-branch {other}"),
             };
             self.instrs[*slot] = patched;
         }
-        Program { instrs: self.instrs, comments: self.comments }
+        Program {
+            instrs: self.instrs,
+            comments: self.comments,
+        }
     }
 }
 
@@ -256,7 +279,11 @@ mod tests {
         // Branch at slot 2 targets slot 1 -> offset -1.
         assert_eq!(
             p.fetch(2),
-            Some(&Instruction::Bne { rs1: XReg::T0, rs2: XReg::ZERO, offset: -1 })
+            Some(&Instruction::Bne {
+                rs1: XReg::T0,
+                rs2: XReg::ZERO,
+                offset: -1
+            })
         );
     }
 
@@ -271,7 +298,11 @@ mod tests {
         let p = b.build();
         assert_eq!(
             p.fetch(0),
-            Some(&Instruction::Beq { rs1: XReg::T0, rs2: XReg::ZERO, offset: 2 })
+            Some(&Instruction::Beq {
+                rs1: XReg::T0,
+                rs2: XReg::ZERO,
+                offset: 2
+            })
         );
     }
 
@@ -297,7 +328,10 @@ mod tests {
     fn comments_attach_to_next_instruction() {
         let mut b = ProgramBuilder::new();
         b.comment("preload B tile");
-        b.push(Instruction::Vle32 { vd: VReg::V16, rs1: XReg::A0 });
+        b.push(Instruction::Vle32 {
+            vd: VReg::V16,
+            rs1: XReg::A0,
+        });
         b.halt();
         let p = b.build();
         assert_eq!(p.comment(0), Some("preload B tile"));
@@ -310,8 +344,14 @@ mod tests {
     #[test]
     fn count_helper() {
         let mut b = ProgramBuilder::new();
-        b.push(Instruction::Vle32 { vd: VReg::V1, rs1: XReg::A0 });
-        b.push(Instruction::Vle32 { vd: VReg::V2, rs1: XReg::A0 });
+        b.push(Instruction::Vle32 {
+            vd: VReg::V1,
+            rs1: XReg::A0,
+        });
+        b.push(Instruction::Vle32 {
+            vd: VReg::V2,
+            rs1: XReg::A0,
+        });
         b.halt();
         let p = b.build();
         assert_eq!(p.count(|i| matches!(i, Instruction::Vle32 { .. })), 2);
@@ -321,7 +361,11 @@ mod tests {
     fn encode_whole_program() {
         let mut b = ProgramBuilder::new();
         b.li(XReg::T0, 5); // fits addi
-        b.push(Instruction::VindexmacVx { vd: VReg::V1, vs2: VReg::V2, rs: XReg::T0 });
+        b.push(Instruction::VindexmacVx {
+            vd: VReg::V1,
+            vs2: VReg::V2,
+            rs: XReg::T0,
+        });
         b.halt();
         let words = b.build().encode().unwrap();
         assert_eq!(words.len(), 3);

@@ -180,16 +180,32 @@ mod tests {
     #[test]
     fn vlmax_matches_table_i() {
         // 512-bit VLEN with 32-bit elements -> 16 elements (Table I).
-        let vt = VType { sew: Sew::E32, lmul: Lmul::M1 };
+        let vt = VType {
+            sew: Sew::E32,
+            lmul: Lmul::M1,
+        };
         assert_eq!(vt.vlmax(512), 16);
         assert_eq!(vt.vlmax(256), 8);
-        assert_eq!(VType { sew: Sew::E64, lmul: Lmul::M1 }.vlmax(512), 8);
+        assert_eq!(
+            VType {
+                sew: Sew::E64,
+                lmul: Lmul::M1
+            }
+            .vlmax(512),
+            8
+        );
     }
 
     #[test]
     fn vlmax_scales_with_grouping() {
-        let m2 = VType { sew: Sew::E32, lmul: Lmul::M2 };
-        let m4 = VType { sew: Sew::E32, lmul: Lmul::M4 };
+        let m2 = VType {
+            sew: Sew::E32,
+            lmul: Lmul::M2,
+        };
+        let m4 = VType {
+            sew: Sew::E32,
+            lmul: Lmul::M4,
+        };
         assert_eq!(m2.vlmax(512), 32);
         assert_eq!(m4.vlmax(512), 64);
         assert_eq!(m4.grant_vl(100, 512), 64);
@@ -197,7 +213,10 @@ mod tests {
 
     #[test]
     fn grant_vl_rule() {
-        let vt = VType { sew: Sew::E32, lmul: Lmul::M1 };
+        let vt = VType {
+            sew: Sew::E32,
+            lmul: Lmul::M1,
+        };
         assert_eq!(vt.grant_vl(100, 512), 16);
         assert_eq!(vt.grant_vl(7, 512), 7);
         assert_eq!(vt.grant_vl(0, 512), 0);
@@ -222,7 +241,11 @@ mod tests {
         assert_eq!(Lmul::M2.to_string(), "m2");
         assert_eq!(VType::default().to_string(), "e32,m1");
         assert_eq!(
-            VType { sew: Sew::E32, lmul: Lmul::M4 }.to_string(),
+            VType {
+                sew: Sew::E32,
+                lmul: Lmul::M4
+            }
+            .to_string(),
             "e32,m4"
         );
     }

@@ -29,7 +29,11 @@ fn imm12() -> impl Strategy<Value = i32> {
 /// dedicated tests instead).
 fn encodable() -> impl Strategy<Value = Instruction> {
     prop_oneof![
-        (xreg_nonzero(), xreg_nonzero(), (-2047i32..2048).prop_filter("non-mv", |i| *i != 0))
+        (
+            xreg_nonzero(),
+            xreg_nonzero(),
+            (-2047i32..2048).prop_filter("non-mv", |i| *i != 0)
+        )
             .prop_map(|(rd, rs1, imm)| Instruction::Addi { rd, rs1, imm }),
         (xreg(), xreg(), xreg()).prop_map(|(rd, rs1, rs2)| Instruction::Add { rd, rs1, rs2 }),
         (xreg(), xreg(), xreg()).prop_map(|(rd, rs1, rs2)| Instruction::Sub { rd, rs1, rs2 }),
@@ -67,11 +71,20 @@ fn encodable() -> impl Strategy<Value = Instruction> {
         (
             xreg(),
             xreg(),
-            prop_oneof![Just(Sew::E8), Just(Sew::E16), Just(Sew::E32), Just(Sew::E64)],
+            prop_oneof![
+                Just(Sew::E8),
+                Just(Sew::E16),
+                Just(Sew::E32),
+                Just(Sew::E64)
+            ],
             prop_oneof![Just(Lmul::M1), Just(Lmul::M2), Just(Lmul::M4)],
         )
             .prop_map(|(rd, rs1, sew, lmul)| Instruction::Vsetvli { rd, rs1, sew, lmul }),
+        (vreg(), xreg()).prop_map(|(vd, rs1)| Instruction::Vle8 { vd, rs1 }),
+        (vreg(), xreg()).prop_map(|(vd, rs1)| Instruction::Vle16 { vd, rs1 }),
         (vreg(), xreg()).prop_map(|(vd, rs1)| Instruction::Vle32 { vd, rs1 }),
+        (vreg(), xreg()).prop_map(|(vs3, rs1)| Instruction::Vse8 { vs3, rs1 }),
+        (vreg(), xreg()).prop_map(|(vs3, rs1)| Instruction::Vse16 { vs3, rs1 }),
         (vreg(), xreg()).prop_map(|(vs3, rs1)| Instruction::Vse32 { vs3, rs1 }),
         (vreg(), vreg(), vreg()).prop_map(|(vd, vs2, vs1)| Instruction::VaddVv { vd, vs2, vs1 }),
         (vreg(), vreg(), xreg()).prop_map(|(vd, vs2, rs1)| Instruction::VaddVx { vd, vs2, rs1 }),
@@ -88,18 +101,19 @@ fn encodable() -> impl Strategy<Value = Instruction> {
         (xreg(), vreg()).prop_map(|(rd, vs2)| Instruction::VmvXs { rd, vs2 }),
         (vreg(), xreg()).prop_map(|(vd, rs1)| Instruction::VmvSx { vd, rs1 }),
         (freg(), vreg()).prop_map(|(fd, vs2)| Instruction::VfmvFs { fd, vs2 }),
-        (vreg(), vreg(), xreg())
-            .prop_map(|(vd, vs2, rs1)| Instruction::Vslide1downVx { vd, vs2, rs1 }),
-        (vreg(), vreg(), 0u8..32)
-            .prop_map(|(vd, vs2, imm)| Instruction::VslidedownVi { vd, vs2, imm }),
-        (vreg(), vreg(), xreg()).prop_map(|(vd, vs2, rs)| Instruction::VindexmacVx {
+        (vreg(), vreg(), xreg()).prop_map(|(vd, vs2, rs1)| Instruction::Vslide1downVx {
             vd,
             vs2,
-            rs
+            rs1
         }),
-        (vreg(), vreg(), vreg(), 0u8..32).prop_map(|(vd, vs2, vs1, slot)| {
-            Instruction::VindexmacVvi { vd, vs2, vs1, slot }
+        (vreg(), vreg(), 0u8..32).prop_map(|(vd, vs2, imm)| Instruction::VslidedownVi {
+            vd,
+            vs2,
+            imm
         }),
+        (vreg(), vreg(), xreg()).prop_map(|(vd, vs2, rs)| Instruction::VindexmacVx { vd, vs2, rs }),
+        (vreg(), vreg(), vreg(), 0u8..32)
+            .prop_map(|(vd, vs2, vs1, slot)| { Instruction::VindexmacVvi { vd, vs2, vs1, slot } }),
     ]
 }
 
@@ -124,7 +138,11 @@ proptest! {
             Instruction::VindexmacVx { vd, vs2, rs },
             Instruction::Vslide1downVx { vd, vs2, rs1: rs },
             Instruction::VmaccVx { vd, rs1: rs, vs2 },
+            Instruction::Vle8 { vd, rs1: rs },
+            Instruction::Vle16 { vd, rs1: rs },
             Instruction::Vle32 { vd, rs1: rs },
+            Instruction::Vse8 { vs3: vd, rs1: rs },
+            Instruction::Vse16 { vs3: vd, rs1: rs },
             Instruction::Vse32 { vs3: vd, rs1: rs },
         ] {
             let w = encode(&i).unwrap();

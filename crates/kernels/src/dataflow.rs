@@ -29,8 +29,11 @@ pub enum Dataflow {
 
 impl Dataflow {
     /// All three dataflows, for sweeps.
-    pub const ALL: [Dataflow; 3] =
-        [Dataflow::AStationary, Dataflow::BStationary, Dataflow::CStationary];
+    pub const ALL: [Dataflow; 3] = [
+        Dataflow::AStationary,
+        Dataflow::BStationary,
+        Dataflow::CStationary,
+    ];
 }
 
 impl fmt::Display for Dataflow {

@@ -17,9 +17,9 @@
 //! kernels on an N:M-pruned matrix.
 
 use crate::emit::{
-    require_ungrouped,
-    bslice_vreg, c_addr_xreg, c_vreg, emit_loop_step, emit_prologue, emit_vload_abs, value_freg,
-    values_vreg, ADDR_SCRATCH, CTR_COLTILES, CTR_KTILES, CTR_NNZ, CTR_ROWS, MAX_UNROLL,
+    bslice_vreg, c_addr_xreg, c_vreg, emit_loop_step, emit_prologue, emit_vload_abs, require_f32,
+    require_ungrouped, value_freg, values_vreg, ADDR_SCRATCH, CTR_COLTILES, CTR_KTILES, CTR_NNZ,
+    CTR_ROWS, MAX_UNROLL,
 };
 use crate::error::KernelError;
 use crate::layout::GemmLayout;
@@ -34,8 +34,12 @@ use indexmac_isa::{Instruction, Program, ProgramBuilder, XReg};
 /// `1..=4`.
 pub fn build(layout: &GemmLayout, params: &KernelParams) -> Result<Program, KernelError> {
     require_ungrouped(layout)?;
+    require_f32(layout)?;
     if params.unroll == 0 || params.unroll > MAX_UNROLL {
-        return Err(KernelError::BadUnroll { unroll: params.unroll, max: MAX_UNROLL });
+        return Err(KernelError::BadUnroll {
+            unroll: params.unroll,
+            max: MAX_UNROLL,
+        });
     }
     let unroll = params.unroll;
     let vl = layout.vl;
@@ -62,15 +66,24 @@ pub fn build(layout: &GemmLayout, params: &KernelParams) -> Result<Program, Kern
                     let row = row0 + r;
                     b.li(c_addr_xreg(r), layout.c_addr(row, ct * vl) as i64);
                     emit_vload_abs(&mut b, values_vreg(r), layout.a_dense_addr(row, kc * vl));
-                    b.push(Instruction::Vle32 { vd: c_vreg(r), rs1: c_addr_xreg(r) });
+                    b.push(Instruction::Vle32 {
+                        vd: c_vreg(r),
+                        rs1: c_addr_xreg(r),
+                    });
                 }
                 b.li(CTR_NNZ, chunk_len as i64);
                 for e in 0..chunk_len {
                     // One shared B-row slice per inner step.
                     b.li(ADDR_SCRATCH, layout.b_addr(kc * vl + e, ct * vl) as i64);
-                    b.push(Instruction::Vle32 { vd: bslice_vreg(0), rs1: ADDR_SCRATCH });
+                    b.push(Instruction::Vle32 {
+                        vd: bslice_vreg(0),
+                        rs1: ADDR_SCRATCH,
+                    });
                     for r in 0..u_eff {
-                        b.push(Instruction::VfmvFs { fd: value_freg(r), vs2: values_vreg(r) });
+                        b.push(Instruction::VfmvFs {
+                            fd: value_freg(r),
+                            vs2: values_vreg(r),
+                        });
                     }
                     for r in 0..u_eff {
                         b.push(Instruction::VfmaccVf {
@@ -89,7 +102,10 @@ pub fn build(layout: &GemmLayout, params: &KernelParams) -> Result<Program, Kern
                     emit_loop_step(&mut b, CTR_NNZ);
                 }
                 for r in 0..u_eff {
-                    b.push(Instruction::Vse32 { vs3: c_vreg(r), rs1: c_addr_xreg(r) });
+                    b.push(Instruction::Vse32 {
+                        vs3: c_vreg(r),
+                        rs1: c_addr_xreg(r),
+                    });
                 }
                 emit_loop_step(&mut b, CTR_ROWS);
             }
@@ -122,9 +138,7 @@ mod tests {
         let a = prune::random_structured(4, 16, NmPattern::P2_4, 2);
         let l = GemmLayout::plan(&a, 16, &SimConfig::table_i(), 16).unwrap();
         let p = build(&l, &KernelParams::default()).unwrap();
-        let b_loads = p.count(
-            |i| matches!(i, Instruction::Vle32 { vd, .. } if vd.index() == 12),
-        );
+        let b_loads = p.count(|i| matches!(i, Instruction::Vle32 { vd, .. } if vd.index() == 12));
         // inner * coltiles, independent of the unroll factor.
         assert_eq!(b_loads, 16);
     }
@@ -133,6 +147,13 @@ mod tests {
     fn rejects_bad_unroll() {
         let a = prune::random_structured(2, 8, NmPattern::P1_4, 2);
         let l = GemmLayout::plan(&a, 8, &SimConfig::table_i(), 16).unwrap();
-        assert!(build(&l, &KernelParams { unroll: 0, ..Default::default() }).is_err());
+        assert!(build(
+            &l,
+            &KernelParams {
+                unroll: 0,
+                ..Default::default()
+            }
+        )
+        .is_err());
     }
 }

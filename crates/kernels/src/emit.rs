@@ -93,8 +93,37 @@ pub const B_COLTILE_BASE: XReg = XReg::S5;
 /// Emits a `vsetvli` requesting `avl` elements at SEW=32 under `lmul`
 /// register grouping (via the scratch register).
 pub fn emit_vsetvli(b: &mut ProgramBuilder, avl: usize, lmul: Lmul) {
+    emit_vsetvli_sew(b, avl, Sew::E32, lmul);
+}
+
+/// Emits a `vsetvli` requesting `avl` elements at an explicit element
+/// width under `lmul` register grouping.
+pub fn emit_vsetvli_sew(b: &mut ProgramBuilder, avl: usize, sew: Sew, lmul: Lmul) {
     b.li(ADDR_SCRATCH, avl as i64);
-    b.push(Instruction::Vsetvli { rd: XReg::ZERO, rs1: ADDR_SCRATCH, sew: Sew::E32, lmul });
+    b.push(Instruction::Vsetvli {
+        rd: XReg::ZERO,
+        rs1: ADDR_SCRATCH,
+        sew,
+        lmul,
+    });
+}
+
+/// The unit-stride load instruction matching an element width.
+pub fn vload_instr(sew: Sew, vd: VReg, rs1: XReg) -> Instruction {
+    match sew {
+        Sew::E8 => Instruction::Vle8 { vd, rs1 },
+        Sew::E16 => Instruction::Vle16 { vd, rs1 },
+        _ => Instruction::Vle32 { vd, rs1 },
+    }
+}
+
+/// The unit-stride store instruction matching an element width.
+pub fn vstore_instr(sew: Sew, vs3: VReg, rs1: XReg) -> Instruction {
+    match sew {
+        Sew::E8 => Instruction::Vse8 { vs3, rs1 },
+        Sew::E16 => Instruction::Vse16 { vs3, rs1 },
+        _ => Instruction::Vse32 { vs3, rs1 },
+    }
 }
 
 /// Emits the one-time prologue: row-stride constant and `vsetvli` to the
@@ -119,6 +148,76 @@ pub fn require_ungrouped(layout: &GemmLayout) -> Result<(), KernelError> {
     Ok(())
 }
 
+/// Rejects quantized layouts: the walk-based baselines move values
+/// through `f0..f3` and `vfmacc.vf`, which have no integer semantics —
+/// only the `vindexmac` kernels own a widening emission path.
+pub fn require_f32(layout: &GemmLayout) -> Result<(), KernelError> {
+    if layout.elem != indexmac_sparse::ElemType::F32 {
+        return Err(KernelError::UnsupportedPrecision {
+            elem: match layout.elem {
+                indexmac_sparse::ElemType::I8 => "i8",
+                indexmac_sparse::ElemType::I16 => "i16",
+                indexmac_sparse::ElemType::F32 => unreachable!(),
+            },
+            reason: "this kernel is f32-only (use indexmac/indexmac2 for quantized runs)",
+        });
+    }
+    Ok(())
+}
+
+/// C-accumulator group base of unrolled row `r` when each accumulator
+/// spans `acc` consecutive registers (`LMUL` at f32, `LMUL · 32/SEW`
+/// with widening): row `r` starts at `v(r·acc)`. This is the single
+/// source of the packed bank geometry shared by both `vindexmac`
+/// kernel families.
+pub fn c_bank_vreg(r: usize, acc: usize) -> VReg {
+    debug_assert!(r < MAX_UNROLL);
+    VReg::new((r * acc) as u8)
+}
+
+/// `values` metadata register of unrolled row `r` in the packed bank
+/// layout: the metadata banks start right after the `unroll`
+/// accumulator groups.
+pub fn values_bank_vreg(r: usize, unroll: usize, acc: usize) -> VReg {
+    debug_assert!(r < unroll);
+    VReg::new((unroll * acc + r) as u8)
+}
+
+/// `col_idx` metadata register of unrolled row `r` in the packed bank
+/// layout (see [`values_bank_vreg`]).
+pub fn colidx_bank_vreg(r: usize, unroll: usize, acc: usize) -> VReg {
+    debug_assert!(r < unroll);
+    VReg::new((unroll * acc + unroll + r) as u8)
+}
+
+/// C-accumulator register of unrolled row `r` under a widening factor
+/// `widen = 32/SEW`. `widen = 1` is the classic [`c_vreg`] bank.
+pub fn c_vreg_w(r: usize, widen: usize) -> VReg {
+    c_bank_vreg(r, widen)
+}
+
+/// `values` metadata register of unrolled row `r` for Algorithm 3's
+/// widened layouts. At `widen = 1` this is the classic fixed
+/// [`values_vreg`] bank (`v4..v7` regardless of unroll, as the paper's
+/// listings pin); widened layouts use the packed bank geometry.
+pub fn values_vreg_w(r: usize, unroll: usize, widen: usize) -> VReg {
+    if widen == 1 {
+        values_vreg(r)
+    } else {
+        values_bank_vreg(r, unroll, widen)
+    }
+}
+
+/// `col_idx` metadata register of unrolled row `r` for Algorithm 3's
+/// widened layouts (see [`values_vreg_w`]).
+pub fn colidx_vreg_w(r: usize, unroll: usize, widen: usize) -> VReg {
+    if widen == 1 {
+        colidx_vreg(r)
+    } else {
+        colidx_bank_vreg(r, unroll, widen)
+    }
+}
+
 /// Emits one dynamic iteration of loop control: decrement `counter` and
 /// branch (taken) to the next instruction while it is non-zero. The
 /// final iteration's branch falls through, exactly like rolled code.
@@ -131,8 +230,14 @@ pub fn emit_loop_step(b: &mut ProgramBuilder, counter: XReg) {
 
 /// Emits a `vle32` from an absolute address via the scratch register.
 pub fn emit_vload_abs(b: &mut ProgramBuilder, vd: VReg, addr: u64) {
+    emit_vload_abs_sew(b, vd, addr, Sew::E32);
+}
+
+/// Emits an element-width-matched unit-stride load from an absolute
+/// address via the scratch register.
+pub fn emit_vload_abs_sew(b: &mut ProgramBuilder, vd: VReg, addr: u64, sew: Sew) {
     b.li(ADDR_SCRATCH, addr as i64);
-    b.push(Instruction::Vle32 { vd, rs1: ADDR_SCRATCH });
+    b.push(vload_instr(sew, vd, ADDR_SCRATCH));
 }
 
 #[cfg(test)]
@@ -143,20 +248,34 @@ mod tests {
     #[test]
     fn register_banks_do_not_collide() {
         for r in 0..MAX_UNROLL {
-            let regs =
-                [c_vreg(r).index(), values_vreg(r).index(), colidx_vreg(r).index(), bslice_vreg(r).index()];
+            let regs = [
+                c_vreg(r).index(),
+                values_vreg(r).index(),
+                colidx_vreg(r).index(),
+                bslice_vreg(r).index(),
+            ];
             for (i, a) in regs.iter().enumerate() {
                 for bix in regs.iter().skip(i + 1) {
                     assert_ne!(a, bix);
                 }
             }
-            assert!(regs.iter().all(|x| *x < 16), "banks must stay below the tile base");
+            assert!(
+                regs.iter().all(|x| *x < 16),
+                "banks must stay below the tile base"
+            );
         }
     }
 
     #[test]
     fn scratch_and_addr_regs_distinct_from_counters() {
-        let counters = [CTR_NNZ, CTR_ROWS, CTR_COLTILES, CTR_KTILES, ADDR_SCRATCH, ROW_STRIDE];
+        let counters = [
+            CTR_NNZ,
+            CTR_ROWS,
+            CTR_COLTILES,
+            CTR_KTILES,
+            ADDR_SCRATCH,
+            ROW_STRIDE,
+        ];
         for r in 0..MAX_UNROLL {
             assert!(!counters.contains(&scratch_xreg(r)));
             assert!(!counters.contains(&c_addr_xreg(r)));

@@ -42,6 +42,14 @@ pub enum KernelError {
         /// Why it was rejected.
         reason: &'static str,
     },
+    /// The kernel has no emission path at the layout's element
+    /// precision (only the `vindexmac` kernels support i8/i16).
+    UnsupportedPrecision {
+        /// The layout's element precision, as displayed.
+        elem: &'static str,
+        /// Why it was rejected.
+        reason: &'static str,
+    },
 }
 
 impl fmt::Display for KernelError {
@@ -51,16 +59,25 @@ impl fmt::Display for KernelError {
                 write!(f, "invalid B-tile rows L={tile_rows}: {reason}")
             }
             KernelError::TooManySlotsPerTile { slots, vl } => {
-                write!(f, "{slots} metadata slots per tile exceed the vector length {vl}")
+                write!(
+                    f,
+                    "{slots} metadata slots per tile exceed the vector length {vl}"
+                )
             }
             KernelError::BadUnroll { unroll, max } => {
-                write!(f, "unroll factor {unroll} exceeds the register budget (max {max})")
+                write!(
+                    f,
+                    "unroll factor {unroll} exceeds the register budget (max {max})"
+                )
             }
             KernelError::DimensionMismatch { a_cols, b_rows } => {
                 write!(f, "A has {a_cols} columns but B has {b_rows} rows")
             }
             KernelError::BadGrouping { lmul, reason } => {
                 write!(f, "invalid register grouping LMUL={lmul}: {reason}")
+            }
+            KernelError::UnsupportedPrecision { elem, reason } => {
+                write!(f, "unsupported element precision {elem}: {reason}")
             }
         }
     }
@@ -75,11 +92,24 @@ mod tests {
     #[test]
     fn display_all_variants() {
         for e in [
-            KernelError::BadTileRows { tile_rows: 3, reason: "not a multiple of M" },
+            KernelError::BadTileRows {
+                tile_rows: 3,
+                reason: "not a multiple of M",
+            },
             KernelError::TooManySlotsPerTile { slots: 32, vl: 16 },
             KernelError::BadUnroll { unroll: 8, max: 4 },
-            KernelError::DimensionMismatch { a_cols: 8, b_rows: 9 },
-            KernelError::BadGrouping { lmul: 3, reason: "not a power of two" },
+            KernelError::DimensionMismatch {
+                a_cols: 8,
+                b_rows: 9,
+            },
+            KernelError::BadGrouping {
+                lmul: 3,
+                reason: "not a power of two",
+            },
+            KernelError::UnsupportedPrecision {
+                elem: "i8",
+                reason: "f32-only kernel",
+            },
         ] {
             assert!(!e.to_string().is_empty());
         }

@@ -19,32 +19,56 @@
 //! (that is what makes the tile pinnable at all).
 
 use crate::emit::{
-    require_ungrouped,
-    c_addr_xreg, c_vreg, colidx_vreg, emit_loop_step, emit_prologue, emit_vload_abs,
-    scratch_xreg, values_vreg, ADDR_SCRATCH, CTR_COLTILES, CTR_KTILES, CTR_NNZ, CTR_ROWS,
-    MAX_UNROLL, ROW_STRIDE,
+    c_addr_xreg, c_vreg_w, colidx_vreg_w, emit_loop_step, emit_vload_abs_sew, emit_vsetvli_sew,
+    require_ungrouped, scratch_xreg, values_vreg_w, vload_instr, ADDR_SCRATCH, CTR_COLTILES,
+    CTR_KTILES, CTR_NNZ, CTR_ROWS, MAX_UNROLL, ROW_STRIDE,
 };
 use crate::error::KernelError;
 use crate::layout::GemmLayout;
 use crate::KernelParams;
-use indexmac_isa::{Instruction, Program, ProgramBuilder, VReg, XReg};
+use indexmac_isa::{Instruction, Lmul, Program, ProgramBuilder, VReg, XReg};
+
+/// Largest unroll factor whose accumulator groups and metadata
+/// registers fit below the resident tile: at the quantized widths the
+/// widening accumulator takes `32/SEW` registers per unrolled row, so
+/// `u * (widen + 2) <= tile_vreg_base`.
+pub fn max_unroll(layout: &GemmLayout) -> usize {
+    let widen = layout.elem.widen();
+    if widen == 1 {
+        MAX_UNROLL
+    } else {
+        (layout.tile_vreg_base as usize / (widen + 2)).min(MAX_UNROLL)
+    }
+}
 
 /// Builds the proposed vindexmac kernel for `layout`.
 ///
 /// `params.dataflow` is ignored: Algorithm 3 is inherently B-stationary.
+/// Quantized layouts ([`indexmac_sparse::ElemType::I8`]/`I16`) emit the
+/// widening variant: B tiles, metadata loads and the slide walk run at
+/// the narrow SEW, while the C accumulators are `32/SEW`-register
+/// groups loaded and stored at `e32,m{32/SEW}`.
 ///
 /// # Errors
 ///
-/// Returns [`KernelError::BadUnroll`] when `params.unroll` is outside
-/// `1..=4`.
+/// Returns [`KernelError::BadUnroll`] when `params.unroll` is zero or
+/// exceeds [`max_unroll`] for the layout's precision.
 pub fn build(layout: &GemmLayout, params: &KernelParams) -> Result<Program, KernelError> {
     require_ungrouped(layout)?;
-    if params.unroll == 0 || params.unroll > MAX_UNROLL {
-        return Err(KernelError::BadUnroll { unroll: params.unroll, max: MAX_UNROLL });
+    if params.unroll == 0 || params.unroll > max_unroll(layout) {
+        return Err(KernelError::BadUnroll {
+            unroll: params.unroll,
+            max: max_unroll(layout),
+        });
     }
     let unroll = params.unroll;
+    let sew = layout.sew();
+    let widen = layout.elem.widen();
+    let acc_grouping = Lmul::from_factor(widen).expect("widen is 1, 2 or 4");
     let mut b = ProgramBuilder::new();
-    emit_prologue(&mut b, layout.vl, layout.row_stride_bytes);
+    b.comment("prologue: vl = VLMAX at the operand SEW, row stride constant");
+    emit_vsetvli_sew(&mut b, layout.vl, sew, Lmul::M1);
+    b.li(ROW_STRIDE, layout.row_stride_bytes as i64);
 
     let groups: Vec<(usize, usize)> = (0..layout.dims.rows.div_ceil(unroll))
         .map(|g| {
@@ -64,40 +88,76 @@ pub fn build(layout: &GemmLayout, params: &KernelParams) -> Result<Program, Kern
                 for r in 0..u_eff {
                     let row = row0 + r;
                     b.li(c_addr_xreg(r), layout.c_addr(row, ct * layout.vl) as i64);
-                    emit_vload_abs(&mut b, values_vreg(r), layout.values_addr(row, kt));
-                    emit_vload_abs(&mut b, colidx_vreg(r), layout.colidx_vregs_addr(row, kt));
-                    b.push(Instruction::Vle32 { vd: c_vreg(r), rs1: c_addr_xreg(r) });
+                    emit_vload_abs_sew(
+                        &mut b,
+                        values_vreg_w(r, unroll, widen),
+                        layout.values_addr(row, kt),
+                        sew,
+                    );
+                    emit_vload_abs_sew(
+                        &mut b,
+                        colidx_vreg_w(r, unroll, widen),
+                        layout.colidx_vregs_addr(row, kt),
+                        sew,
+                    );
+                }
+                // The widening accumulator is an e32 group of `widen`
+                // registers: load it under e32,m{widen}, then return to
+                // the operand SEW for the MAC walk.
+                if widen > 1 {
+                    emit_vsetvli_sew(&mut b, layout.vl, indexmac_isa::Sew::E32, acc_grouping);
+                }
+                for r in 0..u_eff {
+                    b.push(Instruction::Vle32 {
+                        vd: c_vreg_w(r, widen),
+                        rs1: c_addr_xreg(r),
+                    });
+                }
+                if widen > 1 {
+                    emit_vsetvli_sew(&mut b, layout.vl, sew, Lmul::M1);
                 }
                 // Inner loop over the fixed N*L/M slots (lines 9–14).
                 b.li(CTR_NNZ, layout.slots_per_tile as i64);
                 for _q in 0..layout.slots_per_tile {
                     for r in 0..u_eff {
-                        b.push(Instruction::VmvXs { rd: scratch_xreg(r), vs2: colidx_vreg(r) });
+                        b.push(Instruction::VmvXs {
+                            rd: scratch_xreg(r),
+                            vs2: colidx_vreg_w(r, unroll, widen),
+                        });
                     }
                     for r in 0..u_eff {
                         b.push(Instruction::VindexmacVx {
-                            vd: c_vreg(r),
-                            vs2: values_vreg(r),
+                            vd: c_vreg_w(r, widen),
+                            vs2: values_vreg_w(r, unroll, widen),
                             rs: scratch_xreg(r),
                         });
                     }
                     for r in 0..u_eff {
                         b.push(Instruction::Vslide1downVx {
-                            vd: values_vreg(r),
-                            vs2: values_vreg(r),
+                            vd: values_vreg_w(r, unroll, widen),
+                            vs2: values_vreg_w(r, unroll, widen),
                             rs1: XReg::ZERO,
                         });
                         b.push(Instruction::Vslide1downVx {
-                            vd: colidx_vreg(r),
-                            vs2: colidx_vreg(r),
+                            vd: colidx_vreg_w(r, unroll, widen),
+                            vs2: colidx_vreg_w(r, unroll, widen),
                             rs1: XReg::ZERO,
                         });
                     }
                     emit_loop_step(&mut b, CTR_NNZ);
                 }
                 // Store the updated C slices (line 15).
+                if widen > 1 {
+                    emit_vsetvli_sew(&mut b, layout.vl, indexmac_isa::Sew::E32, acc_grouping);
+                }
                 for r in 0..u_eff {
-                    b.push(Instruction::Vse32 { vs3: c_vreg(r), rs1: c_addr_xreg(r) });
+                    b.push(Instruction::Vse32 {
+                        vs3: c_vreg_w(r, widen),
+                        rs1: c_addr_xreg(r),
+                    });
+                }
+                if widen > 1 {
+                    emit_vsetvli_sew(&mut b, layout.vl, sew, Lmul::M1);
                 }
                 emit_loop_step(&mut b, CTR_ROWS);
             }
@@ -110,18 +170,23 @@ pub fn build(layout: &GemmLayout, params: &KernelParams) -> Result<Program, Kern
 }
 
 /// Pre-loads the `L x VL` tile `B[kt*L .., ct*VL ..]` into the top of
-/// the vector register file (paper Algorithm 3 lines 2–4).
+/// the vector register file (paper Algorithm 3 lines 2–4), at the
+/// operand element width.
 fn emit_tile_preload(b: &mut ProgramBuilder, layout: &GemmLayout, kt: usize, ct: usize) {
     b.comment(format!(
         "preload B tile kt={kt} ct={ct} into v{}..v31",
         layout.tile_vreg_base
     ));
-    b.li(ADDR_SCRATCH, layout.b_addr(kt * layout.tile_rows, ct * layout.vl) as i64);
+    b.li(
+        ADDR_SCRATCH,
+        layout.b_addr(kt * layout.tile_rows, ct * layout.vl) as i64,
+    );
     for l in 0..layout.tile_rows {
-        b.push(Instruction::Vle32 {
-            vd: VReg::new(layout.tile_vreg_base + l as u8),
-            rs1: ADDR_SCRATCH,
-        });
+        b.push(vload_instr(
+            layout.sew(),
+            VReg::new(layout.tile_vreg_base + l as u8),
+            ADDR_SCRATCH,
+        ));
         if l + 1 < layout.tile_rows {
             b.add(ADDR_SCRATCH, ADDR_SCRATCH, ROW_STRIDE);
         }
@@ -133,10 +198,17 @@ pub fn count_indexmacs(program: &Program) -> usize {
     program.count(|i| matches!(i, Instruction::VindexmacVx { .. }))
 }
 
-/// Static count of B-tile preload loads (`vle32` into the tile range).
+/// Static count of B-tile preload loads (any-width unit-stride loads
+/// into the tile range — `vle8`/`vle16`/`vle32` per the layout's SEW).
 pub fn count_preloads(program: &Program, layout: &GemmLayout) -> usize {
     program.count(|i| {
-        matches!(i, Instruction::Vle32 { vd, .. } if vd.index() >= layout.tile_vreg_base)
+        matches!(
+            i,
+            Instruction::Vle8 { vd, .. }
+                | Instruction::Vle16 { vd, .. }
+                | Instruction::Vle32 { vd, .. }
+            if vd.index() >= layout.tile_vreg_base
+        )
     })
 }
 
@@ -157,11 +229,13 @@ mod tests {
         let l = layout(NmPattern::P1_4);
         let p = build(&l, &KernelParams::default()).unwrap();
         // One vindexmac per (row, slot, ktile, coltile).
-        let expected =
-            l.dims.rows * l.slots_per_tile * l.num_ktiles * l.num_coltiles;
+        let expected = l.dims.rows * l.slots_per_tile * l.num_ktiles * l.num_coltiles;
         assert_eq!(count_indexmacs(&p), expected);
         // L preloads per (ktile, coltile).
-        assert_eq!(count_preloads(&p, &l), l.tile_rows * l.num_ktiles * l.num_coltiles);
+        assert_eq!(
+            count_preloads(&p, &l),
+            l.tile_rows * l.num_ktiles * l.num_coltiles
+        );
     }
 
     #[test]
@@ -183,9 +257,8 @@ mod tests {
         let nnz_ops = l.dims.rows * l.slots_per_tile * l.num_ktiles * l.num_coltiles;
         // Alg2 per nonzero: vmv.x.s + vle32 + vfmv.f.s + vfmacc + 2 slides = 6
         // Alg3 per nonzero: vmv.x.s + vindexmac + 2 slides = 4
-        let vec_ops = |p: &Program| {
-            p.count(|i| i.is_vector() && !matches!(i, Instruction::Vsetvli { .. }))
-        };
+        let vec_ops =
+            |p: &Program| p.count(|i| i.is_vector() && !matches!(i, Instruction::Vsetvli { .. }));
         let diff = vec_ops(&p2) as i64 - vec_ops(&p3) as i64;
         // Alg3 adds preloads; Alg2 has 2 extra ops per nonzero plus the
         // per-group address adjust.
@@ -198,7 +271,13 @@ mod tests {
     fn rejects_bad_unroll() {
         let l = layout(NmPattern::P1_4);
         assert!(matches!(
-            build(&l, &KernelParams { unroll: 9, ..Default::default() }),
+            build(
+                &l,
+                &KernelParams {
+                    unroll: 9,
+                    ..Default::default()
+                }
+            ),
             Err(KernelError::BadUnroll { .. })
         ));
     }

@@ -41,37 +41,46 @@
 //! For `g = 1`, `u = 4` this is exactly the Algorithm 3 bank layout
 //! (`v0..v3` C, `v4..v7` values, `v8..v11` col_idx, `v16..v31` tile).
 
-use crate::emit::{c_addr_xreg, emit_loop_step, emit_vsetvli, emit_vload_abs, ADDR_SCRATCH,
+use crate::emit::{
+    c_addr_xreg, emit_loop_step, emit_vload_abs_sew, emit_vsetvli_sew, vload_instr, ADDR_SCRATCH,
     CTR_COLTILES, CTR_KTILES, CTR_NNZ, CTR_ROWS, MAX_UNROLL, ROW_STRIDE,
 };
 use crate::error::KernelError;
 use crate::layout::GemmLayout;
 use crate::KernelParams;
-use indexmac_isa::{Instruction, Lmul, Program, ProgramBuilder, VReg};
+use indexmac_isa::{Instruction, Lmul, Program, ProgramBuilder, Sew, VReg};
 
-/// C accumulator group base of unrolled row `r` under grouping `lmul`.
-pub fn c_group_vreg(r: usize, lmul: usize) -> VReg {
-    debug_assert!(r < MAX_UNROLL);
-    VReg::new((r * lmul) as u8)
+/// C accumulator group base of unrolled row `r` under an accumulator
+/// group of `acc` registers (`lmul` at f32; `lmul * 32/SEW` at the
+/// widening integer precisions). Delegates to the shared packed-bank
+/// geometry in [`crate::emit`].
+pub fn c_group_vreg(r: usize, acc: usize) -> VReg {
+    crate::emit::c_bank_vreg(r, acc)
 }
 
-/// `values` metadata register of unrolled row `r`.
-pub fn values_vreg2(r: usize, unroll: usize, lmul: usize) -> VReg {
-    debug_assert!(r < unroll);
-    VReg::new((unroll * lmul + r) as u8)
+/// `values` metadata register of unrolled row `r` (`acc` as in
+/// [`c_group_vreg`]).
+pub fn values_vreg2(r: usize, unroll: usize, acc: usize) -> VReg {
+    crate::emit::values_bank_vreg(r, unroll, acc)
 }
 
-/// `col_idx` metadata register of unrolled row `r`.
-pub fn colidx_vreg2(r: usize, unroll: usize, lmul: usize) -> VReg {
-    debug_assert!(r < unroll);
-    VReg::new((unroll * lmul + unroll + r) as u8)
+/// `col_idx` metadata register of unrolled row `r` (`acc` as in
+/// [`c_group_vreg`]).
+pub fn colidx_vreg2(r: usize, unroll: usize, acc: usize) -> VReg {
+    crate::emit::colidx_bank_vreg(r, unroll, acc)
+}
+
+/// Registers per C-accumulator group for this layout: the data-side
+/// grouping times the widening factor of the precision.
+pub fn acc_group_regs(layout: &GemmLayout) -> usize {
+    layout.lmul * layout.elem.widen()
 }
 
 /// Largest unroll factor whose accumulator groups and metadata
 /// registers fit below the resident tile for this layout.
 pub fn max_unroll(layout: &GemmLayout) -> usize {
     let base = layout.tile_vreg_base as usize;
-    (base / (layout.lmul + 2)).min(MAX_UNROLL)
+    (base / (acc_group_regs(layout) + 2)).min(MAX_UNROLL)
 }
 
 /// Builds the second-generation `vindexmac.vvi` kernel for `layout`.
@@ -90,14 +99,23 @@ pub fn build(layout: &GemmLayout, params: &KernelParams) -> Result<Program, Kern
     let lmul = layout.lmul;
     let unroll = params.unroll;
     if unroll == 0 || unroll > max_unroll(layout) {
-        return Err(KernelError::BadUnroll { unroll, max: max_unroll(layout) });
+        return Err(KernelError::BadUnroll {
+            unroll,
+            max: max_unroll(layout),
+        });
     }
+    let sew = layout.sew();
+    let acc = acc_group_regs(layout);
     let grouping = Lmul::from_factor(lmul).expect("layout planning validated lmul");
+    // The C accumulator runs at e32 under `lmul * widen` grouping — the
+    // planner guarantees the product stays within m4.
+    let acc_grouping = Lmul::from_factor(acc).expect("planner bounded lmul * widen to 4");
     let width = layout.coltile_width();
+    let widened = layout.elem.widen() > 1;
 
     let mut b = ProgramBuilder::new();
-    b.comment("prologue: grouped vl, row stride constant");
-    emit_vsetvli(&mut b, width, grouping);
+    b.comment("prologue: grouped vl at the operand SEW, row stride constant");
+    emit_vsetvli_sew(&mut b, width, sew, grouping);
     b.li(ROW_STRIDE, layout.row_stride_bytes as i64);
 
     let groups: Vec<(usize, usize)> = (0..layout.dims.rows.div_ceil(unroll))
@@ -117,23 +135,42 @@ pub fn build(layout: &GemmLayout, params: &KernelParams) -> Result<Program, Kern
                 // Metadata rows are one register wide: drop to m1 for
                 // their loads when the data side is grouped.
                 if lmul > 1 {
-                    emit_vsetvli(&mut b, layout.vl, Lmul::M1);
+                    emit_vsetvli_sew(&mut b, layout.vl, sew, Lmul::M1);
                 }
                 for r in 0..u_eff {
                     let row = row0 + r;
                     b.li(c_addr_xreg(r), layout.c_addr(row, ct * width) as i64);
-                    emit_vload_abs(&mut b, values_vreg2(r, unroll, lmul), layout.values_addr(row, kt));
-                    emit_vload_abs(
+                    emit_vload_abs_sew(
                         &mut b,
-                        colidx_vreg2(r, unroll, lmul),
+                        values_vreg2(r, unroll, acc),
+                        layout.values_addr(row, kt),
+                        sew,
+                    );
+                    emit_vload_abs_sew(
+                        &mut b,
+                        colidx_vreg2(r, unroll, acc),
                         layout.colidx_vregs_addr(row, kt),
+                        sew,
                     );
                 }
-                if lmul > 1 {
-                    emit_vsetvli(&mut b, width, grouping);
+                // The accumulator loads run at e32: under f32 data
+                // grouping that is the data vtype itself (`e32,m{lmul}`,
+                // restored after the m1 metadata loads); at the
+                // quantized widths the widened group needs its own
+                // `e32,m{lmul * 32/SEW}` window.
+                if widened {
+                    emit_vsetvli_sew(&mut b, width, Sew::E32, acc_grouping);
+                } else if lmul > 1 {
+                    emit_vsetvli_sew(&mut b, width, sew, grouping);
                 }
                 for r in 0..u_eff {
-                    b.push(Instruction::Vle32 { vd: c_group_vreg(r, lmul), rs1: c_addr_xreg(r) });
+                    b.push(Instruction::Vle32 {
+                        vd: c_group_vreg(r, acc),
+                        rs1: c_addr_xreg(r),
+                    });
+                }
+                if widened {
+                    emit_vsetvli_sew(&mut b, width, sew, grouping);
                 }
                 // Steady state: ONE instruction per non-zero slot — no
                 // vmv.x.s, no slides (paper follow-up's key claim).
@@ -141,16 +178,25 @@ pub fn build(layout: &GemmLayout, params: &KernelParams) -> Result<Program, Kern
                 for q in 0..layout.slots_per_tile {
                     for r in 0..u_eff {
                         b.push(Instruction::VindexmacVvi {
-                            vd: c_group_vreg(r, lmul),
-                            vs2: values_vreg2(r, unroll, lmul),
-                            vs1: colidx_vreg2(r, unroll, lmul),
+                            vd: c_group_vreg(r, acc),
+                            vs2: values_vreg2(r, unroll, acc),
+                            vs1: colidx_vreg2(r, unroll, acc),
                             slot: q as u8,
                         });
                     }
                     emit_loop_step(&mut b, CTR_NNZ);
                 }
+                if widened {
+                    emit_vsetvli_sew(&mut b, width, Sew::E32, acc_grouping);
+                }
                 for r in 0..u_eff {
-                    b.push(Instruction::Vse32 { vs3: c_group_vreg(r, lmul), rs1: c_addr_xreg(r) });
+                    b.push(Instruction::Vse32 {
+                        vs3: c_group_vreg(r, acc),
+                        rs1: c_addr_xreg(r),
+                    });
+                }
+                if widened {
+                    emit_vsetvli_sew(&mut b, width, sew, grouping);
                 }
                 emit_loop_step(&mut b, CTR_ROWS);
             }
@@ -163,7 +209,8 @@ pub fn build(layout: &GemmLayout, params: &KernelParams) -> Result<Program, Kern
 }
 
 /// Pre-loads the `L x (lmul*VL)` tile `B[kt*L .., ct*lmul*VL ..]` into
-/// the top of the vector register file, one grouped load per row.
+/// the top of the vector register file, one grouped load per row at the
+/// operand element width.
 fn emit_tile_preload(b: &mut ProgramBuilder, layout: &GemmLayout, kt: usize, ct: usize) {
     b.comment(format!(
         "preload B tile kt={kt} ct={ct} into v{}..v31 (m{})",
@@ -174,10 +221,11 @@ fn emit_tile_preload(b: &mut ProgramBuilder, layout: &GemmLayout, kt: usize, ct:
         layout.b_addr(kt * layout.tile_rows, ct * layout.coltile_width()) as i64,
     );
     for l in 0..layout.tile_rows {
-        b.push(Instruction::Vle32 {
-            vd: VReg::new(layout.tile_vreg_base + (l * layout.lmul) as u8),
-            rs1: ADDR_SCRATCH,
-        });
+        b.push(vload_instr(
+            layout.sew(),
+            VReg::new(layout.tile_vreg_base + (l * layout.lmul) as u8),
+            ADDR_SCRATCH,
+        ));
         if l + 1 < layout.tile_rows {
             b.add(ADDR_SCRATCH, ADDR_SCRATCH, ROW_STRIDE);
         }
@@ -195,7 +243,9 @@ pub fn count_walk_overhead(program: &Program) -> usize {
     program.count(|i| {
         matches!(
             i,
-            Instruction::VmvXs { .. } | Instruction::Vslide1downVx { .. } | Instruction::VfmvFs { .. }
+            Instruction::VmvXs { .. }
+                | Instruction::Vslide1downVx { .. }
+                | Instruction::VfmvFs { .. }
         )
     })
 }
@@ -225,7 +275,11 @@ mod tests {
         let l = layout(NmPattern::P2_4);
         let p = build(&l, &KernelParams::default()).unwrap();
         assert_eq!(count_walk_overhead(&p), 0, "no vmv.x.s / slides anywhere");
-        assert_eq!(crate::rowwise::count_b_loads(&p), 0, "no per-nonzero B loads");
+        assert_eq!(
+            crate::rowwise::count_b_loads(&p),
+            0,
+            "no per-nonzero B loads"
+        );
     }
 
     #[test]
@@ -234,9 +288,8 @@ mod tests {
         let p2 = build(&l, &KernelParams::default()).unwrap();
         let p1 = indexmac::build(&l, &KernelParams::default()).unwrap();
         let nnz_ops = l.dims.rows * l.slots_per_tile * l.num_ktiles * l.num_coltiles;
-        let vec_ops = |p: &Program| {
-            p.count(|i| i.is_vector() && !matches!(i, Instruction::Vsetvli { .. }))
-        };
+        let vec_ops =
+            |p: &Program| p.count(|i| i.is_vector() && !matches!(i, Instruction::Vsetvli { .. }));
         // Alg3 per nonzero: vmv.x.s + vindexmac.vx + 2 slides = 4.
         // vvi per nonzero: 1. Everything else is identical at lmul=1.
         assert_eq!(vec_ops(&p1) - vec_ops(&p2), 3 * nnz_ops);
@@ -260,12 +313,26 @@ mod tests {
         let m2 = GemmLayout::plan_grouped(&a, 64, &cfg, 8, 2).unwrap();
         assert_eq!(m1.num_coltiles, 4);
         assert_eq!(m2.num_coltiles, 2);
-        let p = build(&m2, &KernelParams { unroll: 4, ..Default::default() }).unwrap();
+        let p = build(
+            &m2,
+            &KernelParams {
+                unroll: 4,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         let text = p.to_string();
         assert!(text.contains("e32,m2"), "grouped vsetvli emitted");
         assert!(text.contains("vindexmac.vvi"));
         // Fewer column tiles -> fewer total instructions than ungrouped.
-        let p1 = build(&m1, &KernelParams { unroll: 4, ..Default::default() }).unwrap();
+        let p1 = build(
+            &m1,
+            &KernelParams {
+                unroll: 4,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert!(p.len() < p1.len(), "{} vs {}", p.len(), p1.len());
     }
 
@@ -275,9 +342,22 @@ mod tests {
         let cfg = SimConfig::table_i();
         let m4 = GemmLayout::plan_grouped(&a, 64, &cfg, 4, 4).unwrap();
         assert_eq!(max_unroll(&m4), 2); // 16 regs of tile, (4+2)*u <= 16
-        assert!(build(&m4, &KernelParams { unroll: 2, ..Default::default() }).is_ok());
+        assert!(build(
+            &m4,
+            &KernelParams {
+                unroll: 2,
+                ..Default::default()
+            }
+        )
+        .is_ok());
         assert!(matches!(
-            build(&m4, &KernelParams { unroll: 3, ..Default::default() }),
+            build(
+                &m4,
+                &KernelParams {
+                    unroll: 3,
+                    ..Default::default()
+                }
+            ),
             Err(KernelError::BadUnroll { max: 2, .. })
         ));
     }
@@ -286,11 +366,23 @@ mod tests {
     fn rejects_bad_unroll() {
         let l = layout(NmPattern::P1_4);
         assert!(matches!(
-            build(&l, &KernelParams { unroll: 0, ..Default::default() }),
+            build(
+                &l,
+                &KernelParams {
+                    unroll: 0,
+                    ..Default::default()
+                }
+            ),
             Err(KernelError::BadUnroll { .. })
         ));
         assert!(matches!(
-            build(&l, &KernelParams { unroll: 9, ..Default::default() }),
+            build(
+                &l,
+                &KernelParams {
+                    unroll: 9,
+                    ..Default::default()
+                }
+            ),
             Err(KernelError::BadUnroll { .. })
         ));
     }

@@ -17,8 +17,9 @@
 //! column tile is full-width; both kernels see identical padding.
 
 use crate::error::KernelError;
+use indexmac_isa::Sew;
 use indexmac_mem::MainMemory;
-use indexmac_sparse::{DenseMatrix, NmPattern, StructuredSparseMatrix};
+use indexmac_sparse::{quant, DenseMatrix, ElemType, IntMatrix, NmPattern, StructuredSparseMatrix};
 use indexmac_vpu::SimConfig;
 
 /// The logical GEMM shape `C[rows x cols] = A[rows x inner] * B[inner x cols]`.
@@ -59,7 +60,11 @@ pub struct GemmLayout {
     pub pattern: NmPattern,
     /// B-tile rows kept resident per k-step (`L`, multiple of `M`).
     pub tile_rows: usize,
-    /// Hardware vector length in elements (per single register).
+    /// Element precision of the A and B operands (the C accumulator is
+    /// always 32 bits: `f32` or the widening-MAC `i32`).
+    pub elem: ElemType,
+    /// Hardware vector length in elements at the operand SEW (per
+    /// single register): `VLEN / SEW`, so 64 at e8 for a 512-bit VLEN.
     pub vl: usize,
     /// Register grouping factor (`LMUL ∈ {1, 2, 4}`). With `lmul > 1`
     /// every B row segment, C accumulator and column tile is
@@ -87,9 +92,15 @@ pub struct GemmLayout {
     pub b_base: u64,
     /// Base address of C (row-major, padded row stride).
     pub c_base: u64,
-    /// Padded B/C row stride in bytes (`ceil(cols/VL)*VL*4`).
+    /// Padded B row stride in bytes
+    /// (`num_coltiles * coltile_width * elem.bytes()`).
     pub row_stride_bytes: u64,
-    /// Padded A (dense) row stride in bytes (`ceil(inner/VL)*VL*4`).
+    /// Padded C row stride in bytes — C elements are always 4 bytes
+    /// (f32 or the widening i32 accumulator), so at e8/e16 this exceeds
+    /// the B stride by the widening factor.
+    pub c_row_stride_bytes: u64,
+    /// Padded A (dense) row stride in bytes (`ceil(inner/VL)*VL*4`,
+    /// f32 path only).
     pub a_row_stride_bytes: u64,
 }
 
@@ -132,14 +143,45 @@ impl GemmLayout {
         tile_rows: usize,
         lmul: usize,
     ) -> Result<Self, KernelError> {
+        Self::plan_elem(a, b_cols, cfg, tile_rows, lmul, ElemType::F32)
+    }
+
+    /// Plans a layout at an explicit element precision: at
+    /// [`ElemType::I8`]/[`ElemType::I16`] the column tiles are
+    /// `VLEN/SEW` elements wide per register (64 at e8 on Table I),
+    /// operand arrays pack down to the element width, and the C
+    /// accumulator stays 32-bit (`i32`). `ElemType::F32` with `lmul = 1`
+    /// is exactly [`GemmLayout::plan`].
+    ///
+    /// # Errors
+    ///
+    /// The [`GemmLayout::plan_grouped`] conditions, plus
+    /// [`KernelError::BadGrouping`] when `lmul * (32/SEW) > 4` — the
+    /// widening accumulator group would exceed the largest modelled
+    /// register grouping (`m4`), so e8 runs ungrouped and e16 supports
+    /// at most `m2`.
+    pub fn plan_elem(
+        a: &StructuredSparseMatrix,
+        b_cols: usize,
+        cfg: &SimConfig,
+        tile_rows: usize,
+        lmul: usize,
+        elem: ElemType,
+    ) -> Result<Self, KernelError> {
         let pattern = a.pattern();
-        let vl = cfg.vlmax_e32();
+        let vl = cfg.vlen_bits / elem.bits();
         let (rows, inner) = a.shape();
 
         if !matches!(lmul, 1 | 2 | 4) {
             return Err(KernelError::BadGrouping {
                 lmul,
                 reason: "register grouping must be 1, 2 or 4",
+            });
+        }
+        if lmul * elem.widen() > 4 {
+            return Err(KernelError::BadGrouping {
+                lmul,
+                reason: "the widening accumulator group (lmul * 32/SEW) exceeds m4",
             });
         }
         if tile_rows == 0 || !tile_rows.is_multiple_of(pattern.m()) {
@@ -162,13 +204,18 @@ impl GemmLayout {
         }
         let slots_per_tile = pattern.n() * tile_rows / pattern.m();
         if slots_per_tile > vl {
-            return Err(KernelError::TooManySlotsPerTile { slots: slots_per_tile, vl });
+            return Err(KernelError::TooManySlotsPerTile {
+                slots: slots_per_tile,
+                vl,
+            });
         }
 
         let coltile_width = vl * lmul;
         let num_ktiles = inner.div_ceil(tile_rows);
         let num_coltiles = b_cols.div_ceil(coltile_width);
-        let row_stride_bytes = (num_coltiles * coltile_width * 4) as u64;
+        let eb = elem.bytes();
+        let row_stride_bytes = (num_coltiles * coltile_width * eb) as u64;
+        let c_row_stride_bytes = (num_coltiles * coltile_width * 4) as u64;
         let a_row_stride_bytes = (inner.div_ceil(vl) * vl * 4) as u64;
 
         // Bump allocator over the simulated address space.
@@ -178,18 +225,23 @@ impl GemmLayout {
             cursor = (cursor + bytes + REGION_ALIGN - 1) & !(REGION_ALIGN - 1);
             base
         };
-        let meta_words = (rows * num_ktiles * slots_per_tile) as u64;
-        let values_base = alloc(meta_words * 4);
-        let colidx_offsets_base = alloc(meta_words * 4);
-        let colidx_vregs_base = alloc(meta_words * 4);
+        let meta_slots = (rows * num_ktiles * slots_per_tile) as u64;
+        let values_base = alloc(meta_slots * eb as u64);
+        let colidx_offsets_base = alloc(meta_slots * 4);
+        let colidx_vregs_base = alloc(meta_slots * eb as u64);
         let a_dense_base = alloc(rows as u64 * a_row_stride_bytes);
         let b_base = alloc(inner as u64 * row_stride_bytes);
-        let c_base = alloc(rows as u64 * row_stride_bytes);
+        let c_base = alloc(rows as u64 * c_row_stride_bytes);
 
         Ok(Self {
-            dims: GemmDims { rows, inner, cols: b_cols },
+            dims: GemmDims {
+                rows,
+                inner,
+                cols: b_cols,
+            },
             pattern,
             tile_rows,
+            elem,
             vl,
             lmul,
             num_ktiles,
@@ -203,8 +255,18 @@ impl GemmLayout {
             b_base,
             c_base,
             row_stride_bytes,
+            c_row_stride_bytes,
             a_row_stride_bytes,
         })
+    }
+
+    /// The RVV element width the kernels select for this layout.
+    pub fn sew(&self) -> Sew {
+        match self.elem {
+            ElemType::F32 => Sew::E32,
+            ElemType::I16 => Sew::E16,
+            ElemType::I8 => Sew::E8,
+        }
     }
 
     /// Column-tile width in elements (`VL * LMUL`).
@@ -224,31 +286,36 @@ impl GemmLayout {
         fitted.max(m)
     }
 
-    /// Address of the `values` slots for `(row, ktile)`.
+    /// Address of the `values` slots for `(row, ktile)` — packed at the
+    /// element width.
     pub fn values_addr(&self, row: usize, ktile: usize) -> u64 {
-        self.values_base + ((row * self.num_ktiles + ktile) * self.slots_per_tile * 4) as u64
+        self.values_base
+            + ((row * self.num_ktiles + ktile) * self.slots_per_tile * self.elem.bytes()) as u64
     }
 
-    /// Address of the Algorithm 2 index slots for `(row, ktile)`.
+    /// Address of the Algorithm 2 index slots for `(row, ktile)` — byte
+    /// offsets of B rows, always 32-bit (the f32 baseline's format).
     pub fn colidx_offsets_addr(&self, row: usize, ktile: usize) -> u64 {
         self.colidx_offsets_base
             + ((row * self.num_ktiles + ktile) * self.slots_per_tile * 4) as u64
     }
 
-    /// Address of the Algorithm 3 index slots for `(row, ktile)`.
+    /// Address of the Algorithm 3 index slots for `(row, ktile)` —
+    /// VRF register numbers, packed at the element width so the kernel
+    /// loads them with the same-width `vle`.
     pub fn colidx_vregs_addr(&self, row: usize, ktile: usize) -> u64 {
         self.colidx_vregs_base
-            + ((row * self.num_ktiles + ktile) * self.slots_per_tile * 4) as u64
+            + ((row * self.num_ktiles + ktile) * self.slots_per_tile * self.elem.bytes()) as u64
     }
 
-    /// Address of element `(k, col)` of B.
+    /// Address of element `(k, col)` of B (element-width packing).
     pub fn b_addr(&self, k: usize, col: usize) -> u64 {
-        self.b_base + k as u64 * self.row_stride_bytes + (col * 4) as u64
+        self.b_base + k as u64 * self.row_stride_bytes + (col * self.elem.bytes()) as u64
     }
 
-    /// Address of element `(row, col)` of C.
+    /// Address of element `(row, col)` of C (always 4-byte elements).
     pub fn c_addr(&self, row: usize, col: usize) -> u64 {
-        self.c_base + row as u64 * self.row_stride_bytes + (col * 4) as u64
+        self.c_base + row as u64 * self.c_row_stride_bytes + (col * 4) as u64
     }
 
     /// Address of element `(row, k)` of the dense copy of A.
@@ -257,15 +324,15 @@ impl GemmLayout {
     }
 
     /// Stride in bytes between `(row, ktile)` and `(row+1, ktile)`
-    /// metadata slots.
+    /// metadata slots (element-width packing).
     pub fn meta_row_stride_bytes(&self) -> u64 {
-        (self.num_ktiles * self.slots_per_tile * 4) as u64
+        (self.num_ktiles * self.slots_per_tile * self.elem.bytes()) as u64
     }
 
     /// Stride in bytes between `(row, ktile)` and `(row, ktile+1)`
-    /// metadata slots.
+    /// metadata slots (element-width packing).
     pub fn meta_ktile_stride_bytes(&self) -> u64 {
-        (self.slots_per_tile * 4) as u64
+        (self.slots_per_tile * self.elem.bytes()) as u64
     }
 
     /// Writes every operand array into simulated memory: `values`, both
@@ -280,8 +347,16 @@ impl GemmLayout {
         b: &DenseMatrix,
         mem: &mut MainMemory,
     ) {
-        assert_eq!(a.shape(), (self.dims.rows, self.dims.inner), "A shape changed");
-        assert_eq!(b.shape(), (self.dims.inner, self.dims.cols), "B shape changed");
+        assert_eq!(
+            a.shape(),
+            (self.dims.rows, self.dims.inner),
+            "A shape changed"
+        );
+        assert_eq!(
+            b.shape(),
+            (self.dims.inner, self.dims.cols),
+            "B shape changed"
+        );
         let m = self.pattern.m();
         let n = self.pattern.n();
         let blocks_per_tile = self.tile_rows / m;
@@ -308,38 +383,82 @@ impl GemmLayout {
                         offsets[slot] = (global_row as u64 * self.row_stride_bytes) as u32;
                         // Under grouping each resident B row is a group
                         // of `lmul` registers; the index names its base.
-                        vregs[slot] =
-                            self.tile_vreg_base as u32 + (local_row * self.lmul) as u32;
+                        vregs[slot] = self.tile_vreg_base as u32 + (local_row * self.lmul) as u32;
                     }
                 }
-                mem.write_f32_slice(self.values_addr(row, kt), &values);
+                self.write_elem_slice(mem, self.values_addr(row, kt), &values);
                 mem.write_u32_slice(self.colidx_offsets_addr(row, kt), &offsets);
-                mem.write_u32_slice(self.colidx_vregs_addr(row, kt), &vregs);
+                for (i, vreg) in vregs.iter().enumerate() {
+                    let addr = self.colidx_vregs_addr(row, kt) + (i * self.elem.bytes()) as u64;
+                    match self.elem {
+                        ElemType::F32 => mem.write_u32(addr, *vreg),
+                        ElemType::I16 => mem.write_u16(addr, *vreg as u16),
+                        ElemType::I8 => mem.write_u8(addr, *vreg as u8),
+                    }
+                }
             }
         }
 
-        // Dense copy of A (Algorithm 1 baseline), padded row stride.
-        let a_dense = a.to_dense();
-        for row in 0..self.dims.rows {
-            mem.write_f32_slice(self.a_dense_addr(row, 0), a_dense.row(row));
+        // Dense copy of A (Algorithm 1 baseline) — f32 path only; the
+        // quantized paths run the sparse kernels.
+        if self.elem == ElemType::F32 {
+            let a_dense = a.to_dense();
+            for row in 0..self.dims.rows {
+                mem.write_f32_slice(self.a_dense_addr(row, 0), a_dense.row(row));
+            }
         }
 
-        // B, padded row stride (padding bytes left zero).
+        // B, padded row stride (padding bytes left zero), packed at the
+        // element width.
         for k in 0..self.dims.inner {
-            mem.write_f32_slice(self.b_addr(k, 0), b.row(k));
+            self.write_elem_slice(mem, self.b_addr(k, 0), b.row(k));
         }
 
-        // C zeroed (paper Algorithm 3 reloads/updates C per tile).
-        let zero_row = vec![0.0_f32; (self.row_stride_bytes / 4) as usize];
+        // C zeroed (paper Algorithm 3 reloads/updates C per tile);
+        // 4-byte accumulator elements at every precision.
+        let zero_row = vec![0.0_f32; (self.c_row_stride_bytes / 4) as usize];
         for row in 0..self.dims.rows {
-            mem.write_f32_slice(self.c_base + row as u64 * self.row_stride_bytes, &zero_row);
+            mem.write_f32_slice(
+                self.c_base + row as u64 * self.c_row_stride_bytes,
+                &zero_row,
+            );
         }
     }
 
-    /// Reads the (unpadded) result matrix C back from simulated memory.
+    /// Writes a slice of operand values at the layout's element width:
+    /// raw f32 bits at f32, two's-complement `i8`/`i16` at the
+    /// quantized precisions (the values are exact small integers by
+    /// construction — see [`indexmac_sparse::quant`]).
+    fn write_elem_slice(&self, mem: &mut MainMemory, addr: u64, values: &[f32]) {
+        match self.elem {
+            ElemType::F32 => mem.write_f32_slice(addr, values),
+            ElemType::I16 => {
+                for (i, v) in values.iter().enumerate() {
+                    mem.write_u16(addr + (i * 2) as u64, quant::slot_to_i32(*v) as i16 as u16);
+                }
+            }
+            ElemType::I8 => {
+                for (i, v) in values.iter().enumerate() {
+                    mem.write_u8(addr + i as u64, quant::slot_to_i32(*v) as i8 as u8);
+                }
+            }
+        }
+    }
+
+    /// Reads the (unpadded) result matrix C back from simulated memory
+    /// as `f32` (the float path's accumulator domain).
     pub fn read_c(&self, mem: &MainMemory) -> DenseMatrix {
         DenseMatrix::from_fn(self.dims.rows, self.dims.cols, |r, c| {
             mem.read_f32(self.c_addr(r, c))
+        })
+    }
+
+    /// Reads C back as `i32` — the widening-MAC accumulator domain of
+    /// the quantized paths, compared bit-exactly against
+    /// [`indexmac_sparse::quant::spmm_reference_i32`].
+    pub fn read_c_i32(&self, mem: &MainMemory) -> IntMatrix {
+        IntMatrix::from_fn(self.dims.rows, self.dims.cols, |r, c| {
+            mem.read_u32(self.c_addr(r, c)) as i32
         })
     }
 }
@@ -411,7 +530,7 @@ mod tests {
         assert_eq!(l.num_coltiles, 2); // ceil(40 / 32)
         assert_eq!(l.row_stride_bytes, 2 * 32 * 4);
         assert_eq!(l.tile_vreg_base, 16); // 32 - 8*2
-        // lmul = 1 keeps plan() semantics exactly.
+                                          // lmul = 1 keeps plan() semantics exactly.
         let m1 = GemmLayout::plan_grouped(&a, 40, &cfg(), 16, 1).unwrap();
         assert_eq!(m1, GemmLayout::plan(&a, 40, &cfg(), 16).unwrap());
     }
@@ -561,7 +680,78 @@ mod tests {
 
     #[test]
     fn dense_mac_count() {
-        let d = GemmDims { rows: 3, inner: 4, cols: 5 };
+        let d = GemmDims {
+            rows: 3,
+            inner: 4,
+            cols: 5,
+        };
         assert_eq!(d.dense_macs(), 60);
+    }
+
+    #[test]
+    fn elem_plan_geometry_scales_with_sew() {
+        use indexmac_sparse::ElemType;
+        let a = prune::random_structured(8, 64, NmPattern::P1_4, 7);
+        let e8 = GemmLayout::plan_elem(&a, 128, &cfg(), 16, 1, ElemType::I8).unwrap();
+        assert_eq!(e8.vl, 64, "VLEN/8 elements per register");
+        assert_eq!(e8.sew(), indexmac_isa::Sew::E8);
+        assert_eq!(e8.num_coltiles, 2); // ceil(128/64)
+        assert_eq!(e8.row_stride_bytes, 2 * 64); // 1 byte per element
+        assert_eq!(e8.c_row_stride_bytes, 2 * 64 * 4); // i32 accumulator
+        let e16 = GemmLayout::plan_elem(&a, 128, &cfg(), 16, 1, ElemType::I16).unwrap();
+        assert_eq!(e16.vl, 32);
+        assert_eq!(e16.num_coltiles, 4);
+        assert_eq!(e16.row_stride_bytes, 4 * 32 * 2);
+        // f32 plan_elem == plan_grouped == plan.
+        let f = GemmLayout::plan_elem(&a, 128, &cfg(), 16, 1, ElemType::F32).unwrap();
+        assert_eq!(f, GemmLayout::plan(&a, 128, &cfg(), 16).unwrap());
+        assert_eq!(f.c_row_stride_bytes, f.row_stride_bytes);
+    }
+
+    #[test]
+    fn elem_plan_rejects_overwide_accumulator_groups() {
+        use indexmac_sparse::ElemType;
+        let a = prune::random_structured(4, 32, NmPattern::P1_4, 1);
+        // e8 widens 4×: any grouping beyond m1 overflows m4.
+        assert!(matches!(
+            GemmLayout::plan_elem(&a, 64, &cfg(), 8, 2, ElemType::I8),
+            Err(KernelError::BadGrouping { .. })
+        ));
+        // e16 widens 2×: m2 is the limit.
+        assert!(GemmLayout::plan_elem(&a, 64, &cfg(), 8, 2, ElemType::I16).is_ok());
+        assert!(matches!(
+            GemmLayout::plan_elem(&a, 64, &cfg(), 4, 4, ElemType::I16),
+            Err(KernelError::BadGrouping { .. })
+        ));
+        // f32 keeps the full m4 range.
+        assert!(GemmLayout::plan_elem(&a, 64, &cfg(), 4, 4, ElemType::F32).is_ok());
+    }
+
+    #[test]
+    fn quantized_operands_pack_to_element_width() {
+        use indexmac_sparse::{quant, ElemType};
+        let a = quant::random_structured_int(3, 16, NmPattern::P1_4, 9, ElemType::I8);
+        let b = quant::random_dense_int(16, 64, 10, ElemType::I8);
+        let l = GemmLayout::plan_elem(&a, 64, &cfg(), 8, 1, ElemType::I8).unwrap();
+        let mut mem = MainMemory::new();
+        l.write_operands(&a, &b, &mut mem);
+        // B rows round-trip through 1-byte elements.
+        for k in 0..16 {
+            for c in 0..64 {
+                assert_eq!(
+                    mem.read_u8(l.b_addr(k, c)) as i8 as i32,
+                    quant::slot_to_i32(b.get(k, c)),
+                    "B[{k},{c}]"
+                );
+            }
+        }
+        // Metadata packs to 1 byte per slot: values are i8, vregs fit u8.
+        assert_eq!(l.meta_ktile_stride_bytes(), l.slots_per_tile as u64);
+        for slot in 0..l.slots_per_tile {
+            let vreg = mem.read_u8(l.colidx_vregs_addr(0, 0) + slot as u64);
+            assert!((l.tile_vreg_base..32).contains(&vreg));
+        }
+        // C starts zeroed in the i32 domain.
+        assert!(l.read_c_i32(&mem).as_slice().iter().all(|v| *v == 0));
     }
 }

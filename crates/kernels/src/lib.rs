@@ -58,6 +58,7 @@ pub mod verify;
 
 pub use dataflow::Dataflow;
 pub use error::KernelError;
+pub use indexmac_sparse::ElemType;
 pub use layout::{GemmDims, GemmLayout};
 
 /// Tunables shared by every kernel builder.
@@ -73,6 +74,9 @@ pub struct KernelParams {
 
 impl Default for KernelParams {
     fn default() -> Self {
-        Self { unroll: 4, dataflow: Dataflow::BStationary }
+        Self {
+            unroll: 4,
+            dataflow: Dataflow::BStationary,
+        }
     }
 }

@@ -18,10 +18,9 @@
 
 use crate::dataflow::Dataflow;
 use crate::emit::{
-    require_ungrouped,
     bslice_vreg, c_addr_xreg, c_vreg, colidx_vreg, emit_loop_step, emit_prologue, emit_vload_abs,
-    scratch_xreg, value_freg, values_vreg, B_COLTILE_BASE, CTR_COLTILES, CTR_KTILES, CTR_NNZ,
-    CTR_ROWS, MAX_UNROLL,
+    require_f32, require_ungrouped, scratch_xreg, value_freg, values_vreg, B_COLTILE_BASE,
+    CTR_COLTILES, CTR_KTILES, CTR_NNZ, CTR_ROWS, MAX_UNROLL,
 };
 use crate::error::KernelError;
 use crate::layout::GemmLayout;
@@ -36,8 +35,12 @@ use indexmac_isa::{Instruction, Program, ProgramBuilder, XReg};
 /// `1..=4`.
 pub fn build(layout: &GemmLayout, params: &KernelParams) -> Result<Program, KernelError> {
     require_ungrouped(layout)?;
+    require_f32(layout)?;
     if params.unroll == 0 || params.unroll > MAX_UNROLL {
-        return Err(KernelError::BadUnroll { unroll: params.unroll, max: MAX_UNROLL });
+        return Err(KernelError::BadUnroll {
+            unroll: params.unroll,
+            max: MAX_UNROLL,
+        });
     }
     let mut b = ProgramBuilder::new();
     emit_prologue(&mut b, layout.vl, layout.row_stride_bytes);
@@ -84,7 +87,10 @@ fn emit_group_loads(
             rs1: B_COLTILE_BASE,
         });
         if setup_c {
-            b.push(Instruction::Vle32 { vd: c_vreg(r), rs1: c_addr_xreg(r) });
+            b.push(Instruction::Vle32 {
+                vd: c_vreg(r),
+                rs1: c_addr_xreg(r),
+            });
         }
     }
 }
@@ -94,13 +100,22 @@ fn emit_inner_loop(b: &mut ProgramBuilder, layout: &GemmLayout, u_eff: usize) {
     b.li(CTR_NNZ, layout.slots_per_tile as i64);
     for _q in 0..layout.slots_per_tile {
         for r in 0..u_eff {
-            b.push(Instruction::VmvXs { rd: scratch_xreg(r), vs2: colidx_vreg(r) });
+            b.push(Instruction::VmvXs {
+                rd: scratch_xreg(r),
+                vs2: colidx_vreg(r),
+            });
         }
         for r in 0..u_eff {
-            b.push(Instruction::Vle32 { vd: bslice_vreg(r), rs1: scratch_xreg(r) });
+            b.push(Instruction::Vle32 {
+                vd: bslice_vreg(r),
+                rs1: scratch_xreg(r),
+            });
         }
         for r in 0..u_eff {
-            b.push(Instruction::VfmvFs { fd: value_freg(r), vs2: values_vreg(r) });
+            b.push(Instruction::VfmvFs {
+                fd: value_freg(r),
+                vs2: values_vreg(r),
+            });
         }
         for r in 0..u_eff {
             b.push(Instruction::VfmaccVf {
@@ -127,12 +142,18 @@ fn emit_inner_loop(b: &mut ProgramBuilder, layout: &GemmLayout, u_eff: usize) {
 
 fn emit_group_stores(b: &mut ProgramBuilder, u_eff: usize) {
     for r in 0..u_eff {
-        b.push(Instruction::Vse32 { vs3: c_vreg(r), rs1: c_addr_xreg(r) });
+        b.push(Instruction::Vse32 {
+            vs3: c_vreg(r),
+            rs1: c_addr_xreg(r),
+        });
     }
 }
 
 fn emit_coltile_base(b: &mut ProgramBuilder, layout: &GemmLayout, ct: usize) {
-    b.li(B_COLTILE_BASE, (layout.b_base + (ct * layout.vl * 4) as u64) as i64);
+    b.li(
+        B_COLTILE_BASE,
+        (layout.b_base + (ct * layout.vl * 4) as u64) as i64,
+    );
 }
 
 fn emit_b_stationary(b: &mut ProgramBuilder, layout: &GemmLayout, unroll: usize) {
@@ -183,8 +204,14 @@ fn emit_c_stationary(b: &mut ProgramBuilder, layout: &GemmLayout, unroll: usize)
         for ct in 0..layout.num_coltiles {
             // C row slices stay resident across the whole k dimension.
             for r in 0..u_eff {
-                b.li(c_addr_xreg(r), layout.c_addr(row0 + r, ct * layout.vl) as i64);
-                b.push(Instruction::Vle32 { vd: c_vreg(r), rs1: c_addr_xreg(r) });
+                b.li(
+                    c_addr_xreg(r),
+                    layout.c_addr(row0 + r, ct * layout.vl) as i64,
+                );
+                b.push(Instruction::Vle32 {
+                    vd: c_vreg(r),
+                    rs1: c_addr_xreg(r),
+                });
             }
             b.li(CTR_KTILES, layout.num_ktiles as i64);
             for kt in 0..layout.num_ktiles {
@@ -224,7 +251,14 @@ mod tests {
     fn builds_all_dataflows() {
         let layout = small_layout(NmPattern::P1_4);
         for df in Dataflow::ALL {
-            let p = build(&layout, &KernelParams { unroll: 4, dataflow: df }).unwrap();
+            let p = build(
+                &layout,
+                &KernelParams {
+                    unroll: 4,
+                    dataflow: df,
+                },
+            )
+            .unwrap();
             assert!(p.len() > 50, "{df} kernel suspiciously small");
             assert_eq!(p.fetch(p.len() - 1), Some(&Instruction::Halt));
         }
@@ -234,11 +268,23 @@ mod tests {
     fn rejects_bad_unroll() {
         let layout = small_layout(NmPattern::P1_4);
         assert!(matches!(
-            build(&layout, &KernelParams { unroll: 0, dataflow: Dataflow::BStationary }),
+            build(
+                &layout,
+                &KernelParams {
+                    unroll: 0,
+                    dataflow: Dataflow::BStationary
+                }
+            ),
             Err(KernelError::BadUnroll { .. })
         ));
         assert!(matches!(
-            build(&layout, &KernelParams { unroll: 5, dataflow: Dataflow::BStationary }),
+            build(
+                &layout,
+                &KernelParams {
+                    unroll: 5,
+                    dataflow: Dataflow::BStationary
+                }
+            ),
             Err(KernelError::BadUnroll { .. })
         ));
     }
@@ -250,20 +296,30 @@ mod tests {
         // One B load per (group-row, slot, ktile, coltile).
         let groups: usize = 2; // 6 rows / 4 -> groups of 4 and 2
         let _ = groups;
-        let expected: usize = layout.num_ktiles
-            * layout.num_coltiles
-            * layout.slots_per_tile
-            * layout.dims.rows;
+        let expected: usize =
+            layout.num_ktiles * layout.num_coltiles * layout.slots_per_tile * layout.dims.rows;
         assert_eq!(count_b_loads(&p), expected);
     }
 
     #[test]
     fn c_stationary_has_fewer_stores() {
         let layout = small_layout(NmPattern::P1_4);
-        let b_st = build(&layout, &KernelParams { unroll: 4, dataflow: Dataflow::BStationary })
-            .unwrap();
-        let c_st = build(&layout, &KernelParams { unroll: 4, dataflow: Dataflow::CStationary })
-            .unwrap();
+        let b_st = build(
+            &layout,
+            &KernelParams {
+                unroll: 4,
+                dataflow: Dataflow::BStationary,
+            },
+        )
+        .unwrap();
+        let c_st = build(
+            &layout,
+            &KernelParams {
+                unroll: 4,
+                dataflow: Dataflow::CStationary,
+            },
+        )
+        .unwrap();
         let stores = |p: &Program| p.count(|i| matches!(i, Instruction::Vse32 { .. }));
         assert!(stores(&c_st) < stores(&b_st));
         // B-stationary stores once per (row, ktile, coltile); C-stationary
@@ -274,10 +330,22 @@ mod tests {
     #[test]
     fn unroll_reduces_loop_control() {
         let layout = small_layout(NmPattern::P1_4);
-        let u1 = build(&layout, &KernelParams { unroll: 1, dataflow: Dataflow::BStationary })
-            .unwrap();
-        let u4 = build(&layout, &KernelParams { unroll: 4, dataflow: Dataflow::BStationary })
-            .unwrap();
+        let u1 = build(
+            &layout,
+            &KernelParams {
+                unroll: 1,
+                dataflow: Dataflow::BStationary,
+            },
+        )
+        .unwrap();
+        let u4 = build(
+            &layout,
+            &KernelParams {
+                unroll: 4,
+                dataflow: Dataflow::BStationary,
+            },
+        )
+        .unwrap();
         let branches = |p: &Program| p.count(|i| matches!(i, Instruction::Bne { .. }));
         assert!(
             branches(&u4) < branches(&u1),

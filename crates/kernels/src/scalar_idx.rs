@@ -18,9 +18,9 @@
 //! Algorithm 3 time is cross-domain synchronisation.
 
 use crate::emit::{
-    require_ungrouped,
-    c_addr_xreg, c_vreg, emit_loop_step, emit_prologue, scratch_xreg, values_vreg, ADDR_SCRATCH,
-    CTR_COLTILES, CTR_KTILES, CTR_NNZ, CTR_ROWS, MAX_UNROLL, ROW_STRIDE,
+    c_addr_xreg, c_vreg, emit_loop_step, emit_prologue, require_f32, require_ungrouped,
+    scratch_xreg, values_vreg, ADDR_SCRATCH, CTR_COLTILES, CTR_KTILES, CTR_NNZ, CTR_ROWS,
+    MAX_UNROLL, ROW_STRIDE,
 };
 use crate::error::KernelError;
 use crate::layout::GemmLayout;
@@ -40,8 +40,12 @@ fn value_xreg(r: usize) -> XReg {
 /// `1..=4`.
 pub fn build(layout: &GemmLayout, params: &KernelParams) -> Result<Program, KernelError> {
     require_ungrouped(layout)?;
+    require_f32(layout)?;
     if params.unroll == 0 || params.unroll > MAX_UNROLL {
-        return Err(KernelError::BadUnroll { unroll: params.unroll, max: MAX_UNROLL });
+        return Err(KernelError::BadUnroll {
+            unroll: params.unroll,
+            max: MAX_UNROLL,
+        });
     }
     let unroll = params.unroll;
     let mut b = ProgramBuilder::new();
@@ -59,7 +63,10 @@ pub fn build(layout: &GemmLayout, params: &KernelParams) -> Result<Program, Kern
         b.li(CTR_COLTILES, layout.num_coltiles as i64);
         for ct in 0..layout.num_coltiles {
             // Tile preload identical to Algorithm 3.
-            b.li(ADDR_SCRATCH, layout.b_addr(kt * layout.tile_rows, ct * layout.vl) as i64);
+            b.li(
+                ADDR_SCRATCH,
+                layout.b_addr(kt * layout.tile_rows, ct * layout.vl) as i64,
+            );
             for l in 0..layout.tile_rows {
                 b.push(Instruction::Vle32 {
                     vd: VReg::new(layout.tile_vreg_base + l as u8),
@@ -74,7 +81,10 @@ pub fn build(layout: &GemmLayout, params: &KernelParams) -> Result<Program, Kern
                 for r in 0..u_eff {
                     let row = row0 + r;
                     b.li(c_addr_xreg(r), layout.c_addr(row, ct * layout.vl) as i64);
-                    b.push(Instruction::Vle32 { vd: c_vreg(r), rs1: c_addr_xreg(r) });
+                    b.push(Instruction::Vle32 {
+                        vd: c_vreg(r),
+                        rs1: c_addr_xreg(r),
+                    });
                 }
                 b.li(CTR_NNZ, layout.slots_per_tile as i64);
                 for q in 0..layout.slots_per_tile {
@@ -94,10 +104,17 @@ pub fn build(layout: &GemmLayout, params: &KernelParams) -> Result<Program, Kern
                             ADDR_SCRATCH,
                             (layout.values_addr(row, kt) + (q * 4) as u64) as i64,
                         );
-                        b.push(Instruction::Lw { rd: value_xreg(r), rs1: ADDR_SCRATCH, imm: 0 });
+                        b.push(Instruction::Lw {
+                            rd: value_xreg(r),
+                            rs1: ADDR_SCRATCH,
+                            imm: 0,
+                        });
                     }
                     for r in 0..u_eff {
-                        b.push(Instruction::VmvSx { vd: values_vreg(r), rs1: value_xreg(r) });
+                        b.push(Instruction::VmvSx {
+                            vd: values_vreg(r),
+                            rs1: value_xreg(r),
+                        });
                     }
                     for r in 0..u_eff {
                         b.push(Instruction::VindexmacVx {
@@ -109,7 +126,10 @@ pub fn build(layout: &GemmLayout, params: &KernelParams) -> Result<Program, Kern
                     emit_loop_step(&mut b, CTR_NNZ);
                 }
                 for r in 0..u_eff {
-                    b.push(Instruction::Vse32 { vs3: c_vreg(r), rs1: c_addr_xreg(r) });
+                    b.push(Instruction::Vse32 {
+                        vs3: c_vreg(r),
+                        rs1: c_addr_xreg(r),
+                    });
                 }
                 emit_loop_step(&mut b, CTR_ROWS);
             }
@@ -133,7 +153,10 @@ mod tests {
         let l = GemmLayout::plan(&a, 16, &SimConfig::table_i(), 16).unwrap();
         let p = build(&l, &KernelParams::default()).unwrap();
         assert_eq!(p.count(|i| matches!(i, Instruction::VmvXs { .. })), 0);
-        assert_eq!(p.count(|i| matches!(i, Instruction::Vslide1downVx { .. })), 0);
+        assert_eq!(
+            p.count(|i| matches!(i, Instruction::Vslide1downVx { .. })),
+            0
+        );
         assert!(p.count(|i| matches!(i, Instruction::Lw { .. })) > 0);
         assert!(p.count(|i| matches!(i, Instruction::VindexmacVx { .. })) > 0);
     }
@@ -142,6 +165,13 @@ mod tests {
     fn rejects_bad_unroll() {
         let a = prune::random_structured(2, 16, NmPattern::P1_4, 8);
         let l = GemmLayout::plan(&a, 8, &SimConfig::table_i(), 16).unwrap();
-        assert!(build(&l, &KernelParams { unroll: 7, ..Default::default() }).is_err());
+        assert!(build(
+            &l,
+            &KernelParams {
+                unroll: 7,
+                ..Default::default()
+            }
+        )
+        .is_err());
     }
 }

@@ -3,7 +3,7 @@
 
 use crate::layout::GemmLayout;
 use indexmac_isa::Program;
-use indexmac_sparse::{DenseMatrix, StructuredSparseMatrix};
+use indexmac_sparse::{quant, DenseMatrix, IntMatrix, StructuredSparseMatrix};
 use indexmac_vpu::{RunReport, SimConfig, SimError, Simulator};
 use std::error::Error;
 use std::fmt;
@@ -28,8 +28,14 @@ pub fn default_tolerance(inner: usize) -> f32 {
 /// Result of one simulated kernel execution.
 #[derive(Debug, Clone)]
 pub struct KernelRun {
-    /// The computed product, read back from simulated memory.
+    /// The computed product, read back from simulated memory. On the
+    /// quantized paths this is the i32 accumulator converted to `f32`
+    /// for display — exactness lives in [`KernelRun::c_int`].
     pub c: DenseMatrix,
+    /// The i32 accumulator-domain product of a quantized run (`None`
+    /// for f32 layouts). Compared with `==` against the exact integer
+    /// reference — no tolerance.
+    pub c_int: Option<IntMatrix>,
     /// Timing/traffic measurements.
     pub report: RunReport,
     /// Static program length in instructions.
@@ -48,6 +54,19 @@ pub enum VerifyError {
         /// Tolerance that was exceeded.
         tolerance: f32,
     },
+    /// A quantized product diverged from the exact i32 reference —
+    /// integer arithmetic admits no tolerance, so a single-LSB error is
+    /// reported with its position and both values.
+    IntMismatch {
+        /// Row of the first mismatching element.
+        row: usize,
+        /// Column of the first mismatching element.
+        col: usize,
+        /// The kernel's value.
+        got: i32,
+        /// The reference value.
+        want: i32,
+    },
     /// Operand shapes disagree with the layout.
     ShapeMismatch,
 }
@@ -56,9 +75,22 @@ impl fmt::Display for VerifyError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             VerifyError::Sim(e) => write!(f, "simulation failed: {e}"),
-            VerifyError::Mismatch { max_abs_diff, tolerance } => write!(
+            VerifyError::Mismatch {
+                max_abs_diff,
+                tolerance,
+            } => write!(
                 f,
                 "kernel result differs from reference by {max_abs_diff} (tolerance {tolerance})"
+            ),
+            VerifyError::IntMismatch {
+                row,
+                col,
+                got,
+                want,
+            } => write!(
+                f,
+                "quantized kernel result differs from the exact i32 reference at \
+                 ({row},{col}): got {got}, want {want}"
             ),
             VerifyError::ShapeMismatch => write!(f, "operand shapes disagree with the layout"),
         }
@@ -102,8 +134,18 @@ pub fn run_kernel(
     let mut sim = Simulator::new(*cfg);
     layout.write_operands(a, b, sim.memory_mut());
     let report = sim.run(program)?;
+    let (c, c_int) = if layout.elem.is_int() {
+        let ci = layout.read_c_i32(sim.memory());
+        let c = DenseMatrix::from_fn(layout.dims.rows, layout.dims.cols, |r, j| {
+            ci.get(r, j) as f32
+        });
+        (c, Some(ci))
+    } else {
+        (layout.read_c(sim.memory()), None)
+    };
     Ok(KernelRun {
-        c: layout.read_c(sim.memory()),
+        c,
+        c_int,
         report,
         static_instructions: program.len(),
     })
@@ -121,15 +163,53 @@ pub fn check_against_reference(
     b: &DenseMatrix,
     tolerance: f32,
 ) -> Result<(), VerifyError> {
-    let reference = a.spmm_reference(b).map_err(|_| VerifyError::ShapeMismatch)?;
+    let reference = a
+        .spmm_reference(b)
+        .map_err(|_| VerifyError::ShapeMismatch)?;
     let max_abs_diff = run.c.max_abs_diff(&reference);
     if max_abs_diff > tolerance {
-        return Err(VerifyError::Mismatch { max_abs_diff, tolerance });
+        return Err(VerifyError::Mismatch {
+            max_abs_diff,
+            tolerance,
+        });
     }
     Ok(())
 }
 
-/// Convenience: run and verify in one call.
+/// Checks a quantized kernel run **bit-exactly** against the i32
+/// reference product: integer results must match with `==` — the float
+/// `default_tolerance` path never applies, so a ±1 LSB error is caught.
+///
+/// # Errors
+///
+/// Returns [`VerifyError::IntMismatch`] at the first differing element
+/// and [`VerifyError::ShapeMismatch`] when the run carries no integer
+/// result (an f32 run routed to the integer checker) or the operands
+/// disagree.
+pub fn check_int_exact(
+    run: &KernelRun,
+    a: &StructuredSparseMatrix,
+    b: &DenseMatrix,
+) -> Result<(), VerifyError> {
+    let got = run.c_int.as_ref().ok_or(VerifyError::ShapeMismatch)?;
+    let reference = quant::spmm_reference_i32(a, b).map_err(|_| VerifyError::ShapeMismatch)?;
+    if got.shape() != reference.shape() {
+        return Err(VerifyError::ShapeMismatch);
+    }
+    if let Some((row, col, got, want)) = got.first_mismatch(&reference) {
+        return Err(VerifyError::IntMismatch {
+            row,
+            col,
+            got,
+            want,
+        });
+    }
+    Ok(())
+}
+
+/// Convenience: run and verify in one call. Quantized layouts verify
+/// bit-exactly via [`check_int_exact`]; f32 layouts use the `k`-scaled
+/// tolerance.
 ///
 /// # Errors
 ///
@@ -142,7 +222,11 @@ pub fn run_and_check(
     cfg: &SimConfig,
 ) -> Result<KernelRun, VerifyError> {
     let run = run_kernel(program, a, b, layout, cfg)?;
-    check_against_reference(&run, a, b, default_tolerance(layout.dims.inner))?;
+    if layout.elem.is_int() {
+        check_int_exact(&run, a, b)?;
+    } else {
+        check_against_reference(&run, a, b, default_tolerance(layout.dims.inner))?;
+    }
     Ok(run)
 }
 
@@ -183,9 +267,15 @@ mod tests {
     fn rowwise_all_dataflows_agree() {
         let (a, b, layout) = fixture(7, 48, 18, NmPattern::P2_4, 5);
         for df in Dataflow::ALL {
-            let p = rowwise::build(&layout, &KernelParams { unroll: 4, dataflow: df }).unwrap();
-            run_and_check(&p, &a, &b, &layout, &cfg())
-                .unwrap_or_else(|e| panic!("{df}: {e}"));
+            let p = rowwise::build(
+                &layout,
+                &KernelParams {
+                    unroll: 4,
+                    dataflow: df,
+                },
+            )
+            .unwrap();
+            run_and_check(&p, &a, &b, &layout, &cfg()).unwrap_or_else(|e| panic!("{df}: {e}"));
         }
     }
 
@@ -215,8 +305,14 @@ mod tests {
             let a = prune::random_structured(6, 32, NmPattern::P2_4, 53);
             let b = DenseMatrix::random(32, 40, 54);
             let layout = GemmLayout::plan_grouped(&a, 40, &cfg(), tile_rows, lmul).unwrap();
-            let p = indexmac2::build(&layout, &KernelParams { unroll, ..Default::default() })
-                .unwrap();
+            let p = indexmac2::build(
+                &layout,
+                &KernelParams {
+                    unroll,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
             run_and_check(&p, &a, &b, &layout, &cfg())
                 .unwrap_or_else(|e| panic!("lmul {lmul}: {e}"));
         }
@@ -261,8 +357,14 @@ mod tests {
     fn indexmac_all_unrolls_agree() {
         let (a, b, layout) = fixture(5, 32, 33, NmPattern::P1_4, 44);
         for unroll in [1, 2, 3, 4] {
-            let p = indexmac::build(&layout, &KernelParams { unroll, ..Default::default() })
-                .unwrap();
+            let p = indexmac::build(
+                &layout,
+                &KernelParams {
+                    unroll,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
             run_and_check(&p, &a, &b, &layout, &cfg())
                 .unwrap_or_else(|e| panic!("unroll {unroll}: {e}"));
         }
@@ -362,6 +464,176 @@ mod tests {
         assert_eq!(layout.num_ktiles, 256);
         let p = indexmac::build(&layout, &KernelParams::default()).unwrap();
         run_and_check(&p, &a, &b, &layout, &cfg()).unwrap();
+    }
+
+    fn int_fixture(
+        rows: usize,
+        inner: usize,
+        cols: usize,
+        pattern: NmPattern,
+        elem: indexmac_sparse::ElemType,
+        seed: u64,
+    ) -> (StructuredSparseMatrix, DenseMatrix, GemmLayout) {
+        use indexmac_sparse::quant;
+        let a = quant::random_structured_int(rows, inner, pattern, seed, elem);
+        let b = quant::random_dense_int(inner, cols, seed + 1, elem);
+        let layout = GemmLayout::plan_elem(&a, cols, &cfg(), 16, 1, elem).unwrap();
+        (a, b, layout)
+    }
+
+    #[test]
+    fn quantized_indexmac_kernels_are_bit_exact() {
+        use indexmac_sparse::ElemType;
+        for elem in [ElemType::I8, ElemType::I16] {
+            for pattern in NmPattern::EVALUATED {
+                let (a, b, layout) = int_fixture(5, 32, 70, pattern, elem, 60);
+                let unroll = crate::indexmac::max_unroll(&layout);
+                let params = KernelParams {
+                    unroll,
+                    ..Default::default()
+                };
+                let r1 = run_and_check(
+                    &crate::indexmac::build(&layout, &params).unwrap(),
+                    &a,
+                    &b,
+                    &layout,
+                    &cfg(),
+                )
+                .unwrap_or_else(|e| panic!("{elem} {pattern} vx: {e}"));
+                assert!(r1.c_int.is_some(), "quantized runs carry the i32 product");
+                let params2 = KernelParams {
+                    unroll: indexmac2::max_unroll(&layout),
+                    ..Default::default()
+                };
+                run_and_check(
+                    &indexmac2::build(&layout, &params2).unwrap(),
+                    &a,
+                    &b,
+                    &layout,
+                    &cfg(),
+                )
+                .unwrap_or_else(|e| panic!("{elem} {pattern} vvi: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn quantized_verification_catches_one_lsb_errors() {
+        // Regression: the integer path must compare with `==`, not the
+        // float tolerance — a ±1 LSB error anywhere is a hard failure.
+        use indexmac_sparse::ElemType;
+        let (a, b, layout) = int_fixture(3, 16, 8, NmPattern::P1_4, ElemType::I8, 61);
+        let params = KernelParams {
+            unroll: indexmac2::max_unroll(&layout),
+            ..Default::default()
+        };
+        let p = indexmac2::build(&layout, &params).unwrap();
+        let mut run = run_kernel(&p, &a, &b, &layout, &cfg()).unwrap();
+        check_int_exact(&run, &a, &b).expect("unperturbed product is exact");
+        let ci = run.c_int.as_mut().unwrap();
+        let old = ci.get(1, 3);
+        ci.set(1, 3, old + 1); // one LSB off
+        match check_int_exact(&run, &a, &b) {
+            Err(VerifyError::IntMismatch {
+                row: 1,
+                col: 3,
+                got,
+                want,
+            }) => {
+                assert_eq!(got, want + 1);
+            }
+            other => panic!("±1 LSB error must be caught, got {other:?}"),
+        }
+        // -1 LSB equally.
+        run.c_int.as_mut().unwrap().set(1, 3, old - 1);
+        assert!(matches!(
+            check_int_exact(&run, &a, &b),
+            Err(VerifyError::IntMismatch { row: 1, col: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn float_runs_reject_the_integer_checker() {
+        let (a, b, layout) = fixture(3, 16, 8, NmPattern::P1_4, 62);
+        let p = indexmac::build(&layout, &KernelParams::default()).unwrap();
+        let run = run_kernel(&p, &a, &b, &layout, &cfg()).unwrap();
+        assert!(run.c_int.is_none());
+        assert!(matches!(
+            check_int_exact(&run, &a, &b),
+            Err(VerifyError::ShapeMismatch)
+        ));
+    }
+
+    #[test]
+    fn walk_kernels_reject_quantized_layouts() {
+        use crate::KernelError;
+        use indexmac_sparse::ElemType;
+        let (_, _, layout) = int_fixture(4, 16, 8, NmPattern::P1_4, ElemType::I8, 63);
+        for (name, err) in [
+            (
+                "dense",
+                dense::build(&layout, &KernelParams::default()).unwrap_err(),
+            ),
+            (
+                "rowwise",
+                rowwise::build(&layout, &KernelParams::default()).unwrap_err(),
+            ),
+            (
+                "scalar_idx",
+                scalar_idx::build(&layout, &KernelParams::default()).unwrap_err(),
+            ),
+        ] {
+            assert!(
+                matches!(err, KernelError::UnsupportedPrecision { .. }),
+                "{name}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn e8_beats_e32_on_cycles_and_vector_instructions() {
+        // The headline of the refactor: at equal dims the e8 datapath
+        // covers a column tile with 4x fewer instructions, so IndexMAC2
+        // wins on cycles AND dynamic vector instructions, with >= 2x
+        // fewer vector instructions in steady state.
+        use indexmac_sparse::{prune, ElemType};
+        let dims = (16usize, 64usize, 64usize);
+        let f_a = prune::random_structured(dims.0, dims.1, NmPattern::P1_4, 70);
+        let f_b = DenseMatrix::random(dims.1, dims.2, 71);
+        let f_layout = GemmLayout::plan(&f_a, dims.2, &cfg(), 16).unwrap();
+        let e32 = run_and_check(
+            &indexmac2::build(&f_layout, &KernelParams::default()).unwrap(),
+            &f_a,
+            &f_b,
+            &f_layout,
+            &cfg(),
+        )
+        .unwrap();
+        let (a, b, layout) = int_fixture(dims.0, dims.1, dims.2, NmPattern::P1_4, ElemType::I8, 70);
+        let params = KernelParams {
+            unroll: indexmac2::max_unroll(&layout),
+            ..Default::default()
+        };
+        let e8 = run_and_check(
+            &indexmac2::build(&layout, &params).unwrap(),
+            &a,
+            &b,
+            &layout,
+            &cfg(),
+        )
+        .unwrap();
+        assert!(
+            e8.report.cycles < e32.report.cycles,
+            "e8 {} cycles vs e32 {}",
+            e8.report.cycles,
+            e32.report.cycles
+        );
+        assert!(
+            e8.report.counts.vector_total() * 2 <= e32.report.counts.vector_total(),
+            "e8 {} vector instructions vs e32 {}",
+            e8.report.counts.vector_total(),
+            e32.report.counts.vector_total()
+        );
     }
 
     #[test]

@@ -12,14 +12,21 @@
 //!   instructions, and a vector-MAC count exactly matching the
 //!   slot-derived expectation of the layout.
 //!
+//! The kernel family additionally runs at **every supported SEW**: the
+//! `vindexmac` kernels are re-drawn at e8/e16, where the product must
+//! match the exact i32 reference **bit-for-bit** (no tolerance) and the
+//! narrow datapath must never issue more vector instructions than the
+//! same shape at e32.
+//!
 //! The random case count honours `PROPTEST_CASES` like the rest of the
 //! workspace's property suites (CI pins it for a deterministic budget).
 
-use indexmac_kernels::{
-    dense, indexmac, indexmac2, rowwise, scalar_idx, verify, Dataflow, GemmLayout, KernelParams,
-};
 use indexmac_isa::{InstrClass, Program};
-use indexmac_sparse::{prune, DenseMatrix, NmPattern, StructuredSparseMatrix};
+use indexmac_kernels::{
+    dense, indexmac, indexmac2, rowwise, scalar_idx, verify, Dataflow, ElemType, GemmLayout,
+    KernelParams,
+};
+use indexmac_sparse::{prune, quant, DenseMatrix, NmPattern, StructuredSparseMatrix};
 use indexmac_vpu::{RunReport, SimConfig};
 use proptest::prelude::*;
 
@@ -61,6 +68,23 @@ fn operands(
     let a = prune::random_structured(rows, inner, pattern, seed);
     let b = DenseMatrix::random(inner, cols, seed.wrapping_add(1));
     (a, b)
+}
+
+fn int_operands(
+    rows: usize,
+    inner: usize,
+    cols: usize,
+    pattern: NmPattern,
+    seed: u64,
+    elem: ElemType,
+) -> (StructuredSparseMatrix, DenseMatrix) {
+    let a = quant::random_structured_int(rows, inner, pattern, seed, elem);
+    let b = quant::random_dense_int(inner, cols, seed.wrapping_add(1), elem);
+    (a, b)
+}
+
+fn elem_strategy() -> impl Strategy<Value = ElemType> {
+    prop_oneof![Just(ElemType::I8), Just(ElemType::I16)]
 }
 
 /// Runs one built program and enforces the shared report invariants.
@@ -198,5 +222,62 @@ proptest! {
         let r = run_checked(&format!("vvi-m{lmul}"), &p, &a, &b, &layout)?;
         prop_assert_eq!(r.counts.get(InstrClass::VIndexMac), expected_sparse_macs(&layout));
         prop_assert_eq!(r.v2s_syncs, 0);
+    }
+
+    /// The kernel family at every supported SEW: both `vindexmac`
+    /// kernels compute the **bit-exact** i32 product at e8/e16 over
+    /// random draws, with the same slot-derived MAC-count invariant —
+    /// and the e8 run never issues more vector instructions than the
+    /// same shape at e32.
+    #[test]
+    fn quantized_kernels_agree_with_exact_reference(
+        dims in dims_strategy(),
+        pattern in pattern_strategy(),
+        elem in elem_strategy(),
+        unroll in 1usize..=4,
+        seed in 0u64..1000,
+    ) {
+        let (rows, inner, cols) = dims;
+        let (a, b) = int_operands(rows, inner, cols, pattern, seed, elem);
+        let layout = GemmLayout::plan_elem(&a, cols, &cfg(), TILE_ROWS, 1, elem).unwrap();
+        let sparse_macs = expected_sparse_macs(&layout);
+
+        let v1_params = KernelParams {
+            unroll: unroll.min(indexmac::max_unroll(&layout)).max(1),
+            ..Default::default()
+        };
+        let p1 = indexmac::build(&layout, &v1_params).unwrap();
+        let run1 = verify::run_kernel(&p1, &a, &b, &layout, &cfg())
+            .map_err(|e| TestCaseError::fail(format!("{elem} vx: {e}")))?;
+        verify::check_int_exact(&run1, &a, &b)
+            .map_err(|e| TestCaseError::fail(format!("{elem} vx: {e}")))?;
+        prop_assert_eq!(run1.report.counts.get(InstrClass::VIndexMac), sparse_macs);
+        prop_assert!(run1.report.v2s_syncs >= sparse_macs);
+
+        let v2_params = KernelParams {
+            unroll: unroll.min(indexmac2::max_unroll(&layout)).max(1),
+            ..Default::default()
+        };
+        let p2 = indexmac2::build(&layout, &v2_params).unwrap();
+        let run2 = verify::run_kernel(&p2, &a, &b, &layout, &cfg())
+            .map_err(|e| TestCaseError::fail(format!("{elem} vvi: {e}")))?;
+        verify::check_int_exact(&run2, &a, &b)
+            .map_err(|e| TestCaseError::fail(format!("{elem} vvi: {e}")))?;
+        prop_assert_eq!(run2.report.counts.get(InstrClass::VIndexMac), sparse_macs);
+        prop_assert_eq!(run2.report.v2s_syncs, 0, "vvi keeps the index inside the VRF");
+
+        // SEW scaling: the narrow datapath never needs more vector
+        // instructions than the same GEMM at e32.
+        let (fa, fb) = operands(rows, inner, cols, pattern, seed);
+        let flayout = GemmLayout::plan(&fa, cols, &cfg(), TILE_ROWS).unwrap();
+        let fp = indexmac2::build(&flayout, &v2_params).unwrap();
+        let frun = run_checked("vvi-e32", &fp, &fa, &fb, &flayout)?;
+        prop_assert!(
+            run2.report.counts.vector_total() <= frun.counts.vector_total(),
+            "{}: e-narrow {} vector ops vs e32 {}",
+            elem,
+            run2.report.counts.vector_total(),
+            frun.counts.vector_total()
+        );
     }
 }

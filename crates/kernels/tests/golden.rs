@@ -5,40 +5,40 @@
 //! snapshot only when an emission change is *intentional*.
 
 use indexmac_isa::Program;
-use indexmac_kernels::{
-    dense, indexmac, indexmac2, rowwise, scalar_idx, GemmLayout, KernelParams,
-};
-use indexmac_sparse::{DenseMatrix, NmPattern, StructuredSparseMatrix};
+use indexmac_kernels::{dense, indexmac, indexmac2, rowwise, scalar_idx, GemmLayout, KernelParams};
+use indexmac_sparse::{DenseMatrix, ElemType, NmPattern, StructuredSparseMatrix};
 use indexmac_vpu::SimConfig;
 
 /// A 1x8 1:4 matrix with nonzeros at columns 1 and 6 — one k-tile, one
 /// column tile, two slots.
 fn tiny_layout() -> GemmLayout {
-    let dense = DenseMatrix::try_new(
-        1,
-        8,
-        vec![0.0, 2.0, 0.0, 0.0, 0.0, 0.0, -3.0, 0.0],
-    )
-    .unwrap();
+    let dense = DenseMatrix::try_new(1, 8, vec![0.0, 2.0, 0.0, 0.0, 0.0, 0.0, -3.0, 0.0]).unwrap();
     let a = StructuredSparseMatrix::from_dense(&dense, NmPattern::P1_4).unwrap();
     GemmLayout::plan(&a, 4, &SimConfig::table_i(), 8).unwrap()
 }
 
 /// The same matrix planned under m2 register grouping.
 fn tiny_grouped_layout() -> GemmLayout {
-    let dense = DenseMatrix::try_new(
-        1,
-        8,
-        vec![0.0, 2.0, 0.0, 0.0, 0.0, 0.0, -3.0, 0.0],
-    )
-    .unwrap();
+    let dense = DenseMatrix::try_new(1, 8, vec![0.0, 2.0, 0.0, 0.0, 0.0, 0.0, -3.0, 0.0]).unwrap();
     let a = StructuredSparseMatrix::from_dense(&dense, NmPattern::P1_4).unwrap();
     GemmLayout::plan_grouped(&a, 4, &SimConfig::table_i(), 8, 2).unwrap()
 }
 
+/// The same matrix planned at a quantized element width (values are
+/// exact small integers, as the quantized pipeline requires).
+fn tiny_int_layout(elem: ElemType) -> GemmLayout {
+    let dense = DenseMatrix::try_new(1, 8, vec![0.0, 2.0, 0.0, 0.0, 0.0, 0.0, -3.0, 0.0]).unwrap();
+    let a = StructuredSparseMatrix::from_dense(&dense, NmPattern::P1_4).unwrap();
+    GemmLayout::plan_elem(&a, 4, &SimConfig::table_i(), 8, 1, elem).unwrap()
+}
+
 /// The first `n` disassembled instructions of a program.
 fn prefix(p: &Program, n: usize) -> Vec<String> {
-    p.instructions().iter().take(n).map(|i| i.to_string()).collect()
+    p.instructions()
+        .iter()
+        .take(n)
+        .map(|i| i.to_string())
+        .collect()
 }
 
 fn assert_prefix(name: &str, p: &Program, expected: &[&str]) {
@@ -54,9 +54,15 @@ fn assert_prefix(name: &str, p: &Program, expected: &[&str]) {
 #[test]
 fn indexmac_kernel_listing_is_stable() {
     let layout = tiny_layout();
-    let p = indexmac::build(&layout, &KernelParams { unroll: 1, ..Default::default() }).unwrap();
-    let listing: Vec<String> =
-        p.instructions().iter().map(|i| i.to_string()).collect();
+    let p = indexmac::build(
+        &layout,
+        &KernelParams {
+            unroll: 1,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let listing: Vec<String> = p.instructions().iter().map(|i| i.to_string()).collect();
     // Prologue, one tile preload (L=8), one row group, two slots, store.
     let expected = vec![
         // prologue
@@ -118,7 +124,8 @@ fn indexmac_kernel_listing_is_stable() {
         "ebreak",
     ];
     assert_eq!(
-        listing, expected,
+        listing,
+        expected,
         "generated listing changed:\n{}",
         listing.join("\n")
     );
@@ -127,7 +134,14 @@ fn indexmac_kernel_listing_is_stable() {
 #[test]
 fn rowwise_inner_loop_shape_is_stable() {
     let layout = tiny_layout();
-    let p = rowwise::build(&layout, &KernelParams { unroll: 1, ..Default::default() }).unwrap();
+    let p = rowwise::build(
+        &layout,
+        &KernelParams {
+            unroll: 1,
+            ..Default::default()
+        },
+    )
+    .unwrap();
     let listing: Vec<String> = p.instructions().iter().map(|i| i.to_string()).collect();
     // The six-instruction inner sequence of Algorithm 2, slot 0: move
     // address, load B slice, move value, MAC, two slides.
@@ -147,13 +161,21 @@ fn rowwise_inner_loop_shape_is_stable() {
         ]
     );
     // And the per-row address adjust of line 5 precedes it.
-    assert!(listing[..idx].iter().any(|l| l.starts_with("vadd.vx v8, v8, s5")));
+    assert!(listing[..idx]
+        .iter()
+        .any(|l| l.starts_with("vadd.vx v8, v8, s5")));
 }
 
 #[test]
 fn dense_kernel_prefix_is_stable() {
-    let p = dense::build(&tiny_layout(), &KernelParams { unroll: 1, ..Default::default() })
-        .unwrap();
+    let p = dense::build(
+        &tiny_layout(),
+        &KernelParams {
+            unroll: 1,
+            ..Default::default()
+        },
+    )
+    .unwrap();
     assert_prefix(
         "dense",
         &p,
@@ -204,8 +226,14 @@ fn dense_kernel_prefix_is_stable() {
 
 #[test]
 fn rowwise_kernel_prefix_is_stable() {
-    let p = rowwise::build(&tiny_layout(), &KernelParams { unroll: 1, ..Default::default() })
-        .unwrap();
+    let p = rowwise::build(
+        &tiny_layout(),
+        &KernelParams {
+            unroll: 1,
+            ..Default::default()
+        },
+    )
+    .unwrap();
     assert_prefix(
         "rowwise",
         &p,
@@ -255,8 +283,14 @@ fn rowwise_kernel_prefix_is_stable() {
 
 #[test]
 fn scalar_idx_kernel_prefix_is_stable() {
-    let p = scalar_idx::build(&tiny_layout(), &KernelParams { unroll: 1, ..Default::default() })
-        .unwrap();
+    let p = scalar_idx::build(
+        &tiny_layout(),
+        &KernelParams {
+            unroll: 1,
+            ..Default::default()
+        },
+    )
+    .unwrap();
     assert_prefix(
         "scalar_idx",
         &p,
@@ -310,8 +344,14 @@ fn indexmac2_kernel_listing_is_stable() {
     // The second-generation kernel at unroll 1: the whole program fits
     // in the snapshot. Note the one-instruction steady state — no
     // vmv.x.s, no slides, metadata read in place by slot immediate.
-    let p = indexmac2::build(&tiny_layout(), &KernelParams { unroll: 1, ..Default::default() })
-        .unwrap();
+    let p = indexmac2::build(
+        &tiny_layout(),
+        &KernelParams {
+            unroll: 1,
+            ..Default::default()
+        },
+    )
+    .unwrap();
     assert_prefix(
         "indexmac2",
         &p,
@@ -365,9 +405,14 @@ fn indexmac2_grouped_kernel_prefix_is_stable() {
     // m2 grouping: 128-byte row stride (32-element column tile), tile
     // rows land on even registers (v16, v18, ...), metadata loads drop
     // to m1 and the data side returns to m2 before the C load.
-    let p =
-        indexmac2::build(&tiny_grouped_layout(), &KernelParams { unroll: 1, ..Default::default() })
-            .unwrap();
+    let p = indexmac2::build(
+        &tiny_grouped_layout(),
+        &KernelParams {
+            unroll: 1,
+            ..Default::default()
+        },
+    )
+    .unwrap();
     assert_prefix(
         "indexmac2-m2",
         &p,
@@ -411,6 +456,142 @@ fn indexmac2_grouped_kernel_prefix_is_stable() {
             "vindexmac.vvi v0, v2, v3, 1",
             "addi t4, t4, -1",
             "bne t4, zero, 1",
+            "vse32.v v0, (a1)",
+        ],
+    );
+}
+
+#[test]
+fn indexmac2_e8_kernel_prefix_is_stable() {
+    // The widening int8 second-generation kernel: 64-element column
+    // tiles (vl = VLEN/8), one-byte B/metadata loads (`vle8`), and the
+    // i32 accumulator as the v0..v3 group loaded/stored under e32,m4.
+    // The steady state stays ONE vindexmac.vvi per non-zero slot.
+    let p = indexmac2::build(
+        &tiny_int_layout(ElemType::I8),
+        &KernelParams {
+            unroll: 1,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert_prefix(
+        "indexmac2-e8",
+        &p,
+        &[
+            "li a0, 64",
+            "vsetvli zero, a0, e8,m1",
+            "li s9, 64",
+            "li s6, 1",
+            "li t6, 1",
+            "li a0, 1064960",
+            "vle8.v v24, (a0)",
+            "add a0, a0, s9",
+            "vle8.v v25, (a0)",
+            "add a0, a0, s9",
+            "vle8.v v26, (a0)",
+            "add a0, a0, s9",
+            "vle8.v v27, (a0)",
+            "add a0, a0, s9",
+            "vle8.v v28, (a0)",
+            "add a0, a0, s9",
+            "vle8.v v29, (a0)",
+            "add a0, a0, s9",
+            "vle8.v v30, (a0)",
+            "add a0, a0, s9",
+            "vle8.v v31, (a0)",
+            "li t5, 1",
+            "li a1, 1069056",
+            "li a0, 1048576",
+            "vle8.v v4, (a0)",
+            "li a0, 1056768",
+            "vle8.v v5, (a0)",
+            "li a0, 64",
+            "vsetvli zero, a0, e32,m4",
+            "vle32.v v0, (a1)",
+            "li a0, 64",
+            "vsetvli zero, a0, e8,m1",
+            "li t4, 2",
+            "vindexmac.vvi v0, v4, v5, 0",
+            "addi t4, t4, -1",
+            "bne t4, zero, 1",
+            "vindexmac.vvi v0, v4, v5, 1",
+            "addi t4, t4, -1",
+            "bne t4, zero, 1",
+            "li a0, 64",
+            "vsetvli zero, a0, e32,m4",
+            "vse32.v v0, (a1)",
+            "li a0, 64",
+            "vsetvli zero, a0, e8,m1",
+            "addi t5, t5, -1",
+        ],
+    );
+}
+
+#[test]
+fn indexmac_e16_kernel_prefix_is_stable() {
+    // Algorithm 3 at e16: 32-element tiles, `vle16` B/metadata loads,
+    // the slide walk shifting 16-bit lanes, and the i32 accumulator as
+    // the v0v1 pair under e32,m2.
+    let p = indexmac::build(
+        &tiny_int_layout(ElemType::I16),
+        &KernelParams {
+            unroll: 1,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert_prefix(
+        "indexmac-e16",
+        &p,
+        &[
+            "li a0, 32",
+            "vsetvli zero, a0, e16,m1",
+            "li s9, 64",
+            "li s6, 1",
+            "li t6, 1",
+            "li a0, 1064960",
+            "vle16.v v24, (a0)",
+            "add a0, a0, s9",
+            "vle16.v v25, (a0)",
+            "add a0, a0, s9",
+            "vle16.v v26, (a0)",
+            "add a0, a0, s9",
+            "vle16.v v27, (a0)",
+            "add a0, a0, s9",
+            "vle16.v v28, (a0)",
+            "add a0, a0, s9",
+            "vle16.v v29, (a0)",
+            "add a0, a0, s9",
+            "vle16.v v30, (a0)",
+            "add a0, a0, s9",
+            "vle16.v v31, (a0)",
+            "li t5, 1",
+            "li a1, 1069056",
+            "li a0, 1048576",
+            "vle16.v v2, (a0)",
+            "li a0, 1056768",
+            "vle16.v v3, (a0)",
+            "li a0, 32",
+            "vsetvli zero, a0, e32,m2",
+            "vle32.v v0, (a1)",
+            "li a0, 32",
+            "vsetvli zero, a0, e16,m1",
+            "li t4, 2",
+            "vmv.x.s t0, v3",
+            "vindexmac.vx v0, v2, t0",
+            "vslide1down.vx v2, v2, zero",
+            "vslide1down.vx v3, v3, zero",
+            "addi t4, t4, -1",
+            "bne t4, zero, 1",
+            "vmv.x.s t0, v3",
+            "vindexmac.vx v0, v2, t0",
+            "vslide1down.vx v2, v2, zero",
+            "vslide1down.vx v3, v3, zero",
+            "addi t4, t4, -1",
+            "bne t4, zero, 1",
+            "li a0, 32",
+            "vsetvli zero, a0, e32,m2",
             "vse32.v v0, (a1)",
         ],
     );

@@ -26,12 +26,20 @@ impl CacheConfig {
 
     /// Paper Table I L1D: 64 KiB, 4-way, 64 B lines.
     pub fn table_i_l1d() -> Self {
-        Self { size_bytes: 64 * 1024, ways: 4, line_bytes: 64 }
+        Self {
+            size_bytes: 64 * 1024,
+            ways: 4,
+            line_bytes: 64,
+        }
     }
 
     /// Paper Table I L2: 512 KiB, 8-way, 64 B lines.
     pub fn table_i_l2() -> Self {
-        Self { size_bytes: 512 * 1024, ways: 8, line_bytes: 64 }
+        Self {
+            size_bytes: 512 * 1024,
+            ways: 8,
+            line_bytes: 64,
+        }
     }
 }
 
@@ -119,7 +127,10 @@ impl Cache {
     /// size and set count are powers of two (required for bit-sliced
     /// indexing, as in real hardware).
     pub fn new(cfg: CacheConfig) -> Self {
-        assert!(cfg.line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            cfg.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         assert!(cfg.ways > 0, "associativity must be non-zero");
         let sets = cfg.sets();
         assert!(sets > 0, "cache must have at least one set");
@@ -129,7 +140,12 @@ impl Cache {
             cfg.size_bytes,
             "size must factor exactly into sets*ways*line"
         );
-        Self { cfg, lines: vec![Line::default(); sets * cfg.ways], clock: 0, stats: CacheStats::default() }
+        Self {
+            cfg,
+            lines: vec![Line::default(); sets * cfg.ways],
+            clock: 0,
+            stats: CacheStats::default(),
+        }
     }
 
     /// The configuration this cache was built with.
@@ -181,14 +197,23 @@ impl Cache {
                     self.lines[i].dirty = true;
                 }
                 self.stats.hits += 1;
-                return AccessResult { hit: true, writeback: false };
+                return AccessResult {
+                    hit: true,
+                    writeback: false,
+                };
             }
         }
 
         // Miss: pick invalid way, else LRU victim.
         self.stats.misses += 1;
         let victim = (base..base + ways)
-            .min_by_key(|&i| if self.lines[i].valid { self.lines[i].stamp } else { 0 })
+            .min_by_key(|&i| {
+                if self.lines[i].valid {
+                    self.lines[i].stamp
+                } else {
+                    0
+                }
+            })
             .expect("ways > 0");
         let mut writeback = false;
         if self.lines[victim].valid {
@@ -204,7 +229,10 @@ impl Cache {
             dirty: kind == AccessKind::Write,
             stamp: self.clock,
         };
-        AccessResult { hit: false, writeback }
+        AccessResult {
+            hit: false,
+            writeback,
+        }
     }
 
     /// Invalidates every line and clears dirtiness (statistics retained).
@@ -242,7 +270,11 @@ mod tests {
 
     fn tiny() -> Cache {
         // 4 sets x 2 ways x 64 B = 512 B.
-        Cache::new(CacheConfig { size_bytes: 512, ways: 2, line_bytes: 64 })
+        Cache::new(CacheConfig {
+            size_bytes: 512,
+            ways: 2,
+            line_bytes: 64,
+        })
     }
 
     #[test]
@@ -323,7 +355,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "power of two")]
     fn rejects_non_pow2_sets() {
-        let _ = Cache::new(CacheConfig { size_bytes: 3 * 64 * 2, ways: 2, line_bytes: 64 });
+        let _ = Cache::new(CacheConfig {
+            size_bytes: 3 * 64 * 2,
+            ways: 2,
+            line_bytes: 64,
+        });
     }
 
     #[test]

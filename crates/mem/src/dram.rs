@@ -22,7 +22,10 @@ impl DramConfig {
     /// DDR4-2400 at a 2 GHz core: ~45 ns loaded latency -> 90 cycles;
     /// 19.2 GB/s -> 64 B every 6.67 cycles, rounded to 7.
     pub fn ddr4_2400() -> Self {
-        Self { latency: 90, cycles_per_line: 7 }
+        Self {
+            latency: 90,
+            cycles_per_line: 7,
+        }
     }
 }
 
@@ -45,7 +48,12 @@ pub struct DramModel {
 impl DramModel {
     /// Creates a channel with the given timing.
     pub fn new(cfg: DramConfig) -> Self {
-        Self { cfg, next_free: 0, lines_served: 0, queue_cycles: 0 }
+        Self {
+            cfg,
+            next_free: 0,
+            lines_served: 0,
+            queue_cycles: 0,
+        }
     }
 
     /// The configured timing parameters.
@@ -80,14 +88,20 @@ mod tests {
 
     #[test]
     fn isolated_access_pays_latency_only() {
-        let mut d = DramModel::new(DramConfig { latency: 100, cycles_per_line: 10 });
+        let mut d = DramModel::new(DramConfig {
+            latency: 100,
+            cycles_per_line: 10,
+        });
         assert_eq!(d.access(50), 150);
         assert_eq!(d.queue_cycles(), 0);
     }
 
     #[test]
     fn back_to_back_requests_serialise() {
-        let mut d = DramModel::new(DramConfig { latency: 100, cycles_per_line: 10 });
+        let mut d = DramModel::new(DramConfig {
+            latency: 100,
+            cycles_per_line: 10,
+        });
         assert_eq!(d.access(0), 100);
         // Second request at the same cycle queues behind the first line.
         assert_eq!(d.access(0), 110);
@@ -98,7 +112,10 @@ mod tests {
 
     #[test]
     fn spaced_requests_do_not_queue() {
-        let mut d = DramModel::new(DramConfig { latency: 100, cycles_per_line: 10 });
+        let mut d = DramModel::new(DramConfig {
+            latency: 100,
+            cycles_per_line: 10,
+        });
         assert_eq!(d.access(0), 100);
         assert_eq!(d.access(10), 110);
         assert_eq!(d.access(25), 125);

@@ -122,7 +122,7 @@ impl MemoryHierarchy {
             start + self.cfg.l2_latency
         } else {
             self.stats.dram_reads += 1;
-            
+
             self.dram.access(start + self.cfg.l2_latency)
         }
     }
@@ -156,7 +156,8 @@ impl MemoryHierarchy {
                 now + self.cfg.l1_latency
             } else {
                 // L1 fill from L2 (plus DRAM beneath on L2 miss).
-                let l2_done = self.l2_line_access(line, AccessKind::Read, now + self.cfg.l1_latency);
+                let l2_done =
+                    self.l2_line_access(line, AccessKind::Read, now + self.cfg.l1_latency);
                 if res.writeback {
                     // L1 dirty victim drains into L2 off the critical path.
                     self.l2_line_access(line, AccessKind::Write, l2_done);

@@ -140,7 +140,9 @@ impl MainMemory {
 
     /// Bulk-reads `count` `f32` values from consecutive addresses.
     pub fn read_f32_slice(&self, addr: u64, count: usize) -> Vec<f32> {
-        (0..count).map(|i| self.read_f32(addr + (i * 4) as u64)).collect()
+        (0..count)
+            .map(|i| self.read_f32(addr + (i * 4) as u64))
+            .collect()
     }
 
     /// Bulk-writes a slice of `u32` values at consecutive addresses.
@@ -196,9 +198,16 @@ mod tests {
     #[test]
     fn f32_roundtrip_including_specials() {
         let mut m = MainMemory::new();
-        for (i, v) in [0.0f32, -0.0, 1.5, -3.25e10, f32::INFINITY, f32::MIN_POSITIVE]
-            .iter()
-            .enumerate()
+        for (i, v) in [
+            0.0f32,
+            -0.0,
+            1.5,
+            -3.25e10,
+            f32::INFINITY,
+            f32::MIN_POSITIVE,
+        ]
+        .iter()
+        .enumerate()
         {
             let a = 0x3000 + (i * 4) as u64;
             m.write_f32(a, *v);

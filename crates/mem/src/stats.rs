@@ -87,8 +87,16 @@ mod tests {
 
     #[test]
     fn merge_adds_fields() {
-        let a = MemStats { scalar_loads: 1, vector_loads: 2, ..Default::default() };
-        let b = MemStats { scalar_loads: 10, dram_writes: 4, ..Default::default() };
+        let a = MemStats {
+            scalar_loads: 1,
+            vector_loads: 2,
+            ..Default::default()
+        };
+        let b = MemStats {
+            scalar_loads: 10,
+            dram_writes: 4,
+            ..Default::default()
+        };
         let m = a.merged(&b);
         assert_eq!(m.scalar_loads, 11);
         assert_eq!(m.vector_loads, 2);

@@ -7,7 +7,11 @@ fn small_cache_cfg() -> impl Strategy<Value = CacheConfig> {
     // sets in {1,2,4,8,16}, ways 1..4, line 32/64.
     (0u32..5, 1usize..5, prop_oneof![Just(32usize), Just(64)]).prop_map(|(s, ways, line)| {
         let sets = 1usize << s;
-        CacheConfig { size_bytes: sets * ways * line, ways, line_bytes: line }
+        CacheConfig {
+            size_bytes: sets * ways * line,
+            ways,
+            line_bytes: line,
+        }
     })
 }
 

@@ -39,7 +39,13 @@ impl CsrMatrix {
             }
             row_ptr.push(values.len() as u32);
         }
-        Self { rows, cols, row_ptr, col_idx, values }
+        Self {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        }
     }
 
     /// Number of rows.
@@ -131,7 +137,10 @@ mod tests {
         let d = sparse_dense(9, 13, 1);
         let csr = CsrMatrix::from_dense(&d);
         assert!(csr.to_dense().approx_eq(&d, 0.0));
-        assert_eq!(csr.nnz(), d.as_slice().iter().filter(|v| **v != 0.0).count());
+        assert_eq!(
+            csr.nnz(),
+            d.as_slice().iter().filter(|v| **v != 0.0).count()
+        );
     }
 
     #[test]

@@ -1,0 +1,133 @@
+//! Element-type abstraction for the multi-precision datapath.
+//!
+//! The paper evaluates fp32 GEMMs, but the structured-sparsity payoff is
+//! largest for quantized inference: at 8-bit elements every vector
+//! register holds 4× more elements, so the fixed-shape kernels cover a
+//! column tile in 4× fewer instructions. [`ElemType`] names the three
+//! precisions the datapath supports end to end:
+//!
+//! * [`ElemType::F32`] — the paper's configuration (32-bit IEEE floats,
+//!   `vfmacc`-style accumulation, tolerance-based verification);
+//! * [`ElemType::I16`] / [`ElemType::I8`] — quantized integer paths with
+//!   **widening** MACs (i16×i16 and i8×i8 products accumulated into
+//!   32-bit lanes) and a bit-exact i32 reference product.
+
+use std::fmt;
+
+/// The element precision of a GEMM's A and B operands.
+///
+/// The accumulator (C) is always 32 bits wide: `f32` for the float path
+/// and `i32` for both integer paths (the widening-MAC destination).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ElemType {
+    /// 32-bit IEEE-754 floats (SEW = e32), the paper's configuration.
+    #[default]
+    F32,
+    /// 16-bit signed integers (SEW = e16), widening i16×i16 → i32 MACs.
+    I16,
+    /// 8-bit signed integers (SEW = e8), widening i8×i8 → i32 MACs.
+    I8,
+}
+
+impl ElemType {
+    /// Every supported precision, widest first.
+    pub const ALL: [ElemType; 3] = [ElemType::F32, ElemType::I16, ElemType::I8];
+
+    /// Element width in bits (the RVV SEW the kernels select).
+    pub fn bits(self) -> usize {
+        match self {
+            ElemType::F32 => 32,
+            ElemType::I16 => 16,
+            ElemType::I8 => 8,
+        }
+    }
+
+    /// Element width in bytes (operand-array packing).
+    pub fn bytes(self) -> usize {
+        self.bits() / 8
+    }
+
+    /// Whether this is a quantized integer precision (exact i32
+    /// verification applies instead of the float tolerance).
+    pub fn is_int(self) -> bool {
+        !matches!(self, ElemType::F32)
+    }
+
+    /// Lanes-per-register widening factor of the accumulator relative to
+    /// the operand elements: 32 / bits (1 for f32, 2 for i16, 4 for i8).
+    pub fn widen(self) -> usize {
+        32 / self.bits()
+    }
+
+    /// Maps a SEW bit-width (8, 16 or 32) to its precision.
+    pub fn from_sew_bits(bits: usize) -> Option<Self> {
+        match bits {
+            8 => Some(ElemType::I8),
+            16 => Some(ElemType::I16),
+            32 => Some(ElemType::F32),
+            _ => None,
+        }
+    }
+
+    /// The inclusive magnitude bound of representable operand values
+    /// (`i8`/`i16` ranges; `f32` has none and reports `None`).
+    pub fn int_range(self) -> Option<(i32, i32)> {
+        match self {
+            ElemType::F32 => None,
+            ElemType::I16 => Some((i16::MIN as i32, i16::MAX as i32)),
+            ElemType::I8 => Some((i8::MIN as i32, i8::MAX as i32)),
+        }
+    }
+}
+
+impl fmt::Display for ElemType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ElemType::F32 => write!(f, "f32"),
+            ElemType::I16 => write!(f, "i16"),
+            ElemType::I8 => write!(f, "i8"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn widths_and_widening() {
+        assert_eq!(ElemType::F32.bits(), 32);
+        assert_eq!(ElemType::I16.bytes(), 2);
+        assert_eq!(ElemType::I8.bytes(), 1);
+        assert_eq!(ElemType::F32.widen(), 1);
+        assert_eq!(ElemType::I16.widen(), 2);
+        assert_eq!(ElemType::I8.widen(), 4);
+    }
+
+    #[test]
+    fn sew_bits_roundtrip() {
+        for e in ElemType::ALL {
+            assert_eq!(ElemType::from_sew_bits(e.bits()), Some(e));
+        }
+        assert_eq!(ElemType::from_sew_bits(64), None);
+        assert_eq!(ElemType::from_sew_bits(0), None);
+    }
+
+    #[test]
+    fn int_classification() {
+        assert!(!ElemType::F32.is_int());
+        assert!(ElemType::I16.is_int());
+        assert!(ElemType::I8.is_int());
+        assert_eq!(ElemType::I8.int_range(), Some((-128, 127)));
+        assert_eq!(ElemType::I16.int_range(), Some((-32768, 32767)));
+        assert_eq!(ElemType::F32.int_range(), None);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(ElemType::F32.to_string(), "f32");
+        assert_eq!(ElemType::I16.to_string(), "i16");
+        assert_eq!(ElemType::I8.to_string(), "i8");
+        assert_eq!(ElemType::default(), ElemType::F32);
+    }
+}

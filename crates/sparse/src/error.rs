@@ -64,20 +64,31 @@ impl fmt::Display for SparseError {
                 write!(f, "matrix dimensions must be non-zero, got {rows}x{cols}")
             }
             SparseError::DataLengthMismatch { expected, actual } => {
-                write!(f, "data length {actual} does not match rows*cols = {expected}")
+                write!(
+                    f,
+                    "data length {actual} does not match rows*cols = {expected}"
+                )
             }
             SparseError::DimensionMismatch { left, right } => write!(
                 f,
                 "incompatible dimensions {}x{} vs {}x{}",
                 left.0, left.1, right.0, right.1
             ),
-            SparseError::PatternViolation { row, block_start, found, allowed } => write!(
+            SparseError::PatternViolation {
+                row,
+                block_start,
+                found,
+                allowed,
+            } => write!(
                 f,
                 "row {row} block starting at column {block_start} has {found} non-zeros, \
                  pattern allows {allowed}"
             ),
             SparseError::IndexOutOfBlock { index, block } => {
-                write!(f, "in-block index {index} out of range for block size {block}")
+                write!(
+                    f,
+                    "in-block index {index} out of range for block size {block}"
+                )
             }
         }
     }
@@ -94,9 +105,20 @@ mod tests {
         let variants = [
             SparseError::InvalidPattern { n: 3, m: 2 },
             SparseError::EmptyDimension { rows: 0, cols: 4 },
-            SparseError::DataLengthMismatch { expected: 12, actual: 10 },
-            SparseError::DimensionMismatch { left: (2, 3), right: (4, 5) },
-            SparseError::PatternViolation { row: 1, block_start: 4, found: 3, allowed: 2 },
+            SparseError::DataLengthMismatch {
+                expected: 12,
+                actual: 10,
+            },
+            SparseError::DimensionMismatch {
+                left: (2, 3),
+                right: (4, 5),
+            },
+            SparseError::PatternViolation {
+                row: 1,
+                block_start: 4,
+                found: 3,
+                allowed: 2,
+            },
             SparseError::IndexOutOfBlock { index: 9, block: 4 },
         ];
         for v in variants {

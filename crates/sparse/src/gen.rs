@@ -33,7 +33,10 @@ pub fn uniform_vec_in(len: usize, lo: f32, hi: f32, seed: u64) -> Vec<f32> {
 ///
 /// Panics if `p_zero` is outside `[0, 1]`.
 pub fn sparse_uniform_vec(len: usize, p_zero: f64, seed: u64) -> Vec<f32> {
-    assert!((0.0..=1.0).contains(&p_zero), "p_zero must be a probability");
+    assert!(
+        (0.0..=1.0).contains(&p_zero),
+        "p_zero must be a probability"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     (0..len)
         .map(|_| {
@@ -57,7 +60,10 @@ pub fn sparse_uniform_vec(len: usize, p_zero: f64, seed: u64) -> Vec<f32> {
 ///
 /// Panics if `count > bound`.
 pub fn distinct_indices(count: usize, bound: usize, rng: &mut StdRng) -> Vec<usize> {
-    assert!(count <= bound, "cannot draw {count} distinct values from 0..{bound}");
+    assert!(
+        count <= bound,
+        "cannot draw {count} distinct values from 0..{bound}"
+    );
     // Partial Fisher-Yates over a scratch identity permutation.
     let mut pool: Vec<usize> = (0..bound).collect();
     for i in 0..count {

@@ -16,6 +16,9 @@
 //!   template (the software stand-in for the paper's TensorFlow pruning).
 //! * [`CsrMatrix`] — a conventional CSR format used for comparisons with
 //!   unstructured sparsity.
+//! * [`ElemType`] / [`quant`] — the multi-precision element abstraction:
+//!   the f32 golden path plus quantized i8/i16 operands with an exact
+//!   (bit-comparable) i32 reference product.
 //!
 //! # Example
 //!
@@ -33,17 +36,21 @@
 #![warn(missing_docs)]
 
 pub mod csr;
+pub mod elem;
 pub mod error;
 pub mod gen;
 pub mod matrix;
 pub mod pattern;
 pub mod prune;
+pub mod quant;
 pub mod stats;
 pub mod structured;
 
 pub use csr::CsrMatrix;
+pub use elem::ElemType;
 pub use error::SparseError;
 pub use matrix::DenseMatrix;
 pub use pattern::NmPattern;
+pub use quant::IntMatrix;
 pub use stats::SparsityStats;
 pub use structured::{Block, StructuredSparseMatrix};

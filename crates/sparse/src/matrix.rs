@@ -97,7 +97,10 @@ impl DenseMatrix {
     ///
     /// Panics if `r` or `c` is out of bounds.
     pub fn get(&self, r: usize, c: usize) -> f32 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         self.data[r * self.cols + c]
     }
 
@@ -107,7 +110,10 @@ impl DenseMatrix {
     ///
     /// Panics if `r` or `c` is out of bounds.
     pub fn set(&mut self, r: usize, c: usize, v: f32) {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         self.data[r * self.cols + c] = v;
     }
 
@@ -183,7 +189,11 @@ impl DenseMatrix {
     ///
     /// Panics if the shapes differ.
     pub fn max_abs_diff(&self, other: &DenseMatrix) -> f32 {
-        assert_eq!(self.shape(), other.shape(), "shape mismatch in max_abs_diff");
+        assert_eq!(
+            self.shape(),
+            other.shape(),
+            "shape mismatch in max_abs_diff"
+        );
         self.data
             .iter()
             .zip(other.data.iter())
@@ -266,7 +276,10 @@ mod tests {
         ));
         assert!(matches!(
             DenseMatrix::try_new(2, 2, vec![1.0; 3]),
-            Err(SparseError::DataLengthMismatch { expected: 4, actual: 3 })
+            Err(SparseError::DataLengthMismatch {
+                expected: 4,
+                actual: 3
+            })
         ));
     }
 
@@ -311,13 +324,19 @@ mod tests {
     fn matmul_dimension_mismatch() {
         let a = DenseMatrix::zeros(2, 3);
         let b = DenseMatrix::zeros(4, 2);
-        assert!(matches!(a.matmul(&b), Err(SparseError::DimensionMismatch { .. })));
+        assert!(matches!(
+            a.matmul(&b),
+            Err(SparseError::DimensionMismatch { .. })
+        ));
     }
 
     #[test]
     fn random_is_deterministic() {
         assert_eq!(DenseMatrix::random(6, 6, 99), DenseMatrix::random(6, 6, 99));
-        assert_ne!(DenseMatrix::random(6, 6, 99), DenseMatrix::random(6, 6, 100));
+        assert_ne!(
+            DenseMatrix::random(6, 6, 99),
+            DenseMatrix::random(6, 6, 100)
+        );
     }
 
     #[test]

@@ -160,7 +160,9 @@ mod tests {
         assert!(NmPattern::ALL.contains(&NmPattern::P1_4));
         assert!(NmPattern::ALL.contains(&NmPattern::P2_4));
         // EVALUATED is a subset of ALL.
-        assert!(NmPattern::EVALUATED.iter().all(|p| NmPattern::ALL.contains(p)));
+        assert!(NmPattern::EVALUATED
+            .iter()
+            .all(|p| NmPattern::ALL.contains(p)));
         // No duplicates.
         for (i, a) in NmPattern::ALL.iter().enumerate() {
             for b in NmPattern::ALL.iter().skip(i + 1) {
@@ -176,9 +178,11 @@ mod tests {
             assert_eq!(NmPattern::new(p.n(), p.m()).unwrap(), p);
             // Display renders exactly "N:M", which parses back.
             assert_eq!(p.to_string(), format!("{}:{}", p.n(), p.m()));
-            let (n, m) = p.to_string().split_once(':').map(|(a, b)| {
-                (a.parse::<usize>().unwrap(), b.parse::<usize>().unwrap())
-            }).unwrap();
+            let (n, m) = p
+                .to_string()
+                .split_once(':')
+                .map(|(a, b)| (a.parse::<usize>().unwrap(), b.parse::<usize>().unwrap()))
+                .unwrap();
             assert_eq!(NmPattern::new(n, m).unwrap(), p);
             // Derived quantities stay self-consistent.
             assert!(p.density() > 0.0 && p.density() <= 1.0);

@@ -122,10 +122,13 @@ mod tests {
 
     #[test]
     fn prune_keeps_largest_magnitudes() {
-        let d = DenseMatrix::try_new(1, 8, vec![0.1, 0.9, -0.5, 0.2, 0.0, -0.3, 0.25, 0.0])
-            .unwrap();
+        let d =
+            DenseMatrix::try_new(1, 8, vec![0.1, 0.9, -0.5, 0.2, 0.0, -0.3, 0.25, 0.0]).unwrap();
         let s = magnitude_prune(&d, NmPattern::P1_4);
-        assert_eq!(s.to_dense().as_slice(), &[0.0, 0.9, 0.0, 0.0, 0.0, -0.3, 0.0, 0.0]);
+        assert_eq!(
+            s.to_dense().as_slice(),
+            &[0.0, 0.9, 0.0, 0.0, 0.0, -0.3, 0.0, 0.0]
+        );
     }
 
     #[test]

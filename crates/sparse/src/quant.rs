@@ -1,0 +1,373 @@
+//! Quantized (integer) operands and the **exact** i32 reference product.
+//!
+//! The quantized datapath stores A and B elements as `i8`/`i16` and
+//! accumulates into `i32` lanes. Integer arithmetic is exact, so the
+//! reference product is compared with `==` — no tolerance, and a ±1 LSB
+//! kernel error is a hard failure.
+//!
+//! Operand values live in the same [`DenseMatrix`] /
+//! [`StructuredSparseMatrix`] types as the float path, holding *exact
+//! small integers* in their `f32` slots (every `i8`/`i16` is exactly
+//! representable in `f32`); the memory-layout planner packs them down to
+//! their element width when writing simulated memory. [`IntMatrix`] is
+//! the i32 accumulator-domain result type.
+
+use crate::elem::ElemType;
+use crate::error::SparseError;
+use crate::gen;
+use crate::matrix::DenseMatrix;
+use crate::pattern::NmPattern;
+use crate::structured::StructuredSparseMatrix;
+
+/// A row-major dense `i32` matrix: the accumulator domain of the
+/// quantized kernels and their exact reference product.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IntMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<i32>,
+}
+
+impl IntMatrix {
+    /// Creates a matrix of zeros.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(
+            rows > 0 && cols > 0,
+            "IntMatrix dimensions must be non-zero"
+        );
+        Self {
+            rows,
+            cols,
+            data: vec![0; rows * cols],
+        }
+    }
+
+    /// Creates a matrix whose element `(r, c)` is `f(r, c)`.
+    pub fn from_fn<F: FnMut(usize, usize) -> i32>(rows: usize, cols: usize, mut f: F) -> Self {
+        let mut out = Self::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                out.data[r * cols + c] = f(r, c);
+            }
+        }
+        out
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Shape as `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Element at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` or `c` is out of bounds.
+    pub fn get(&self, r: usize, c: usize) -> i32 {
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
+        self.data[r * self.cols + c]
+    }
+
+    /// Sets the element at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` or `c` is out of bounds.
+    pub fn set(&mut self, r: usize, c: usize, v: i32) {
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Flat row-major view of all elements.
+    pub fn as_slice(&self) -> &[i32] {
+        &self.data
+    }
+
+    /// The first element position where `self` and `other` differ, with
+    /// both values — `None` when the matrices are identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn first_mismatch(&self, other: &IntMatrix) -> Option<(usize, usize, i32, i32)> {
+        assert_eq!(
+            self.shape(),
+            other.shape(),
+            "shape mismatch in first_mismatch"
+        );
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                let (a, b) = (self.get(r, c), other.get(r, c));
+                if a != b {
+                    return Some((r, c, a, b));
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Reads an exact-integer `f32` slot back as `i32`.
+///
+/// # Panics
+///
+/// Panics (debug) when the value is not an exact integer — that means a
+/// float-path matrix leaked into the quantized pipeline.
+#[inline]
+pub fn slot_to_i32(v: f32) -> i32 {
+    debug_assert!(
+        v.fract() == 0.0,
+        "non-integer value {v} in a quantized operand"
+    );
+    v as i32
+}
+
+/// Generates a random structured-sparse A with integer values drawn from
+/// the full `elem` range (excluding 0, like the float generator).
+/// Every full block holds exactly `N` non-zeros at distinct positions.
+///
+/// Deterministic for a given `(rows, cols, pattern, seed, elem)`.
+///
+/// # Panics
+///
+/// Panics if `elem` is [`ElemType::F32`] — use
+/// [`crate::prune::random_structured`] for the float path.
+pub fn random_structured_int(
+    rows: usize,
+    cols: usize,
+    pattern: NmPattern,
+    seed: u64,
+    elem: ElemType,
+) -> StructuredSparseMatrix {
+    let (lo, hi) = elem
+        .int_range()
+        .expect("quantized generator needs an integer precision");
+    let mut rng = gen::rng(seed);
+    let m = pattern.m();
+    let n = pattern.n();
+    let mut dense = DenseMatrix::zeros(rows, cols);
+    for r in 0..rows {
+        let mut block_start = 0;
+        while block_start < cols {
+            let width = (cols - block_start).min(m);
+            let take = n.min(width);
+            for off in gen::distinct_indices(take, width, &mut rng) {
+                let v = loop {
+                    let v = rand::RngExt::random_range(&mut rng, lo..hi + 1);
+                    if v != 0 {
+                        break v;
+                    }
+                };
+                dense.set(r, block_start + off, v as f32);
+            }
+            block_start += m;
+        }
+    }
+    StructuredSparseMatrix::from_dense(&dense, pattern)
+        .expect("construction satisfies the pattern by design")
+}
+
+/// Generates a random dense B with integer values in the full `elem`
+/// range. Deterministic for a given `(rows, cols, seed, elem)`.
+///
+/// # Panics
+///
+/// Panics if `elem` is [`ElemType::F32`].
+pub fn random_dense_int(rows: usize, cols: usize, seed: u64, elem: ElemType) -> DenseMatrix {
+    let (lo, hi) = elem
+        .int_range()
+        .expect("quantized generator needs an integer precision");
+    let mut rng = gen::rng(seed);
+    DenseMatrix::from_fn(rows, cols, |_, _| {
+        rand::RngExt::random_range(&mut rng, lo..hi + 1) as f32
+    })
+}
+
+/// Quantizes a float matrix onto the `elem` integer grid by rounding and
+/// clamping — the offline step that turns trained fp32 weights into the
+/// exact-integer operands the quantized kernels consume.
+///
+/// # Panics
+///
+/// Panics if `elem` is [`ElemType::F32`] (nothing to quantize to).
+pub fn quantize_dense(m: &DenseMatrix, scale: f32, elem: ElemType) -> DenseMatrix {
+    let (lo, hi) = elem
+        .int_range()
+        .expect("quantization needs an integer precision");
+    DenseMatrix::from_fn(m.rows(), m.cols(), |r, c| {
+        ((m.get(r, c) * scale).round().clamp(lo as f32, hi as f32)) as i32 as f32
+    })
+}
+
+/// Exact reference sparse × dense product in the i32 accumulator
+/// domain, walking A's slots in hardware order (block-major, fixed `N`
+/// per block) with **wrapping** i32 accumulation — bit-for-bit the
+/// arithmetic of the widening `vindexmac` MACs.
+///
+/// # Errors
+///
+/// Returns [`SparseError::DimensionMismatch`] when
+/// `a.cols() != b.rows()`.
+pub fn spmm_reference_i32(
+    a: &StructuredSparseMatrix,
+    b: &DenseMatrix,
+) -> Result<IntMatrix, SparseError> {
+    if a.cols() != b.rows() {
+        return Err(SparseError::DimensionMismatch {
+            left: a.shape(),
+            right: b.shape(),
+        });
+    }
+    let mut out = IntMatrix::zeros(a.rows(), b.cols());
+    for r in 0..a.rows() {
+        for slot in a.row_slots(r) {
+            if slot.col >= b.rows() {
+                continue; // padding slot aliasing past a ragged block
+            }
+            let av = slot_to_i32(slot.value);
+            for j in 0..b.cols() {
+                let prod = av.wrapping_mul(slot_to_i32(b.get(slot.col, j)));
+                out.set(r, j, out.get(r, j).wrapping_add(prod));
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_matrix_basics() {
+        let mut m = IntMatrix::zeros(2, 3);
+        m.set(1, 2, -7);
+        assert_eq!(m.get(1, 2), -7);
+        assert_eq!(m.shape(), (2, 3));
+        assert_eq!(m.as_slice().len(), 6);
+        let same = m.clone();
+        assert_eq!(m.first_mismatch(&same), None);
+        let mut other = m.clone();
+        other.set(0, 1, 9);
+        assert_eq!(m.first_mismatch(&other), Some((0, 1, 0, 9)));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn int_matrix_rejects_empty() {
+        let _ = IntMatrix::zeros(0, 3);
+    }
+
+    #[test]
+    fn generators_stay_in_range_and_are_deterministic() {
+        for elem in [ElemType::I8, ElemType::I16] {
+            let (lo, hi) = elem.int_range().unwrap();
+            let a = random_structured_int(5, 16, NmPattern::P2_4, 3, elem);
+            assert!(a.obeys_pattern());
+            assert!(a.values().iter().all(|v| {
+                let i = *v as i32;
+                v.fract() == 0.0 && i >= lo && i <= hi
+            }));
+            assert_eq!(a, random_structured_int(5, 16, NmPattern::P2_4, 3, elem));
+            let b = random_dense_int(4, 6, 9, elem);
+            assert!(b.as_slice().iter().all(|v| {
+                let i = *v as i32;
+                v.fract() == 0.0 && i >= lo && i <= hi
+            }));
+            assert_eq!(b, random_dense_int(4, 6, 9, elem));
+        }
+    }
+
+    #[test]
+    fn i8_generator_uses_negative_values() {
+        let b = random_dense_int(8, 8, 1, ElemType::I8);
+        assert!(b.as_slice().iter().any(|v| *v < 0.0));
+        assert!(b.as_slice().iter().any(|v| *v > 0.0));
+    }
+
+    #[test]
+    fn reference_matches_float_reference_on_small_values() {
+        // With tiny integers the float product is exact, so the two
+        // references must agree value-for-value.
+        let a = random_structured_int(4, 16, NmPattern::P1_4, 7, ElemType::I8);
+        let b = random_dense_int(16, 6, 8, ElemType::I8);
+        let int = spmm_reference_i32(&a, &b).unwrap();
+        let float = a.spmm_reference(&b).unwrap();
+        for r in 0..4 {
+            for c in 0..6 {
+                assert_eq!(int.get(r, c) as f64, float.get(r, c) as f64, "({r},{c})");
+            }
+        }
+    }
+
+    #[test]
+    fn reference_known_values() {
+        // 1 row, 4 cols, 1:4: single nonzero 3 at column 1.
+        let dense = DenseMatrix::try_new(1, 4, vec![0.0, 3.0, 0.0, 0.0]).unwrap();
+        let a = StructuredSparseMatrix::from_dense(&dense, NmPattern::P1_4).unwrap();
+        let b = DenseMatrix::try_new(4, 2, vec![1.0, 2.0, -5.0, 6.0, 0.0, 0.0, 0.0, 0.0]).unwrap();
+        let c = spmm_reference_i32(&a, &b).unwrap();
+        assert_eq!(c.as_slice(), &[-15, 18]);
+    }
+
+    #[test]
+    fn reference_dimension_check() {
+        let a = random_structured_int(2, 8, NmPattern::P1_4, 1, ElemType::I8);
+        let b = DenseMatrix::zeros(9, 2);
+        assert!(spmm_reference_i32(&a, &b).is_err());
+    }
+
+    #[test]
+    fn quantize_rounds_and_clamps() {
+        let m = DenseMatrix::try_new(1, 4, vec![0.4, -0.6, 100.0, -100.0]).unwrap();
+        let q = quantize_dense(&m, 2.0, ElemType::I8);
+        assert_eq!(q.as_slice(), &[1.0, -1.0, 127.0, -128.0]);
+        let q16 = quantize_dense(&m, 2.0, ElemType::I16);
+        assert_eq!(q16.as_slice(), &[1.0, -1.0, 200.0, -200.0]);
+    }
+
+    #[test]
+    fn wrapping_accumulation_is_exercised() {
+        // Force i32 overflow: values at the i16 extremes over a long
+        // reduction wrap rather than saturate, matching the hardware.
+        let cols = 4096;
+        let dense = DenseMatrix::from_fn(
+            1,
+            cols,
+            |_, c| {
+                if c % 4 == 0 {
+                    i16::MIN as f32
+                } else {
+                    0.0
+                }
+            },
+        );
+        let a = StructuredSparseMatrix::from_dense(&dense, NmPattern::P1_4).unwrap();
+        let b = DenseMatrix::from_fn(cols, 1, |_, _| i16::MIN as f32);
+        let c = spmm_reference_i32(&a, &b).unwrap();
+        let expected = (0..cols / 4).fold(0i32, |acc, _| {
+            acc.wrapping_add((i16::MIN as i32).wrapping_mul(i16::MIN as i32))
+        });
+        assert_eq!(c.get(0, 0), expected);
+    }
+}

@@ -50,7 +50,11 @@ impl SparsityStats {
             nnz,
             sparsity: zeros as f64 / elements as f64,
             slots,
-            padding_fraction: if slots == 0 { 0.0 } else { 1.0 - nnz as f64 / slots as f64 },
+            padding_fraction: if slots == 0 {
+                0.0
+            } else {
+                1.0 - nnz as f64 / slots as f64
+            },
         }
     }
 }
@@ -113,8 +117,7 @@ mod tests {
         assert_eq!(s.slots, 4 * 8);
 
         // A matrix with an empty block: padding shows up.
-        let d = DenseMatrix::try_new(1, 8, vec![1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0])
-            .unwrap();
+        let d = DenseMatrix::try_new(1, 8, vec![1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0]).unwrap();
         let sp = StructuredSparseMatrix::from_dense(&d, NmPattern::P2_4).unwrap();
         let s = SparsityStats::of_structured(&sp);
         assert_eq!(s.nnz, 1);

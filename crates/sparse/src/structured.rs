@@ -117,7 +117,13 @@ impl StructuredSparseMatrix {
                 }
             }
         }
-        Ok(Self { rows, cols, pattern, values, indices })
+        Ok(Self {
+            rows,
+            cols,
+            pattern,
+            values,
+            indices,
+        })
     }
 
     /// Builds the format directly from per-slot arrays.
@@ -142,10 +148,16 @@ impl StructuredSparseMatrix {
         }
         let expected = rows * pattern.slots_for(cols);
         if values.len() != expected {
-            return Err(SparseError::DataLengthMismatch { expected, actual: values.len() });
+            return Err(SparseError::DataLengthMismatch {
+                expected,
+                actual: values.len(),
+            });
         }
         if indices.len() != expected {
-            return Err(SparseError::DataLengthMismatch { expected, actual: indices.len() });
+            return Err(SparseError::DataLengthMismatch {
+                expected,
+                actual: indices.len(),
+            });
         }
         let blocks = pattern.blocks_for(cols);
         for r in 0..rows {
@@ -169,7 +181,13 @@ impl StructuredSparseMatrix {
                 }
             }
         }
-        Ok(Self { rows, cols, pattern, values, indices })
+        Ok(Self {
+            rows,
+            cols,
+            pattern,
+            values,
+            indices,
+        })
     }
 
     /// Number of rows.
@@ -243,7 +261,10 @@ impl StructuredSparseMatrix {
         assert!(b < self.blocks_per_row(), "block {b} out of bounds");
         let n = self.pattern.n();
         let base = (r * self.blocks_per_row() + b) * n;
-        Block { values: &self.values[base..base + n], indices: &self.indices[base..base + n] }
+        Block {
+            values: &self.values[base..base + n],
+            indices: &self.indices[base..base + n],
+        }
     }
 
     /// Iterates over every slot of row `r` (including padding slots), in
@@ -410,7 +431,14 @@ mod tests {
     fn from_dense_rejects_violations() {
         let d = DenseMatrix::try_new(1, 4, vec![1.0, 2.0, 3.0, 0.0]).unwrap();
         let err = StructuredSparseMatrix::from_dense(&d, NmPattern::P2_4).unwrap_err();
-        assert!(matches!(err, SparseError::PatternViolation { found: 3, allowed: 2, .. }));
+        assert!(matches!(
+            err,
+            SparseError::PatternViolation {
+                found: 3,
+                allowed: 2,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -446,7 +474,10 @@ mod tests {
         assert!(StructuredSparseMatrix::from_parts(1, 8, p, vec![1.0], vec![0]).is_err());
         let err =
             StructuredSparseMatrix::from_parts(1, 8, p, vec![1.0, 1.0], vec![0, 4]).unwrap_err();
-        assert!(matches!(err, SparseError::IndexOutOfBlock { index: 4, block: 4 }));
+        assert!(matches!(
+            err,
+            SparseError::IndexOutOfBlock { index: 4, block: 4 }
+        ));
         // Real value pointing past the logical column count.
         let err =
             StructuredSparseMatrix::from_parts(1, 6, p, vec![1.0, 1.0], vec![0, 3]).unwrap_err();

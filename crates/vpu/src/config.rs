@@ -80,15 +80,34 @@ impl SimConfig {
         self.vlen_bits / 32
     }
 
+    /// Maximum `vl` per single register at element width `sew`
+    /// (`VLEN / SEW`): 64 at e8 for Table I.
+    pub fn vlmax_for(&self, sew: indexmac_isa::Sew) -> usize {
+        self.vlen_bits / sew.bits()
+    }
+
     /// Cycles the engine occupies issuing one `vl`-element operation
-    /// across the lanes (`ceil(vl / lanes)`, minimum 1).
+    /// across the lanes (`ceil(vl / lanes)`, minimum 1) at 32-bit
+    /// elements.
     pub fn occupancy(&self, vl: usize) -> u64 {
-        (vl.max(1)).div_ceil(self.lanes) as u64
+        self.occupancy_sew(vl, indexmac_isa::Sew::E32)
+    }
+
+    /// SEW-aware engine occupancy: each 32-bit lane processes
+    /// `32 / SEW` narrow elements per cycle (the datapath is bit-sliced),
+    /// so elements-per-cycle scales with the selected element width —
+    /// 64 e8 elements per cycle on the 16-lane Table I engine.
+    pub fn occupancy_sew(&self, vl: usize, sew: indexmac_isa::Sew) -> u64 {
+        let elems_per_cycle = self.lanes * (32 / sew.bits()).max(1);
+        (vl.max(1)).div_ceil(elems_per_cycle) as u64
     }
 
     /// Copy with a different VLEN (used by the VLEN-sweep ablation).
     pub fn with_vlen(mut self, vlen_bits: usize) -> Self {
-        assert!(vlen_bits.is_multiple_of(32) && vlen_bits >= 32, "VLEN must be a multiple of 32");
+        assert!(
+            vlen_bits.is_multiple_of(32) && vlen_bits >= 32,
+            "VLEN must be a multiple of 32"
+        );
         self.vlen_bits = vlen_bits;
         self
     }
@@ -174,6 +193,22 @@ mod tests {
         let wide = c.with_vlen(1024);
         assert_eq!(wide.vlmax_e32(), 32);
         assert_eq!(wide.occupancy(32), 2);
+    }
+
+    #[test]
+    fn occupancy_scales_with_element_width() {
+        use indexmac_isa::Sew;
+        let c = SimConfig::table_i();
+        assert_eq!(c.vlmax_for(Sew::E8), 64);
+        assert_eq!(c.vlmax_for(Sew::E16), 32);
+        assert_eq!(c.vlmax_for(Sew::E32), 16);
+        // A full register's worth of elements is one cycle at any SEW.
+        assert_eq!(c.occupancy_sew(64, Sew::E8), 1);
+        assert_eq!(c.occupancy_sew(32, Sew::E16), 1);
+        assert_eq!(c.occupancy_sew(16, Sew::E32), 1);
+        // Beyond one register the occupancy grows per group register.
+        assert_eq!(c.occupancy_sew(65, Sew::E8), 2);
+        assert_eq!(c.occupancy_sew(128, Sew::E16), 4);
     }
 
     #[test]

@@ -4,19 +4,27 @@
 //! [`ExecEvent`] describing what happened — memory addresses touched,
 //! the dynamically-selected indirect register of `vindexmac`, branch
 //! outcome — which is exactly the information the timing model needs.
+//!
+//! Vector semantics are **SEW-parametric**: `vsetvli` selects e8/e16/e32
+//! and every lane operation views the byte-addressed VRF at that width.
+//! The custom `vindexmac`/`vindexmac.vvi` MACs are *widening* at the
+//! integer widths — i8×i8 (or i16×i16) products accumulate into e32
+//! lanes, so the destination spans `32/SEW` times as many registers as
+//! its sources — and remain the paper's fp32 semantics at e32.
 
 // Lockstep `for i in 0..vl` lane loops mirror the hardware semantics and
 // keep source/destination aliasing explicit; iterator forms obscure that.
 #![allow(clippy::needless_range_loop)]
 
-use crate::state::ArchState;
+use crate::state::{sign_extend, ArchState};
 use indexmac_isa::{Instruction, Sew, VReg, VType};
 use indexmac_mem::MainMemory;
 use std::error::Error;
 use std::fmt;
 
-/// Largest supported `vlmax` (bounds the stack scratch buffers).
-pub const MAX_VLMAX: usize = 128;
+/// Largest supported per-register lane count (bounds the stack scratch
+/// buffers): a 4096-bit VLEN register holds 512 e8 lanes.
+pub const MAX_VLMAX: usize = 512;
 
 /// Largest supported grouped vector length (`LMUL=4` × [`MAX_VLMAX`]).
 pub const MAX_GROUP_LANES: usize = 4 * MAX_VLMAX;
@@ -50,6 +58,10 @@ pub struct ExecEvent {
     pub branch_taken: bool,
     /// Active `vl` when the instruction executed.
     pub vl: usize,
+    /// Active element width when the instruction executed (the granted
+    /// width for `vsetvli`). Drives elements-per-cycle in the timing
+    /// model and the widening-destination register count.
+    pub sew: Sew,
 }
 
 /// Functional-execution errors (all indicate kernel/program bugs, not
@@ -63,10 +75,33 @@ pub enum ExecError {
         /// The faulting address.
         addr: u64,
     },
-    /// `vsetvli` requested an element width other than 32 bits.
+    /// `vsetvli` requested an element width outside the executable
+    /// subset (e64 — the datapath models e8/e16/e32).
     UnsupportedSew {
         /// Slot of the faulting instruction.
         pc: usize,
+    },
+    /// An instruction with no semantics at the active element width
+    /// executed (float arithmetic at e8/e16, or an element load/store
+    /// whose width disagrees with `vtype.sew`).
+    IllegalSewForOp {
+        /// Slot of the faulting instruction.
+        pc: usize,
+        /// The active element width.
+        sew: Sew,
+    },
+    /// A widening MAC destination group was illegal: at e8/e16 the
+    /// accumulator spans `32/SEW` registers per source register, its
+    /// base must be a multiple of that factor, and the whole group may
+    /// not exceed the largest modelled grouping (`m4` — the same bound
+    /// the layout planner enforces as `lmul * 32/SEW <= 4`).
+    IllegalWidening {
+        /// Slot of the faulting instruction.
+        pc: usize,
+        /// The active element width.
+        sew: Sew,
+        /// The misaligned destination base register.
+        vd: u8,
     },
     /// A branch target or fall-through left the program.
     PcOutOfRange {
@@ -75,7 +110,7 @@ pub enum ExecError {
     },
     /// A vector instruction without register-grouping semantics executed
     /// while `vl` exceeded the single-register VLMAX (i.e. under
-    /// `LMUL > 1`). Only the grouped subset (`vle32`/`vse32`/
+    /// `LMUL > 1`). Only the grouped subset (unit-stride loads/stores,
     /// `vindexmac.vvi` and the element-0 moves) may run grouped.
     GroupingUnsupported {
         /// Slot of the faulting instruction.
@@ -97,7 +132,7 @@ pub enum ExecError {
         pc: usize,
         /// The requested element.
         slot: u8,
-        /// Lanes per (single) vector register.
+        /// Lanes per (single) vector register at the active SEW.
         vlmax: usize,
     },
 }
@@ -109,17 +144,33 @@ impl fmt::Display for ExecError {
                 write!(f, "unaligned vector access at pc {pc}: address {addr:#x}")
             }
             ExecError::UnsupportedSew { pc } => {
-                write!(f, "unsupported SEW at pc {pc} (model executes e32 only)")
+                write!(f, "unsupported SEW at pc {pc} (model executes e8/e16/e32)")
+            }
+            ExecError::IllegalSewForOp { pc, sew } => {
+                write!(f, "instruction at pc {pc} has no semantics at {sew}")
+            }
+            ExecError::IllegalWidening { pc, sew, vd } => {
+                write!(
+                    f,
+                    "widening MAC at pc {pc}: destination v{vd} group illegal at {sew} \
+                     (misaligned, or wider than the m4 grouping cap)"
+                )
             }
             ExecError::PcOutOfRange { target } => write!(f, "control transfer to slot {target}"),
             ExecError::GroupingUnsupported { pc } => {
-                write!(f, "instruction at pc {pc} has no register-grouping semantics (vl > VLMAX)")
+                write!(
+                    f,
+                    "instruction at pc {pc} has no register-grouping semantics (vl > VLMAX)"
+                )
             }
             ExecError::GroupOutOfRange { pc, base, regs } => {
                 write!(f, "register group v{base}+{regs} at pc {pc} runs past v31")
             }
             ExecError::SlotOutOfRange { pc, slot, vlmax } => {
-                write!(f, "vindexmac.vvi slot {slot} at pc {pc} exceeds the register lanes ({vlmax})")
+                write!(
+                    f,
+                    "vindexmac.vvi slot {slot} at pc {pc} exceeds the register lanes ({vlmax})"
+                )
             }
         }
     }
@@ -145,7 +196,11 @@ fn group_aware(instr: &Instruction) -> bool {
     matches!(
         instr,
         Instruction::Vsetvli { .. }
+            | Instruction::Vle8 { .. }
+            | Instruction::Vle16 { .. }
             | Instruction::Vle32 { .. }
+            | Instruction::Vse8 { .. }
+            | Instruction::Vse16 { .. }
             | Instruction::Vse32 { .. }
             | Instruction::VindexmacVvi { .. }
             | Instruction::VmvXs { .. }
@@ -156,7 +211,144 @@ fn group_aware(instr: &Instruction) -> bool {
 
 fn check_group(pc: usize, r: VReg, regs: usize) -> Result<(), ExecError> {
     if r.index() as usize + regs > 32 {
-        return Err(ExecError::GroupOutOfRange { pc, base: r.index(), regs });
+        return Err(ExecError::GroupOutOfRange {
+            pc,
+            base: r.index(),
+            regs,
+        });
+    }
+    Ok(())
+}
+
+/// Executes a unit-stride vector load of `vl` elements of width `ew`.
+fn exec_vload(
+    state: &mut ArchState,
+    mem: &MainMemory,
+    pc: usize,
+    vd: VReg,
+    addr: u64,
+    ew: Sew,
+) -> Result<MemOp, ExecError> {
+    let sew = state.vtype().sew;
+    if sew != ew {
+        return Err(ExecError::IllegalSewForOp { pc, sew });
+    }
+    let eb = ew.bytes() as u64;
+    if !addr.is_multiple_of(eb) {
+        return Err(ExecError::Unaligned { pc, addr });
+    }
+    let vl = state.vl();
+    let regs = group_regs(vl, state.vlmax());
+    check_group(pc, vd, regs)?;
+    for i in 0..vl {
+        let a = addr + i as u64 * eb;
+        let bits = match ew {
+            Sew::E8 => mem.read_u8(a) as u32,
+            Sew::E16 => mem.read_u16(a) as u32,
+            _ => mem.read_u32(a),
+        };
+        state.set_v_lane_group(vd, regs, i, ew, bits);
+    }
+    Ok(MemOp {
+        addr,
+        bytes: vl as u64 * eb,
+        write: false,
+        vector: true,
+    })
+}
+
+/// Executes a unit-stride vector store of `vl` elements of width `ew`.
+fn exec_vstore(
+    state: &mut ArchState,
+    mem: &mut MainMemory,
+    pc: usize,
+    vs3: VReg,
+    addr: u64,
+    ew: Sew,
+) -> Result<MemOp, ExecError> {
+    let sew = state.vtype().sew;
+    if sew != ew {
+        return Err(ExecError::IllegalSewForOp { pc, sew });
+    }
+    let eb = ew.bytes() as u64;
+    if !addr.is_multiple_of(eb) {
+        return Err(ExecError::Unaligned { pc, addr });
+    }
+    let vl = state.vl();
+    let regs = group_regs(vl, state.vlmax());
+    check_group(pc, vs3, regs)?;
+    for i in 0..vl {
+        let a = addr + i as u64 * eb;
+        let bits = state.v_lane_group(vs3, regs, i, ew);
+        match ew {
+            Sew::E8 => mem.write_u8(a, bits as u8),
+            Sew::E16 => mem.write_u16(a, bits as u16),
+            _ => mem.write_u32(a, bits),
+        }
+    }
+    Ok(MemOp {
+        addr,
+        bytes: vl as u64 * eb,
+        write: true,
+        vector: true,
+    })
+}
+
+/// The widening accumulator factor for the integer MACs (`32 / SEW`);
+/// 1 at e32, where the MAC is the paper's fp32 semantics.
+pub fn widen_factor(sew: Sew) -> usize {
+    32 / sew.bits()
+}
+
+/// The shared MAC body of `vindexmac.vx` / `vindexmac.vvi`: multiplies
+/// the selected B-row register (group) by the scalar `multiplier` lane
+/// and accumulates into `vd`. At e32 the arithmetic is fp32 on same-width
+/// lanes; at e8/e16 it is a **widening** integer MAC whose destination
+/// group spans `widen_factor(sew)` times as many registers.
+fn exec_indexmac_body(
+    state: &mut ArchState,
+    pc: usize,
+    vd: VReg,
+    src: VReg,
+    multiplier_bits: u32,
+) -> Result<(), ExecError> {
+    let sew = state.vtype().sew;
+    let vl = state.vl();
+    let regs = group_regs(vl, state.vlmax());
+    check_group(pc, src, regs)?;
+    let mut a = [0u32; MAX_GROUP_LANES];
+    for i in 0..vl {
+        a[i] = state.v_lane_group(src, regs, i, sew);
+    }
+    if sew == Sew::E32 {
+        check_group(pc, vd, regs)?;
+        let multiplier = f(multiplier_bits);
+        for i in 0..vl {
+            let d = f(state.v_lane_group(vd, regs, i, Sew::E32));
+            state.set_v_lane_group(vd, regs, i, Sew::E32, (d + multiplier * f(a[i])).to_bits());
+        }
+    } else {
+        // Widening integer MAC: i8/i16 operands, i32 accumulation.
+        let widen = widen_factor(sew);
+        let dst_regs = regs * widen;
+        // The accumulator group is bounded by the largest modelled
+        // grouping (m4), exactly as the layout planner enforces with
+        // `lmul * 32/SEW <= 4` — wider groups describe a machine the
+        // model does not have.
+        if !(vd.index() as usize).is_multiple_of(widen) || dst_regs > 4 {
+            return Err(ExecError::IllegalWidening {
+                pc,
+                sew,
+                vd: vd.index(),
+            });
+        }
+        check_group(pc, vd, dst_regs)?;
+        let multiplier = sign_extend(multiplier_bits, sew);
+        for i in 0..vl {
+            let d = state.v_lane_group(vd, dst_regs, i, Sew::E32) as i32;
+            let prod = multiplier.wrapping_mul(sign_extend(a[i], sew));
+            state.set_v_lane_group(vd, dst_regs, i, Sew::E32, d.wrapping_add(prod) as u32);
+        }
     }
     Ok(())
 }
@@ -174,6 +366,7 @@ pub fn step(
     use Instruction::*;
     let pc = state.pc;
     let vl = state.vl();
+    let sew = state.vtype().sew;
     let mut ev = ExecEvent {
         pc,
         instr: *instr,
@@ -181,12 +374,22 @@ pub fn step(
         indirect_vreg: None,
         branch_taken: false,
         vl,
+        sew,
     };
     let mut next_pc = pc as i64 + 1;
 
     if vl > state.vlmax() && instr.is_vector() && !group_aware(instr) {
         return Err(ExecError::GroupingUnsupported { pc });
     }
+    // Element-wise float semantics exist only at e32.
+    let require_e32 = |pc: usize| -> Result<(), ExecError> {
+        if sew != Sew::E32 {
+            return Err(ExecError::IllegalSewForOp { pc, sew });
+        }
+        Ok(())
+    };
+    // Lane mask of the active element width for modular integer math.
+    let lane_mask: u32 = (u64::MAX >> (64 - sew.bits())) as u32;
 
     match *instr {
         Li { rd, imm } => state.set_x(rd, imm as u64),
@@ -222,29 +425,54 @@ pub fn step(
             let addr = state.x(rs1).wrapping_add(imm as i64 as u64);
             let v = mem.read_u32(addr) as i32 as i64 as u64;
             state.set_x(rd, v);
-            ev.mem = Some(MemOp { addr, bytes: 4, write: false, vector: false });
+            ev.mem = Some(MemOp {
+                addr,
+                bytes: 4,
+                write: false,
+                vector: false,
+            });
         }
         Lwu { rd, rs1, imm } => {
             let addr = state.x(rs1).wrapping_add(imm as i64 as u64);
             let v = mem.read_u32(addr) as u64;
             state.set_x(rd, v);
-            ev.mem = Some(MemOp { addr, bytes: 4, write: false, vector: false });
+            ev.mem = Some(MemOp {
+                addr,
+                bytes: 4,
+                write: false,
+                vector: false,
+            });
         }
         Ld { rd, rs1, imm } => {
             let addr = state.x(rs1).wrapping_add(imm as i64 as u64);
             let v = mem.read_u64(addr);
             state.set_x(rd, v);
-            ev.mem = Some(MemOp { addr, bytes: 8, write: false, vector: false });
+            ev.mem = Some(MemOp {
+                addr,
+                bytes: 8,
+                write: false,
+                vector: false,
+            });
         }
         Sw { rs2, rs1, imm } => {
             let addr = state.x(rs1).wrapping_add(imm as i64 as u64);
             mem.write_u32(addr, state.x(rs2) as u32);
-            ev.mem = Some(MemOp { addr, bytes: 4, write: true, vector: false });
+            ev.mem = Some(MemOp {
+                addr,
+                bytes: 4,
+                write: true,
+                vector: false,
+            });
         }
         Sd { rs2, rs1, imm } => {
             let addr = state.x(rs1).wrapping_add(imm as i64 as u64);
             mem.write_u64(addr, state.x(rs2));
-            ev.mem = Some(MemOp { addr, bytes: 8, write: true, vector: false });
+            ev.mem = Some(MemOp {
+                addr,
+                bytes: 8,
+                write: true,
+                vector: false,
+            });
         }
         Beq { rs1, rs2, offset } => {
             if state.x(rs1) == state.x(rs2) {
@@ -283,13 +511,23 @@ pub fn step(
         Flw { fd, rs1, imm } => {
             let addr = state.x(rs1).wrapping_add(imm as i64 as u64);
             state.set_f_bits(fd, mem.read_u32(addr));
-            ev.mem = Some(MemOp { addr, bytes: 4, write: false, vector: false });
+            ev.mem = Some(MemOp {
+                addr,
+                bytes: 4,
+                write: false,
+                vector: false,
+            });
         }
-        Vsetvli { rd, rs1, sew, lmul } => {
-            if sew != Sew::E32 {
+        Vsetvli {
+            rd,
+            rs1,
+            sew: new_sew,
+            lmul,
+        } => {
+            if new_sew == Sew::E64 {
                 return Err(ExecError::UnsupportedSew { pc });
             }
-            state.set_vtype(VType { sew, lmul });
+            state.set_vtype(VType { sew: new_sew, lmul });
             let vlmax = state.vlmax_grouped();
             let avl = if rs1.is_zero() {
                 if rd.is_zero() {
@@ -304,174 +542,204 @@ pub fn step(
             state.set_vl(vl);
             state.set_x(rd, vl as u64);
             ev.vl = vl;
+            ev.sew = new_sew;
+        }
+        Vle8 { vd, rs1 } => {
+            let addr = state.x(rs1);
+            ev.mem = Some(exec_vload(state, mem, pc, vd, addr, Sew::E8)?);
+        }
+        Vle16 { vd, rs1 } => {
+            let addr = state.x(rs1);
+            ev.mem = Some(exec_vload(state, mem, pc, vd, addr, Sew::E16)?);
         }
         Vle32 { vd, rs1 } => {
             let addr = state.x(rs1);
-            if !addr.is_multiple_of(4) {
-                return Err(ExecError::Unaligned { pc, addr });
-            }
-            let regs = group_regs(vl, state.vlmax());
-            check_group(pc, vd, regs)?;
-            for i in 0..vl {
-                let w = mem.read_u32(addr + (i * 4) as u64);
-                state.v_group_mut(vd, regs)[i] = w;
-            }
-            ev.mem = Some(MemOp { addr, bytes: (vl * 4) as u64, write: false, vector: true });
+            ev.mem = Some(exec_vload(state, mem, pc, vd, addr, Sew::E32)?);
+        }
+        Vse8 { vs3, rs1 } => {
+            let addr = state.x(rs1);
+            ev.mem = Some(exec_vstore(state, mem, pc, vs3, addr, Sew::E8)?);
+        }
+        Vse16 { vs3, rs1 } => {
+            let addr = state.x(rs1);
+            ev.mem = Some(exec_vstore(state, mem, pc, vs3, addr, Sew::E16)?);
         }
         Vse32 { vs3, rs1 } => {
             let addr = state.x(rs1);
-            if !addr.is_multiple_of(4) {
-                return Err(ExecError::Unaligned { pc, addr });
-            }
-            let regs = group_regs(vl, state.vlmax());
-            check_group(pc, vs3, regs)?;
-            for i in 0..vl {
-                mem.write_u32(addr + (i * 4) as u64, state.v_group(vs3, regs)[i]);
-            }
-            ev.mem = Some(MemOp { addr, bytes: (vl * 4) as u64, write: true, vector: true });
+            ev.mem = Some(exec_vstore(state, mem, pc, vs3, addr, Sew::E32)?);
         }
         VaddVv { vd, vs2, vs1 } => {
             let mut a = [0u32; MAX_VLMAX];
             let mut b = [0u32; MAX_VLMAX];
-            a[..vl].copy_from_slice(&state.v(vs2)[..vl]);
-            b[..vl].copy_from_slice(&state.v(vs1)[..vl]);
             for i in 0..vl {
-                state.v_mut(vd)[i] = a[i].wrapping_add(b[i]);
+                a[i] = state.v_lane(vs2, i, sew);
+                b[i] = state.v_lane(vs1, i, sew);
+            }
+            for i in 0..vl {
+                state.set_v_lane(vd, i, sew, a[i].wrapping_add(b[i]) & lane_mask);
             }
         }
         VaddVx { vd, vs2, rs1 } => {
-            let s = state.x(rs1) as u32;
+            let s = state.x(rs1) as u32 & lane_mask;
             let mut a = [0u32; MAX_VLMAX];
-            a[..vl].copy_from_slice(&state.v(vs2)[..vl]);
             for i in 0..vl {
-                state.v_mut(vd)[i] = a[i].wrapping_add(s);
+                a[i] = state.v_lane(vs2, i, sew);
+            }
+            for i in 0..vl {
+                state.set_v_lane(vd, i, sew, a[i].wrapping_add(s) & lane_mask);
             }
         }
         VaddVi { vd, vs2, imm } => {
-            let s = imm as i32 as u32;
+            let s = imm as i32 as u32 & lane_mask;
             let mut a = [0u32; MAX_VLMAX];
-            a[..vl].copy_from_slice(&state.v(vs2)[..vl]);
             for i in 0..vl {
-                state.v_mut(vd)[i] = a[i].wrapping_add(s);
+                a[i] = state.v_lane(vs2, i, sew);
+            }
+            for i in 0..vl {
+                state.set_v_lane(vd, i, sew, a[i].wrapping_add(s) & lane_mask);
             }
         }
         VmulVv { vd, vs2, vs1 } => {
             let mut a = [0u32; MAX_VLMAX];
             let mut b = [0u32; MAX_VLMAX];
-            a[..vl].copy_from_slice(&state.v(vs2)[..vl]);
-            b[..vl].copy_from_slice(&state.v(vs1)[..vl]);
             for i in 0..vl {
-                state.v_mut(vd)[i] = a[i].wrapping_mul(b[i]);
+                a[i] = state.v_lane(vs2, i, sew);
+                b[i] = state.v_lane(vs1, i, sew);
+            }
+            for i in 0..vl {
+                state.set_v_lane(vd, i, sew, a[i].wrapping_mul(b[i]) & lane_mask);
             }
         }
         VmulVx { vd, vs2, rs1 } => {
-            let s = state.x(rs1) as u32;
+            let s = state.x(rs1) as u32 & lane_mask;
             let mut a = [0u32; MAX_VLMAX];
-            a[..vl].copy_from_slice(&state.v(vs2)[..vl]);
             for i in 0..vl {
-                state.v_mut(vd)[i] = a[i].wrapping_mul(s);
+                a[i] = state.v_lane(vs2, i, sew);
+            }
+            for i in 0..vl {
+                state.set_v_lane(vd, i, sew, a[i].wrapping_mul(s) & lane_mask);
             }
         }
         VmaccVx { vd, rs1, vs2 } => {
-            let s = state.x(rs1) as u32;
+            let s = state.x(rs1) as u32 & lane_mask;
             let mut a = [0u32; MAX_VLMAX];
-            a[..vl].copy_from_slice(&state.v(vs2)[..vl]);
             for i in 0..vl {
-                let d = state.v(vd)[i];
-                state.v_mut(vd)[i] = d.wrapping_add(s.wrapping_mul(a[i]));
+                a[i] = state.v_lane(vs2, i, sew);
+            }
+            for i in 0..vl {
+                let d = state.v_lane(vd, i, sew);
+                state.set_v_lane(vd, i, sew, d.wrapping_add(s.wrapping_mul(a[i])) & lane_mask);
             }
         }
         VfaddVv { vd, vs2, vs1 } => {
+            require_e32(pc)?;
             let mut a = [0u32; MAX_VLMAX];
             let mut b = [0u32; MAX_VLMAX];
-            a[..vl].copy_from_slice(&state.v(vs2)[..vl]);
-            b[..vl].copy_from_slice(&state.v(vs1)[..vl]);
             for i in 0..vl {
-                state.v_mut(vd)[i] = (f(a[i]) + f(b[i])).to_bits();
+                a[i] = state.v_lane(vs2, i, sew);
+                b[i] = state.v_lane(vs1, i, sew);
+            }
+            for i in 0..vl {
+                state.set_v_lane(vd, i, sew, (f(a[i]) + f(b[i])).to_bits());
             }
         }
         VfmulVv { vd, vs2, vs1 } => {
+            require_e32(pc)?;
             let mut a = [0u32; MAX_VLMAX];
             let mut b = [0u32; MAX_VLMAX];
-            a[..vl].copy_from_slice(&state.v(vs2)[..vl]);
-            b[..vl].copy_from_slice(&state.v(vs1)[..vl]);
             for i in 0..vl {
-                state.v_mut(vd)[i] = (f(a[i]) * f(b[i])).to_bits();
+                a[i] = state.v_lane(vs2, i, sew);
+                b[i] = state.v_lane(vs1, i, sew);
+            }
+            for i in 0..vl {
+                state.set_v_lane(vd, i, sew, (f(a[i]) * f(b[i])).to_bits());
             }
         }
         VfmaccVf { vd, fs1, vs2 } => {
+            require_e32(pc)?;
             let s = state.f32(fs1);
             let mut a = [0u32; MAX_VLMAX];
-            a[..vl].copy_from_slice(&state.v(vs2)[..vl]);
             for i in 0..vl {
-                let d = f(state.v(vd)[i]);
-                state.v_mut(vd)[i] = (d + s * f(a[i])).to_bits();
+                a[i] = state.v_lane(vs2, i, sew);
+            }
+            for i in 0..vl {
+                let d = f(state.v_lane(vd, i, sew));
+                state.set_v_lane(vd, i, sew, (d + s * f(a[i])).to_bits());
             }
         }
         VfmaccVv { vd, vs1, vs2 } => {
+            require_e32(pc)?;
             let mut a = [0u32; MAX_VLMAX];
             let mut b = [0u32; MAX_VLMAX];
-            a[..vl].copy_from_slice(&state.v(vs2)[..vl]);
-            b[..vl].copy_from_slice(&state.v(vs1)[..vl]);
             for i in 0..vl {
-                let d = f(state.v(vd)[i]);
-                state.v_mut(vd)[i] = (d + f(b[i]) * f(a[i])).to_bits();
+                a[i] = state.v_lane(vs2, i, sew);
+                b[i] = state.v_lane(vs1, i, sew);
+            }
+            for i in 0..vl {
+                let d = f(state.v_lane(vd, i, sew));
+                state.set_v_lane(vd, i, sew, (d + f(b[i]) * f(a[i])).to_bits());
             }
         }
         VmvVv { vd, vs1 } => {
             let mut a = [0u32; MAX_VLMAX];
-            a[..vl].copy_from_slice(&state.v(vs1)[..vl]);
-            state.v_mut(vd)[..vl].copy_from_slice(&a[..vl]);
+            for i in 0..vl {
+                a[i] = state.v_lane(vs1, i, sew);
+            }
+            for i in 0..vl {
+                state.set_v_lane(vd, i, sew, a[i]);
+            }
         }
         VmvVx { vd, rs1 } => {
-            let s = state.x(rs1) as u32;
+            let s = state.x(rs1) as u32 & lane_mask;
             for i in 0..vl {
-                state.v_mut(vd)[i] = s;
+                state.set_v_lane(vd, i, sew, s);
             }
         }
         VmvXs { rd, vs2 } => {
-            let v = state.v(vs2)[0] as i32 as i64 as u64;
+            let v = sign_extend(state.v_lane(vs2, 0, sew), sew) as i64 as u64;
             state.set_x(rd, v);
         }
         VmvSx { vd, rs1 } => {
-            let s = state.x(rs1) as u32;
-            state.v_mut(vd)[0] = s;
+            let s = state.x(rs1) as u32 & lane_mask;
+            state.set_v_lane(vd, 0, sew, s);
         }
         VfmvFs { fd, vs2 } => {
-            let bits = state.v(vs2)[0];
+            require_e32(pc)?;
+            let bits = state.v_lane(vs2, 0, Sew::E32);
             state.set_f_bits(fd, bits);
         }
         Vslide1downVx { vd, vs2, rs1 } => {
-            let s = state.x(rs1) as u32;
+            let s = state.x(rs1) as u32 & lane_mask;
             let mut a = [0u32; MAX_VLMAX];
-            a[..vl].copy_from_slice(&state.v(vs2)[..vl]);
-            let dst = state.v_mut(vd);
+            for i in 0..vl {
+                a[i] = state.v_lane(vs2, i, sew);
+            }
             if vl > 0 {
-                dst[..vl - 1].copy_from_slice(&a[1..vl]);
-                dst[vl - 1] = s;
+                for i in 0..vl - 1 {
+                    state.set_v_lane(vd, i, sew, a[i + 1]);
+                }
+                state.set_v_lane(vd, vl - 1, sew, s);
             }
         }
         VslidedownVi { vd, vs2, imm } => {
             let off = imm as usize;
             let vlmax = state.vlmax();
             let mut a = [0u32; MAX_VLMAX];
-            a[..vlmax].copy_from_slice(&state.v(vs2)[..vlmax]);
-            let dst = state.v_mut(vd);
+            for i in 0..vlmax {
+                a[i] = state.v_lane(vs2, i, sew);
+            }
             for i in 0..vl {
-                dst[i] = if i + off < vlmax { a[i + off] } else { 0 };
+                let v = if i + off < vlmax { a[i + off] } else { 0 };
+                state.set_v_lane(vd, i, sew, v);
             }
         }
         VindexmacVx { vd, vs2, rs } => {
-            // The architectural definition of the paper:
+            // The architectural definition of the paper (at e32):
             //   vd[i] += vs2[0] * vrf[rs[4:0]][i]
+            // At e8/e16 the product widens into e32 accumulator lanes.
             let src = VReg::new((state.x(rs) & 0x1F) as u8);
-            let multiplier = f(state.v(vs2)[0]);
-            let mut a = [0u32; MAX_VLMAX];
-            a[..vl].copy_from_slice(&state.v(src)[..vl]);
-            for i in 0..vl {
-                let d = f(state.v(vd)[i]);
-                state.v_mut(vd)[i] = (d + multiplier * f(a[i])).to_bits();
-            }
+            let multiplier_bits = state.v_lane(vs2, 0, sew);
+            exec_indexmac_body(state, pc, vd, src, multiplier_bits)?;
             ev.indirect_vreg = Some(src);
         }
         VindexmacVvi { vd, vs2, vs1, slot } => {
@@ -479,22 +747,19 @@ pub fn step(
             //   vd[i] += vs2[slot] * vrf[vs1[slot][4:0]][i]
             // The slot element is read from the *single* metadata
             // registers; vd and the indirect source span the whole
-            // register group when vl > VLMAX.
+            // register group when vl > VLMAX, and vd additionally
+            // widens at the integer element widths.
             let slot = slot as usize;
             if slot >= state.vlmax() {
-                return Err(ExecError::SlotOutOfRange { pc, slot: slot as u8, vlmax: state.vlmax() });
+                return Err(ExecError::SlotOutOfRange {
+                    pc,
+                    slot: slot as u8,
+                    vlmax: state.vlmax(),
+                });
             }
-            let src = VReg::new((state.v(vs1)[slot] & 0x1F) as u8);
-            let multiplier = f(state.v(vs2)[slot]);
-            let regs = group_regs(vl, state.vlmax());
-            check_group(pc, src, regs)?;
-            check_group(pc, vd, regs)?;
-            let mut a = [0u32; MAX_GROUP_LANES];
-            a[..vl].copy_from_slice(&state.v_group(src, regs)[..vl]);
-            let dst = state.v_group_mut(vd, regs);
-            for i in 0..vl {
-                dst[i] = (f(dst[i]) + multiplier * f(a[i])).to_bits();
-            }
+            let src = VReg::new((state.v_lane(vs1, slot, sew) & 0x1F) as u8);
+            let multiplier_bits = state.v_lane(vs2, slot, sew);
+            exec_indexmac_body(state, pc, vd, src, multiplier_bits)?;
             ev.indirect_vreg = Some(src);
         }
     }
@@ -520,17 +785,64 @@ mod tests {
         step(s, m, &i).expect("instruction must execute")
     }
 
+    fn set_sew(s: &mut ArchState, sew: Sew) {
+        s.set_vtype(VType {
+            sew,
+            lmul: Lmul::M1,
+        });
+        s.set_vl(s.vlmax());
+    }
+
     #[test]
     fn scalar_arith() {
         let (mut s, mut m) = setup();
-        run1(&mut s, &mut m, Instruction::Li { rd: XReg::T0, imm: -3 });
-        run1(&mut s, &mut m, Instruction::Addi { rd: XReg::T1, rs1: XReg::T0, imm: 5 });
+        run1(
+            &mut s,
+            &mut m,
+            Instruction::Li {
+                rd: XReg::T0,
+                imm: -3,
+            },
+        );
+        run1(
+            &mut s,
+            &mut m,
+            Instruction::Addi {
+                rd: XReg::T1,
+                rs1: XReg::T0,
+                imm: 5,
+            },
+        );
         assert_eq!(s.x(XReg::T1), 2);
-        run1(&mut s, &mut m, Instruction::Slli { rd: XReg::T2, rs1: XReg::T1, shamt: 4 });
+        run1(
+            &mut s,
+            &mut m,
+            Instruction::Slli {
+                rd: XReg::T2,
+                rs1: XReg::T1,
+                shamt: 4,
+            },
+        );
         assert_eq!(s.x(XReg::T2), 32);
-        run1(&mut s, &mut m, Instruction::Mul { rd: XReg::T3, rs1: XReg::T2, rs2: XReg::T2 });
+        run1(
+            &mut s,
+            &mut m,
+            Instruction::Mul {
+                rd: XReg::T3,
+                rs1: XReg::T2,
+                rs2: XReg::T2,
+            },
+        );
         assert_eq!(s.x(XReg::T3), 1024);
-        run1(&mut s, &mut m, Instruction::Sub { rd: XReg::T4, rs1: XReg::T0, rs2: XReg::T1 });
+        run1(
+            &mut s,
+            &mut m,
+            Instruction::Sub {
+                rd: XReg::T4,
+                rs1: XReg::T0,
+                rs2: XReg::T1,
+            },
+        );
         assert_eq!(s.x(XReg::T4) as i64, -5);
         assert_eq!(s.pc, 5);
     }
@@ -540,10 +852,34 @@ mod tests {
         let (mut s, mut m) = setup();
         m.write_u32(0x100, 0xFFFF_FFFE); // -2 as i32
         s.set_x(XReg::A0, 0x100);
-        let ev = run1(&mut s, &mut m, Instruction::Lw { rd: XReg::T0, rs1: XReg::A0, imm: 0 });
+        let ev = run1(
+            &mut s,
+            &mut m,
+            Instruction::Lw {
+                rd: XReg::T0,
+                rs1: XReg::A0,
+                imm: 0,
+            },
+        );
         assert_eq!(s.x(XReg::T0) as i64, -2);
-        assert_eq!(ev.mem, Some(MemOp { addr: 0x100, bytes: 4, write: false, vector: false }));
-        run1(&mut s, &mut m, Instruction::Lwu { rd: XReg::T1, rs1: XReg::A0, imm: 0 });
+        assert_eq!(
+            ev.mem,
+            Some(MemOp {
+                addr: 0x100,
+                bytes: 4,
+                write: false,
+                vector: false
+            })
+        );
+        run1(
+            &mut s,
+            &mut m,
+            Instruction::Lwu {
+                rd: XReg::T1,
+                rs1: XReg::A0,
+                imm: 0,
+            },
+        );
         assert_eq!(s.x(XReg::T1), 0xFFFF_FFFE);
     }
 
@@ -552,8 +888,24 @@ mod tests {
         let (mut s, mut m) = setup();
         s.set_x(XReg::T0, 0xABCD);
         s.set_x(XReg::A0, 0x200);
-        run1(&mut s, &mut m, Instruction::Sd { rs2: XReg::T0, rs1: XReg::A0, imm: 8 });
-        run1(&mut s, &mut m, Instruction::Ld { rd: XReg::T1, rs1: XReg::A0, imm: 8 });
+        run1(
+            &mut s,
+            &mut m,
+            Instruction::Sd {
+                rs2: XReg::T0,
+                rs1: XReg::A0,
+                imm: 8,
+            },
+        );
+        run1(
+            &mut s,
+            &mut m,
+            Instruction::Ld {
+                rd: XReg::T1,
+                rs1: XReg::A0,
+                imm: 8,
+            },
+        );
         assert_eq!(s.x(XReg::T1), 0xABCD);
     }
 
@@ -562,15 +914,36 @@ mod tests {
         let (mut s, mut m) = setup();
         s.set_x(XReg::T0, 1);
         s.pc = 10;
-        let ev =
-            run1(&mut s, &mut m, Instruction::Bne { rs1: XReg::T0, rs2: XReg::ZERO, offset: -5 });
+        let ev = run1(
+            &mut s,
+            &mut m,
+            Instruction::Bne {
+                rs1: XReg::T0,
+                rs2: XReg::ZERO,
+                offset: -5,
+            },
+        );
         assert!(ev.branch_taken);
         assert_eq!(s.pc, 5);
-        let ev =
-            run1(&mut s, &mut m, Instruction::Beq { rs1: XReg::T0, rs2: XReg::ZERO, offset: -5 });
+        let ev = run1(
+            &mut s,
+            &mut m,
+            Instruction::Beq {
+                rs1: XReg::T0,
+                rs2: XReg::ZERO,
+                offset: -5,
+            },
+        );
         assert!(!ev.branch_taken);
         assert_eq!(s.pc, 6);
-        let ev = run1(&mut s, &mut m, Instruction::Jal { rd: XReg::RA, offset: 3 });
+        let ev = run1(
+            &mut s,
+            &mut m,
+            Instruction::Jal {
+                rd: XReg::RA,
+                offset: 3,
+            },
+        );
         assert!(ev.branch_taken);
         assert_eq!(s.pc, 9);
         assert_eq!(s.x(XReg::RA), 7);
@@ -584,13 +957,22 @@ mod tests {
         let r = step(
             &mut s,
             &mut m,
-            &Instruction::Bne { rs1: XReg::T0, rs2: XReg::ZERO, offset: -5 },
+            &Instruction::Bne {
+                rs1: XReg::T0,
+                rs2: XReg::ZERO,
+                offset: -5,
+            },
         );
         assert!(matches!(r, Err(ExecError::PcOutOfRange { target: -5 })));
     }
 
     fn vsetvli_m1(rd: XReg, rs1: XReg) -> Instruction {
-        Instruction::Vsetvli { rd, rs1, sew: Sew::E32, lmul: Lmul::M1 }
+        Instruction::Vsetvli {
+            rd,
+            rs1,
+            sew: Sew::E32,
+            lmul: Lmul::M1,
+        }
     }
 
     #[test]
@@ -609,9 +991,56 @@ mod tests {
         let r = step(
             &mut s,
             &mut m,
-            &Instruction::Vsetvli { rd: XReg::T0, rs1: XReg::ZERO, sew: Sew::E64, lmul: Lmul::M1 },
+            &Instruction::Vsetvli {
+                rd: XReg::T0,
+                rs1: XReg::ZERO,
+                sew: Sew::E64,
+                lmul: Lmul::M1,
+            },
         );
         assert!(matches!(r, Err(ExecError::UnsupportedSew { .. })));
+    }
+
+    #[test]
+    fn vsetvli_narrow_sews_scale_vl() {
+        // vl = LMUL * VLEN / SEW: 64 at e8, 32 at e16 for a 512-bit VLEN.
+        let (mut s, mut m) = setup();
+        s.set_x(XReg::A0, 1000);
+        let ev = run1(
+            &mut s,
+            &mut m,
+            Instruction::Vsetvli {
+                rd: XReg::T0,
+                rs1: XReg::A0,
+                sew: Sew::E8,
+                lmul: Lmul::M1,
+            },
+        );
+        assert_eq!(s.vl(), 64);
+        assert_eq!(s.x(XReg::T0), 64);
+        assert_eq!(ev.sew, Sew::E8);
+        run1(
+            &mut s,
+            &mut m,
+            Instruction::Vsetvli {
+                rd: XReg::T0,
+                rs1: XReg::A0,
+                sew: Sew::E16,
+                lmul: Lmul::M1,
+            },
+        );
+        assert_eq!(s.vl(), 32);
+        run1(
+            &mut s,
+            &mut m,
+            Instruction::Vsetvli {
+                rd: XReg::T0,
+                rs1: XReg::A0,
+                sew: Sew::E16,
+                lmul: Lmul::M2,
+            },
+        );
+        assert_eq!(s.vl(), 64);
     }
 
     #[test]
@@ -621,7 +1050,12 @@ mod tests {
         run1(
             &mut s,
             &mut m,
-            Instruction::Vsetvli { rd: XReg::T0, rs1: XReg::A0, sew: Sew::E32, lmul: Lmul::M2 },
+            Instruction::Vsetvli {
+                rd: XReg::T0,
+                rs1: XReg::A0,
+                sew: Sew::E32,
+                lmul: Lmul::M2,
+            },
         );
         assert_eq!(s.vl(), 32);
         assert_eq!(s.x(XReg::T0), 32);
@@ -629,7 +1063,12 @@ mod tests {
         run1(
             &mut s,
             &mut m,
-            Instruction::Vsetvli { rd: XReg::T0, rs1: XReg::ZERO, sew: Sew::E32, lmul: Lmul::M4 },
+            Instruction::Vsetvli {
+                rd: XReg::T0,
+                rs1: XReg::ZERO,
+                sew: Sew::E32,
+                lmul: Lmul::M4,
+            },
         );
         assert_eq!(s.vl(), 64);
     }
@@ -641,11 +1080,163 @@ mod tests {
         m.write_f32_slice(0x1000, &data);
         s.set_x(XReg::A0, 0x1000);
         s.set_x(XReg::A1, 0x2000);
-        let ev = run1(&mut s, &mut m, Instruction::Vle32 { vd: VReg::V1, rs1: XReg::A0 });
+        let ev = run1(
+            &mut s,
+            &mut m,
+            Instruction::Vle32 {
+                vd: VReg::V1,
+                rs1: XReg::A0,
+            },
+        );
         assert_eq!(ev.mem.unwrap().bytes, 64);
         assert!(ev.mem.unwrap().vector);
-        run1(&mut s, &mut m, Instruction::Vse32 { vs3: VReg::V1, rs1: XReg::A1 });
+        assert_eq!(ev.sew, Sew::E32);
+        run1(
+            &mut s,
+            &mut m,
+            Instruction::Vse32 {
+                vs3: VReg::V1,
+                rs1: XReg::A1,
+            },
+        );
         assert_eq!(m.read_f32_slice(0x2000, 16), data);
+    }
+
+    #[test]
+    fn narrow_load_store_roundtrip() {
+        let (mut s, mut m) = setup();
+        for i in 0..64u64 {
+            m.write_u8(0x1000 + i, (i as u8).wrapping_mul(3).wrapping_sub(90));
+        }
+        set_sew(&mut s, Sew::E8);
+        assert_eq!(s.vl(), 64);
+        s.set_x(XReg::A0, 0x1000);
+        s.set_x(XReg::A1, 0x2000);
+        let ev = run1(
+            &mut s,
+            &mut m,
+            Instruction::Vle8 {
+                vd: VReg::V3,
+                rs1: XReg::A0,
+            },
+        );
+        assert_eq!(ev.mem.unwrap().bytes, 64, "64 one-byte elements");
+        assert_eq!(ev.sew, Sew::E8);
+        run1(
+            &mut s,
+            &mut m,
+            Instruction::Vse8 {
+                vs3: VReg::V3,
+                rs1: XReg::A1,
+            },
+        );
+        for i in 0..64u64 {
+            assert_eq!(m.read_u8(0x2000 + i), m.read_u8(0x1000 + i));
+        }
+        // e16: 32 elements, 64 bytes.
+        set_sew(&mut s, Sew::E16);
+        assert_eq!(s.vl(), 32);
+        let ev = run1(
+            &mut s,
+            &mut m,
+            Instruction::Vle16 {
+                vd: VReg::V4,
+                rs1: XReg::A0,
+            },
+        );
+        assert_eq!(ev.mem.unwrap().bytes, 64);
+        run1(
+            &mut s,
+            &mut m,
+            Instruction::Vse16 {
+                vs3: VReg::V4,
+                rs1: XReg::A1,
+            },
+        );
+        assert_eq!(m.read_u16(0x2000), m.read_u16(0x1000));
+    }
+
+    #[test]
+    fn element_width_must_match_sew() {
+        let (mut s, mut m) = setup();
+        s.set_x(XReg::A0, 0x1000);
+        // vle8 at the default e32 vtype faults.
+        let r = step(
+            &mut s,
+            &mut m,
+            &Instruction::Vle8 {
+                vd: VReg::V1,
+                rs1: XReg::A0,
+            },
+        );
+        assert!(matches!(
+            r,
+            Err(ExecError::IllegalSewForOp { sew: Sew::E32, .. })
+        ));
+        // vle32 at e8 faults too.
+        set_sew(&mut s, Sew::E8);
+        let r = step(
+            &mut s,
+            &mut m,
+            &Instruction::Vle32 {
+                vd: VReg::V1,
+                rs1: XReg::A0,
+            },
+        );
+        assert!(matches!(
+            r,
+            Err(ExecError::IllegalSewForOp { sew: Sew::E8, .. })
+        ));
+        let r = step(
+            &mut s,
+            &mut m,
+            &Instruction::Vse16 {
+                vs3: VReg::V1,
+                rs1: XReg::A0,
+            },
+        );
+        assert!(matches!(
+            r,
+            Err(ExecError::IllegalSewForOp { sew: Sew::E8, .. })
+        ));
+    }
+
+    #[test]
+    fn float_ops_require_e32() {
+        let (mut s, mut m) = setup();
+        set_sew(&mut s, Sew::E8);
+        for i in [
+            Instruction::VfaddVv {
+                vd: VReg::V1,
+                vs2: VReg::V2,
+                vs1: VReg::V3,
+            },
+            Instruction::VfmulVv {
+                vd: VReg::V1,
+                vs2: VReg::V2,
+                vs1: VReg::V3,
+            },
+            Instruction::VfmaccVf {
+                vd: VReg::V1,
+                fs1: FReg::F0,
+                vs2: VReg::V2,
+            },
+            Instruction::VfmaccVv {
+                vd: VReg::V1,
+                vs1: VReg::V2,
+                vs2: VReg::V3,
+            },
+            Instruction::VfmvFs {
+                fd: FReg::F0,
+                vs2: VReg::V2,
+            },
+        ] {
+            let r = step(&mut s, &mut m, &i);
+            assert!(
+                matches!(r, Err(ExecError::IllegalSewForOp { sew: Sew::E8, .. })),
+                "{i} must fault at e8"
+            );
+        }
     }
 
     #[test]
@@ -655,7 +1246,14 @@ mod tests {
         s.set_v_f32(VReg::V1, &[1.0; 16]);
         s.set_vl(4);
         s.set_x(XReg::A0, 0x1000);
-        run1(&mut s, &mut m, Instruction::Vle32 { vd: VReg::V1, rs1: XReg::A0 });
+        run1(
+            &mut s,
+            &mut m,
+            Instruction::Vle32 {
+                vd: VReg::V1,
+                rs1: XReg::A0,
+            },
+        );
         // Tail is undisturbed.
         assert_eq!(s.v_f32(VReg::V1, 3), 9.0);
         assert_eq!(s.v_f32(VReg::V1, 4), 1.0);
@@ -665,7 +1263,36 @@ mod tests {
     fn unaligned_vector_access_faults() {
         let (mut s, mut m) = setup();
         s.set_x(XReg::A0, 0x1001);
-        let r = step(&mut s, &mut m, &Instruction::Vle32 { vd: VReg::V1, rs1: XReg::A0 });
+        let r = step(
+            &mut s,
+            &mut m,
+            &Instruction::Vle32 {
+                vd: VReg::V1,
+                rs1: XReg::A0,
+            },
+        );
+        assert!(matches!(r, Err(ExecError::Unaligned { addr: 0x1001, .. })));
+        // Byte elements have no alignment constraint.
+        set_sew(&mut s, Sew::E8);
+        assert!(step(
+            &mut s,
+            &mut m,
+            &Instruction::Vle8 {
+                vd: VReg::V1,
+                rs1: XReg::A0
+            }
+        )
+        .is_ok());
+        // 16-bit elements need 2-byte alignment.
+        set_sew(&mut s, Sew::E16);
+        let r = step(
+            &mut s,
+            &mut m,
+            &Instruction::Vle16 {
+                vd: VReg::V1,
+                rs1: XReg::A0,
+            },
+        );
         assert!(matches!(r, Err(ExecError::Unaligned { addr: 0x1001, .. })));
     }
 
@@ -673,18 +1300,78 @@ mod tests {
     fn integer_vector_ops() {
         let (mut s, mut m) = setup();
         for i in 0..16 {
-            s.v_mut(VReg::V1)[i] = i as u32;
-            s.v_mut(VReg::V2)[i] = 10;
+            s.set_v_lane(VReg::V1, i, Sew::E32, i as u32);
+            s.set_v_lane(VReg::V2, i, Sew::E32, 10);
         }
-        run1(&mut s, &mut m, Instruction::VaddVv { vd: VReg::V3, vs2: VReg::V1, vs1: VReg::V2 });
-        assert_eq!(s.v(VReg::V3)[5], 15);
+        run1(
+            &mut s,
+            &mut m,
+            Instruction::VaddVv {
+                vd: VReg::V3,
+                vs2: VReg::V1,
+                vs1: VReg::V2,
+            },
+        );
+        assert_eq!(s.v_lane(VReg::V3, 5, Sew::E32), 15);
         s.set_x(XReg::T0, 3);
-        run1(&mut s, &mut m, Instruction::VmulVx { vd: VReg::V4, vs2: VReg::V1, rs1: XReg::T0 });
-        assert_eq!(s.v(VReg::V4)[7], 21);
-        run1(&mut s, &mut m, Instruction::VmaccVx { vd: VReg::V4, rs1: XReg::T0, vs2: VReg::V2 });
-        assert_eq!(s.v(VReg::V4)[7], 21 + 30);
-        run1(&mut s, &mut m, Instruction::VaddVi { vd: VReg::V5, vs2: VReg::V1, imm: -1 });
-        assert_eq!(s.v(VReg::V5)[0], u32::MAX);
+        run1(
+            &mut s,
+            &mut m,
+            Instruction::VmulVx {
+                vd: VReg::V4,
+                vs2: VReg::V1,
+                rs1: XReg::T0,
+            },
+        );
+        assert_eq!(s.v_lane(VReg::V4, 7, Sew::E32), 21);
+        run1(
+            &mut s,
+            &mut m,
+            Instruction::VmaccVx {
+                vd: VReg::V4,
+                rs1: XReg::T0,
+                vs2: VReg::V2,
+            },
+        );
+        assert_eq!(s.v_lane(VReg::V4, 7, Sew::E32), 21 + 30);
+        run1(
+            &mut s,
+            &mut m,
+            Instruction::VaddVi {
+                vd: VReg::V5,
+                vs2: VReg::V1,
+                imm: -1,
+            },
+        );
+        assert_eq!(s.v_lane(VReg::V5, 0, Sew::E32), u32::MAX);
+    }
+
+    #[test]
+    fn integer_ops_wrap_at_the_element_width() {
+        let (mut s, mut m) = setup();
+        set_sew(&mut s, Sew::E8);
+        s.set_v_lane(VReg::V1, 0, Sew::E8, 200);
+        s.set_v_lane(VReg::V2, 0, Sew::E8, 100);
+        run1(
+            &mut s,
+            &mut m,
+            Instruction::VaddVv {
+                vd: VReg::V3,
+                vs2: VReg::V1,
+                vs1: VReg::V2,
+            },
+        );
+        assert_eq!(s.v_lane(VReg::V3, 0, Sew::E8), (200 + 100) & 0xFF);
+        run1(
+            &mut s,
+            &mut m,
+            Instruction::VmulVv {
+                vd: VReg::V4,
+                vs2: VReg::V1,
+                vs1: VReg::V2,
+            },
+        );
+        assert_eq!(s.v_lane(VReg::V4, 0, Sew::E8), (200u32 * 100) & 0xFF);
     }
 
     #[test]
@@ -693,9 +1380,25 @@ mod tests {
         s.set_v_f32(VReg::V1, &[2.0; 16]);
         s.set_v_f32(VReg::V2, &[0.5; 16]);
         s.set_f_bits(FReg::F0, 3.0f32.to_bits());
-        run1(&mut s, &mut m, Instruction::VfmaccVf { vd: VReg::V2, fs1: FReg::F0, vs2: VReg::V1 });
+        run1(
+            &mut s,
+            &mut m,
+            Instruction::VfmaccVf {
+                vd: VReg::V2,
+                fs1: FReg::F0,
+                vs2: VReg::V1,
+            },
+        );
         assert_eq!(s.v_f32(VReg::V2, 0), 0.5 + 3.0 * 2.0);
-        run1(&mut s, &mut m, Instruction::VfmaccVv { vd: VReg::V2, vs1: VReg::V1, vs2: VReg::V1 });
+        run1(
+            &mut s,
+            &mut m,
+            Instruction::VfmaccVv {
+                vd: VReg::V2,
+                vs1: VReg::V1,
+                vs2: VReg::V1,
+            },
+        );
         assert_eq!(s.v_f32(VReg::V2, 0), 6.5 + 4.0);
     }
 
@@ -708,7 +1411,11 @@ mod tests {
         run1(
             &mut s,
             &mut m,
-            Instruction::Vslide1downVx { vd: VReg::V1, vs2: VReg::V1, rs1: XReg::T0 },
+            Instruction::Vslide1downVx {
+                vd: VReg::V1,
+                vs2: VReg::V1,
+                rs1: XReg::T0,
+            },
         );
         assert_eq!(s.v_f32(VReg::V1, 0), 1.0);
         assert_eq!(s.v_f32(VReg::V1, 14), 15.0);
@@ -718,26 +1425,108 @@ mod tests {
         run1(
             &mut s,
             &mut m,
-            Instruction::VslidedownVi { vd: VReg::V3, vs2: VReg::V2, imm: 4 },
+            Instruction::VslidedownVi {
+                vd: VReg::V3,
+                vs2: VReg::V2,
+                imm: 4,
+            },
         );
         assert_eq!(s.v_f32(VReg::V3, 0), 4.0);
         assert_eq!(s.v_f32(VReg::V3, 11), 15.0);
-        assert_eq!(s.v(VReg::V3)[12], 0); // beyond vlmax reads as zero
+        assert_eq!(s.v_lane(VReg::V3, 12, Sew::E32), 0); // beyond vlmax reads as zero
+    }
+
+    #[test]
+    fn slides_walk_narrow_lanes() {
+        // The metadata walk of Algorithm 3 at e8: slide shifts 8-bit
+        // lanes, so the next value/index lands in element 0.
+        let (mut s, mut m) = setup();
+        set_sew(&mut s, Sew::E8);
+        for i in 0..64 {
+            s.set_v_lane(VReg::V4, i, Sew::E8, i as u32 + 1);
+        }
+        run1(
+            &mut s,
+            &mut m,
+            Instruction::Vslide1downVx {
+                vd: VReg::V4,
+                vs2: VReg::V4,
+                rs1: XReg::ZERO,
+            },
+        );
+        assert_eq!(s.v_lane(VReg::V4, 0, Sew::E8), 2);
+        assert_eq!(s.v_lane(VReg::V4, 62, Sew::E8), 64);
+        assert_eq!(s.v_lane(VReg::V4, 63, Sew::E8), 0);
     }
 
     #[test]
     fn cross_domain_moves() {
         let (mut s, mut m) = setup();
-        s.v_mut(VReg::V1)[0] = 0xFFFF_FFF0; // negative as i32
-        run1(&mut s, &mut m, Instruction::VmvXs { rd: XReg::T0, vs2: VReg::V1 });
+        s.set_v_lane(VReg::V1, 0, Sew::E32, 0xFFFF_FFF0); // negative as i32
+        run1(
+            &mut s,
+            &mut m,
+            Instruction::VmvXs {
+                rd: XReg::T0,
+                vs2: VReg::V1,
+            },
+        );
         assert_eq!(s.x(XReg::T0) as i64, -16);
         s.set_x(XReg::T1, 0x42);
-        run1(&mut s, &mut m, Instruction::VmvSx { vd: VReg::V2, rs1: XReg::T1 });
-        assert_eq!(s.v(VReg::V2)[0], 0x42);
-        run1(&mut s, &mut m, Instruction::VfmvFs { fd: FReg::F1, vs2: VReg::V1 });
+        run1(
+            &mut s,
+            &mut m,
+            Instruction::VmvSx {
+                vd: VReg::V2,
+                rs1: XReg::T1,
+            },
+        );
+        assert_eq!(s.v_lane(VReg::V2, 0, Sew::E32), 0x42);
+        run1(
+            &mut s,
+            &mut m,
+            Instruction::VfmvFs {
+                fd: FReg::F1,
+                vs2: VReg::V1,
+            },
+        );
         assert_eq!(s.f_bits(FReg::F1), 0xFFFF_FFF0);
-        run1(&mut s, &mut m, Instruction::VmvVx { vd: VReg::V3, rs1: XReg::T1 });
-        assert_eq!(s.v(VReg::V3)[15], 0x42);
+        run1(
+            &mut s,
+            &mut m,
+            Instruction::VmvVx {
+                vd: VReg::V3,
+                rs1: XReg::T1,
+            },
+        );
+        assert_eq!(s.v_lane(VReg::V3, 15, Sew::E32), 0x42);
+    }
+
+    #[test]
+    fn vmv_xs_sign_extends_narrow_lanes() {
+        let (mut s, mut m) = setup();
+        set_sew(&mut s, Sew::E8);
+        s.set_v_lane(VReg::V1, 0, Sew::E8, 0xFE); // -2 as i8
+        run1(
+            &mut s,
+            &mut m,
+            Instruction::VmvXs {
+                rd: XReg::T0,
+                vs2: VReg::V1,
+            },
+        );
+        assert_eq!(s.x(XReg::T0) as i64, -2);
+        set_sew(&mut s, Sew::E16);
+        s.set_v_lane(VReg::V2, 0, Sew::E16, 0x8000);
+        run1(
+            &mut s,
+            &mut m,
+            Instruction::VmvXs {
+                rd: XReg::T1,
+                vs2: VReg::V2,
+            },
+        );
+        assert_eq!(s.x(XReg::T1) as i64, -32768);
     }
 
     #[test]
@@ -753,7 +1542,11 @@ mod tests {
         let ev = run1(
             &mut s,
             &mut m,
-            Instruction::VindexmacVx { vd: VReg::V1, vs2: VReg::V4, rs: XReg::T0 },
+            Instruction::VindexmacVx {
+                vd: VReg::V1,
+                vs2: VReg::V4,
+                rs: XReg::T0,
+            },
         );
         assert_eq!(ev.indirect_vreg, Some(VReg::new(20)));
         assert_eq!(s.v_as_f32(VReg::V1), vec![12.5, 15.0, 17.5, 20.0]);
@@ -769,9 +1562,255 @@ mod tests {
         run1(
             &mut s,
             &mut m,
-            Instruction::VindexmacVx { vd: VReg::V1, vs2: VReg::V4, rs: XReg::T0 },
+            Instruction::VindexmacVx {
+                vd: VReg::V1,
+                vs2: VReg::V4,
+                rs: XReg::T0,
+            },
         );
         assert_eq!(s.v_f32(VReg::V1, 0), 1.0);
+    }
+
+    #[test]
+    fn widening_vindexmac_i8_semantics() {
+        // e8: 64 i8 lanes in the B-row register; the accumulator is the
+        // 4-register group v0..v3 of 64 i32 lanes.
+        let (mut s, mut m) = setup();
+        set_sew(&mut s, Sew::E8);
+        for i in 0..64 {
+            s.set_v_lane(VReg::new(20), i, Sew::E8, (i as i32 - 32) as u32);
+        }
+        s.set_v_lane(VReg::V8, 0, Sew::E8, (-3i32) as u32); // value = -3
+                                                            // Pre-existing accumulator values in the widened group.
+        for i in 0..64 {
+            s.set_v_lane_group(VReg::V0, 4, i, Sew::E32, 1000u32.wrapping_mul(i as u32));
+        }
+        s.set_x(XReg::T0, 20);
+        let ev = run1(
+            &mut s,
+            &mut m,
+            Instruction::VindexmacVx {
+                vd: VReg::V0,
+                vs2: VReg::V8,
+                rs: XReg::T0,
+            },
+        );
+        assert_eq!(ev.sew, Sew::E8);
+        assert_eq!(ev.indirect_vreg, Some(VReg::new(20)));
+        for i in 0..64 {
+            let expect = (1000i32 * i as i32) + (-3) * (i as i32 - 32);
+            assert_eq!(
+                s.v_lane_group(VReg::V0, 4, i, Sew::E32) as i32,
+                expect,
+                "lane {i}"
+            );
+        }
+        // Lane 16 of the accumulator lives in v1: the group widened.
+        assert_eq!(
+            s.v_lane(VReg::V1, 0, Sew::E32) as i32,
+            16000 + (-3) * (16 - 32)
+        );
+    }
+
+    #[test]
+    fn widening_vindexmac_vvi_i16_semantics() {
+        let (mut s, mut m) = setup();
+        set_sew(&mut s, Sew::E16);
+        assert_eq!(s.vl(), 32);
+        for i in 0..32 {
+            s.set_v_lane(VReg::new(20), i, Sew::E16, (100 + i as i32) as u32);
+        }
+        s.set_v_lane(VReg::V8, 2, Sew::E16, (-2i32) as u32); // values[2] = -2
+        s.set_v_lane(VReg::new(10), 2, Sew::E16, 20); // col_idx[2] -> v20
+        let ev = run1(
+            &mut s,
+            &mut m,
+            Instruction::VindexmacVvi {
+                vd: VReg::V0,
+                vs2: VReg::V8,
+                vs1: VReg::new(10),
+                slot: 2,
+            },
+        );
+        assert_eq!(ev.indirect_vreg, Some(VReg::new(20)));
+        for i in 0..32 {
+            assert_eq!(
+                s.v_lane_group(VReg::V0, 2, i, Sew::E32) as i32,
+                -2 * (100 + i as i32),
+                "lane {i}"
+            );
+        }
+        // Accumulator spans v0v1 at e16 (widen factor 2).
+        assert_eq!(s.v_lane(VReg::V1, 0, Sew::E32) as i32, -2 * 116);
+    }
+
+    #[test]
+    fn widening_accumulation_wraps_i32() {
+        let (mut s, mut m) = setup();
+        set_sew(&mut s, Sew::E8);
+        s.set_v_lane(VReg::new(20), 0, Sew::E8, 127);
+        s.set_v_lane(VReg::V8, 0, Sew::E8, 127);
+        for i in 0..64 {
+            s.set_v_lane_group(VReg::V0, 4, i, Sew::E32, i32::MAX as u32);
+        }
+        s.set_x(XReg::T0, 20);
+        run1(
+            &mut s,
+            &mut m,
+            Instruction::VindexmacVx {
+                vd: VReg::V0,
+                vs2: VReg::V8,
+                rs: XReg::T0,
+            },
+        );
+        assert_eq!(
+            s.v_lane_group(VReg::V0, 4, 0, Sew::E32) as i32,
+            i32::MAX.wrapping_add(127 * 127)
+        );
+    }
+
+    #[test]
+    fn widening_destination_must_be_aligned() {
+        let (mut s, mut m) = setup();
+        set_sew(&mut s, Sew::E8);
+        s.set_x(XReg::T0, 20);
+        let r = step(
+            &mut s,
+            &mut m,
+            &Instruction::VindexmacVx {
+                vd: VReg::V1,
+                vs2: VReg::V8,
+                rs: XReg::T0,
+            },
+        );
+        assert!(matches!(
+            r,
+            Err(ExecError::IllegalWidening {
+                sew: Sew::E8,
+                vd: 1,
+                ..
+            })
+        ));
+        // e16 widens by 2: odd destinations fault, even ones are fine.
+        set_sew(&mut s, Sew::E16);
+        let r = step(
+            &mut s,
+            &mut m,
+            &Instruction::VindexmacVx {
+                vd: VReg::V3,
+                vs2: VReg::V8,
+                rs: XReg::T0,
+            },
+        );
+        assert!(matches!(
+            r,
+            Err(ExecError::IllegalWidening {
+                sew: Sew::E16,
+                vd: 3,
+                ..
+            })
+        ));
+        assert!(step(
+            &mut s,
+            &mut m,
+            &Instruction::VindexmacVx {
+                vd: VReg::V2,
+                vs2: VReg::V8,
+                rs: XReg::T0
+            },
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn widening_accumulator_group_capped_at_m4() {
+        // Grouped narrow-SEW MACs whose widened destination would span
+        // more than 4 registers describe hardware the model does not
+        // have (the planner's `lmul * 32/SEW <= 4` bound); the executor
+        // faults instead of simulating it.
+        let (mut s, mut m) = setup();
+        s.set_vtype(VType {
+            sew: Sew::E8,
+            lmul: Lmul::M2,
+        });
+        s.set_vl(128); // 2 e8 registers -> an 8-register e32 accumulator
+        let r = step(
+            &mut s,
+            &mut m,
+            &Instruction::VindexmacVvi {
+                vd: VReg::V0,
+                vs2: VReg::V8,
+                vs1: VReg::new(9),
+                slot: 0,
+            },
+        );
+        assert!(matches!(
+            r,
+            Err(ExecError::IllegalWidening {
+                sew: Sew::E8,
+                vd: 0,
+                ..
+            })
+        ));
+        // e16,m2 widens to exactly m4: legal.
+        s.set_vtype(VType {
+            sew: Sew::E16,
+            lmul: Lmul::M2,
+        });
+        s.set_vl(64);
+        assert!(step(
+            &mut s,
+            &mut m,
+            &Instruction::VindexmacVvi {
+                vd: VReg::V0,
+                vs2: VReg::V8,
+                vs1: VReg::new(9),
+                slot: 0,
+            },
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn widening_destination_past_v31_faults() {
+        let (mut s, mut m) = setup();
+        set_sew(&mut s, Sew::E8);
+        s.set_x(XReg::T0, 20);
+        // v28 + 4 widened regs = v28..v31 fits; v29 is misaligned; the
+        // aligned v28 is the last legal base... and v32 would overflow.
+        assert!(step(
+            &mut s,
+            &mut m,
+            &Instruction::VindexmacVx {
+                vd: VReg::new(28),
+                vs2: VReg::V8,
+                rs: XReg::T0
+            },
+        )
+        .is_ok());
+        set_sew(&mut s, Sew::E16);
+        let r = step(
+            &mut s,
+            &mut m,
+            &Instruction::VindexmacVx {
+                vd: VReg::new(31),
+                vs2: VReg::V8,
+                rs: XReg::T0,
+            },
+        );
+        assert!(matches!(r, Err(ExecError::IllegalWidening { .. })));
+        let r = step(
+            &mut s,
+            &mut m,
+            &Instruction::VindexmacVvi {
+                vd: VReg::new(30),
+                vs2: VReg::V8,
+                vs1: VReg::new(9),
+                slot: 0,
+            },
+        );
+        // v30 is 2-aligned but v30..v31 only fits one 2-wide group: ok.
+        assert!(r.is_ok());
     }
 
     #[test]
@@ -789,13 +1828,18 @@ mod tests {
         // register 20 — no scalar register involved anywhere.
         s.set_v_f32(VReg::new(20), &[1.0, 2.0, 3.0, 4.0]);
         s.set_v_f32(VReg::V4, &[0.0, 0.0, 2.5, 0.0]);
-        s.v_mut(VReg::V8)[2] = 20;
+        s.set_v_lane(VReg::V8, 2, Sew::E32, 20);
         s.set_v_f32(VReg::V1, &[10.0, 10.0, 10.0, 10.0]);
         s.set_vl(4);
         let ev = run1(
             &mut s,
             &mut m,
-            Instruction::VindexmacVvi { vd: VReg::V1, vs2: VReg::V4, vs1: VReg::V8, slot: 2 },
+            Instruction::VindexmacVvi {
+                vd: VReg::V1,
+                vs2: VReg::V4,
+                vs1: VReg::V8,
+                slot: 2,
+            },
         );
         assert_eq!(ev.indirect_vreg, Some(VReg::new(20)));
         assert_eq!(s.v_as_f32(VReg::V1), vec![12.5, 15.0, 17.5, 20.0]);
@@ -807,11 +1851,16 @@ mod tests {
         let (mut s, mut m) = setup();
         s.set_v_f32(VReg::new(3), &[1.0; 16]);
         s.set_v_f32(VReg::V4, &[1.0; 16]);
-        s.v_mut(VReg::V8)[0] = 32 + 3; // 5 LSBs = 3
+        s.set_v_lane(VReg::V8, 0, Sew::E32, 32 + 3); // 5 LSBs = 3
         run1(
             &mut s,
             &mut m,
-            Instruction::VindexmacVvi { vd: VReg::V1, vs2: VReg::V4, vs1: VReg::V8, slot: 0 },
+            Instruction::VindexmacVvi {
+                vd: VReg::V1,
+                vs2: VReg::V4,
+                vs1: VReg::V8,
+                slot: 0,
+            },
         );
         assert_eq!(s.v_f32(VReg::V1, 0), 1.0);
     }
@@ -821,12 +1870,15 @@ mod tests {
         let (mut s, mut m) = setup();
         // Under m2 the B "row" is the v20v21 group (32 lanes) and the
         // accumulator is the v0v1 group; metadata stays in single regs.
-        s.set_vtype(indexmac_isa::VType { sew: Sew::E32, lmul: Lmul::M2 });
+        s.set_vtype(indexmac_isa::VType {
+            sew: Sew::E32,
+            lmul: Lmul::M2,
+        });
         s.set_vl(32);
         s.set_v_f32(VReg::new(20), &[2.0; 16]);
         s.set_v_f32(VReg::new(21), &[3.0; 16]);
         s.set_v_f32(VReg::V8, &[0.5; 16]); // values
-        s.v_mut(VReg::new(12))[1] = 20; // colidx reg, slot 1 -> v20 group
+        s.set_v_lane(VReg::new(12), 1, Sew::E32, 20); // colidx reg, slot 1 -> v20 group
         let ev = run1(
             &mut s,
             &mut m,
@@ -850,32 +1902,60 @@ mod tests {
         let (mut s, mut m) = setup();
         let data: Vec<f32> = (0..32).map(|i| i as f32).collect();
         m.write_f32_slice(0x1000, &data);
-        s.set_vtype(indexmac_isa::VType { sew: Sew::E32, lmul: Lmul::M2 });
+        s.set_vtype(indexmac_isa::VType {
+            sew: Sew::E32,
+            lmul: Lmul::M2,
+        });
         s.set_vl(32);
         s.set_x(XReg::A0, 0x1000);
         s.set_x(XReg::A1, 0x2000);
-        let ev = run1(&mut s, &mut m, Instruction::Vle32 { vd: VReg::V2, rs1: XReg::A0 });
+        let ev = run1(
+            &mut s,
+            &mut m,
+            Instruction::Vle32 {
+                vd: VReg::V2,
+                rs1: XReg::A0,
+            },
+        );
         assert_eq!(ev.mem.unwrap().bytes, 128);
         assert_eq!(s.v_f32(VReg::V3, 0), 16.0, "second register of the group");
-        run1(&mut s, &mut m, Instruction::Vse32 { vs3: VReg::V2, rs1: XReg::A1 });
+        run1(
+            &mut s,
+            &mut m,
+            Instruction::Vse32 {
+                vs3: VReg::V2,
+                rs1: XReg::A1,
+            },
+        );
         assert_eq!(m.read_f32_slice(0x2000, 32), data);
     }
 
     #[test]
     fn ungrouped_ops_fault_under_grouping() {
         let (mut s, mut m) = setup();
-        s.set_vtype(indexmac_isa::VType { sew: Sew::E32, lmul: Lmul::M2 });
+        s.set_vtype(indexmac_isa::VType {
+            sew: Sew::E32,
+            lmul: Lmul::M2,
+        });
         s.set_vl(32);
         let r = step(
             &mut s,
             &mut m,
-            &Instruction::VfaddVv { vd: VReg::V0, vs2: VReg::V2, vs1: VReg::V4 },
+            &Instruction::VfaddVv {
+                vd: VReg::V0,
+                vs2: VReg::V2,
+                vs1: VReg::V4,
+            },
         );
         assert!(matches!(r, Err(ExecError::GroupingUnsupported { .. })));
         let r = step(
             &mut s,
             &mut m,
-            &Instruction::Vslide1downVx { vd: VReg::V0, vs2: VReg::V0, rs1: XReg::ZERO },
+            &Instruction::Vslide1downVx {
+                vd: VReg::V0,
+                vs2: VReg::V0,
+                rs1: XReg::ZERO,
+            },
         );
         assert!(matches!(r, Err(ExecError::GroupingUnsupported { .. })));
     }
@@ -883,20 +1963,45 @@ mod tests {
     #[test]
     fn grouped_ops_reject_overflowing_groups() {
         let (mut s, mut m) = setup();
-        s.set_vtype(indexmac_isa::VType { sew: Sew::E32, lmul: Lmul::M2 });
+        s.set_vtype(indexmac_isa::VType {
+            sew: Sew::E32,
+            lmul: Lmul::M2,
+        });
         s.set_vl(32);
         s.set_x(XReg::A0, 0x1000);
-        let r = step(&mut s, &mut m, &Instruction::Vle32 { vd: VReg::new(31), rs1: XReg::A0 });
-        assert!(matches!(r, Err(ExecError::GroupOutOfRange { base: 31, regs: 2, .. })));
+        let r = step(
+            &mut s,
+            &mut m,
+            &Instruction::Vle32 {
+                vd: VReg::new(31),
+                rs1: XReg::A0,
+            },
+        );
+        assert!(matches!(
+            r,
+            Err(ExecError::GroupOutOfRange {
+                base: 31,
+                regs: 2,
+                ..
+            })
+        ));
         // An indirect group read past v31 faults too.
-        s.v_mut(VReg::V8)[0] = 31;
+        s.set_v_lane(VReg::V8, 0, Sew::E32, 31);
         s.set_v_f32(VReg::V4, &[1.0; 16]);
         let r = step(
             &mut s,
             &mut m,
-            &Instruction::VindexmacVvi { vd: VReg::V0, vs2: VReg::V4, vs1: VReg::V8, slot: 0 },
+            &Instruction::VindexmacVvi {
+                vd: VReg::V0,
+                vs2: VReg::V4,
+                vs1: VReg::V8,
+                slot: 0,
+            },
         );
-        assert!(matches!(r, Err(ExecError::GroupOutOfRange { base: 31, .. })));
+        assert!(matches!(
+            r,
+            Err(ExecError::GroupOutOfRange { base: 31, .. })
+        ));
     }
 
     #[test]
@@ -905,9 +2010,35 @@ mod tests {
         let r = step(
             &mut s,
             &mut m,
-            &Instruction::VindexmacVvi { vd: VReg::V0, vs2: VReg::V4, vs1: VReg::V8, slot: 16 },
+            &Instruction::VindexmacVvi {
+                vd: VReg::V0,
+                vs2: VReg::V4,
+                vs1: VReg::V8,
+                slot: 16,
+            },
         );
-        assert!(matches!(r, Err(ExecError::SlotOutOfRange { slot: 16, vlmax: 16, .. })));
+        assert!(matches!(
+            r,
+            Err(ExecError::SlotOutOfRange {
+                slot: 16,
+                vlmax: 16,
+                ..
+            })
+        ));
+        // At e8 the same register holds 64 lanes, so slot 16 is legal.
+        let mut s = ArchState::new(512);
+        set_sew(&mut s, Sew::E8);
+        assert!(step(
+            &mut s,
+            &mut m,
+            &Instruction::VindexmacVvi {
+                vd: VReg::V0,
+                vs2: VReg::V4,
+                vs1: VReg::V8,
+                slot: 16
+            },
+        )
+        .is_ok());
     }
 
     #[test]
@@ -916,12 +2047,17 @@ mod tests {
         let (mut s, mut m) = setup();
         s.set_v_f32(VReg::V1, &[1.0, 2.0]);
         s.set_v_f32(VReg::V4, &[3.0]);
-        s.v_mut(VReg::V8)[0] = 1; // indirect source is v1 == vd
+        s.set_v_lane(VReg::V8, 0, Sew::E32, 1); // indirect source is v1 == vd
         s.set_vl(2);
         run1(
             &mut s,
             &mut m,
-            Instruction::VindexmacVvi { vd: VReg::V1, vs2: VReg::V4, vs1: VReg::V8, slot: 0 },
+            Instruction::VindexmacVvi {
+                vd: VReg::V1,
+                vs2: VReg::V4,
+                vs1: VReg::V8,
+                slot: 0,
+            },
         );
         // vd[i] = vd[i] + 3*vd_old[i] = 4*old.
         assert_eq!(s.v_as_f32(VReg::V1), vec![4.0, 8.0]);
@@ -938,7 +2074,11 @@ mod tests {
         run1(
             &mut s,
             &mut m,
-            Instruction::VindexmacVx { vd: VReg::V1, vs2: VReg::V4, rs: XReg::T0 },
+            Instruction::VindexmacVx {
+                vd: VReg::V1,
+                vs2: VReg::V4,
+                rs: XReg::T0,
+            },
         );
         // vd[i] = vd[i] + 3*vd_old[i] = 4*old.
         assert_eq!(s.v_as_f32(VReg::V1), vec![4.0, 8.0]);

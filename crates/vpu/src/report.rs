@@ -108,7 +108,10 @@ mod tests {
             cycles,
             instructions,
             counts: ClassCounts::default(),
-            mem: MemStats { vector_loads: 10, ..Default::default() },
+            mem: MemStats {
+                vector_loads: 10,
+                ..Default::default()
+            },
             l1d_hit_rate: 0.9,
             l2_hit_rate: 0.8,
             engine_busy_cycles: cycles / 2,

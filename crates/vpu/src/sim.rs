@@ -182,7 +182,9 @@ impl Simulator {
             observer(&ev);
             instret += 1;
             if instret >= self.max_instructions {
-                return Err(SimError::InstructionLimit { limit: self.max_instructions });
+                return Err(SimError::InstructionLimit {
+                    limit: self.max_instructions,
+                });
             }
         }
         Ok(instret)
@@ -231,7 +233,10 @@ mod tests {
         let mut b = ProgramBuilder::new();
         b.li(XReg::T0, 5);
         let mut s = sim();
-        assert!(matches!(s.run(&b.build()), Err(SimError::FellOffEnd { pc: 1 })));
+        assert!(matches!(
+            s.run(&b.build()),
+            Err(SimError::FellOffEnd { pc: 1 })
+        ));
     }
 
     #[test]
@@ -276,11 +281,22 @@ mod tests {
         s.memory_mut().write_f32_slice(0x1000, &data);
         let mut b = ProgramBuilder::new();
         b.li(XReg::A0, 16);
-        b.push(Instruction::Vsetvli { rd: XReg::T0, rs1: XReg::A0, sew: Sew::E32, lmul: Lmul::M1 });
+        b.push(Instruction::Vsetvli {
+            rd: XReg::T0,
+            rs1: XReg::A0,
+            sew: Sew::E32,
+            lmul: Lmul::M1,
+        });
         b.li(XReg::A1, 0x1000);
         b.li(XReg::A2, 0x2000);
-        b.push(Instruction::Vle32 { vd: VReg::V1, rs1: XReg::A1 });
-        b.push(Instruction::Vse32 { vs3: VReg::V1, rs1: XReg::A2 });
+        b.push(Instruction::Vle32 {
+            vd: VReg::V1,
+            rs1: XReg::A1,
+        });
+        b.push(Instruction::Vse32 {
+            vs3: VReg::V1,
+            rs1: XReg::A2,
+        });
         b.halt();
         let r = s.run(&b.build()).unwrap();
         assert_eq!(s.memory().read_f32_slice(0x2000, 16), data);
@@ -312,8 +328,14 @@ mod tests {
     fn run_traced_records_pipeline_timings() {
         let mut b = ProgramBuilder::new();
         b.li(XReg::A0, 0x1000);
-        b.push(Instruction::Vle32 { vd: VReg::V1, rs1: XReg::A0 });
-        b.push(Instruction::VmvXs { rd: XReg::T0, vs2: VReg::V1 });
+        b.push(Instruction::Vle32 {
+            vd: VReg::V1,
+            rs1: XReg::A0,
+        });
+        b.push(Instruction::VmvXs {
+            rd: XReg::T0,
+            vs2: VReg::V1,
+        });
         b.addi(XReg::T1, XReg::T0, 1);
         b.halt();
         let mut s = sim();
@@ -327,18 +349,27 @@ mod tests {
         }
         // The vector load's completion includes memory latency.
         let vload = &entries[1];
-        assert!(vload.latency() > 8, "cold vector load latency {}", vload.latency());
+        assert!(
+            vload.latency() > 8,
+            "cold vector load latency {}",
+            vload.latency()
+        );
         // The dependent addi waits for the cross-domain move.
         let addi = &entries[3];
         let vmv = &entries[2];
         assert!(addi.timing.issue_at >= vmv.timing.completion);
         // Capacity truncation path.
         let mut s2 = sim();
-        let (_, small) = s2.run_traced(&{
-            let mut b = ProgramBuilder::new();
-            b.li(XReg::T0, 1).li(XReg::T1, 2).halt();
-            b.build()
-        }, 1).unwrap();
+        let (_, small) = s2
+            .run_traced(
+                &{
+                    let mut b = ProgramBuilder::new();
+                    b.li(XReg::T0, 1).li(XReg::T1, 2).halt();
+                    b.build()
+                },
+                1,
+            )
+            .unwrap();
         assert!(small.truncated());
         assert_eq!(small.entries().len(), 1);
     }
@@ -364,11 +395,24 @@ mod tests {
         b.li(XReg::A0, 0x1000);
         b.li(XReg::A1, 0x2000);
         b.li(XReg::A2, 0x3000);
-        b.push(Instruction::Vle32 { vd: VReg::new(20), rs1: XReg::A0 });
-        b.push(Instruction::Vle32 { vd: VReg::V2, rs1: XReg::A1 });
+        b.push(Instruction::Vle32 {
+            vd: VReg::new(20),
+            rs1: XReg::A0,
+        });
+        b.push(Instruction::Vle32 {
+            vd: VReg::V2,
+            rs1: XReg::A1,
+        });
         b.li(XReg::T1, 20); // index of the tile register
-        b.push(Instruction::VindexmacVx { vd: VReg::V1, vs2: VReg::V2, rs: XReg::T1 });
-        b.push(Instruction::Vse32 { vs3: VReg::V1, rs1: XReg::A2 });
+        b.push(Instruction::VindexmacVx {
+            vd: VReg::V1,
+            vs2: VReg::V2,
+            rs: XReg::T1,
+        });
+        b.push(Instruction::Vse32 {
+            vs3: VReg::V1,
+            rs1: XReg::A2,
+        });
         b.halt();
         let r = s.run(&b.build()).unwrap();
         assert_eq!(s.memory().read_f32_slice(0x3000, 16), vec![6.0; 16]);

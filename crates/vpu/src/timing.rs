@@ -188,7 +188,9 @@ impl TimingModel {
 
     /// Total cycles: every component drained.
     pub fn total_cycles(&self) -> u64 {
-        self.issue_cycle.max(self.engine_free).max(self.last_completion)
+        self.issue_cycle
+            .max(self.engine_free)
+            .max(self.last_completion)
     }
 
     fn note_completion(&mut self, c: u64) {
@@ -200,7 +202,10 @@ impl TimingModel {
     /// Latest ready time across a register group of `regs` registers.
     fn ready_of(&self, r: VReg, regs: usize) -> u64 {
         let base = r.index() as usize;
-        (base..(base + regs).min(32)).map(|i| self.v_ready[i]).max().unwrap_or(0)
+        (base..(base + regs).min(32))
+            .map(|i| self.v_ready[i])
+            .max()
+            .unwrap_or(0)
     }
 
     /// Marks a register group of `regs` registers ready at `at`.
@@ -268,7 +273,11 @@ impl TimingModel {
 
         self.rob.push_back(rob_completion);
         self.note_completion(rob_completion);
-        InstrTiming { issue_at, start, completion: result_at }
+        InstrTiming {
+            issue_at,
+            start,
+            completion: result_at,
+        }
     }
 
     fn run_scalar(&mut self, ev: &ExecEvent, class: InstrClass, issue_at: u64) -> u64 {
@@ -348,17 +357,28 @@ impl TimingModel {
 
         // ---- in-order engine start: operands + structural ----
         // Under register grouping (vl > one register's lanes) operands
-        // span `emul` consecutive registers.
-        let emul = ev.vl.div_ceil(self.cfg.vlmax_e32()).max(1);
+        // span `emul` consecutive registers — computed at the event's
+        // element width, so e8 instructions group 4× later than e32.
+        let emul = ev.vl.div_ceil(self.cfg.vlmax_for(ev.sew)).max(1);
+        // The widening integer MACs write an e32 accumulator group that
+        // spans `32/SEW` times the source EMUL (the same factor the
+        // functional executor applies).
+        let widen = if ev.instr.class() == InstrClass::VIndexMac {
+            crate::exec::widen_factor(ev.sew)
+        } else {
+            1
+        };
+        let dst_regs = emul * widen;
         let dst = ev.instr.v_dst();
         let mut start = self.engine_free.max(dispatch);
         for src in ev.instr.v_srcs().into_iter().flatten() {
             // vindexmac.vvi reads its metadata operands element-wise:
             // they stay single registers even when the accumulator (vd)
             // and the indirect source span a group.
-            let regs = if matches!(ev.instr, Instruction::VindexmacVvi { .. }) && Some(src) != dst
-            {
+            let regs = if matches!(ev.instr, Instruction::VindexmacVvi { .. }) && Some(src) != dst {
                 1
+            } else if Some(src) == dst {
+                dst_regs
             } else {
                 emul
             };
@@ -369,7 +389,7 @@ impl TimingModel {
             start = start.max(self.ready_of(ind, emul));
         }
 
-        let occ = self.cfg.occupancy(ev.vl);
+        let occ = self.cfg.occupancy_sew(ev.vl, ev.sew);
         let completion = match class {
             InstrClass::VLoad => {
                 // Load-queue entry (16 outstanding, Table I).
@@ -389,7 +409,7 @@ impl TimingModel {
                 let data_at = start + lat;
                 self.lq.push_back(data_at);
                 if let Some(vd) = ev.instr.v_dst() {
-                    self.mark_ready(vd, emul, data_at);
+                    self.mark_ready(vd, dst_regs, data_at);
                 }
                 self.engine_free = start + occ;
                 self.engine_busy += occ;
@@ -430,8 +450,11 @@ impl TimingModel {
                 }
                 (scalar_at, scalar_at)
             }
-            InstrClass::VArith | InstrClass::VSlide | InstrClass::VMvFromScalar
-            | InstrClass::VMac | InstrClass::VIndexMac => {
+            InstrClass::VArith
+            | InstrClass::VSlide
+            | InstrClass::VMvFromScalar
+            | InstrClass::VMac
+            | InstrClass::VIndexMac => {
                 let lat = match class {
                     InstrClass::VMac | InstrClass::VIndexMac => self.cfg.vmac_latency,
                     InstrClass::VSlide => self.cfg.vslide_latency,
@@ -440,7 +463,7 @@ impl TimingModel {
                 self.engine_free = start + occ;
                 self.engine_busy += occ;
                 if let Some(vd) = ev.instr.v_dst() {
-                    self.mark_ready(vd, emul, start + lat.max(occ));
+                    self.mark_ready(vd, dst_regs, start + lat.max(occ));
                 }
                 self.note_completion(start + lat.max(occ));
                 (dispatch + 1, start + lat.max(occ))
@@ -470,6 +493,7 @@ mod tests {
             indirect_vreg: None,
             branch_taken: false,
             vl: 16,
+            sew: indexmac_isa::Sew::E32,
         }
     }
 
@@ -481,7 +505,7 @@ mod tests {
             t.observe(&alu_ev(XReg::new(i), XReg::ZERO));
         }
         assert_eq!(t.total_cycles(), 1); // all issued at cycle 0, done at 1
-        // A 9th op spills to the next cycle.
+                                         // A 9th op spills to the next cycle.
         t.observe(&alu_ev(XReg::new(9), XReg::ZERO));
         assert_eq!(t.total_cycles(), 2);
     }
@@ -501,11 +525,21 @@ mod tests {
         let mut t = TimingModel::new(cfg());
         let ld = ExecEvent {
             pc: 0,
-            instr: Instruction::Lw { rd: XReg::T0, rs1: XReg::A0, imm: 0 },
-            mem: Some(MemOp { addr: 0x1000, bytes: 4, write: false, vector: false }),
+            instr: Instruction::Lw {
+                rd: XReg::T0,
+                rs1: XReg::A0,
+                imm: 0,
+            },
+            mem: Some(MemOp {
+                addr: 0x1000,
+                bytes: 4,
+                write: false,
+                vector: false,
+            }),
             indirect_vreg: None,
             branch_taken: false,
             vl: 16,
+            sew: indexmac_isa::Sew::E32,
         };
         t.observe(&ld);
         let cold = t.total_cycles();
@@ -520,11 +554,16 @@ mod tests {
         let mut t = TimingModel::new(cfg());
         let br = ExecEvent {
             pc: 0,
-            instr: Instruction::Bne { rs1: XReg::ZERO, rs2: XReg::T0, offset: -1 },
+            instr: Instruction::Bne {
+                rs1: XReg::ZERO,
+                rs2: XReg::T0,
+                offset: -1,
+            },
             mem: None,
             indirect_vreg: None,
             branch_taken: true,
             vl: 16,
+            sew: indexmac_isa::Sew::E32,
         };
         t.observe(&br);
         t.observe(&alu_ev(XReg::T1, XReg::ZERO));
@@ -536,10 +575,16 @@ mod tests {
         ExecEvent {
             pc: 0,
             instr: Instruction::Vle32 { vd, rs1: XReg::A0 },
-            mem: Some(MemOp { addr, bytes: 64, write: false, vector: true }),
+            mem: Some(MemOp {
+                addr,
+                bytes: 64,
+                write: false,
+                vector: true,
+            }),
             indirect_vreg: None,
             branch_taken: false,
             vl: 16,
+            sew: indexmac_isa::Sew::E32,
         }
     }
 
@@ -555,6 +600,7 @@ mod tests {
             indirect_vreg: None,
             branch_taken: false,
             vl: 16,
+            sew: indexmac_isa::Sew::E32,
         }
     }
 
@@ -583,14 +629,22 @@ mod tests {
         let loaded_at = t.total_cycles();
         let imac = ExecEvent {
             pc: 1,
-            instr: Instruction::VindexmacVx { vd: VReg::V1, vs2: VReg::V2, rs: XReg::T0 },
+            instr: Instruction::VindexmacVx {
+                vd: VReg::V1,
+                vs2: VReg::V2,
+                rs: XReg::T0,
+            },
             mem: None,
             indirect_vreg: Some(VReg::new(20)),
             branch_taken: false,
             vl: 16,
+            sew: indexmac_isa::Sew::E32,
         };
         t.observe(&imac);
-        assert!(t.total_cycles() >= loaded_at, "vindexmac must wait for the loaded tile");
+        assert!(
+            t.total_cycles() >= loaded_at,
+            "vindexmac must wait for the loaded tile"
+        );
         assert_eq!(t.counts().get(InstrClass::VIndexMac), 1);
     }
 
@@ -599,11 +653,15 @@ mod tests {
         let mut t = TimingModel::new(cfg());
         let mv = ExecEvent {
             pc: 0,
-            instr: Instruction::VmvXs { rd: XReg::T0, vs2: VReg::V1 },
+            instr: Instruction::VmvXs {
+                rd: XReg::T0,
+                vs2: VReg::V1,
+            },
             mem: None,
             indirect_vreg: None,
             branch_taken: false,
             vl: 16,
+            sew: indexmac_isa::Sew::E32,
         };
         t.observe(&mv);
         let sync = t.total_cycles();
@@ -661,6 +719,7 @@ mod tests {
                 indirect_vreg: Some(VReg::V8),
                 branch_taken: false,
                 vl: 16,
+                sew: indexmac_isa::Sew::E32,
             };
             without.observe(&imac);
         }

@@ -62,13 +62,22 @@ pub struct Trace {
 impl Trace {
     /// Creates a trace that keeps at most `capacity` entries.
     pub fn new(capacity: usize) -> Self {
-        Self { entries: Vec::with_capacity(capacity.min(4096)), capacity, observed: 0 }
+        Self {
+            entries: Vec::with_capacity(capacity.min(4096)),
+            capacity,
+            observed: 0,
+        }
     }
 
     /// Records one instruction (dropped silently once full).
     pub fn record(&mut self, pc: usize, instr: Instruction, timing: InstrTiming) {
         if self.entries.len() < self.capacity {
-            self.entries.push(TraceEntry { seq: self.observed, pc, instr, timing });
+            self.entries.push(TraceEntry {
+                seq: self.observed,
+                pc,
+                instr,
+                timing,
+            });
         }
         self.observed += 1;
     }
@@ -117,7 +126,11 @@ impl fmt::Display for Trace {
             writeln!(f, "{e}")?;
         }
         if self.truncated() {
-            writeln!(f, "... ({} more instructions not recorded)", self.observed - self.entries.len() as u64)?;
+            writeln!(
+                f,
+                "... ({} more instructions not recorded)",
+                self.observed - self.entries.len() as u64
+            )?;
         }
         Ok(())
     }
@@ -133,8 +146,16 @@ mod tests {
         let _ = seq;
         (
             seq as usize,
-            Instruction::Addi { rd: XReg::T0, rs1: XReg::T0, imm: 1 },
-            InstrTiming { issue_at: issue, start, completion: complete },
+            Instruction::Addi {
+                rd: XReg::T0,
+                rs1: XReg::T0,
+                imm: 1,
+            },
+            InstrTiming {
+                issue_at: issue,
+                start,
+                completion: complete,
+            },
         )
     }
 

@@ -17,21 +17,31 @@ fn instr_strategy() -> impl Strategy<Value = Instruction> {
     let vreg2 = (0u8..32).prop_map(VReg::new);
     prop_oneof![
         (xreg.clone(), -1000i64..1000).prop_map(|(rd, imm)| Instruction::Li { rd, imm }),
-        (xreg.clone(), xreg2.clone(), -100i32..100)
-            .prop_map(|(rd, rs1, imm)| Instruction::Addi { rd, rs1, imm }),
-        (xreg.clone(), xreg2.clone(), xreg3.clone())
-            .prop_map(|(rd, rs1, rs2)| Instruction::Add { rd, rs1, rs2 }),
-        (xreg.clone(), xreg2.clone(), xreg3.clone())
-            .prop_map(|(rd, rs1, rs2)| Instruction::Mul { rd, rs1, rs2 }),
+        (xreg.clone(), xreg2.clone(), -100i32..100).prop_map(|(rd, rs1, imm)| Instruction::Addi {
+            rd,
+            rs1,
+            imm
+        }),
+        (xreg.clone(), xreg2.clone(), xreg3.clone()).prop_map(|(rd, rs1, rs2)| Instruction::Add {
+            rd,
+            rs1,
+            rs2
+        }),
+        (xreg.clone(), xreg2.clone(), xreg3.clone()).prop_map(|(rd, rs1, rs2)| Instruction::Mul {
+            rd,
+            rs1,
+            rs2
+        }),
         // Aligned scalar store/load pair region: 0x8000 + k*8.
-        (xreg.clone(), 0i64..64)
-            .prop_map(|(rd, k)| Instruction::Li { rd, imm: 0x8000 + k * 8 }),
+        (xreg.clone(), 0i64..64).prop_map(|(rd, k)| Instruction::Li {
+            rd,
+            imm: 0x8000 + k * 8
+        }),
         (xreg.clone(), vreg.clone()).prop_map(|(rd, vs2)| Instruction::VmvXs { rd, vs2 }),
         (vreg.clone(), xreg.clone()).prop_map(|(vd, rs1)| Instruction::VmvVx { vd, rs1 }),
         (vreg.clone(), vreg2.clone(), xreg.clone())
             .prop_map(|(vd, vs2, rs1)| Instruction::VaddVx { vd, vs2, rs1 }),
-        (vreg.clone(), vreg2.clone())
-            .prop_map(|(vd, vs1)| Instruction::VmvVv { vd, vs1 }),
+        (vreg.clone(), vreg2.clone()).prop_map(|(vd, vs1)| Instruction::VmvVv { vd, vs1 }),
         (vreg.clone(), vreg2.clone(), xreg.clone())
             .prop_map(|(vd, vs2, rs1)| Instruction::Vslide1downVx { vd, vs2, rs1 }),
         (vreg, vreg2, xreg).prop_map(|(vd, vs2, rs)| Instruction::VindexmacVx { vd, vs2, rs }),
@@ -105,7 +115,7 @@ proptest! {
             let r = XReg::new(i);
             prop_assert_eq!(timed.state().x(r), func.state().x(r), "x{} differs", i);
             let v = VReg::new(i);
-            prop_assert_eq!(timed.state().v(v), func.state().v(v), "v{} differs", i);
+            prop_assert_eq!(timed.state().v_bytes(v), func.state().v_bytes(v), "v{} differs", i);
         }
         prop_assert_eq!(timed.state().vl(), func.state().vl());
     }

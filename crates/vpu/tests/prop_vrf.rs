@@ -1,0 +1,134 @@
+//! Property tests for the byte-addressed vector register file: lane
+//! round-trips at every SEW, grouped-register contiguity, and aliasing
+//! across SEW reinterpretation.
+
+use indexmac_isa::{Sew, VReg};
+use indexmac_vpu::ArchState;
+use proptest::prelude::*;
+
+const SEWS: [Sew; 3] = [Sew::E8, Sew::E16, Sew::E32];
+
+fn sew_strategy() -> impl Strategy<Value = Sew> {
+    prop_oneof![Just(Sew::E8), Just(Sew::E16), Just(Sew::E32)]
+}
+
+fn vlen_strategy() -> impl Strategy<Value = usize> {
+    prop_oneof![Just(128usize), Just(256), Just(512), Just(1024)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Writing a lane at any SEW reads back the truncated value, and
+    /// only the addressed bytes change.
+    #[test]
+    fn lane_roundtrip_is_local(
+        vlen in vlen_strategy(),
+        sew in sew_strategy(),
+        reg in 0u8..32,
+        bits in any::<u32>(),
+        lane_raw in 0usize..4096,
+    ) {
+        let mut s = ArchState::new(vlen);
+        let lanes = s.lanes(sew);
+        let lane = lane_raw % lanes;
+        let before: Vec<u8> = s.v_bytes(VReg::new(reg)).to_vec();
+        s.set_v_lane(VReg::new(reg), lane, sew, bits);
+        let mask = (u64::MAX >> (64 - sew.bits())) as u32;
+        prop_assert_eq!(s.v_lane(VReg::new(reg), lane, sew), bits & mask);
+        // Every byte outside the written element is untouched.
+        let after = s.v_bytes(VReg::new(reg));
+        for (i, (b, a)) in before.iter().zip(after.iter()).enumerate() {
+            let elem = lane * sew.bytes();
+            if i < elem || i >= elem + sew.bytes() {
+                prop_assert_eq!(b, a, "byte {} changed outside lane {}", i, lane);
+            }
+        }
+        // Other registers never alias.
+        let other = VReg::new((reg + 1) % 32);
+        prop_assert!(s.v_bytes(other).iter().all(|b| *b == 0));
+    }
+
+    /// An e32 lane is exactly its little-endian e8/e16 sublanes — the
+    /// SEW-reinterpretation aliasing the hardware's bit-typed VRF gives.
+    #[test]
+    fn sew_reinterpretation_composes(
+        vlen in vlen_strategy(),
+        reg in 0u8..32,
+        word in any::<u32>(),
+        lane_raw in 0usize..4096,
+    ) {
+        let mut s = ArchState::new(vlen);
+        let r = VReg::new(reg);
+        let lane = lane_raw % s.lanes(Sew::E32);
+        s.set_v_lane(r, lane, Sew::E32, word);
+        let from_bytes = (0..4)
+            .map(|k| s.v_lane(r, lane * 4 + k, Sew::E8) << (8 * k))
+            .fold(0u32, |acc, b| acc | b);
+        prop_assert_eq!(from_bytes, word);
+        let from_halves = s.v_lane(r, lane * 2, Sew::E16)
+            | (s.v_lane(r, lane * 2 + 1, Sew::E16) << 16);
+        prop_assert_eq!(from_halves, word);
+        // Writing one e8 sublane changes exactly that byte of the word.
+        s.set_v_lane(r, lane * 4 + 2, Sew::E8, 0xAB);
+        let expect = (word & 0xFF00_FFFF) | (0xAB << 16);
+        prop_assert_eq!(s.v_lane(r, lane, Sew::E32), expect);
+    }
+
+    /// A register group is the contiguous concatenation of its member
+    /// registers at every SEW, for every legal group size.
+    #[test]
+    fn grouped_registers_are_contiguous(
+        vlen in vlen_strategy(),
+        base_raw in 0usize..4096,
+        regs in prop_oneof![Just(1usize), Just(2), Just(4)],
+        fill in any::<u8>(),
+    ) {
+        let mut s = ArchState::new(vlen);
+        let base = (base_raw % (33 - regs)) as u8;
+        let r = VReg::new(base);
+        for sew in SEWS {
+            let lanes = s.lanes(sew);
+            for g in 0..regs {
+                // Mark lane 0 of each member through the per-register view.
+                s.set_v_lane(VReg::new(base + g as u8), 0, sew, fill as u32 ^ g as u32);
+            }
+            for g in 0..regs {
+                prop_assert_eq!(
+                    s.v_lane_group(r, regs, g * lanes, sew),
+                    (fill as u32 ^ g as u32) & ((u64::MAX >> (64 - sew.bits())) as u32),
+                    "group lane {} at {}", g * lanes, sew
+                );
+            }
+            // And group writes land in the right member register.
+            let last = regs * lanes - 1;
+            s.set_v_lane_group(r, regs, last, sew, 0x5A);
+            prop_assert_eq!(
+                s.v_lane(VReg::new(base + regs as u8 - 1), lanes - 1, sew),
+                0x5A
+            );
+        }
+    }
+
+    /// Sign-extended views agree with two's-complement arithmetic.
+    #[test]
+    fn signed_views_match_twos_complement(
+        sew in sew_strategy(),
+        bits in any::<u32>(),
+    ) {
+        let mut s = ArchState::new(512);
+        s.set_v_lane(VReg::new(7), 0, sew, bits);
+        let got = s.v_lane_i(VReg::new(7), 0, sew);
+        let width = sew.bits();
+        let mask = (u64::MAX >> (64 - width)) as u32;
+        let raw = bits & mask;
+        let expect = if width == 32 {
+            raw as i32
+        } else if raw >= 1 << (width - 1) {
+            raw as i32 - (1i64 << width) as i32
+        } else {
+            raw as i32
+        };
+        prop_assert_eq!(got, expect);
+    }
+}

@@ -13,7 +13,9 @@ use indexmac::table::{fmt_speedup, Table};
 use indexmac_cnn::resnet50;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let wanted = std::env::args().nth(1).unwrap_or_else(|| "layer2.0.conv2".to_string());
+    let wanted = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "layer2.0.conv2".to_string());
     let model = resnet50();
     let layer = model
         .layers

@@ -18,35 +18,69 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Operands in simulated memory: two "B rows" and a values vector.
     sim.memory_mut().write_f32_slice(0x1000, &[1.0; 16]); // B row 0
     sim.memory_mut().write_f32_slice(0x1040, &[10.0; 16]); // B row 1
-    sim.memory_mut().write_f32_slice(0x2000, &[2.0, 3.0, 0.0, 0.0]); // values
+    sim.memory_mut()
+        .write_f32_slice(0x2000, &[2.0, 3.0, 0.0, 0.0]); // values
 
     // C += values[0] * B[0,:]  then (after a slide)  C += values[1] * B[1,:]
     let mut b = ProgramBuilder::new();
     b.li(XReg::A0, 16);
-    b.push(Instruction::Vsetvli { rd: XReg::T0, rs1: XReg::A0, sew: Sew::E32, lmul: Lmul::M1 });
+    b.push(Instruction::Vsetvli {
+        rd: XReg::T0,
+        rs1: XReg::A0,
+        sew: Sew::E32,
+        lmul: Lmul::M1,
+    });
     b.li(XReg::A1, 0x1000);
     b.comment("preload two B rows into v20/v21 (the resident tile)");
-    b.push(Instruction::Vle32 { vd: VReg::new(20), rs1: XReg::A1 });
+    b.push(Instruction::Vle32 {
+        vd: VReg::new(20),
+        rs1: XReg::A1,
+    });
     b.li(XReg::A1, 0x1040);
-    b.push(Instruction::Vle32 { vd: VReg::new(21), rs1: XReg::A1 });
+    b.push(Instruction::Vle32 {
+        vd: VReg::new(21),
+        rs1: XReg::A1,
+    });
     b.li(XReg::A2, 0x2000);
-    b.push(Instruction::Vle32 { vd: VReg::V4, rs1: XReg::A2 });
+    b.push(Instruction::Vle32 {
+        vd: VReg::V4,
+        rs1: XReg::A2,
+    });
     b.comment("first nonzero: select v20 through the scalar register");
     b.li(XReg::T1, 20);
-    b.push(Instruction::VindexmacVx { vd: VReg::V1, vs2: VReg::V4, rs: XReg::T1 });
+    b.push(Instruction::VindexmacVx {
+        vd: VReg::V1,
+        vs2: VReg::V4,
+        rs: XReg::T1,
+    });
     b.comment("walk the values register and select v21");
-    b.push(Instruction::Vslide1downVx { vd: VReg::V4, vs2: VReg::V4, rs1: XReg::ZERO });
+    b.push(Instruction::Vslide1downVx {
+        vd: VReg::V4,
+        vs2: VReg::V4,
+        rs1: XReg::ZERO,
+    });
     b.li(XReg::T1, 21);
-    b.push(Instruction::VindexmacVx { vd: VReg::V1, vs2: VReg::V4, rs: XReg::T1 });
+    b.push(Instruction::VindexmacVx {
+        vd: VReg::V1,
+        vs2: VReg::V4,
+        rs: XReg::T1,
+    });
     b.li(XReg::A3, 0x3000);
-    b.push(Instruction::Vse32 { vs3: VReg::V1, rs1: XReg::A3 });
+    b.push(Instruction::Vse32 {
+        vs3: VReg::V1,
+        rs1: XReg::A3,
+    });
     b.halt();
     let program = b.build();
 
     println!("program listing:\n{program}");
 
     // What a patched toolchain would emit for the custom instruction.
-    let imac = Instruction::VindexmacVx { vd: VReg::V1, vs2: VReg::V4, rs: XReg::T1 };
+    let imac = Instruction::VindexmacVx {
+        vd: VReg::V1,
+        vs2: VReg::V4,
+        rs: XReg::T1,
+    };
     let word = encode(&imac)?;
     println!("vindexmac.vx v1, v4, t1  encodes to  {word:#010x}");
     println!("  opcode OP-V, funct3 OPMVX, funct6 0b011011 (free slot in RVV 1.0)");

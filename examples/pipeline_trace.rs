@@ -17,18 +17,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let a = prune::random_structured(4, 16, NmPattern::P2_4, 7);
     let b = DenseMatrix::random(16, 16, 8);
     let layout = GemmLayout::plan(&a, 16, &cfg, 16)?;
-    let params = KernelParams { unroll: 1, ..Default::default() };
+    let params = KernelParams {
+        unroll: 1,
+        ..Default::default()
+    };
 
     for (name, program) in [
-        ("Row-Wise-SpMM (Algorithm 2)", rowwise::build(&layout, &params)?),
-        ("Proposed vindexmac (Algorithm 3)", imac::build(&layout, &params)?),
+        (
+            "Row-Wise-SpMM (Algorithm 2)",
+            rowwise::build(&layout, &params)?,
+        ),
+        (
+            "Proposed vindexmac (Algorithm 3)",
+            imac::build(&layout, &params)?,
+        ),
     ] {
         let mut sim = Simulator::new(cfg);
         layout.write_operands(&a, &b, sim.memory_mut());
         let (report, trace) = sim.run_traced(&program, 120)?;
         println!("================ {name} ================");
         println!("{trace}");
-        println!("total: {} cycles for {} instructions", report.cycles, report.instructions);
+        println!(
+            "total: {} cycles for {} instructions",
+            report.cycles, report.instructions
+        );
         for class in [
             InstrClass::VLoad,
             InstrClass::VMvToScalar,
@@ -41,7 +53,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             }
         }
         if let Some(slow) = trace.slowest() {
-            println!("  slowest traced instruction: `{}` ({} cycles)", slow.instr, slow.latency());
+            println!(
+                "  slowest traced instruction: `{}` ({} cycles)",
+                slow.instr,
+                slow.latency()
+            );
         }
         println!();
     }

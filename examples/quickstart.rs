@@ -13,14 +13,21 @@ use indexmac::sparse::NmPattern;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A 64 x 256 weight matrix pruned to 2:4 structured sparsity,
     // multiplied by a 256 x 128 dense feature matrix.
-    let dims = GemmDims { rows: 64, inner: 256, cols: 128 };
+    let dims = GemmDims {
+        rows: 64,
+        inner: 256,
+        cols: 128,
+    };
     let pattern = NmPattern::P2_4;
 
     // Table I machine, L = 16 resident B rows, x4 unrolling. Every run
     // is checked against the reference product before reporting.
     let cfg = ExperimentConfig::paper();
 
-    println!("IndexMAC quickstart — GEMM {}x{}x{} with {pattern} sparse A", dims.rows, dims.inner, dims.cols);
+    println!(
+        "IndexMAC quickstart — GEMM {}x{}x{} with {pattern} sparse A",
+        dims.rows, dims.inner, dims.cols
+    );
     println!("simulated machine:\n{}\n", cfg.sim);
 
     let cmp = compare_gemm(dims, pattern, &cfg)?;

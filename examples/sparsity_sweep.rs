@@ -13,7 +13,11 @@ use indexmac::sweep::{run_cells, SweepCell};
 use indexmac::table::{fmt_pct, fmt_speedup, Table};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let dims = GemmDims { rows: 64, inner: 256, cols: 128 };
+    let dims = GemmDims {
+        rows: 64,
+        inner: 256,
+        cols: 128,
+    };
     let cfg = ExperimentConfig::paper();
     println!(
         "sparsity sweep on a {}x{}x{} GEMM (Table I machine, L=16, unroll x4)\n",
@@ -22,7 +26,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Dense reference point (Algorithm 1).
     let dense = run_gemm(dims, NmPattern::P1_4, Algorithm::Dense, &cfg)?;
-    println!("dense row-wise baseline (Algorithm 1): {} cycles\n", dense.report.cycles);
+    println!(
+        "dense row-wise baseline (Algorithm 1): {} cycles\n",
+        dense.report.cycles
+    );
 
     // Fan the whole template family out in parallel; pin every cell to
     // the campaign seed so the rows match a serial compare_gemm loop.

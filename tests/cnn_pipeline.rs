@@ -6,7 +6,10 @@ use indexmac::sparse::NmPattern;
 use indexmac_cnn::{densenet121, inception_v3, resnet50, CnnModel, GemmCaps};
 
 fn smoke_cfg() -> ExperimentConfig {
-    ExperimentConfig { caps: GemmCaps::smoke(), ..ExperimentConfig::paper() }
+    ExperimentConfig {
+        caps: GemmCaps::smoke(),
+        ..ExperimentConfig::paper()
+    }
 }
 
 #[test]
@@ -37,7 +40,11 @@ fn every_resnet_layer_simulates_and_wins() {
 fn odd_inception_layers_simulate() {
     // Factorised 1x7 / 7x1 convolutions produce unusual inner dims.
     let model = inception_v3();
-    for name in ["Mixed_6b.branch7x7_2", "Mixed_6b.branch7x7_3", "Mixed_7b.branch3x3_2a"] {
+    for name in [
+        "Mixed_6b.branch7x7_2",
+        "Mixed_6b.branch7x7_3",
+        "Mixed_7b.branch3x3_2a",
+    ] {
         let layer = model.layers.iter().find(|l| l.name == name).unwrap();
         let r = compare_layer(layer, NmPattern::P2_4, &smoke_cfg())
             .unwrap_or_else(|e| panic!("{name}: {e}"));
@@ -66,7 +73,11 @@ fn capping_preserves_the_speedup_within_tolerance() {
     let layer = &model.layers[10];
     let small = compare_layer(layer, NmPattern::P1_4, &smoke_cfg()).unwrap();
     let bigger_cfg = ExperimentConfig {
-        caps: GemmCaps { max_rows: 32, max_inner: 256, max_cols: 64 },
+        caps: GemmCaps {
+            max_rows: 32,
+            max_inner: 256,
+            max_cols: 64,
+        },
         ..ExperimentConfig::paper()
     };
     let bigger = compare_layer(layer, NmPattern::P1_4, &bigger_cfg).unwrap();

@@ -8,11 +8,19 @@ use indexmac::sparse::NmPattern;
 use indexmac_cnn::GemmCaps;
 
 /// A representative mid-network layer shape at evaluation scale.
-const DIMS: GemmDims = GemmDims { rows: 64, inner: 512, cols: 128 };
+const DIMS: GemmDims = GemmDims {
+    rows: 64,
+    inner: 512,
+    cols: 128,
+};
 
 fn cfg() -> ExperimentConfig {
     ExperimentConfig {
-        caps: GemmCaps { max_rows: 64, max_inner: 512, max_cols: 128 },
+        caps: GemmCaps {
+            max_rows: 64,
+            max_inner: 512,
+            max_cols: 128,
+        },
         ..ExperimentConfig::paper()
     }
 }
@@ -87,12 +95,23 @@ fn proposed_eliminates_per_nonzero_vector_loads() {
 /// L2 — the full-size-layer regime the paper's dataflow claim is about.
 /// (At small B sizes the dataflows tie, because B stays L2-resident no
 /// matter the loop order.)
-const BIG_B_DIMS: GemmDims = GemmDims { rows: 64, inner: 512, cols: 512 };
+const BIG_B_DIMS: GemmDims = GemmDims {
+    rows: 64,
+    inner: 512,
+    cols: 512,
+};
 
 fn big_b_cfg(dataflow: Dataflow) -> ExperimentConfig {
     ExperimentConfig {
-        caps: GemmCaps { max_rows: 64, max_inner: 512, max_cols: 512 },
-        params: KernelParams { unroll: 4, dataflow },
+        caps: GemmCaps {
+            max_rows: 64,
+            max_inner: 512,
+            max_cols: 512,
+        },
+        params: KernelParams {
+            unroll: 4,
+            dataflow,
+        },
         ..ExperimentConfig::paper()
     }
 }
@@ -139,7 +158,10 @@ fn unrolling_benefits_both_kernels() {
     // each other.
     let gain = |alg: Algorithm| {
         let u1 = ExperimentConfig {
-            params: KernelParams { unroll: 1, ..Default::default() },
+            params: KernelParams {
+                unroll: 1,
+                ..Default::default()
+            },
             ..cfg()
         };
         let u4 = cfg();
@@ -171,9 +193,16 @@ fn tile_preload_bound_enforced() {
     // Paper Section III: at most M*VL/N rows of B are addressable. For
     // an 8:8 pattern that bound is 16, so L=20 must be rejected even
     // though the register budget would allow it.
-    let cfg_l20 = ExperimentConfig { tile_rows: 20, ..cfg() };
+    let cfg_l20 = ExperimentConfig {
+        tile_rows: 20,
+        ..cfg()
+    };
     let r = run_gemm(
-        GemmDims { rows: 8, inner: 40, cols: 16 },
+        GemmDims {
+            rows: 8,
+            inner: 40,
+            cols: 16,
+        },
         NmPattern::new(8, 8).unwrap(),
         Algorithm::IndexMac,
         &cfg_l20,

@@ -43,7 +43,10 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
-        let mut b = Bencher { samples: Vec::with_capacity(self.sample_size), target: self.sample_size };
+        let mut b = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+            target: self.sample_size,
+        };
         f(&mut b);
         report(id, &b.samples);
         self
@@ -68,7 +71,8 @@ impl Bencher {
         let warm = Instant::now();
         black_box(routine());
         let once = warm.elapsed().max(Duration::from_nanos(1));
-        let per_sample = (Duration::from_millis(1).as_nanos() / once.as_nanos()).clamp(1, 10_000) as u32;
+        let per_sample =
+            (Duration::from_millis(1).as_nanos() / once.as_nanos()).clamp(1, 10_000) as u32;
 
         self.samples.clear();
         for _ in 0..self.target {

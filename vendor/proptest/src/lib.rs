@@ -136,7 +136,11 @@ pub mod strategy {
             Self: Sized,
             F: Fn(&Self::Value) -> bool,
         {
-            Filter { base: self, whence, f }
+            Filter {
+                base: self,
+                whence,
+                f,
+            }
         }
 
         /// Type-erases the strategy (used by `prop_oneof!`).
@@ -190,7 +194,10 @@ pub mod strategy {
                     return v;
                 }
             }
-            panic!("prop_filter `{}` rejected 10000 consecutive samples", self.whence)
+            panic!(
+                "prop_filter `{}` rejected 10000 consecutive samples",
+                self.whence
+            )
         }
     }
 
@@ -372,7 +379,10 @@ pub mod collection {
     impl From<Range<usize>> for SizeRange {
         fn from(r: Range<usize>) -> Self {
             assert!(r.start < r.end, "empty vec size range");
-            Self { lo: r.start, hi: r.end }
+            Self {
+                lo: r.start,
+                hi: r.end,
+            }
         }
     }
 
@@ -395,7 +405,10 @@ pub mod collection {
     /// A strategy for vectors whose elements come from `element` and
     /// whose length is drawn from `size`.
     pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-        VecStrategy { element, size: size.into() }
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
     }
 }
 
@@ -463,7 +476,9 @@ macro_rules! prop_assert_ne {
         $crate::prop_assert!(
             *lhs != *rhs,
             "assertion failed: `{}` != `{}` (both {:?})",
-            stringify!($lhs), stringify!($rhs), lhs
+            stringify!($lhs),
+            stringify!($rhs),
+            lhs
         );
     }};
 }

@@ -17,13 +17,17 @@ thread_local! {
 }
 
 fn default_num_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 /// Threads terminal operations will use: the innermost installed pool
 /// size, or the machine's available parallelism.
 pub fn current_num_threads() -> usize {
-    INSTALLED_THREADS.with(|c| c.get()).unwrap_or_else(default_num_threads)
+    INSTALLED_THREADS
+        .with(|c| c.get())
+        .unwrap_or_else(default_num_threads)
 }
 
 /// Error from [`ThreadPoolBuilder::build`]; the shim never fails.
@@ -58,7 +62,9 @@ impl ThreadPoolBuilder {
 
     /// Builds the pool. Never fails in the shim.
     pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
-        Ok(ThreadPool { num_threads: self.num_threads.unwrap_or_else(default_num_threads) })
+        Ok(ThreadPool {
+            num_threads: self.num_threads.unwrap_or_else(default_num_threads),
+        })
     }
 }
 
@@ -265,19 +271,28 @@ mod tests {
     #[test]
     fn work_actually_spreads_across_threads() {
         let ids = Mutex::new(HashSet::new());
-        let pool = crate::ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let pool = crate::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
         pool.install(|| {
             (0..64usize).into_par_iter().for_each(|_| {
                 std::thread::sleep(std::time::Duration::from_millis(1));
                 ids.lock().unwrap().insert(std::thread::current().id());
             });
         });
-        assert!(ids.into_inner().unwrap().len() > 1, "expected multiple worker threads");
+        assert!(
+            ids.into_inner().unwrap().len() > 1,
+            "expected multiple worker threads"
+        );
     }
 
     #[test]
     fn install_scopes_thread_count() {
-        let pool = crate::ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let pool = crate::ThreadPoolBuilder::new()
+            .num_threads(2)
+            .build()
+            .unwrap();
         let inside = pool.install(crate::current_num_threads);
         assert_eq!(inside, 2);
         assert_ne!(crate::current_num_threads(), 0);

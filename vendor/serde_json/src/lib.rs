@@ -4,8 +4,8 @@
 
 #![warn(missing_docs)]
 
-pub use serde::Value;
 use serde::Serialize;
+pub use serde::Value;
 use std::fmt::Write as _;
 
 /// Serialization error. The shim's rendering is total, so this is
@@ -95,13 +95,13 @@ fn render_seq(
         }
         if let Some(w) = indent {
             out.push('\n');
-            out.extend(std::iter::repeat(' ').take(w * (depth + 1)));
+            out.extend(std::iter::repeat_n(' ', w * (depth + 1)));
         }
         item(out, i);
     }
     if let Some(w) = indent {
         out.push('\n');
-        out.extend(std::iter::repeat(' ').take(w * depth));
+        out.extend(std::iter::repeat_n(' ', w * depth));
     }
     out.push(brackets.1);
 }
@@ -160,7 +160,10 @@ mod tests {
     #[test]
     fn pretty_rendering_indents() {
         let v = Value::object([("a", Value::Array(vec![Value::Int(1)]))]);
-        assert_eq!(to_string_pretty(&v).unwrap(), "{\n  \"a\": [\n    1\n  ]\n}");
+        assert_eq!(
+            to_string_pretty(&v).unwrap(),
+            "{\n  \"a\": [\n    1\n  ]\n}"
+        );
     }
 
     #[test]
