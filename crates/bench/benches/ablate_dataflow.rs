@@ -13,8 +13,8 @@ use indexmac::sparse::NmPattern;
 use indexmac::sweep::{run_cells, SweepCell};
 use indexmac::table::Table;
 use indexmac_bench::{banner, Profile};
-use indexmac_cnn::resnet50;
 use indexmac_kernels::Dataflow;
+use indexmac_models::resnet50;
 
 fn main() {
     let base_cfg = Profile::from_env().config();
@@ -43,7 +43,7 @@ fn main() {
             .iter()
             .flat_map(|layer| {
                 Dataflow::ALL.into_iter().map(|dataflow| SweepCell {
-                    dims: layer.gemm(),
+                    dims: layer.gemm,
                     pattern,
                     dataflow,
                     seed: base_cfg.seed,

@@ -13,8 +13,8 @@ use indexmac::experiment::{run_gemm, Algorithm, ExperimentConfig};
 use indexmac::sparse::NmPattern;
 use indexmac::table::{fmt_speedup, Table};
 use indexmac_bench::{banner, Profile};
-use indexmac_cnn::resnet50;
 use indexmac_kernels::GemmLayout;
+use indexmac_models::resnet50;
 
 fn main() {
     let base_cfg = Profile::from_env().config();
@@ -31,7 +31,7 @@ fn main() {
 
     for pattern in NmPattern::EVALUATED {
         println!("\n{pattern} structured sparsity on {}", layer.name);
-        let v1 = run_gemm(layer.gemm(), pattern, Algorithm::IndexMac, &base_cfg)
+        let v1 = run_gemm(layer.gemm, pattern, Algorithm::IndexMac, &base_cfg)
             .expect("first-generation kernel simulates");
         let mut table = Table::new(vec![
             "lmul",
@@ -52,7 +52,7 @@ fn main() {
         for lmul in [1usize, 2, 4] {
             let cfg = ExperimentConfig { lmul, ..base_cfg };
             let fitted = GemmLayout::fit_tile_rows(cfg.tile_rows, lmul, pattern);
-            match run_gemm(layer.gemm(), pattern, Algorithm::IndexMac2, &cfg) {
+            match run_gemm(layer.gemm, pattern, Algorithm::IndexMac2, &cfg) {
                 Ok(r) => {
                     table.row(vec![
                         format!("m{lmul}"),

@@ -8,7 +8,7 @@ use indexmac::experiment::{run_gemm, Algorithm};
 use indexmac::sparse::NmPattern;
 use indexmac::table::{fmt_speedup, Table};
 use indexmac_bench::{banner, Profile};
-use indexmac_cnn::resnet50;
+use indexmac_models::resnet50;
 
 fn main() {
     let cfg = Profile::from_env().config();
@@ -33,13 +33,13 @@ fn main() {
             "scalar loads",
         ]);
         let base =
-            run_gemm(layer.gemm(), pattern, Algorithm::RowWiseSpmm, &cfg).expect("baseline runs");
+            run_gemm(layer.gemm, pattern, Algorithm::RowWiseSpmm, &cfg).expect("baseline runs");
         for alg in [
             Algorithm::RowWiseSpmm,
             Algorithm::IndexMac,
             Algorithm::ScalarIndexed,
         ] {
-            let r = run_gemm(layer.gemm(), pattern, alg, &cfg).expect("kernel runs");
+            let r = run_gemm(layer.gemm, pattern, alg, &cfg).expect("kernel runs");
             table.row(vec![
                 alg.to_string(),
                 r.report.cycles.to_string(),

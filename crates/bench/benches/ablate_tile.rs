@@ -8,7 +8,7 @@ use indexmac::experiment::{run_gemm, Algorithm};
 use indexmac::sparse::NmPattern;
 use indexmac::table::Table;
 use indexmac_bench::{banner, Profile};
-use indexmac_cnn::resnet50;
+use indexmac_models::resnet50;
 
 fn main() {
     let base_cfg = Profile::from_env().config();
@@ -39,7 +39,7 @@ fn main() {
                 tile_rows,
                 ..base_cfg
             };
-            match run_gemm(layer.gemm(), pattern, Algorithm::IndexMac, &cfg) {
+            match run_gemm(layer.gemm, pattern, Algorithm::IndexMac, &cfg) {
                 Ok(r) => {
                     if tile_rows == 16 {
                         l16 = r.report.cycles;

@@ -8,7 +8,7 @@ use indexmac::kernels::KernelParams;
 use indexmac::sparse::NmPattern;
 use indexmac::table::{fmt_speedup, Table};
 use indexmac_bench::{banner, Profile};
-use indexmac_cnn::resnet50;
+use indexmac_models::resnet50;
 
 fn main() {
     let base_cfg = Profile::from_env().config();
@@ -26,8 +26,7 @@ fn main() {
     for pattern in NmPattern::EVALUATED {
         println!(
             "\n{pattern} structured sparsity on {} (GEMM {:?})",
-            layer.name,
-            layer.gemm()
+            layer.name, layer.gemm
         );
         let mut table = Table::new(vec![
             "unroll",
@@ -46,10 +45,10 @@ fn main() {
                 },
                 ..base_cfg
             };
-            let base = run_gemm(layer.gemm(), pattern, Algorithm::RowWiseSpmm, &cfg)
-                .expect("baseline runs");
+            let base =
+                run_gemm(layer.gemm, pattern, Algorithm::RowWiseSpmm, &cfg).expect("baseline runs");
             let prop =
-                run_gemm(layer.gemm(), pattern, Algorithm::IndexMac, &cfg).expect("proposed runs");
+                run_gemm(layer.gemm, pattern, Algorithm::IndexMac, &cfg).expect("proposed runs");
             let (b1, p1) = *first.get_or_insert((base.report.cycles, prop.report.cycles));
             table.row(vec![
                 format!("x{unroll}"),

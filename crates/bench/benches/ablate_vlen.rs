@@ -7,7 +7,7 @@
 use indexmac::sparse::NmPattern;
 use indexmac::table::{fmt_pct, fmt_speedup, Table};
 use indexmac_bench::{banner, CachedCompare, Profile};
-use indexmac_cnn::resnet50;
+use indexmac_models::resnet50;
 
 fn main() {
     let base_cfg = Profile::from_env().config();
@@ -31,13 +31,13 @@ fn main() {
                 ..base_cfg
             };
             let mut cache = CachedCompare::new(cfg);
-            cache.warm(model.layers.iter().map(|l| (l.gemm(), pattern)));
+            cache.warm(model.layers.iter().map(|l| (l.gemm, pattern)));
             let mut base_cycles = 0u64;
             let mut prop_cycles = 0u64;
             let mut base_mem = 0u64;
             let mut prop_mem = 0u64;
             for layer in &model.layers {
-                let cmp = cache.compare(layer.gemm(), pattern);
+                let cmp = cache.compare(layer.gemm, pattern);
                 base_cycles += cmp.baseline.report.cycles;
                 prop_cycles += cmp.proposed.report.cycles;
                 base_mem += cmp.baseline.report.mem.total_accesses();

@@ -9,7 +9,7 @@ use indexmac::experiment::{run_gemm, Algorithm};
 use indexmac::sparse::NmPattern;
 use indexmac::table::Table;
 use indexmac_bench::{banner, Profile};
-use indexmac_cnn::resnet50;
+use indexmac_models::resnet50;
 
 fn main() {
     let cfg = Profile::from_env().config();
@@ -31,7 +31,7 @@ fn main() {
             Algorithm::RowWiseSpmm,
             Algorithm::IndexMac,
         ] {
-            let r = run_gemm(layer.gemm(), pattern, alg, &cfg).expect("kernel runs");
+            let r = run_gemm(layer.gemm, pattern, alg, &cfg).expect("kernel runs");
             let b = analyze(&r.report, &cfg.sim);
             table.row(vec![
                 alg.to_string(),

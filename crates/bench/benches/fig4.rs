@@ -7,7 +7,7 @@
 use indexmac::sparse::NmPattern;
 use indexmac::table::{fmt_speedup, Table};
 use indexmac_bench::{banner, CachedCompare, Profile};
-use indexmac_cnn::resnet50;
+use indexmac_models::resnet50;
 
 fn main() {
     let cfg = Profile::from_env().config();
@@ -21,12 +21,12 @@ fn main() {
         let mut cache = CachedCompare::new(cfg);
         // Fan the whole layer list through the parallel sweep runner;
         // the serial loop below then prints from cache hits only.
-        cache.warm(model.layers.iter().map(|l| (l.gemm(), pattern)));
+        cache.warm(model.layers.iter().map(|l| (l.gemm, pattern)));
         let mut table = Table::new(vec!["layer", "GEMM (RxKxN)", "simulated", "speedup"]);
         let mut lo = f64::INFINITY;
         let mut hi = 0.0_f64;
         for layer in &model.layers {
-            let dims = layer.gemm();
+            let dims = layer.gemm;
             let cmp = cache.compare(dims, pattern);
             let s = cmp.speedup();
             lo = lo.min(s);

@@ -6,7 +6,7 @@
 use indexmac::sparse::NmPattern;
 use indexmac::table::{fmt_speedup, Table};
 use indexmac_bench::{banner, CachedCompare, Profile};
-use indexmac_cnn::CnnModel;
+use indexmac_models::Model;
 
 fn main() {
     let cfg = Profile::from_env().config();
@@ -22,16 +22,16 @@ fn main() {
         // for brevity).
         let mut table = Table::new(vec!["CNN", "layers", "speedup", "per-layer range"]);
         let mut sum = 0.0;
-        let models = CnnModel::paper_models();
+        let models = Model::paper_models();
         for model in &models {
             let mut cache = CachedCompare::new(cfg);
-            cache.warm(model.layers.iter().map(|l| (l.gemm(), pattern)));
+            cache.warm(model.layers.iter().map(|l| (l.gemm, pattern)));
             let mut base_cycles: u64 = 0;
             let mut prop_cycles: u64 = 0;
             let mut lo = f64::INFINITY;
             let mut hi = 0.0_f64;
             for layer in &model.layers {
-                let cmp = cache.compare(layer.gemm(), pattern);
+                let cmp = cache.compare(layer.gemm, pattern);
                 base_cycles += cmp.baseline.report.cycles;
                 prop_cycles += cmp.proposed.report.cycles;
                 let s = cmp.speedup();

@@ -7,7 +7,7 @@
 use indexmac::sparse::NmPattern;
 use indexmac::table::{fmt_pct, Table};
 use indexmac_bench::{banner, CachedCompare, Profile};
-use indexmac_cnn::CnnModel;
+use indexmac_models::Model;
 
 fn main() {
     let cfg = Profile::from_env().config();
@@ -19,14 +19,14 @@ fn main() {
     for (panel, pattern) in ["(a)", "(b)"].into_iter().zip(NmPattern::EVALUATED) {
         let mut table = Table::new(vec!["CNN", "normalized accesses", "reduction"]);
         let mut sum = 0.0;
-        let models = CnnModel::paper_models();
+        let models = Model::paper_models();
         for model in &models {
             let mut cache = CachedCompare::new(cfg);
-            cache.warm(model.layers.iter().map(|l| (l.gemm(), pattern)));
+            cache.warm(model.layers.iter().map(|l| (l.gemm, pattern)));
             let mut base: u64 = 0;
             let mut prop: u64 = 0;
             for layer in &model.layers {
-                let cmp = cache.compare(layer.gemm(), pattern);
+                let cmp = cache.compare(layer.gemm, pattern);
                 base += cmp.baseline.report.mem.total_accesses();
                 prop += cmp.proposed.report.mem.total_accesses();
             }

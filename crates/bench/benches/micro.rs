@@ -8,9 +8,9 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use indexmac::experiment::{run_gemm, Algorithm, ExperimentConfig};
 use indexmac::kernels::GemmDims;
 use indexmac::sparse::NmPattern;
-use indexmac_cnn::GemmCaps;
 use indexmac_kernels::{indexmac as imac_kernel, rowwise, GemmLayout, KernelParams};
 use indexmac_mem::{AccessKind, Cache, CacheConfig};
+use indexmac_models::GemmCaps;
 use indexmac_sparse::{prune, DenseMatrix};
 use indexmac_vpu::SimConfig;
 use std::hint::black_box;

@@ -20,7 +20,7 @@ use indexmac::experiment::{compare_gemm, ExperimentConfig, GemmComparison};
 use indexmac::kernels::GemmDims;
 use indexmac::sparse::NmPattern;
 use indexmac::sweep::{run_cells, SweepCell};
-use indexmac_cnn::GemmCaps;
+use indexmac_models::GemmCaps;
 use std::collections::HashMap;
 
 /// Simulation scale selected via `INDEXMAC_PROFILE`.

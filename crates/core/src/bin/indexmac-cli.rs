@@ -5,21 +5,25 @@
 //! indexmac-cli gemm --rows 64 --inner 256 --cols 128 --pattern 2:4
 //! indexmac-cli gemm --rows 64 --inner 256 --cols 128 --algorithm indexmac
 //! indexmac-cli layer --model resnet50 --name layer2.0.conv2 --pattern 1:4
+//! indexmac-cli layer --model bert-base --name block0.ffn.up
+//! indexmac-cli model --preset bert-base --seq-len 128 --pattern 2:4
+//! indexmac-cli model --preset gpt2-small --sew 8
 //! indexmac-cli list --model inceptionv3
 //! indexmac-cli sweep --dims 16x128x32,32x256x64 --patterns 1:4,2:4 \
 //!     --dataflows all --threads 8 --format json
 //! ```
 
 use indexmac::analysis::analyze;
-use indexmac::experiment::{compare_gemm, run_gemm, Algorithm, ExperimentConfig, Precision};
+use indexmac::experiment::{
+    compare_gemm, compare_model, run_gemm, Algorithm, ExperimentConfig, Precision,
+};
 use indexmac::kernels::{Dataflow, GemmDims, KernelParams};
 use indexmac::sparse::NmPattern;
 use indexmac::sweep::{run_grid, SweepGrid};
 use indexmac::table::{fmt_pair, fmt_pct, fmt_speedup, Table};
 use indexmac::vpu::SimConfig;
-use indexmac_cnn::{
-    densenet121, densenet121_int8, inception_v3, inception_v3_int8, resnet50, resnet50_int8,
-    CnnModel,
+use indexmac_models::{
+    densenet121, inception_v3, resnet50, GemmCaps, Model, ModelFamily, TransformerConfig,
 };
 use std::process::ExitCode;
 
@@ -39,14 +43,25 @@ enum Command {
         sew: Precision,
         seed: Option<u64>,
     },
-    /// Run the comparison on a named CNN layer.
+    /// Run the comparison on a named model layer (CNN conv or
+    /// transformer projection).
     Layer {
         model: String,
         name: String,
         pattern: NmPattern,
         seed: Option<u64>,
     },
-    /// List the conv layers of a model.
+    /// Run the whole-network comparison for a preset and print the
+    /// per-layer table plus aggregates.
+    Model {
+        preset: String,
+        pattern: NmPattern,
+        seq_len: Option<usize>,
+        sew: Option<Precision>,
+        caps: GemmCaps,
+        seed: Option<u64>,
+    },
+    /// List the GEMM layers of a model.
     List { model: String },
     /// Fan comparisons over a (pattern x dims x dataflow) grid in parallel.
     Sweep {
@@ -159,17 +174,79 @@ fn supports_int(alg: Algorithm) -> bool {
     matches!(alg, Algorithm::IndexMac | Algorithm::IndexMac2)
 }
 
-fn model_by_name(name: &str) -> Result<CnnModel, String> {
-    match name.to_ascii_lowercase().as_str() {
-        "resnet50" => Ok(resnet50()),
-        "densenet121" => Ok(densenet121()),
-        "inceptionv3" | "inception_v3" => Ok(inception_v3()),
-        "resnet50-int8" => Ok(resnet50_int8()),
-        "densenet121-int8" => Ok(densenet121_int8()),
-        "inceptionv3-int8" | "inception_v3-int8" => Ok(inception_v3_int8()),
-        other => Err(format!(
-            "unknown model `{other}` (resnet50|densenet121|inceptionv3, each also as <model>-int8)"
-        )),
+/// The transformer preset behind a (lowercased, suffix-stripped) name.
+fn transformer_preset(base: &str) -> Option<TransformerConfig> {
+    match base {
+        "bert-base" => Some(TransformerConfig::bert_base()),
+        "gpt2-small" | "gpt-2-small" => Some(TransformerConfig::gpt2_small()),
+        "vit-b16" | "vit-b/16" => Some(TransformerConfig::vit_b16()),
+        _ => None,
+    }
+}
+
+const MODEL_NAMES: &str = "resnet50|densenet121|inceptionv3|bert-base|gpt2-small|vit-b16, \
+each also as <model>-int8";
+
+/// Resolves a preset name to its model, optionally overriding the
+/// transformer sequence length.
+fn preset_by_name(name: &str, seq_len: Option<usize>) -> Result<Model, String> {
+    let lower = name.to_ascii_lowercase();
+    let (base, int8) = match lower.strip_suffix("-int8") {
+        Some(b) => (b, true),
+        None => (lower.as_str(), false),
+    };
+    if let Some(mut tc) = transformer_preset(base) {
+        if let Some(s) = seq_len {
+            if s == 0 {
+                return Err("--seq-len must be positive".to_string());
+            }
+            tc = tc.with_seq_len(s);
+        }
+        let m = tc.model();
+        return Ok(if int8 {
+            let int8_name = format!("{}-int8", m.name);
+            m.with_precision(int8_name, Precision::I8)
+        } else {
+            m
+        });
+    }
+    let cnn = match base {
+        "resnet50" => resnet50(),
+        "densenet121" => densenet121(),
+        "inceptionv3" | "inception_v3" => inception_v3(),
+        _ => return Err(format!("unknown model `{lower}` ({MODEL_NAMES})")),
+    };
+    if seq_len.is_some() {
+        return Err("--seq-len applies to transformer presets only".to_string());
+    }
+    Ok(if int8 {
+        let int8_name = format!("{}-int8", cnn.name);
+        cnn.with_precision(int8_name, Precision::I8)
+    } else {
+        cnn
+    })
+}
+
+fn model_by_name(name: &str) -> Result<Model, String> {
+    preset_by_name(name, None)
+}
+
+fn parse_caps(s: &str) -> Result<GemmCaps, String> {
+    match s {
+        "smoke" => Ok(GemmCaps::smoke()),
+        "eval" => Ok(GemmCaps::default_eval()),
+        "full" => Ok(GemmCaps::unbounded()),
+        other => Err(format!("unknown caps `{other}` (smoke|eval|full)")),
+    }
+}
+
+/// The campaign a model's family defaults to: the paper configuration
+/// for CNNs, the follow-up vvi-vs-vx m2 comparison for transformers
+/// (quantized presets are reconciled inside `compare_model`).
+fn config_for_family(family: ModelFamily) -> ExperimentConfig {
+    match family {
+        ModelFamily::Cnn => ExperimentConfig::paper(),
+        ModelFamily::Transformer => ExperimentConfig::transformer(),
     }
 }
 
@@ -269,6 +346,29 @@ fn parse(args: &[String]) -> Result<Command, String> {
             },
             seed: parse_seed(&opts)?,
         }),
+        "model" => Ok(Command::Model {
+            preset: get("preset").ok_or("model requires --preset")?,
+            pattern: match get("pattern") {
+                Some(p) => parse_pattern(&p)?,
+                None => NmPattern::P2_4,
+            },
+            seq_len: match get("seq-len") {
+                Some(v) => Some(
+                    v.parse()
+                        .map_err(|_| "--seq-len must be an integer".to_string())?,
+                ),
+                None => None,
+            },
+            sew: match get("sew") {
+                Some(v) => Some(parse_sew(&v)?),
+                None => None,
+            },
+            caps: match get("caps") {
+                Some(v) => parse_caps(&v)?,
+                None => GemmCaps::default_eval(),
+            },
+            seed: parse_seed(&opts)?,
+        }),
         "list" => Ok(Command::List {
             model: get("model").ok_or("list requires --model")?,
         }),
@@ -353,10 +453,12 @@ const USAGE: &str = "usage:
   indexmac-cli config
   indexmac-cli gemm --rows R --inner K --cols N [--pattern N:M] [--algorithm dense|rowwise|indexmac|indexmac2|scalar] [--unroll U] [--tile-rows L] [--lmul 1|2|4] [--sew 8|16|32] [--seed S]
   indexmac-cli layer --model M --name NAME [--pattern N:M] [--seed S]
+  indexmac-cli model --preset M [--pattern N:M] [--seq-len T] [--sew 8|16|32] [--caps smoke|eval|full] [--seed S]
   indexmac-cli list --model M
   indexmac-cli sweep --dims RxKxN[,RxKxN...] [--patterns N:M[,N:M...]] [--dataflows a|b|c|all] [--algorithm A] [--baseline A] [--lmul 1|2|4] [--sew 8|16|32] [--seed S] [--threads T] [--format table|json|json-pretty]
 
-models: resnet50 | densenet121 | inceptionv3, each also as <model>-int8 (e8 datapath)
+models: resnet50 | densenet121 | inceptionv3 | bert-base | gpt2-small | vit-b16, each also as <model>-int8 (e8 datapath)
+transformer presets decompose into attention/FFN weight GEMMs; --seq-len rescales their batched columns
 --sew 8|16 runs the quantized widening datapath (indexmac/indexmac2 only, bit-exact verification)";
 
 fn print_comparison(
@@ -444,21 +546,104 @@ fn run(cmd: Command) -> Result<(), String> {
             seed,
         } => {
             let m = model_by_name(&model)?;
-            let layer = m.layers.iter().find(|l| l.name == name).ok_or(format!(
+            let layer = m.layer(&name).ok_or(format!(
                 "no layer `{name}` in {} (try `list --model {model}`)",
                 m.name
             ))?;
-            // Quantized presets run their layers on the e8 datapath.
+            // Quantized presets run their layers on the e8 datapath;
+            // transformer presets default to the vvi-vs-vx campaign.
             let mut cfg = if m.precision.is_int() {
                 ExperimentConfig::quantized(m.precision)
             } else {
-                ExperimentConfig::paper()
+                config_for_family(m.family)
             };
             if let Some(seed) = seed {
                 cfg.seed = seed;
             }
             println!("{layer}  ({pattern}, {} elements)\n", m.precision);
-            print_comparison(layer.gemm(), pattern, &cfg)
+            print_comparison(layer.gemm, pattern, &cfg)
+        }
+        Command::Model {
+            preset,
+            pattern,
+            seq_len,
+            sew,
+            caps,
+            seed,
+        } => {
+            let mut m = preset_by_name(&preset, seq_len)?;
+            if let Some(p) = sew {
+                if p != m.precision {
+                    // Drop a now-contradictory precision suffix before
+                    // tagging the override (e.g. `-int8` + `--sew 32`).
+                    let base = m.name.trim_end_matches("-int8").to_string();
+                    let renamed = if p.is_int() {
+                        format!("{base}-e{}", p.bits())
+                    } else {
+                        base
+                    };
+                    m = m.with_precision(renamed, p);
+                }
+            }
+            let mut cfg = ExperimentConfig {
+                caps,
+                ..config_for_family(m.family)
+            };
+            if let Some(seed) = seed {
+                cfg.seed = seed;
+            }
+            println!(
+                "{}: {} {} layers ({} distinct GEMM shapes), {:.2} GMACs, {} elements, A pruned to {pattern}",
+                m.name,
+                m.layers.len(),
+                m.family,
+                m.unique_shapes().len(),
+                m.total_macs() as f64 / 1e9,
+                m.precision,
+            );
+            println!("caps: {} | seed {:#x}\n", cfg.caps, cfg.seed);
+            let c = compare_model(&m, pattern, &cfg).map_err(|e| e.to_string())?;
+            let mut table = Table::new(vec![
+                "layer",
+                "GEMM (RxKxN)",
+                "simulated",
+                "cycles (base -> prop)",
+                "instret (base -> prop)",
+                "speedup",
+                "normalized mem accesses",
+            ]);
+            for (layer, result) in m.layers.iter().zip(&c.layers) {
+                let base = &result.comparison.baseline.report;
+                let prop = &result.comparison.proposed.report;
+                let g = layer.gemm;
+                let sim = result.comparison.proposed.gemm;
+                table.row(vec![
+                    layer.name.clone(),
+                    format!("{}x{}x{}", g.rows, g.inner, g.cols),
+                    format!("{}x{}x{}", sim.rows, sim.inner, sim.cols),
+                    fmt_pair(base.cycles, prop.cycles),
+                    fmt_pair(base.instructions, prop.instructions),
+                    fmt_speedup(result.comparison.speedup()),
+                    fmt_pct(result.comparison.mem_ratio()),
+                ]);
+            }
+            print!("{}", table.render());
+            let (lo, hi) = c.speedup_range();
+            // Report the kernels that actually ran: compare_model may
+            // have reconciled the pair for a quantized preset.
+            let ran = &c.layers[0].comparison;
+            println!(
+                "baseline: {} | proposed: {} | {} elements",
+                ran.baseline.algorithm, ran.proposed.algorithm, c.precision,
+            );
+            println!(
+                "total speedup {} | normalized mem accesses {} | per-layer range {}-{}",
+                fmt_speedup(c.total_speedup()),
+                fmt_pct(c.total_mem_ratio()),
+                fmt_speedup(lo),
+                fmt_speedup(hi),
+            );
+            Ok(())
         }
         Command::List { model } => {
             let m = model_by_name(&model)?;
@@ -709,6 +894,120 @@ mod tests {
         assert!(m.precision.is_int());
         assert!(model_by_name("densenet121-int8").is_ok());
         assert!(model_by_name("inceptionv3-int8").is_ok());
+    }
+
+    #[test]
+    fn transformer_presets_resolve() {
+        use indexmac::kernels::ElemType;
+        for (name, want) in [
+            ("bert-base", "BERT-base"),
+            ("gpt2-small", "GPT-2-small"),
+            ("vit-b16", "ViT-B/16"),
+        ] {
+            let m = model_by_name(name).unwrap();
+            assert_eq!(m.name, want);
+            assert_eq!(m.family, ModelFamily::Transformer);
+            assert_eq!(m.layers.len(), 72);
+            let q = model_by_name(&format!("{name}-int8")).unwrap();
+            assert_eq!(q.precision, ElemType::I8);
+            assert_eq!(q.name, format!("{want}-int8"));
+            assert_eq!(q.layers, m.layers);
+        }
+        // --seq-len rescales transformer columns and is rejected for CNNs.
+        let short = preset_by_name("bert-base", Some(32)).unwrap();
+        assert!(short.layers.iter().all(|l| l.gemm.cols == 32));
+        assert!(preset_by_name("resnet50", Some(32))
+            .unwrap_err()
+            .contains("transformer"));
+        // An unknown name reports the name, not the --seq-len flag.
+        assert!(preset_by_name("bert-bas", Some(32))
+            .unwrap_err()
+            .contains("unknown model"));
+        assert!(preset_by_name("bert-base", Some(0))
+            .unwrap_err()
+            .contains("positive"));
+    }
+
+    #[test]
+    fn parse_model_command() {
+        let c = parse(&argv(
+            "model --preset bert-base --seq-len 64 --sew 8 --caps smoke --seed 9",
+        ))
+        .unwrap();
+        assert_eq!(
+            c,
+            Command::Model {
+                preset: "bert-base".into(),
+                pattern: NmPattern::P2_4,
+                seq_len: Some(64),
+                sew: Some(Precision::I8),
+                caps: GemmCaps::smoke(),
+                seed: Some(9),
+            }
+        );
+        let c = parse(&argv("model --preset gpt2-small --pattern 1:4")).unwrap();
+        assert_eq!(
+            c,
+            Command::Model {
+                preset: "gpt2-small".into(),
+                pattern: NmPattern::P1_4,
+                seq_len: None,
+                sew: None,
+                caps: GemmCaps::default_eval(),
+                seed: None,
+            }
+        );
+        assert!(parse(&argv("model")).unwrap_err().contains("preset"));
+        assert!(parse(&argv("model --preset bert-base --caps tiny"))
+            .unwrap_err()
+            .contains("caps"));
+        assert!(parse(&argv("model --preset bert-base --seq-len x"))
+            .unwrap_err()
+            .contains("integer"));
+        assert!(parse(&argv("model --preset bert-base --sew 64"))
+            .unwrap_err()
+            .contains("sew"));
+    }
+
+    #[test]
+    fn run_transformer_model_and_layer_smoke() {
+        // The whole-network table at smoke caps: 3 distinct shapes.
+        run(Command::Model {
+            preset: "bert-base".into(),
+            pattern: NmPattern::P1_4,
+            seq_len: Some(16),
+            sew: None,
+            caps: GemmCaps::smoke(),
+            seed: None,
+        })
+        .unwrap();
+        // A quantized preset plus an explicit --sew override both run.
+        run(Command::Model {
+            preset: "vit-b16-int8".into(),
+            pattern: NmPattern::P2_4,
+            seq_len: Some(16),
+            sew: None,
+            caps: GemmCaps::smoke(),
+            seed: Some(3),
+        })
+        .unwrap();
+        run(Command::Model {
+            preset: "gpt2-small".into(),
+            pattern: NmPattern::P2_4,
+            seq_len: Some(16),
+            sew: Some(Precision::I16),
+            caps: GemmCaps::smoke(),
+            seed: None,
+        })
+        .unwrap();
+        // A single transformer layer through the layer command.
+        run(Command::Layer {
+            model: "bert-base-int8".into(),
+            name: "block0.ffn.up".into(),
+            pattern: NmPattern::P2_4,
+            seed: None,
+        })
+        .unwrap();
     }
 
     #[test]

@@ -1,9 +1,9 @@
 //! Experiment drivers: the building blocks of the paper's Figures 4-6.
 
-use indexmac_cnn::{CnnModel, ConvLayer, GemmCaps};
 use indexmac_kernels::{
     dense, indexmac, indexmac2, rowwise, scalar_idx, verify, GemmDims, GemmLayout, KernelParams,
 };
+use indexmac_models::{GemmCaps, Model, ModelLayer};
 use indexmac_sparse::{prune, quant, DenseMatrix, NmPattern, StructuredSparseMatrix};
 use indexmac_vpu::{RunReport, SimConfig};
 use std::error::Error;
@@ -107,6 +107,16 @@ impl ExperimentConfig {
             baseline: Algorithm::RowWiseSpmm,
             proposed: Algorithm::IndexMac,
         }
+    }
+
+    /// The transformer-campaign defaults: the second-generation
+    /// `vindexmac.vvi` kernel under `m2` register grouping against the
+    /// first generation — the configuration of the follow-up work
+    /// (arXiv 2501.10189) on DNN GEMM shapes, and what the CLI `model`
+    /// command runs for transformer presets. Quantized presets clamp
+    /// the grouping to the widening budget (see [`compare_model`]).
+    pub fn transformer() -> Self {
+        Self::second_generation(2)
     }
 
     /// A quantized campaign at `precision`: both comparison sides run
@@ -329,7 +339,7 @@ pub fn compare_gemm(
     })
 }
 
-/// Per-CNN-layer comparison (adds the layer name).
+/// Per-layer comparison (adds the layer name).
 #[derive(Debug, Clone)]
 pub struct LayerComparison {
     /// The layer's name in the network.
@@ -338,27 +348,28 @@ pub struct LayerComparison {
     pub comparison: GemmComparison,
 }
 
-/// Runs both kernels on a CNN layer's im2col GEMM.
+/// Runs both kernels on a model layer's lowered GEMM (a CNN layer's
+/// im2col product, a transformer projection, ...).
 ///
 /// # Errors
 ///
 /// See [`run_gemm`].
 pub fn compare_layer(
-    layer: &ConvLayer,
+    layer: &ModelLayer,
     pattern: NmPattern,
     cfg: &ExperimentConfig,
 ) -> Result<LayerComparison, ExperimentError> {
     Ok(LayerComparison {
         name: layer.name.clone(),
-        comparison: compare_gemm(layer.gemm(), pattern, cfg)?,
+        comparison: compare_gemm(layer.gemm, pattern, cfg)?,
     })
 }
 
-/// Whole-network comparison: every conv layer of a model.
+/// Whole-network comparison: every GEMM layer of a model.
 #[derive(Debug, Clone)]
 pub struct ModelComparison {
     /// Model name.
-    pub model: &'static str,
+    pub model: String,
     /// Sparsity pattern of the weights.
     pub pattern: NmPattern,
     /// Element precision every layer actually simulated at (the model's
@@ -416,50 +427,73 @@ impl ModelComparison {
 
 /// Reconciles a campaign configuration with a model's own precision:
 /// quantized presets must simulate the quantized datapath even when the
-/// caller passes an f32-default configuration, and integer precisions
-/// force the comparison onto the `vindexmac` kernel pair (the walk-based
-/// baselines have no quantized emission path).
-fn config_for_model(model: &CnnModel, cfg: &ExperimentConfig) -> ExperimentConfig {
-    if model.precision == cfg.precision {
-        return *cfg;
-    }
+/// caller passes an f32-default configuration, integer precisions force
+/// the comparison onto the `vindexmac` kernel pair (the walk-based
+/// baselines have no quantized emission path), and register grouping is
+/// clamped to the widening budget (`lmul · 32/SEW ≤ 4`, so e8 runs
+/// ungrouped and e16 at most `m2` — the accumulator group would
+/// otherwise exceed `m4`).
+fn config_for_model(model: &Model, cfg: &ExperimentConfig) -> ExperimentConfig {
     let mut out = ExperimentConfig {
         precision: model.precision,
         ..*cfg
     };
-    let int_capable = |a: Algorithm| matches!(a, Algorithm::IndexMac | Algorithm::IndexMac2);
-    if model.precision.is_int()
-        && !(int_capable(out.baseline) && int_capable(out.proposed) && out.baseline != out.proposed)
-    {
-        // The configured pair cannot run (or degenerates) at an integer
-        // precision: use the standard quantized comparison, vx vs vvi.
-        out.baseline = Algorithm::IndexMac;
-        out.proposed = Algorithm::IndexMac2;
+    if model.precision.is_int() {
+        out.lmul = out.lmul.min(4 / model.precision.widen()).max(1);
+        let int_capable = |a: Algorithm| matches!(a, Algorithm::IndexMac | Algorithm::IndexMac2);
+        if !(int_capable(out.baseline) && int_capable(out.proposed) && out.baseline != out.proposed)
+        {
+            // The configured pair cannot run (or degenerates) at an
+            // integer precision: use the standard quantized comparison,
+            // vx vs vvi.
+            out.baseline = Algorithm::IndexMac;
+            out.proposed = Algorithm::IndexMac2;
+        }
     }
     out
 }
 
-/// Runs the full per-layer comparison for one CNN (paper Fig. 4 for
-/// ResNet50; summed for Fig. 5/6). The model's own precision wins over
-/// `cfg.precision` — an int8 preset always runs the e8 datapath, with
-/// the comparison sides moved onto the `vindexmac` pair if the
-/// configured kernels have no quantized path.
+/// Runs the full per-layer comparison for one model (paper Fig. 4 for
+/// ResNet50; summed for Fig. 5/6; per-block tables for the transformer
+/// presets). The model's own precision wins over `cfg.precision` — an
+/// int8 preset always runs the e8 datapath, with the comparison sides
+/// moved onto the `vindexmac` pair if the configured kernels have no
+/// quantized path and the register grouping clamped to the widening
+/// budget.
+///
+/// Identical GEMM shapes (every block of a transformer stack repeats
+/// one geometry) are simulated **once** and their results replicated:
+/// operand generation is seeded purely by the campaign seed and shape,
+/// so the per-layer reports are bit-identical to the naive loop.
 ///
 /// # Errors
 ///
 /// See [`run_gemm`]. Fails on the first failing layer.
 pub fn compare_model(
-    model: &CnnModel,
+    model: &Model,
     pattern: NmPattern,
     cfg: &ExperimentConfig,
 ) -> Result<ModelComparison, ExperimentError> {
     let cfg = config_for_model(model, cfg);
+    let mut cache: Vec<(GemmDims, GemmComparison)> = Vec::new();
     let mut layers = Vec::with_capacity(model.layers.len());
     for layer in &model.layers {
-        layers.push(compare_layer(layer, pattern, &cfg)?);
+        let hit = cache.iter().find(|(g, _)| *g == layer.gemm);
+        let comparison = match hit {
+            Some((_, c)) => c.clone(),
+            None => {
+                let c = compare_gemm(layer.gemm, pattern, &cfg)?;
+                cache.push((layer.gemm, c.clone()));
+                c
+            }
+        };
+        layers.push(LayerComparison {
+            name: layer.name.clone(),
+            comparison,
+        });
     }
     Ok(ModelComparison {
-        model: model.name,
+        model: model.name.clone(),
         pattern,
         precision: cfg.precision,
         layers,
@@ -514,7 +548,7 @@ mod tests {
             cols: 32,
         };
         let cfg = ExperimentConfig {
-            caps: indexmac_cnn::GemmCaps::smoke(),
+            caps: indexmac_models::GemmCaps::smoke(),
             ..ExperimentConfig::second_generation(1)
         };
         let c = compare_gemm(dims, NmPattern::P1_4, &cfg).unwrap();
@@ -533,7 +567,7 @@ mod tests {
         for lmul in [2, 4] {
             let cfg = ExperimentConfig {
                 lmul,
-                caps: indexmac_cnn::GemmCaps::smoke(),
+                caps: indexmac_models::GemmCaps::smoke(),
                 ..ExperimentConfig::paper()
             };
             let r = run_gemm(dims, NmPattern::P1_4, Algorithm::IndexMac2, &cfg).unwrap();
@@ -587,8 +621,7 @@ mod tests {
 
     #[test]
     fn model_comparison_on_a_few_layers() {
-        let model = indexmac_cnn::resnet50();
-        let tiny = CnnModel::new("ResNet50-head", model.layers[..3].to_vec());
+        let tiny = indexmac_models::resnet50().head(3);
         let c = compare_model(&tiny, NmPattern::P2_4, &cfg()).unwrap();
         assert_eq!(c.layers.len(), 3);
         assert!(c.total_speedup() > 1.0);
@@ -606,7 +639,7 @@ mod tests {
         };
         for precision in [Precision::I8, Precision::I16] {
             let cfg = ExperimentConfig {
-                caps: indexmac_cnn::GemmCaps::smoke(),
+                caps: indexmac_models::GemmCaps::smoke(),
                 ..ExperimentConfig::quantized(precision)
             };
             // verify=true routes through the exact integer checker.
@@ -626,7 +659,7 @@ mod tests {
             cols: 32,
         };
         let cfg = ExperimentConfig {
-            caps: indexmac_cnn::GemmCaps::smoke(),
+            caps: indexmac_models::GemmCaps::smoke(),
             ..ExperimentConfig::quantized(Precision::I8)
         };
         for alg in [
@@ -683,7 +716,7 @@ mod tests {
         };
         let cfg = ExperimentConfig {
             lmul: 2,
-            caps: indexmac_cnn::GemmCaps::smoke(),
+            caps: indexmac_models::GemmCaps::smoke(),
             ..ExperimentConfig::quantized(Precision::I16)
         };
         let r = run_gemm(dims, NmPattern::P1_4, Algorithm::IndexMac2, &cfg).unwrap();
@@ -701,9 +734,8 @@ mod tests {
         // An int8 preset under a default f32 campaign must simulate the
         // e8 datapath with the vindexmac kernel pair — not silently run
         // f32 under an "-int8" label.
-        let full = indexmac_cnn::resnet50_int8();
-        let tiny = CnnModel::new("ResNet50-int8-head", full.layers[..2].to_vec())
-            .with_precision("ResNet50-int8-head", full.precision);
+        let full = indexmac_models::resnet50_int8();
+        let tiny = full.head(2);
         let c = compare_model(&tiny, NmPattern::P1_4, &cfg()).unwrap();
         assert_eq!(c.precision, Precision::I8);
         for l in &c.layers {
@@ -712,7 +744,7 @@ mod tests {
         }
         // And an f32 model under an f32 campaign is untouched.
         let f = compare_model(
-            &CnnModel::new("head", full.layers[..1].to_vec()),
+            &indexmac_models::resnet50().head(1),
             NmPattern::P1_4,
             &cfg(),
         )
@@ -721,6 +753,53 @@ mod tests {
         assert_eq!(
             f.layers[0].comparison.baseline.algorithm,
             Algorithm::RowWiseSpmm
+        );
+    }
+
+    #[test]
+    fn transformer_config_pairs_the_two_generations_under_m2() {
+        let cfg = ExperimentConfig::transformer();
+        assert_eq!(cfg.baseline, Algorithm::IndexMac);
+        assert_eq!(cfg.proposed, Algorithm::IndexMac2);
+        assert_eq!(cfg.lmul, 2);
+        assert_eq!(cfg.precision, Precision::F32);
+    }
+
+    #[test]
+    fn compare_model_clamps_grouping_for_quantized_presets() {
+        // The transformer campaign runs m2, but e8 widens 4×: grouping
+        // must clamp to m1 instead of erroring (and e16 may keep m2).
+        let bert = indexmac_models::bert_base_int8().head(1);
+        let cfg = ExperimentConfig {
+            caps: indexmac_models::GemmCaps::smoke(),
+            ..ExperimentConfig::transformer()
+        };
+        let c = compare_model(&bert, NmPattern::P2_4, &cfg).unwrap();
+        assert_eq!(c.precision, Precision::I8);
+        assert!(c.layers[0].comparison.proposed.report.cycles > 0);
+        let i16_model = indexmac_models::bert_base()
+            .head(1)
+            .with_precision("BERT-base-i16-head", Precision::I16);
+        assert!(compare_model(&i16_model, NmPattern::P2_4, &cfg).is_ok());
+    }
+
+    #[test]
+    fn compare_model_dedupes_repeated_shapes_bit_identically() {
+        // Transformer blocks repeat one geometry; the deduped driver
+        // must return exactly what a naive per-layer loop returns.
+        let model = indexmac_models::bert_base().head(8); // spans 2 blocks
+        let cfg = cfg();
+        let c = compare_model(&model, NmPattern::P1_4, &cfg).unwrap();
+        assert_eq!(c.layers.len(), 8);
+        for (layer, result) in model.layers.iter().zip(&c.layers) {
+            let manual = compare_gemm(layer.gemm, NmPattern::P1_4, &cfg).unwrap();
+            assert_eq!(result.comparison.baseline.report, manual.baseline.report);
+            assert_eq!(result.comparison.proposed.report, manual.proposed.report);
+        }
+        // Layers 0 (block0.attn.q) and 6 (block1.attn.q) share a shape.
+        assert_eq!(
+            c.layers[0].comparison.proposed.report,
+            c.layers[6].comparison.proposed.report
         );
     }
 

@@ -14,6 +14,8 @@
 //!   or a whole CNN comparison (Fig. 4/5/6 building blocks);
 //! * [`sweep`] — fan comparisons out over (pattern × dims × dataflow)
 //!   grids on a rayon thread pool, with deterministic per-cell seeds;
+//! * [`seqlen`] — sequence-length scaling analysis for the transformer
+//!   workload family;
 //! * [`table`] — plain-text table rendering used by the bench harnesses.
 //!
 //! # Quickstart
@@ -35,6 +37,7 @@
 
 pub mod analysis;
 pub mod experiment;
+pub mod seqlen;
 pub mod sweep;
 pub mod table;
 
@@ -43,11 +46,12 @@ pub use experiment::{
     compare_gemm, compare_layer, compare_model, run_gemm, Algorithm, ExperimentConfig,
     GemmComparison, LayerResult, ModelComparison,
 };
+pub use seqlen::{seqlen_scaling, SeqLenPoint, SeqLenScaling};
 pub use sweep::{run_grid, SweepCell, SweepGrid, SweepResult};
 
-pub use indexmac_cnn as cnn;
 pub use indexmac_isa as isa;
 pub use indexmac_kernels as kernels;
 pub use indexmac_mem as mem;
+pub use indexmac_models as models;
 pub use indexmac_sparse as sparse;
 pub use indexmac_vpu as vpu;

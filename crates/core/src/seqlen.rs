@@ -1,0 +1,199 @@
+//! Sequence-length scaling analysis for the transformer workload
+//! family.
+//!
+//! A transformer's weight GEMMs batch their columns over the sequence:
+//! every projection is `A[rows × inner] × B[inner × seq_len]`, so
+//! `seq_len` plays the role the output-pixel count plays for CNNs. This
+//! module sweeps one layer of a [`TransformerConfig`] across sequence
+//! lengths and reports how the baseline-vs-proposed comparison scales —
+//! the transformer counterpart of the `scaling` size-capping story: at
+//! short sequences the resident B tile is under-used and fixed per-tile
+//! work dominates; past a full column tile the speedup settles.
+
+use crate::experiment::{compare_gemm, ExperimentConfig, ExperimentError, GemmComparison};
+use indexmac_kernels::GemmDims;
+use indexmac_models::TransformerConfig;
+use indexmac_sparse::NmPattern;
+
+/// One sequence-length point of a scaling sweep.
+#[derive(Debug, Clone)]
+pub struct SeqLenPoint {
+    /// The swept sequence length (the GEMM's column count, pre-caps).
+    pub seq_len: usize,
+    /// The lowered GEMM at this sequence length.
+    pub gemm: GemmDims,
+    /// Baseline-vs-proposed measurements at this point.
+    pub comparison: GemmComparison,
+}
+
+/// A completed sequence-length scaling sweep of one layer.
+#[derive(Debug, Clone)]
+pub struct SeqLenScaling {
+    /// The transformer the layer came from.
+    pub model: String,
+    /// The swept layer's name (e.g. `block0.ffn.up`).
+    pub layer: String,
+    /// Sparsity pattern of the weights.
+    pub pattern: NmPattern,
+    /// Per-sequence-length results, in input order.
+    pub points: Vec<SeqLenPoint>,
+}
+
+impl SeqLenScaling {
+    /// `(seq_len, speedup)` pairs, in input order.
+    pub fn speedups(&self) -> Vec<(usize, f64)> {
+        self.points
+            .iter()
+            .map(|p| (p.seq_len, p.comparison.speedup()))
+            .collect()
+    }
+
+    /// The sequence length with the best proposed-kernel speedup.
+    pub fn best(&self) -> Option<&SeqLenPoint> {
+        self.points.iter().max_by(|a, b| {
+            a.comparison
+                .speedup()
+                .partial_cmp(&b.comparison.speedup())
+                .expect("speedups are finite")
+        })
+    }
+}
+
+/// Sweeps `layer` of `transformer` across `seq_lens`, running the
+/// configured baseline/proposed comparison at every point. All other
+/// geometry (the weight matrix) is held fixed; only the batched column
+/// count changes, exactly as serving the same network at different
+/// sequence lengths would.
+///
+/// # Errors
+///
+/// Returns [`ExperimentError`] if any point fails to simulate; see
+/// [`compare_gemm`].
+///
+/// # Panics
+///
+/// Panics if `layer` names no layer of `transformer` or any swept
+/// length is zero — the sweep inputs are static per harness, so both
+/// are programming errors (matching
+/// [`TransformerConfig::with_seq_len`]).
+pub fn seqlen_scaling(
+    transformer: &TransformerConfig,
+    layer: &str,
+    seq_lens: &[usize],
+    pattern: NmPattern,
+    cfg: &ExperimentConfig,
+) -> Result<SeqLenScaling, ExperimentError> {
+    // Resolve the layer once — only its column count varies per point.
+    let model = transformer.model();
+    let base_gemm = model
+        .layer(layer)
+        .unwrap_or_else(|| panic!("no layer `{layer}` in {}", transformer.name))
+        .gemm;
+    let mut points = Vec::with_capacity(seq_lens.len());
+    for &seq_len in seq_lens {
+        assert!(seq_len > 0, "swept sequence lengths must be positive");
+        let gemm = GemmDims {
+            cols: seq_len,
+            ..base_gemm
+        };
+        let comparison = compare_gemm(gemm, pattern, cfg)?;
+        points.push(SeqLenPoint {
+            seq_len,
+            gemm,
+            comparison,
+        });
+    }
+    Ok(SeqLenScaling {
+        model: transformer.name.clone(),
+        layer: layer.to_string(),
+        pattern,
+        points,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::Algorithm;
+    use indexmac_models::GemmCaps;
+
+    fn fast_transformer_cfg() -> ExperimentConfig {
+        ExperimentConfig {
+            caps: GemmCaps::smoke(),
+            ..ExperimentConfig::transformer()
+        }
+    }
+
+    #[test]
+    fn sweeps_every_requested_length() {
+        let tc = TransformerConfig::bert_base();
+        let s = seqlen_scaling(
+            &tc,
+            "block0.ffn.up",
+            &[8, 16, 32],
+            NmPattern::P1_4,
+            &fast_transformer_cfg(),
+        )
+        .unwrap();
+        assert_eq!(s.points.len(), 3);
+        assert_eq!(s.model, "BERT-base");
+        assert_eq!(s.layer, "block0.ffn.up");
+        for (p, want) in s.points.iter().zip([8, 16, 32]) {
+            assert_eq!(p.seq_len, want);
+            assert_eq!(p.gemm.cols, want, "cols are the sequence length");
+            assert_eq!(p.gemm.rows, tc.d_ff);
+            assert_eq!(p.gemm.inner, tc.d_model);
+            assert_eq!(p.comparison.proposed.algorithm, Algorithm::IndexMac2);
+            assert!(p.comparison.proposed.report.cycles > 0);
+        }
+        let speedups = s.speedups();
+        assert_eq!(speedups.len(), 3);
+        assert!(s.best().is_some());
+    }
+
+    #[test]
+    fn attention_projection_sweeps_too() {
+        let tc = TransformerConfig::vit_b16();
+        let s = seqlen_scaling(
+            &tc,
+            "block0.attn.q",
+            &[16, 64],
+            NmPattern::P2_4,
+            &fast_transformer_cfg(),
+        )
+        .unwrap();
+        assert!(s
+            .points
+            .iter()
+            .all(|p| p.gemm.rows == 768 && p.gemm.inner == 768));
+        // The uncapped column count tracks the swept length even when
+        // the simulation itself is capped.
+        assert_eq!(s.points[1].gemm.cols, 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_seq_len_panics_with_a_clear_message() {
+        let tc = TransformerConfig::bert_base();
+        let _ = seqlen_scaling(
+            &tc,
+            "block0.ffn.up",
+            &[8, 0],
+            NmPattern::P1_4,
+            &fast_transformer_cfg(),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "no layer")]
+    fn unknown_layer_panics() {
+        let tc = TransformerConfig::bert_base();
+        let _ = seqlen_scaling(
+            &tc,
+            "block99.nope",
+            &[8],
+            NmPattern::P1_4,
+            &fast_transformer_cfg(),
+        );
+    }
+}

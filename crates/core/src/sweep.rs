@@ -86,6 +86,24 @@ impl SweepGrid {
         }
     }
 
+    /// A grid over a model's heaviest **distinct** GEMM shapes (up to
+    /// `top` of them) × the evaluated patterns — the standard
+    /// per-workload sweep preset. Transformer stacks repeat one block
+    /// geometry, so the distinct shapes cover the whole network with a
+    /// handful of cells.
+    pub fn for_model(model: &indexmac_models::Model, top: usize) -> Self {
+        let mut dims: Vec<GemmDims> = Vec::new();
+        for layer in model.heaviest_layers(model.layers.len()) {
+            if dims.len() == top {
+                break;
+            }
+            if !dims.contains(&layer.gemm) {
+                dims.push(layer.gemm);
+            }
+        }
+        Self::new(NmPattern::EVALUATED.to_vec(), dims)
+    }
+
     /// Replaces the dataflow axis (e.g. [`Dataflow::ALL`] for the
     /// Section IV-A ablation).
     #[must_use]
@@ -581,7 +599,7 @@ mod tests {
             }],
         );
         let cfg = ExperimentConfig {
-            caps: indexmac_cnn::GemmCaps::smoke(),
+            caps: indexmac_models::GemmCaps::smoke(),
             ..ExperimentConfig::quantized(Precision::I8)
         };
         let result = run_grid(&grid, &cfg).unwrap();
@@ -601,6 +619,27 @@ mod tests {
         let ser = run_grid_serial(&grid, &cfg).unwrap();
         assert_eq!(ser.cells, result.cells);
         assert_eq!(ser.precision, Precision::I8);
+    }
+
+    #[test]
+    fn for_model_takes_heaviest_distinct_shapes() {
+        let bert = indexmac_models::bert_base();
+        let grid = SweepGrid::for_model(&bert, 2);
+        // The two heaviest distinct shapes of any block: FFN up & down.
+        assert_eq!(grid.dims.len(), 2);
+        assert_eq!(grid.patterns, NmPattern::EVALUATED.to_vec());
+        for d in &grid.dims {
+            assert_eq!(d.rows * d.inner, 768 * 3072);
+        }
+        assert_ne!(grid.dims[0], grid.dims[1]);
+        // Asking for more shapes than exist returns all distinct ones.
+        let all = SweepGrid::for_model(&bert, 100);
+        assert_eq!(all.dims.len(), 3);
+        // A CNN model works identically.
+        let cnn = SweepGrid::for_model(&indexmac_models::resnet50(), 4);
+        assert_eq!(cnn.dims.len(), 4);
+        // top = 0 means no shapes, not all of them.
+        assert!(SweepGrid::for_model(&bert, 0).is_empty());
     }
 
     #[test]

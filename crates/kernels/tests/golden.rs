@@ -6,7 +6,7 @@
 
 use indexmac_isa::Program;
 use indexmac_kernels::{dense, indexmac, indexmac2, rowwise, scalar_idx, GemmLayout, KernelParams};
-use indexmac_sparse::{DenseMatrix, ElemType, NmPattern, StructuredSparseMatrix};
+use indexmac_sparse::{quant, DenseMatrix, ElemType, NmPattern, StructuredSparseMatrix};
 use indexmac_vpu::SimConfig;
 
 /// A 1x8 1:4 matrix with nonzeros at columns 1 and 6 — one k-tile, one
@@ -524,6 +524,77 @@ fn indexmac2_e8_kernel_prefix_is_stable() {
             "li a0, 64",
             "vsetvli zero, a0, e8,m1",
             "addi t5, t5, -1",
+        ],
+    );
+}
+
+#[test]
+fn indexmac2_e8_transformer_ffn_prefix_is_stable() {
+    // A transformer-shaped layout through the grouped kernel family at
+    // its e8 operating point (the widening i32 accumulator caps the
+    // grouping at m1 there): 2 rows of a BERT-style FFN weight matrix
+    // (`d_model = 768` inputs), 128 sequence-batched columns. Unlike
+    // the tiny CNN-era snapshots, the inner dimension spans 48 k-tiles
+    // and the 128 columns need two 64-element e8 column tiles — the
+    // prologue pins the full L=16 tile preload and the loop bounds, so
+    // transformer-shaped codegen is diff-locked like the CNN shapes.
+    let a = quant::random_structured_int(2, 768, NmPattern::P2_4, 7, ElemType::I8);
+    let layout =
+        GemmLayout::plan_elem(&a, 128, &SimConfig::table_i(), 16, 1, ElemType::I8).unwrap();
+    assert_eq!(layout.num_ktiles, 48);
+    assert_eq!(layout.num_coltiles, 2);
+    let p = indexmac2::build(
+        &layout,
+        &KernelParams {
+            unroll: 1,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert_prefix(
+        "indexmac2-e8-ffn",
+        &p,
+        &[
+            "li a0, 64",
+            "vsetvli zero, a0, e8,m1",
+            "li s9, 128",
+            "li s6, 48",
+            "li t6, 2",
+            "li a0, 1069056",
+            "vle8.v v16, (a0)",
+            "add a0, a0, s9",
+            "vle8.v v17, (a0)",
+            "add a0, a0, s9",
+            "vle8.v v18, (a0)",
+            "add a0, a0, s9",
+            "vle8.v v19, (a0)",
+            "add a0, a0, s9",
+            "vle8.v v20, (a0)",
+            "add a0, a0, s9",
+            "vle8.v v21, (a0)",
+            "add a0, a0, s9",
+            "vle8.v v22, (a0)",
+            "add a0, a0, s9",
+            "vle8.v v23, (a0)",
+            "add a0, a0, s9",
+            "vle8.v v24, (a0)",
+            "add a0, a0, s9",
+            "vle8.v v25, (a0)",
+            "add a0, a0, s9",
+            "vle8.v v26, (a0)",
+            "add a0, a0, s9",
+            "vle8.v v27, (a0)",
+            "add a0, a0, s9",
+            "vle8.v v28, (a0)",
+            "add a0, a0, s9",
+            "vle8.v v29, (a0)",
+            "add a0, a0, s9",
+            "vle8.v v30, (a0)",
+            "add a0, a0, s9",
+            "vle8.v v31, (a0)",
+            "li t5, 2",
+            "li a1, 1167360",
+            "li a0, 1048576",
         ],
     );
 }

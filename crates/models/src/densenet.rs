@@ -2,14 +2,19 @@
 //! block configuration (6, 12, 24, 16), bottleneck factor 4, transition
 //! compression 0.5.
 
-use crate::layer::ConvLayer;
-use crate::model::CnnModel;
+use crate::conv::ConvLayer;
+use crate::model::Model;
 
 const GROWTH: usize = 32;
 const BLOCKS: [usize; 4] = [6, 12, 24, 16];
 
 /// Builds the 120 convolution layers of DenseNet121 for 224x224 inputs.
-pub fn densenet121() -> CnnModel {
+pub fn densenet121() -> Model {
+    Model::from_convs("DenseNet121", densenet121_convs())
+}
+
+/// The raw convolution table behind [`densenet121`].
+pub fn densenet121_convs() -> Vec<ConvLayer> {
     let mut layers = Vec::new();
     layers.push(ConvLayer::square(
         "features.conv0",
@@ -67,7 +72,7 @@ pub fn densenet121() -> CnnModel {
             w /= 2;
         }
     }
-    CnnModel::new("DenseNet121", layers)
+    layers
 }
 
 #[cfg(test)]
@@ -92,29 +97,20 @@ mod tests {
 
     #[test]
     fn channel_growth_and_transitions() {
-        let m = densenet121();
+        let m = densenet121_convs();
         // Block 1 ends at 64 + 6*32 = 256, transition halves to 128.
-        let t1 = m
-            .layers
-            .iter()
-            .find(|l| l.name == "transition1.conv")
-            .unwrap();
+        let t1 = m.iter().find(|l| l.name == "transition1.conv").unwrap();
         assert_eq!(t1.in_channels, 256);
         assert_eq!(t1.out_channels, 128);
         // Final dense layer input: 512 + 15*32 = 992.
-        let last = m
-            .layers
-            .iter()
-            .rev()
-            .find(|l| l.name.contains("conv1"))
-            .unwrap();
+        let last = m.iter().rev().find(|l| l.name.contains("conv1")).unwrap();
         assert_eq!(last.in_channels, 992);
     }
 
     #[test]
     fn bottlenecks_have_fixed_width() {
-        let m = densenet121();
-        for l in m.layers.iter().filter(|l| l.name.contains("conv2")) {
+        let m = densenet121_convs();
+        for l in m.iter().filter(|l| l.name.contains("conv2")) {
             assert_eq!(l.in_channels, 128);
             assert_eq!(l.out_channels, 32);
             assert_eq!(l.kernel_h, 3);
@@ -123,7 +119,7 @@ mod tests {
 
     #[test]
     fn final_resolution_is_7x7() {
-        let m = densenet121();
-        assert_eq!(m.layers.last().unwrap().in_h, 7);
+        let m = densenet121_convs();
+        assert_eq!(m.last().unwrap().in_h, 7);
     }
 }

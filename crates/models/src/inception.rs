@@ -2,8 +2,8 @@
 //! inference path (auxiliary-classifier convolutions excluded), matching
 //! the torchvision module layout: 94 convolutions.
 
-use crate::layer::ConvLayer;
-use crate::model::CnnModel;
+use crate::conv::ConvLayer;
+use crate::model::Model;
 
 #[allow(clippy::too_many_arguments)] // flat table-row constructor
 fn conv(
@@ -490,7 +490,12 @@ fn inception_e(layers: &mut Vec<ConvLayer>, name: &str, in_ch: usize) -> usize {
 }
 
 /// Builds the 94 convolution layers of InceptionV3 for 299x299 inputs.
-pub fn inception_v3() -> CnnModel {
+pub fn inception_v3() -> Model {
+    Model::from_convs("InceptionV3", inception_v3_convs())
+}
+
+/// The raw convolution table behind [`inception_v3`].
+pub fn inception_v3_convs() -> Vec<ConvLayer> {
     let mut layers = Vec::new();
     // Stem.
     conv(
@@ -568,7 +573,7 @@ pub fn inception_v3() -> CnnModel {
     ch = inception_d(&mut layers, "Mixed_7a", ch);
     ch = inception_e(&mut layers, "Mixed_7b", ch);
     let _final = inception_e(&mut layers, "Mixed_7c", ch);
-    CnnModel::new("InceptionV3", layers)
+    layers
 }
 
 #[cfg(test)]
@@ -592,66 +597,38 @@ mod tests {
 
     #[test]
     fn channel_arithmetic_through_mixed_blocks() {
-        let m = inception_v3();
+        let m = inception_v3_convs();
         // Mixed_5b output 256, 5c 288 (branch inputs confirm).
-        let b5c = m
-            .layers
-            .iter()
-            .find(|l| l.name == "Mixed_5c.branch1x1")
-            .unwrap();
+        let b5c = m.iter().find(|l| l.name == "Mixed_5c.branch1x1").unwrap();
         assert_eq!(b5c.in_channels, 256);
-        let b5d = m
-            .layers
-            .iter()
-            .find(|l| l.name == "Mixed_5d.branch1x1")
-            .unwrap();
+        let b5d = m.iter().find(|l| l.name == "Mixed_5d.branch1x1").unwrap();
         assert_eq!(b5d.in_channels, 288);
         // Mixed_6b sees 768 after the grid reduction.
-        let b6b = m
-            .layers
-            .iter()
-            .find(|l| l.name == "Mixed_6b.branch1x1")
-            .unwrap();
+        let b6b = m.iter().find(|l| l.name == "Mixed_6b.branch1x1").unwrap();
         assert_eq!(b6b.in_channels, 768);
         // Mixed_7b sees 1280 after InceptionD; Mixed_7c sees 2048.
-        let b7b = m
-            .layers
-            .iter()
-            .find(|l| l.name == "Mixed_7b.branch1x1")
-            .unwrap();
+        let b7b = m.iter().find(|l| l.name == "Mixed_7b.branch1x1").unwrap();
         assert_eq!(b7b.in_channels, 1280);
-        let b7c = m
-            .layers
-            .iter()
-            .find(|l| l.name == "Mixed_7c.branch1x1")
-            .unwrap();
+        let b7c = m.iter().find(|l| l.name == "Mixed_7c.branch1x1").unwrap();
         assert_eq!(b7c.in_channels, 2048);
     }
 
     #[test]
     fn factorised_convolutions_present() {
-        let m = inception_v3();
-        let c17 = m
-            .layers
-            .iter()
-            .find(|l| l.name == "Mixed_6b.branch7x7_2")
-            .unwrap();
+        let m = inception_v3_convs();
+        let c17 = m.iter().find(|l| l.name == "Mixed_6b.branch7x7_2").unwrap();
         assert_eq!((c17.kernel_h, c17.kernel_w), (1, 7));
         assert_eq!(c17.out_h(), 17);
         assert_eq!(c17.out_w(), 17);
-        let c71 = m
-            .layers
-            .iter()
-            .find(|l| l.name == "Mixed_6b.branch7x7_3")
-            .unwrap();
+        let c71 = m.iter().find(|l| l.name == "Mixed_6b.branch7x7_3").unwrap();
         assert_eq!((c71.kernel_h, c71.kernel_w), (7, 1));
     }
 
     #[test]
     fn grid_sizes() {
-        let m = inception_v3();
-        assert!(m.layers.iter().filter(|l| l.in_h == 35).count() >= 21);
-        assert!(m.layers.iter().filter(|l| l.in_h == 17).count() >= 40);
-        assert!(m.layers.iter().filter(|l| l.in_h == 8).count() >= 18);
+        let m = inception_v3_convs();
+        assert!(m.iter().filter(|l| l.in_h == 35).count() >= 21);
+        assert!(m.iter().filter(|l| l.in_h == 17).count() >= 40);
+        assert!(m.iter().filter(|l| l.in_h == 8).count() >= 18);
     }
 }

@@ -1,0 +1,72 @@
+//! Workload definitions for the IndexMAC evaluation — the model layer
+//! of the stack, generalised over workload families.
+//!
+//! The paper evaluates three ImageNet CNNs — ResNet50, DenseNet121 and
+//! InceptionV3 — whose convolutions are mapped to sparse x dense matrix
+//! multiplications `A x B` ("the convolutions of each layer of the
+//! examined CNNs are mapped to sparse-dense matrix multiplications"):
+//! `A` holds the structured-sparse weights (one row per output channel,
+//! `Cin*Kh*Kw` columns) and `B` the im2col-unrolled input features
+//! (`Cin*Kh*Kw` rows, `Hout*Wout` columns).
+//!
+//! Structured N:M sparsity's flagship modern workload is the
+//! transformer, so the same abstraction also carries the attention/FFN
+//! weight GEMMs of BERT-base, GPT-2-small and ViT-B/16 (see
+//! [`transformer`]) — no im2col there: `B` is the sequence-length-
+//! batched activation matrix directly.
+//!
+//! Every family lowers to the same thing: a [`Model`] — a named list of
+//! [`ModelLayer`]s, each one structured-sparse × dense GEMM — which the
+//! experiment drivers in `indexmac` simulate uniformly.
+//!
+//! # Example
+//!
+//! ```
+//! use indexmac_models::{bert_base, resnet50, ModelFamily};
+//!
+//! let cnn = resnet50();
+//! assert_eq!(cnn.layers.len(), 53);
+//! assert_eq!(cnn.layers[0].gemm.rows, 64); // output channels
+//!
+//! let bert = bert_base();
+//! assert_eq!(bert.family, ModelFamily::Transformer);
+//! assert_eq!(bert.layers.len(), 12 * 6); // 6 weight GEMMs per block
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod conv;
+pub mod densenet;
+pub mod inception;
+pub mod model;
+pub mod resnet;
+pub mod scaling;
+pub mod transformer;
+
+pub use conv::ConvLayer;
+pub use densenet::densenet121;
+pub use inception::inception_v3;
+pub use model::{LayerKind, Model, ModelFamily, ModelLayer};
+pub use resnet::resnet50;
+pub use scaling::GemmCaps;
+pub use transformer::{
+    bert_base, bert_base_int8, gpt2_small, gpt2_small_int8, vit_b16, vit_b16_int8,
+    TransformerConfig, TransformerKind,
+};
+
+use indexmac_kernels::ElemType;
+
+/// Int8-quantized ResNet50: identical layer geometry, e8 datapath.
+pub fn resnet50_int8() -> Model {
+    resnet50().with_precision("ResNet50-int8", ElemType::I8)
+}
+
+/// Int8-quantized DenseNet121.
+pub fn densenet121_int8() -> Model {
+    densenet121().with_precision("DenseNet121-int8", ElemType::I8)
+}
+
+/// Int8-quantized InceptionV3.
+pub fn inception_v3_int8() -> Model {
+    inception_v3().with_precision("InceptionV3-int8", ElemType::I8)
+}

@@ -1,0 +1,375 @@
+//! The model-agnostic workload abstraction.
+//!
+//! Every workload this repository evaluates — CNN convolutions lowered
+//! through im2col, transformer projections with sequence-length-batched
+//! columns — ultimately executes as a list of structured-sparse × dense
+//! GEMMs. [`Model`] is that list: a named sequence of [`ModelLayer`]s,
+//! each carrying the GEMM it lowers to, tagged with the [`ModelFamily`]
+//! it came from and the element precision its GEMMs run at.
+
+use crate::conv::ConvLayer;
+use indexmac_kernels::{ElemType, GemmDims};
+
+/// The workload family a model belongs to (which lowering produced its
+/// GEMM list).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelFamily {
+    /// Convolutional network: layers are im2col-lowered convolutions.
+    Cnn,
+    /// Transformer encoder/decoder stack: layers are the weight GEMMs
+    /// of attention projections and feed-forward blocks.
+    Transformer,
+}
+
+impl std::fmt::Display for ModelFamily {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelFamily::Cnn => write!(f, "CNN"),
+            ModelFamily::Transformer => write!(f, "transformer"),
+        }
+    }
+}
+
+/// What a layer computes (the operator its GEMM stands for).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LayerKind {
+    /// An im2col-lowered convolution.
+    Conv,
+    /// An attention projection (Q, K, V or the output projection).
+    Attention,
+    /// A feed-forward (MLP) projection.
+    Ffn,
+}
+
+impl std::fmt::Display for LayerKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LayerKind::Conv => write!(f, "conv"),
+            LayerKind::Attention => write!(f, "attn"),
+            LayerKind::Ffn => write!(f, "ffn"),
+        }
+    }
+}
+
+/// One layer of a [`Model`]: anything that lowers to a single
+/// structured-sparse × dense product `C = A × B` (A holds the pruned
+/// weights, B the activations).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelLayer {
+    /// Name within the network (e.g. `layer2.0.conv2`, `block0.ffn.up`).
+    pub name: String,
+    /// The operator this GEMM stands for.
+    pub kind: LayerKind,
+    /// The lowered GEMM shape.
+    pub gemm: GemmDims,
+}
+
+impl ModelLayer {
+    /// Builds a layer from its lowered GEMM shape.
+    pub fn new(name: impl Into<String>, kind: LayerKind, gemm: GemmDims) -> Self {
+        Self {
+            name: name.into(),
+            kind,
+            gemm,
+        }
+    }
+
+    /// Dense multiply-accumulate count of this layer.
+    pub fn macs(&self) -> u64 {
+        self.gemm.dense_macs()
+    }
+}
+
+impl From<&ConvLayer> for ModelLayer {
+    fn from(conv: &ConvLayer) -> Self {
+        ModelLayer::new(conv.name.clone(), LayerKind::Conv, conv.gemm())
+    }
+}
+
+impl std::fmt::Display for ModelLayer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: {} GEMM {}x{}x{}",
+            self.name, self.kind, self.gemm.rows, self.gemm.inner, self.gemm.cols
+        )
+    }
+}
+
+/// A workload as a flat list of GEMM-bearing layers, in network order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Model {
+    /// Model name ("ResNet50", "BERT-base" etc.).
+    pub name: String,
+    /// Which lowering produced the layer list.
+    pub family: ModelFamily,
+    /// GEMM layers in network order.
+    pub layers: Vec<ModelLayer>,
+    /// Element precision the model's GEMMs run at: `F32` for the
+    /// paper's networks, `I8`/`I16` for the quantized preset variants.
+    pub precision: ElemType,
+}
+
+impl Model {
+    /// Wraps a layer list at the paper's f32 precision.
+    pub fn new(name: impl Into<String>, family: ModelFamily, layers: Vec<ModelLayer>) -> Self {
+        Self {
+            name: name.into(),
+            family,
+            layers,
+            precision: ElemType::F32,
+        }
+    }
+
+    /// Builds a CNN model from its convolution layers (each lowered to
+    /// its im2col GEMM).
+    pub fn from_convs(name: impl Into<String>, convs: Vec<ConvLayer>) -> Self {
+        Self::new(
+            name,
+            ModelFamily::Cnn,
+            convs.iter().map(ModelLayer::from).collect(),
+        )
+    }
+
+    /// The same network tagged with a different element precision (the
+    /// layer shapes are precision-independent — lowering geometry only).
+    #[must_use]
+    pub fn with_precision(mut self, name: impl Into<String>, precision: ElemType) -> Self {
+        self.name = name.into();
+        self.precision = precision;
+        self
+    }
+
+    /// The first `count` layers as their own model (named
+    /// `<name>-head`), preserving family and precision — the standard
+    /// truncation for smoke-scale aggregate tests.
+    #[must_use]
+    pub fn head(&self, count: usize) -> Model {
+        Model {
+            name: format!("{}-head", self.name),
+            family: self.family,
+            layers: self.layers[..count.min(self.layers.len())].to_vec(),
+            precision: self.precision,
+        }
+    }
+
+    /// Looks a layer up by its network name.
+    pub fn layer(&self, name: &str) -> Option<&ModelLayer> {
+        self.layers.iter().find(|l| l.name == name)
+    }
+
+    /// Total dense multiply-accumulate count.
+    pub fn total_macs(&self) -> u64 {
+        self.layers.iter().map(ModelLayer::macs).sum()
+    }
+
+    /// The `count` layers with the largest MAC counts, heaviest first —
+    /// used to pick representative layers for capped simulations.
+    pub fn heaviest_layers(&self, count: usize) -> Vec<&ModelLayer> {
+        let mut sorted: Vec<&ModelLayer> = self.layers.iter().collect();
+        sorted.sort_by_key(|l| std::cmp::Reverse(l.macs()));
+        sorted.truncate(count);
+        sorted
+    }
+
+    /// The distinct GEMM shapes of the layer list, first-appearance
+    /// order, each with its multiplicity. Transformer stacks repeat one
+    /// block geometry, so simulating per unique shape instead of per
+    /// layer cuts the work by the block count.
+    pub fn unique_shapes(&self) -> Vec<(GemmDims, usize)> {
+        let mut shapes: Vec<(GemmDims, usize)> = Vec::new();
+        for layer in &self.layers {
+            match shapes.iter_mut().find(|(g, _)| *g == layer.gemm) {
+                Some((_, count)) => *count += 1,
+                None => shapes.push((layer.gemm, 1)),
+            }
+        }
+        shapes
+    }
+
+    /// All three CNN evaluation models of the paper.
+    pub fn paper_models() -> Vec<Model> {
+        vec![
+            crate::resnet50(),
+            crate::densenet121(),
+            crate::inception_v3(),
+        ]
+    }
+
+    /// The int8-quantized variants of the three CNN evaluation models —
+    /// same layer geometry, e8 datapath (widening i8→i32 MACs).
+    pub fn quantized_models() -> Vec<Model> {
+        vec![
+            crate::resnet50_int8(),
+            crate::densenet121_int8(),
+            crate::inception_v3_int8(),
+        ]
+    }
+
+    /// The three transformer presets at fp32 (BERT-base, GPT-2-small,
+    /// ViT-B/16 — see [`crate::transformer`]).
+    pub fn transformer_models() -> Vec<Model> {
+        vec![crate::bert_base(), crate::gpt2_small(), crate::vit_b16()]
+    }
+
+    /// The int8-quantized transformer presets.
+    pub fn quantized_transformer_models() -> Vec<Model> {
+        vec![
+            crate::bert_base_int8(),
+            crate::gpt2_small_int8(),
+            crate::vit_b16_int8(),
+        ]
+    }
+
+    /// Every built-in preset across both families and both precisions.
+    pub fn all_presets() -> Vec<Model> {
+        let mut all = Self::paper_models();
+        all.extend(Self::quantized_models());
+        all.extend(Self::transformer_models());
+        all.extend(Self::quantized_transformer_models());
+        all
+    }
+}
+
+impl std::fmt::Display for Model {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{}: {} {} layers, {:.2} GMACs, {} elements",
+            self.name,
+            self.layers.len(),
+            self.family,
+            self.total_macs() as f64 / 1e9,
+            self.precision
+        )?;
+        for l in &self.layers {
+            writeln!(f, "  {l}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_models_present() {
+        let models = Model::paper_models();
+        assert_eq!(models.len(), 3);
+        let names: Vec<&str> = models.iter().map(|m| m.name.as_str()).collect();
+        assert_eq!(names, vec!["ResNet50", "DenseNet121", "InceptionV3"]);
+        assert!(models.iter().all(|m| m.family == ModelFamily::Cnn));
+    }
+
+    #[test]
+    fn heaviest_layers_sorted() {
+        let m = crate::resnet50();
+        let top = m.heaviest_layers(5);
+        assert_eq!(top.len(), 5);
+        for w in top.windows(2) {
+            assert!(w[0].macs() >= w[1].macs());
+        }
+        assert!(top[0].macs() >= m.total_macs() / m.layers.len() as u64);
+    }
+
+    #[test]
+    fn quantized_variants_share_geometry() {
+        use indexmac_kernels::ElemType;
+        let f32s = Model::paper_models();
+        let int8s = Model::quantized_models();
+        assert_eq!(int8s.len(), 3);
+        for (f, q) in f32s.iter().zip(&int8s) {
+            assert_eq!(f.precision, ElemType::F32);
+            assert_eq!(q.precision, ElemType::I8);
+            assert_eq!(f.layers, q.layers, "{}: geometry must not change", q.name);
+            assert!(q.name.ends_with("-int8"));
+            assert_eq!(f.total_macs(), q.total_macs());
+        }
+    }
+
+    #[test]
+    fn with_precision_accepts_owned_names() {
+        // The satellite fix: derived presets may pass computed names
+        // without leaking &'static str.
+        let base = crate::resnet50();
+        let derived = base
+            .clone()
+            .with_precision(format!("{}-i16", base.name), ElemType::I16);
+        assert_eq!(derived.name, "ResNet50-i16");
+        assert_eq!(derived.precision, ElemType::I16);
+        assert_eq!(derived.layers, base.layers);
+    }
+
+    #[test]
+    fn head_truncates_and_renames() {
+        let m = crate::resnet50_int8();
+        let h = m.head(3);
+        assert_eq!(h.layers.len(), 3);
+        assert_eq!(h.name, "ResNet50-int8-head");
+        assert_eq!(h.precision, m.precision);
+        assert_eq!(h.family, ModelFamily::Cnn);
+        assert_eq!(h.layers, m.layers[..3]);
+        // Over-long heads clamp instead of panicking.
+        assert_eq!(m.head(10_000).layers.len(), m.layers.len());
+    }
+
+    #[test]
+    fn layer_lookup_by_name() {
+        let m = crate::resnet50();
+        assert!(m.layer("conv1").is_some());
+        assert_eq!(m.layer("conv1").unwrap().kind, LayerKind::Conv);
+        assert!(m.layer("nope").is_none());
+    }
+
+    #[test]
+    fn unique_shapes_count_multiplicity() {
+        let m = crate::resnet50();
+        let shapes = m.unique_shapes();
+        let total: usize = shapes.iter().map(|(_, c)| c).sum();
+        assert_eq!(total, m.layers.len());
+        assert!(shapes.len() < m.layers.len(), "ResNet50 repeats shapes");
+        // First-appearance order: the stem conv comes first.
+        assert_eq!(shapes[0].0, m.layers[0].gemm);
+    }
+
+    #[test]
+    fn all_presets_cover_both_families_and_precisions() {
+        let all = Model::all_presets();
+        assert_eq!(all.len(), 12);
+        // Names are unique (no preset listed twice).
+        let mut names: Vec<&str> = all.iter().map(|m| m.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 12);
+        // 6 per family, and every f32 preset has an -int8 twin.
+        for family in [ModelFamily::Cnn, ModelFamily::Transformer] {
+            let of_family: Vec<&Model> = all.iter().filter(|m| m.family == family).collect();
+            assert_eq!(of_family.len(), 6, "{family}");
+            assert_eq!(
+                of_family.iter().filter(|m| m.precision.is_int()).count(),
+                3,
+                "{family}"
+            );
+        }
+    }
+
+    #[test]
+    fn conv_layers_lower_to_their_im2col_gemm() {
+        let conv = ConvLayer::square("c", 3, 8, 3, 1, 1, 8, 8);
+        let layer = ModelLayer::from(&conv);
+        assert_eq!(layer.gemm, conv.gemm());
+        assert_eq!(layer.kind, LayerKind::Conv);
+        assert_eq!(layer.macs(), conv.macs());
+    }
+
+    #[test]
+    fn display_lists_layers() {
+        let m = crate::resnet50();
+        let s = m.to_string();
+        assert!(s.contains("ResNet50"));
+        assert!(s.contains("conv1"));
+        assert!(s.contains("GMACs"));
+        assert!(s.contains("CNN"));
+    }
+}

@@ -2,11 +2,17 @@
 //! (He et al., CVPR 2016; torchvision v1.5-style bottleneck with the
 //! stride on the 3x3 convolution).
 
-use crate::layer::ConvLayer;
-use crate::model::CnnModel;
+use crate::conv::ConvLayer;
+use crate::model::Model;
 
 /// Builds the 53 convolution layers of ResNet50 for 224x224 inputs.
-pub fn resnet50() -> CnnModel {
+pub fn resnet50() -> Model {
+    Model::from_convs("ResNet50", resnet50_convs())
+}
+
+/// The raw convolution table behind [`resnet50`] (kernel/stride/padding
+/// geometry, before lowering to GEMMs).
+pub fn resnet50_convs() -> Vec<ConvLayer> {
     let mut layers = Vec::new();
     // Stem: conv1 7x7/2, then 3x3/2 max-pool (pooling adds no conv).
     layers.push(ConvLayer::square("conv1", 3, 64, 7, 2, 3, 224, 224));
@@ -77,7 +83,7 @@ pub fn resnet50() -> CnnModel {
             w = ow;
         }
     }
-    CnnModel::new("ResNet50", layers)
+    layers
 }
 
 #[cfg(test)]
@@ -101,10 +107,10 @@ mod tests {
 
     #[test]
     fn spatial_dims_shrink_through_stages() {
-        let m = resnet50();
-        let first = &m.layers[1]; // layer1.0.conv1
+        let m = resnet50_convs();
+        let first = &m[1]; // layer1.0.conv1
         assert_eq!(first.in_h, 56);
-        let last = m.layers.last().unwrap();
+        let last = m.last().unwrap();
         assert_eq!(last.in_h, 7);
         // Fig. 4 observation: later-layer B matrices are smaller.
         assert!(last.gemm().cols < first.gemm().cols);
@@ -113,26 +119,18 @@ mod tests {
 
     #[test]
     fn channel_progression() {
-        let m = resnet50();
+        let m = resnet50_convs();
         // Final block expands to 2048 channels.
-        assert_eq!(m.layers.last().unwrap().out_channels, 2048);
+        assert_eq!(m.last().unwrap().out_channels, 2048);
         // Downsample convs present exactly once per stage.
-        let downs = m
-            .layers
-            .iter()
-            .filter(|l| l.name.contains("downsample"))
-            .count();
+        let downs = m.iter().filter(|l| l.name.contains("downsample")).count();
         assert_eq!(downs, 4);
     }
 
     #[test]
     fn strided_blocks_halve_maps() {
-        let m = resnet50();
-        let l2c2 = m
-            .layers
-            .iter()
-            .find(|l| l.name == "layer2.0.conv2")
-            .unwrap();
+        let m = resnet50_convs();
+        let l2c2 = m.iter().find(|l| l.name == "layer2.0.conv2").unwrap();
         assert_eq!(l2c2.stride, 2);
         assert_eq!(l2c2.in_h, 56);
         assert_eq!(l2c2.out_h(), 28);

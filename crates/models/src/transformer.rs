@@ -1,0 +1,371 @@
+//! Transformer workloads: attention/FFN weight GEMMs as a first-class
+//! scenario.
+//!
+//! Structured N:M sparsity's flagship modern workload is the
+//! transformer: 2:4-pruned attention projections and feed-forward
+//! layers (the follow-up work, arXiv 2501.10189, targets exactly these
+//! DNN GEMM shapes with the grouped `vindexmac.vvi` kernel). A
+//! transformer block decomposes into six weight GEMMs, all of the form
+//! `C = A × B` with A the pruned weight matrix and B the activations —
+//! **no im2col needed**: the activation matrix is simply the
+//! `seq_len`-batched token embeddings, so B's columns are the sequence
+//! positions:
+//!
+//! * Q/K/V projections — A is `d_model × d_model`, B is
+//!   `d_model × seq_len`;
+//! * attention output projection — A is `d_model × d_model`;
+//! * FFN up projection — A is `d_ff × d_model` (`d_ff = 4·d_model` in
+//!   the classic architectures);
+//! * FFN down projection — A is `d_model × d_ff`.
+//!
+//! The attention score products (`Q·Kᵀ`, `scores·V`) are
+//! activation × activation and not prunable offline, so they are not
+//! part of the sparse workload — exactly the convention of the N:M
+//! pruning literature this repo reproduces.
+
+use crate::model::{LayerKind, Model, ModelFamily, ModelLayer};
+use indexmac_kernels::{ElemType, GemmDims};
+
+/// The architectural flavour of a transformer preset (the GEMM shapes
+/// are identical; the flavour is recorded for display and provenance).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TransformerKind {
+    /// Bidirectional encoder stack (BERT-style).
+    Encoder,
+    /// Autoregressive decoder stack (GPT-style).
+    Decoder,
+    /// Vision transformer encoder over image patches (ViT-style).
+    Vision,
+}
+
+impl std::fmt::Display for TransformerKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransformerKind::Encoder => write!(f, "encoder"),
+            TransformerKind::Decoder => write!(f, "decoder"),
+            TransformerKind::Vision => write!(f, "vision encoder"),
+        }
+    }
+}
+
+/// The geometry of a transformer stack; [`TransformerConfig::model`]
+/// lowers it to a [`Model`] of weight GEMMs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TransformerConfig {
+    /// Preset name ("BERT-base" etc.).
+    pub name: String,
+    /// Architectural flavour.
+    pub kind: TransformerKind,
+    /// Hidden (embedding) dimension.
+    pub d_model: usize,
+    /// Attention heads (`d_model` must divide evenly among them).
+    pub num_heads: usize,
+    /// FFN inner dimension (`4·d_model` in the classic architectures).
+    pub d_ff: usize,
+    /// Number of transformer blocks.
+    pub blocks: usize,
+    /// Sequence length: the batched column count of every weight GEMM.
+    pub seq_len: usize,
+}
+
+impl TransformerConfig {
+    /// Validates and builds a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero or `num_heads` does not divide
+    /// `d_model` (these are programming errors in a preset, not data
+    /// conditions).
+    pub fn new(
+        name: impl Into<String>,
+        kind: TransformerKind,
+        d_model: usize,
+        num_heads: usize,
+        d_ff: usize,
+        blocks: usize,
+        seq_len: usize,
+    ) -> Self {
+        assert!(
+            d_model > 0 && num_heads > 0 && d_ff > 0 && blocks > 0 && seq_len > 0,
+            "transformer dimensions must be positive"
+        );
+        assert!(
+            d_model.is_multiple_of(num_heads),
+            "d_model {d_model} must divide evenly among {num_heads} heads"
+        );
+        Self {
+            name: name.into(),
+            kind,
+            d_model,
+            num_heads,
+            d_ff,
+            blocks,
+            seq_len,
+        }
+    }
+
+    /// BERT-base: 12 encoder blocks, `d_model` 768, 12 heads, `d_ff`
+    /// 3072, at the standard fine-tuning sequence length of 128.
+    pub fn bert_base() -> Self {
+        Self::new(
+            "BERT-base",
+            TransformerKind::Encoder,
+            768,
+            12,
+            3072,
+            12,
+            128,
+        )
+    }
+
+    /// GPT-2-small: 12 decoder blocks, `d_model` 768, 12 heads, `d_ff`
+    /// 3072, at its full 1024-token context.
+    pub fn gpt2_small() -> Self {
+        Self::new(
+            "GPT-2-small",
+            TransformerKind::Decoder,
+            768,
+            12,
+            3072,
+            12,
+            1024,
+        )
+    }
+
+    /// ViT-B/16: 12 encoder blocks, `d_model` 768, 12 heads, `d_ff`
+    /// 3072, over the 197-token patch sequence (14×14 patches of a
+    /// 224×224 image plus the class token).
+    pub fn vit_b16() -> Self {
+        Self::new("ViT-B/16", TransformerKind::Vision, 768, 12, 3072, 12, 197)
+    }
+
+    /// The same stack at a different sequence length (the weights are
+    /// untouched; only every GEMM's column count changes).
+    #[must_use]
+    pub fn with_seq_len(mut self, seq_len: usize) -> Self {
+        assert!(seq_len > 0, "sequence length must be positive");
+        self.seq_len = seq_len;
+        self
+    }
+
+    /// Per-head dimension (`d_model / num_heads`).
+    pub fn head_dim(&self) -> usize {
+        self.d_model / self.num_heads
+    }
+
+    /// The six weight GEMMs of block `index`, in execution order.
+    pub fn block_gemms(&self, index: usize) -> Vec<ModelLayer> {
+        let proj = GemmDims {
+            rows: self.d_model,
+            inner: self.d_model,
+            cols: self.seq_len,
+        };
+        let up = GemmDims {
+            rows: self.d_ff,
+            inner: self.d_model,
+            cols: self.seq_len,
+        };
+        let down = GemmDims {
+            rows: self.d_model,
+            inner: self.d_ff,
+            cols: self.seq_len,
+        };
+        vec![
+            ModelLayer::new(format!("block{index}.attn.q"), LayerKind::Attention, proj),
+            ModelLayer::new(format!("block{index}.attn.k"), LayerKind::Attention, proj),
+            ModelLayer::new(format!("block{index}.attn.v"), LayerKind::Attention, proj),
+            ModelLayer::new(format!("block{index}.attn.out"), LayerKind::Attention, proj),
+            ModelLayer::new(format!("block{index}.ffn.up"), LayerKind::Ffn, up),
+            ModelLayer::new(format!("block{index}.ffn.down"), LayerKind::Ffn, down),
+        ]
+    }
+
+    /// Dense MAC count of one block's weight GEMMs:
+    /// `seq_len · (4·d_model² + 2·d_model·d_ff)`.
+    pub fn block_macs(&self) -> u64 {
+        self.seq_len as u64
+            * (4 * self.d_model as u64 * self.d_model as u64
+                + 2 * self.d_model as u64 * self.d_ff as u64)
+    }
+
+    /// Lowers the whole stack to a [`Model`]: every block's six weight
+    /// GEMMs, in network order, at fp32.
+    pub fn model(&self) -> Model {
+        let layers = (0..self.blocks).flat_map(|i| self.block_gemms(i)).collect();
+        Model::new(self.name.clone(), ModelFamily::Transformer, layers)
+    }
+}
+
+impl std::fmt::Display for TransformerConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: {} x{} blocks, d_model {}, {} heads, d_ff {}, seq_len {}",
+            self.name,
+            self.kind,
+            self.blocks,
+            self.d_model,
+            self.num_heads,
+            self.d_ff,
+            self.seq_len
+        )
+    }
+}
+
+/// BERT-base as a GEMM workload (fp32).
+pub fn bert_base() -> Model {
+    TransformerConfig::bert_base().model()
+}
+
+/// GPT-2-small as a GEMM workload (fp32).
+pub fn gpt2_small() -> Model {
+    TransformerConfig::gpt2_small().model()
+}
+
+/// ViT-B/16 as a GEMM workload (fp32).
+pub fn vit_b16() -> Model {
+    TransformerConfig::vit_b16().model()
+}
+
+/// Int8-quantized BERT-base: identical GEMM geometry, e8 datapath.
+pub fn bert_base_int8() -> Model {
+    bert_base().with_precision("BERT-base-int8", ElemType::I8)
+}
+
+/// Int8-quantized GPT-2-small.
+pub fn gpt2_small_int8() -> Model {
+    gpt2_small().with_precision("GPT-2-small-int8", ElemType::I8)
+}
+
+/// Int8-quantized ViT-B/16.
+pub fn vit_b16_int8() -> Model {
+    vit_b16().with_precision("ViT-B/16-int8", ElemType::I8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bert_base_geometry() {
+        let c = TransformerConfig::bert_base();
+        assert_eq!(c.d_model, 768);
+        assert_eq!(c.num_heads, 12);
+        assert_eq!(c.head_dim(), 64);
+        assert_eq!(c.d_ff, 4 * c.d_model);
+        let m = c.model();
+        assert_eq!(m.layers.len(), 12 * 6);
+        assert_eq!(m.family, ModelFamily::Transformer);
+        // The published BERT-base weight-GEMM MAC count at seq 128.
+        assert_eq!(m.total_macs(), 12 * c.block_macs());
+        assert_eq!(
+            c.block_macs(),
+            128 * (4 * 768 * 768 + 2 * 768 * 3072) as u64
+        );
+    }
+
+    #[test]
+    fn block_decomposition_shapes_chain() {
+        let c = TransformerConfig::bert_base();
+        let block = c.block_gemms(0);
+        assert_eq!(block.len(), 6);
+        // Q/K/V/out are square d_model projections.
+        for l in &block[..4] {
+            assert_eq!(l.kind, LayerKind::Attention);
+            assert_eq!(l.gemm.rows, c.d_model);
+            assert_eq!(l.gemm.inner, c.d_model);
+        }
+        // FFN up feeds FFN down: up's output features are down's inputs.
+        let (up, down) = (&block[4], &block[5]);
+        assert_eq!(up.kind, LayerKind::Ffn);
+        assert_eq!(up.gemm.rows, c.d_ff);
+        assert_eq!(up.gemm.inner, c.d_model);
+        assert_eq!(down.gemm.inner, up.gemm.rows);
+        assert_eq!(down.gemm.rows, c.d_model);
+        // Every GEMM batches the same seq_len columns.
+        assert!(block.iter().all(|l| l.gemm.cols == c.seq_len));
+    }
+
+    #[test]
+    fn presets_differ_only_where_expected() {
+        let bert = TransformerConfig::bert_base();
+        let gpt = TransformerConfig::gpt2_small();
+        let vit = TransformerConfig::vit_b16();
+        // All three share the 768/12/3072 × 12-block geometry...
+        for c in [&bert, &gpt, &vit] {
+            assert_eq!(
+                (c.d_model, c.num_heads, c.d_ff, c.blocks),
+                (768, 12, 3072, 12)
+            );
+        }
+        // ...and differ in flavour and sequence length.
+        assert_eq!(bert.kind, TransformerKind::Encoder);
+        assert_eq!(gpt.kind, TransformerKind::Decoder);
+        assert_eq!(vit.kind, TransformerKind::Vision);
+        assert_eq!((bert.seq_len, gpt.seq_len, vit.seq_len), (128, 1024, 197));
+    }
+
+    #[test]
+    fn with_seq_len_rescales_every_column_count() {
+        let base = TransformerConfig::bert_base();
+        let longer = base.clone().with_seq_len(512);
+        let (m1, m2) = (base.model(), longer.model());
+        assert_eq!(m1.layers.len(), m2.layers.len());
+        for (a, b) in m1.layers.iter().zip(&m2.layers) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.gemm.rows, b.gemm.rows);
+            assert_eq!(a.gemm.inner, b.gemm.inner);
+            assert_eq!(b.gemm.cols, 512);
+        }
+        // MACs scale linearly with seq_len.
+        assert_eq!(m1.total_macs() * 4, m2.total_macs());
+    }
+
+    #[test]
+    fn int8_presets_share_geometry() {
+        for (f, q) in Model::transformer_models()
+            .iter()
+            .zip(&Model::quantized_transformer_models())
+        {
+            assert_eq!(f.precision, ElemType::F32);
+            assert_eq!(q.precision, ElemType::I8);
+            assert_eq!(f.layers, q.layers);
+            assert!(q.name.ends_with("-int8"));
+        }
+    }
+
+    #[test]
+    fn unique_shapes_collapse_to_one_block() {
+        // All 12 blocks repeat the same three distinct shapes
+        // (projection, FFN up, FFN down).
+        let m = bert_base();
+        let shapes = m.unique_shapes();
+        assert_eq!(shapes.len(), 3);
+        assert_eq!(shapes[0].1, 4 * 12); // q/k/v/out × blocks
+        assert_eq!(shapes[1].1, 12); // ffn.up × blocks
+        assert_eq!(shapes[2].1, 12); // ffn.down × blocks
+    }
+
+    #[test]
+    fn heaviest_layers_are_ffn() {
+        let m = bert_base();
+        for l in m.heaviest_layers(2) {
+            assert_eq!(l.kind, LayerKind::Ffn, "{}", l.name);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "divide evenly")]
+    fn heads_must_divide_d_model() {
+        TransformerConfig::new("bad", TransformerKind::Encoder, 768, 7, 3072, 12, 128);
+    }
+
+    #[test]
+    fn display_summarises_geometry() {
+        let c = TransformerConfig::gpt2_small();
+        let s = c.to_string();
+        assert!(s.contains("GPT-2-small"));
+        assert!(s.contains("decoder"));
+        assert!(s.contains("seq_len 1024"));
+    }
+}

@@ -10,7 +10,7 @@
 use indexmac::experiment::{compare_layer, ExperimentConfig};
 use indexmac::sparse::NmPattern;
 use indexmac::table::{fmt_speedup, Table};
-use indexmac_cnn::resnet50;
+use indexmac_models::resnet50;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let wanted = std::env::args()
@@ -18,14 +18,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .unwrap_or_else(|| "layer2.0.conv2".to_string());
     let model = resnet50();
     let layer = model
-        .layers
-        .iter()
-        .find(|l| l.name == wanted)
+        .layer(&wanted)
         .ok_or_else(|| format!("no ResNet50 layer named `{wanted}`; try e.g. layer2.0.conv2"))?;
 
     let cfg = ExperimentConfig::paper();
     println!("{layer}");
-    let g = layer.gemm();
+    let g = layer.gemm;
     let capped = cfg.caps.apply(g);
     if cfg.caps.clips(g) {
         println!(

@@ -7,9 +7,9 @@
 #![warn(missing_docs)]
 
 pub use indexmac as core;
-pub use indexmac_cnn as cnn;
 pub use indexmac_isa as isa;
 pub use indexmac_kernels as kernels;
 pub use indexmac_mem as mem;
+pub use indexmac_models as models;
 pub use indexmac_sparse as sparse;
 pub use indexmac_vpu as vpu;

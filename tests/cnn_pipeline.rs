@@ -3,7 +3,7 @@
 
 use indexmac::experiment::{compare_layer, compare_model, ExperimentConfig};
 use indexmac::sparse::NmPattern;
-use indexmac_cnn::{densenet121, inception_v3, resnet50, CnnModel, GemmCaps};
+use indexmac_models::{densenet121, inception_v3, resnet50, GemmCaps};
 
 fn smoke_cfg() -> ExperimentConfig {
     ExperimentConfig {
@@ -45,7 +45,7 @@ fn odd_inception_layers_simulate() {
         "Mixed_6b.branch7x7_3",
         "Mixed_7b.branch3x3_2a",
     ] {
-        let layer = model.layers.iter().find(|l| l.name == name).unwrap();
+        let layer = model.layer(name).unwrap();
         let r = compare_layer(layer, NmPattern::P2_4, &smoke_cfg())
             .unwrap_or_else(|e| panic!("{name}: {e}"));
         assert!(r.comparison.speedup() > 1.0);
@@ -55,8 +55,7 @@ fn odd_inception_layers_simulate() {
 #[test]
 fn model_comparison_aggregates() {
     // A truncated DenseNet through compare_model.
-    let full = densenet121();
-    let model = CnnModel::new("DenseNet121-head", full.layers[..6].to_vec());
+    let model = densenet121().head(6);
     let c = compare_model(&model, NmPattern::P2_4, &smoke_cfg()).unwrap();
     assert_eq!(c.layers.len(), 6);
     assert!(c.total_speedup() > 1.0);

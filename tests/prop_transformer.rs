@@ -1,0 +1,156 @@
+//! Property tests over randomized transformer geometries: the
+//! layer→GEMM decomposition must hold its invariants (MAC totals,
+//! shape consistency, cap fitting) for any valid architecture, and a
+//! randomly chosen layer must simulate correctly against the sparse
+//! reference through both kernel generations.
+
+use indexmac::experiment::{run_gemm, Algorithm, ExperimentConfig, Precision};
+use indexmac::sparse::NmPattern;
+use indexmac_models::{GemmCaps, LayerKind, ModelFamily, TransformerConfig, TransformerKind};
+use proptest::prelude::*;
+
+fn pattern_strategy() -> impl Strategy<Value = NmPattern> {
+    prop_oneof![
+        Just(NmPattern::P1_2),
+        Just(NmPattern::P1_4),
+        Just(NmPattern::P2_4),
+        Just(NmPattern::new(2, 8).unwrap()),
+    ]
+}
+
+fn kind_strategy() -> impl Strategy<Value = TransformerKind> {
+    prop_oneof![
+        Just(TransformerKind::Encoder),
+        Just(TransformerKind::Decoder),
+        Just(TransformerKind::Vision),
+    ]
+}
+
+/// A randomized but always-valid geometry: `d_model` is a multiple of
+/// 32 and the head count divides it.
+fn geometry_strategy() -> impl Strategy<Value = TransformerConfig> {
+    (
+        1usize..=12,  // d_model / 32
+        0usize..=3,   // log2(num_heads) — heads ∈ {1,2,4,8} divide 32k
+        1usize..=4,   // d_ff / d_model
+        1usize..=4,   // blocks
+        1usize..=384, // seq_len
+        kind_strategy(),
+    )
+        .prop_map(|(dm32, heads_log2, ff_mult, blocks, seq_len, kind)| {
+            let d_model = 32 * dm32;
+            TransformerConfig::new(
+                "prop",
+                kind,
+                d_model,
+                1 << heads_log2,
+                ff_mult * d_model,
+                blocks,
+                seq_len,
+            )
+        })
+}
+
+proptest! {
+    // Pure-geometry invariants: no simulation, so the case budget is
+    // cheap.
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn decomposition_invariants_hold(tc in geometry_strategy()) {
+        let model = tc.model();
+        prop_assert_eq!(model.family, ModelFamily::Transformer);
+        prop_assert_eq!(model.layers.len(), tc.blocks * 6);
+
+        // MAC total: blocks × seq_len × (4·d_model² + 2·d_model·d_ff).
+        let expected = tc.blocks as u64
+            * tc.seq_len as u64
+            * (4 * (tc.d_model as u64).pow(2)
+                + 2 * tc.d_model as u64 * tc.d_ff as u64);
+        prop_assert_eq!(model.total_macs(), expected);
+        prop_assert_eq!(tc.block_macs() * tc.blocks as u64, expected);
+
+        // Shape consistency: every column count is the sequence length;
+        // attention projections are square in d_model; the FFN pair
+        // chains (up's output features feed down's inputs).
+        for (i, layer) in model.layers.iter().enumerate() {
+            prop_assert_eq!(layer.gemm.cols, tc.seq_len, "layer {}", i);
+            match layer.kind {
+                LayerKind::Attention => {
+                    prop_assert_eq!(layer.gemm.rows, tc.d_model);
+                    prop_assert_eq!(layer.gemm.inner, tc.d_model);
+                }
+                LayerKind::Ffn | LayerKind::Conv => {}
+            }
+        }
+        for b in 0..tc.blocks {
+            let up = model.layer(&format!("block{b}.ffn.up")).unwrap();
+            let down = model.layer(&format!("block{b}.ffn.down")).unwrap();
+            prop_assert_eq!(up.gemm.inner, tc.d_model);
+            prop_assert_eq!(up.gemm.rows, tc.d_ff);
+            prop_assert_eq!(down.gemm.inner, up.gemm.rows);
+            prop_assert_eq!(down.gemm.rows, tc.d_model);
+        }
+
+        // At most three distinct shapes, each fitting under the caps.
+        let shapes = model.unique_shapes();
+        prop_assert!(shapes.len() <= 3);
+        let counted: usize = shapes.iter().map(|(_, c)| c).sum();
+        prop_assert_eq!(counted, model.layers.len());
+        for caps in [GemmCaps::smoke(), GemmCaps::default_eval()] {
+            for (g, _) in &shapes {
+                let capped = caps.apply(*g);
+                prop_assert!(!caps.clips(capped), "caps must be idempotent");
+                prop_assert!(capped.rows >= 1 && capped.inner >= 1 && capped.cols >= 1);
+                let retained = caps.retained_fraction(*g);
+                prop_assert!(retained > 0.0 && retained <= 1.0);
+            }
+        }
+
+        // Sequence rescaling is linear in the MAC total.
+        let doubled = tc.clone().with_seq_len(2 * tc.seq_len).model();
+        prop_assert_eq!(doubled.total_macs(), 2 * model.total_macs());
+    }
+}
+
+proptest! {
+    // Each case runs two full timed simulations; keep the count modest
+    // (the shapes are smoke-capped so a case stays sub-second).
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn random_layer_simulates_correctly_at_random_sew(
+        tc in geometry_strategy(),
+        layer_pick in 0usize..6,
+        sew_pick in 0usize..3,
+        pattern in pattern_strategy(),
+        seed in 0u64..10_000,
+    ) {
+        let model = tc.model();
+        let layer = &model.layers[layer_pick % model.layers.len()];
+        let precision = [Precision::F32, Precision::I16, Precision::I8][sew_pick];
+        let base = if precision.is_int() {
+            ExperimentConfig::quantized(precision)
+        } else {
+            ExperimentConfig::transformer()
+        };
+        let cfg = ExperimentConfig {
+            caps: GemmCaps::smoke(),
+            seed,
+            ..base
+        };
+        // verify=true: run_gemm checks the simulated product against
+        // the sparse reference (bit-exactly at the int precisions) and
+        // errors on any mismatch.
+        prop_assert!(cfg.verify);
+        for algorithm in [Algorithm::IndexMac, Algorithm::IndexMac2] {
+            let r = run_gemm(layer.gemm, pattern, algorithm, &cfg)
+                .map_err(|e| TestCaseError::fail(format!(
+                    "{} {algorithm:?} @{precision}: {e}", layer.name
+                )))?;
+            prop_assert!(r.report.cycles > 0);
+            prop_assert!(r.report.instructions > 0);
+            prop_assert_eq!(r.full_gemm, layer.gemm);
+        }
+    }
+}

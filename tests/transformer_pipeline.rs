@@ -1,0 +1,172 @@
+//! Integration of the transformer workload family with the experiment
+//! pipeline: the attention/FFN GEMM decomposition end-to-end at smoke
+//! scale, mirroring `cnn_pipeline.rs` for the repo's second scenario
+//! family. Every simulated product is verified against the sparse
+//! reference (tolerance-checked at f32, bit-exact at e8/e16).
+
+use indexmac::experiment::{
+    compare_layer, compare_model, run_gemm, Algorithm, ExperimentConfig, Precision,
+};
+use indexmac::sparse::NmPattern;
+use indexmac_models::{GemmCaps, LayerKind, Model, ModelFamily, TransformerConfig};
+
+fn smoke_cfg() -> ExperimentConfig {
+    ExperimentConfig {
+        caps: GemmCaps::smoke(),
+        ..ExperimentConfig::transformer()
+    }
+}
+
+/// A campaign at `precision` with smoke caps (the quantized arms run
+/// the vx-vs-vvi pair; f32 runs the transformer campaign).
+fn smoke_cfg_at(precision: Precision) -> ExperimentConfig {
+    if precision.is_int() {
+        ExperimentConfig {
+            caps: GemmCaps::smoke(),
+            ..ExperimentConfig::quantized(precision)
+        }
+    } else {
+        smoke_cfg()
+    }
+}
+
+#[test]
+fn presets_have_expected_decompositions() {
+    for preset in Model::transformer_models() {
+        assert_eq!(preset.family, ModelFamily::Transformer);
+        assert_eq!(preset.layers.len(), 12 * 6, "{}", preset.name);
+        assert_eq!(preset.unique_shapes().len(), 3, "{}", preset.name);
+        // 4 attention projections + 2 FFN projections per block.
+        let attn = preset
+            .layers
+            .iter()
+            .filter(|l| l.kind == LayerKind::Attention)
+            .count();
+        let ffn = preset
+            .layers
+            .iter()
+            .filter(|l| l.kind == LayerKind::Ffn)
+            .count();
+        assert_eq!((attn, ffn), (48, 24), "{}", preset.name);
+    }
+    // Sequence lengths are the one geometric difference.
+    let models = Model::transformer_models();
+    let cols: Vec<usize> = models.iter().map(|m| m.layers[0].gemm.cols).collect();
+    assert_eq!(cols, vec![128, 1024, 197]);
+}
+
+#[test]
+fn heaviest_layers_run_both_generations_at_every_sew() {
+    // The acceptance sweep: every preset's heaviest layers (the FFN
+    // pair) through both kernel generations at e8, e16 and e32, each
+    // verified against the sparse reference product.
+    for preset in Model::transformer_models() {
+        for layer in preset.heaviest_layers(2) {
+            assert_eq!(layer.kind, LayerKind::Ffn, "{}", layer.name);
+            for precision in [Precision::F32, Precision::I16, Precision::I8] {
+                let cfg = smoke_cfg_at(precision);
+                assert!(cfg.verify, "reference verification must be on");
+                for algorithm in [Algorithm::IndexMac, Algorithm::IndexMac2] {
+                    let r = run_gemm(layer.gemm, NmPattern::P2_4, algorithm, &cfg).unwrap_or_else(
+                        |e| panic!("{} {} @{precision}: {e}", preset.name, layer.name),
+                    );
+                    assert!(r.report.cycles > 0);
+                    assert_eq!(r.full_gemm, layer.gemm);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn attention_projections_win_on_both_patterns() {
+    let bert = indexmac_models::bert_base();
+    let q = bert.layer("block0.attn.q").unwrap();
+    for pattern in NmPattern::EVALUATED {
+        let r = compare_layer(q, pattern, &smoke_cfg()).unwrap();
+        assert!(
+            r.comparison.speedup() > 1.0,
+            "{pattern}: speedup {}",
+            r.comparison.speedup()
+        );
+    }
+}
+
+#[test]
+fn one_block_aggregates_through_compare_model() {
+    // One full encoder block (6 GEMMs) through the whole-model driver.
+    let block = indexmac_models::bert_base().head(6);
+    let c = compare_model(&block, NmPattern::P2_4, &smoke_cfg()).unwrap();
+    assert_eq!(c.layers.len(), 6);
+    assert!(c.total_speedup() > 1.0);
+    assert!(c.total_mem_ratio() < 1.0);
+    let (lo, hi) = c.speedup_range();
+    assert!(lo > 1.0 && hi < 3.0, "range {lo}-{hi}");
+    assert_eq!(c.model, "BERT-base-head");
+}
+
+#[test]
+fn int8_preset_runs_the_e8_datapath() {
+    // The quantized preset must simulate e8 with the vindexmac pair
+    // even under the f32-default transformer campaign, with grouping
+    // clamped to the widening budget (m2 × widen-4 would exceed m4).
+    let block = indexmac_models::bert_base_int8().head(6);
+    let c = compare_model(&block, NmPattern::P1_4, &smoke_cfg()).unwrap();
+    assert_eq!(c.precision, Precision::I8);
+    for l in &c.layers {
+        assert_eq!(l.comparison.baseline.algorithm, Algorithm::IndexMac);
+        assert_eq!(l.comparison.proposed.algorithm, Algorithm::IndexMac2);
+        assert!(
+            l.comparison.proposed.report.instructions < l.comparison.baseline.report.instructions,
+            "{}: vvi must cut dynamic instructions at e8",
+            l.name
+        );
+    }
+}
+
+#[test]
+fn gpt2_context_and_vit_patch_sequences_simulate() {
+    // The decoder (1024-token) and vision (197-token) presets exercise
+    // ragged/odd column counts through the same pipeline.
+    for preset in [indexmac_models::gpt2_small(), indexmac_models::vit_b16()] {
+        let down = preset.layer("block0.ffn.down").unwrap();
+        let r = compare_layer(down, NmPattern::P1_4, &smoke_cfg())
+            .unwrap_or_else(|e| panic!("{}: {e}", preset.name));
+        assert!(r.comparison.speedup() > 1.0, "{}", preset.name);
+    }
+}
+
+#[test]
+fn seq_len_rescaling_reaches_the_simulation() {
+    // A shorter sequence means fewer B columns before capping; at
+    // sub-cap lengths the simulated shape itself must shrink.
+    let short = TransformerConfig::bert_base().with_seq_len(16).model();
+    let q = short.layer("block0.attn.q").unwrap();
+    assert_eq!(q.gemm.cols, 16);
+    let r = compare_layer(q, NmPattern::P2_4, &smoke_cfg()).unwrap();
+    assert_eq!(r.comparison.proposed.gemm.cols, 16, "16 < smoke col cap");
+}
+
+#[test]
+fn capping_preserves_the_transformer_speedup_within_tolerance() {
+    // The EXPERIMENTS.md soundness claim, restated for the new family:
+    // capped and larger-capped simulations of the BERT FFN agree on the
+    // speedup ratio.
+    let bert = indexmac_models::bert_base();
+    let layer = bert.layer("block0.ffn.up").unwrap();
+    let small = compare_layer(layer, NmPattern::P1_4, &smoke_cfg()).unwrap();
+    let bigger_cfg = ExperimentConfig {
+        caps: GemmCaps {
+            max_rows: 32,
+            max_inner: 256,
+            max_cols: 64,
+        },
+        ..ExperimentConfig::transformer()
+    };
+    let bigger = compare_layer(layer, NmPattern::P1_4, &bigger_cfg).unwrap();
+    let (s1, s2) = (small.comparison.speedup(), bigger.comparison.speedup());
+    assert!(
+        (s1 - s2).abs() / s2 < 0.25,
+        "speedup unstable under capping: {s1} vs {s2}"
+    );
+}
