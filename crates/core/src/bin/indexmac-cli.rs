@@ -42,6 +42,7 @@ enum Command {
         lmul: usize,
         sew: Precision,
         seed: Option<u64>,
+        max_instructions: Option<u64>,
     },
     /// Run the comparison on a named model layer (CNN conv or
     /// transformer projection).
@@ -60,6 +61,7 @@ enum Command {
         sew: Option<Precision>,
         caps: GemmCaps,
         seed: Option<u64>,
+        max_instructions: Option<u64>,
     },
     /// List the GEMM layers of a model.
     List { model: String },
@@ -79,6 +81,8 @@ enum Command {
         lmul: usize,
         /// Element precision (SEW) of every cell.
         sew: Precision,
+        /// Override of the runaway-program guard.
+        max_instructions: Option<u64>,
     },
 }
 
@@ -261,6 +265,36 @@ fn parse_seed(opts: &std::collections::HashMap<String, String>) -> Result<Option
     }
 }
 
+/// Parses the optional `--max-instructions` runaway-guard override
+/// shared by `gemm`, `model` and `sweep` (the default guard stays the
+/// simulator's 2e9 when absent).
+fn parse_max_instructions(
+    opts: &std::collections::HashMap<String, String>,
+) -> Result<Option<u64>, String> {
+    match opts.get("max-instructions") {
+        Some(s) => {
+            let n: u64 = s
+                .parse()
+                .map_err(|_| "--max-instructions must be an integer".to_string())?;
+            if n == 0 {
+                return Err("--max-instructions must be positive".to_string());
+            }
+            Ok(Some(n))
+        }
+        None => Ok(None),
+    }
+}
+
+/// Applies the optional seed/guard overrides to a campaign config.
+fn apply_overrides(cfg: &mut ExperimentConfig, seed: Option<u64>, max_instructions: Option<u64>) {
+    if let Some(seed) = seed {
+        cfg.seed = seed;
+    }
+    if let Some(limit) = max_instructions {
+        cfg.max_instructions = limit;
+    }
+}
+
 /// Parses the argument vector (without the program name).
 fn parse(args: &[String]) -> Result<Command, String> {
     let mut it = args.iter();
@@ -335,6 +369,7 @@ fn parse(args: &[String]) -> Result<Command, String> {
                 },
                 sew,
                 seed: parse_seed(&opts)?,
+                max_instructions: parse_max_instructions(&opts)?,
             })
         }
         "layer" => Ok(Command::Layer {
@@ -368,6 +403,7 @@ fn parse(args: &[String]) -> Result<Command, String> {
                 None => GemmCaps::default_eval(),
             },
             seed: parse_seed(&opts)?,
+            max_instructions: parse_max_instructions(&opts)?,
         }),
         "list" => Ok(Command::List {
             model: get("model").ok_or("list requires --model")?,
@@ -443,6 +479,7 @@ fn parse(args: &[String]) -> Result<Command, String> {
                 baseline,
                 lmul,
                 sew,
+                max_instructions: parse_max_instructions(&opts)?,
             })
         }
         other => Err(format!("unknown command `{other}`\n{USAGE}")),
@@ -451,15 +488,16 @@ fn parse(args: &[String]) -> Result<Command, String> {
 
 const USAGE: &str = "usage:
   indexmac-cli config
-  indexmac-cli gemm --rows R --inner K --cols N [--pattern N:M] [--algorithm dense|rowwise|indexmac|indexmac2|scalar] [--unroll U] [--tile-rows L] [--lmul 1|2|4] [--sew 8|16|32] [--seed S]
+  indexmac-cli gemm --rows R --inner K --cols N [--pattern N:M] [--algorithm dense|rowwise|indexmac|indexmac2|scalar] [--unroll U] [--tile-rows L] [--lmul 1|2|4] [--sew 8|16|32] [--seed S] [--max-instructions I]
   indexmac-cli layer --model M --name NAME [--pattern N:M] [--seed S]
-  indexmac-cli model --preset M [--pattern N:M] [--seq-len T] [--sew 8|16|32] [--caps smoke|eval|full] [--seed S]
+  indexmac-cli model --preset M [--pattern N:M] [--seq-len T] [--sew 8|16|32] [--caps smoke|eval|full] [--seed S] [--max-instructions I]
   indexmac-cli list --model M
-  indexmac-cli sweep --dims RxKxN[,RxKxN...] [--patterns N:M[,N:M...]] [--dataflows a|b|c|all] [--algorithm A] [--baseline A] [--lmul 1|2|4] [--sew 8|16|32] [--seed S] [--threads T] [--format table|json|json-pretty]
+  indexmac-cli sweep --dims RxKxN[,RxKxN...] [--patterns N:M[,N:M...]] [--dataflows a|b|c|all] [--algorithm A] [--baseline A] [--lmul 1|2|4] [--sew 8|16|32] [--seed S] [--threads T] [--format table|json|json-pretty] [--max-instructions I]
 
 models: resnet50 | densenet121 | inceptionv3 | bert-base | gpt2-small | vit-b16, each also as <model>-int8 (e8 datapath)
 transformer presets decompose into attention/FFN weight GEMMs; --seq-len rescales their batched columns
---sew 8|16 runs the quantized widening datapath (indexmac/indexmac2 only, bit-exact verification)";
+--sew 8|16 runs the quantized widening datapath (indexmac/indexmac2 only, bit-exact verification)
+--max-instructions tunes the per-simulation runaway guard (default 2e9)";
 
 fn print_comparison(
     dims: GemmDims,
@@ -498,6 +536,7 @@ fn run(cmd: Command) -> Result<(), String> {
             lmul,
             sew,
             seed,
+            max_instructions,
         } => {
             // Quantized comparisons default to the two vindexmac
             // generations (the walk-based baselines are f32-only).
@@ -515,9 +554,7 @@ fn run(cmd: Command) -> Result<(), String> {
                 lmul,
                 ..base
             };
-            if let Some(seed) = seed {
-                cfg.seed = seed;
-            }
+            apply_overrides(&mut cfg, seed, max_instructions);
             println!(
                 "GEMM {}x{}x{}, A pruned to {pattern}, {} elements (simulated {:?})\n",
                 dims.rows,
@@ -570,6 +607,7 @@ fn run(cmd: Command) -> Result<(), String> {
             sew,
             caps,
             seed,
+            max_instructions,
         } => {
             let mut m = preset_by_name(&preset, seq_len)?;
             if let Some(p) = sew {
@@ -589,9 +627,8 @@ fn run(cmd: Command) -> Result<(), String> {
                 caps,
                 ..config_for_family(m.family)
             };
-            if let Some(seed) = seed {
-                cfg.seed = seed;
-            }
+            apply_overrides(&mut cfg, seed, max_instructions);
+            indexmac::experiment::reset_decode_cache();
             println!(
                 "{}: {} {} layers ({} distinct GEMM shapes), {:.2} GMACs, {} elements, A pruned to {pattern}",
                 m.name,
@@ -643,6 +680,10 @@ fn run(cmd: Command) -> Result<(), String> {
                 fmt_speedup(lo),
                 fmt_speedup(hi),
             );
+            println!(
+                "decode cache: {}",
+                indexmac::experiment::decode_cache_stats()
+            );
             Ok(())
         }
         Command::List { model } => {
@@ -661,14 +702,16 @@ fn run(cmd: Command) -> Result<(), String> {
             baseline,
             lmul,
             sew,
+            max_instructions,
         } => {
-            let cfg = ExperimentConfig {
+            let mut cfg = ExperimentConfig {
                 baseline,
                 proposed: algorithm,
                 lmul,
                 precision: sew,
                 ..ExperimentConfig::paper()
             };
+            apply_overrides(&mut cfg, None, max_instructions);
             let mut grid = SweepGrid::new(patterns, dims).with_dataflows(dataflows);
             if let Some(seed) = seed {
                 grid = grid.with_base_seed(seed);
@@ -790,6 +833,7 @@ mod tests {
                 lmul: 1,
                 sew: Precision::F32,
                 seed: None,
+                max_instructions: None,
             }
         );
         let c = parse(&argv(
@@ -868,6 +912,64 @@ mod tests {
     }
 
     #[test]
+    fn parse_max_instructions_flag() {
+        // Accepted on gemm/model/sweep; 0 and non-integers rejected.
+        let c = parse(&argv(
+            "gemm --rows 8 --inner 32 --cols 16 --max-instructions 500",
+        ))
+        .unwrap();
+        match c {
+            Command::Gemm {
+                max_instructions, ..
+            } => assert_eq!(max_instructions, Some(500)),
+            other => panic!("wrong parse: {other:?}"),
+        }
+        let c = parse(&argv("model --preset bert-base --max-instructions 1000")).unwrap();
+        match c {
+            Command::Model {
+                max_instructions, ..
+            } => assert_eq!(max_instructions, Some(1000)),
+            other => panic!("wrong parse: {other:?}"),
+        }
+        let c = parse(&argv("sweep --dims 8x32x16 --max-instructions 2000")).unwrap();
+        match c {
+            Command::Sweep {
+                max_instructions, ..
+            } => assert_eq!(max_instructions, Some(2000)),
+            other => panic!("wrong parse: {other:?}"),
+        }
+        assert!(parse(&argv(
+            "gemm --rows 8 --inner 32 --cols 16 --max-instructions 0"
+        ))
+        .unwrap_err()
+        .contains("positive"));
+        assert!(parse(&argv("sweep --dims 8x32x16 --max-instructions lots"))
+            .unwrap_err()
+            .contains("integer"));
+    }
+
+    #[test]
+    fn tight_max_instructions_fails_the_run() {
+        let err = run(Command::Gemm {
+            dims: GemmDims {
+                rows: 4,
+                inner: 16,
+                cols: 8,
+            },
+            pattern: NmPattern::P1_4,
+            algorithm: Some(Algorithm::IndexMac),
+            unroll: 2,
+            tile_rows: 16,
+            lmul: 1,
+            sew: Precision::F32,
+            seed: None,
+            max_instructions: Some(5),
+        })
+        .unwrap_err();
+        assert!(err.contains("instruction limit"), "got: {err}");
+    }
+
+    #[test]
     fn parse_seed_on_gemm_and_layer() {
         let c = parse(&argv("layer --model resnet50 --name conv1 --seed 123")).unwrap();
         assert_eq!(
@@ -943,6 +1045,7 @@ mod tests {
                 sew: Some(Precision::I8),
                 caps: GemmCaps::smoke(),
                 seed: Some(9),
+                max_instructions: None,
             }
         );
         let c = parse(&argv("model --preset gpt2-small --pattern 1:4")).unwrap();
@@ -955,6 +1058,7 @@ mod tests {
                 sew: None,
                 caps: GemmCaps::default_eval(),
                 seed: None,
+                max_instructions: None,
             }
         );
         assert!(parse(&argv("model")).unwrap_err().contains("preset"));
@@ -979,6 +1083,7 @@ mod tests {
             sew: None,
             caps: GemmCaps::smoke(),
             seed: None,
+            max_instructions: None,
         })
         .unwrap();
         // A quantized preset plus an explicit --sew override both run.
@@ -989,6 +1094,7 @@ mod tests {
             sew: None,
             caps: GemmCaps::smoke(),
             seed: Some(3),
+            max_instructions: None,
         })
         .unwrap();
         run(Command::Model {
@@ -998,6 +1104,7 @@ mod tests {
             sew: Some(Precision::I16),
             caps: GemmCaps::smoke(),
             seed: None,
+            max_instructions: None,
         })
         .unwrap();
         // A single transformer layer through the layer command.
@@ -1044,6 +1151,7 @@ mod tests {
                 patterns: NmPattern::EVALUATED.to_vec(),
                 dataflows: vec![Dataflow::BStationary],
                 seed: None,
+                max_instructions: None,
                 threads: None,
                 format: OutputFormat::Table,
                 algorithm: Algorithm::IndexMac,
@@ -1074,6 +1182,7 @@ mod tests {
                 patterns: vec![NmPattern::P1_4],
                 dataflows: Dataflow::ALL.to_vec(),
                 seed: Some(7),
+                max_instructions: None,
                 threads: Some(2),
                 format: OutputFormat::Json,
                 algorithm: Algorithm::IndexMac,
@@ -1180,6 +1289,7 @@ mod tests {
                 patterns: vec![NmPattern::P1_4],
                 dataflows: vec![Dataflow::BStationary],
                 seed: Some(3),
+                max_instructions: None,
                 threads: Some(2),
                 format,
                 algorithm: Algorithm::IndexMac,
@@ -1202,6 +1312,7 @@ mod tests {
             patterns: NmPattern::EVALUATED.to_vec(),
             dataflows: vec![Dataflow::BStationary],
             seed: Some(3),
+            max_instructions: None,
             threads: Some(2),
             format: OutputFormat::Table,
             algorithm: Algorithm::IndexMac2,
@@ -1228,6 +1339,7 @@ mod tests {
             lmul: 1,
             sew: Precision::F32,
             seed: None,
+            max_instructions: None,
         })
         .unwrap();
         run(Command::Gemm {
@@ -1243,6 +1355,7 @@ mod tests {
             lmul: 4,
             sew: Precision::F32,
             seed: None,
+            max_instructions: None,
         })
         .unwrap();
         // The acceptance path: quantized vvi run, bit-exact verification.
@@ -1259,6 +1372,7 @@ mod tests {
             lmul: 1,
             sew: Precision::I8,
             seed: Some(5),
+            max_instructions: None,
         })
         .unwrap();
     }

@@ -5,9 +5,11 @@ use indexmac_kernels::{
 };
 use indexmac_models::{GemmCaps, Model, ModelLayer};
 use indexmac_sparse::{prune, quant, DenseMatrix, NmPattern, StructuredSparseMatrix};
-use indexmac_vpu::{RunReport, SimConfig};
+use indexmac_vpu::{DecodedProgram, RunReport, SimConfig, Simulator};
+use std::cell::RefCell;
 use std::error::Error;
 use std::fmt;
+use std::rc::Rc;
 
 /// The element precision of an experiment's operands (re-exported from
 /// `indexmac-sparse`): `f32` is the paper's configuration; `i8`/`i16`
@@ -80,6 +82,12 @@ pub struct ExperimentConfig {
     pub params: KernelParams,
     /// Seed for operand generation.
     pub seed: u64,
+    /// Runaway-program guard: the largest dynamic instruction count a
+    /// single simulation may retire before failing with
+    /// `SimError::InstructionLimit`. Tunable from the CLI via
+    /// `--max-instructions`; the default is the simulator's own
+    /// [`indexmac_vpu::sim::DEFAULT_MAX_INSTRUCTIONS`].
+    pub max_instructions: u64,
     /// Whether to verify every simulated product against the reference
     /// (cheap insurance; on by default).
     pub verify: bool,
@@ -103,6 +111,7 @@ impl ExperimentConfig {
             precision: Precision::F32,
             params: KernelParams::default(),
             seed: 0xD47E_2024,
+            max_instructions: indexmac_vpu::sim::DEFAULT_MAX_INSTRUCTIONS,
             verify: true,
             baseline: Algorithm::RowWiseSpmm,
             proposed: Algorithm::IndexMac,
@@ -230,7 +239,197 @@ fn operands(
     }
 }
 
+/// Plans the layout and the *effective* kernel parameters for one
+/// `(algorithm, shape)` pair: the grouped second-generation layout
+/// shrinks `L` to the grouped register budget, and both `vindexmac`
+/// kernels clamp a too-large unroll to their accumulator budget (zero
+/// still flows through so it is rejected as `BadUnroll`).
+fn plan_kernel(
+    algorithm: Algorithm,
+    a: &StructuredSparseMatrix,
+    cols: usize,
+    cfg: &ExperimentConfig,
+) -> Result<(GemmLayout, KernelParams), ExperimentError> {
+    if algorithm == Algorithm::IndexMac2 {
+        let pattern = a.pattern();
+        let tile_rows = GemmLayout::fit_tile_rows(cfg.tile_rows, cfg.lmul, pattern);
+        let layout = GemmLayout::plan_elem(a, cols, &cfg.sim, tile_rows, cfg.lmul, cfg.precision)?;
+        let params = KernelParams {
+            unroll: cfg.params.unroll.min(indexmac2::max_unroll(&layout)),
+            ..cfg.params
+        };
+        Ok((layout, params))
+    } else {
+        let layout = GemmLayout::plan_elem(a, cols, &cfg.sim, cfg.tile_rows, 1, cfg.precision)?;
+        let params = if algorithm == Algorithm::IndexMac {
+            // The widening accumulator shrinks Algorithm 3's unroll
+            // budget; the f32 budget is unchanged.
+            KernelParams {
+                unroll: cfg.params.unroll.min(indexmac::max_unroll(&layout)),
+                ..cfg.params
+            }
+        } else {
+            cfg.params
+        };
+        Ok((layout, params))
+    }
+}
+
+/// Builds the kernel program for a planned layout (cache-miss path of
+/// the [`ProgramCache`]).
+fn build_kernel(
+    algorithm: Algorithm,
+    layout: &GemmLayout,
+    params: &KernelParams,
+) -> Result<indexmac_isa::Program, ExperimentError> {
+    Ok(match algorithm {
+        Algorithm::Dense => dense::build(layout, params)?,
+        Algorithm::RowWiseSpmm => rowwise::build(layout, params)?,
+        Algorithm::IndexMac => indexmac::build(layout, params)?,
+        Algorithm::IndexMac2 => indexmac2::build(layout, params)?,
+        Algorithm::ScalarIndexed => scalar_idx::build(layout, params)?,
+    })
+}
+
+/// Hit/miss statistics of the per-thread decode-once kernel cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DecodeCacheStats {
+    /// Lookups served from an already-built, already-decoded kernel.
+    pub hits: u64,
+    /// Lookups that had to build + decode a kernel.
+    pub misses: u64,
+    /// Cached programs evicted to respect the size budget.
+    pub evictions: u64,
+    /// Decoded programs currently resident.
+    pub entries: usize,
+}
+
+impl fmt::Display for DecodeCacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} hits, {} misses, {} resident programs ({} evicted)",
+            self.hits, self.misses, self.entries, self.evictions
+        )
+    }
+}
+
+/// Decode-once kernel cache: maps `(algorithm, layout, params)` — which
+/// fully determine a kernel program, since builders are pure functions
+/// of the layout geometry — to a predecoded [`DecodedProgram`]. Sweeps
+/// repeat one shape across many seeds, and transformer stacks repeat
+/// one block geometry across layers; both now decode each distinct
+/// kernel exactly once per worker thread.
+struct ProgramCache {
+    entries: Vec<(Algorithm, GemmLayout, KernelParams, Rc<DecodedProgram>)>,
+    resident_uops: usize,
+    stats: DecodeCacheStats,
+}
+
+/// Bound on the total static instructions the cache may keep resident
+/// **per worker thread** (each entry holds a µop and an instruction
+/// per slot, ~32 bytes). Fully-unrolled full-scale kernels run to
+/// millions of instructions, so the bound is on µops, not entry
+/// count: evaluation-cap-sized kernels (tens of thousands of µops)
+/// effectively never evict, ~64 MiB of them can accumulate per
+/// thread, and an oversized full-profile kernel is retained only
+/// until the next insertion evicts it (the entry just inserted is
+/// never evicted — it is needed for the run in flight).
+const PROGRAM_CACHE_MAX_UOPS: usize = 2 << 20;
+
+impl ProgramCache {
+    fn new() -> Self {
+        Self {
+            entries: Vec::new(),
+            resident_uops: 0,
+            stats: DecodeCacheStats::default(),
+        }
+    }
+
+    fn get_or_build(
+        &mut self,
+        algorithm: Algorithm,
+        layout: &GemmLayout,
+        params: &KernelParams,
+    ) -> Result<Rc<DecodedProgram>, ExperimentError> {
+        if let Some((.., program)) = self
+            .entries
+            .iter()
+            .find(|(alg, l, p, _)| *alg == algorithm && l == layout && p == params)
+        {
+            self.stats.hits += 1;
+            self.stats.entries = self.entries.len();
+            return Ok(Rc::clone(program));
+        }
+        self.stats.misses += 1;
+        let program = Rc::new(DecodedProgram::decode(&build_kernel(
+            algorithm, layout, params,
+        )?));
+        self.resident_uops += program.len();
+        self.entries
+            .push((algorithm, layout.clone(), *params, Rc::clone(&program)));
+        // FIFO eviction down to the µop budget (never evicting the
+        // entry just inserted).
+        while self.resident_uops > PROGRAM_CACHE_MAX_UOPS && self.entries.len() > 1 {
+            let (.., evicted) = self.entries.remove(0);
+            self.resident_uops -= evicted.len();
+            self.stats.evictions += 1;
+        }
+        self.stats.entries = self.entries.len();
+        Ok(program)
+    }
+}
+
+/// Per-thread warm-execution context: one reusable [`Simulator`] (reset
+/// in place between runs — no fresh `ArchState`/`MainMemory` allocation
+/// per cell) plus the decode-once [`ProgramCache`]. Every worker thread
+/// of a rayon sweep gets its own.
+struct ExecContext {
+    sim: Option<Simulator>,
+    cache: ProgramCache,
+}
+
+impl ExecContext {
+    /// The reusable simulator, reset and configured for this run. A
+    /// changed `SimConfig` (e.g. the VLEN ablation) rebuilds it.
+    fn simulator(&mut self, cfg: &SimConfig, max_instructions: u64) -> &mut Simulator {
+        let rebuild = !matches!(&self.sim, Some(s) if s.config() == cfg);
+        if rebuild {
+            self.sim = Some(Simulator::new(*cfg));
+        }
+        let sim = self.sim.as_mut().expect("simulator just ensured");
+        sim.set_max_instructions(max_instructions);
+        sim
+    }
+}
+
+thread_local! {
+    static EXEC_CTX: RefCell<ExecContext> = RefCell::new(ExecContext {
+        sim: None,
+        cache: ProgramCache::new(),
+    });
+}
+
+/// This thread's decode-once kernel-cache statistics (each rayon worker
+/// accumulates its own; the CLI `model` command runs on one thread, so
+/// its printout covers the whole command).
+pub fn decode_cache_stats() -> DecodeCacheStats {
+    EXEC_CTX.with(|ctx| ctx.borrow().cache.stats)
+}
+
+/// Drops this thread's cached programs and zeroes the statistics
+/// (mainly for tests that assert on hit counts).
+pub fn reset_decode_cache() {
+    EXEC_CTX.with(|ctx| ctx.borrow_mut().cache = ProgramCache::new());
+}
+
 /// Simulates `algorithm` on a GEMM of shape `dims` (caps applied).
+///
+/// Runs through the per-thread warm context: the kernel program is
+/// built and predecoded at most once per `(algorithm, layout, params)`
+/// and the simulator is reused across calls via in-place reset, so
+/// sweeping one shape over many seeds pays the decode cost once.
+/// Results are bit-identical to a cold per-call simulator.
 ///
 /// # Errors
 ///
@@ -244,50 +443,18 @@ pub fn run_gemm(
 ) -> Result<LayerResult, ExperimentError> {
     let capped = cfg.caps.apply(dims);
     let (a, b) = operands(capped, pattern, cfg.seed, cfg.precision);
-    let program;
-    let layout;
-    if algorithm == Algorithm::IndexMac2 {
-        // The grouped layout shrinks L (the tile must fit lmul× more
-        // registers) and may cap the unroll factor.
-        let tile_rows = GemmLayout::fit_tile_rows(cfg.tile_rows, cfg.lmul, pattern);
-        layout = GemmLayout::plan_elem(
-            &a,
-            capped.cols,
-            &cfg.sim,
-            tile_rows,
-            cfg.lmul,
-            cfg.precision,
-        )?;
-        // Clamp a too-large unroll to the grouped register budget, but
-        // let zero flow through so it is rejected like every other
-        // kernel's BadUnroll.
-        let params = KernelParams {
-            unroll: cfg.params.unroll.min(indexmac2::max_unroll(&layout)),
-            ..cfg.params
+    let (layout, params) = plan_kernel(algorithm, &a, capped.cols, cfg)?;
+    let run = EXEC_CTX.with(|ctx| {
+        let ctx = &mut *ctx.borrow_mut();
+        let program = ctx.cache.get_or_build(algorithm, &layout, &params)?;
+        let sim = ctx.simulator(&cfg.sim, cfg.max_instructions);
+        let run = if cfg.verify && algorithm != Algorithm::Dense {
+            verify::run_and_check_decoded(sim, &program, &a, &b, &layout)?
+        } else {
+            verify::run_decoded_kernel(sim, &program, &a, &b, &layout)?
         };
-        program = indexmac2::build(&layout, &params)?;
-    } else {
-        layout = GemmLayout::plan_elem(&a, capped.cols, &cfg.sim, cfg.tile_rows, 1, cfg.precision)?;
-        // The widening accumulator shrinks Algorithm 3's unroll budget;
-        // clamp like the grouped second-generation arm (zero still
-        // flows through to BadUnroll). The f32 budget is unchanged.
-        let v1_params = KernelParams {
-            unroll: cfg.params.unroll.min(indexmac::max_unroll(&layout)),
-            ..cfg.params
-        };
-        program = match algorithm {
-            Algorithm::Dense => dense::build(&layout, &cfg.params)?,
-            Algorithm::RowWiseSpmm => rowwise::build(&layout, &cfg.params)?,
-            Algorithm::IndexMac => indexmac::build(&layout, &v1_params)?,
-            Algorithm::IndexMac2 => unreachable!("grouped arm handles IndexMac2"),
-            Algorithm::ScalarIndexed => scalar_idx::build(&layout, &cfg.params)?,
-        };
-    }
-    let run = if cfg.verify && algorithm != Algorithm::Dense {
-        verify::run_and_check(&program, &a, &b, &layout, &cfg.sim)?
-    } else {
-        verify::run_kernel(&program, &a, &b, &layout, &cfg.sim)?
-    };
+        Ok::<_, ExperimentError>(run)
+    })?;
     Ok(LayerResult {
         algorithm,
         pattern,
@@ -801,6 +968,98 @@ mod tests {
             c.layers[0].comparison.proposed.report,
             c.layers[6].comparison.proposed.report
         );
+    }
+
+    #[test]
+    fn decode_cache_hits_repeated_shapes_across_seeds() {
+        // The transformer/sweep pattern: one shape, many seeds. The
+        // program depends only on (algorithm, layout, params), so every
+        // run after the first must be a decode-cache hit — with results
+        // identical to what a cold simulator produces.
+        reset_decode_cache();
+        let dims = GemmDims {
+            rows: 8,
+            inner: 64,
+            cols: 32,
+        };
+        let mut reports = Vec::new();
+        for seed in 0..4u64 {
+            let cfg = ExperimentConfig {
+                seed,
+                ..ExperimentConfig::fast()
+            };
+            reports.push(
+                run_gemm(dims, NmPattern::P1_4, Algorithm::IndexMac2, &cfg)
+                    .unwrap()
+                    .report,
+            );
+        }
+        let stats = decode_cache_stats();
+        assert_eq!(stats.misses, 1, "one build+decode for four runs");
+        assert_eq!(stats.hits, 3, "seeds 1..3 reuse the decoded kernel");
+        assert_eq!(stats.entries, 1);
+        // Different seeds still produce different dynamics? No — the
+        // program (and instruction count) is seed-independent; only the
+        // data changes. Cycles may coincide, but the run must be real:
+        assert!(reports.iter().all(|r| r.cycles > 0));
+        // A different pattern is a different layout -> new entry.
+        run_gemm(
+            dims,
+            NmPattern::P2_4,
+            Algorithm::IndexMac2,
+            &ExperimentConfig::fast(),
+        )
+        .unwrap();
+        assert_eq!(decode_cache_stats().misses, 2);
+    }
+
+    #[test]
+    fn warm_context_is_bit_identical_across_config_switches() {
+        // Alternating configurations through the shared thread-local
+        // simulator must not leak state between runs.
+        reset_decode_cache();
+        let dims = GemmDims {
+            rows: 8,
+            inner: 64,
+            cols: 32,
+        };
+        let f32_cfg = ExperimentConfig::fast();
+        let e8_cfg = ExperimentConfig {
+            caps: indexmac_models::GemmCaps::smoke(),
+            ..ExperimentConfig::quantized(Precision::I8)
+        };
+        let first_f32 = run_gemm(dims, NmPattern::P1_4, Algorithm::IndexMac, &f32_cfg).unwrap();
+        let first_e8 = run_gemm(dims, NmPattern::P1_4, Algorithm::IndexMac2, &e8_cfg).unwrap();
+        let again_f32 = run_gemm(dims, NmPattern::P1_4, Algorithm::IndexMac, &f32_cfg).unwrap();
+        let again_e8 = run_gemm(dims, NmPattern::P1_4, Algorithm::IndexMac2, &e8_cfg).unwrap();
+        assert_eq!(first_f32.report, again_f32.report);
+        assert_eq!(first_e8.report, again_e8.report);
+    }
+
+    #[test]
+    fn max_instructions_guard_is_tunable() {
+        let dims = GemmDims {
+            rows: 8,
+            inner: 64,
+            cols: 32,
+        };
+        let tight = ExperimentConfig {
+            max_instructions: 10,
+            ..ExperimentConfig::fast()
+        };
+        let err = run_gemm(dims, NmPattern::P1_4, Algorithm::IndexMac, &tight).unwrap_err();
+        assert!(
+            err.to_string().contains("instruction limit"),
+            "tight guard must trip: {err}"
+        );
+        // The default guard is untouched by the tight run before it.
+        assert!(run_gemm(
+            dims,
+            NmPattern::P1_4,
+            Algorithm::IndexMac,
+            &ExperimentConfig::fast()
+        )
+        .is_ok());
     }
 
     #[test]

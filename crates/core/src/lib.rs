@@ -43,8 +43,8 @@ pub mod table;
 
 pub use analysis::{analyze, Bottleneck, BoundKind};
 pub use experiment::{
-    compare_gemm, compare_layer, compare_model, run_gemm, Algorithm, ExperimentConfig,
-    GemmComparison, LayerResult, ModelComparison,
+    compare_gemm, compare_layer, compare_model, decode_cache_stats, reset_decode_cache, run_gemm,
+    Algorithm, DecodeCacheStats, ExperimentConfig, GemmComparison, LayerResult, ModelComparison,
 };
 pub use seqlen::{seqlen_scaling, SeqLenPoint, SeqLenScaling};
 pub use sweep::{run_grid, SweepCell, SweepGrid, SweepResult};

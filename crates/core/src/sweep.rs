@@ -12,6 +12,12 @@
 //! * [`run_cells`] / [`run_grid`] execute cells in parallel (with
 //!   [`run_grid_serial`] as the reference implementation — same seeds
 //!   in, same reports out);
+//! * every worker thread runs **warm**: cells flow through the
+//!   per-thread context of [`crate::experiment`], which reuses one
+//!   `Simulator` via in-place reset and caches built kernels in a
+//!   decode-once `ProgramCache`, so a grid that repeats a shape across
+//!   seeds decodes each distinct kernel exactly once per worker (see
+//!   [`crate::experiment::decode_cache_stats`]);
 //! * [`SweepResult`] serializes to JSON through the workspace's `serde`
 //!   shim for downstream tooling.
 //!
@@ -640,6 +646,37 @@ mod tests {
         assert_eq!(cnn.dims.len(), 4);
         // top = 0 means no shapes, not all of them.
         assert!(SweepGrid::for_model(&bert, 0).is_empty());
+    }
+
+    #[test]
+    fn serial_sweep_runs_warm_through_the_decode_cache() {
+        // A grid of one shape × two patterns, swept twice on this
+        // thread: the second sweep must be all decode-cache hits (the
+        // per-cell seeds differ, but the kernels do not), and its
+        // results bit-identical to the first.
+        crate::experiment::reset_decode_cache();
+        let grid = SweepGrid::new(
+            NmPattern::EVALUATED.to_vec(),
+            vec![GemmDims {
+                rows: 4,
+                inner: 32,
+                cols: 16,
+            }],
+        );
+        let cfg = fast_cfg();
+        let first = run_grid_serial(&grid, &cfg).unwrap();
+        let after_first = crate::experiment::decode_cache_stats();
+        // 2 patterns × (baseline + proposed kernels) = 4 distinct programs.
+        assert_eq!(after_first.misses, 4);
+        let second = run_grid_serial(&grid.clone().with_base_seed(99), &cfg).unwrap();
+        let after_second = crate::experiment::decode_cache_stats();
+        assert_eq!(after_second.misses, 4, "re-sweeping decodes nothing new");
+        assert_eq!(after_second.hits, after_first.hits + 4);
+        // Warm reuse must not perturb the measurements: same cells,
+        // same seeds, same reports.
+        let rerun = run_grid_serial(&grid, &cfg).unwrap();
+        assert_eq!(first.cells, rerun.cells);
+        assert_ne!(first.cells, second.cells, "different base seed, data");
     }
 
     #[test]

@@ -4,7 +4,7 @@
 use crate::layout::GemmLayout;
 use indexmac_isa::Program;
 use indexmac_sparse::{quant, DenseMatrix, IntMatrix, StructuredSparseMatrix};
-use indexmac_vpu::{RunReport, SimConfig, SimError, Simulator};
+use indexmac_vpu::{DecodedProgram, RunReport, SimConfig, SimError, Simulator};
 use std::error::Error;
 use std::fmt;
 
@@ -126,14 +126,38 @@ pub fn run_kernel(
     layout: &GemmLayout,
     cfg: &SimConfig,
 ) -> Result<KernelRun, VerifyError> {
+    let mut sim = Simulator::new(*cfg);
+    run_decoded_kernel(&mut sim, &DecodedProgram::decode(program), a, b, layout)
+}
+
+/// The warm-execution counterpart of [`run_kernel`]: places the
+/// operands and runs an **already-decoded** program on a **reusable**
+/// simulator. The simulator is reset in place (state and memory, both
+/// allocations retained), so an experiment driver can run thousands of
+/// cells through one `Simulator` with a `ProgramCache` of decoded
+/// kernels, decoding each distinct kernel exactly once. Results are
+/// bit-identical to [`run_kernel`] — a reset simulator and a fresh one
+/// are indistinguishable, and the timing model is rebuilt cold per run.
+///
+/// # Errors
+///
+/// Returns [`VerifyError::ShapeMismatch`] on inconsistent operands and
+/// [`VerifyError::Sim`] on simulator faults.
+pub fn run_decoded_kernel(
+    sim: &mut Simulator,
+    program: &DecodedProgram,
+    a: &StructuredSparseMatrix,
+    b: &DenseMatrix,
+    layout: &GemmLayout,
+) -> Result<KernelRun, VerifyError> {
     if a.shape() != (layout.dims.rows, layout.dims.inner)
         || b.shape() != (layout.dims.inner, layout.dims.cols)
     {
         return Err(VerifyError::ShapeMismatch);
     }
-    let mut sim = Simulator::new(*cfg);
+    sim.reset();
     layout.write_operands(a, b, sim.memory_mut());
-    let report = sim.run(program)?;
+    let report = sim.run_decoded(program)?;
     let (c, c_int) = if layout.elem.is_int() {
         let ci = layout.read_c_i32(sim.memory());
         let c = DenseMatrix::from_fn(layout.dims.rows, layout.dims.cols, |r, j| {
@@ -221,7 +245,25 @@ pub fn run_and_check(
     layout: &GemmLayout,
     cfg: &SimConfig,
 ) -> Result<KernelRun, VerifyError> {
-    let run = run_kernel(program, a, b, layout, cfg)?;
+    let mut sim = Simulator::new(*cfg);
+    run_and_check_decoded(&mut sim, &DecodedProgram::decode(program), a, b, layout)
+}
+
+/// [`run_and_check`] over a reusable simulator and a decoded program —
+/// the warm-path combination [`run_decoded_kernel`] + the precision's
+/// checker.
+///
+/// # Errors
+///
+/// Any of the [`VerifyError`] conditions.
+pub fn run_and_check_decoded(
+    sim: &mut Simulator,
+    program: &DecodedProgram,
+    a: &StructuredSparseMatrix,
+    b: &DenseMatrix,
+    layout: &GemmLayout,
+) -> Result<KernelRun, VerifyError> {
+    let run = run_decoded_kernel(sim, program, a, b, layout)?;
     if layout.elem.is_int() {
         check_int_exact(&run, a, b)?;
     } else {
@@ -634,6 +676,33 @@ mod tests {
             e8.report.counts.vector_total(),
             e32.report.counts.vector_total()
         );
+    }
+
+    #[test]
+    fn warm_simulator_reuse_is_bit_identical_to_fresh_runs() {
+        // One simulator + one decoded program, run across different
+        // operand sets, must reproduce the cold per-run path exactly —
+        // the contract the core experiment layer's warm path rests on.
+        let mut sim = Simulator::new(cfg());
+        let (a1, b1, layout) = fixture(6, 32, 20, NmPattern::P1_4, 80);
+        let p = indexmac2::build(&layout, &KernelParams::default()).unwrap();
+        let decoded = DecodedProgram::decode(&p);
+
+        let warm1 = run_and_check_decoded(&mut sim, &decoded, &a1, &b1, &layout).unwrap();
+        let cold1 = run_and_check(&p, &a1, &b1, &layout, &cfg()).unwrap();
+        assert_eq!(warm1.report, cold1.report);
+        assert_eq!(warm1.c.as_slice(), cold1.c.as_slice());
+
+        // Different operands through the SAME simulator and program:
+        // no leakage from the previous run.
+        let a2 = prune::random_structured(6, 32, NmPattern::P1_4, 81);
+        let b2 = DenseMatrix::random(32, 20, 82);
+        let warm2 = run_and_check_decoded(&mut sim, &decoded, &a2, &b2, &layout).unwrap();
+        let cold2 = run_and_check(&p, &a2, &b2, &layout, &cfg()).unwrap();
+        assert_eq!(warm2.report, cold2.report);
+        assert_eq!(warm2.c.as_slice(), cold2.c.as_slice());
+        assert_ne!(warm1.c.as_slice(), warm2.c.as_slice());
+        assert_eq!(warm2.static_instructions, p.len());
     }
 
     #[test]

@@ -91,6 +91,50 @@ impl MainMemory {
         }
     }
 
+    /// Drops every resident page, returning the memory to its
+    /// freshly-constructed all-zero state. The page table's allocation
+    /// is retained, so a reused simulator does not rebuild the map from
+    /// scratch on every run (the warm-execution path resets memory once
+    /// per experiment cell).
+    pub fn clear(&mut self) {
+        self.pages.clear();
+    }
+
+    /// Bulk-reads `out.len()` bytes starting at `addr`, page-chunked:
+    /// one page-table lookup per 4 KiB instead of one per byte, which is
+    /// what makes whole-register vector loads cheap in the decoded
+    /// engine. Unwritten bytes read as zero.
+    pub fn read_slice(&self, addr: u64, out: &mut [u8]) {
+        let mut done = 0usize;
+        while done < out.len() {
+            let a = addr + done as u64;
+            let off = (a & PAGE_MASK) as usize;
+            let n = (PAGE_SIZE - off).min(out.len() - done);
+            match self.pages.get(&(a >> PAGE_SHIFT)) {
+                Some(p) => out[done..done + n].copy_from_slice(&p[off..off + n]),
+                None => out[done..done + n].fill(0),
+            }
+            done += n;
+        }
+    }
+
+    /// Bulk-writes `data` starting at `addr`, page-chunked (the store
+    /// counterpart of [`MainMemory::read_slice`]).
+    pub fn write_slice(&mut self, addr: u64, data: &[u8]) {
+        let mut done = 0usize;
+        while done < data.len() {
+            let a = addr + done as u64;
+            let off = (a & PAGE_MASK) as usize;
+            let n = (PAGE_SIZE - off).min(data.len() - done);
+            let page = self
+                .pages
+                .entry(a >> PAGE_SHIFT)
+                .or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
+            page[off..off + n].copy_from_slice(&data[done..done + n]);
+            done += n;
+        }
+    }
+
     /// Reads a little-endian `u16`.
     pub fn read_u16(&self, addr: u64) -> u16 {
         u16::from_le_bytes(self.read_bytes(addr))
@@ -225,6 +269,36 @@ mod tests {
         assert_eq!(m.read_f32_slice(0x8000, 4), vals);
         m.write_u32_slice(0x9000, &[7, 8, 9]);
         assert_eq!(m.read_u32(0x9008), 9);
+    }
+
+    #[test]
+    fn slice_reads_and_writes_cross_pages_and_match_bytes() {
+        let mut m = MainMemory::new();
+        let base = (1u64 << PAGE_SHIFT) - 7; // straddles a page boundary
+        let data: Vec<u8> = (0..23u8)
+            .map(|i| i.wrapping_mul(37).wrapping_add(5))
+            .collect();
+        m.write_slice(base, &data);
+        for (i, b) in data.iter().enumerate() {
+            assert_eq!(m.read_u8(base + i as u64), *b, "byte {i}");
+        }
+        let mut back = vec![0xAA; data.len()];
+        m.read_slice(base, &mut back);
+        assert_eq!(back, data);
+        // Reads of untouched memory fill with zero, not stale bytes.
+        let mut cold = vec![0xFF; 9];
+        m.read_slice(0x7777_0000, &mut cold);
+        assert!(cold.iter().all(|b| *b == 0));
+    }
+
+    #[test]
+    fn clear_resets_to_zero() {
+        let mut m = MainMemory::new();
+        m.write_u32(0x10, 0xDEAD_BEEF);
+        assert_eq!(m.resident_pages(), 1);
+        m.clear();
+        assert_eq!(m.resident_pages(), 0);
+        assert_eq!(m.read_u32(0x10), 0);
     }
 
     #[test]

@@ -184,7 +184,7 @@ fn f(bits: u32) -> f32 {
 }
 
 /// Registers a grouped operand spans for the active `vl`.
-fn group_regs(vl: usize, vlmax: usize) -> usize {
+pub(crate) fn group_regs(vl: usize, vlmax: usize) -> usize {
     vl.div_ceil(vlmax).max(1)
 }
 
@@ -209,7 +209,7 @@ fn group_aware(instr: &Instruction) -> bool {
     )
 }
 
-fn check_group(pc: usize, r: VReg, regs: usize) -> Result<(), ExecError> {
+pub(crate) fn check_group(pc: usize, r: VReg, regs: usize) -> Result<(), ExecError> {
     if r.index() as usize + regs > 32 {
         return Err(ExecError::GroupOutOfRange {
             pc,

@@ -15,7 +15,12 @@
 //! a reference matmul bit-for-bit) and a *timing* model ([`timing`]) that
 //! consumes the dynamic instruction stream event-by-event and produces
 //! cycle counts and traffic statistics. [`Simulator`] drives both in a
-//! single pass.
+//! single pass, through the decode-once [`engine`]: programs predecode
+//! into µop form ([`DecodedProgram`]) and run under an [`Observer`] —
+//! [`TimingObserver`] for the timed path, [`NullObserver`] for a
+//! functional loop that never materialises events. The per-step
+//! interpreter is retained as the differential-testing oracle
+//! ([`sim::Simulator::run_stepwise`]).
 //!
 //! # Example
 //!
@@ -38,6 +43,7 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod engine;
 pub mod exec;
 pub mod report;
 pub mod sim;
@@ -46,9 +52,10 @@ pub mod timing;
 pub mod trace;
 
 pub use config::SimConfig;
+pub use engine::{DecodedProgram, NullObserver, Observer};
 pub use exec::{ExecEvent, MemOp};
 pub use report::RunReport;
 pub use sim::{SimError, Simulator};
 pub use state::ArchState;
-pub use timing::{InstrTiming, TimingModel};
-pub use trace::{Trace, TraceEntry};
+pub use timing::{InstrTiming, TimingModel, TimingObserver};
+pub use trace::{Trace, TraceEntry, TraceObserver};

@@ -1,10 +1,12 @@
 //! The simulator front-end: functional execution + timing in one pass.
 
 use crate::config::SimConfig;
+use crate::engine::{DecodedProgram, NullObserver, Observer};
 use crate::exec::{step, ExecError};
 use crate::report::RunReport;
 use crate::state::ArchState;
-use crate::timing::TimingModel;
+use crate::timing::{TimingModel, TimingObserver};
+use crate::trace::TraceObserver;
 use indexmac_isa::Program;
 use indexmac_mem::MainMemory;
 use std::error::Error;
@@ -117,23 +119,49 @@ impl Simulator {
         self.max_instructions = limit;
     }
 
+    /// The active dynamic-instruction guard.
+    pub fn max_instructions(&self) -> u64 {
+        self.max_instructions
+    }
+
     /// Resets architectural state (memory and config retained).
     pub fn reset_state(&mut self) {
-        self.state = ArchState::new(self.cfg.vlen_bits);
+        self.state.reset();
+    }
+
+    /// Resets architectural state **and** memory in place, reusing both
+    /// allocations — the warm-execution path runs one simulator across
+    /// thousands of experiment cells with this between runs instead of
+    /// constructing a fresh `Simulator` per cell. The configuration and
+    /// instruction guard are retained.
+    pub fn reset(&mut self) {
+        self.state.reset();
+        self.mem.clear();
     }
 
     /// Runs `program` from slot 0 until `ebreak`, with timing.
+    ///
+    /// Decodes once and executes through the decode-once engine; for
+    /// repeated runs of one program, predecode with
+    /// [`DecodedProgram::decode`] and use [`Simulator::run_decoded`].
     ///
     /// # Errors
     ///
     /// Returns [`SimError`] on execution faults, a missing `ebreak`, or
     /// the instruction limit.
     pub fn run(&mut self, program: &Program) -> Result<RunReport, SimError> {
-        let mut timing = TimingModel::new(self.cfg);
-        let instructions = self.run_with(program, |ev| {
-            timing.observe(ev);
-        })?;
-        Ok(make_report(&timing, instructions))
+        self.run_decoded(&DecodedProgram::decode(program))
+    }
+
+    /// [`Simulator::run`] over an already-decoded program.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Simulator::run`].
+    pub fn run_decoded(&mut self, program: &DecodedProgram) -> Result<RunReport, SimError> {
+        let mut obs = TimingObserver::new(self.cfg);
+        let instructions = self.run_decoded_with(program, &mut obs)?;
+        Ok(make_report(obs.model(), instructions))
     }
 
     /// Runs `program` with timing, recording the first `trace_cap`
@@ -147,30 +175,63 @@ impl Simulator {
         program: &Program,
         trace_cap: usize,
     ) -> Result<(RunReport, crate::trace::Trace), SimError> {
-        let mut timing = TimingModel::new(self.cfg);
-        let mut trace = crate::trace::Trace::new(trace_cap);
-        let instructions = self.run_with(program, |ev| {
-            let t = timing.observe(ev);
-            trace.record(ev.pc, ev.instr, t);
-        })?;
+        let mut obs = TraceObserver::new(self.cfg, trace_cap);
+        let instructions = self.run_decoded_with(&DecodedProgram::decode(program), &mut obs)?;
+        let (timing, trace) = obs.into_parts();
         Ok((make_report(&timing, instructions), trace))
     }
 
     /// Runs `program` functionally only (no timing) — used where only
-    /// the architectural result matters (fast verification).
+    /// the architectural result matters (fast verification). The
+    /// [`NullObserver`] monomorphization never materialises events.
     ///
     /// # Errors
     ///
     /// Same conditions as [`Simulator::run`].
     pub fn run_functional(&mut self, program: &Program) -> Result<u64, SimError> {
-        self.run_with(program, |_| {})
+        self.run_functional_decoded(&DecodedProgram::decode(program))
     }
 
-    /// Core fetch/execute loop; `observer` sees every dynamic event.
-    fn run_with<F: FnMut(&crate::exec::ExecEvent)>(
+    /// [`Simulator::run_functional`] over an already-decoded program.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Simulator::run`].
+    pub fn run_functional_decoded(&mut self, program: &DecodedProgram) -> Result<u64, SimError> {
+        self.run_decoded_with(program, &mut NullObserver)
+    }
+
+    /// Core decoded-engine entry point: runs `program` under any
+    /// [`Observer`], returning the dynamic instruction count.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Simulator::run`].
+    pub fn run_decoded_with<O: Observer>(
+        &mut self,
+        program: &DecodedProgram,
+        observer: &mut O,
+    ) -> Result<u64, SimError> {
+        program.execute(
+            &mut self.state,
+            &mut self.mem,
+            observer,
+            self.max_instructions,
+        )
+    }
+
+    /// The legacy interpret-per-step loop over [`step`] — kept verbatim
+    /// as the **oracle** the decoded engine is differentially tested
+    /// against (`crates/vpu/tests/prop_engine.rs`), and as the
+    /// reference for throughput measurements (`engine_throughput`).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Simulator::run`].
+    pub fn run_stepwise<O: Observer>(
         &mut self,
         program: &Program,
-        mut observer: F,
+        observer: &mut O,
     ) -> Result<u64, SimError> {
         self.state.pc = 0;
         self.state.halted = false;
@@ -179,15 +240,31 @@ impl Simulator {
             let pc = self.state.pc;
             let instr = *program.fetch(pc).ok_or(SimError::FellOffEnd { pc })?;
             let ev = step(&mut self.state, &mut self.mem, &instr)?;
-            observer(&ev);
+            observer.observe(&ev);
             instret += 1;
-            if instret >= self.max_instructions {
+            // A program whose `ebreak` is exactly the limit-th dynamic
+            // instruction has halted — only a still-running program
+            // trips the guard.
+            if instret >= self.max_instructions && !self.state.halted {
                 return Err(SimError::InstructionLimit {
                     limit: self.max_instructions,
                 });
             }
         }
         Ok(instret)
+    }
+
+    /// [`Simulator::run_stepwise`] with full timing, producing the same
+    /// [`RunReport`] shape as [`Simulator::run`] (bit-identical by the
+    /// differential suite).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Simulator::run`].
+    pub fn run_stepwise_timed(&mut self, program: &Program) -> Result<RunReport, SimError> {
+        let mut obs = TimingObserver::new(self.cfg);
+        let instructions = self.run_stepwise(program, &mut obs)?;
+        Ok(make_report(obs.model(), instructions))
     }
 }
 
@@ -252,6 +329,108 @@ mod tests {
             s.run(&b.build()),
             Err(SimError::InstructionLimit { limit: 1000 })
         ));
+    }
+
+    #[test]
+    fn ebreak_exactly_at_the_limit_succeeds() {
+        // Regression for the off-by-one: a program whose `ebreak` is
+        // exactly the max_instructions-th dynamic instruction must
+        // complete, in both the decoded engine and the stepwise oracle.
+        let mut b = ProgramBuilder::new();
+        b.li(XReg::T0, 5);
+        b.halt(); // dynamic instruction #2
+        let p = b.build();
+        for limit in [2u64, 3] {
+            let mut s = sim();
+            s.set_max_instructions(limit);
+            assert_eq!(
+                s.run(&p).expect("halt on/before the limit").instructions,
+                2,
+                "engine at limit {limit}"
+            );
+            let mut s = sim();
+            s.set_max_instructions(limit);
+            assert_eq!(
+                s.run_stepwise(&p, &mut crate::engine::NullObserver)
+                    .unwrap(),
+                2,
+                "oracle at limit {limit}"
+            );
+        }
+        // One below the boundary still trips the guard.
+        let mut s = sim();
+        s.set_max_instructions(1);
+        assert!(matches!(
+            s.run(&p),
+            Err(SimError::InstructionLimit { limit: 1 })
+        ));
+        let mut s = sim();
+        s.set_max_instructions(1);
+        assert!(matches!(
+            s.run_stepwise(&p, &mut crate::engine::NullObserver),
+            Err(SimError::InstructionLimit { limit: 1 })
+        ));
+    }
+
+    #[test]
+    fn decoded_engine_matches_stepwise_report_bit_for_bit() {
+        let mut b = ProgramBuilder::new();
+        b.li(XReg::A0, 16);
+        b.push(Instruction::Vsetvli {
+            rd: XReg::T0,
+            rs1: XReg::A0,
+            sew: Sew::E32,
+            lmul: Lmul::M1,
+        });
+        b.li(XReg::A1, 0x1000);
+        b.push(Instruction::Vle32 {
+            vd: VReg::V2,
+            rs1: XReg::A1,
+        });
+        b.li(XReg::T1, 2);
+        b.push(Instruction::VindexmacVx {
+            vd: VReg::V4,
+            vs2: VReg::V2,
+            rs: XReg::T1,
+        });
+        b.push(Instruction::Vse32 {
+            vs3: VReg::V4,
+            rs1: XReg::A1,
+        });
+        b.halt();
+        let p = b.build();
+
+        let mut engine = sim();
+        engine.memory_mut().write_f32_slice(0x1000, &[1.25; 16]);
+        let fast = engine.run(&p).unwrap();
+        let mut oracle = sim();
+        oracle.memory_mut().write_f32_slice(0x1000, &[1.25; 16]);
+        let slow = oracle.run_stepwise_timed(&p).unwrap();
+        assert_eq!(fast, slow, "reports must be bit-identical");
+        assert_eq!(
+            engine.state().x(XReg::T0),
+            oracle.state().x(XReg::T0),
+            "architectural state must agree"
+        );
+    }
+
+    #[test]
+    fn reset_clears_state_and_memory_in_place() {
+        let mut s = sim();
+        s.set_max_instructions(1234);
+        s.memory_mut().write_u32(0x10, 77);
+        s.state_mut().set_x(XReg::T0, 5);
+        s.reset();
+        assert_eq!(s.state().x(XReg::T0), 0);
+        assert_eq!(s.memory().read_u32(0x10), 0, "reset() clears memory too");
+        assert_eq!(s.max_instructions(), 1234, "guard survives reset");
+        // A reset simulator behaves exactly like a fresh one.
+        let mut b = ProgramBuilder::new();
+        b.li(XReg::T0, 7).halt();
+        let p = b.build();
+        let warm = s.run(&p).unwrap();
+        let cold = sim().run(&p).unwrap();
+        assert_eq!(warm, cold);
     }
 
     #[test]

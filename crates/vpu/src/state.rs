@@ -53,6 +53,24 @@ impl ArchState {
         }
     }
 
+    /// Resets every register, CSR and the PC to the freshly-constructed
+    /// state **in place** — the VRF's allocation is reused instead of
+    /// reallocated, which is what lets the warm-execution path run one
+    /// simulator across thousands of sweep cells without churning the
+    /// allocator.
+    pub fn reset(&mut self) {
+        self.x = [0; 32];
+        self.f = [0; 32];
+        self.vrf.fill(0);
+        self.vl = self.vlen_bits() / 32;
+        self.vtype = VType {
+            sew: Sew::E32,
+            lmul: Lmul::M1,
+        };
+        self.pc = 0;
+        self.halted = false;
+    }
+
     /// Hardware vector length in bits.
     pub fn vlen_bits(&self) -> usize {
         self.vlen_bytes * 8
@@ -275,6 +293,30 @@ pub fn sign_extend(bits: u32, sew: Sew) -> i32 {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn reset_in_place_equals_fresh_state() {
+        let mut s = ArchState::new(512);
+        s.set_x(XReg::T0, 99);
+        s.set_f_bits(FReg::F1, 0xABCD);
+        s.set_vtype(VType {
+            sew: Sew::E8,
+            lmul: Lmul::M2,
+        });
+        s.set_vl(128);
+        s.set_v_lane(VReg::V7, 3, Sew::E8, 0x5A);
+        s.pc = 17;
+        s.halted = true;
+        s.reset();
+        let fresh = ArchState::new(512);
+        assert_eq!(s.x(XReg::T0), 0);
+        assert_eq!(s.f_bits(FReg::F1), 0);
+        assert_eq!(s.vl(), fresh.vl());
+        assert_eq!(s.vtype(), fresh.vtype());
+        assert_eq!(s.v_bytes(VReg::V7), fresh.v_bytes(VReg::V7));
+        assert_eq!(s.pc, 0);
+        assert!(!s.halted);
+    }
 
     #[test]
     fn x0_is_hardwired_zero() {

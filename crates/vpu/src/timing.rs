@@ -18,6 +18,7 @@
 //! The collected counters feed [`crate::RunReport`].
 
 use crate::config::SimConfig;
+use crate::engine::Observer;
 use crate::exec::ExecEvent;
 use indexmac_isa::{InstrClass, Instruction, VReg};
 use indexmac_mem::{MemStats, MemoryHierarchy};
@@ -472,6 +473,35 @@ impl TimingModel {
         };
         self.vq_starts.push_back(start);
         (start, completion.0, completion.1)
+    }
+}
+
+/// The timing-path [`Observer`]: feeds every event to a [`TimingModel`]
+/// and hands the drained model back for report collection. This is
+/// what `Simulator::run` monomorphizes the engine loop over.
+#[derive(Debug, Clone)]
+pub struct TimingObserver {
+    model: TimingModel,
+}
+
+impl TimingObserver {
+    /// A fresh observer over a cold [`TimingModel`] for `cfg`.
+    pub fn new(cfg: SimConfig) -> Self {
+        Self {
+            model: TimingModel::new(cfg),
+        }
+    }
+
+    /// The accumulated timing model.
+    pub fn model(&self) -> &TimingModel {
+        &self.model
+    }
+}
+
+impl Observer for TimingObserver {
+    #[inline]
+    fn observe(&mut self, ev: &ExecEvent) {
+        self.model.observe(ev);
     }
 }
 

@@ -5,7 +5,10 @@
 //! vector-to-scalar round trips, the per-nonzero load latency the
 //! `vindexmac` kernel eliminates, the decoupling queue backing up).
 
-use crate::timing::InstrTiming;
+use crate::config::SimConfig;
+use crate::engine::Observer;
+use crate::exec::ExecEvent;
+use crate::timing::{InstrTiming, TimingModel};
 use indexmac_isa::{InstrClass, Instruction};
 use std::fmt;
 
@@ -133,6 +136,43 @@ impl fmt::Display for Trace {
             )?;
         }
         Ok(())
+    }
+}
+
+/// The tracing [`Observer`]: timing model plus a bounded pipeline
+/// trace, in one pass — what `Simulator::run_traced` monomorphizes the
+/// engine loop over.
+#[derive(Debug, Clone)]
+pub struct TraceObserver {
+    timing: TimingModel,
+    trace: Trace,
+}
+
+impl TraceObserver {
+    /// A fresh observer recording at most `trace_cap` instructions.
+    pub fn new(cfg: SimConfig, trace_cap: usize) -> Self {
+        Self {
+            timing: TimingModel::new(cfg),
+            trace: Trace::new(trace_cap),
+        }
+    }
+
+    /// The accumulated timing model.
+    pub fn timing(&self) -> &TimingModel {
+        &self.timing
+    }
+
+    /// Consumes the observer, yielding the model and the trace.
+    pub fn into_parts(self) -> (TimingModel, Trace) {
+        (self.timing, self.trace)
+    }
+}
+
+impl Observer for TraceObserver {
+    #[inline]
+    fn observe(&mut self, ev: &ExecEvent) {
+        let t = self.timing.observe(ev);
+        self.trace.record(ev.pc, ev.instr, t);
     }
 }
 
