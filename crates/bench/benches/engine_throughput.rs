@@ -6,9 +6,12 @@
 //! * **instructions/sec** — `run_functional` of the pinned BERT-FFN
 //!   kernel (`3072x768x128`, the heaviest transformer shape; the e8
 //!   quantized row and the f32 `m2` row of the transformer campaign),
-//!   once through the legacy stepwise oracle and once through the
-//!   decoded engine. The acceptance bar is a ≥2× wall-clock win for
-//!   the decoded engine on the e8 row.
+//!   through the legacy stepwise oracle, the decoded engine, and the
+//!   check-elided verified path (the static analyzer proves the kernel
+//!   fault-free against the layout contract, mints a [`Verified`]
+//!   token, and the engine drops the per-µop legality checks). The
+//!   acceptance bar is a ≥2× wall-clock win for the decoded engine on
+//!   the e8 row; the verified path must not regress the decoded one.
 //! * **cells/sec** — a warm sweep: the same grid swept twice through
 //!   `indexmac::sweep::run_cells` on one thread, so the second pass
 //!   runs entirely against the decode-once `ProgramCache` and the
@@ -21,7 +24,7 @@ use indexmac::experiment::{decode_cache_stats, reset_decode_cache, ExperimentCon
 use indexmac::kernels::{indexmac2, GemmDims, GemmLayout, KernelParams};
 use indexmac::sparse::{prune, quant, DenseMatrix, NmPattern, StructuredSparseMatrix};
 use indexmac::sweep::{run_cells, SweepGrid};
-use indexmac::vpu::{DecodedProgram, NullObserver, SimConfig, Simulator};
+use indexmac::vpu::{analyze_with_contract, DecodedProgram, NullObserver, SimConfig, Simulator};
 use indexmac_bench::{banner, Profile};
 use serde::{Serialize, Value};
 use std::time::Instant;
@@ -41,13 +44,19 @@ struct Row {
     dims: GemmDims,
     instructions: u64,
     decode_ms: f64,
+    analyze_ms: f64,
     legacy_ns: f64,
     decoded_ns: f64,
+    verified_ns: f64,
 }
 
 impl Row {
     fn speedup(&self) -> f64 {
         self.legacy_ns / self.decoded_ns
+    }
+
+    fn verified_speedup(&self) -> f64 {
+        self.legacy_ns / self.verified_ns
     }
 
     fn ips(&self, ns: f64) -> f64 {
@@ -65,8 +74,10 @@ impl Row {
             ),
             ("dynamic_instructions", self.instructions.to_value()),
             ("decode_ms", self.decode_ms.to_value()),
+            ("analyze_ms", self.analyze_ms.to_value()),
             ("legacy_run_ns", self.legacy_ns.to_value()),
             ("decoded_run_ns", self.decoded_ns.to_value()),
+            ("verified_run_ns", self.verified_ns.to_value()),
             (
                 "legacy_instructions_per_sec",
                 self.ips(self.legacy_ns).to_value(),
@@ -75,7 +86,12 @@ impl Row {
                 "decoded_instructions_per_sec",
                 self.ips(self.decoded_ns).to_value(),
             ),
+            (
+                "verified_instructions_per_sec",
+                self.ips(self.verified_ns).to_value(),
+            ),
             ("speedup", self.speedup().to_value()),
+            ("verified_speedup", self.verified_speedup().to_value()),
         ])
     }
 }
@@ -119,6 +135,15 @@ fn measure_row(
     let decoded = DecodedProgram::decode(&program);
     let decode_ms = t0.elapsed().as_secs_f64() * 1e3;
 
+    // Static analysis is a one-time cost like decoding: prove the
+    // kernel fault-free against the layout contract, mint the token.
+    let t0 = Instant::now();
+    let vlen_bits = layout.vl * layout.elem.bits();
+    let token = analyze_with_contract(&decoded, vlen_bits, Some(&layout.analysis_contract()))
+        .verified()
+        .expect("pinned kernel analyzes clean");
+    let analyze_ms = t0.elapsed().as_secs_f64() * 1e3;
+
     let mut sim = Simulator::new(sim_cfg);
     layout.write_operands(&a, &b, sim.memory_mut());
 
@@ -128,22 +153,29 @@ fn measure_row(
         .run_functional_decoded(&decoded)
         .expect("pinned kernel executes");
 
-    let legacy_ns = {
+    // The three paths are interleaved within each iteration (rather
+    // than measured in three back-to-back blocks) so slow drift of the
+    // host — CPU frequency, steal time — lands on all of them equally.
+    let mut legacy_s = 0.0f64;
+    let mut decoded_s = 0.0f64;
+    let mut verified_s = 0.0f64;
+    for _ in 0..iters {
         let t = Instant::now();
-        for _ in 0..iters {
-            sim.run_stepwise(&program, &mut NullObserver)
-                .expect("legacy loop executes");
-        }
-        t.elapsed().as_secs_f64() * 1e9 / iters as f64
-    };
-    let decoded_ns = {
+        sim.run_stepwise(&program, &mut NullObserver)
+            .expect("legacy loop executes");
+        legacy_s += t.elapsed().as_secs_f64();
         let t = Instant::now();
-        for _ in 0..iters {
-            sim.run_functional_decoded(&decoded)
-                .expect("decoded engine executes");
-        }
-        t.elapsed().as_secs_f64() * 1e9 / iters as f64
-    };
+        sim.run_functional_decoded(&decoded)
+            .expect("decoded engine executes");
+        decoded_s += t.elapsed().as_secs_f64();
+        let t = Instant::now();
+        sim.run_functional_verified(&decoded, token)
+            .expect("verified engine executes");
+        verified_s += t.elapsed().as_secs_f64();
+    }
+    let legacy_ns = legacy_s * 1e9 / f64::from(iters);
+    let decoded_ns = decoded_s * 1e9 / f64::from(iters);
+    let verified_ns = verified_s * 1e9 / f64::from(iters);
 
     Row {
         label,
@@ -152,8 +184,10 @@ fn measure_row(
         dims: caps_dims,
         instructions,
         decode_ms,
+        analyze_ms,
         legacy_ns,
         decoded_ns,
+        verified_ns,
     }
 }
 
@@ -222,29 +256,33 @@ fn main() {
         measure_row("bert-ffn-f32-m2", Precision::F32, 2, dims, iters),
     ];
     println!(
-        "{:<18} {:>4} {:>4} {:>12} {:>14} {:>14} {:>9} {:>13} {:>13}",
+        "{:<18} {:>4} {:>4} {:>12} {:>12} {:>12} {:>12} {:>9} {:>9} {:>12} {:>12}",
         "row",
         "sew",
         "lmul",
         "dyn instrs",
         "legacy ms",
         "decoded ms",
+        "verified ms",
         "speedup",
-        "legacy Mi/s",
-        "decoded Mi/s"
+        "verified",
+        "decoded Mi/s",
+        "verified Mi/s"
     );
     for r in &rows {
         println!(
-            "{:<18} {:>4} {:>4} {:>12} {:>14.2} {:>14.2} {:>8.2}x {:>13.1} {:>13.1}",
+            "{:<18} {:>4} {:>4} {:>12} {:>12.2} {:>12.2} {:>12.2} {:>8.2}x {:>8.2}x {:>12.1} {:>12.1}",
             r.label,
             format!("e{}", r.sew_bits),
             format!("m{}", r.lmul),
             r.instructions,
             r.legacy_ns / 1e6,
             r.decoded_ns / 1e6,
+            r.verified_ns / 1e6,
             r.speedup(),
-            r.ips(r.legacy_ns) / 1e6,
+            r.verified_speedup(),
             r.ips(r.decoded_ns) / 1e6,
+            r.ips(r.verified_ns) / 1e6,
         );
     }
 
@@ -269,6 +307,8 @@ fn main() {
     println!(
         "expected: the decoded engine runs the functional BERT-FFN kernel >= 2x faster than \
          the stepwise loop (events never materialise under NullObserver, per-step re-decode \
-         and re-validation are gone, vector ops run on whole register-group slices)"
+         and re-validation are gone, vector ops run on whole register-group slices); the \
+         verified path (analyzer-minted token, per-µop legality checks elided) is at least \
+         as fast again"
     );
 }

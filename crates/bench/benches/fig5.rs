@@ -41,7 +41,7 @@ fn main() {
             let speedup = base_cycles as f64 / prop_cycles as f64;
             sum += speedup;
             table.row(vec![
-                model.name.to_string(),
+                model.name.clone(),
                 model.layers.len().to_string(),
                 fmt_speedup(speedup),
                 format!("{}-{}", fmt_speedup(lo), fmt_speedup(hi)),

@@ -32,11 +32,7 @@ fn main() {
             }
             let norm = prop as f64 / base as f64;
             sum += norm;
-            table.row(vec![
-                model.name.to_string(),
-                fmt_pct(norm),
-                fmt_pct(1.0 - norm),
-            ]);
+            table.row(vec![model.name.clone(), fmt_pct(norm), fmt_pct(1.0 - norm)]);
         }
         println!("\nFig. 6{panel} — {pattern} structured sparsity");
         print!("{}", table.render());

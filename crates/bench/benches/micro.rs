@@ -26,7 +26,7 @@ fn bench_cache(c: &mut Criterion) {
                 }
             }
             hits
-        })
+        });
     });
 }
 
@@ -40,10 +40,10 @@ fn bench_kernel_generation(c: &mut Criterion) {
             imac_kernel::build(black_box(&layout), &params)
                 .unwrap()
                 .len()
-        })
+        });
     });
     c.bench_function("kernelgen/rowwise_32x256x128", |b| {
-        b.iter(|| rowwise::build(black_box(&layout), &params).unwrap().len())
+        b.iter(|| rowwise::build(black_box(&layout), &params).unwrap().len());
     });
 }
 
@@ -58,7 +58,7 @@ fn bench_simulator_throughput(c: &mut Criterion) {
             let run =
                 indexmac_kernels::verify::run_kernel(&program, &a, &bm, &layout, &cfg).unwrap();
             black_box(run.report.cycles)
-        })
+        });
     });
 }
 
@@ -78,7 +78,7 @@ fn bench_end_to_end_compare(c: &mut Criterion) {
             let base = run_gemm(dims, NmPattern::P1_4, Algorithm::RowWiseSpmm, &cfg).unwrap();
             let prop = run_gemm(dims, NmPattern::P1_4, Algorithm::IndexMac, &cfg).unwrap();
             black_box(prop.report.speedup_over(&base.report))
-        })
+        });
     });
 }
 

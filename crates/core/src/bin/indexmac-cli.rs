@@ -9,13 +9,16 @@
 //! indexmac-cli model --preset bert-base --seq-len 128 --pattern 2:4
 //! indexmac-cli model --preset gpt2-small --sew 8
 //! indexmac-cli list --model inceptionv3
+//! indexmac-cli lint
+//! indexmac-cli lint --algorithm indexmac2 --sew 8 --format json
 //! indexmac-cli sweep --dims 16x128x32,32x256x64 --patterns 1:4,2:4 \
 //!     --dataflows all --threads 8 --format json
 //! ```
 
 use indexmac::analysis::analyze;
 use indexmac::experiment::{
-    compare_gemm, compare_model, run_gemm, Algorithm, ExperimentConfig, Precision,
+    compare_gemm, compare_model, lint_gemm, run_gemm, Algorithm, ExperimentConfig, LintResult,
+    Precision,
 };
 use indexmac::kernels::{Dataflow, GemmDims, KernelParams};
 use indexmac::sparse::NmPattern;
@@ -65,6 +68,22 @@ enum Command {
     },
     /// List the GEMM layers of a model.
     List { model: String },
+    /// Run the static µop-program analyzer over kernel builds and print
+    /// the diagnostics (empty output = every config is provably
+    /// fault-free and mints a check-elision token).
+    Lint {
+        /// `None` lints every shipped kernel.
+        algorithm: Option<Algorithm>,
+        dims: GemmDims,
+        patterns: Vec<NmPattern>,
+        /// `None` sweeps every precision the kernel supports.
+        sew: Option<Precision>,
+        /// `None` sweeps every grouping the kernel/precision supports.
+        lmul: Option<usize>,
+        unroll: usize,
+        tile_rows: usize,
+        format: OutputFormat,
+    },
     /// Fan comparisons over a (pattern x dims x dataflow) grid in parallel.
     Sweep {
         dims: Vec<GemmDims>,
@@ -307,7 +326,7 @@ fn parse(args: &[String]) -> Result<Command, String> {
             .strip_prefix("--")
             .ok_or(format!("expected --option, got `{}`", rest[i]))?;
         let value = rest.get(i + 1).ok_or(format!("--{key} needs a value"))?;
-        opts.insert(key.to_string(), value.to_string());
+        opts.insert(key.to_string(), (*value).clone());
         i += 2;
     }
     let get = |k: &str| opts.get(k).cloned();
@@ -408,6 +427,54 @@ fn parse(args: &[String]) -> Result<Command, String> {
         "list" => Ok(Command::List {
             model: get("model").ok_or("list requires --model")?,
         }),
+        "lint" => {
+            let algorithm = match get("algorithm") {
+                None => None,
+                Some(a) if a == "all" => None,
+                Some(a) => Some(parse_algorithm(&a)?),
+            };
+            let sew = match get("sew") {
+                Some(s) => Some(parse_sew(&s)?),
+                None => None,
+            };
+            if let (Some(p), Some(alg)) = (sew, algorithm) {
+                if p.is_int() && !supports_int(alg) {
+                    return Err("--sew 8|16 requires --algorithm indexmac or indexmac2".to_string());
+                }
+            }
+            let lmul = match get("lmul") {
+                Some(l) => Some(parse_lmul(&l)?),
+                None => None,
+            };
+            if let (Some(l), Some(alg)) = (lmul, algorithm) {
+                if l > 1 && alg != Algorithm::IndexMac2 {
+                    return Err("--lmul requires --algorithm indexmac2".to_string());
+                }
+            }
+            Ok(Command::Lint {
+                algorithm,
+                dims: match get("dims") {
+                    Some(d) => parse_dims(&d)?,
+                    None => GemmDims {
+                        rows: 16,
+                        inner: 64,
+                        cols: 64,
+                    },
+                },
+                patterns: match get("patterns") {
+                    Some(p) => parse_list(&p, parse_pattern)?,
+                    None => NmPattern::EVALUATED.to_vec(),
+                },
+                sew,
+                lmul,
+                unroll: get_usize("unroll", 4)?,
+                tile_rows: get_usize("tile-rows", 16)?,
+                format: match get("format") {
+                    Some(f) => parse_format(&f)?,
+                    None => OutputFormat::Table,
+                },
+            })
+        }
         "sweep" => {
             let dims_spec = get("dims").ok_or("sweep requires --dims RxKxN[,RxKxN...]")?;
             let dims = parse_list(&dims_spec, parse_dims)?;
@@ -492,12 +559,14 @@ const USAGE: &str = "usage:
   indexmac-cli layer --model M --name NAME [--pattern N:M] [--seed S]
   indexmac-cli model --preset M [--pattern N:M] [--seq-len T] [--sew 8|16|32] [--caps smoke|eval|full] [--seed S] [--max-instructions I]
   indexmac-cli list --model M
+  indexmac-cli lint [--algorithm A|all] [--dims RxKxN] [--patterns N:M[,N:M...]] [--sew 8|16|32] [--lmul 1|2|4] [--unroll U] [--tile-rows L] [--format table|json|json-pretty]
   indexmac-cli sweep --dims RxKxN[,RxKxN...] [--patterns N:M[,N:M...]] [--dataflows a|b|c|all] [--algorithm A] [--baseline A] [--lmul 1|2|4] [--sew 8|16|32] [--seed S] [--threads T] [--format table|json|json-pretty] [--max-instructions I]
 
 models: resnet50 | densenet121 | inceptionv3 | bert-base | gpt2-small | vit-b16, each also as <model>-int8 (e8 datapath)
 transformer presets decompose into attention/FFN weight GEMMs; --seq-len rescales their batched columns
 --sew 8|16 runs the quantized widening datapath (indexmac/indexmac2 only, bit-exact verification)
---max-instructions tunes the per-simulation runaway guard (default 2e9)";
+--max-instructions tunes the per-simulation runaway guard (default 2e9)
+lint statically analyzes kernel builds without simulating (exit 1 on any diagnostic); unspecified lint axes sweep every shipped configuration";
 
 fn print_comparison(
     dims: GemmDims,
@@ -519,6 +588,146 @@ fn print_comparison(
         analyze(&cmp.proposed.report, &cfg.sim)
     );
     Ok(())
+}
+
+/// Short CLI token of an algorithm (the `--algorithm` vocabulary).
+fn algorithm_slug(alg: Algorithm) -> &'static str {
+    match alg {
+        Algorithm::Dense => "dense",
+        Algorithm::RowWiseSpmm => "rowwise",
+        Algorithm::IndexMac => "indexmac",
+        Algorithm::IndexMac2 => "indexmac2",
+        Algorithm::ScalarIndexed => "scalar",
+    }
+}
+
+/// Short element-type token for lint output.
+fn precision_slug(p: Precision) -> &'static str {
+    match p {
+        Precision::F32 => "f32",
+        Precision::I16 => "i16",
+        Precision::I8 => "i8",
+    }
+}
+
+/// Lints the requested kernel/precision/grouping/pattern matrix:
+/// unspecified axes sweep every combination the kernels ship with,
+/// which is exactly what the CI lint job runs.
+fn run_lint(
+    algorithm: Option<Algorithm>,
+    dims: GemmDims,
+    patterns: &[NmPattern],
+    sew: Option<Precision>,
+    lmul: Option<usize>,
+    unroll: usize,
+    tile_rows: usize,
+) -> Result<Vec<LintResult>, String> {
+    let algorithms: Vec<Algorithm> = match algorithm {
+        Some(a) => vec![a],
+        None => Algorithm::ALL.to_vec(),
+    };
+    let mut results = Vec::new();
+    for &alg in &algorithms {
+        let precisions: Vec<Precision> = match sew {
+            Some(p) => {
+                if p.is_int() && !supports_int(alg) {
+                    continue; // walk-based kernels have no quantized path
+                }
+                vec![p]
+            }
+            None if supports_int(alg) => vec![Precision::F32, Precision::I16, Precision::I8],
+            None => vec![Precision::F32],
+        };
+        for &precision in &precisions {
+            let lmuls: Vec<usize> = match lmul {
+                Some(l) => {
+                    if l > 1 && alg != Algorithm::IndexMac2 {
+                        continue; // only indexmac2 understands grouping
+                    }
+                    vec![l]
+                }
+                // The widening accumulator bounds the grouped register
+                // budget: lmul * 32/SEW <= 4.
+                None if alg == Algorithm::IndexMac2 => match precision {
+                    Precision::F32 => vec![1, 2, 4],
+                    Precision::I16 => vec![1, 2],
+                    Precision::I8 => vec![1],
+                },
+                None => vec![1],
+            };
+            for &lm in &lmuls {
+                for &pattern in patterns {
+                    let cfg = ExperimentConfig {
+                        precision,
+                        lmul: lm,
+                        tile_rows,
+                        params: KernelParams {
+                            unroll,
+                            ..Default::default()
+                        },
+                        ..ExperimentConfig::paper()
+                    };
+                    results.push(lint_gemm(dims, pattern, alg, &cfg).map_err(|e| e.to_string())?);
+                }
+            }
+        }
+    }
+    Ok(results)
+}
+
+/// Lint results as a serializable value tree (one object per config).
+fn lint_value(results: &[LintResult]) -> serde_json::Value {
+    use serde_json::Value;
+    let json: Vec<Value> = results
+        .iter()
+        .map(|r| {
+            Value::object([
+                ("kernel", Value::Str(algorithm_slug(r.algorithm).into())),
+                ("sew", Value::Str(precision_slug(r.precision).into())),
+                ("lmul", Value::UInt(r.lmul as u64)),
+                ("pattern", Value::Str(r.pattern.to_string())),
+                (
+                    "gemm",
+                    Value::Str(format!("{}x{}x{}", r.gemm.rows, r.gemm.inner, r.gemm.cols)),
+                ),
+                (
+                    "static_instructions",
+                    Value::UInt(r.static_instructions as u64),
+                ),
+                ("verified", Value::Bool(r.verified)),
+                (
+                    "diagnostics",
+                    Value::Array(
+                        r.diagnostics
+                            .iter()
+                            .map(|d| {
+                                Value::object([
+                                    ("rule", Value::Str(d.rule.id().into())),
+                                    ("severity", Value::Str(d.severity.to_string())),
+                                    ("confidence", Value::Str(d.confidence.to_string())),
+                                    ("pc", Value::UInt(d.pc as u64)),
+                                    ("message", Value::Str(d.message.clone())),
+                                    ("hint", Value::Str(d.hint.into())),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ])
+        })
+        .collect();
+    Value::object([
+        ("results", Value::Array(json)),
+        (
+            "clean",
+            Value::Bool(results.iter().all(|r| r.diagnostics.is_empty())),
+        ),
+    ])
+}
+
+/// Compact JSON rendering of lint results.
+fn lint_json(results: &[LintResult]) -> String {
+    serde_json::to_string(&lint_value(results)).expect("lint JSON serializes")
 }
 
 fn run(cmd: Command) -> Result<(), String> {
@@ -691,6 +900,74 @@ fn run(cmd: Command) -> Result<(), String> {
             println!("{m}");
             Ok(())
         }
+        Command::Lint {
+            algorithm,
+            dims,
+            patterns,
+            sew,
+            lmul,
+            unroll,
+            tile_rows,
+            format,
+        } => {
+            let results = run_lint(algorithm, dims, &patterns, sew, lmul, unroll, tile_rows)?;
+            let total_diags: usize = results.iter().map(|r| r.diagnostics.len()).sum();
+            match format {
+                OutputFormat::Json => println!("{}", lint_json(&results)),
+                OutputFormat::JsonPretty => println!(
+                    "{}",
+                    serde_json::to_string_pretty(&lint_value(&results)).expect("serializes")
+                ),
+                OutputFormat::Table => {
+                    let mut table = Table::new(vec![
+                        "kernel",
+                        "sew",
+                        "lmul",
+                        "pattern",
+                        "GEMM (RxKxN)",
+                        "instrs",
+                        "diagnostics",
+                        "verified",
+                    ]);
+                    for r in &results {
+                        table.row(vec![
+                            algorithm_slug(r.algorithm).to_string(),
+                            precision_slug(r.precision).to_string(),
+                            r.lmul.to_string(),
+                            r.pattern.to_string(),
+                            format!("{}x{}x{}", r.gemm.rows, r.gemm.inner, r.gemm.cols),
+                            r.static_instructions.to_string(),
+                            r.diagnostics.len().to_string(),
+                            if r.verified { "yes" } else { "NO" }.to_string(),
+                        ]);
+                    }
+                    print!("{}", table.render());
+                    for r in &results {
+                        for d in &r.diagnostics {
+                            println!(
+                                "{} {} lmul{} {}: {d}",
+                                algorithm_slug(r.algorithm),
+                                precision_slug(r.precision),
+                                r.lmul,
+                                r.pattern
+                            );
+                        }
+                    }
+                    println!(
+                        "{} kernel configurations linted, {} diagnostics",
+                        results.len(),
+                        total_diags
+                    );
+                }
+            }
+            if total_diags > 0 {
+                return Err(format!(
+                    "lint found {total_diags} diagnostics across {} configurations",
+                    results.len()
+                ));
+            }
+            Ok(())
+        }
         Command::Sweep {
             dims,
             patterns,
@@ -813,6 +1090,96 @@ mod tests {
                 model: "resnet50".into()
             }
         );
+    }
+
+    #[test]
+    fn parse_lint_defaults_and_overrides() {
+        assert_eq!(
+            parse(&argv("lint")).unwrap(),
+            Command::Lint {
+                algorithm: None,
+                dims: GemmDims {
+                    rows: 16,
+                    inner: 64,
+                    cols: 64
+                },
+                patterns: NmPattern::EVALUATED.to_vec(),
+                sew: None,
+                lmul: None,
+                unroll: 4,
+                tile_rows: 16,
+                format: OutputFormat::Table,
+            }
+        );
+        let c = parse(&argv(
+            "lint --algorithm indexmac2 --sew 8 --patterns 1:4 --dims 8x32x32 --format json",
+        ))
+        .unwrap();
+        match c {
+            Command::Lint {
+                algorithm,
+                sew,
+                patterns,
+                dims,
+                format,
+                ..
+            } => {
+                assert_eq!(algorithm, Some(Algorithm::IndexMac2));
+                assert_eq!(sew, Some(Precision::I8));
+                assert_eq!(patterns, vec![NmPattern::P1_4]);
+                assert_eq!(dims.inner, 32);
+                assert_eq!(format, OutputFormat::Json);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        // `all` is the explicit spelling of the default.
+        assert!(matches!(
+            parse(&argv("lint --algorithm all")).unwrap(),
+            Command::Lint {
+                algorithm: None,
+                ..
+            }
+        ));
+        // Constraint checks mirror the run subcommands.
+        assert!(parse(&argv("lint --algorithm rowwise --sew 8")).is_err());
+        assert!(parse(&argv("lint --algorithm indexmac --lmul 2")).is_err());
+    }
+
+    #[test]
+    fn lint_matrix_is_clean_and_full() {
+        // The full shipped-configuration sweep (what CI runs) must lint
+        // with zero diagnostics, and every config must mint a token.
+        let dims = GemmDims {
+            rows: 8,
+            inner: 32,
+            cols: 32,
+        };
+        let results = run_lint(None, dims, &NmPattern::EVALUATED, None, None, 4, 16).unwrap();
+        // 3 walk kernels (f32 only) + indexmac (3 precisions) +
+        // indexmac2 (f32 x {1,2,4} + i16 x {1,2} + i8), per pattern.
+        assert_eq!(results.len(), (3 + 3 + 6) * NmPattern::EVALUATED.len());
+        for r in &results {
+            assert!(
+                r.diagnostics.is_empty(),
+                "{} {} lmul{} {}: {:?}",
+                algorithm_slug(r.algorithm),
+                precision_slug(r.precision),
+                r.lmul,
+                r.pattern,
+                r.diagnostics
+            );
+            assert!(r.verified);
+        }
+        // JSON shape sanity.
+        let serde_json::Value::Object(fields) = lint_value(&results) else {
+            panic!("lint JSON root must be an object");
+        };
+        assert_eq!(fields[1], ("clean".into(), serde_json::Value::Bool(true)));
+        let serde_json::Value::Array(rows) = &fields[0].1 else {
+            panic!("results must be an array");
+        };
+        assert_eq!(rows.len(), results.len());
+        assert!(lint_json(&results).contains("\"clean\""));
     }
 
     #[test]

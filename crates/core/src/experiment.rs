@@ -5,7 +5,7 @@ use indexmac_kernels::{
 };
 use indexmac_models::{GemmCaps, Model, ModelLayer};
 use indexmac_sparse::{prune, quant, DenseMatrix, NmPattern, StructuredSparseMatrix};
-use indexmac_vpu::{DecodedProgram, RunReport, SimConfig, Simulator};
+use indexmac_vpu::{DecodedProgram, RunReport, SimConfig, Simulator, Verified};
 use std::cell::RefCell;
 use std::error::Error;
 use std::fmt;
@@ -321,9 +321,19 @@ impl fmt::Display for DecodeCacheStats {
 /// one block geometry across layers; both now decode each distinct
 /// kernel exactly once per worker thread.
 struct ProgramCache {
-    entries: Vec<(Algorithm, GemmLayout, KernelParams, Rc<DecodedProgram>)>,
+    entries: Vec<(Algorithm, GemmLayout, KernelParams, CachedKernel)>,
     resident_uops: usize,
     stats: DecodeCacheStats,
+}
+
+/// A cached predecoded kernel together with its static-analysis token.
+/// Shipped builders always analyze clean, so `token` is `Some` in
+/// practice and runs take the check-elided fast path; `None` falls
+/// back to the fully checked engine.
+#[derive(Clone)]
+struct CachedKernel {
+    program: Rc<DecodedProgram>,
+    token: Option<Verified>,
 }
 
 /// Bound on the total static instructions the cache may keep resident
@@ -351,32 +361,44 @@ impl ProgramCache {
         algorithm: Algorithm,
         layout: &GemmLayout,
         params: &KernelParams,
-    ) -> Result<Rc<DecodedProgram>, ExperimentError> {
-        if let Some((.., program)) = self
+    ) -> Result<CachedKernel, ExperimentError> {
+        if let Some((.., cached)) = self
             .entries
             .iter()
             .find(|(alg, l, p, _)| *alg == algorithm && l == layout && p == params)
         {
             self.stats.hits += 1;
             self.stats.entries = self.entries.len();
-            return Ok(Rc::clone(program));
+            return Ok(cached.clone());
         }
         self.stats.misses += 1;
         let program = Rc::new(DecodedProgram::decode(&build_kernel(
             algorithm, layout, params,
         )?));
-        self.resident_uops += program.len();
+        // Analyze once at build time, alongside the one-time decode:
+        // every subsequent run of this cached kernel executes with the
+        // per-µop fault checks elided.
+        let vlen_bits = layout.vl * layout.elem.bits();
+        let token = indexmac_vpu::analyze_with_contract(
+            &program,
+            vlen_bits,
+            Some(&layout.analysis_contract()),
+        )
+        .verified();
+        debug_assert!(token.is_some(), "shipped kernels must analyze clean");
+        let cached = CachedKernel { program, token };
+        self.resident_uops += cached.program.len();
         self.entries
-            .push((algorithm, layout.clone(), *params, Rc::clone(&program)));
+            .push((algorithm, layout.clone(), *params, cached.clone()));
         // FIFO eviction down to the µop budget (never evicting the
         // entry just inserted).
         while self.resident_uops > PROGRAM_CACHE_MAX_UOPS && self.entries.len() > 1 {
             let (.., evicted) = self.entries.remove(0);
-            self.resident_uops -= evicted.len();
+            self.resident_uops -= evicted.program.len();
             self.stats.evictions += 1;
         }
         self.stats.entries = self.entries.len();
-        Ok(program)
+        Ok(cached)
     }
 }
 
@@ -446,13 +468,26 @@ pub fn run_gemm(
     let (layout, params) = plan_kernel(algorithm, &a, capped.cols, cfg)?;
     let run = EXEC_CTX.with(|ctx| {
         let ctx = &mut *ctx.borrow_mut();
-        let program = ctx.cache.get_or_build(algorithm, &layout, &params)?;
+        let kernel = ctx.cache.get_or_build(algorithm, &layout, &params)?;
         let sim = ctx.simulator(&cfg.sim, cfg.max_instructions);
-        let run = if cfg.verify && algorithm != Algorithm::Dense {
-            verify::run_and_check_decoded(sim, &program, &a, &b, &layout)?
-        } else {
-            verify::run_decoded_kernel(sim, &program, &a, &b, &layout)?
+        let run = match kernel.token {
+            Some(token) => {
+                verify::run_decoded_kernel_verified(sim, &kernel.program, token, &a, &b, &layout)?
+            }
+            None => verify::run_decoded_kernel(sim, &kernel.program, &a, &b, &layout)?,
         };
+        if cfg.verify && algorithm != Algorithm::Dense {
+            if layout.elem.is_int() {
+                verify::check_int_exact(&run, &a, &b)?;
+            } else {
+                verify::check_against_reference(
+                    &run,
+                    &a,
+                    &b,
+                    verify::default_tolerance(layout.dims.inner),
+                )?;
+            }
+        }
         Ok::<_, ExperimentError>(run)
     })?;
     Ok(LayerResult {
@@ -461,6 +496,62 @@ pub fn run_gemm(
         gemm: capped,
         full_gemm: dims,
         report: run.report,
+    })
+}
+
+/// One statically linted kernel configuration: the planned geometry
+/// plus every diagnostic the µop-program analyzer produced for it.
+#[derive(Debug, Clone)]
+pub struct LintResult {
+    /// The kernel linted.
+    pub algorithm: Algorithm,
+    /// Sparsity pattern the layout was planned for.
+    pub pattern: NmPattern,
+    /// The (capped) GEMM shape the kernel was built for.
+    pub gemm: GemmDims,
+    /// Element precision of the layout.
+    pub precision: Precision,
+    /// Register grouping of the layout.
+    pub lmul: usize,
+    /// Static program length in instructions.
+    pub static_instructions: usize,
+    /// Whether the analysis minted a check-elision token (zero errors).
+    pub verified: bool,
+    /// Every finding, ordered by pc.
+    pub diagnostics: Vec<indexmac_vpu::Diagnostic>,
+}
+
+/// Builds the kernel for `(algorithm, shape, cfg)` exactly as
+/// [`run_gemm`] would and runs the static µop-program analyzer over it
+/// against the layout's memory contract — without simulating anything.
+/// This is the CLI `lint` subcommand's engine and what the CI lint job
+/// sweeps over every shipped kernel configuration.
+///
+/// # Errors
+///
+/// Returns [`ExperimentError::Kernel`] when the configuration cannot be
+/// planned or built (the lint target must exist to be linted).
+pub fn lint_gemm(
+    dims: GemmDims,
+    pattern: NmPattern,
+    algorithm: Algorithm,
+    cfg: &ExperimentConfig,
+) -> Result<LintResult, ExperimentError> {
+    let capped = cfg.caps.apply(dims);
+    let (a, _) = operands(capped, pattern, cfg.seed, cfg.precision);
+    let (layout, params) = plan_kernel(algorithm, &a, capped.cols, cfg)?;
+    let program = build_kernel(algorithm, &layout, &params)?;
+    let decoded = DecodedProgram::decode(&program);
+    let analysis = verify::analyze_kernel(&decoded, &layout, &cfg.sim);
+    Ok(LintResult {
+        algorithm,
+        pattern,
+        gemm: capped,
+        precision: cfg.precision,
+        lmul: layout.lmul,
+        static_instructions: program.len(),
+        verified: analysis.verified().is_some(),
+        diagnostics: analysis.diagnostics().to_vec(),
     })
 }
 

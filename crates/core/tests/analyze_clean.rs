@@ -1,0 +1,106 @@
+//! Exhaustive builder-cleanliness sweep: every kernel builder ×
+//! precision × LMUL × evaluated N:M pattern must analyze with **zero**
+//! diagnostics — not just zero errors. Shipped kernels are the
+//! analyzer's precision benchmark: a warning here means either the
+//! builder emits something questionable or the analyzer lost precision
+//! on idiomatic code, and both are bugs.
+//!
+//! This is the tier-1 twin of the `indexmac-cli lint` CI step (which
+//! sweeps the same matrix through the same `lint_gemm` entry point).
+
+use indexmac::experiment::{lint_gemm, ExperimentConfig, Precision};
+use indexmac::kernels::{GemmDims, KernelParams};
+use indexmac::sparse::NmPattern;
+use indexmac::Algorithm;
+
+/// The precisions a kernel ships at: the walk-based kernels are
+/// f32-only, the `vindexmac` generations also run quantized.
+fn precisions(alg: Algorithm) -> &'static [Precision] {
+    match alg {
+        Algorithm::IndexMac | Algorithm::IndexMac2 => {
+            &[Precision::F32, Precision::I16, Precision::I8]
+        }
+        _ => &[Precision::F32],
+    }
+}
+
+/// The register groupings a kernel ships at: only `indexmac2` groups,
+/// bounded by the widening budget `lmul * 32/SEW <= 4`.
+fn lmuls(alg: Algorithm, precision: Precision) -> &'static [usize] {
+    match (alg, precision) {
+        (Algorithm::IndexMac2, Precision::F32) => &[1, 2, 4],
+        (Algorithm::IndexMac2, Precision::I16) => &[1, 2],
+        _ => &[1],
+    }
+}
+
+#[test]
+fn every_shipped_kernel_config_analyzes_clean() {
+    let dims = GemmDims {
+        rows: 16,
+        inner: 64,
+        cols: 64,
+    };
+    let mut configs = 0usize;
+    for alg in Algorithm::ALL {
+        for &precision in precisions(alg) {
+            for &lmul in lmuls(alg, precision) {
+                for pattern in NmPattern::EVALUATED {
+                    let cfg = ExperimentConfig {
+                        precision,
+                        lmul,
+                        ..ExperimentConfig::paper()
+                    };
+                    let r = lint_gemm(dims, pattern, alg, &cfg).expect("kernel plans and builds");
+                    assert!(
+                        r.diagnostics.is_empty(),
+                        "{alg} {precision} lmul{lmul} {pattern}: analyzer flagged a shipped \
+                         kernel:\n{}",
+                        r.diagnostics
+                            .iter()
+                            .map(ToString::to_string)
+                            .collect::<Vec<_>>()
+                            .join("\n")
+                    );
+                    assert!(r.verified, "clean analysis must mint a token");
+                    configs += 1;
+                }
+            }
+        }
+    }
+    // 3 f32-only walk kernels + indexmac (3 precisions) + indexmac2
+    // (3 + 2 + 1 groupings), each over the evaluated patterns.
+    assert_eq!(configs, (3 + 3 + 6) * NmPattern::EVALUATED.len());
+}
+
+/// Unrolling and tile-shape variations must stay clean too — the
+/// analyzer has to hold up across the planner's whole envelope, not
+/// just the defaults.
+#[test]
+fn unroll_and_tile_variants_analyze_clean() {
+    let dims = GemmDims {
+        rows: 8,
+        inner: 32,
+        cols: 32,
+    };
+    for unroll in [1, 2, 4] {
+        for tile_rows in [8, 16] {
+            let cfg = ExperimentConfig {
+                tile_rows,
+                params: KernelParams {
+                    unroll,
+                    ..Default::default()
+                },
+                ..ExperimentConfig::paper()
+            };
+            for alg in Algorithm::ALL {
+                let r = lint_gemm(dims, NmPattern::P2_4, alg, &cfg).expect("plans and builds");
+                assert!(
+                    r.diagnostics.is_empty(),
+                    "{alg} unroll{unroll} tile{tile_rows}: {:?}",
+                    r.diagnostics
+                );
+            }
+        }
+    }
+}

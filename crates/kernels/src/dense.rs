@@ -17,9 +17,9 @@
 //! kernels on an N:M-pruned matrix.
 
 use crate::emit::{
-    bslice_vreg, c_addr_xreg, c_vreg, emit_loop_step, emit_prologue, emit_vload_abs, require_f32,
-    require_ungrouped, value_freg, values_vreg, ADDR_SCRATCH, CTR_COLTILES, CTR_KTILES, CTR_NNZ,
-    CTR_ROWS, MAX_UNROLL,
+    bslice_vreg, c_addr_xreg, c_vreg, emit_loop_step, emit_prologue, emit_vload_abs, finish,
+    require_f32, require_ungrouped, value_freg, values_vreg, ADDR_SCRATCH, CTR_COLTILES,
+    CTR_KTILES, CTR_NNZ, CTR_ROWS, MAX_UNROLL,
 };
 use crate::error::KernelError;
 use crate::layout::GemmLayout;
@@ -114,7 +114,7 @@ pub fn build(layout: &GemmLayout, params: &KernelParams) -> Result<Program, Kern
         emit_loop_step(&mut b, CTR_KTILES);
     }
     b.halt();
-    Ok(b.build())
+    Ok(finish(b, layout))
 }
 
 #[cfg(test)]

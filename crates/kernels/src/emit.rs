@@ -31,7 +31,7 @@
 use crate::error::KernelError;
 use crate::layout::GemmLayout;
 use indexmac_isa::instr::FReg;
-use indexmac_isa::{Instruction, Lmul, ProgramBuilder, Sew, VReg, XReg};
+use indexmac_isa::{Instruction, Lmul, Program, ProgramBuilder, Sew, VReg, XReg};
 
 /// Maximum supported unroll factor (the paper evaluates x4).
 pub const MAX_UNROLL: usize = 4;
@@ -216,6 +216,35 @@ pub fn colidx_vreg_w(r: usize, unroll: usize, widen: usize) -> VReg {
     } else {
         colidx_bank_vreg(r, unroll, widen)
     }
+}
+
+/// Finalizes an emitted kernel. In debug and test builds the static
+/// analyzer ([`indexmac_vpu::analyze`]) runs over the fresh instruction
+/// stream against the layout's memory contract and panics on *any*
+/// diagnostic — shipped builders must emit provably fault-free,
+/// lint-clean programs. Release builds skip the pass (the CLI `lint`
+/// subcommand and CI cover them).
+pub fn finish(b: ProgramBuilder, layout: &GemmLayout) -> Program {
+    let program = b.build();
+    if cfg!(debug_assertions) {
+        let vlen_bits = layout.vl * layout.elem.bits();
+        let analysis = indexmac_vpu::analyze_instructions(
+            program.instructions(),
+            vlen_bits,
+            Some(&layout.analysis_contract()),
+        );
+        assert!(
+            analysis.diagnostics().is_empty(),
+            "kernel builder emitted a program the static analyzer rejects:\n{}",
+            analysis
+                .diagnostics()
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+    program
 }
 
 /// Emits one dynamic iteration of loop control: decrement `counter` and

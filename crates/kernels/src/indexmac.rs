@@ -20,8 +20,8 @@
 
 use crate::emit::{
     c_addr_xreg, c_vreg_w, colidx_vreg_w, emit_loop_step, emit_vload_abs_sew, emit_vsetvli_sew,
-    require_ungrouped, scratch_xreg, values_vreg_w, vload_instr, ADDR_SCRATCH, CTR_COLTILES,
-    CTR_KTILES, CTR_NNZ, CTR_ROWS, MAX_UNROLL, ROW_STRIDE,
+    finish, require_ungrouped, scratch_xreg, values_vreg_w, vload_instr, ADDR_SCRATCH,
+    CTR_COLTILES, CTR_KTILES, CTR_NNZ, CTR_ROWS, MAX_UNROLL, ROW_STRIDE,
 };
 use crate::error::KernelError;
 use crate::layout::GemmLayout;
@@ -166,7 +166,7 @@ pub fn build(layout: &GemmLayout, params: &KernelParams) -> Result<Program, Kern
         emit_loop_step(&mut b, CTR_KTILES);
     }
     b.halt();
-    Ok(b.build())
+    Ok(finish(b, layout))
 }
 
 /// Pre-loads the `L x VL` tile `B[kt*L .., ct*VL ..]` into the top of

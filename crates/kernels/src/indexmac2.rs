@@ -42,8 +42,8 @@
 //! (`v0..v3` C, `v4..v7` values, `v8..v11` col_idx, `v16..v31` tile).
 
 use crate::emit::{
-    c_addr_xreg, emit_loop_step, emit_vload_abs_sew, emit_vsetvli_sew, vload_instr, ADDR_SCRATCH,
-    CTR_COLTILES, CTR_KTILES, CTR_NNZ, CTR_ROWS, MAX_UNROLL, ROW_STRIDE,
+    c_addr_xreg, emit_loop_step, emit_vload_abs_sew, emit_vsetvli_sew, finish, vload_instr,
+    ADDR_SCRATCH, CTR_COLTILES, CTR_KTILES, CTR_NNZ, CTR_ROWS, MAX_UNROLL, ROW_STRIDE,
 };
 use crate::error::KernelError;
 use crate::layout::GemmLayout;
@@ -205,7 +205,7 @@ pub fn build(layout: &GemmLayout, params: &KernelParams) -> Result<Program, Kern
         emit_loop_step(&mut b, CTR_KTILES);
     }
     b.halt();
-    Ok(b.build())
+    Ok(finish(b, layout))
 }
 
 /// Pre-loads the `L x (lmul*VL)` tile `B[kt*L .., ct*lmul*VL ..]` into

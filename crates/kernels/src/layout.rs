@@ -20,7 +20,7 @@ use crate::error::KernelError;
 use indexmac_isa::Sew;
 use indexmac_mem::MainMemory;
 use indexmac_sparse::{quant, DenseMatrix, ElemType, IntMatrix, NmPattern, StructuredSparseMatrix};
-use indexmac_vpu::SimConfig;
+use indexmac_vpu::{AnalysisContract, OffsetTable, SimConfig, VregTable};
 
 /// The logical GEMM shape `C[rows x cols] = A[rows x inner] * B[inner x cols]`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -225,7 +225,12 @@ impl GemmLayout {
             cursor = (cursor + bytes + REGION_ALIGN - 1) & !(REGION_ALIGN - 1);
             base
         };
-        let meta_slots = (rows * num_ktiles * slots_per_tile) as u64;
+        // The metadata arrays carry one extra register's worth of slots:
+        // the kernels load tile metadata at the full hardware VL (only
+        // `slots_per_tile` lanes are consumed), so the last tile's load
+        // must stay inside its own array for the analyzer's table
+        // contracts to cover every lane it touches.
+        let meta_slots = (rows * num_ktiles * slots_per_tile) as u64 + vl as u64;
         let values_base = alloc(meta_slots * eb as u64);
         let colidx_offsets_base = alloc(meta_slots * 4);
         let colidx_vregs_base = alloc(meta_slots * eb as u64);
@@ -335,6 +340,44 @@ impl GemmLayout {
         (self.slots_per_tile * self.elem.bytes()) as u64
     }
 
+    /// Total metadata slots across all `(row, k-tile)` pairs, including
+    /// the trailing full-register pad the planner allocates.
+    fn padded_meta_slots(&self) -> u64 {
+        (self.dims.rows * self.num_ktiles * self.slots_per_tile + self.vl) as u64
+    }
+
+    /// The memory facts the static analyzer needs to reason about this
+    /// layout's programs: readable/writable extents, the architectural
+    /// zero page, and the two derived-index table contracts (see
+    /// [`indexmac_vpu::analyze`]). The analyzer *trusts* these;
+    /// [`GemmLayout::write_operands`] is what makes them true.
+    pub fn analysis_contract(&self) -> AnalysisContract {
+        let padded = self.padded_meta_slots();
+        let c_end = self.c_base + self.dims.rows as u64 * self.c_row_stride_bytes;
+        // Offsets may name any of the `num_ktiles * tile_rows` logical B
+        // rows, including k-padding rows past `inner`; reads there land
+        // in the zeroed gap between B's allocation and C.
+        let b_reach =
+            self.b_base + (self.num_ktiles * self.tile_rows) as u64 * self.row_stride_bytes;
+        AnalysisContract {
+            readable: self.values_base..c_end.max(b_reach),
+            writable: self.c_base..c_end,
+            zero_page: REGION_ALIGN,
+            offset_table: Some(OffsetTable {
+                region: self.colidx_offsets_base..self.colidx_offsets_base + padded * 4,
+                stride: self.row_stride_bytes,
+                count: (self.num_ktiles * self.tile_rows) as u64,
+            }),
+            vreg_table: Some(VregTable {
+                region: self.colidx_vregs_base
+                    ..self.colidx_vregs_base + padded * self.elem.bytes() as u64,
+                elem: self.sew(),
+                min: self.tile_vreg_base,
+                max: 32 - self.lmul as u8,
+            }),
+        }
+    }
+
     /// Writes every operand array into simulated memory: `values`, both
     /// derived index arrays, a dense copy of A, B, and a zeroed C.
     ///
@@ -396,6 +439,21 @@ impl GemmLayout {
                         ElemType::I8 => mem.write_u8(addr, *vreg as u8),
                     }
                 }
+            }
+        }
+
+        // Pad lanes past the final metadata slot: values and offsets
+        // stay zero (a zero offset names B row 0, which always exists),
+        // but vreg indices must still name a register inside the
+        // resident tile so every lane of a full-VL metadata load is a
+        // well-formed `vindexmac` operand.
+        let real_slots = self.dims.rows * self.num_ktiles * self.slots_per_tile;
+        for i in 0..self.vl {
+            let addr = self.colidx_vregs_base + ((real_slots + i) * self.elem.bytes()) as u64;
+            match self.elem {
+                ElemType::F32 => mem.write_u32(addr, self.tile_vreg_base as u32),
+                ElemType::I16 => mem.write_u16(addr, self.tile_vreg_base as u16),
+                ElemType::I8 => mem.write_u8(addr, self.tile_vreg_base),
             }
         }
 
@@ -641,6 +699,36 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn analysis_contract_covers_padded_tables() {
+        let a = prune::random_structured(3, 16, NmPattern::P1_4, 9);
+        let b = DenseMatrix::random(16, 16, 10);
+        let l = GemmLayout::plan(&a, 16, &cfg(), 16).unwrap();
+        let mut mem = MainMemory::new();
+        l.write_operands(&a, &b, &mut mem);
+        let c = l.analysis_contract();
+        let ot = c.offset_table.as_ref().unwrap();
+        let vt = c.vreg_table.as_ref().unwrap();
+        // Every metadata slot plus one full register of pad lies inside
+        // its table region, and the stored values honour the contract.
+        let slots = 3 * l.num_ktiles * l.slots_per_tile;
+        for i in 0..slots + l.vl {
+            let off_addr = l.colidx_offsets_base + i as u64 * 4;
+            let vreg_addr = l.colidx_vregs_base + (i * l.elem.bytes()) as u64;
+            assert!(ot.region.contains(&off_addr));
+            assert!(vt.region.contains(&vreg_addr));
+            let off = mem.read_u32(off_addr) as u64;
+            assert_eq!(off % ot.stride, 0);
+            assert!(off / ot.stride < ot.count);
+            let vreg = mem.read_u32(vreg_addr);
+            assert!((vt.min as u32..=vt.max as u32).contains(&vreg));
+        }
+        // Stores stay inside C; readable spans operands through C.
+        assert_eq!(c.writable, l.c_base..l.c_base + 3 * l.c_row_stride_bytes);
+        assert!(c.readable.start <= l.values_base);
+        assert!(c.readable.end >= c.writable.end);
     }
 
     #[test]

@@ -19,7 +19,7 @@
 use crate::dataflow::Dataflow;
 use crate::emit::{
     bslice_vreg, c_addr_xreg, c_vreg, colidx_vreg, emit_loop_step, emit_prologue, emit_vload_abs,
-    require_f32, require_ungrouped, scratch_xreg, value_freg, values_vreg, B_COLTILE_BASE,
+    finish, require_f32, require_ungrouped, scratch_xreg, value_freg, values_vreg, B_COLTILE_BASE,
     CTR_COLTILES, CTR_KTILES, CTR_NNZ, CTR_ROWS, MAX_UNROLL,
 };
 use crate::error::KernelError;
@@ -50,7 +50,7 @@ pub fn build(layout: &GemmLayout, params: &KernelParams) -> Result<Program, Kern
         Dataflow::CStationary => emit_c_stationary(&mut b, layout, params.unroll),
     }
     b.halt();
-    Ok(b.build())
+    Ok(finish(b, layout))
 }
 
 fn row_groups(rows: usize, unroll: usize) -> Vec<(usize, usize)> {

@@ -18,7 +18,7 @@
 //! Algorithm 3 time is cross-domain synchronisation.
 
 use crate::emit::{
-    c_addr_xreg, c_vreg, emit_loop_step, emit_prologue, require_f32, require_ungrouped,
+    c_addr_xreg, c_vreg, emit_loop_step, emit_prologue, finish, require_f32, require_ungrouped,
     scratch_xreg, values_vreg, ADDR_SCRATCH, CTR_COLTILES, CTR_KTILES, CTR_NNZ, CTR_ROWS,
     MAX_UNROLL, ROW_STRIDE,
 };
@@ -138,7 +138,7 @@ pub fn build(layout: &GemmLayout, params: &KernelParams) -> Result<Program, Kern
         emit_loop_step(&mut b, CTR_KTILES);
     }
     b.halt();
-    Ok(b.build())
+    Ok(finish(b, layout))
 }
 
 #[cfg(test)]

@@ -4,7 +4,7 @@
 use crate::layout::GemmLayout;
 use indexmac_isa::Program;
 use indexmac_sparse::{quant, DenseMatrix, IntMatrix, StructuredSparseMatrix};
-use indexmac_vpu::{DecodedProgram, RunReport, SimConfig, SimError, Simulator};
+use indexmac_vpu::{Analysis, DecodedProgram, RunReport, SimConfig, SimError, Simulator, Verified};
 use std::error::Error;
 use std::fmt;
 
@@ -150,6 +150,50 @@ pub fn run_decoded_kernel(
     b: &DenseMatrix,
     layout: &GemmLayout,
 ) -> Result<KernelRun, VerifyError> {
+    place_operands(sim, a, b, layout)?;
+    let report = sim.run_decoded(program)?;
+    Ok(read_back(sim, layout, report, program.len()))
+}
+
+/// [`run_decoded_kernel`] through the **check-elided fast path**: the
+/// caller presents a [`Verified`] token minted by the static analyzer
+/// for this exact program and VLEN (see [`analyze_kernel`]), and the
+/// engine skips the per-µop fault checks the analysis already proved
+/// can never fire. Results are bit-identical to the checked path.
+///
+/// # Errors
+///
+/// Returns [`VerifyError::ShapeMismatch`] on inconsistent operands and
+/// [`VerifyError::Sim`] on simulator faults (resource limits — the
+/// token rules out architectural faults).
+pub fn run_decoded_kernel_verified(
+    sim: &mut Simulator,
+    program: &DecodedProgram,
+    token: Verified,
+    a: &StructuredSparseMatrix,
+    b: &DenseMatrix,
+    layout: &GemmLayout,
+) -> Result<KernelRun, VerifyError> {
+    place_operands(sim, a, b, layout)?;
+    let report = sim.run_decoded_verified(program, token)?;
+    Ok(read_back(sim, layout, report, program.len()))
+}
+
+/// Statically analyzes a decoded kernel against its layout's memory
+/// contract at the configuration's VLEN. `.verified()` on the result
+/// yields the [`Verified`] token the fast path consumes; a shipped
+/// builder's program always mints one (enforced in debug builds by
+/// emission itself).
+pub fn analyze_kernel(program: &DecodedProgram, layout: &GemmLayout, cfg: &SimConfig) -> Analysis {
+    indexmac_vpu::analyze_with_contract(program, cfg.vlen_bits, Some(&layout.analysis_contract()))
+}
+
+fn place_operands(
+    sim: &mut Simulator,
+    a: &StructuredSparseMatrix,
+    b: &DenseMatrix,
+    layout: &GemmLayout,
+) -> Result<(), VerifyError> {
     if a.shape() != (layout.dims.rows, layout.dims.inner)
         || b.shape() != (layout.dims.inner, layout.dims.cols)
     {
@@ -157,7 +201,15 @@ pub fn run_decoded_kernel(
     }
     sim.reset();
     layout.write_operands(a, b, sim.memory_mut());
-    let report = sim.run_decoded(program)?;
+    Ok(())
+}
+
+fn read_back(
+    sim: &Simulator,
+    layout: &GemmLayout,
+    report: RunReport,
+    static_instructions: usize,
+) -> KernelRun {
     let (c, c_int) = if layout.elem.is_int() {
         let ci = layout.read_c_i32(sim.memory());
         let c = DenseMatrix::from_fn(layout.dims.rows, layout.dims.cols, |r, j| {
@@ -167,12 +219,12 @@ pub fn run_decoded_kernel(
     } else {
         (layout.read_c(sim.memory()), None)
     };
-    Ok(KernelRun {
+    KernelRun {
         c,
         c_int,
         report,
-        static_instructions: program.len(),
-    })
+        static_instructions,
+    }
 }
 
 /// Checks a kernel run against the structured-sparse reference product.
@@ -703,6 +755,49 @@ mod tests {
         assert_eq!(warm2.c.as_slice(), cold2.c.as_slice());
         assert_ne!(warm1.c.as_slice(), warm2.c.as_slice());
         assert_eq!(warm2.static_instructions, p.len());
+    }
+
+    #[test]
+    fn verified_fast_path_is_bit_identical_and_all_builders_mint_tokens() {
+        let (a, b, layout) = fixture(6, 32, 20, NmPattern::P2_4, 90);
+        let builds: Vec<(&str, Program)> = vec![
+            (
+                "dense",
+                dense::build(&layout, &KernelParams::default()).unwrap(),
+            ),
+            (
+                "rowwise",
+                rowwise::build(&layout, &KernelParams::default()).unwrap(),
+            ),
+            (
+                "scalar_idx",
+                scalar_idx::build(&layout, &KernelParams::default()).unwrap(),
+            ),
+            (
+                "indexmac",
+                indexmac::build(&layout, &KernelParams::default()).unwrap(),
+            ),
+            (
+                "indexmac2",
+                indexmac2::build(&layout, &KernelParams::default()).unwrap(),
+            ),
+        ];
+        let mut sim = Simulator::new(cfg());
+        for (name, p) in &builds {
+            let decoded = DecodedProgram::decode(p);
+            let analysis = analyze_kernel(&decoded, &layout, &cfg());
+            assert!(
+                analysis.diagnostics().is_empty(),
+                "{name}: shipped kernels must analyze clean:\n{:?}",
+                analysis.diagnostics()
+            );
+            let token = analysis.verified().expect("clean analysis mints a token");
+            let fast = run_decoded_kernel_verified(&mut sim, &decoded, token, &a, &b, &layout)
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            let checked = run_decoded_kernel(&mut sim, &decoded, &a, &b, &layout).unwrap();
+            assert_eq!(fast.report, checked.report, "{name}: reports must match");
+            assert_eq!(fast.c.as_slice(), checked.c.as_slice(), "{name}");
+        }
     }
 
     #[test]

@@ -37,7 +37,7 @@ fn prefix(p: &Program, n: usize) -> Vec<String> {
     p.instructions()
         .iter()
         .take(n)
-        .map(|i| i.to_string())
+        .map(std::string::ToString::to_string)
         .collect()
 }
 
@@ -45,7 +45,10 @@ fn assert_prefix(name: &str, p: &Program, expected: &[&str]) {
     let got = prefix(p, expected.len());
     assert_eq!(
         got,
-        expected.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+        expected
+            .iter()
+            .map(std::string::ToString::to_string)
+            .collect::<Vec<_>>(),
         "{name} listing prefix changed:\n{}",
         got.join("\n")
     );
@@ -62,7 +65,11 @@ fn indexmac_kernel_listing_is_stable() {
         },
     )
     .unwrap();
-    let listing: Vec<String> = p.instructions().iter().map(|i| i.to_string()).collect();
+    let listing: Vec<String> = p
+        .instructions()
+        .iter()
+        .map(std::string::ToString::to_string)
+        .collect();
     // Prologue, one tile preload (L=8), one row group, two slots, store.
     let expected = vec![
         // prologue
@@ -142,7 +149,11 @@ fn rowwise_inner_loop_shape_is_stable() {
         },
     )
     .unwrap();
-    let listing: Vec<String> = p.instructions().iter().map(|i| i.to_string()).collect();
+    let listing: Vec<String> = p
+        .instructions()
+        .iter()
+        .map(std::string::ToString::to_string)
+        .collect();
     // The six-instruction inner sequence of Algorithm 2, slot 0: move
     // address, load B slice, move value, MAC, two slides.
     let idx = listing

@@ -1,0 +1,221 @@
+//! The single source of truth for every dynamic fault rule.
+//!
+//! The same legality conditions are needed in three places: the
+//! stepwise oracle interpreter ([`crate::exec::step`]), the decoded
+//! engine's µop fast paths ([`crate::engine::DecodedProgram`]), and the
+//! static analyzer's transfer functions ([`crate::analyze`]). Each rule
+//! therefore lives here exactly once, as a pure function from operand
+//! facts to `Result<(), ExecError>`; callers differ only in where the
+//! facts come from (architectural state, decoded µop fields, or
+//! abstract values).
+//!
+//! Rule order matters and is owned by the *call sites*: e.g. a vector
+//! load checks element width before alignment before group range, and a
+//! non-group-aware op faults on grouping before its width rule. The
+//! analyzer mirrors those orders so its first diagnostic for a slot
+//! names the same rule the interpreter would fault with.
+
+use crate::exec::ExecError;
+use indexmac_isa::{Instruction, Sew, VReg};
+
+/// Registers a grouped operand spans for the active `vl` (`vlmax` is
+/// the single-register element capacity at the active SEW).
+pub fn group_regs(vl: usize, vlmax: usize) -> usize {
+    vl.div_ceil(vlmax).max(1)
+}
+
+/// Whether `instr` has defined semantics when `vl` exceeds the
+/// single-register VLMAX (register grouping): the grouped memory ops,
+/// `vindexmac.vvi`, and the element-0 moves (which touch only lane 0 of
+/// the group regardless of LMUL).
+pub fn group_aware(instr: &Instruction) -> bool {
+    matches!(
+        instr,
+        Instruction::Vsetvli { .. }
+            | Instruction::Vle8 { .. }
+            | Instruction::Vle16 { .. }
+            | Instruction::Vle32 { .. }
+            | Instruction::Vse8 { .. }
+            | Instruction::Vse16 { .. }
+            | Instruction::Vse32 { .. }
+            | Instruction::VindexmacVvi { .. }
+            | Instruction::VmvXs { .. }
+            | Instruction::VmvSx { .. }
+            | Instruction::VfmvFs { .. }
+    )
+}
+
+/// The widening accumulator factor for the integer MACs (`32 / SEW`);
+/// 1 at e32, where the MAC is the paper's fp32 semantics.
+pub fn widen_factor(sew: Sew) -> usize {
+    32 / sew.bits()
+}
+
+/// A register group `[r, r + regs)` must not run past `v31`.
+///
+/// # Errors
+///
+/// [`ExecError::GroupOutOfRange`] otherwise.
+pub fn check_group(pc: usize, r: VReg, regs: usize) -> Result<(), ExecError> {
+    if r.index() as usize + regs > 32 {
+        return Err(ExecError::GroupOutOfRange {
+            pc,
+            base: r.index(),
+            regs,
+        });
+    }
+    Ok(())
+}
+
+/// A vector instruction without register-grouping semantics requires
+/// `vl` within the single-register VLMAX.
+///
+/// # Errors
+///
+/// [`ExecError::GroupingUnsupported`] when `vl > vlmax`.
+pub fn check_grouping_supported(pc: usize, vl: usize, vlmax: usize) -> Result<(), ExecError> {
+    if vl > vlmax {
+        return Err(ExecError::GroupingUnsupported { pc });
+    }
+    Ok(())
+}
+
+/// `vsetvli` may only select an element width the datapath executes
+/// (e8/e16/e32).
+///
+/// # Errors
+///
+/// [`ExecError::UnsupportedSew`] on [`Sew::E64`].
+pub fn check_sew_supported(pc: usize, sew: Sew) -> Result<(), ExecError> {
+    if sew == Sew::E64 {
+        return Err(ExecError::UnsupportedSew { pc });
+    }
+    Ok(())
+}
+
+/// Element-wise float semantics exist only at e32.
+///
+/// # Errors
+///
+/// [`ExecError::IllegalSewForOp`] at e8/e16.
+pub fn check_e32_only(pc: usize, sew: Sew) -> Result<(), ExecError> {
+    if sew != Sew::E32 {
+        return Err(ExecError::IllegalSewForOp { pc, sew });
+    }
+    Ok(())
+}
+
+/// An element load/store's width must agree with the active `vtype.sew`.
+///
+/// # Errors
+///
+/// [`ExecError::IllegalSewForOp`] on disagreement.
+pub fn check_element_width(pc: usize, sew: Sew, ew: Sew) -> Result<(), ExecError> {
+    if sew != ew {
+        return Err(ExecError::IllegalSewForOp { pc, sew });
+    }
+    Ok(())
+}
+
+/// A vector memory access must be element-aligned.
+///
+/// # Errors
+///
+/// [`ExecError::Unaligned`] otherwise.
+pub fn check_vector_alignment(pc: usize, addr: u64, element_bytes: u64) -> Result<(), ExecError> {
+    if !addr.is_multiple_of(element_bytes) {
+        return Err(ExecError::Unaligned { pc, addr });
+    }
+    Ok(())
+}
+
+/// Legality of a widening-MAC destination at a narrow SEW (e8/e16): the
+/// accumulator group spans `regs * widen_factor(sew)` registers, its
+/// base must be a multiple of the widening factor, and the whole group
+/// may not exceed the largest modelled grouping (`m4` — the same bound
+/// the layout planner enforces as `lmul * 32/SEW <= 4`). Returns the
+/// destination group width; the caller still range-checks it with
+/// [`check_group`].
+///
+/// # Errors
+///
+/// [`ExecError::IllegalWidening`] on a misaligned base or an over-wide
+/// group.
+pub fn check_widening_dst(pc: usize, sew: Sew, vd: VReg, regs: usize) -> Result<usize, ExecError> {
+    let widen = widen_factor(sew);
+    let dst_regs = regs * widen;
+    if !(vd.index() as usize).is_multiple_of(widen) || dst_regs > 4 {
+        return Err(ExecError::IllegalWidening {
+            pc,
+            sew,
+            vd: vd.index(),
+        });
+    }
+    Ok(dst_regs)
+}
+
+/// A `vindexmac.vvi` slot immediate must address within the (single)
+/// metadata register's lanes.
+///
+/// # Errors
+///
+/// [`ExecError::SlotOutOfRange`] when `slot >= vlmax`.
+pub fn check_slot(pc: usize, slot: u8, vlmax: usize) -> Result<(), ExecError> {
+    if slot as usize >= vlmax {
+        return Err(ExecError::SlotOutOfRange { pc, slot, vlmax });
+    }
+    Ok(())
+}
+
+/// A control transfer may not leave the program backwards (over-the-end
+/// targets surface later as `FellOffEnd`, exactly like a missing
+/// `ebreak`).
+///
+/// # Errors
+///
+/// [`ExecError::PcOutOfRange`] when `target < 0`.
+pub fn check_branch_target(target: i64) -> Result<(), ExecError> {
+    if target < 0 {
+        return Err(ExecError::PcOutOfRange { target });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_regs_rounds_up_and_floors_at_one() {
+        assert_eq!(group_regs(0, 16), 1);
+        assert_eq!(group_regs(16, 16), 1);
+        assert_eq!(group_regs(17, 16), 2);
+        assert_eq!(group_regs(64, 16), 4);
+    }
+
+    #[test]
+    fn widening_rules_match_the_planner_bound() {
+        // e8 widens 4x: only 4-aligned bases, and any grouping beyond
+        // one source register overflows m4.
+        assert_eq!(check_widening_dst(0, Sew::E8, VReg::new(4), 1), Ok(4));
+        assert!(check_widening_dst(0, Sew::E8, VReg::new(2), 1).is_err());
+        assert!(check_widening_dst(0, Sew::E8, VReg::new(4), 2).is_err());
+        // e16 widens 2x: m2 sources are the limit.
+        assert_eq!(check_widening_dst(0, Sew::E16, VReg::new(4), 2), Ok(4));
+        assert!(check_widening_dst(0, Sew::E16, VReg::new(4), 4).is_err());
+    }
+
+    #[test]
+    fn group_range_is_inclusive_of_v31() {
+        assert!(check_group(0, VReg::new(28), 4).is_ok());
+        assert!(check_group(0, VReg::new(29), 4).is_err());
+    }
+
+    #[test]
+    fn slot_and_target_bounds() {
+        assert!(check_slot(0, 15, 16).is_ok());
+        assert!(check_slot(0, 16, 16).is_err());
+        assert!(check_branch_target(0).is_ok());
+        assert!(check_branch_target(-1).is_err());
+    }
+}

@@ -34,7 +34,12 @@
 //! to it, and `crates/vpu/tests/prop_engine.rs` differentially tests
 //! the two paths for identical architectural state, reports and faults.
 
-use crate::exec::{check_group, group_regs, step, ExecEvent, MemOp};
+use crate::analyze::Verified;
+use crate::checks::{
+    check_e32_only, check_element_width, check_group, check_grouping_supported,
+    check_sew_supported, check_slot, check_vector_alignment, check_widening_dst, group_regs,
+};
+use crate::exec::{step, ExecEvent, MemOp};
 use crate::sim::SimError;
 use crate::state::{sign_extend, ArchState};
 use indexmac_isa::instr::FReg;
@@ -74,7 +79,7 @@ impl Observer for NullObserver {
 impl<F: FnMut(&ExecEvent)> Observer for F {
     #[inline]
     fn observe(&mut self, ev: &ExecEvent) {
-        self(ev)
+        self(ev);
     }
 }
 
@@ -441,6 +446,13 @@ impl DecodedProgram {
         self.instrs.get(pc)
     }
 
+    /// The full original instruction stream — the static analyzer's
+    /// input ([`crate::analyze`] walks instructions, not µops, so cold
+    /// opcodes are covered too).
+    pub fn instructions(&self) -> &[Instruction] {
+        &self.instrs
+    }
+
     /// Runs the program from slot 0 until `ebreak`, mutating `state`
     /// and `mem` exactly like the `step()` oracle would, reporting
     /// every dynamic instruction to `obs`.
@@ -460,6 +472,54 @@ impl DecodedProgram {
         obs: &mut O,
         max_instructions: u64,
     ) -> Result<u64, SimError> {
+        self.execute_impl::<O, true>(state, mem, obs, max_instructions)
+    }
+
+    /// Runs the program with the statically-provable fault checks
+    /// compiled out: element-width agreement, alignment, grouping
+    /// support, widening-destination legality, slot ranges and branch
+    /// ranges are elided, because the [`Verified`] token witnesses that
+    /// [`crate::analyze`] proved them for every reachable slot. The
+    /// *data-dependent* indirect-source group check of the IndexMAC
+    /// µops is retained (its operand comes from memory), as are the
+    /// fetch bound ([`SimError::FellOffEnd`]) and the instruction
+    /// limit, so results stay bit-identical to [`DecodedProgram::execute`]
+    /// on any program the analyzer accepts.
+    ///
+    /// `token` must come from analyzing **this** program at the same
+    /// VLEN (debug builds assert both).
+    ///
+    /// # Errors
+    ///
+    /// The retained conditions above; see [`DecodedProgram::execute`].
+    pub fn execute_verified<O: Observer>(
+        &self,
+        state: &mut ArchState,
+        mem: &mut MainMemory,
+        obs: &mut O,
+        max_instructions: u64,
+        token: Verified,
+    ) -> Result<u64, SimError> {
+        debug_assert_eq!(
+            token.program_len(),
+            self.len(),
+            "Verified token minted for a different program"
+        );
+        debug_assert_eq!(
+            token.vlen_bits(),
+            state.vlen_bits(),
+            "Verified token minted for a different VLEN"
+        );
+        self.execute_impl::<O, false>(state, mem, obs, max_instructions)
+    }
+
+    fn execute_impl<O: Observer, const CHECKED: bool>(
+        &self,
+        state: &mut ArchState,
+        mem: &mut MainMemory,
+        obs: &mut O,
+        max_instructions: u64,
+    ) -> Result<u64, SimError> {
         state.pc = 0;
         state.halted = false;
         let mut instret: u64 = 0;
@@ -468,7 +528,7 @@ impl DecodedProgram {
             let Some(uop) = self.uops.get(pc) else {
                 return Err(SimError::FellOffEnd { pc });
             };
-            self.exec_uop(state, mem, obs, pc, uop)?;
+            self.exec_uop::<O, CHECKED>(state, mem, obs, pc, uop)?;
             instret += 1;
             if instret >= max_instructions && !state.halted {
                 return Err(SimError::InstructionLimit {
@@ -481,9 +541,11 @@ impl DecodedProgram {
 
     /// Executes one µop, advancing `state.pc`. Split out of the fetch
     /// loop so each observer's monomorphization stays readable in
-    /// profiles.
+    /// profiles. With `CHECKED = false` (the [`Verified`] path) the
+    /// statically-proven fault branches compile out; each elision keeps
+    /// a `debug_assert` so test builds still catch a mis-minted token.
     #[inline]
-    fn exec_uop<O: Observer>(
+    fn exec_uop<O: Observer, const CHECKED: bool>(
         &self,
         state: &mut ArchState,
         mem: &mut MainMemory,
@@ -491,7 +553,6 @@ impl DecodedProgram {
         pc: usize,
         uop: &Uop,
     ) -> Result<(), SimError> {
-        use crate::exec::ExecError;
         // Event context, only composed when the observer wants events
         // (the stores below are dead — and removed — otherwise).
         let mut mem_op: Option<MemOp> = None;
@@ -571,25 +632,25 @@ impl DecodedProgram {
             Uop::Beq { rs1, rs2, target } => {
                 if state.x(rs1) == state.x(rs2) {
                     taken = true;
-                    next_pc = checked_target(target)?;
+                    next_pc = checked_target::<CHECKED>(target)?;
                 }
             }
             Uop::Bne { rs1, rs2, target } => {
                 if state.x(rs1) != state.x(rs2) {
                     taken = true;
-                    next_pc = checked_target(target)?;
+                    next_pc = checked_target::<CHECKED>(target)?;
                 }
             }
             Uop::Blt { rs1, rs2, target } => {
                 if (state.x(rs1) as i64) < (state.x(rs2) as i64) {
                     taken = true;
-                    next_pc = checked_target(target)?;
+                    next_pc = checked_target::<CHECKED>(target)?;
                 }
             }
             Uop::Bge { rs1, rs2, target } => {
                 if (state.x(rs1) as i64) >= (state.x(rs2) as i64) {
                     taken = true;
-                    next_pc = checked_target(target)?;
+                    next_pc = checked_target::<CHECKED>(target)?;
                 }
             }
             Uop::Jal { rd, target } => {
@@ -597,13 +658,15 @@ impl DecodedProgram {
                 // oracle (a faulting jal leaves rd written).
                 state.set_x(rd, (pc + 1) as u64);
                 taken = true;
-                next_pc = checked_target(target)?;
+                next_pc = checked_target::<CHECKED>(target)?;
             }
             Uop::Nop => {}
             Uop::Halt => state.halted = true,
             Uop::Vsetvli { rd, rs1, sew, lmul } => {
-                if sew == Sew::E64 {
-                    return Err(ExecError::UnsupportedSew { pc }.into());
+                if CHECKED {
+                    check_sew_supported(pc, sew)?;
+                } else {
+                    debug_assert_ne!(sew, Sew::E64, "verified program selected e64");
                 }
                 state.set_vtype(indexmac_isa::VType { sew, lmul });
                 let vlmax = state.vlmax_grouped();
@@ -624,17 +687,19 @@ impl DecodedProgram {
             }
             Uop::VLoad { vd, rs1, ew } => {
                 let sew = state.vtype().sew;
-                if sew != ew {
-                    return Err(ExecError::IllegalSewForOp { pc, sew }.into());
-                }
                 let eb = SEW_INFO[sew_index(ew)].bytes;
                 let addr = state.x(rs1);
-                if !addr.is_multiple_of(eb as u64) {
-                    return Err(ExecError::Unaligned { pc, addr }.into());
-                }
                 let vl = state.vl();
                 let regs = group_regs(vl, state.vlmax());
-                check_group(pc, vd, regs)?;
+                if CHECKED {
+                    check_element_width(pc, sew, ew)?;
+                    check_vector_alignment(pc, addr, eb as u64)?;
+                    check_group(pc, vd, regs)?;
+                } else {
+                    debug_assert_eq!(sew, ew, "verified load width drifted");
+                    debug_assert!(addr.is_multiple_of(eb as u64));
+                    debug_assert!(vd.index() as usize + regs <= 32);
+                }
                 let dst = state.v_group_bytes_mut(vd, regs);
                 mem.read_slice(addr, &mut dst[..vl * eb]);
                 mem_op = Some(MemOp {
@@ -646,17 +711,19 @@ impl DecodedProgram {
             }
             Uop::VStore { vs3, rs1, ew } => {
                 let sew = state.vtype().sew;
-                if sew != ew {
-                    return Err(ExecError::IllegalSewForOp { pc, sew }.into());
-                }
                 let eb = SEW_INFO[sew_index(ew)].bytes;
                 let addr = state.x(rs1);
-                if !addr.is_multiple_of(eb as u64) {
-                    return Err(ExecError::Unaligned { pc, addr }.into());
-                }
                 let vl = state.vl();
                 let regs = group_regs(vl, state.vlmax());
-                check_group(pc, vs3, regs)?;
+                if CHECKED {
+                    check_element_width(pc, sew, ew)?;
+                    check_vector_alignment(pc, addr, eb as u64)?;
+                    check_group(pc, vs3, regs)?;
+                } else {
+                    debug_assert_eq!(sew, ew, "verified store width drifted");
+                    debug_assert!(addr.is_multiple_of(eb as u64));
+                    debug_assert!(vs3.index() as usize + regs <= 32);
+                }
                 let src = state.v_group_bytes(vs3, regs);
                 mem.write_slice(addr, &src[..vl * eb]);
                 mem_op = Some(MemOp {
@@ -669,13 +736,14 @@ impl DecodedProgram {
             Uop::VfmaccVf { vd, fs1, vs2 } => {
                 let vl = state.vl();
                 let sew = state.vtype().sew;
-                // Not group-aware: the oracle faults on grouping before
-                // the element-width rule.
-                if vl > state.vlmax() {
-                    return Err(ExecError::GroupingUnsupported { pc }.into());
-                }
-                if sew != Sew::E32 {
-                    return Err(ExecError::IllegalSewForOp { pc, sew }.into());
+                if CHECKED {
+                    // Not group-aware: the oracle faults on grouping
+                    // before the element-width rule.
+                    check_grouping_supported(pc, vl, state.vlmax())?;
+                    check_e32_only(pc, sew)?;
+                } else {
+                    debug_assert!(vl <= state.vlmax());
+                    debug_assert_eq!(sew, Sew::E32);
                 }
                 let s = state.f32(fs1);
                 let mut buf = [0u8; MAX_GROUP_BYTES];
@@ -690,31 +758,30 @@ impl DecodedProgram {
             }
             Uop::VindexmacVx { vd, vs2, rs } => {
                 let sew = state.vtype().sew;
-                // Unlike `.vvi`, the first-generation MAC has no
-                // register-grouping semantics (the oracle's
-                // `group_aware` list excludes it).
-                if state.vl() > state.vlmax() {
-                    return Err(ExecError::GroupingUnsupported { pc }.into());
+                if CHECKED {
+                    // Unlike `.vvi`, the first-generation MAC has no
+                    // register-grouping semantics (the oracle's
+                    // `group_aware` list excludes it).
+                    check_grouping_supported(pc, state.vl(), state.vlmax())?;
+                } else {
+                    debug_assert!(state.vl() <= state.vlmax());
                 }
                 let src = VReg::new((state.x(rs) & 0x1F) as u8);
                 let multiplier_bits = state.v_lane(vs2, 0, sew);
-                indexmac_body(state, pc, vd, src, multiplier_bits, sew)?;
+                indexmac_body::<CHECKED>(state, pc, vd, src, multiplier_bits, sew)?;
                 indirect = Some(src);
             }
             Uop::VindexmacVvi { vd, vs2, vs1, slot } => {
                 let sew = state.vtype().sew;
-                let slot = slot as usize;
-                if slot >= state.vlmax() {
-                    return Err(ExecError::SlotOutOfRange {
-                        pc,
-                        slot: slot as u8,
-                        vlmax: state.vlmax(),
-                    }
-                    .into());
+                if CHECKED {
+                    check_slot(pc, slot, state.vlmax())?;
+                } else {
+                    debug_assert!((slot as usize) < state.vlmax());
                 }
+                let slot = slot as usize;
                 let src = VReg::new((state.v_lane(vs1, slot, sew) & 0x1F) as u8);
                 let multiplier_bits = state.v_lane(vs2, slot, sew);
-                indexmac_body(state, pc, vd, src, multiplier_bits, sew)?;
+                indexmac_body::<CHECKED>(state, pc, vd, src, multiplier_bits, sew)?;
                 indirect = Some(src);
             }
             Uop::Step => {
@@ -756,11 +823,15 @@ fn scalar_mem(addr: u64, bytes: u64, write: bool) -> MemOp {
 
 /// Validates a precomputed absolute branch target, mirroring the
 /// oracle's `next_pc < 0` rule (over-the-end targets surface later as
-/// `FellOffEnd`, exactly like the oracle).
+/// `FellOffEnd`, exactly like the oracle). The verified path
+/// (`CHECKED = false`) compiles the branch out: the analyzer proved
+/// every reachable target non-negative.
 #[inline]
-fn checked_target(target: i64) -> Result<usize, SimError> {
-    if target < 0 {
-        return Err(crate::exec::ExecError::PcOutOfRange { target }.into());
+fn checked_target<const CHECKED: bool>(target: i64) -> Result<usize, SimError> {
+    if CHECKED {
+        crate::checks::check_branch_target(target)?;
+    } else {
+        debug_assert!(target >= 0, "verified program branched below slot 0");
     }
     Ok(target as usize)
 }
@@ -773,7 +844,14 @@ fn le32(bytes: &[u8], off: usize) -> u32 {
 /// The shared MAC body of both IndexMAC µops — bit-for-bit the oracle's
 /// `exec_indexmac_body`, restructured to borrow each register group's
 /// bytes once instead of per lane.
-fn indexmac_body(
+///
+/// The indirect-source group check is retained even on the verified
+/// path (`CHECKED = false`): the selected register comes from runtime
+/// data (scalar register or metadata lane), so the analyzer can only
+/// vouch for it through a layout contract — the one data-dependent rule
+/// stays a real branch. The *destination* checks (widening alignment,
+/// group ranges over a decode-time-constant base) do compile out.
+fn indexmac_body<const CHECKED: bool>(
     state: &mut ArchState,
     pc: usize,
     vd: VReg,
@@ -781,7 +859,6 @@ fn indexmac_body(
     multiplier_bits: u32,
     sew: Sew,
 ) -> Result<(), SimError> {
-    use crate::exec::ExecError;
     let vl = state.vl();
     let regs = group_regs(vl, state.vlmax());
     check_group(pc, src, regs)?;
@@ -789,7 +866,11 @@ fn indexmac_body(
     let mut buf = [0u8; MAX_GROUP_BYTES];
     buf[..vl * info.bytes].copy_from_slice(&state.v_group_bytes(src, regs)[..vl * info.bytes]);
     if sew == Sew::E32 {
-        check_group(pc, vd, regs)?;
+        if CHECKED {
+            check_group(pc, vd, regs)?;
+        } else {
+            debug_assert!(vd.index() as usize + regs <= 32);
+        }
         let m = f32::from_bits(multiplier_bits);
         let dst = state.v_group_bytes_mut(vd, regs);
         for i in 0..vl {
@@ -801,17 +882,16 @@ fn indexmac_body(
     } else {
         // Widening integer MAC: i8/i16 operands, i32 accumulation, the
         // destination group `widen`× the source EMUL.
-        let widen = info.widen;
-        let dst_regs = regs * widen;
-        if !(vd.index() as usize).is_multiple_of(widen) || dst_regs > 4 {
-            return Err(ExecError::IllegalWidening {
-                pc,
-                sew,
-                vd: vd.index(),
-            }
-            .into());
-        }
-        check_group(pc, vd, dst_regs)?;
+        let dst_regs = if CHECKED {
+            let dst_regs = check_widening_dst(pc, sew, vd, regs)?;
+            check_group(pc, vd, dst_regs)?;
+            dst_regs
+        } else {
+            let dst_regs = regs * info.widen;
+            debug_assert!((vd.index() as usize).is_multiple_of(info.widen) && dst_regs <= 4);
+            debug_assert!(vd.index() as usize + dst_regs <= 32);
+            dst_regs
+        };
         let m = sign_extend(multiplier_bits, sew);
         let dst = state.v_group_bytes_mut(vd, dst_regs);
         if sew == Sew::E8 {

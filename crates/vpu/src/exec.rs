@@ -16,6 +16,11 @@
 // keep source/destination aliasing explicit; iterator forms obscure that.
 #![allow(clippy::needless_range_loop)]
 
+use crate::checks::{
+    check_branch_target, check_e32_only, check_element_width, check_group,
+    check_grouping_supported, check_sew_supported, check_slot, check_vector_alignment,
+    check_widening_dst, group_aware, group_regs,
+};
 use crate::state::{sign_extend, ArchState};
 use indexmac_isa::{Instruction, Sew, VReg, VType};
 use indexmac_mem::MainMemory;
@@ -183,43 +188,6 @@ fn f(bits: u32) -> f32 {
     f32::from_bits(bits)
 }
 
-/// Registers a grouped operand spans for the active `vl`.
-pub(crate) fn group_regs(vl: usize, vlmax: usize) -> usize {
-    vl.div_ceil(vlmax).max(1)
-}
-
-/// Whether `instr` has defined semantics when `vl` exceeds the
-/// single-register VLMAX (register grouping): the grouped memory ops,
-/// `vindexmac.vvi`, and the element-0 moves (which touch only lane 0 of
-/// the group regardless of LMUL).
-fn group_aware(instr: &Instruction) -> bool {
-    matches!(
-        instr,
-        Instruction::Vsetvli { .. }
-            | Instruction::Vle8 { .. }
-            | Instruction::Vle16 { .. }
-            | Instruction::Vle32 { .. }
-            | Instruction::Vse8 { .. }
-            | Instruction::Vse16 { .. }
-            | Instruction::Vse32 { .. }
-            | Instruction::VindexmacVvi { .. }
-            | Instruction::VmvXs { .. }
-            | Instruction::VmvSx { .. }
-            | Instruction::VfmvFs { .. }
-    )
-}
-
-pub(crate) fn check_group(pc: usize, r: VReg, regs: usize) -> Result<(), ExecError> {
-    if r.index() as usize + regs > 32 {
-        return Err(ExecError::GroupOutOfRange {
-            pc,
-            base: r.index(),
-            regs,
-        });
-    }
-    Ok(())
-}
-
 /// Executes a unit-stride vector load of `vl` elements of width `ew`.
 fn exec_vload(
     state: &mut ArchState,
@@ -230,13 +198,9 @@ fn exec_vload(
     ew: Sew,
 ) -> Result<MemOp, ExecError> {
     let sew = state.vtype().sew;
-    if sew != ew {
-        return Err(ExecError::IllegalSewForOp { pc, sew });
-    }
+    check_element_width(pc, sew, ew)?;
     let eb = ew.bytes() as u64;
-    if !addr.is_multiple_of(eb) {
-        return Err(ExecError::Unaligned { pc, addr });
-    }
+    check_vector_alignment(pc, addr, eb)?;
     let vl = state.vl();
     let regs = group_regs(vl, state.vlmax());
     check_group(pc, vd, regs)?;
@@ -267,13 +231,9 @@ fn exec_vstore(
     ew: Sew,
 ) -> Result<MemOp, ExecError> {
     let sew = state.vtype().sew;
-    if sew != ew {
-        return Err(ExecError::IllegalSewForOp { pc, sew });
-    }
+    check_element_width(pc, sew, ew)?;
     let eb = ew.bytes() as u64;
-    if !addr.is_multiple_of(eb) {
-        return Err(ExecError::Unaligned { pc, addr });
-    }
+    check_vector_alignment(pc, addr, eb)?;
     let vl = state.vl();
     let regs = group_regs(vl, state.vlmax());
     check_group(pc, vs3, regs)?;
@@ -294,11 +254,7 @@ fn exec_vstore(
     })
 }
 
-/// The widening accumulator factor for the integer MACs (`32 / SEW`);
-/// 1 at e32, where the MAC is the paper's fp32 semantics.
-pub fn widen_factor(sew: Sew) -> usize {
-    32 / sew.bits()
-}
+pub use crate::checks::widen_factor;
 
 /// The shared MAC body of `vindexmac.vx` / `vindexmac.vvi`: multiplies
 /// the selected B-row register (group) by the scalar `multiplier` lane
@@ -329,19 +285,7 @@ fn exec_indexmac_body(
         }
     } else {
         // Widening integer MAC: i8/i16 operands, i32 accumulation.
-        let widen = widen_factor(sew);
-        let dst_regs = regs * widen;
-        // The accumulator group is bounded by the largest modelled
-        // grouping (m4), exactly as the layout planner enforces with
-        // `lmul * 32/SEW <= 4` — wider groups describe a machine the
-        // model does not have.
-        if !(vd.index() as usize).is_multiple_of(widen) || dst_regs > 4 {
-            return Err(ExecError::IllegalWidening {
-                pc,
-                sew,
-                vd: vd.index(),
-            });
-        }
+        let dst_regs = check_widening_dst(pc, sew, vd, regs)?;
         check_group(pc, vd, dst_regs)?;
         let multiplier = sign_extend(multiplier_bits, sew);
         for i in 0..vl {
@@ -378,16 +322,11 @@ pub fn step(
     };
     let mut next_pc = pc as i64 + 1;
 
-    if vl > state.vlmax() && instr.is_vector() && !group_aware(instr) {
-        return Err(ExecError::GroupingUnsupported { pc });
+    if instr.is_vector() && !group_aware(instr) {
+        check_grouping_supported(pc, vl, state.vlmax())?;
     }
     // Element-wise float semantics exist only at e32.
-    let require_e32 = |pc: usize| -> Result<(), ExecError> {
-        if sew != Sew::E32 {
-            return Err(ExecError::IllegalSewForOp { pc, sew });
-        }
-        Ok(())
-    };
+    let require_e32 = |pc: usize| check_e32_only(pc, sew);
     // Lane mask of the active element width for modular integer math.
     let lane_mask: u32 = (u64::MAX >> (64 - sew.bits())) as u32;
 
@@ -524,9 +463,7 @@ pub fn step(
             sew: new_sew,
             lmul,
         } => {
-            if new_sew == Sew::E64 {
-                return Err(ExecError::UnsupportedSew { pc });
-            }
+            check_sew_supported(pc, new_sew)?;
             state.set_vtype(VType { sew: new_sew, lmul });
             let vlmax = state.vlmax_grouped();
             let avl = if rs1.is_zero() {
@@ -749,14 +686,8 @@ pub fn step(
             // registers; vd and the indirect source span the whole
             // register group when vl > VLMAX, and vd additionally
             // widens at the integer element widths.
+            check_slot(pc, slot, state.vlmax())?;
             let slot = slot as usize;
-            if slot >= state.vlmax() {
-                return Err(ExecError::SlotOutOfRange {
-                    pc,
-                    slot: slot as u8,
-                    vlmax: state.vlmax(),
-                });
-            }
             let src = VReg::new((state.v_lane(vs1, slot, sew) & 0x1F) as u8);
             let multiplier_bits = state.v_lane(vs2, slot, sew);
             exec_indexmac_body(state, pc, vd, src, multiplier_bits)?;
@@ -764,9 +695,7 @@ pub fn step(
         }
     }
 
-    if next_pc < 0 {
-        return Err(ExecError::PcOutOfRange { target: next_pc });
-    }
+    check_branch_target(next_pc)?;
     state.pc = next_pc as usize;
     Ok(ev)
 }

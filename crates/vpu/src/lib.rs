@@ -42,6 +42,8 @@
 
 #![warn(missing_docs)]
 
+pub mod analyze;
+pub mod checks;
 pub mod config;
 pub mod engine;
 pub mod exec;
@@ -51,9 +53,13 @@ pub mod state;
 pub mod timing;
 pub mod trace;
 
+pub use analyze::{
+    analyze, analyze_instructions, analyze_with_contract, Analysis, AnalysisContract, Confidence,
+    Diagnostic, OffsetTable, Rule, Severity, Verified, VregTable,
+};
 pub use config::SimConfig;
 pub use engine::{DecodedProgram, NullObserver, Observer};
-pub use exec::{ExecEvent, MemOp};
+pub use exec::{ExecError, ExecEvent, MemOp};
 pub use report::RunReport;
 pub use sim::{SimError, Simulator};
 pub use state::ArchState;

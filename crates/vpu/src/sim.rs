@@ -220,6 +220,60 @@ impl Simulator {
         )
     }
 
+    /// [`Simulator::run_decoded`] through the **check-elided** engine
+    /// loop: a [`crate::analyze::Verified`] token (minted by the static
+    /// analyzer for programs with zero error-class diagnostics) replaces
+    /// the per-µop fault branches with debug assertions.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InstructionLimit`] only — the token certifies the
+    /// fault conditions cannot occur (still checked in debug builds).
+    pub fn run_decoded_verified(
+        &mut self,
+        program: &DecodedProgram,
+        token: crate::analyze::Verified,
+    ) -> Result<RunReport, SimError> {
+        let mut obs = TimingObserver::new(self.cfg);
+        let instructions = self.run_decoded_verified_with(program, &mut obs, token)?;
+        Ok(make_report(obs.model(), instructions))
+    }
+
+    /// [`Simulator::run_functional_decoded`] through the check-elided
+    /// verified loop.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Simulator::run_decoded_verified`].
+    pub fn run_functional_verified(
+        &mut self,
+        program: &DecodedProgram,
+        token: crate::analyze::Verified,
+    ) -> Result<u64, SimError> {
+        self.run_decoded_verified_with(program, &mut NullObserver, token)
+    }
+
+    /// Core verified entry point: runs `program` check-elided under any
+    /// [`Observer`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Simulator::run_decoded_verified`].
+    pub fn run_decoded_verified_with<O: Observer>(
+        &mut self,
+        program: &DecodedProgram,
+        observer: &mut O,
+        token: crate::analyze::Verified,
+    ) -> Result<u64, SimError> {
+        program.execute_verified(
+            &mut self.state,
+            &mut self.mem,
+            observer,
+            self.max_instructions,
+            token,
+        )
+    }
+
     /// The legacy interpret-per-step loop over [`step`] — kept verbatim
     /// as the **oracle** the decoded engine is differentially tested
     /// against (`crates/vpu/tests/prop_engine.rs`), and as the
@@ -551,6 +605,58 @@ mod tests {
             .unwrap();
         assert!(small.truncated());
         assert_eq!(small.entries().len(), 1);
+    }
+
+    #[test]
+    fn verified_path_matches_checked_path_bit_for_bit() {
+        let mut b = ProgramBuilder::new();
+        b.li(XReg::A0, 16);
+        b.push(Instruction::Vsetvli {
+            rd: XReg::T0,
+            rs1: XReg::A0,
+            sew: Sew::E32,
+            lmul: Lmul::M1,
+        });
+        b.li(XReg::A1, 0x1000);
+        b.li(XReg::A2, 0x2000);
+        b.push(Instruction::Vle32 {
+            vd: VReg::V2,
+            rs1: XReg::A1,
+        });
+        b.push(Instruction::VaddVv {
+            vd: VReg::V3,
+            vs2: VReg::V2,
+            vs1: VReg::V2,
+        });
+        b.push(Instruction::Vse32 {
+            vs3: VReg::V3,
+            rs1: XReg::A2,
+        });
+        b.halt();
+        let p = b.build();
+        let dp = DecodedProgram::decode(&p);
+        let token = crate::analyze::analyze(&dp, SimConfig::table_i().vlen_bits)
+            .verified()
+            .expect("program analyzes clean");
+
+        let mut checked = sim();
+        checked.memory_mut().write_f32_slice(0x1000, &[1.5; 16]);
+        let a = checked.run_decoded(&dp).unwrap();
+        let mut verified = sim();
+        verified.memory_mut().write_f32_slice(0x1000, &[1.5; 16]);
+        let b = verified.run_decoded_verified(&dp, token).unwrap();
+        assert_eq!(a, b, "verified run must be bit-identical");
+        assert_eq!(
+            checked.memory().read_f32_slice(0x2000, 16),
+            verified.memory().read_f32_slice(0x2000, 16)
+        );
+        // Functional verified agrees too.
+        let mut f = sim();
+        f.memory_mut().write_f32_slice(0x1000, &[1.5; 16]);
+        assert_eq!(
+            f.run_functional_verified(&dp, token).unwrap(),
+            a.instructions
+        );
     }
 
     #[test]
