@@ -24,7 +24,7 @@ use indexmac::kernels::{Dataflow, GemmDims, KernelParams};
 use indexmac::sparse::NmPattern;
 use indexmac::sweep::{run_grid, SweepGrid};
 use indexmac::table::{fmt_pair, fmt_pct, fmt_speedup, Table};
-use indexmac::vpu::SimConfig;
+use indexmac::vpu::{SimConfig, TimingKind};
 use indexmac_models::{
     densenet121, inception_v3, resnet50, GemmCaps, Model, ModelFamily, TransformerConfig,
 };
@@ -46,6 +46,7 @@ enum Command {
         sew: Precision,
         seed: Option<u64>,
         max_instructions: Option<u64>,
+        timing: TimingKind,
     },
     /// Run the comparison on a named model layer (CNN conv or
     /// transformer projection).
@@ -65,6 +66,7 @@ enum Command {
         caps: GemmCaps,
         seed: Option<u64>,
         max_instructions: Option<u64>,
+        timing: TimingKind,
     },
     /// List the GEMM layers of a model.
     List { model: String },
@@ -102,6 +104,8 @@ enum Command {
         sew: Precision,
         /// Override of the runaway-program guard.
         max_instructions: Option<u64>,
+        /// Timing backend every cell runs under.
+        timing: TimingKind,
     },
 }
 
@@ -304,6 +308,15 @@ fn parse_max_instructions(
     }
 }
 
+/// Parses the optional `--timing` backend selector shared by `gemm`,
+/// `model` and `sweep` (defaults to the paper's in-order scoreboard).
+fn parse_timing(opts: &std::collections::HashMap<String, String>) -> Result<TimingKind, String> {
+    match opts.get("timing") {
+        Some(s) => s.parse(),
+        None => Ok(TimingKind::InOrder),
+    }
+}
+
 /// Applies the optional seed/guard overrides to a campaign config.
 fn apply_overrides(cfg: &mut ExperimentConfig, seed: Option<u64>, max_instructions: Option<u64>) {
     if let Some(seed) = seed {
@@ -389,6 +402,7 @@ fn parse(args: &[String]) -> Result<Command, String> {
                 sew,
                 seed: parse_seed(&opts)?,
                 max_instructions: parse_max_instructions(&opts)?,
+                timing: parse_timing(&opts)?,
             })
         }
         "layer" => Ok(Command::Layer {
@@ -423,6 +437,7 @@ fn parse(args: &[String]) -> Result<Command, String> {
             },
             seed: parse_seed(&opts)?,
             max_instructions: parse_max_instructions(&opts)?,
+            timing: parse_timing(&opts)?,
         }),
         "list" => Ok(Command::List {
             model: get("model").ok_or("list requires --model")?,
@@ -547,6 +562,7 @@ fn parse(args: &[String]) -> Result<Command, String> {
                 lmul,
                 sew,
                 max_instructions: parse_max_instructions(&opts)?,
+                timing: parse_timing(&opts)?,
             })
         }
         other => Err(format!("unknown command `{other}`\n{USAGE}")),
@@ -555,16 +571,17 @@ fn parse(args: &[String]) -> Result<Command, String> {
 
 const USAGE: &str = "usage:
   indexmac-cli config
-  indexmac-cli gemm --rows R --inner K --cols N [--pattern N:M] [--algorithm dense|rowwise|indexmac|indexmac2|scalar] [--unroll U] [--tile-rows L] [--lmul 1|2|4] [--sew 8|16|32] [--seed S] [--max-instructions I]
+  indexmac-cli gemm --rows R --inner K --cols N [--pattern N:M] [--algorithm dense|rowwise|indexmac|indexmac2|scalar] [--unroll U] [--tile-rows L] [--lmul 1|2|4] [--sew 8|16|32] [--timing inorder|pipelined|ooo] [--seed S] [--max-instructions I]
   indexmac-cli layer --model M --name NAME [--pattern N:M] [--seed S]
-  indexmac-cli model --preset M [--pattern N:M] [--seq-len T] [--sew 8|16|32] [--caps smoke|eval|full] [--seed S] [--max-instructions I]
+  indexmac-cli model --preset M [--pattern N:M] [--seq-len T] [--sew 8|16|32] [--caps smoke|eval|full] [--timing inorder|pipelined|ooo] [--seed S] [--max-instructions I]
   indexmac-cli list --model M
   indexmac-cli lint [--algorithm A|all] [--dims RxKxN] [--patterns N:M[,N:M...]] [--sew 8|16|32] [--lmul 1|2|4] [--unroll U] [--tile-rows L] [--format table|json|json-pretty]
-  indexmac-cli sweep --dims RxKxN[,RxKxN...] [--patterns N:M[,N:M...]] [--dataflows a|b|c|all] [--algorithm A] [--baseline A] [--lmul 1|2|4] [--sew 8|16|32] [--seed S] [--threads T] [--format table|json|json-pretty] [--max-instructions I]
+  indexmac-cli sweep --dims RxKxN[,RxKxN...] [--patterns N:M[,N:M...]] [--dataflows a|b|c|all] [--algorithm A] [--baseline A] [--lmul 1|2|4] [--sew 8|16|32] [--timing inorder|pipelined|ooo] [--seed S] [--threads T] [--format table|json|json-pretty] [--max-instructions I]
 
 models: resnet50 | densenet121 | inceptionv3 | bert-base | gpt2-small | vit-b16, each also as <model>-int8 (e8 datapath)
 transformer presets decompose into attention/FFN weight GEMMs; --seq-len rescales their batched columns
 --sew 8|16 runs the quantized widening datapath (indexmac/indexmac2 only, bit-exact verification)
+--timing selects the scalar-core timing backend: the paper's in-order scoreboard (default), an explicit 5-stage pipeline, or an out-of-order core (ROB/RS/RAT/LSQ); instret is backend-invariant
 --max-instructions tunes the per-simulation runaway guard (default 2e9)
 lint statically analyzes kernel builds without simulating (exit 1 on any diagnostic); unspecified lint axes sweep every shipped configuration";
 
@@ -746,6 +763,7 @@ fn run(cmd: Command) -> Result<(), String> {
             sew,
             seed,
             max_instructions,
+            timing,
         } => {
             // Quantized comparisons default to the two vindexmac
             // generations (the walk-based baselines are f32-only).
@@ -762,10 +780,11 @@ fn run(cmd: Command) -> Result<(), String> {
                 tile_rows,
                 lmul,
                 ..base
-            };
+            }
+            .with_timing(timing);
             apply_overrides(&mut cfg, seed, max_instructions);
             println!(
-                "GEMM {}x{}x{}, A pruned to {pattern}, {} elements (simulated {:?})\n",
+                "GEMM {}x{}x{}, A pruned to {pattern}, {} elements, {timing} timing (simulated {:?})\n",
                 dims.rows,
                 dims.inner,
                 dims.cols,
@@ -817,6 +836,7 @@ fn run(cmd: Command) -> Result<(), String> {
             caps,
             seed,
             max_instructions,
+            timing,
         } => {
             let mut m = preset_by_name(&preset, seq_len)?;
             if let Some(p) = sew {
@@ -835,7 +855,8 @@ fn run(cmd: Command) -> Result<(), String> {
             let mut cfg = ExperimentConfig {
                 caps,
                 ..config_for_family(m.family)
-            };
+            }
+            .with_timing(timing);
             apply_overrides(&mut cfg, seed, max_instructions);
             indexmac::experiment::reset_decode_cache();
             println!(
@@ -847,7 +868,10 @@ fn run(cmd: Command) -> Result<(), String> {
                 m.total_macs() as f64 / 1e9,
                 m.precision,
             );
-            println!("caps: {} | seed {:#x}\n", cfg.caps, cfg.seed);
+            println!(
+                "caps: {} | seed {:#x} | {timing} timing\n",
+                cfg.caps, cfg.seed
+            );
             let c = compare_model(&m, pattern, &cfg).map_err(|e| e.to_string())?;
             let mut table = Table::new(vec![
                 "layer",
@@ -980,6 +1004,7 @@ fn run(cmd: Command) -> Result<(), String> {
             lmul,
             sew,
             max_instructions,
+            timing,
         } => {
             let mut cfg = ExperimentConfig {
                 baseline,
@@ -987,7 +1012,8 @@ fn run(cmd: Command) -> Result<(), String> {
                 lmul,
                 precision: sew,
                 ..ExperimentConfig::paper()
-            };
+            }
+            .with_timing(timing);
             apply_overrides(&mut cfg, None, max_instructions);
             let mut grid = SweepGrid::new(patterns, dims).with_dataflows(dataflows);
             if let Some(seed) = seed {
@@ -1007,7 +1033,7 @@ fn run(cmd: Command) -> Result<(), String> {
                 OutputFormat::JsonPretty => println!("{}", result.to_json_pretty()),
                 OutputFormat::Table => {
                     println!(
-                        "baseline: {} | proposed: {}{} | {} elements",
+                        "baseline: {} | proposed: {}{} | {} elements | {} timing",
                         cfg.baseline,
                         cfg.proposed,
                         if cfg.proposed == Algorithm::IndexMac2 {
@@ -1016,6 +1042,7 @@ fn run(cmd: Command) -> Result<(), String> {
                             String::new()
                         },
                         cfg.precision,
+                        result.timing,
                     );
                     let mut table = Table::new(vec![
                         "GEMM (RxKxN)",
@@ -1201,6 +1228,7 @@ mod tests {
                 sew: Precision::F32,
                 seed: None,
                 max_instructions: None,
+                timing: TimingKind::InOrder,
             }
         );
         let c = parse(&argv(
@@ -1331,6 +1359,7 @@ mod tests {
             sew: Precision::F32,
             seed: None,
             max_instructions: Some(5),
+            timing: TimingKind::InOrder,
         })
         .unwrap_err();
         assert!(err.contains("instruction limit"), "got: {err}");
@@ -1413,6 +1442,7 @@ mod tests {
                 caps: GemmCaps::smoke(),
                 seed: Some(9),
                 max_instructions: None,
+                timing: TimingKind::InOrder,
             }
         );
         let c = parse(&argv("model --preset gpt2-small --pattern 1:4")).unwrap();
@@ -1426,6 +1456,7 @@ mod tests {
                 caps: GemmCaps::default_eval(),
                 seed: None,
                 max_instructions: None,
+                timing: TimingKind::InOrder,
             }
         );
         assert!(parse(&argv("model")).unwrap_err().contains("preset"));
@@ -1451,6 +1482,7 @@ mod tests {
             caps: GemmCaps::smoke(),
             seed: None,
             max_instructions: None,
+            timing: TimingKind::InOrder,
         })
         .unwrap();
         // A quantized preset plus an explicit --sew override both run.
@@ -1462,6 +1494,7 @@ mod tests {
             caps: GemmCaps::smoke(),
             seed: Some(3),
             max_instructions: None,
+            timing: TimingKind::InOrder,
         })
         .unwrap();
         run(Command::Model {
@@ -1472,6 +1505,7 @@ mod tests {
             caps: GemmCaps::smoke(),
             seed: None,
             max_instructions: None,
+            timing: TimingKind::InOrder,
         })
         .unwrap();
         // A single transformer layer through the layer command.
@@ -1525,6 +1559,7 @@ mod tests {
                 baseline: Algorithm::RowWiseSpmm,
                 lmul: 1,
                 sew: Precision::F32,
+                timing: TimingKind::InOrder,
             }
         );
         let c = parse(&argv(
@@ -1556,6 +1591,7 @@ mod tests {
                 baseline: Algorithm::RowWiseSpmm,
                 lmul: 1,
                 sew: Precision::F32,
+                timing: TimingKind::InOrder,
             }
         );
     }
@@ -1663,6 +1699,7 @@ mod tests {
                 baseline: Algorithm::RowWiseSpmm,
                 lmul: 1,
                 sew: Precision::F32,
+                timing: TimingKind::InOrder,
             })
             .unwrap();
         }
@@ -1686,6 +1723,7 @@ mod tests {
             baseline: Algorithm::IndexMac,
             lmul: 2,
             sew: Precision::F32,
+            timing: TimingKind::InOrder,
         })
         .unwrap();
     }
@@ -1707,6 +1745,7 @@ mod tests {
             sew: Precision::F32,
             seed: None,
             max_instructions: None,
+            timing: TimingKind::InOrder,
         })
         .unwrap();
         run(Command::Gemm {
@@ -1723,6 +1762,7 @@ mod tests {
             sew: Precision::F32,
             seed: None,
             max_instructions: None,
+            timing: TimingKind::InOrder,
         })
         .unwrap();
         // The acceptance path: quantized vvi run, bit-exact verification.
@@ -1740,8 +1780,57 @@ mod tests {
             sew: Precision::I8,
             seed: Some(5),
             max_instructions: None,
+            timing: TimingKind::InOrder,
         })
         .unwrap();
+    }
+
+    #[test]
+    fn parse_timing_flag_on_gemm_model_and_sweep() {
+        let c = parse(&argv("gemm --rows 8 --inner 32 --cols 16 --timing ooo")).unwrap();
+        match c {
+            Command::Gemm { timing, .. } => assert_eq!(timing, TimingKind::OutOfOrder),
+            other => panic!("wrong parse: {other:?}"),
+        }
+        let c = parse(&argv("model --preset bert-base --timing pipelined")).unwrap();
+        match c {
+            Command::Model { timing, .. } => assert_eq!(timing, TimingKind::Pipelined),
+            other => panic!("wrong parse: {other:?}"),
+        }
+        let c = parse(&argv("sweep --dims 8x32x16 --timing inorder")).unwrap();
+        match c {
+            Command::Sweep { timing, .. } => assert_eq!(timing, TimingKind::InOrder),
+            other => panic!("wrong parse: {other:?}"),
+        }
+        assert!(
+            parse(&argv("gemm --rows 8 --inner 32 --cols 16 --timing warp"))
+                .unwrap_err()
+                .contains("timing backend")
+        );
+        assert!(USAGE.contains("--timing inorder|pipelined|ooo"));
+    }
+
+    #[test]
+    fn run_gemm_smoke_under_every_backend() {
+        for kind in TimingKind::ALL {
+            run(Command::Gemm {
+                dims: GemmDims {
+                    rows: 4,
+                    inner: 16,
+                    cols: 8,
+                },
+                pattern: NmPattern::P1_4,
+                algorithm: None,
+                unroll: 2,
+                tile_rows: 16,
+                lmul: 1,
+                sew: Precision::F32,
+                seed: None,
+                max_instructions: None,
+                timing: kind,
+            })
+            .unwrap();
+        }
     }
 
     #[test]

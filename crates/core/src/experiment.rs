@@ -158,6 +158,15 @@ impl ExperimentConfig {
             ..Self::paper()
         }
     }
+
+    /// Same campaign under a different timing backend — both comparison
+    /// sides (and every sweep cell) run on `timing`; the architectural
+    /// results and instret are backend-invariant by construction.
+    #[must_use]
+    pub fn with_timing(mut self, timing: indexmac_vpu::TimingKind) -> Self {
+        self.sim = self.sim.with_timing(timing);
+        self
+    }
 }
 
 impl Default for ExperimentConfig {

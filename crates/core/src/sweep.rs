@@ -238,6 +238,9 @@ pub struct SweepResult {
     /// Element precision every cell ran at (from the campaign
     /// configuration): `f32`, `i16` or `i8`.
     pub precision: crate::experiment::Precision,
+    /// Timing backend every cell ran under (from the campaign
+    /// configuration's [`indexmac_vpu::SimConfig`]).
+    pub timing: indexmac_vpu::TimingKind,
     /// Per-cell results, in [`SweepGrid::cells`] order.
     pub cells: Vec<CellResult>,
 }
@@ -277,6 +280,7 @@ impl Serialize for SweepResult {
             ("base_seed", self.base_seed.to_value()),
             ("threads", self.threads.to_value()),
             ("precision", self.precision.to_string().to_value()),
+            ("timing", self.timing.name().to_value()),
             ("geomean_speedup", self.geomean_speedup().to_value()),
             ("cells", self.cells.to_value()),
         ])
@@ -338,6 +342,7 @@ pub fn run_grid(grid: &SweepGrid, cfg: &ExperimentConfig) -> Result<SweepResult,
         base_seed: grid.base_seed,
         threads: rayon::current_num_threads(),
         precision: cfg.precision,
+        timing: cfg.sim.timing,
         cells,
     })
 }
@@ -361,6 +366,7 @@ pub fn run_grid_serial(
         base_seed: grid.base_seed,
         threads: 1,
         precision: cfg.precision,
+        timing: cfg.sim.timing,
         cells,
     })
 }
@@ -589,8 +595,58 @@ mod tests {
         assert!(json.contains("\"speedup\""));
         assert!(json.contains("\"pattern\":\"1:4\""), "json was: {json}");
         assert!(json.contains("\"precision\":\"f32\""), "json was: {json}");
+        assert!(json.contains("\"timing\":\"inorder\""), "json was: {json}");
         let pretty = result.to_json_pretty();
         assert!(pretty.contains("\n  \"cells\""));
+    }
+
+    #[test]
+    fn timing_backend_reaches_every_cell_and_the_json() {
+        // The same grid under each backend: instret is backend-invariant,
+        // the JSON records which backend produced the cycles, and the
+        // pipelined front end is never faster than the scoreboard.
+        use indexmac_vpu::TimingKind;
+        let grid = SweepGrid::new(
+            vec![NmPattern::P1_4],
+            vec![GemmDims {
+                rows: 4,
+                inner: 32,
+                cols: 16,
+            }],
+        );
+        let mut results = Vec::new();
+        for kind in TimingKind::ALL {
+            let result = run_grid(&grid, &fast_cfg().with_timing(kind)).unwrap();
+            assert_eq!(result.timing, kind);
+            let json = result.to_json();
+            assert!(
+                json.contains(&format!("\"timing\":\"{kind}\"")),
+                "json was: {json}"
+            );
+            results.push(result);
+        }
+        let base = &results[0].cells[0];
+        for r in &results[1..] {
+            let cell = &r.cells[0];
+            assert_eq!(
+                cell.comparison.baseline.report.instructions,
+                base.comparison.baseline.report.instructions,
+                "{}: baseline instret is backend-invariant",
+                r.timing
+            );
+            assert_eq!(
+                cell.comparison.proposed.report.instructions,
+                base.comparison.proposed.report.instructions,
+                "{}: proposed instret is backend-invariant",
+                r.timing
+            );
+        }
+        let (inorder, pipelined) = (&results[0], &results[1]);
+        assert!(
+            pipelined.cells[0].comparison.proposed.report.cycles
+                >= inorder.cells[0].comparison.proposed.report.cycles,
+            "pipelined adds front-end depth, never removes cycles"
+        );
     }
 
     #[test]

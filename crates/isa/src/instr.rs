@@ -51,6 +51,7 @@ impl fmt::Display for FReg {
 /// Micro-architectural class of an instruction, used by the timing model
 /// to pick latencies and routing (scalar pipe vs vector engine vs memory).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
 pub enum InstrClass {
     /// Scalar integer ALU operation.
     ScalarAlu,
@@ -84,6 +85,39 @@ pub enum InstrClass {
 }
 
 impl InstrClass {
+    /// Every class, in declaration order: `ALL[c.index()] == c`.
+    ///
+    /// Dense per-class tables (e.g. the timing model's `ClassCounts`)
+    /// index with [`InstrClass::index`] and size with
+    /// [`InstrClass::COUNT`]; the `const` block below makes forgetting
+    /// to extend this table a compile error rather than a silently
+    /// corrupted count.
+    pub const ALL: [InstrClass; 14] = [
+        InstrClass::ScalarAlu,
+        InstrClass::ScalarLoad,
+        InstrClass::ScalarStore,
+        InstrClass::ControlFlow,
+        InstrClass::VConfig,
+        InstrClass::VLoad,
+        InstrClass::VStore,
+        InstrClass::VArith,
+        InstrClass::VMac,
+        InstrClass::VSlide,
+        InstrClass::VMvToScalar,
+        InstrClass::VMvFromScalar,
+        InstrClass::VIndexMac,
+        InstrClass::System,
+    ];
+
+    /// Number of classes (`ALL.len()`).
+    pub const COUNT: usize = InstrClass::ALL.len();
+
+    /// Dense index of this class — its `#[repr(usize)]` discriminant,
+    /// equal to its position in [`InstrClass::ALL`].
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
     /// Whether instructions of this class are executed by the decoupled
     /// vector engine (as opposed to the scalar pipeline).
     pub fn is_vector(self) -> bool {
@@ -112,6 +146,37 @@ impl InstrClass {
         )
     }
 }
+
+// Compile-time guard for `InstrClass::ALL`: the loop pins every entry's
+// discriminant to its table position, and the exhaustive match (no
+// wildcard arm) forces a compile error here when a variant is added
+// without extending the table.
+const _: () = {
+    let mut i = 0;
+    while i < InstrClass::COUNT {
+        assert!(
+            InstrClass::ALL[i].index() == i,
+            "InstrClass::ALL out of declaration order"
+        );
+        i += 1;
+    }
+    match InstrClass::ALL[0] {
+        InstrClass::ScalarAlu
+        | InstrClass::ScalarLoad
+        | InstrClass::ScalarStore
+        | InstrClass::ControlFlow
+        | InstrClass::VConfig
+        | InstrClass::VLoad
+        | InstrClass::VStore
+        | InstrClass::VArith
+        | InstrClass::VMac
+        | InstrClass::VSlide
+        | InstrClass::VMvToScalar
+        | InstrClass::VMvFromScalar
+        | InstrClass::VIndexMac
+        | InstrClass::System => {}
+    }
+};
 
 /// One instruction of the modelled ISA.
 ///
@@ -516,6 +581,20 @@ impl fmt::Display for Instruction {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn class_table_is_exhaustive_and_in_order() {
+        assert_eq!(InstrClass::COUNT, InstrClass::ALL.len());
+        for (i, c) in InstrClass::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i, "{c:?} out of place in InstrClass::ALL");
+        }
+        // Vector/memory routing partitions the table sensibly.
+        assert_eq!(
+            InstrClass::ALL.iter().filter(|c| c.is_vector()).count(),
+            9,
+            "vector classes"
+        );
+    }
 
     #[test]
     fn class_routing() {

@@ -3,6 +3,65 @@
 
 use indexmac_mem::HierarchyConfig;
 
+/// Which scalar-core timing backend the simulator accounts cycles with.
+///
+/// All three consume the same decoded µop stream through the
+/// [`crate::TimingModel`] trait; only the scalar core differs — the
+/// decoupled vector engine model is shared, so dynamic instruction
+/// counts are identical across backends and only cycle counts move.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum TimingKind {
+    /// The in-order issue scoreboard (the original model; all pinned
+    /// paper numbers are measured under this backend).
+    #[default]
+    InOrder,
+    /// Explicit fetch/decode/issue/execute/writeback pipeline with
+    /// per-stage hazard stalls.
+    Pipelined,
+    /// Out-of-order scalar core: ROB, reservation stations, register
+    /// alias table and a scalar load/store queue.
+    OutOfOrder,
+}
+
+impl TimingKind {
+    /// Every backend, for exhaustive sweeps and cross-backend tests.
+    pub const ALL: [TimingKind; 3] = [
+        TimingKind::InOrder,
+        TimingKind::Pipelined,
+        TimingKind::OutOfOrder,
+    ];
+
+    /// The CLI / JSON name: `inorder`, `pipelined` or `ooo`.
+    pub fn name(self) -> &'static str {
+        match self {
+            TimingKind::InOrder => "inorder",
+            TimingKind::Pipelined => "pipelined",
+            TimingKind::OutOfOrder => "ooo",
+        }
+    }
+}
+
+impl std::fmt::Display for TimingKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for TimingKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "inorder" | "in-order" | "scoreboard" => Ok(TimingKind::InOrder),
+            "pipelined" | "pipeline" => Ok(TimingKind::Pipelined),
+            "ooo" | "out-of-order" | "outoforder" => Ok(TimingKind::OutOfOrder),
+            other => Err(format!(
+                "unknown timing backend '{other}' (expected inorder|pipelined|ooo)"
+            )),
+        }
+    }
+}
+
 /// Full configuration of the simulated decoupled vector processor.
 ///
 /// [`SimConfig::table_i`] reproduces the paper's Table I; individual
@@ -25,10 +84,16 @@ pub struct SimConfig {
     pub vdispatch_per_cycle: u32,
 
     // ---- scalar core (Table I: 8-way OoO, 60-entry ROB) ----
+    /// Timing backend the simulator accounts scalar cycles with.
+    pub timing: TimingKind,
     /// Scalar issue width.
     pub issue_width: u32,
     /// Reorder-buffer entries.
     pub rob_entries: usize,
+    /// Reservation-station entries ([`TimingKind::OutOfOrder`] only).
+    pub rs_entries: usize,
+    /// Scalar load/store-queue entries ([`TimingKind::OutOfOrder`] only).
+    pub lsq_entries: usize,
     /// Redirect penalty of a taken branch, cycles.
     pub branch_taken_penalty: u64,
 
@@ -62,8 +127,11 @@ impl SimConfig {
             vlq_entries: 16,
             vsq_entries: 16,
             vdispatch_per_cycle: 1,
+            timing: TimingKind::InOrder,
             issue_width: 8,
             rob_entries: 60,
+            rs_entries: 32,
+            lsq_entries: 24,
             branch_taken_penalty: 2,
             alu_latency: 1,
             mul_latency: 3,
@@ -102,6 +170,14 @@ impl SimConfig {
         (vl.max(1)).div_ceil(elems_per_cycle) as u64
     }
 
+    /// Copy with a different timing backend (used by the cross-backend
+    /// comparison paths; warm simulators rebuild automatically because
+    /// `SimConfig` comparisons see the field change).
+    pub fn with_timing(mut self, timing: TimingKind) -> Self {
+        self.timing = timing;
+        self
+    }
+
     /// Copy with a different VLEN (used by the VLEN-sweep ablation).
     pub fn with_vlen(mut self, vlen_bits: usize) -> Self {
         assert!(
@@ -127,6 +203,7 @@ impl std::fmt::Display for SimConfig {
             "  Scalar core   : RV64GC, {}-way-issue out-of-order, {}-entry ROB",
             self.issue_width, self.rob_entries
         )?;
+        writeln!(f, "  Timing model  : {}", self.timing)?;
         writeln!(
             f,
             "  L1D cache     : {}-cycle hit, {}-way, {}KB",
@@ -223,5 +300,34 @@ mod tests {
         assert!(s.contains("8-way-issue"));
         assert!(s.contains("512-bit"));
         assert!(s.contains("DDR4-2400"));
+        assert!(s.contains("inorder"));
+    }
+
+    #[test]
+    fn timing_kind_round_trips_through_names() {
+        for k in TimingKind::ALL {
+            assert_eq!(k.name().parse::<TimingKind>().unwrap(), k);
+            assert_eq!(k.to_string(), k.name());
+        }
+        assert_eq!("in-order".parse::<TimingKind>(), Ok(TimingKind::InOrder));
+        assert_eq!(
+            "out-of-order".parse::<TimingKind>(),
+            Ok(TimingKind::OutOfOrder)
+        );
+        assert!("speculative".parse::<TimingKind>().is_err());
+    }
+
+    #[test]
+    fn with_timing_changes_equality() {
+        // The warm-simulator path rebuilds on config inequality; backend
+        // selection must participate.
+        let base = SimConfig::table_i();
+        assert_eq!(
+            base.timing,
+            TimingKind::InOrder,
+            "paper numbers stay pinned"
+        );
+        let ooo = base.with_timing(TimingKind::OutOfOrder);
+        assert_ne!(base, ooo);
     }
 }

@@ -57,11 +57,14 @@ pub use analyze::{
     analyze, analyze_instructions, analyze_with_contract, Analysis, AnalysisContract, Confidence,
     Diagnostic, OffsetTable, Rule, Severity, Verified, VregTable,
 };
-pub use config::SimConfig;
+pub use config::{SimConfig, TimingKind};
 pub use engine::{DecodedProgram, NullObserver, Observer};
 pub use exec::{ExecError, ExecEvent, MemOp};
 pub use report::RunReport;
 pub use sim::{SimError, Simulator};
 pub use state::ArchState;
-pub use timing::{InstrTiming, TimingModel, TimingObserver};
+pub use timing::{
+    AnyTimingModel, ClassCounts, InOrderScoreboard, InstrTiming, OutOfOrder, PipeStalls, Pipelined,
+    TimingModel, TimingObserver,
+};
 pub use trace::{Trace, TraceEntry, TraceObserver};

@@ -322,8 +322,8 @@ impl Simulator {
     }
 }
 
-/// Collects a [`RunReport`] from a drained timing model.
-fn make_report(timing: &TimingModel, instructions: u64) -> RunReport {
+/// Collects a [`RunReport`] from a drained timing model (any backend).
+fn make_report(timing: &impl TimingModel, instructions: u64) -> RunReport {
     let hier = timing.hierarchy();
     RunReport {
         cycles: timing.total_cycles(),
@@ -657,6 +657,57 @@ mod tests {
             f.run_functional_verified(&dp, token).unwrap(),
             a.instructions
         );
+    }
+
+    #[test]
+    fn timing_backends_agree_on_instret_and_state() {
+        // One program, three timing backends: architectural results and
+        // instruction counts are bit-identical; only cycles may differ.
+        let mut b = ProgramBuilder::new();
+        b.li(XReg::A0, 16);
+        b.push(Instruction::Vsetvli {
+            rd: XReg::T0,
+            rs1: XReg::A0,
+            sew: Sew::E32,
+            lmul: Lmul::M1,
+        });
+        b.li(XReg::A1, 0x1000);
+        b.push(Instruction::Vle32 {
+            vd: VReg::V2,
+            rs1: XReg::A1,
+        });
+        b.push(Instruction::VmvXs {
+            rd: XReg::T1,
+            vs2: VReg::V2,
+        });
+        b.addi(XReg::T2, XReg::T1, 1);
+        b.push(Instruction::Vse32 {
+            vs3: VReg::V2,
+            rs1: XReg::A1,
+        });
+        b.halt();
+        let p = b.build();
+
+        let mut reports = Vec::new();
+        for kind in crate::config::TimingKind::ALL {
+            let mut s = Simulator::new(SimConfig::table_i().with_timing(kind));
+            s.memory_mut().write_f32_slice(0x1000, &[2.5; 16]);
+            let r = s.run(&p).unwrap();
+            assert!(r.cycles > 0, "{kind}: cycles accounted");
+            reports.push((kind, r, s.state().x(XReg::T2)));
+        }
+        let (_, base, arch) = &reports[0];
+        for (kind, r, x) in &reports {
+            assert_eq!(r.instructions, base.instructions, "{kind}: instret");
+            assert_eq!(r.counts, base.counts, "{kind}: class counts");
+            assert_eq!(r.mem, base.mem, "{kind}: memory traffic");
+            assert_eq!(x, arch, "{kind}: architectural state");
+        }
+        // The in-order backend is the default: selecting it explicitly
+        // must not change the report.
+        let mut s = Simulator::new(SimConfig::table_i());
+        s.memory_mut().write_f32_slice(0x1000, &[2.5; 16]);
+        assert_eq!(s.run(&p).unwrap(), reports[0].1);
     }
 
     #[test]

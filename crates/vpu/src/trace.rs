@@ -8,7 +8,7 @@
 use crate::config::SimConfig;
 use crate::engine::Observer;
 use crate::exec::ExecEvent;
-use crate::timing::{InstrTiming, TimingModel};
+use crate::timing::{AnyTimingModel, InstrTiming, TimingModel};
 use indexmac_isa::{InstrClass, Instruction};
 use std::fmt;
 
@@ -144,26 +144,27 @@ impl fmt::Display for Trace {
 /// engine loop over.
 #[derive(Debug, Clone)]
 pub struct TraceObserver {
-    timing: TimingModel,
+    timing: AnyTimingModel,
     trace: Trace,
 }
 
 impl TraceObserver {
-    /// A fresh observer recording at most `trace_cap` instructions.
+    /// A fresh observer recording at most `trace_cap` instructions,
+    /// timed under the backend `cfg.timing` selects.
     pub fn new(cfg: SimConfig, trace_cap: usize) -> Self {
         Self {
-            timing: TimingModel::new(cfg),
+            timing: AnyTimingModel::new(cfg),
             trace: Trace::new(trace_cap),
         }
     }
 
     /// The accumulated timing model.
-    pub fn timing(&self) -> &TimingModel {
+    pub fn timing(&self) -> &AnyTimingModel {
         &self.timing
     }
 
     /// Consumes the observer, yielding the model and the trace.
-    pub fn into_parts(self) -> (TimingModel, Trace) {
+    pub fn into_parts(self) -> (AnyTimingModel, Trace) {
         (self.timing, self.trace)
     }
 }

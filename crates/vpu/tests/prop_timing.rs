@@ -2,67 +2,12 @@
 //! functional/timed equivalence over randomly generated straight-line
 //! programs.
 
-use indexmac_isa::{Instruction, Lmul, Program, ProgramBuilder, Sew, VReg, XReg};
+mod common;
+
+use common::{instr_strategy, program_from};
+use indexmac_isa::{VReg, XReg};
 use indexmac_vpu::{SimConfig, Simulator};
 use proptest::prelude::*;
-
-/// Random *valid* straight-line instructions: memory accesses use
-/// 4-byte-aligned addresses in a small positive window, and `vsetvli`
-/// keeps SEW = 32 (the modelled width).
-fn instr_strategy() -> impl Strategy<Value = Instruction> {
-    let xreg = (0u8..32).prop_map(XReg::new);
-    let xreg2 = (0u8..32).prop_map(XReg::new);
-    let xreg3 = (0u8..32).prop_map(XReg::new);
-    let vreg = (0u8..32).prop_map(VReg::new);
-    let vreg2 = (0u8..32).prop_map(VReg::new);
-    prop_oneof![
-        (xreg.clone(), -1000i64..1000).prop_map(|(rd, imm)| Instruction::Li { rd, imm }),
-        (xreg.clone(), xreg2.clone(), -100i32..100).prop_map(|(rd, rs1, imm)| Instruction::Addi {
-            rd,
-            rs1,
-            imm
-        }),
-        (xreg.clone(), xreg2.clone(), xreg3.clone()).prop_map(|(rd, rs1, rs2)| Instruction::Add {
-            rd,
-            rs1,
-            rs2
-        }),
-        (xreg.clone(), xreg2.clone(), xreg3.clone()).prop_map(|(rd, rs1, rs2)| Instruction::Mul {
-            rd,
-            rs1,
-            rs2
-        }),
-        // Aligned scalar store/load pair region: 0x8000 + k*8.
-        (xreg.clone(), 0i64..64).prop_map(|(rd, k)| Instruction::Li {
-            rd,
-            imm: 0x8000 + k * 8
-        }),
-        (xreg.clone(), vreg.clone()).prop_map(|(rd, vs2)| Instruction::VmvXs { rd, vs2 }),
-        (vreg.clone(), xreg.clone()).prop_map(|(vd, rs1)| Instruction::VmvVx { vd, rs1 }),
-        (vreg.clone(), vreg2.clone(), xreg.clone())
-            .prop_map(|(vd, vs2, rs1)| Instruction::VaddVx { vd, vs2, rs1 }),
-        (vreg.clone(), vreg2.clone()).prop_map(|(vd, vs1)| Instruction::VmvVv { vd, vs1 }),
-        (vreg.clone(), vreg2.clone(), xreg.clone())
-            .prop_map(|(vd, vs2, rs1)| Instruction::Vslide1downVx { vd, vs2, rs1 }),
-        (vreg, vreg2, xreg).prop_map(|(vd, vs2, rs)| Instruction::VindexmacVx { vd, vs2, rs }),
-        (xreg2).prop_map(|rd| Instruction::Vsetvli {
-            rd,
-            rs1: XReg::ZERO,
-            sew: Sew::E32,
-            lmul: Lmul::M1,
-        }),
-        Just(Instruction::Nop),
-    ]
-}
-
-fn program_from(instrs: &[Instruction]) -> Program {
-    let mut b = ProgramBuilder::new();
-    for i in instrs {
-        b.push(*i);
-    }
-    b.halt();
-    b.build()
-}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(96))]

@@ -239,6 +239,66 @@ fn indexmac2_beats_vx_at_the_bert_ffn_shape() {
 }
 
 #[test]
+fn vvi_lead_survives_every_timing_backend_at_bert_ffn() {
+    // The follow-up work's argument (arXiv 2501.10189): `vindexmac.vvi`
+    // has zero scalar-side coupling per nonzero, so moving from the
+    // in-order scoreboard to an out-of-order scalar core should widen —
+    // never shrink — its cycle lead over `vindexmac.vx`, whose per-index
+    // vector-to-scalar round trips serialise through the ROB commit on
+    // any machine. Run the pinned BERT-FFN comparison under all three
+    // backends from one decoded program pair and check:
+    //   * instret is bit-identical across backends (timing models only
+    //     reorder cycles, never instructions);
+    //   * the OoO lead (vx/vvi cycles) is no smaller than in-order's,
+    //     compared exactly by cross-multiplication in u128.
+    use indexmac::vpu::TimingKind;
+    indexmac::experiment::reset_decode_cache();
+    let mut by_backend = Vec::new();
+    for kind in TimingKind::ALL {
+        let cfg = ExperimentConfig::transformer().with_timing(kind);
+        let c = compare_gemm(BERT_FFN, NmPattern::P1_4, &cfg).unwrap();
+        assert_eq!(c.baseline.algorithm, Algorithm::IndexMac);
+        assert_eq!(c.proposed.algorithm, Algorithm::IndexMac2);
+        by_backend.push((kind, c));
+    }
+    // One decoded program pair drove all three backends: the decode
+    // cache saw exactly two kernels (vx and vvi), everything else hit.
+    let stats = indexmac::experiment::decode_cache_stats();
+    assert_eq!(stats.misses, 2, "backends must reuse the decoded pair");
+    let (_, base) = &by_backend[0];
+    for (kind, c) in &by_backend {
+        assert_eq!(
+            c.baseline.report.instructions, base.baseline.report.instructions,
+            "{kind}: vx instret must be backend-invariant"
+        );
+        assert_eq!(
+            c.proposed.report.instructions, base.proposed.report.instructions,
+            "{kind}: vvi instret must be backend-invariant"
+        );
+        assert!(
+            c.proposed.report.cycles < c.baseline.report.cycles,
+            "{kind}: vvi {} cycles vs vx {}",
+            c.proposed.report.cycles,
+            c.baseline.report.cycles
+        );
+    }
+    let lead = |c: &indexmac::experiment::GemmComparison| {
+        (
+            c.baseline.report.cycles as u128,
+            c.proposed.report.cycles as u128,
+        )
+    };
+    let (vx_io, vvi_io) = lead(&by_backend[0].1);
+    let (vx_ooo, vvi_ooo) = lead(&by_backend[2].1);
+    assert!(
+        vx_ooo * vvi_io >= vx_io * vvi_ooo,
+        "OoO lead {:.3} must not shrink below in-order lead {:.3}",
+        vx_ooo as f64 / vvi_ooo as f64,
+        vx_io as f64 / vvi_io as f64
+    );
+}
+
+#[test]
 fn tile_preload_bound_enforced() {
     // Paper Section III: at most M*VL/N rows of B are addressable. For
     // an 8:8 pattern that bound is 16, so L=20 must be rejected even
