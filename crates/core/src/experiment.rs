@@ -7,6 +7,7 @@ use indexmac_models::{GemmCaps, Model, ModelLayer};
 use indexmac_sparse::{prune, quant, DenseMatrix, NmPattern, StructuredSparseMatrix};
 use indexmac_vpu::{DecodedProgram, RunReport, SimConfig, Simulator, Verified};
 use std::cell::RefCell;
+use std::collections::VecDeque;
 use std::error::Error;
 use std::fmt;
 use std::rc::Rc;
@@ -98,6 +99,13 @@ pub struct ExperimentConfig {
     /// ([`Algorithm::IndexMac`] by default; set
     /// [`Algorithm::IndexMac2`] to reproduce the follow-up numbers).
     pub proposed: Algorithm,
+    /// When `Some(n)`, every timed kernel run is re-executed through the
+    /// sharded counting engine ([`Simulator::run_sharded`]) with shard
+    /// size `n` and refereed against the timed report: instruction
+    /// counts, per-class counts, program-issued traffic and the result
+    /// matrix must match bit-for-bit. `None` (the default) skips the
+    /// cross-check. Tunable from the CLI via `--shard-size`.
+    pub shard_size: Option<u64>,
 }
 
 impl ExperimentConfig {
@@ -115,6 +123,7 @@ impl ExperimentConfig {
             verify: true,
             baseline: Algorithm::RowWiseSpmm,
             proposed: Algorithm::IndexMac,
+            shard_size: None,
         }
     }
 
@@ -330,8 +339,9 @@ impl fmt::Display for DecodeCacheStats {
 /// one block geometry across layers; both now decode each distinct
 /// kernel exactly once per worker thread.
 struct ProgramCache {
-    entries: Vec<(Algorithm, GemmLayout, KernelParams, CachedKernel)>,
+    entries: VecDeque<(Algorithm, GemmLayout, KernelParams, CachedKernel)>,
     resident_uops: usize,
+    max_uops: usize,
     stats: DecodeCacheStats,
 }
 
@@ -359,8 +369,9 @@ const PROGRAM_CACHE_MAX_UOPS: usize = 2 << 20;
 impl ProgramCache {
     fn new() -> Self {
         Self {
-            entries: Vec::new(),
+            entries: VecDeque::new(),
             resident_uops: 0,
+            max_uops: PROGRAM_CACHE_MAX_UOPS,
             stats: DecodeCacheStats::default(),
         }
     }
@@ -398,11 +409,11 @@ impl ProgramCache {
         let cached = CachedKernel { program, token };
         self.resident_uops += cached.program.len();
         self.entries
-            .push((algorithm, layout.clone(), *params, cached.clone()));
+            .push_back((algorithm, layout.clone(), *params, cached.clone()));
         // FIFO eviction down to the µop budget (never evicting the
         // entry just inserted).
-        while self.resident_uops > PROGRAM_CACHE_MAX_UOPS && self.entries.len() > 1 {
-            let (.., evicted) = self.entries.remove(0);
+        while self.resident_uops > self.max_uops && self.entries.len() > 1 {
+            let (.., evicted) = self.entries.pop_front().expect("len > 1");
             self.resident_uops -= evicted.program.len();
             self.stats.evictions += 1;
         }
@@ -495,6 +506,74 @@ pub fn run_gemm(
                     &b,
                     verify::default_tolerance(layout.dims.inner),
                 )?;
+            }
+        }
+        if let Some(shard_size) = cfg.shard_size {
+            // Differential referee: replay the run through the sharded
+            // counting engine and demand bit-identical architectural
+            // results and event counts. Sequential metrics (cycles,
+            // stalls, hit rates, DRAM lines) are zero on the counting
+            // side and deliberately not compared.
+            let (sharded, _shards) = verify::run_decoded_kernel_sharded(
+                sim,
+                &kernel.program,
+                kernel.token,
+                &a,
+                &b,
+                &layout,
+                shard_size,
+            )?;
+            assert_eq!(
+                sharded.report.instructions, run.report.instructions,
+                "sharded replay retired a different instruction count"
+            );
+            assert_eq!(
+                sharded.report.counts, run.report.counts,
+                "sharded replay produced different per-class counts"
+            );
+            assert_eq!(
+                sharded.report.v2s_syncs, run.report.v2s_syncs,
+                "sharded replay produced different v2s sync counts"
+            );
+            for (name, got, want) in [
+                (
+                    "scalar_loads",
+                    sharded.report.mem.scalar_loads,
+                    run.report.mem.scalar_loads,
+                ),
+                (
+                    "scalar_stores",
+                    sharded.report.mem.scalar_stores,
+                    run.report.mem.scalar_stores,
+                ),
+                (
+                    "vector_loads",
+                    sharded.report.mem.vector_loads,
+                    run.report.mem.vector_loads,
+                ),
+                (
+                    "vector_stores",
+                    sharded.report.mem.vector_stores,
+                    run.report.mem.vector_stores,
+                ),
+            ] {
+                assert_eq!(got, want, "sharded replay diverged on {name}");
+            }
+            assert_eq!(
+                sharded.c.as_slice(),
+                run.c.as_slice(),
+                "sharded replay computed a different product"
+            );
+            assert_eq!(
+                sharded.c_int.is_some(),
+                run.c_int.is_some(),
+                "sharded replay disagreed on precision"
+            );
+            if let (Some(si), Some(ri)) = (&sharded.c_int, &run.c_int) {
+                assert!(
+                    si.first_mismatch(ri).is_none(),
+                    "sharded replay computed a different integer product"
+                );
             }
         }
         Ok::<_, ExperimentError>(run)
@@ -1173,5 +1252,90 @@ mod tests {
         let b = run_gemm(dims, NmPattern::P2_4, Algorithm::IndexMac, &cfg()).unwrap();
         assert_eq!(a.report.cycles, b.report.cycles);
         assert_eq!(a.report.mem.total_accesses(), b.report.mem.total_accesses());
+    }
+
+    #[test]
+    fn program_cache_fifo_eviction_survives_a_full_budget_cycle() {
+        // Regression for the O(n) `Vec::remove(0)` eviction: drive a
+        // deliberately tiny µop budget through a full insert-evict-
+        // reinsert cycle and check the stats and resident set stay
+        // consistent under the VecDeque FIFO.
+        let cfg = ExperimentConfig::fast();
+        let mut cache = ProgramCache::new();
+        let mut keys = Vec::new();
+        for rows in [4usize, 5, 6] {
+            let dims = GemmDims {
+                rows,
+                inner: 32,
+                cols: 16,
+            };
+            let (a, _) = operands(dims, NmPattern::P1_4, cfg.seed, cfg.precision);
+            let (layout, params) = plan_kernel(Algorithm::IndexMac2, &a, dims.cols, &cfg).unwrap();
+            keys.push((layout, params));
+        }
+        let first = cache
+            .get_or_build(Algorithm::IndexMac2, &keys[0].0, &keys[0].1)
+            .unwrap();
+        assert_eq!((cache.stats.misses, cache.stats.evictions), (1, 0));
+        // Budget = exactly the first entry: every later insertion must
+        // evict the oldest resident entry, oldest-first.
+        cache.max_uops = first.program.len();
+        for (layout, params) in &keys[1..] {
+            cache
+                .get_or_build(Algorithm::IndexMac2, layout, params)
+                .unwrap();
+            assert_eq!(cache.stats.entries, 1);
+        }
+        assert_eq!((cache.stats.misses, cache.stats.evictions), (3, 2));
+        // Cycling back to the first key: it was evicted, so this is a
+        // miss that in turn evicts the current resident...
+        cache
+            .get_or_build(Algorithm::IndexMac2, &keys[0].0, &keys[0].1)
+            .unwrap();
+        assert_eq!((cache.stats.misses, cache.stats.evictions), (4, 3));
+        // ...and re-requesting the now-resident entry is a pure hit.
+        cache
+            .get_or_build(Algorithm::IndexMac2, &keys[0].0, &keys[0].1)
+            .unwrap();
+        assert_eq!((cache.stats.hits, cache.stats.evictions), (1, 3));
+        let resident: usize = cache.entries.iter().map(|(.., k)| k.program.len()).sum();
+        assert_eq!(cache.resident_uops, resident, "accounting stays exact");
+        // The entry just inserted is never evicted, even over budget.
+        cache.max_uops = 0;
+        cache
+            .get_or_build(Algorithm::IndexMac2, &keys[1].0, &keys[1].1)
+            .unwrap();
+        assert_eq!(cache.stats.entries, 1, "in-flight entry must survive");
+        assert_eq!(cache.entries.len(), 1);
+    }
+
+    #[test]
+    fn shard_size_cross_check_referees_the_timed_run() {
+        // `shard_size: Some(n)` reruns every kernel through the sharded
+        // counting engine and panics on any divergence from the timed
+        // run; passing here means the referee agreed. The returned
+        // (timed) report must be byte-identical to an uncross-checked
+        // run.
+        let dims = GemmDims {
+            rows: 8,
+            inner: 64,
+            cols: 32,
+        };
+        let base = run_gemm(dims, NmPattern::P1_4, Algorithm::IndexMac2, &cfg()).unwrap();
+        for shard_size in [500u64, 100_000] {
+            let sharded_cfg = ExperimentConfig {
+                shard_size: Some(shard_size),
+                ..cfg()
+            };
+            let r = run_gemm(dims, NmPattern::P1_4, Algorithm::IndexMac2, &sharded_cfg).unwrap();
+            assert_eq!(r.report, base.report, "shard size {shard_size}");
+        }
+        // The quantized (check-elided, i32) datapath referees too.
+        let q = ExperimentConfig {
+            shard_size: Some(999),
+            caps: indexmac_models::GemmCaps::smoke(),
+            ..ExperimentConfig::quantized(Precision::I8)
+        };
+        run_gemm(dims, NmPattern::P1_4, Algorithm::IndexMac2, &q).unwrap();
     }
 }

@@ -468,6 +468,37 @@ mod tests {
     }
 
     #[test]
+    fn reported_threads_is_the_installed_pool_width() {
+        // `SweepResult.threads` is stamped from
+        // `rayon::current_num_threads()` *inside* the installed scope,
+        // so it must report the pool the sweep ran on — not the global
+        // pool, not the machine's core count.
+        let grid = small_grid();
+        let cfg = fast_cfg();
+        // Oversubscribed: a pool wider than the machine still reports
+        // its configured width.
+        let wide = rayon::ThreadPoolBuilder::new()
+            .num_threads(8)
+            .build()
+            .unwrap();
+        let result = wide.install(|| run_grid(&grid, &cfg)).unwrap();
+        assert_eq!(result.threads, 8);
+        // Nested installs: the innermost pool wins.
+        let inner = rayon::ThreadPoolBuilder::new()
+            .num_threads(3)
+            .build()
+            .unwrap();
+        let nested = wide
+            .install(|| inner.install(|| run_grid(&grid, &cfg)))
+            .unwrap();
+        assert_eq!(nested.threads, 3);
+        // The serial reference always reports exactly one thread,
+        // whatever pool it is called from.
+        let serial = wide.install(|| run_grid_serial(&grid, &cfg)).unwrap();
+        assert_eq!(serial.threads, 1);
+    }
+
+    #[test]
     fn sweep_actually_runs_on_multiple_threads() {
         let grid = SweepGrid::new(
             vec![NmPattern::P1_4],

@@ -1,0 +1,383 @@
+//! Sharded execution: one long run split at instruction-boundary
+//! checkpoints and replayed in parallel on the rayon pool.
+//!
+//! A functional run of a decoded program is deterministic, so any
+//! prefix of it can be reproduced from a **checkpoint**: the
+//! architectural state at an instruction boundary plus the memory image
+//! at that boundary. The sharded executor exploits this in two phases:
+//!
+//! 1. **Sequential checkpointing pass** — the program runs on the
+//!    fastest available functional path (trace-compiled + check-elided
+//!    under a [`Verified`] token, checked otherwise) with *touched-page
+//!    tracking* enabled. Every `shard_size` retired instructions it
+//!    snapshots the [`ArchState`](crate::ArchState) and captures a
+//!    [`PageDelta`] of the pages the shard wrote, so the memory image
+//!    at any boundary can be rebuilt as `base + deltas[..k]`.
+//! 2. **Parallel counting replay** — each shard is re-executed on the
+//!    rayon pool from its checkpoint under a [`CountingObserver`],
+//!    which attributes per-class instruction counts and memory traffic.
+//!    Each worker referee-asserts that its end state is bit-identical
+//!    to the next sequential checkpoint, so a divergence between the
+//!    fast phase-1 path and the event-observed replay path is caught
+//!    immediately rather than laundered into the merged report.
+//!
+//! The shard observers merge **in shard order**, so the resulting
+//! [`RunReport`] is deterministic and independent of worker scheduling
+//! and pool width — `prop_shard.rs` checks it against the unsharded
+//! [`Simulator::run_counted`] referee and the stepwise oracle for every
+//! shard size.
+//!
+//! Counting replay carries no timing state (cycles, cache hit rates and
+//! stall accounting need the sequential event stream), so the merged
+//! report zeroes those fields; architectural results, instruction
+//! counts, class counts and memory traffic are bit-identical to an
+//! unsharded run.
+
+use crate::analyze::Verified;
+use crate::engine::{DecodedProgram, NullObserver, RangeExit};
+use crate::report::RunReport;
+use crate::sim::{SimError, Simulator};
+use crate::timing::CountingObserver;
+use indexmac_mem::PageDelta;
+use rayon::prelude::*;
+
+/// The outcome of [`Simulator::run_sharded`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardedRun {
+    /// Merged functional report (cycles and cache/stall fields zeroed —
+    /// see the module docs).
+    pub report: RunReport,
+    /// How many shards the run was split into.
+    pub shards: usize,
+}
+
+impl Simulator {
+    /// Unsharded referee for the sharded path: runs `program` through
+    /// the checked engine under a [`CountingObserver`], producing a
+    /// [`RunReport`] with exactly the fields [`Simulator::run_sharded`]
+    /// fills in. `run_sharded(p, ..).report` must equal
+    /// `run_counted(p)` bit-for-bit on identical initial state.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Simulator::run`].
+    pub fn run_counted(&mut self, program: &DecodedProgram) -> Result<RunReport, SimError> {
+        let mut obs = CountingObserver::default();
+        let instructions = self.run_decoded_with(program, &mut obs)?;
+        Ok(obs.into_report(instructions))
+    }
+
+    /// Runs `program` split into shards of at most `shard_size` dynamic
+    /// instructions (clamped to at least 1), replaying the shards in
+    /// parallel. See the [module docs](crate::shard) for the two-phase
+    /// scheme. With `token` present phase 1 uses the check-elided,
+    /// trace-compiled fast path; without it, the checked loop.
+    ///
+    /// The simulator ends in the same architectural and memory state as
+    /// the equivalent unsharded run.
+    ///
+    /// # Errors
+    ///
+    /// The same conditions — and the same values — as the unsharded
+    /// entry points: faults surface from the sequential phase at the
+    /// same instruction they would unsharded, and
+    /// [`SimError::InstructionLimit`] fires at the same
+    /// `max_instructions` boundary.
+    ///
+    /// # Panics
+    ///
+    /// If a parallel replay diverges from its sequential checkpoint —
+    /// that would mean the trace-compiled fast path and the per-µop
+    /// loop disagree, which the referee turns into a hard failure.
+    pub fn run_sharded(
+        &mut self,
+        program: &DecodedProgram,
+        token: Option<Verified>,
+        shard_size: u64,
+    ) -> Result<ShardedRun, SimError> {
+        let shard_size = shard_size.max(1);
+        let total = self.max_instructions();
+        let base_mem = self.memory().clone();
+        let (state, mem) = self.split_mut();
+        state.pc = 0;
+        state.halted = false;
+
+        // Phase 1: sequential fast-path run, checkpointing at shard
+        // boundaries. Touch tracking stays on across the whole pass;
+        // `take_touched_pages` drains per shard.
+        mem.start_touch_tracking();
+        let mut checkpoints = vec![state.clone()];
+        let mut deltas: Vec<PageDelta> = Vec::new();
+        let mut lens: Vec<u64> = Vec::new();
+        let mut retired: u64 = 0;
+        let exit_err = loop {
+            let budget = shard_size.min(total.saturating_sub(retired));
+            let res = match token {
+                Some(tok) => program.run_range_verified(state, mem, &mut NullObserver, budget, tok),
+                None => program.run_range_checked(state, mem, &mut NullObserver, budget),
+            };
+            let (n, exit) = match res {
+                Ok(v) => v,
+                Err(e) => break Some(e),
+            };
+            let pages = mem.take_touched_pages();
+            deltas.push(mem.capture_pages(&pages));
+            lens.push(n);
+            retired += n;
+            checkpoints.push(state.clone());
+            match exit {
+                RangeExit::Halted => break None,
+                RangeExit::Budget if retired >= total => {
+                    break Some(SimError::InstructionLimit { limit: total });
+                }
+                RangeExit::Budget => {}
+            }
+        };
+        mem.stop_touch_tracking();
+        if let Some(e) = exit_err {
+            return Err(e);
+        }
+
+        // Phase 2: parallel counting replay. Shard `k` starts from
+        // checkpoint `k` over `base + deltas[..k]` and must land
+        // bit-exactly on checkpoint `k + 1` after exactly `lens[k]`
+        // instructions.
+        let shards = lens.len();
+        let observers: Vec<CountingObserver> = (0..shards)
+            .into_par_iter()
+            .map(|k| {
+                let mut mem_k = base_mem.clone();
+                for delta in &deltas[..k] {
+                    mem_k.apply_delta(delta);
+                }
+                let mut state_k = checkpoints[k].clone();
+                let mut obs = CountingObserver::default();
+                // `CountingObserver` wants events, so the trace
+                // compiler is inert here: replay is the per-µop loop
+                // refereeing the fused phase-1 path.
+                let res = match token {
+                    Some(tok) => {
+                        program.run_range_verified(&mut state_k, &mut mem_k, &mut obs, lens[k], tok)
+                    }
+                    None => program.run_range_checked(&mut state_k, &mut mem_k, &mut obs, lens[k]),
+                };
+                let (n, exit) = res.unwrap_or_else(|e| panic!("shard {k} replay faulted: {e}"));
+                assert_eq!(n, lens[k], "shard {k} replayed a different length");
+                let want_exit = if k + 1 == shards {
+                    RangeExit::Halted
+                } else {
+                    RangeExit::Budget
+                };
+                assert_eq!(exit, want_exit, "shard {k} exited differently on replay");
+                assert_eq!(
+                    state_k,
+                    checkpoints[k + 1],
+                    "shard {k} replay diverged from the sequential checkpoint"
+                );
+                obs
+            })
+            .collect();
+
+        let mut merged = CountingObserver::default();
+        for obs in &observers {
+            merged.merge(obs);
+        }
+        Ok(ShardedRun {
+            report: merged.into_report(retired),
+            shards,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze::analyze;
+    use crate::config::SimConfig;
+    use indexmac_isa::{Instruction, Lmul, ProgramBuilder, Sew, VReg, XReg};
+
+    fn sim() -> Simulator {
+        Simulator::new(SimConfig::table_i())
+    }
+
+    /// A scalar loop that stores a running value each iteration —
+    /// exercises memory deltas across shard boundaries.
+    fn store_loop(iters: i64) -> DecodedProgram {
+        let mut b = ProgramBuilder::new();
+        b.li(XReg::T0, iters);
+        b.li(XReg::A0, 0x1000);
+        let top = b.bind_label();
+        b.push(Instruction::Sw {
+            rs2: XReg::T0,
+            rs1: XReg::A0,
+            imm: 0,
+        });
+        b.addi(XReg::A0, XReg::A0, 4);
+        b.addi(XReg::T1, XReg::T1, 3);
+        b.addi(XReg::T0, XReg::T0, -1);
+        b.bne(XReg::T0, XReg::ZERO, top);
+        b.halt();
+        DecodedProgram::decode(&b.build())
+    }
+
+    #[test]
+    fn sharded_matches_run_counted_across_shard_sizes() {
+        let dp = store_loop(50);
+        let mut referee = sim();
+        let want = referee.run_counted(&dp).unwrap();
+        for shard_size in [1u64, 2, 3, 7, 50, 1000] {
+            let mut s = sim();
+            let got = s.run_sharded(&dp, None, shard_size).unwrap();
+            assert_eq!(got.report, want, "shard_size {shard_size}");
+            assert_eq!(s.state(), referee.state(), "shard_size {shard_size}");
+            assert_eq!(
+                {
+                    let mut buf = [0u8; 200];
+                    s.memory().read_slice(0x1000, &mut buf);
+                    buf
+                },
+                {
+                    let mut buf = [0u8; 200];
+                    referee.memory().read_slice(0x1000, &mut buf);
+                    buf
+                },
+                "shard_size {shard_size}"
+            );
+        }
+    }
+
+    #[test]
+    fn shard_count_reflects_shard_size() {
+        let dp = store_loop(10);
+        // 2 + 10*5 + 1 = 53 dynamic instructions.
+        let mut s = sim();
+        let r = s.run_sharded(&dp, None, 10).unwrap();
+        assert_eq!(r.report.instructions, 53);
+        assert_eq!(r.shards, 6, "ceil(53 / 10)");
+        let mut s = sim();
+        assert_eq!(s.run_sharded(&dp, None, 1000).unwrap().shards, 1);
+    }
+
+    #[test]
+    fn sharded_verified_vector_kernel_matches_unsharded() {
+        // A vector loop the analyzer accepts, including the fused
+        // IndexMAC steady-state shape, run sharded under the token.
+        let mut b = ProgramBuilder::new();
+        b.li(XReg::A0, 16);
+        b.push(Instruction::Vsetvli {
+            rd: XReg::T0,
+            rs1: XReg::A0,
+            sew: Sew::E32,
+            lmul: Lmul::M1,
+        });
+        b.li(XReg::A1, 0x1000);
+        b.push(Instruction::Vle32 {
+            vd: VReg::V2,
+            rs1: XReg::A1,
+        });
+        b.push(Instruction::Vle32 {
+            vd: VReg::new(20),
+            rs1: XReg::A1,
+        });
+        b.li(XReg::T1, 20);
+        b.li(XReg::T2, 6);
+        let top = b.bind_label();
+        b.push(Instruction::VindexmacVx {
+            vd: VReg::V4,
+            vs2: VReg::V2,
+            rs: XReg::T1,
+        });
+        b.addi(XReg::T2, XReg::T2, -1);
+        b.bne(XReg::T2, XReg::ZERO, top);
+        b.li(XReg::A2, 0x2000);
+        b.push(Instruction::Vse32 {
+            vs3: VReg::V4,
+            rs1: XReg::A2,
+        });
+        b.halt();
+        let dp = DecodedProgram::decode(&b.build());
+        let token = analyze(&dp, SimConfig::table_i().vlen_bits)
+            .verified()
+            .expect("kernel analyzes clean");
+
+        let data: Vec<f32> = (0..16).map(|i| 0.5 + i as f32).collect();
+        let mut referee = sim();
+        referee.memory_mut().write_f32_slice(0x1000, &data);
+        let want = referee.run_counted(&dp).unwrap();
+        for shard_size in [1u64, 4, 9, 64] {
+            let mut s = sim();
+            s.memory_mut().write_f32_slice(0x1000, &data);
+            let got = s.run_sharded(&dp, Some(token), shard_size).unwrap();
+            assert_eq!(got.report, want, "shard_size {shard_size}");
+            assert_eq!(
+                s.memory().read_f32_slice(0x2000, 16),
+                referee.memory().read_f32_slice(0x2000, 16),
+                "shard_size {shard_size}"
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_instruction_limit_matches_unsharded() {
+        let mut b = ProgramBuilder::new();
+        let top = b.bind_label();
+        b.beq(XReg::ZERO, XReg::ZERO, top);
+        b.halt();
+        let dp = DecodedProgram::decode(&b.build());
+        for (limit, shard_size) in [(100u64, 7u64), (100, 100), (100, 1000)] {
+            let mut s = sim();
+            s.set_max_instructions(limit);
+            assert_eq!(
+                s.run_sharded(&dp, None, shard_size),
+                Err(SimError::InstructionLimit { limit }),
+                "limit {limit} shard_size {shard_size}"
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_halt_exactly_on_shard_and_limit_boundary() {
+        // `ebreak` exactly on a shard boundary and exactly at the
+        // instruction limit must still succeed, like the legacy loop.
+        let mut b = ProgramBuilder::new();
+        b.li(XReg::T0, 1);
+        b.halt(); // dynamic instruction #2
+        let dp = DecodedProgram::decode(&b.build());
+        let mut s = sim();
+        s.set_max_instructions(2);
+        let r = s.run_sharded(&dp, None, 1).unwrap();
+        assert_eq!(r.report.instructions, 2);
+        assert_eq!(r.shards, 2);
+    }
+
+    #[test]
+    fn sharded_fault_surfaces_like_unsharded() {
+        // Misaligned vector load faults; the sharded run must surface
+        // the identical error.
+        let mut b = ProgramBuilder::new();
+        b.li(XReg::A0, 16);
+        b.push(Instruction::Vsetvli {
+            rd: XReg::T0,
+            rs1: XReg::A0,
+            sew: Sew::E32,
+            lmul: Lmul::M1,
+        });
+        b.li(XReg::A1, 0x1001);
+        b.push(Instruction::Vle32 {
+            vd: VReg::V2,
+            rs1: XReg::A1,
+        });
+        b.halt();
+        let dp = DecodedProgram::decode(&b.build());
+        let mut unsharded = sim();
+        let want = unsharded.run_counted(&dp).unwrap_err();
+        for shard_size in [1u64, 2, 100] {
+            let mut s = sim();
+            assert_eq!(
+                s.run_sharded(&dp, None, shard_size).unwrap_err(),
+                want,
+                "shard_size {shard_size}"
+            );
+        }
+    }
+}

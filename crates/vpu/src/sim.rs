@@ -253,6 +253,36 @@ impl Simulator {
         self.run_decoded_verified_with(program, &mut NullObserver, token)
     }
 
+    /// [`Simulator::run_functional_verified`] with the trace compiler
+    /// disabled: the check-elided per-µop loop only. This is the PR 6
+    /// measurement baseline that `engine_throughput` reports fused-path
+    /// speedups against; functional results are bit-identical to the
+    /// traced path.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Simulator::run_decoded_verified`].
+    pub fn run_functional_verified_untraced(
+        &mut self,
+        program: &DecodedProgram,
+        token: crate::analyze::Verified,
+    ) -> Result<u64, SimError> {
+        program.execute_verified_untraced(
+            &mut self.state,
+            &mut self.mem,
+            &mut NullObserver,
+            self.max_instructions,
+            token,
+        )
+    }
+
+    /// Splits the simulator into its architectural state and memory —
+    /// the sharded executor drives [`DecodedProgram`] range runs over
+    /// both halves while borrowing them simultaneously.
+    pub(crate) fn split_mut(&mut self) -> (&mut ArchState, &mut MainMemory) {
+        (&mut self.state, &mut self.mem)
+    }
+
     /// Core verified entry point: runs `program` check-elided under any
     /// [`Observer`].
     ///

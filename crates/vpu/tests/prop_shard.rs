@@ -1,0 +1,359 @@
+//! Differential property suite: sharded execution vs the unsharded
+//! counting engine and the `step()` oracle.
+//!
+//! Random programs — branches, loops, faulting memory accesses, both
+//! IndexMAC generations — are executed through
+//! [`Simulator::run_sharded`] at random shard sizes and through the
+//! unsharded counting run and the stepwise oracle. All paths must
+//! produce identical architectural state, identical counting
+//! [`RunReport`]s, identical memory, and identical faults, including
+//! the instruction-limit boundary. A second generator synthesizes the
+//! trace compiler's steady-state block shape (a run of
+//! `vindexmac.vvi` + `addi` + fall-through `bne`) so shard boundaries
+//! land inside fused runs.
+//!
+//! Run with `PROPTEST_CASES=64` in CI; the shim's per-test
+//! deterministic RNG makes any failure reproducible.
+
+use indexmac_isa::instr::FReg;
+use indexmac_isa::{Instruction, Lmul, Program, ProgramBuilder, Sew, VReg, XReg};
+use indexmac_vpu::{analyze, CountingObserver, DecodedProgram, SimConfig, Simulator};
+use proptest::prelude::*;
+use proptest::strategy::BoxedStrategy;
+
+/// Dynamic-instruction guard for random programs (tight enough that
+/// accidental infinite loops finish fast, loose enough for real runs).
+const MAX_DYN: u64 = 4_000;
+
+fn treg() -> impl Strategy<Value = XReg> {
+    (0u8..10).prop_map(XReg::new)
+}
+
+/// Address registers a0..a3: written only by positive `li`, so memory
+/// accesses stay in a small window while odd values still exercise
+/// alignment faults.
+fn areg() -> impl Strategy<Value = XReg> {
+    (10u8..14).prop_map(XReg::new)
+}
+
+fn vreg() -> impl Strategy<Value = VReg> {
+    (0u8..32).prop_map(VReg::new)
+}
+
+fn exec_sew() -> impl Strategy<Value = Sew> {
+    prop_oneof![Just(Sew::E8), Just(Sew::E16), Just(Sew::E32)]
+}
+
+fn lmul() -> impl Strategy<Value = Lmul> {
+    prop_oneof![Just(Lmul::M1), Just(Lmul::M2), Just(Lmul::M4)]
+}
+
+fn any_instr() -> BoxedStrategy<Instruction> {
+    prop_oneof![
+        (treg(), -1000i64..1000).prop_map(|(rd, imm)| Instruction::Li { rd, imm }),
+        (areg(), 0i64..0x4000).prop_map(|(rd, v)| Instruction::Li {
+            rd,
+            imm: 0x1000 + v
+        }),
+        (treg(), treg(), -64i32..64).prop_map(|(rd, rs1, imm)| Instruction::Addi { rd, rs1, imm }),
+        (treg(), treg(), treg()).prop_map(|(rd, rs1, rs2)| Instruction::Add { rd, rs1, rs2 }),
+        (treg(), treg(), treg()).prop_map(|(rd, rs1, rs2)| Instruction::Mul { rd, rs1, rs2 }),
+        (treg(), areg(), 0i32..256).prop_map(|(rd, rs1, imm)| Instruction::Lw { rd, rs1, imm }),
+        (treg(), areg(), 0i32..256).prop_map(|(rd, rs1, imm)| Instruction::Ld { rd, rs1, imm }),
+        (treg(), areg(), 0i32..256).prop_map(|(rs2, rs1, imm)| Instruction::Sw { rs2, rs1, imm }),
+        (treg(), areg(), 0i32..256).prop_map(|(rs2, rs1, imm)| Instruction::Sd { rs2, rs1, imm }),
+        (treg(), treg(), -4i32..8).prop_map(|(rs1, rs2, offset)| Instruction::Beq {
+            rs1,
+            rs2,
+            offset
+        }),
+        (treg(), treg(), -4i32..8).prop_map(|(rs1, rs2, offset)| Instruction::Bne {
+            rs1,
+            rs2,
+            offset
+        }),
+        (treg(), treg(), -4i32..8).prop_map(|(rs1, rs2, offset)| Instruction::Blt {
+            rs1,
+            rs2,
+            offset
+        }),
+        (
+            treg(),
+            prop_oneof![Just(XReg::ZERO), treg()],
+            exec_sew(),
+            lmul()
+        )
+            .prop_map(|(rd, rs1, sew, lmul)| Instruction::Vsetvli { rd, rs1, sew, lmul }),
+        (vreg(), areg()).prop_map(|(vd, rs1)| Instruction::Vle32 { vd, rs1 }),
+        (vreg(), areg()).prop_map(|(vs3, rs1)| Instruction::Vse32 { vs3, rs1 }),
+        (vreg(), vreg(), treg()).prop_map(|(vd, vs2, rs)| Instruction::VindexmacVx { vd, vs2, rs }),
+        (vreg(), vreg(), vreg(), 0u8..20)
+            .prop_map(|(vd, vs2, vs1, slot)| { Instruction::VindexmacVvi { vd, vs2, vs1, slot } }),
+        (vreg(), vreg(), vreg()).prop_map(|(vd, vs2, vs1)| Instruction::VaddVv { vd, vs2, vs1 }),
+        (treg(), vreg()).prop_map(|(rd, vs2)| Instruction::VmvXs { rd, vs2 }),
+        Just(Instruction::Nop),
+    ]
+    .boxed()
+}
+
+/// A random program: address registers seeded, a legal initial
+/// `vsetvli`, then a random body and a final `ebreak`. Faulting bodies
+/// are expected and compared fault-for-fault.
+fn program() -> impl Strategy<Value = Program> {
+    (
+        exec_sew(),
+        lmul(),
+        proptest::collection::vec(any_instr(), 0..40),
+    )
+        .prop_map(|(sew, lmul, body)| {
+            let mut b = ProgramBuilder::new();
+            b.li(XReg::new(10), 0x1000);
+            b.li(XReg::new(11), 0x2000);
+            b.li(XReg::new(12), 0x3004);
+            b.li(XReg::new(13), 0x4000);
+            b.push(Instruction::Vsetvli {
+                rd: XReg::new(5),
+                rs1: XReg::ZERO,
+                sew,
+                lmul,
+            });
+            for i in body {
+                b.push(i);
+            }
+            b.halt();
+            b.build()
+        })
+}
+
+/// The trace compiler's steady-state shape: `reps` identical blocks of
+/// `u` consecutive `vindexmac.vvi` + a counter `addi` + a fall-through
+/// `bne`. The warmed VRF supplies the metadata, so the indirection
+/// targets (and potential aliasing with the destinations) vary freely;
+/// the checked engine referees whatever the fused path does with them.
+fn fused_program() -> impl Strategy<Value = Program> {
+    (
+        1usize..5,
+        1u64..12,
+        exec_sew(),
+        0u8..3,
+        (20u8..24, 24u8..28),
+    )
+        .prop_map(|(u, reps, sew, dst_sel, (vs2_idx, vs1_idx))| {
+            // Destination group base, aligned to the widening factor so
+            // the block is legal at every SEW.
+            let vd = VReg::new(dst_sel * 4);
+            let vs2 = VReg::new(vs2_idx);
+            let vs1 = VReg::new(vs1_idx);
+            let mut b = ProgramBuilder::new();
+            b.li(XReg::A0, 4);
+            b.push(Instruction::Vsetvli {
+                rd: XReg::T0,
+                rs1: XReg::A0,
+                sew,
+                lmul: Lmul::M1,
+            });
+            b.li(XReg::T2, 100);
+            for r in 0..reps {
+                for q in 0..u {
+                    b.push(Instruction::VindexmacVvi {
+                        vd: VReg::new(vd.index() + (q as u8 % 2) * 4),
+                        vs2,
+                        vs1,
+                        slot: (r % 4) as u8,
+                    });
+                }
+                b.push(Instruction::Addi {
+                    rd: XReg::T2,
+                    rs1: XReg::T2,
+                    imm: -1,
+                });
+                let next = b.new_label();
+                b.bne(XReg::T2, XReg::ZERO, next);
+                b.bind(next);
+            }
+            b.halt();
+            b.build()
+        })
+}
+
+/// A simulator with deterministically patterned memory and VRF, so
+/// loads, stores and indirect MACs touch interesting data.
+fn warmed_sim() -> Simulator {
+    let mut sim = Simulator::new(SimConfig::table_i());
+    sim.set_max_instructions(MAX_DYN);
+    for i in 0..0x4000u64 {
+        sim.memory_mut()
+            .write_u8(0x1000 + i, (i as u8).wrapping_mul(31).wrapping_add(11));
+    }
+    for r in 0..32u8 {
+        let reg = VReg::new(r);
+        for lane in 0..16 {
+            sim.state_mut().set_v_lane(
+                reg,
+                lane,
+                Sew::E32,
+                (r as u32)
+                    .wrapping_mul(0x0101_0013)
+                    .wrapping_add(lane as u32 * 0x2F),
+            );
+        }
+    }
+    sim
+}
+
+/// Asserts every architectural-state component matches between the two
+/// execution paths.
+fn assert_states_match(sharded: &Simulator, flat: &Simulator) -> Result<(), TestCaseError> {
+    for r in 0..32u8 {
+        prop_assert_eq!(
+            sharded.state().x(XReg::new(r)),
+            flat.state().x(XReg::new(r)),
+            "x{} diverged",
+            r
+        );
+        prop_assert_eq!(
+            sharded.state().f_bits(FReg::new(r)),
+            flat.state().f_bits(FReg::new(r)),
+            "f{} diverged",
+            r
+        );
+        prop_assert_eq!(
+            sharded.state().v_bytes(VReg::new(r)),
+            flat.state().v_bytes(VReg::new(r)),
+            "v{} diverged",
+            r
+        );
+    }
+    prop_assert_eq!(sharded.state().vl(), flat.state().vl());
+    prop_assert_eq!(sharded.state().vtype(), flat.state().vtype());
+    prop_assert_eq!(sharded.state().pc, flat.state().pc);
+    prop_assert_eq!(sharded.state().halted, flat.state().halted);
+    Ok(())
+}
+
+fn assert_memory_matches(sharded: &Simulator, flat: &Simulator) -> Result<(), TestCaseError> {
+    for addr in (0x1000u64..0x5000).step_by(257) {
+        prop_assert_eq!(
+            sharded.memory().read_u8(addr),
+            flat.memory().read_u8(addr),
+            "memory diverged at {:#x}",
+            addr
+        );
+    }
+    Ok(())
+}
+
+/// Runs `p` sharded and unsharded (both through counting observers) and
+/// asserts full parity: outcome/fault, report, state, memory.
+fn check_shard_parity(p: &Program, shard_size: u64) -> Result<(), TestCaseError> {
+    let decoded = DecodedProgram::decode(p);
+    let mut sharded = warmed_sim();
+    let mut flat = warmed_sim();
+    let got = sharded.run_sharded(&decoded, None, shard_size);
+    let want = flat.run_counted(&decoded);
+    match (&got, &want) {
+        (Ok(s), Ok(f)) => {
+            prop_assert_eq!(
+                &s.report,
+                f,
+                "reports diverged at shard size {}",
+                shard_size
+            );
+            prop_assert!(s.shards >= 1);
+        }
+        (a, b) => {
+            prop_assert_eq!(
+                a.as_ref().err(),
+                b.as_ref().err(),
+                "faults diverged at shard size {}",
+                shard_size
+            );
+            prop_assert!(a.is_err() && b.is_err(), "outcome kinds diverged");
+        }
+    }
+    assert_states_match(&sharded, &flat)?;
+    assert_memory_matches(&sharded, &flat)?;
+    // The stepwise oracle referees the counting run itself.
+    if let Ok(s) = &got {
+        let mut oracle = warmed_sim();
+        let mut obs = CountingObserver::default();
+        let n = oracle
+            .run_stepwise(p, &mut obs)
+            .expect("flat run succeeded, the oracle must too");
+        prop_assert_eq!(&s.report, &obs.into_report(n), "oracle counts diverged");
+        assert_states_match(&sharded, &oracle)?;
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random programs at random shard sizes: the sharded run matches
+    /// the unsharded counting run and the stepwise oracle on outcome,
+    /// report, state, and memory — faults included.
+    #[test]
+    fn sharded_matches_flat_and_oracle(p in program(), shard_size in 1u64..64) {
+        check_shard_parity(&p, shard_size)?;
+    }
+
+    /// The trace compiler's fused-block shape with shard boundaries
+    /// landing inside fused runs: per-µop replay under the counting
+    /// observer must agree with whatever phase 1 executed — and when
+    /// the program analyzes clean, the check-elided sharded run must
+    /// be identical to the checked sharded run.
+    #[test]
+    fn sharded_fused_blocks_match_at_any_boundary(p in fused_program(), shard_size in 1u64..48) {
+        check_shard_parity(&p, shard_size)?;
+        let decoded = DecodedProgram::decode(&p);
+        if let Some(token) = analyze(&decoded, SimConfig::table_i().vlen_bits).verified() {
+            let mut verified = warmed_sim();
+            let mut checked = warmed_sim();
+            let fast = verified.run_sharded(&decoded, Some(token), shard_size);
+            let slow = checked.run_sharded(&decoded, None, shard_size);
+            match (&fast, &slow) {
+                (Ok(a), Ok(b)) => prop_assert_eq!(a, b, "token changed the sharded result"),
+                (a, b) => prop_assert_eq!(a.as_ref().err(), b.as_ref().err()),
+            }
+            assert_states_match(&verified, &checked)?;
+            assert_memory_matches(&verified, &checked)?;
+        }
+    }
+
+    /// Sharded runs are deterministic and shard-size-invariant: any two
+    /// shard sizes give byte-identical results (only `shards` differs).
+    #[test]
+    fn shard_size_does_not_change_results(p in program(), s1 in 1u64..64, s2 in 64u64..4096) {
+        let decoded = DecodedProgram::decode(&p);
+        let mut a = warmed_sim();
+        let mut b = warmed_sim();
+        let ra = a.run_sharded(&decoded, None, s1);
+        let rb = b.run_sharded(&decoded, None, s2);
+        match (&ra, &rb) {
+            (Ok(x), Ok(y)) => prop_assert_eq!(&x.report, &y.report, "{} vs {}", s1, s2),
+            (x, y) => prop_assert_eq!(x.as_ref().err(), y.as_ref().err()),
+        }
+        assert_states_match(&a, &b)?;
+        assert_memory_matches(&a, &b)?;
+    }
+
+    /// The instruction-limit boundary is identical sharded and flat for
+    /// arbitrary small limits — wherever it lands relative to the shard
+    /// boundaries.
+    #[test]
+    fn instruction_limit_boundary_parity(p in program(), limit in 1u64..40, shard_size in 1u64..16) {
+        let decoded = DecodedProgram::decode(&p);
+        let mut sharded = warmed_sim();
+        sharded.set_max_instructions(limit);
+        let mut flat = warmed_sim();
+        flat.set_max_instructions(limit);
+        let got = sharded.run_sharded(&decoded, None, shard_size);
+        let want = flat.run_counted(&decoded);
+        match (&got, &want) {
+            (Ok(s), Ok(f)) => prop_assert_eq!(&s.report, f, "limit {} shard {}", limit, shard_size),
+            (a, b) => prop_assert_eq!(a.as_ref().err(), b.as_ref().err(), "limit {}", limit),
+        }
+        assert_states_match(&sharded, &flat)?;
+        assert_memory_matches(&sharded, &flat)?;
+    }
+}
