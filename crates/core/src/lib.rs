@@ -36,12 +36,15 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod digest;
 pub mod experiment;
+pub mod record;
 pub mod seqlen;
 pub mod sweep;
 pub mod table;
 
 pub use analysis::{analyze, Bottleneck, BoundKind};
+pub use digest::{config_digest, Digest, CONFIG_DIGEST_VERSION};
 pub use experiment::{
     compare_gemm, compare_layer, compare_model, decode_cache_stats, reset_decode_cache, run_gemm,
     Algorithm, DecodeCacheStats, ExperimentConfig, GemmComparison, LayerResult, ModelComparison,

@@ -13,6 +13,8 @@
 //! indexmac-cli lint --algorithm indexmac2 --sew 8 --format json
 //! indexmac-cli sweep --dims 16x128x32,32x256x64 --patterns 1:4,2:4 \
 //!     --dataflows all --threads 8 --format json
+//! indexmac-cli sweep --dims 16x128x32 --store-dir /var/tmp/indexmac-store
+//! indexmac-cli serve --store-dir /var/tmp/indexmac-store --addr 127.0.0.1:0
 //! ```
 
 use indexmac::analysis::analyze;
@@ -28,6 +30,7 @@ use indexmac::vpu::{SimConfig, TimingKind};
 use indexmac_models::{
     densenet121, inception_v3, resnet50, GemmCaps, Model, ModelFamily, TransformerConfig,
 };
+use indexmac_service::{run_grid_with_store, ResultStore, SweepService};
 use std::process::ExitCode;
 
 /// Parsed command line.
@@ -109,6 +112,27 @@ enum Command {
         /// Shard size for the sharded-execution cross-check.
         shard_size: Option<u64>,
         /// Timing backend every cell runs under.
+        timing: TimingKind,
+        /// Persistent result store to consult/extend (incremental
+        /// re-sweeps: only cells whose digest is absent simulate).
+        store_dir: Option<String>,
+    },
+    /// Run the sweep daemon: a persistent content-addressed store and
+    /// a worker pool behind an HTTP/1.1 API.
+    Serve {
+        /// Bind address; port 0 picks an ephemeral port (printed on
+        /// stdout for scripting).
+        addr: String,
+        /// Worker threads; 0 = one per available core.
+        threads: usize,
+        store_dir: String,
+        /// Campaign axes shared with `sweep` — they feed the digest,
+        /// so the daemon must know which comparison it serves.
+        algorithm: Algorithm,
+        baseline: Algorithm,
+        lmul: usize,
+        sew: Precision,
+        max_instructions: Option<u64>,
         timing: TimingKind,
     },
 }
@@ -553,38 +577,7 @@ fn parse(args: &[String]) -> Result<Command, String> {
                 Some(f) => parse_format(&f)?,
                 None => OutputFormat::Table,
             };
-            let sew = match get("sew") {
-                Some(s) => parse_sew(&s)?,
-                None => Precision::F32,
-            };
-            let algorithm = match get("algorithm") {
-                Some(a) => parse_algorithm(&a)?,
-                // Quantized sweeps default to the kernel pair that owns
-                // a widening path: vvi proposed, vx baseline.
-                None if sew.is_int() => Algorithm::IndexMac2,
-                None => Algorithm::IndexMac,
-            };
-            let baseline = match get("baseline") {
-                Some(a) => parse_algorithm(&a)?,
-                // Comparing the two vindexmac generations is the whole
-                // point of `--algorithm indexmac2`; default the baseline
-                // to the first generation there, Row-Wise-SpMM otherwise.
-                None if algorithm == Algorithm::IndexMac2 => Algorithm::IndexMac,
-                None if sew.is_int() => Algorithm::IndexMac,
-                None => Algorithm::RowWiseSpmm,
-            };
-            if sew.is_int() && (!supports_int(algorithm) || !supports_int(baseline)) {
-                return Err(
-                    "--sew 8|16 requires indexmac/indexmac2 on both comparison sides".to_string(),
-                );
-            }
-            let lmul = match get("lmul") {
-                Some(l) => parse_lmul(&l)?,
-                None => 1,
-            };
-            if lmul > 1 && algorithm != Algorithm::IndexMac2 && baseline != Algorithm::IndexMac2 {
-                return Err("--lmul requires indexmac2 as --algorithm or --baseline".to_string());
-            }
+            let (sew, algorithm, baseline, lmul) = parse_campaign(&opts)?;
             Ok(Command::Sweep {
                 dims,
                 patterns,
@@ -599,10 +592,66 @@ fn parse(args: &[String]) -> Result<Command, String> {
                 max_instructions: parse_max_instructions(&opts)?,
                 shard_size: parse_shard_size(&opts)?,
                 timing: parse_timing(&opts)?,
+                store_dir: get("store-dir"),
+            })
+        }
+        "serve" => {
+            let store_dir = get("store-dir").ok_or("serve requires --store-dir DIR")?;
+            let (sew, algorithm, baseline, lmul) = parse_campaign(&opts)?;
+            Ok(Command::Serve {
+                addr: get("addr").unwrap_or_else(|| "127.0.0.1:0".to_string()),
+                threads: get_usize("threads", 0)?,
+                store_dir,
+                algorithm,
+                baseline,
+                lmul,
+                sew,
+                max_instructions: parse_max_instructions(&opts)?,
+                timing: parse_timing(&opts)?,
             })
         }
         other => Err(format!("unknown command `{other}`\n{USAGE}")),
     }
+}
+
+/// Parses the campaign axes `sweep` and `serve` share (`--sew`,
+/// `--algorithm`, `--baseline`, `--lmul`), with the same defaulting
+/// and validation rules — these feed [`indexmac::config_digest`], so
+/// both commands must agree on them exactly.
+fn parse_campaign(
+    opts: &std::collections::HashMap<String, String>,
+) -> Result<(Precision, Algorithm, Algorithm, usize), String> {
+    let sew = match opts.get("sew") {
+        Some(s) => parse_sew(s)?,
+        None => Precision::F32,
+    };
+    let algorithm = match opts.get("algorithm") {
+        Some(a) => parse_algorithm(a)?,
+        // Quantized sweeps default to the kernel pair that owns
+        // a widening path: vvi proposed, vx baseline.
+        None if sew.is_int() => Algorithm::IndexMac2,
+        None => Algorithm::IndexMac,
+    };
+    let baseline = match opts.get("baseline") {
+        Some(a) => parse_algorithm(a)?,
+        // Comparing the two vindexmac generations is the whole
+        // point of `--algorithm indexmac2`; default the baseline
+        // to the first generation there, Row-Wise-SpMM otherwise.
+        None if algorithm == Algorithm::IndexMac2 => Algorithm::IndexMac,
+        None if sew.is_int() => Algorithm::IndexMac,
+        None => Algorithm::RowWiseSpmm,
+    };
+    if sew.is_int() && (!supports_int(algorithm) || !supports_int(baseline)) {
+        return Err("--sew 8|16 requires indexmac/indexmac2 on both comparison sides".to_string());
+    }
+    let lmul = match opts.get("lmul") {
+        Some(l) => parse_lmul(l)?,
+        None => 1,
+    };
+    if lmul > 1 && algorithm != Algorithm::IndexMac2 && baseline != Algorithm::IndexMac2 {
+        return Err("--lmul requires indexmac2 as --algorithm or --baseline".to_string());
+    }
+    Ok((sew, algorithm, baseline, lmul))
 }
 
 const USAGE: &str = "usage:
@@ -612,7 +661,8 @@ const USAGE: &str = "usage:
   indexmac-cli model --preset M [--pattern N:M] [--seq-len T] [--sew 8|16|32] [--caps smoke|eval|full] [--timing inorder|pipelined|ooo] [--seed S] [--max-instructions I] [--shard-size N]
   indexmac-cli list --model M
   indexmac-cli lint [--algorithm A|all] [--dims RxKxN] [--patterns N:M[,N:M...]] [--sew 8|16|32] [--lmul 1|2|4] [--unroll U] [--tile-rows L] [--format table|json|json-pretty]
-  indexmac-cli sweep --dims RxKxN[,RxKxN...] [--patterns N:M[,N:M...]] [--dataflows a|b|c|all] [--algorithm A] [--baseline A] [--lmul 1|2|4] [--sew 8|16|32] [--timing inorder|pipelined|ooo] [--seed S] [--threads T] [--format table|json|json-pretty] [--max-instructions I] [--shard-size N]
+  indexmac-cli sweep --dims RxKxN[,RxKxN...] [--patterns N:M[,N:M...]] [--dataflows a|b|c|all] [--algorithm A] [--baseline A] [--lmul 1|2|4] [--sew 8|16|32] [--timing inorder|pipelined|ooo] [--seed S] [--threads T] [--format table|json|json-pretty] [--max-instructions I] [--shard-size N] [--store-dir DIR]
+  indexmac-cli serve --store-dir DIR [--addr HOST:PORT] [--threads T] [--algorithm A] [--baseline A] [--lmul 1|2|4] [--sew 8|16|32] [--timing inorder|pipelined|ooo] [--max-instructions I]
 
 models: resnet50 | densenet121 | inceptionv3 | bert-base | gpt2-small | vit-b16, each also as <model>-int8 (e8 datapath)
 transformer presets decompose into attention/FFN weight GEMMs; --seq-len rescales their batched columns
@@ -620,7 +670,8 @@ transformer presets decompose into attention/FFN weight GEMMs; --seq-len rescale
 --timing selects the scalar-core timing backend: the paper's in-order scoreboard (default), an explicit 5-stage pipeline, or an out-of-order core (ROB/RS/RAT/LSQ); instret is backend-invariant
 --max-instructions tunes the per-simulation runaway guard (default 2e9)
 --shard-size N replays every timed run through the sharded counting engine in N-instruction shards and referees the results bit-for-bit (off by default)
-lint statically analyzes kernel builds without simulating (exit 1 on any diagnostic); unspecified lint axes sweep every shipped configuration";
+lint statically analyzes kernel builds without simulating (exit 1 on any diagnostic); unspecified lint axes sweep every shipped configuration
+--store-dir DIR keeps a persistent content-addressed result store: sweep serves known cells from it and simulates only the rest; serve exposes it over HTTP (GET /healthz | GET /stats | GET /cell/<digest> | POST /sweep | POST /shutdown), binds --addr (port 0 = ephemeral, printed on stdout) and drains gracefully on POST /shutdown";
 
 fn print_comparison(
     dims: GemmDims,
@@ -1045,6 +1096,7 @@ fn run(cmd: Command) -> Result<(), String> {
             max_instructions,
             shard_size,
             timing,
+            store_dir,
         } => {
             let mut cfg = ExperimentConfig {
                 baseline,
@@ -1059,15 +1111,35 @@ fn run(cmd: Command) -> Result<(), String> {
             if let Some(seed) = seed {
                 grid = grid.with_base_seed(seed);
             }
-            let result = match threads {
-                Some(n) => rayon::ThreadPoolBuilder::new()
+            // With a store, only cells whose digest is absent simulate;
+            // the merged result is bit-identical to a fresh run either
+            // way, so stdout stays stable and the store note goes to
+            // stderr.
+            let run_store = |store: &mut ResultStore| run_grid_with_store(&grid, &cfg, store);
+            let result = match (&store_dir, threads) {
+                (Some(dir), n) => {
+                    let mut store = ResultStore::open(dir).map_err(|e| e.to_string())?;
+                    let (result, hits, misses) = match n {
+                        Some(n) => rayon::ThreadPoolBuilder::new()
+                            .num_threads(n)
+                            .build()
+                            .map_err(|e| e.to_string())?
+                            .install(|| run_store(&mut store)),
+                        None => run_store(&mut store),
+                    }
+                    .map_err(|e| e.to_string())?;
+                    store.flush().map_err(|e| e.to_string())?;
+                    eprintln!("store {dir}: {hits} hits, {misses} computed");
+                    result
+                }
+                (None, Some(n)) => rayon::ThreadPoolBuilder::new()
                     .num_threads(n)
                     .build()
                     .map_err(|e| e.to_string())?
-                    .install(|| run_grid(&grid, &cfg)),
-                None => run_grid(&grid, &cfg),
-            }
-            .map_err(|e| e.to_string())?;
+                    .install(|| run_grid(&grid, &cfg))
+                    .map_err(|e| e.to_string())?,
+                (None, None) => run_grid(&grid, &cfg).map_err(|e| e.to_string())?,
+            };
             match format {
                 OutputFormat::Json => println!("{}", result.to_json()),
                 OutputFormat::JsonPretty => println!("{}", result.to_json_pretty()),
@@ -1124,6 +1196,42 @@ fn run(cmd: Command) -> Result<(), String> {
                     }
                 }
             }
+            Ok(())
+        }
+        Command::Serve {
+            addr,
+            threads,
+            store_dir,
+            algorithm,
+            baseline,
+            lmul,
+            sew,
+            max_instructions,
+            timing,
+        } => {
+            let mut cfg = ExperimentConfig {
+                baseline,
+                proposed: algorithm,
+                lmul,
+                precision: sew,
+                ..ExperimentConfig::paper()
+            }
+            .with_timing(timing);
+            apply_overrides(&mut cfg, None, max_instructions, None);
+            let store = ResultStore::open(&store_dir).map_err(|e| e.to_string())?;
+            let threads = if threads == 0 {
+                std::thread::available_parallelism().map_or(1, std::num::NonZero::get)
+            } else {
+                threads
+            };
+            let service = SweepService::start(cfg, store, threads);
+            let listener = std::net::TcpListener::bind(&addr).map_err(|e| e.to_string())?;
+            let local = listener.local_addr().map_err(|e| e.to_string())?;
+            // Scripts (the CI smoke) scrape this line for the bound
+            // ephemeral port — keep the `http://host:port` shape.
+            println!("listening on http://{local} | {threads} workers | store {store_dir}");
+            indexmac_service::http::serve(&service, listener).map_err(|e| e.to_string())?;
+            println!("drained and stopped");
             Ok(())
         }
     }
@@ -1669,6 +1777,7 @@ mod tests {
                 lmul: 1,
                 sew: Precision::F32,
                 timing: TimingKind::InOrder,
+                store_dir: None,
             }
         );
         let c = parse(&argv(
@@ -1702,6 +1811,7 @@ mod tests {
                 lmul: 1,
                 sew: Precision::F32,
                 timing: TimingKind::InOrder,
+                store_dir: None,
             }
         );
     }
@@ -1811,6 +1921,7 @@ mod tests {
                 lmul: 1,
                 sew: Precision::F32,
                 timing: TimingKind::InOrder,
+                store_dir: None,
             })
             .unwrap();
         }
@@ -1836,8 +1947,93 @@ mod tests {
             lmul: 2,
             sew: Precision::F32,
             timing: TimingKind::InOrder,
+            store_dir: None,
         })
         .unwrap();
+    }
+
+    #[test]
+    fn parse_serve_and_store_flags() {
+        let c = parse(&argv("sweep --dims 8x32x16 --store-dir /tmp/s")).unwrap();
+        match c {
+            Command::Sweep { store_dir, .. } => {
+                assert_eq!(store_dir.as_deref(), Some("/tmp/s"));
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        let c = parse(&argv("serve --store-dir /tmp/s")).unwrap();
+        assert_eq!(
+            c,
+            Command::Serve {
+                addr: "127.0.0.1:0".into(),
+                threads: 0,
+                store_dir: "/tmp/s".into(),
+                algorithm: Algorithm::IndexMac,
+                baseline: Algorithm::RowWiseSpmm,
+                lmul: 1,
+                sew: Precision::F32,
+                max_instructions: None,
+                timing: TimingKind::InOrder,
+            }
+        );
+        // The campaign axes obey the same defaulting rules as `sweep`
+        // (they feed the digest, so they must agree).
+        let c = parse(&argv(
+            "serve --store-dir /tmp/s --addr 0.0.0.0:8080 --threads 4 --sew 8",
+        ))
+        .unwrap();
+        match c {
+            Command::Serve {
+                addr,
+                threads,
+                sew,
+                algorithm,
+                baseline,
+                ..
+            } => {
+                assert_eq!(addr, "0.0.0.0:8080");
+                assert_eq!(threads, 4);
+                assert_eq!(sew, Precision::I8);
+                assert_eq!(algorithm, Algorithm::IndexMac2);
+                assert_eq!(baseline, Algorithm::IndexMac);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        assert!(parse(&argv("serve")).unwrap_err().contains("store-dir"));
+        assert!(parse(&argv("serve --store-dir /tmp/s --lmul 3"))
+            .unwrap_err()
+            .contains("lmul"));
+    }
+
+    #[test]
+    fn run_sweep_with_store_dir_twice() {
+        let dir = std::env::temp_dir().join(format!("indexmac-cli-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cmd = || Command::Sweep {
+            dims: vec![GemmDims {
+                rows: 4,
+                inner: 16,
+                cols: 8,
+            }],
+            patterns: vec![NmPattern::P1_4],
+            dataflows: vec![Dataflow::BStationary],
+            seed: Some(3),
+            max_instructions: None,
+            shard_size: None,
+            threads: Some(2),
+            format: OutputFormat::Json,
+            algorithm: Algorithm::IndexMac,
+            baseline: Algorithm::RowWiseSpmm,
+            lmul: 1,
+            sew: Precision::F32,
+            timing: TimingKind::InOrder,
+            store_dir: Some(dir.to_string_lossy().into_owned()),
+        };
+        run(cmd()).unwrap(); // cold: simulates and persists
+        run(cmd()).unwrap(); // warm: served entirely from the store
+        assert!(dir.join("results.log").exists());
+        assert!(dir.join("index.json").exists());
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -1,0 +1,447 @@
+//! The sweep daemon: a bounded job queue and a worker pool over the
+//! persistent [`ResultStore`], with request coalescing.
+//!
+//! Submission path for one cell:
+//!
+//! 1. digest the `(cell, campaign)` pair — [`config_digest`];
+//! 2. **store hit** → the result is delivered immediately (LRU or log);
+//! 3. **in-flight elsewhere** → the request *coalesces*: its waiter is
+//!    appended to the digest's waiter list and the cell is **not**
+//!    enqueued again — two concurrent requests for the same digest
+//!    simulate once;
+//! 4. otherwise → a job enters the bounded queue (submission blocks
+//!    when the queue is full — backpressure instead of unbounded
+//!    memory) and a worker simulates it with
+//!    [`run_cell`], whose per-thread `ExecContext` keeps the simulator
+//!    and decode cache warm across jobs on the same worker.
+//!
+//! Shutdown is a graceful drain: workers finish every queued job and
+//! deliver every waiter before joining, so no submitted request is ever
+//! dropped.
+
+use crate::store::{ResultStore, StoreStats};
+use indexmac::digest::{config_digest, Digest};
+use indexmac::experiment::ExperimentConfig;
+use indexmac::sweep::{run_cell, CellResult, SweepCell, SweepGrid, SweepResult};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// How a submitted cell was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CellStatus {
+    /// Served from the store without simulating.
+    Hit,
+    /// Enqueued for simulation (first request for this digest).
+    Miss,
+    /// Attached to an already-in-flight simulation of the same digest.
+    Coalesced,
+}
+
+impl CellStatus {
+    /// Stable JSON tag: `hit`, `computed` or `coalesced`.
+    pub fn name(self) -> &'static str {
+        match self {
+            CellStatus::Hit => "hit",
+            CellStatus::Miss => "computed",
+            CellStatus::Coalesced => "coalesced",
+        }
+    }
+}
+
+/// A pending submission: how it was routed plus the channel the result
+/// arrives on (already-delivered for hits).
+pub struct Pending {
+    /// Routing outcome of the submission.
+    pub status: CellStatus,
+    /// The cell's content digest (the store key).
+    pub digest: Digest,
+    rx: mpsc::Receiver<Result<CellResult, String>>,
+}
+
+impl Pending {
+    /// Blocks until the result is available.
+    ///
+    /// # Errors
+    ///
+    /// Simulation errors are stringified (they carry no results); a
+    /// disconnected worker maps to an error rather than a panic.
+    pub fn wait(self) -> Result<CellResult, String> {
+        self.rx
+            .recv()
+            .unwrap_or_else(|_| Err("worker dropped without delivering a result".into()))
+    }
+}
+
+/// Monotonic counters across the daemon's lifetime.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DaemonStats {
+    /// Submissions served straight from the store.
+    pub hits: u64,
+    /// Submissions that enqueued a simulation.
+    pub misses: u64,
+    /// Submissions that attached to an in-flight simulation.
+    pub coalesced: u64,
+    /// Simulations actually executed by workers (the invariant under
+    /// coalescing: `computed <= misses`, and `computed` counts each
+    /// distinct digest once however many clients asked for it).
+    pub computed: u64,
+    /// Jobs currently waiting in the queue.
+    pub queue_depth: usize,
+    /// Store counters at the same instant.
+    pub store: StoreStats,
+}
+
+/// The channel a waiter holds while a worker computes its digest.
+type ResultSender = mpsc::Sender<Result<CellResult, String>>;
+
+struct Shared {
+    cfg: ExperimentConfig,
+    store: Mutex<ResultStore>,
+    queue: Mutex<VecDeque<(Digest, SweepCell)>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    queue_cap: usize,
+    inflight: Mutex<HashMap<Digest, Vec<ResultSender>>>,
+    shutdown: AtomicBool,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    coalesced: AtomicU64,
+    computed: AtomicU64,
+}
+
+/// The long-lived sweep service: owns the store, the queue and the
+/// worker pool. Cheap to share (`Arc` internally).
+pub struct SweepService {
+    shared: Arc<Shared>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// Default bound of the work queue.
+pub const DEFAULT_QUEUE_DEPTH: usize = 1024;
+
+impl SweepService {
+    /// Starts `threads` workers over `store`, simulating under `cfg`.
+    pub fn start(cfg: ExperimentConfig, store: ResultStore, threads: usize) -> Arc<Self> {
+        Self::start_with_queue(cfg, store, threads, DEFAULT_QUEUE_DEPTH)
+    }
+
+    /// [`SweepService::start`] with an explicit queue bound.
+    pub fn start_with_queue(
+        cfg: ExperimentConfig,
+        store: ResultStore,
+        threads: usize,
+        queue_cap: usize,
+    ) -> Arc<Self> {
+        let shared = Arc::new(Shared {
+            cfg,
+            store: Mutex::new(store),
+            queue: Mutex::new(VecDeque::new()),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            queue_cap: queue_cap.max(1),
+            inflight: Mutex::new(HashMap::new()),
+            shutdown: AtomicBool::new(false),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+            computed: AtomicU64::new(0),
+        });
+        let workers = (0..threads.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("sweep-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        Arc::new(Self {
+            shared,
+            workers: Mutex::new(workers),
+        })
+    }
+
+    /// The campaign configuration every cell runs under.
+    pub fn config(&self) -> &ExperimentConfig {
+        &self.shared.cfg
+    }
+
+    /// Submits one cell. Never blocks on simulation — only (briefly) on
+    /// the store lock, and on the queue bound when the daemon is
+    /// saturated.
+    pub fn submit(&self, cell: SweepCell) -> Pending {
+        let digest = config_digest(&cell, &self.shared.cfg);
+        let (tx, rx) = mpsc::channel();
+
+        // Store first: the hot path is a hit served at memory speed.
+        // The inflight check happens *before* the store lock drops —
+        // workers persist a result before deregistering it from
+        // `inflight` (and need the store lock to do so), so a store
+        // miss observed here guarantees any concurrent simulation of
+        // this digest is still registered. Without that ordering a
+        // worker could finish between the two checks and the digest
+        // would be simulated twice.
+        let mut store = self.shared.store.lock().unwrap();
+        if let Some(result) = store.get(digest) {
+            drop(store);
+            self.shared.hits.fetch_add(1, Ordering::Relaxed);
+            let _ = tx.send(Ok(result));
+            return Pending {
+                status: CellStatus::Hit,
+                digest,
+                rx,
+            };
+        }
+        let mut inflight = self.shared.inflight.lock().unwrap();
+        drop(store);
+        // Coalesce with an in-flight simulation of the same digest.
+        if let Some(waiters) = inflight.get_mut(&digest) {
+            waiters.push(tx);
+            self.shared.coalesced.fetch_add(1, Ordering::Relaxed);
+            return Pending {
+                status: CellStatus::Coalesced,
+                digest,
+                rx,
+            };
+        }
+        inflight.insert(digest, vec![tx]);
+        drop(inflight);
+
+        // First request: enqueue, respecting the bound.
+        self.shared.misses.fetch_add(1, Ordering::Relaxed);
+        let mut queue = self.shared.queue.lock().unwrap();
+        while queue.len() >= self.shared.queue_cap {
+            queue = self.shared.not_full.wait(queue).unwrap();
+        }
+        queue.push_back((digest, cell));
+        drop(queue);
+        self.shared.not_empty.notify_one();
+        Pending {
+            status: CellStatus::Miss,
+            digest,
+            rx,
+        }
+    }
+
+    /// Runs a whole grid through the daemon: submits every cell, then
+    /// waits for all of them in grid order. Equivalent to
+    /// [`indexmac::sweep::run_grid`] on a cold store; bit-identical and
+    /// near-instant on a warm one.
+    ///
+    /// # Errors
+    ///
+    /// The first failing cell's stringified error, in grid order.
+    pub fn sweep_grid(&self, grid: &SweepGrid) -> Result<(SweepResult, Vec<CellStatus>), String> {
+        let pending: Vec<Pending> = grid.cells().into_iter().map(|c| self.submit(c)).collect();
+        let statuses: Vec<CellStatus> = pending.iter().map(|p| p.status).collect();
+        let mut cells = Vec::with_capacity(pending.len());
+        for p in pending {
+            cells.push(p.wait()?);
+        }
+        Ok((
+            SweepResult {
+                base_seed: grid.base_seed,
+                threads: self.workers.lock().unwrap().len().max(1),
+                precision: self.shared.cfg.precision,
+                timing: self.shared.cfg.sim.timing,
+                cells,
+            },
+            statuses,
+        ))
+    }
+
+    /// Looks a digest up in the store without simulating anything
+    /// (the `GET /cell/<digest>` route).
+    pub fn lookup(&self, digest: Digest) -> Option<CellResult> {
+        self.shared.store.lock().unwrap().get(digest)
+    }
+
+    /// Counters snapshot (the `GET /stats` route).
+    pub fn stats(&self) -> DaemonStats {
+        DaemonStats {
+            hits: self.shared.hits.load(Ordering::Relaxed),
+            misses: self.shared.misses.load(Ordering::Relaxed),
+            coalesced: self.shared.coalesced.load(Ordering::Relaxed),
+            computed: self.shared.computed.load(Ordering::Relaxed),
+            queue_depth: self.shared.queue.lock().unwrap().len(),
+            store: self.shared.store.lock().unwrap().stats(),
+        }
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Flags shutdown without joining anything — the `POST /shutdown`
+    /// handler runs on a connection thread the accept loop owns, so it
+    /// must not block on worker joins itself. The accept loop notices
+    /// the flag and performs the actual [`Self::shutdown`] drain.
+    pub fn request_shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.not_empty.notify_all();
+        self.shared.not_full.notify_all();
+    }
+
+    /// Graceful drain: workers finish every queued job, deliver every
+    /// waiter, then exit; the store is flushed. Idempotent.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.not_empty.notify_all();
+        self.shared.not_full.notify_all();
+        let workers: Vec<JoinHandle<()>> = std::mem::take(&mut *self.workers.lock().unwrap());
+        for w in workers {
+            let _ = w.join();
+        }
+        let _ = self.shared.store.lock().unwrap().flush();
+    }
+}
+
+impl Drop for SweepService {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut queue = shared.queue.lock().unwrap();
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    shared.not_full.notify_one();
+                    break Some(job);
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break None;
+                }
+                queue = shared.not_empty.wait(queue).unwrap();
+            }
+        };
+        let Some((digest, cell)) = job else { return };
+
+        // Simulate on this worker's warm per-thread context (reused
+        // simulator + decode-once program cache in `indexmac::experiment`).
+        let outcome = run_cell(cell, &shared.cfg).map_err(|e| e.to_string());
+        shared.computed.fetch_add(1, Ordering::Relaxed);
+
+        if let Ok(result) = &outcome {
+            // Persist before waking waiters so a follow-up request from
+            // a woken client is guaranteed a store hit.
+            let _ = shared.store.lock().unwrap().put(digest, result);
+        }
+
+        let waiters = shared
+            .inflight
+            .lock()
+            .unwrap()
+            .remove(&digest)
+            .unwrap_or_default();
+        for tx in waiters {
+            let _ = tx.send(outcome.clone());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use indexmac::kernels::GemmDims;
+    use indexmac::sparse::NmPattern;
+    use std::path::PathBuf;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("indexmac-daemon-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn small_grid() -> SweepGrid {
+        SweepGrid::new(
+            NmPattern::EVALUATED.to_vec(),
+            vec![GemmDims {
+                rows: 4,
+                inner: 32,
+                cols: 16,
+            }],
+        )
+    }
+
+    #[test]
+    fn cold_then_warm_sweep_matches_run_grid() {
+        let dir = temp_dir("coldwarm");
+        let cfg = ExperimentConfig::fast();
+        let reference = indexmac::sweep::run_grid_serial(&small_grid(), &cfg).unwrap();
+
+        let store = ResultStore::open(&dir).unwrap();
+        let service = SweepService::start(cfg, store, 2);
+        let (cold, cold_status) = service.sweep_grid(&small_grid()).unwrap();
+        assert_eq!(cold.cells, reference.cells, "cold sweep = fresh run_grid");
+        assert!(cold_status.iter().all(|s| *s != CellStatus::Hit));
+
+        let (warm, warm_status) = service.sweep_grid(&small_grid()).unwrap();
+        assert_eq!(warm.cells, reference.cells, "warm sweep is bit-identical");
+        assert!(
+            warm_status.iter().all(|s| *s == CellStatus::Hit),
+            "every warm cell is a store hit: {warm_status:?}"
+        );
+        let stats = service.stats();
+        assert_eq!(stats.computed, 2, "each digest simulated exactly once");
+        assert_eq!(stats.hits, 2);
+        service.shutdown();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn results_survive_service_restart() {
+        let dir = temp_dir("restart");
+        let cfg = ExperimentConfig::fast();
+        {
+            let service = SweepService::start(cfg, ResultStore::open(&dir).unwrap(), 1);
+            service.sweep_grid(&small_grid()).unwrap();
+            service.shutdown();
+        }
+        let service = SweepService::start(cfg, ResultStore::open(&dir).unwrap(), 1);
+        let (warm, statuses) = service.sweep_grid(&small_grid()).unwrap();
+        assert!(statuses.iter().all(|s| *s == CellStatus::Hit));
+        let reference = indexmac::sweep::run_grid_serial(&small_grid(), &cfg).unwrap();
+        assert_eq!(warm.cells, reference.cells);
+        assert_eq!(service.stats().computed, 0, "nothing re-simulated");
+        service.shutdown();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn lookup_finds_stored_digests_only() {
+        let dir = temp_dir("lookup");
+        let cfg = ExperimentConfig::fast();
+        let service = SweepService::start(cfg, ResultStore::open(&dir).unwrap(), 1);
+        let cell = small_grid().cells()[0];
+        let digest = config_digest(&cell, &cfg);
+        assert!(service.lookup(digest).is_none());
+        let result = service.submit(cell).wait().unwrap();
+        assert_eq!(service.lookup(digest), Some(result));
+        service.shutdown();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn shutdown_drains_pending_jobs() {
+        let dir = temp_dir("drain");
+        let cfg = ExperimentConfig::fast();
+        let service = SweepService::start(cfg, ResultStore::open(&dir).unwrap(), 1);
+        let pending: Vec<Pending> = small_grid()
+            .cells()
+            .into_iter()
+            .map(|c| service.submit(c))
+            .collect();
+        service.shutdown();
+        for p in pending {
+            assert!(p.wait().is_ok(), "drained jobs still deliver results");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

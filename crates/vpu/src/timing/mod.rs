@@ -78,6 +78,12 @@ impl ClassCounts {
         self.0[c.index()] += 1;
     }
 
+    /// Overwrites the count of one class (store-record decode path:
+    /// persisted reports are reconstructed field by field).
+    pub fn set(&mut self, c: InstrClass, count: u64) {
+        self.0[c.index()] = count;
+    }
+
     /// Total dynamic instructions.
     pub fn total(&self) -> u64 {
         self.0.iter().sum()

@@ -43,6 +43,75 @@ impl Value {
                 .collect(),
         )
     }
+
+    /// Looks up `key` in an object; `None` for other variants or
+    /// missing keys. First match wins on (malformed) duplicate keys.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::UInt(u) => Some(*u),
+            Value::Int(i) => u64::try_from(*i).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as an `i64`, if it is an in-range integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::UInt(u) => i64::try_from(*u).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64`: floats verbatim, integers widened.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Float(f) => Some(*f),
+            Value::Int(i) => Some(*i as f64),
+            Value::UInt(u) => Some(*u as f64),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is an `Array`.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The field list, if this is an `Object`.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
 }
 
 /// Types that can serialize themselves into a [`Value`] tree.
@@ -157,6 +226,34 @@ mod tests {
         assert_eq!(true.to_value(), Value::Bool(true));
         assert_eq!("hi".to_value(), Value::Str("hi".into()));
         assert_eq!(None::<u8>.to_value(), Value::Null);
+    }
+
+    #[test]
+    fn accessors_select_the_right_variants() {
+        let v = Value::object([
+            ("n", Value::UInt(7)),
+            ("i", Value::Int(-3)),
+            ("f", Value::Float(1.5)),
+            ("s", Value::Str("hi".into())),
+            ("b", Value::Bool(true)),
+            ("a", Value::Array(vec![Value::Null])),
+        ]);
+        assert_eq!(v.get("n").and_then(Value::as_u64), Some(7));
+        assert_eq!(v.get("n").and_then(Value::as_i64), Some(7));
+        assert_eq!(v.get("i").and_then(Value::as_i64), Some(-3));
+        assert_eq!(v.get("i").and_then(Value::as_u64), None);
+        assert_eq!(v.get("f").and_then(Value::as_f64), Some(1.5));
+        assert_eq!(v.get("n").and_then(Value::as_f64), Some(7.0));
+        assert_eq!(v.get("s").and_then(Value::as_str), Some("hi"));
+        assert_eq!(v.get("b").and_then(Value::as_bool), Some(true));
+        assert_eq!(
+            v.get("a").and_then(Value::as_array).map(<[_]>::len),
+            Some(1)
+        );
+        assert_eq!(v.as_object().map(<[_]>::len), Some(6));
+        assert!(v.get("missing").is_none());
+        assert!(Value::Null.get("n").is_none());
+        assert_eq!(Value::UInt(u64::MAX).as_i64(), None);
     }
 
     #[test]
